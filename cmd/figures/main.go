@@ -1,0 +1,263 @@
+// Command figures regenerates every table and figure of the reproduction
+// (DESIGN.md §4): Figures 4–7 of the paper plus the verification and
+// extension tables T1–T14. Results are printed and, with -out, also
+// written as .txt, .csv and gnuplot .dat files.
+//
+// Examples:
+//
+//	figures                 # quick scale, print everything
+//	figures -full -out results
+//	figures -only fig5,t2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gridbw/internal/experiment"
+	"gridbw/internal/figures"
+	"gridbw/internal/report"
+)
+
+type artifact struct {
+	name   string
+	tables []*report.Table
+	series []experiment.Series // optional, for gnuplot output
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	full := fs.Bool("full", false, "run at full scale (5 replications, 2000 s horizon)")
+	outDir := fs.String("out", "", "directory to write .txt/.csv/.dat artifacts (optional)")
+	only := fs.String("only", "", "comma-separated subset: fig4,fig5,fig6,fig7,t1..t15")
+	seed := fs.Int64("seed", 7, "seed for the T2/T4 instance generators")
+	cases := fs.Int("cases", 12, "instance count for T2/T4")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	scale := figures.Quick()
+	if *full {
+		scale = figures.Full()
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(k))] = true
+		}
+	}
+	selected := func(k string) bool { return len(want) == 0 || want[k] }
+
+	var artifacts []artifact
+
+	if selected("fig4") {
+		series, tables, err := figures.Fig4(scale)
+		if err != nil {
+			return err
+		}
+		artifacts = append(artifacts, artifact{name: "fig4", tables: tables, series: series})
+	}
+	if selected("fig5") {
+		series, table, err := figures.Fig5(scale)
+		if err != nil {
+			return err
+		}
+		artifacts = append(artifacts, artifact{name: "fig5", tables: []*report.Table{table}, series: series})
+	}
+	if selected("fig6") {
+		heavy, light, tables, err := figures.Fig6(scale)
+		if err != nil {
+			return err
+		}
+		artifacts = append(artifacts, artifact{name: "fig6", tables: tables, series: append(heavy, light...)})
+	}
+	if selected("fig7") {
+		heavy, light, tables, err := figures.Fig7(scale)
+		if err != nil {
+			return err
+		}
+		artifacts = append(artifacts, artifact{name: "fig7", tables: tables, series: append(heavy, light...)})
+	}
+	if selected("t1") {
+		series, table, err := figures.TabTuning(scale)
+		if err != nil {
+			return err
+		}
+		artifacts = append(artifacts, artifact{name: "t1-tuning", tables: []*report.Table{table}, series: series})
+	}
+	if selected("t2") {
+		_, table, err := figures.TabReduction(*cases, *seed)
+		if err != nil {
+			return err
+		}
+		artifacts = append(artifacts, artifact{name: "t2-reduction", tables: []*report.Table{table}})
+	}
+	if selected("t3") {
+		_, table, err := figures.TabTCPBaseline(scale)
+		if err != nil {
+			return err
+		}
+		artifacts = append(artifacts, artifact{name: "t3-tcp-baseline", tables: []*report.Table{table}})
+	}
+	if selected("t4") {
+		_, table, err := figures.TabOptimalityGap(*cases, *seed)
+		if err != nil {
+			return err
+		}
+		artifacts = append(artifacts, artifact{name: "t4-optimality-gap", tables: []*report.Table{table}})
+	}
+	if selected("t5") {
+		_, table, err := figures.TabOverlayEnforce(scale)
+		if err != nil {
+			return err
+		}
+		artifacts = append(artifacts, artifact{name: "t5-overlay-enforce", tables: []*report.Table{table}})
+	}
+	if selected("t6") {
+		_, table, err := figures.TabHotspot(scale)
+		if err != nil {
+			return err
+		}
+		artifacts = append(artifacts, artifact{name: "t6-hotspot", tables: []*report.Table{table}})
+	}
+	if selected("t7") {
+		_, table, err := figures.TabLongLived(*cases, *seed)
+		if err != nil {
+			return err
+		}
+		artifacts = append(artifacts, artifact{name: "t7-longlived", tables: []*report.Table{table}})
+	}
+	if selected("t8") {
+		_, table, err := figures.TabDistributed(scale)
+		if err != nil {
+			return err
+		}
+		artifacts = append(artifacts, artifact{name: "t8-distributed", tables: []*report.Table{table}})
+	}
+	if selected("t9") {
+		_, table, err := figures.TabBookAhead(scale)
+		if err != nil {
+			return err
+		}
+		artifacts = append(artifacts, artifact{name: "t9-bookahead", tables: []*report.Table{table}})
+	}
+	if selected("t10") {
+		_, table, err := figures.TabOrdering(scale)
+		if err != nil {
+			return err
+		}
+		artifacts = append(artifacts, artifact{name: "t10-ordering", tables: []*report.Table{table}})
+	}
+	if selected("t11") {
+		_, table, err := figures.TabHeterogeneity(scale)
+		if err != nil {
+			return err
+		}
+		artifacts = append(artifacts, artifact{name: "t11-heterogeneity", tables: []*report.Table{table}})
+	}
+	if selected("t12") {
+		_, table, err := figures.TabGenerationSensitivity(scale)
+		if err != nil {
+			return err
+		}
+		artifacts = append(artifacts, artifact{name: "t12-sensitivity", tables: []*report.Table{table}})
+	}
+	if selected("t13") {
+		_, table, err := figures.TabBurstiness(scale)
+		if err != nil {
+			return err
+		}
+		artifacts = append(artifacts, artifact{name: "t13-burstiness", tables: []*report.Table{table}})
+	}
+	if selected("t14") {
+		_, table, err := figures.TabResponseTime(scale)
+		if err != nil {
+			return err
+		}
+		artifacts = append(artifacts, artifact{name: "t14-response", tables: []*report.Table{table}})
+	}
+	if selected("t15") {
+		_, table, err := figures.TabTheoryCheck(scale)
+		if err != nil {
+			return err
+		}
+		artifacts = append(artifacts, artifact{name: "t15-theory", tables: []*report.Table{table}})
+	}
+	if len(artifacts) == 0 {
+		return fmt.Errorf("nothing selected by -only=%q", *only)
+	}
+
+	for _, a := range artifacts {
+		for _, t := range a.tables {
+			if err := t.Fprint(w); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		for _, a := range artifacts {
+			if err := writeArtifact(*outDir, a); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(w, "artifacts written to %s\n", *outDir)
+	}
+	return nil
+}
+
+func writeArtifact(dir string, a artifact) error {
+	txt, err := os.Create(filepath.Join(dir, a.name+".txt"))
+	if err != nil {
+		return err
+	}
+	defer txt.Close()
+	for i, t := range a.tables {
+		if err := t.Fprint(txt); err != nil {
+			return err
+		}
+		fmt.Fprintln(txt)
+		csvName := a.name + ".csv"
+		if len(a.tables) > 1 {
+			csvName = fmt.Sprintf("%s-%d.csv", a.name, i)
+		}
+		csv, err := os.Create(filepath.Join(dir, csvName))
+		if err != nil {
+			return err
+		}
+		if err := t.FprintCSV(csv); err != nil {
+			csv.Close()
+			return err
+		}
+		if err := csv.Close(); err != nil {
+			return err
+		}
+	}
+	if len(a.series) > 0 {
+		dat, err := os.Create(filepath.Join(dir, a.name+".dat"))
+		if err != nil {
+			return err
+		}
+		defer dat.Close()
+		if err := report.GnuplotData(dat, a.series, experiment.AcceptRateOf); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSubsetWithArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	err := run([]string{"-only", "t2,t4", "-cases", "4", "-seed", "3", "-out", dir}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Table T2") || !strings.Contains(out, "Table T4") {
+		t.Errorf("tables missing:\n%s", out)
+	}
+	for _, f := range []string{"t2-reduction.txt", "t2-reduction.csv", "t4-optimality-gap.txt", "t4-optimality-gap.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("artifact %s missing: %v", f, err)
+		}
+	}
+}
+
+func TestRunFigureWithGnuplot(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"-only", "t1", "-out", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "t1-tuning.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "# greedy") {
+		t.Errorf("gnuplot data malformed:\n%s", data)
+	}
+}
+
+func TestRunBadSelection(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-only", "nonexistent"}, &sb); err == nil {
+		t.Error("empty selection accepted")
+	}
+	if err := run([]string{"-bogus"}, &sb); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunFig4WithArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"-only", "fig4", "-out", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Figure 4 (left)") || !strings.Contains(out, "Figure 4 (right)") {
+		t.Errorf("panels missing:\n%s", out)
+	}
+	// Two tables share one artifact: indexed CSVs plus a gnuplot file.
+	for _, f := range []string{"fig4.txt", "fig4-0.csv", "fig4-1.csv", "fig4.dat"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("artifact %s missing: %v", f, err)
+		}
+	}
+}
+
+func TestRunExtensionTables(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-only", "t6,t7,t8,t9,t14", "-cases", "3"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table T6", "Table T7", "Table T8", "Table T9", "Table T14"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("%s missing", want)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Command gridsim runs one bandwidth-sharing scenario: it generates a
+// paper workload (§4.3 rigid or §5.3 flexible), schedules it with the
+// chosen heuristic, and prints the decisions and metrics.
+//
+// Examples:
+//
+//	gridsim -kind rigid -scheduler cumulated-slots -load 2
+//	gridsim -kind flexible -scheduler window:400:f=1 -arrival 0.5 -v
+//	gridsim -kind flexible -scheduler greedy:minbw -arrival 10 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"gridbw/internal/core"
+	"gridbw/internal/metrics"
+	"gridbw/internal/report"
+	"gridbw/internal/request"
+	"gridbw/internal/topology"
+	"gridbw/internal/trace"
+	"gridbw/internal/units"
+	"gridbw/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gridsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gridsim", flag.ContinueOnError)
+	kind := fs.String("kind", "flexible", "workload kind: rigid, rigid-duration, or flexible")
+	schedSpec := fs.String("scheduler", "window:400:f=1",
+		"scheduler spec, one of: "+strings.Join(core.SchedulerSpecs(), ", "))
+	load := fs.Float64("load", 0, "target offered load (rigid sweeps); overrides -arrival when > 0")
+	arrival := fs.Float64("arrival", 1, "mean inter-arrival time in seconds")
+	horizon := fs.Float64("horizon", 2000, "arrival horizon in seconds")
+	seed := fs.Int64("seed", 42, "workload seed")
+	guaranteeF := fs.Float64("f", 0, "tuning factor for the #guaranteed metric")
+	verbose := fs.Bool("v", false, "print per-request decisions")
+	saveWL := fs.String("save-workload", "", "write the generated workload as JSON to this path")
+	loadWL := fs.String("load-workload", "", "schedule a previously saved JSON workload instead of generating")
+	saveOut := fs.String("save-outcome", "", "write the scheduling outcome as JSON to this path")
+	ingressCaps := fs.String("ingress", "", "comma-separated ingress capacities (e.g. \"1GB/s,500MB/s\"); overrides the uniform platform")
+	egressCaps := fs.String("egress", "", "comma-separated egress capacities; required together with -ingress")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var cfg workload.Config
+	switch *kind {
+	case "rigid":
+		cfg = workload.Default(workload.Rigid)
+	case "flexible":
+		cfg = workload.Default(workload.Flexible)
+	case "rigid-duration":
+		cfg = workload.Default(workload.RigidDuration)
+	default:
+		return fmt.Errorf("unknown kind %q (want rigid, rigid-duration, or flexible)", *kind)
+	}
+	cfg.Horizon = units.Time(*horizon)
+	if *load > 0 {
+		cfg = cfg.WithLoad(*load)
+	} else {
+		cfg.MeanInterArrival = units.Time(*arrival)
+	}
+
+	// Optional heterogeneous platform: the workload is generated with
+	// matching point counts and scheduled on the custom capacities.
+	var custom *topology.Network
+	if (*ingressCaps == "") != (*egressCaps == "") {
+		return fmt.Errorf("-ingress and -egress must be given together")
+	}
+	if *ingressCaps != "" {
+		in, err := parseCapList(*ingressCaps)
+		if err != nil {
+			return err
+		}
+		eg, err := parseCapList(*egressCaps)
+		if err != nil {
+			return err
+		}
+		custom, err = topology.New(topology.Config{Ingress: in, Egress: eg})
+		if err != nil {
+			return err
+		}
+		cfg.NumIngress = custom.NumIngress()
+		cfg.NumEgress = custom.NumEgress()
+	}
+
+	scheduler, err := core.NewScheduler(*schedSpec)
+	if err != nil {
+		return err
+	}
+
+	var reqs *request.Set
+	var net *topology.Network
+	if *loadWL != "" {
+		f, err := os.Open(*loadWL)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		var loadedKind string
+		net, reqs, loadedKind, err = trace.LoadWorkload(f)
+		if err != nil {
+			return err
+		}
+		if loadedKind != "" {
+			*kind = loadedKind
+		}
+	} else {
+		reqs, err = cfg.Generate(*seed)
+		if err != nil {
+			return err
+		}
+		if custom != nil {
+			net = custom
+		} else {
+			net = cfg.Network()
+		}
+	}
+	if *saveWL != "" {
+		f, err := os.Create(*saveWL)
+		if err != nil {
+			return err
+		}
+		if err := trace.SaveWorkload(f, net, reqs, *kind); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
+	outcome, err := scheduler.Schedule(net, reqs)
+	if err != nil {
+		return err
+	}
+	if err := outcome.Verify(); err != nil {
+		return fmt.Errorf("outcome failed verification: %w", err)
+	}
+	if *saveOut != "" {
+		f, err := os.Create(*saveOut)
+		if err != nil {
+			return err
+		}
+		if err := trace.SaveOutcome(f, outcome); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(out, "platform: %v\n", net)
+	if *loadWL != "" {
+		fmt.Fprintf(out, "workload: %d %s requests (loaded from %s)\n", reqs.Len(), *kind, *loadWL)
+	} else {
+		fmt.Fprintf(out, "workload: %d %s requests, offered load %.2f (static %.2f), seed %d\n",
+			reqs.Len(), *kind, cfg.OfferedLoad(reqs), cfg.StaticLoad(reqs), *seed)
+	}
+	fmt.Fprintf(out, "scheduler: %s\n\n", scheduler.Name())
+
+	if *verbose {
+		t := &report.Table{Headers: []string{"req", "route", "volume", "window", "decision"}}
+		for _, d := range outcome.Decisions() {
+			r := reqs.Get(d.Request)
+			route := fmt.Sprintf("%d->%d", r.Ingress, r.Egress)
+			window := fmt.Sprintf("[%v,%v]", r.Start, r.Finish)
+			var verdict string
+			if d.Accepted {
+				verdict = fmt.Sprintf("ACCEPT %v @[%v,%v]", d.Grant.Bandwidth, d.Grant.Sigma, d.Grant.Tau)
+			} else {
+				verdict = "reject: " + d.Reason
+			}
+			t.AddRow(fmt.Sprintf("%d", d.Request), route, r.Volume.String(), window, verdict)
+		}
+		if err := t.Fprint(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+
+	m := metrics.Evaluate(outcome, *guaranteeF)
+	t := &report.Table{Title: "Metrics", Headers: []string{"metric", "value"}}
+	t.AddRow("requests", fmt.Sprintf("%d", m.Requests))
+	t.AddRow("accepted", fmt.Sprintf("%d", m.Accepted))
+	t.AddRow("accept rate", fmt.Sprintf("%.3f", m.AcceptRate))
+	t.AddRow("RESOURCE-UTIL", fmt.Sprintf("%.3f", m.ResourceUtil))
+	t.AddRow("time-integrated utilization", fmt.Sprintf("%.3f", m.TimeUtil))
+	t.AddRow(fmt.Sprintf("guaranteed rate (f=%g)", *guaranteeF), fmt.Sprintf("%.3f", m.GuaranteedRate))
+	t.AddRow("mean granted rate", m.MeanGrantedRate.String())
+	t.AddRow("mean stretch", fmt.Sprintf("%.2f", m.MeanStretch))
+	return t.Fprint(out)
+}
+
+// parseCapList parses "1GB/s,500MB/s" into capacities.
+func parseCapList(s string) ([]units.Bandwidth, error) {
+	var out []units.Bandwidth
+	for _, part := range strings.Split(s, ",") {
+		bw, err := units.ParseBandwidth(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, bw)
+	}
+	return out, nil
+}

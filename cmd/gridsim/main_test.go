@@ -1,0 +1,136 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRigid(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-kind", "rigid", "-scheduler", "cumulated-slots", "-load", "2", "-horizon", "200"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"cumulated-slots", "accept rate", "RESOURCE-UTIL", "rigid requests"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFlexibleVerbose(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-kind", "flexible", "-scheduler", "greedy:f=0.8", "-arrival", "5",
+		"-horizon", "100", "-f", "0.8", "-v"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "ACCEPT") {
+		t.Errorf("verbose output lacks decisions:\n%s", out)
+	}
+	if !strings.Contains(out, "guaranteed rate (f=0.8)") {
+		t.Errorf("guaranteed metric missing:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-kind", "bogus"}, &sb); err == nil {
+		t.Error("bogus kind accepted")
+	}
+	if err := run([]string{"-scheduler", "bogus"}, &sb); err == nil {
+		t.Error("bogus scheduler accepted")
+	}
+	// Rigid scheduler on flexible workload must error cleanly.
+	if err := run([]string{"-kind", "flexible", "-scheduler", "fcfs", "-horizon", "50"}, &sb); err == nil {
+		t.Error("rigid scheduler on flexible workload accepted")
+	}
+	if err := run([]string{"-horizon", "0"}, &sb); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if err := run([]string{"-not-a-flag"}, &sb); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunTraceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	wl := dir + "/workload.json"
+	oc := dir + "/outcome.json"
+	var sb strings.Builder
+	err := run([]string{"-kind", "flexible", "-scheduler", "greedy:minbw",
+		"-arrival", "5", "-horizon", "60", "-save-workload", wl, "-save-outcome", oc}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstOut := sb.String()
+
+	// Re-run from the saved workload: identical platform and request count.
+	var sb2 strings.Builder
+	err = run([]string{"-scheduler", "greedy:minbw", "-load-workload", wl}, &sb2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb2.String(), "loaded from") {
+		t.Errorf("second run did not load: %s", sb2.String())
+	}
+	// Both runs must report the same accepted count.
+	extract := func(s string) string {
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, "accepted") {
+				return line
+			}
+		}
+		return ""
+	}
+	if extract(firstOut) == "" || extract(firstOut) != extract(sb2.String()) {
+		t.Errorf("accepted lines differ:\n%q\n%q", extract(firstOut), extract(sb2.String()))
+	}
+}
+
+func TestRunLoadMissingFile(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-load-workload", "/nonexistent/x.json"}, &sb); err == nil {
+		t.Error("missing workload file accepted")
+	}
+}
+
+func TestRunHeterogeneousPlatform(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-kind", "flexible", "-scheduler", "greedy:f=1",
+		"-arrival", "5", "-horizon", "100",
+		"-ingress", "1GB/s,2GB/s", "-egress", "1GB/s,1GB/s,500MB/s"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "2 in x 3 eg") {
+		t.Errorf("custom platform not used:\n%s", sb.String())
+	}
+}
+
+func TestRunHeterogeneousErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-ingress", "1GB/s"}, &sb); err == nil {
+		t.Error("lone -ingress accepted")
+	}
+	if err := run([]string{"-ingress", "fast", "-egress", "1GB/s"}, &sb); err == nil {
+		t.Error("bad capacity accepted")
+	}
+	if err := run([]string{"-ingress", "1GB/s", "-egress", "junk"}, &sb); err == nil {
+		t.Error("bad egress capacity accepted")
+	}
+}
+
+func TestRunRigidDurationKind(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-kind", "rigid-duration", "-scheduler", "minbw-slots",
+		"-load", "2", "-horizon", "150"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "rigid-duration requests") {
+		t.Errorf("kind not reflected:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunConsistent(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-n", "3", "-cases", "6", "-seed", "2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "all 6 cases consistent with Theorem 1") {
+		t.Errorf("output:\n%s", out)
+	}
+	if !strings.Contains(out, "round-trip") {
+		t.Error("round-trip column missing")
+	}
+}
+
+func TestRunPlanted(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-n", "2", "-cases", "4", "-planted"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "false") {
+		t.Errorf("planted run found no matching:\n%s", sb.String())
+	}
+}
+
+func TestRunBadArgs(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-n", "0"}, &sb); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if err := run([]string{"-cases", "0"}, &sb); err == nil {
+		t.Error("cases=0 accepted")
+	}
+	if err := run([]string{"-bogus"}, &sb); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

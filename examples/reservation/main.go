@@ -1,0 +1,111 @@
+// Reservation: the §5.4 control plane end to end.
+//
+// A client asks its grid access router for a bulk-transfer reservation;
+// the router consults the egress side over the overlay, decides locally,
+// and answers with a scheduled window and allocated rate. The grant is
+// then enforced at the network edge by a token bucket: a compliant sender
+// is untouched while a sender exceeding its allocation sees its excess
+// dropped before it can hurt other reserved flows.
+//
+// Run with: go run ./examples/reservation
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"gridbw/internal/overlay"
+	"gridbw/internal/policy"
+	"gridbw/internal/report"
+	"gridbw/internal/tokenbucket"
+	"gridbw/internal/units"
+	"gridbw/internal/workload"
+)
+
+func main() {
+	// A moderately busy §5.3 workload over the paper platform.
+	cfg := workload.Default(workload.Flexible)
+	cfg.MeanInterArrival = 2
+	cfg.Horizon = 600
+	reqs, err := cfg.Generate(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep, err := overlay.Run(cfg.Network(), reqs, overlay.Config{
+		ClientRouterDelay: 0.005, // 5 ms to the access router
+		RouterRouterDelay: 0.010, // 10 ms across the overlay mesh
+		Policy:            policy.FractionMaxRate(1),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rep.Outcome.Verify(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("control plane: %d reservation requests, %d simulator events\n",
+		len(rep.Reservations), rep.EventsFired)
+	fmt.Printf("accept rate %.2f, mean reservation RTT %v, RTT/transfer ratio %.2e\n\n",
+		rep.AcceptRate(), rep.MeanRTT(), rep.MeanOverheadRatio())
+
+	// Show the first few reservation traces.
+	t := &report.Table{
+		Title:   "First reservations",
+		Headers: []string{"req", "submitted", "decided", "replied", "outcome"},
+	}
+	for _, r := range rep.Reservations[:6] {
+		outcome := "reject: " + r.Reason
+		if r.Accepted {
+			outcome = fmt.Sprintf("grant %v until %v", r.Grant.Bandwidth, r.Grant.Tau)
+		}
+		t.AddRow(fmt.Sprintf("%d", r.Request), r.SubmittedAt.String(),
+			r.DecidedAt.String(), r.RepliedAt.String(), outcome)
+	}
+	if err := t.Fprint(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Enforcement: pick the first accepted grant and shape traffic
+	// against it — once as a compliant sender, once as a cheater sending
+	// at twice the allocation.
+	var granted units.Bandwidth
+	for _, r := range rep.Reservations {
+		if r.Accepted {
+			granted = r.Grant.Bandwidth
+			break
+		}
+	}
+	if granted == 0 {
+		log.Fatal("no reservation accepted")
+	}
+	burst := granted.For(1 * units.Second) // one second of tokens
+	chunk := 10 * units.MB
+
+	good, err := tokenbucket.Shape(tokenbucket.NewBucket(granted, burst, 0), 0, 300, granted, chunk)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cheat, err := tokenbucket.Shape(tokenbucket.NewBucket(granted, burst, 0), 0, 300, 2*granted, chunk)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	e := &report.Table{
+		Title:   fmt.Sprintf("Edge enforcement of a %v grant (token bucket, 1 s burst)", granted),
+		Headers: []string{"sender", "offered", "delivered", "dropped", "drop events"},
+	}
+	e.AddRow("compliant", good.Offered.String(), good.Delivered.String(),
+		good.Dropped.String(), fmt.Sprintf("%d", good.DropEvents))
+	e.AddRow("cheating (2x)", cheat.Offered.String(), cheat.Delivered.String(),
+		cheat.Dropped.String(), fmt.Sprintf("%d", cheat.DropEvents))
+	if err := e.Fprint(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println("Reading: reservation signalling costs ~30 ms against transfers lasting")
+	fmt.Println("minutes to hours, and the token bucket confines a misbehaving flow to")
+	fmt.Println("its allocation, protecting every other reservation (§5.4).")
+}

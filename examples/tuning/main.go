@@ -1,0 +1,79 @@
+// Tuning: sweep the §2.3 tuning factor f and print the trade-off curve.
+//
+// The grid operator's knob: f=0 grants every accepted transfer only the
+// minimum rate its window requires (most acceptances, slowest transfers);
+// f=1 grants full host rate (fewer acceptances, fastest transfers, and
+// every acceptance is a hard speed guarantee). The paper observes the
+// accept-rate penalty is roughly linear in (1−f) when the network is
+// underloaded — this example regenerates that curve on a single workload
+// so the numbers are easy to inspect.
+//
+// Run with: go run ./examples/tuning [-arrival 10] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"gridbw/internal/metrics"
+	"gridbw/internal/policy"
+	"gridbw/internal/report"
+	"gridbw/internal/sched/flexible"
+	"gridbw/internal/units"
+	"gridbw/internal/workload"
+)
+
+func main() {
+	arrival := flag.Float64("arrival", 10, "mean inter-arrival time in seconds (10 = underloaded)")
+	seed := flag.Int64("seed", 42, "workload seed")
+	flag.Parse()
+
+	cfg := workload.Default(workload.Flexible)
+	cfg.MeanInterArrival = units.Time(*arrival)
+	cfg.Horizon = 2000
+	reqs, err := cfg.Generate(*seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := cfg.Network()
+	fmt.Printf("workload: %d flexible requests, offered load %.2f\n\n", reqs.Len(), cfg.OfferedLoad(reqs))
+
+	t := &report.Table{
+		Title:   "Tuning factor sweep, WINDOW(400)",
+		Headers: []string{"f", "accept rate", "guaranteed rate", "mean granted rate", "mean stretch"},
+	}
+	var base float64
+	for _, f := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0} {
+		s := flexible.Window{Policy: policy.FractionMaxRate(f), Step: 400}
+		out, err := s.Schedule(net, reqs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := out.Verify(); err != nil {
+			log.Fatal(err)
+		}
+		m := metrics.Evaluate(out, f)
+		if f == 0 {
+			base = m.AcceptRate
+		}
+		t.AddRow(
+			fmt.Sprintf("%.1f", f),
+			fmt.Sprintf("%.3f", m.AcceptRate),
+			fmt.Sprintf("%.3f", m.GuaranteedRate),
+			m.MeanGrantedRate.String(),
+			fmt.Sprintf("%.2f", m.MeanStretch),
+		)
+		_ = base
+	}
+	if err := t.Fprint(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Println("Reading: as f rises the mean granted rate climbs toward the host caps")
+	fmt.Println("and the stretch falls toward 1, while the accept rate pays a penalty")
+	fmt.Println("that is roughly linear in (1-f)'s complement — the operator picks the")
+	fmt.Println("point matching the infrastructure's workload (§5.3).")
+}

@@ -1,0 +1,3 @@
+module gridbw
+
+go 1.22

@@ -1,0 +1,328 @@
+package gridbw
+
+// Cross-package integration tests: these exercise whole pipelines the way
+// a downstream user would — generate a workload, schedule it through the
+// public registry, verify, measure, serialize, reload — and pin the
+// cross-implementation equivalences (centralized vs overlay vs
+// distributed admission) that individual package tests cannot see.
+
+import (
+	"bytes"
+	"testing"
+
+	"gridbw/internal/core"
+	"gridbw/internal/distributed"
+	"gridbw/internal/exact"
+	"gridbw/internal/hotspot"
+	"gridbw/internal/metrics"
+	"gridbw/internal/overlay"
+	"gridbw/internal/policy"
+	"gridbw/internal/request"
+	"gridbw/internal/rng"
+	"gridbw/internal/threedm"
+	"gridbw/internal/topology"
+	"gridbw/internal/trace"
+	"gridbw/internal/units"
+	"gridbw/internal/workload"
+)
+
+// TestEndToEndRegistryPipeline runs every public scheduler spec over its
+// matching workload and pushes the result through metrics, hot-spot
+// analysis and the trace round trip.
+func TestEndToEndRegistryPipeline(t *testing.T) {
+	rigidCfg := workload.Default(workload.Rigid)
+	rigidCfg.Horizon = 300
+	flexCfg := workload.Default(workload.Flexible)
+	flexCfg.Horizon = 300
+
+	cases := []struct {
+		spec string
+		cfg  workload.Config
+	}{
+		{"fcfs", rigidCfg},
+		{"cumulated-slots", rigidCfg},
+		{"minbw-slots", rigidCfg},
+		{"minvol-slots", rigidCfg},
+		{"greedy:minbw", flexCfg},
+		{"greedy:f=0.8", flexCfg},
+		{"window:100:f=1", flexCfg},
+		{"window-retry:100:f=1", flexCfg},
+	}
+	for _, tc := range cases {
+		t.Run(tc.spec, func(t *testing.T) {
+			s, err := core.NewScheduler(tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reqs, err := tc.cfg.Generate(17)
+			if err != nil {
+				t.Fatal(err)
+			}
+			net := tc.cfg.Network()
+			out, err := s.Schedule(net, reqs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := out.Verify(); err != nil {
+				t.Fatalf("infeasible: %v", err)
+			}
+
+			m := metrics.Evaluate(out, 0.8)
+			if m.Requests != reqs.Len() || m.AcceptRate < 0 || m.AcceptRate > 1 {
+				t.Fatalf("metrics = %+v", m)
+			}
+
+			rep := hotspot.Analyze(out)
+			if got := len(rep.Ingress) + len(rep.Egress); got != 20 {
+				t.Fatalf("hotspot points = %d", got)
+			}
+			if rep.Imbalance < 0 || rep.Imbalance > 1 {
+				t.Fatalf("imbalance = %v", rep.Imbalance)
+			}
+
+			// Trace round trip preserves the decisions bit-exactly enough
+			// to re-verify.
+			var wbuf, obuf bytes.Buffer
+			if err := trace.SaveWorkload(&wbuf, net, reqs, "it"); err != nil {
+				t.Fatal(err)
+			}
+			if err := trace.SaveOutcome(&obuf, out); err != nil {
+				t.Fatal(err)
+			}
+			net2, reqs2, _, err := trace.LoadWorkload(&wbuf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out2, err := trace.LoadOutcome(&obuf, net2, reqs2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out2.AcceptedCount() != out.AcceptedCount() {
+				t.Fatalf("round trip changed accepts: %d vs %d",
+					out2.AcceptedCount(), out.AcceptedCount())
+			}
+		})
+	}
+}
+
+// TestThreeAdmissionPlanesAgree: the §5 greedy scheduler, the §5.4
+// overlay control plane with zero latency, and the distributed protocol
+// with read-through state and zero delay are three implementations of the
+// same admission discipline — they must accept identical request sets.
+func TestThreeAdmissionPlanesAgree(t *testing.T) {
+	cfg := workload.Default(workload.Flexible)
+	cfg.Horizon = 500
+	reqs, err := cfg.Generate(23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := cfg.Network()
+	p := policy.FractionMaxRate(1)
+
+	gs, err := core.NewScheduler("greedy:f=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := gs.Schedule(net, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov, err := overlay.Run(net, reqs, overlay.Config{Policy: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := distributed.Run(net, reqs, distributed.Config{Policy: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < reqs.Len(); i++ {
+		id := reqs.All()[i].ID
+		g := greedy.Decision(id).Accepted
+		o := ov.Outcome.Decision(id).Accepted
+		d := dist.Outcome.Decision(id).Accepted
+		if g != o || g != d {
+			t.Fatalf("request %d: greedy=%v overlay=%v distributed=%v", id, g, o, d)
+		}
+	}
+}
+
+// TestNPCompletenessPipeline drives the Theorem-1 machinery end to end on
+// a planted instance: matching → forward schedule at exactly K → exact
+// solver confirms → matching extracted back.
+func TestNPCompletenessPipeline(t *testing.T) {
+	inst := threedm.RandomPlanted(3, 4, 99)
+	sel, ok := inst.BruteForce()
+	if !ok {
+		t.Fatal("planted matching missing")
+	}
+	red, err := threedm.Reduce(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd, err := red.ScheduleFromMatching(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := exact.VerifyUnit(red.Unit, fwd); err != nil || n != red.K {
+		t.Fatalf("forward schedule: n=%d err=%v", n, err)
+	}
+	opt, assign, err := exact.MaxUnit(red.Unit, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != red.K {
+		t.Fatalf("optimum %d != K %d on planted instance", opt, red.K)
+	}
+	back, err := red.ExtractMatching(assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst.IsMatching(back) {
+		t.Fatal("extracted selection is not a matching")
+	}
+}
+
+// TestSystemLongRunningSession drives the on-line System through a long
+// random session, asserting the utilization invariant at every step.
+func TestSystemLongRunningSession(t *testing.T) {
+	sys, err := core.NewSystem(core.Config{
+		Ingress: []units.Bandwidth{1 * units.GBps, 500 * units.MBps, 2 * units.GBps},
+		Egress:  []units.Bandwidth{1 * units.GBps, 1 * units.GBps, 250 * units.MBps},
+		Policy:  "f=0.8",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(31)
+	now := units.Time(0)
+	for step := 0; step < 2000; step++ {
+		now += units.Time(src.Uniform(0, 10))
+		if err := sys.AdvanceTo(now); err != nil {
+			t.Fatal(err)
+		}
+		vol := units.Volume(src.Intn(200)+1) * units.GB
+		rate := units.Bandwidth(src.Intn(900)+100) * units.MBps
+		dur := vol.Over(rate) * units.Time(src.Uniform(1.1, 4))
+		_, err := sys.Submit(core.Transfer{
+			From: src.Intn(3), To: src.Intn(3),
+			Volume: vol, Deadline: now + dur, MaxRate: rate,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if u := sys.UtilizationIn(i); u < 0 || u > 1+1e-9 {
+				t.Fatalf("step %d: ingress %d utilization %v", step, i, u)
+			}
+			if u := sys.UtilizationOut(i); u < 0 || u > 1+1e-9 {
+				t.Fatalf("step %d: egress %d utilization %v", step, i, u)
+			}
+		}
+	}
+	sub, acc, rate := sys.Stats()
+	if sub != 2000 || acc == 0 || acc > sub || rate <= 0 {
+		t.Fatalf("stats = %d, %d, %v", sub, acc, rate)
+	}
+	t.Logf("session: %d submitted, %d accepted (%.1f%%)", sub, acc, 100*rate)
+}
+
+// --- metamorphic properties --------------------------------------------
+
+// transformWorkload applies value scaling and a time shift to a request
+// set, returning the transformed copy.
+func transformWorkload(t *testing.T, reqs []request.Request, volScale, rateScale float64, shift units.Time) *request.Set {
+	t.Helper()
+	out := make([]request.Request, len(reqs))
+	for i, r := range reqs {
+		out[i] = request.Request{
+			ID:      r.ID,
+			Ingress: r.Ingress,
+			Egress:  r.Egress,
+			Start:   r.Start + shift,
+			Finish:  r.Finish + shift,
+			Volume:  units.Volume(float64(r.Volume) * volScale),
+			MaxRate: units.Bandwidth(float64(r.MaxRate) * rateScale),
+		}
+	}
+	set, err := request.NewSet(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// TestMetamorphicScaleInvariance: multiplying every capacity, volume and
+// rate by the same constant must not change any accept/reject decision —
+// the schedulers are unit-free. Catches lost or doubled unit conversions.
+func TestMetamorphicScaleInvariance(t *testing.T) {
+	cfg := workload.Default(workload.Flexible)
+	cfg.Horizon = 300
+	reqs, err := cfg.Generate(41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 3.25
+	net := cfg.Network()
+	scaledNet := topology.Uniform(cfg.NumIngress, cfg.NumEgress,
+		units.Bandwidth(float64(cfg.PointCapacity)*k))
+	scaledSet := transformWorkload(t, reqs.All(), k, k, 0)
+
+	for _, spec := range []string{"greedy:f=1", "greedy:minbw", "window:100:f=0.8"} {
+		s, err := core.NewScheduler(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := s.Schedule(net, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scaled, err := s.Schedule(scaledNet, scaledSet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < reqs.Len(); i++ {
+			id := reqs.All()[i].ID
+			if base.Decision(id).Accepted != scaled.Decision(id).Accepted {
+				t.Fatalf("%s: request %d decision changed under uniform scaling", spec, id)
+			}
+		}
+	}
+}
+
+// TestMetamorphicTimeShiftInvariance: shifting every window by a constant
+// must not change decisions (all heuristics are relative-time).
+func TestMetamorphicTimeShiftInvariance(t *testing.T) {
+	cfg := workload.Default(workload.Rigid)
+	cfg.Horizon = 300
+	reqs, err := cfg.Generate(43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := cfg.Network()
+	shifted := transformWorkload(t, reqs.All(), 1, 1, 5000)
+
+	for _, spec := range []string{"fcfs", "cumulated-slots", "minbw-slots", "minvol-slots"} {
+		s, err := core.NewScheduler(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := s.Schedule(net, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved, err := s.Schedule(net, shifted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base.AcceptedCount() != moved.AcceptedCount() {
+			t.Fatalf("%s: accepted %d vs %d after time shift", spec,
+				base.AcceptedCount(), moved.AcceptedCount())
+		}
+		for i := 0; i < reqs.Len(); i++ {
+			id := reqs.All()[i].ID
+			if base.Decision(id).Accepted != moved.Decision(id).Accepted {
+				t.Fatalf("%s: request %d decision changed under time shift", spec, id)
+			}
+		}
+	}
+}

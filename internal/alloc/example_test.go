@@ -1,0 +1,28 @@
+package alloc_test
+
+import (
+	"fmt"
+	"log"
+
+	"gridbw/internal/alloc"
+	"gridbw/internal/units"
+)
+
+// ExampleProfile shows the piecewise-constant capacity ledger underneath
+// every off-line scheduler: reservations over time windows, rejection at
+// capacity, and gap search for book-ahead.
+func ExampleProfile() {
+	p := alloc.NewProfile(1 * units.GBps)
+	if err := p.Reserve(0, 100, 700*units.MBps); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("overlap fits:", p.Fits(50, 150, 400*units.MBps))
+	fmt.Println("tail fits:", p.Fits(100, 200, 400*units.MBps))
+
+	start, ok := p.EarliestFit(0, 1000, 50, 400*units.MBps)
+	fmt.Printf("earliest 400MB/s slot: t=%v (found=%v)\n", start, ok)
+	// Output:
+	// overlap fits: false
+	// tail fits: true
+	// earliest 400MB/s slot: t=1m40s (found=true)
+}

@@ -1,0 +1,294 @@
+// Package alloc tracks bandwidth allocations at the overlay access points.
+//
+// Each access point gets a Profile: a piecewise-constant usage function of
+// simulated time. Schedulers reserve [t0, t1) × bw rectangles and the
+// profile enforces the capacity constraint of the paper's equation (1):
+// at every instant the sum of allocated bandwidths stays within the
+// point's capacity. A Ledger bundles the profiles of an entire network and
+// performs the two-sided (ingress + egress) reservation of a grant
+// atomically — if the egress side rejects, the ingress side is rolled
+// back.
+//
+// Off-line heuristics (the Algorithm-1 slot family) need the full time
+// dimension; on-line heuristics (Algorithms 2 and 3) only need the
+// current instant, for which the profile degenerates to a counter. Both
+// use this package so capacity arithmetic and its tolerance rules live in
+// one place.
+package alloc
+
+import (
+	"fmt"
+
+	"gridbw/internal/units"
+)
+
+// Profile is the piecewise-constant bandwidth usage of one access point.
+// The zero value is unusable; use NewProfile.
+type Profile struct {
+	capacity units.Bandwidth
+	// times is sorted and starts the segment list: usage[i] holds on
+	// [times[i], times[i+1]), and usage[len-1] holds on
+	// [times[len-1], +inf). An empty profile has one implicit segment
+	// of zero usage on (-inf, +inf); we materialize it lazily.
+	times []units.Time
+	usage []units.Bandwidth
+}
+
+// NewProfile returns an empty profile for a point with the given capacity.
+func NewProfile(capacity units.Bandwidth) *Profile {
+	if capacity < 0 {
+		panic(fmt.Sprintf("alloc: negative capacity %v", capacity))
+	}
+	return &Profile{
+		capacity: capacity,
+		times:    []units.Time{0},
+		usage:    []units.Bandwidth{0},
+	}
+}
+
+// Capacity reports the point's capacity.
+func (p *Profile) Capacity() units.Bandwidth { return p.capacity }
+
+// locate returns the segment index covering time t. Times before the first
+// breakpoint map to segment 0 (usage there is always 0 for t < 0 workloads
+// because reservations create their own breakpoints).
+func (p *Profile) locate(t units.Time) int {
+	lo, hi := 0, len(p.times)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.times[mid] <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return lo - 1
+}
+
+// split ensures a breakpoint exists exactly at t and returns its index.
+func (p *Profile) split(t units.Time) int {
+	i := p.locate(t)
+	if p.times[i] == t {
+		return i
+	}
+	if t < p.times[0] {
+		// Prepend a zero-usage segment starting at t.
+		p.times = append([]units.Time{t}, p.times...)
+		p.usage = append([]units.Bandwidth{0}, p.usage...)
+		return 0
+	}
+	// Insert after i, copying usage (the segment is split, value unchanged).
+	p.times = append(p.times, 0)
+	copy(p.times[i+2:], p.times[i+1:])
+	p.times[i+1] = t
+	p.usage = append(p.usage, 0)
+	copy(p.usage[i+2:], p.usage[i+1:])
+	p.usage[i+1] = p.usage[i]
+	return i + 1
+}
+
+// validSpan panics on degenerate spans; all public span methods share it.
+func validSpan(t0, t1 units.Time) {
+	if t1 <= t0 {
+		panic(fmt.Sprintf("alloc: empty span [%v, %v)", t0, t1))
+	}
+}
+
+// MaxUsedIn reports the maximum usage over [t0, t1).
+func (p *Profile) MaxUsedIn(t0, t1 units.Time) units.Bandwidth {
+	validSpan(t0, t1)
+	var max units.Bandwidth
+	i := p.locate(t0)
+	for ; i < len(p.times); i++ {
+		if p.times[i] >= t1 {
+			break
+		}
+		segEnd := units.Time(0)
+		if i+1 < len(p.times) {
+			segEnd = p.times[i+1]
+		}
+		// Skip segments entirely before t0 (only possible for i == locate(t0)
+		// when t0 predates all breakpoints — usage there is 0 anyway).
+		if i+1 < len(p.times) && segEnd <= t0 {
+			continue
+		}
+		if p.usage[i] > max {
+			max = p.usage[i]
+		}
+	}
+	return max
+}
+
+// UsedAt reports the usage at instant t.
+func (p *Profile) UsedAt(t units.Time) units.Bandwidth {
+	i := p.locate(t)
+	if t < p.times[0] {
+		return 0
+	}
+	return p.usage[i]
+}
+
+// FreeIn reports the minimum free capacity over [t0, t1).
+func (p *Profile) FreeIn(t0, t1 units.Time) units.Bandwidth {
+	free := p.capacity - p.MaxUsedIn(t0, t1)
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// Fits reports whether an additional bw over [t0, t1) stays within
+// capacity (with the package-wide tolerance).
+func (p *Profile) Fits(t0, t1 units.Time, bw units.Bandwidth) bool {
+	if bw < 0 {
+		panic(fmt.Sprintf("alloc: negative reservation %v", bw))
+	}
+	return units.FitsWithin(p.MaxUsedIn(t0, t1), bw, p.capacity)
+}
+
+// Reserve adds bw over [t0, t1). It returns an error (and changes nothing)
+// if the reservation would exceed capacity.
+func (p *Profile) Reserve(t0, t1 units.Time, bw units.Bandwidth) error {
+	validSpan(t0, t1)
+	if !p.Fits(t0, t1, bw) {
+		return fmt.Errorf("alloc: reserving %v on [%v, %v) exceeds capacity %v (used %v)",
+			bw, t0, t1, p.capacity, p.MaxUsedIn(t0, t1))
+	}
+	p.add(t0, t1, bw)
+	return nil
+}
+
+// Release subtracts bw over [t0, t1). Releasing more than is allocated is
+// a scheduler bug and panics.
+func (p *Profile) Release(t0, t1 units.Time, bw units.Bandwidth) {
+	validSpan(t0, t1)
+	if bw < 0 {
+		panic(fmt.Sprintf("alloc: negative release %v", bw))
+	}
+	p.add(t0, t1, -bw)
+}
+
+func (p *Profile) add(t0, t1 units.Time, bw units.Bandwidth) {
+	i0 := p.split(t0)
+	i1 := p.split(t1)
+	for i := i0; i < i1; i++ {
+		u := p.usage[i] + bw
+		if u < 0 {
+			if u < -units.Bandwidth(units.Eps)*max(p.capacity, 1) {
+				panic(fmt.Sprintf("alloc: release drives usage negative (%v) on segment %d", u, i))
+			}
+			u = 0
+		}
+		p.usage[i] = u
+	}
+	p.coalesce()
+}
+
+// coalesce merges adjacent segments with equal usage to keep the profile
+// compact under long reserve/release sequences.
+func (p *Profile) coalesce() {
+	w := 0
+	for i := 0; i < len(p.times); i++ {
+		if w > 0 && p.usage[i] == p.usage[w-1] {
+			continue
+		}
+		p.times[w] = p.times[i]
+		p.usage[w] = p.usage[i]
+		w++
+	}
+	p.times = p.times[:w]
+	p.usage = p.usage[:w]
+}
+
+// Integral reports ∫ usage dt over [t0, t1) — allocated volume, used by
+// the utilization metrics.
+func (p *Profile) Integral(t0, t1 units.Time) units.Volume {
+	validSpan(t0, t1)
+	var total units.Volume
+	for i := 0; i < len(p.times); i++ {
+		segStart := p.times[i]
+		segEnd := t1
+		if i+1 < len(p.times) && p.times[i+1] < t1 {
+			segEnd = p.times[i+1]
+		}
+		if segStart < t0 {
+			segStart = t0
+		}
+		if segEnd <= segStart {
+			continue
+		}
+		if segStart >= t1 {
+			break
+		}
+		total += p.usage[i].For(segEnd - segStart)
+	}
+	return total
+}
+
+// Breakpoints reports the number of internal segments; exported for tests
+// and capacity planning of long simulations.
+func (p *Profile) Breakpoints() int { return len(p.times) }
+
+// BreakpointTimes returns the instants at which usage changes, restricted
+// to [from, to]. Used by the book-ahead planner to enumerate candidate
+// start times: free capacity is piecewise constant, so the earliest
+// feasible start is either `from` or one of these.
+func (p *Profile) BreakpointTimes(from, to units.Time) []units.Time {
+	var out []units.Time
+	for _, t := range p.times {
+		if t > from && t <= to {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// EarliestFit reports the earliest start t in [from, latest] such that an
+// additional bw over [t, t+dur) fits, and whether one exists.
+func (p *Profile) EarliestFit(from, latest units.Time, dur units.Time, bw units.Bandwidth) (units.Time, bool) {
+	if dur <= 0 {
+		panic(fmt.Sprintf("alloc: non-positive duration %v", dur))
+	}
+	if latest < from {
+		return 0, false
+	}
+	if p.Fits(from, from+dur, bw) {
+		return from, true
+	}
+	for _, t := range p.BreakpointTimes(from, latest) {
+		if p.Fits(t, t+dur, bw) {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+// CheckInvariant verifies the profile never exceeds capacity (beyond
+// tolerance) and is internally sorted. It is used by property tests and
+// the ledger's audit mode.
+func (p *Profile) CheckInvariant() error {
+	for i := 1; i < len(p.times); i++ {
+		if p.times[i] <= p.times[i-1] {
+			return fmt.Errorf("alloc: breakpoints unsorted at %d", i)
+		}
+	}
+	for i, u := range p.usage {
+		if u < 0 {
+			return fmt.Errorf("alloc: negative usage %v at segment %d", u, i)
+		}
+		if !units.FitsWithin(u, 0, p.capacity) {
+			return fmt.Errorf("alloc: usage %v exceeds capacity %v at segment %d", u, p.capacity, i)
+		}
+	}
+	return nil
+}
+
+func max(a, b units.Bandwidth) units.Bandwidth {
+	if a > b {
+		return a
+	}
+	return b
+}

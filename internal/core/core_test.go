@@ -1,0 +1,213 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"gridbw/internal/request"
+	"gridbw/internal/units"
+	"gridbw/internal/workload"
+)
+
+func newSys(t *testing.T, pol string) *System {
+	t.Helper()
+	sys, err := NewSystem(Config{
+		Ingress: []units.Bandwidth{1 * units.GBps, 1 * units.GBps},
+		Egress:  []units.Bandwidth{1 * units.GBps, 1 * units.GBps},
+		Policy:  pol,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(Config{}); err == nil {
+		t.Error("empty platform accepted")
+	}
+	if _, err := NewSystem(Config{
+		Ingress: []units.Bandwidth{1}, Egress: []units.Bandwidth{1}, Policy: "bogus",
+	}); err == nil {
+		t.Error("bogus policy accepted")
+	}
+	sys := newSys(t, "") // default policy
+	if sys.Network().NumIngress() != 2 {
+		t.Error("network not built")
+	}
+}
+
+func TestSubmitLifecycle(t *testing.T) {
+	sys := newSys(t, "f=1")
+	d, err := sys.Submit(Transfer{From: 0, To: 1, Volume: 100 * units.GB, Deadline: 1000, MaxRate: 1 * units.GBps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Accepted {
+		t.Fatalf("rejected: %s", d.Reason)
+	}
+	if d.Rate != 1*units.GBps || d.Start != 0 || !units.ApproxEq(float64(d.Finish), 100) {
+		t.Errorf("decision = %+v", d)
+	}
+	if got := sys.UtilizationIn(0); !units.ApproxEq(got, 1.0) {
+		t.Errorf("ingress 0 util = %v", got)
+	}
+	if got := sys.UtilizationOut(1); !units.ApproxEq(got, 1.0) {
+		t.Errorf("egress 1 util = %v", got)
+	}
+
+	// Same pair is saturated.
+	d2, err := sys.Submit(Transfer{From: 0, To: 0, Volume: 10 * units.GB, Deadline: 1000, MaxRate: 500 * units.MBps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Accepted {
+		t.Error("over-capacity transfer accepted")
+	}
+	if !strings.Contains(d2.Reason, "capacity") {
+		t.Errorf("reason = %q", d2.Reason)
+	}
+
+	// Other pair is free.
+	d3, err := sys.Submit(Transfer{From: 1, To: 0, Volume: 10 * units.GB, Deadline: 1000, MaxRate: 500 * units.MBps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d3.Accepted {
+		t.Errorf("independent pair rejected: %s", d3.Reason)
+	}
+
+	// After the first transfer finishes, capacity returns.
+	if err := sys.AdvanceTo(150); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.UtilizationIn(0); got != 0 {
+		t.Errorf("ingress 0 util after release = %v", got)
+	}
+	d4, err := sys.Submit(Transfer{From: 0, To: 1, Volume: 10 * units.GB, Deadline: 1000, MaxRate: 1 * units.GBps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d4.Accepted {
+		t.Errorf("post-release transfer rejected: %s", d4.Reason)
+	}
+
+	sub, acc, rate := sys.Stats()
+	if sub != 4 || acc != 3 || !units.ApproxEq(rate, 0.75) {
+		t.Errorf("stats = %d, %d, %v", sub, acc, rate)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	sys := newSys(t, "minbw")
+	if _, err := sys.Submit(Transfer{From: 5, To: 0, Volume: 1, Deadline: 10, MaxRate: 1}); err == nil {
+		t.Error("bad ingress accepted")
+	}
+	if _, err := sys.Submit(Transfer{From: 0, To: 5, Volume: 1, Deadline: 10, MaxRate: 1}); err == nil {
+		t.Error("bad egress accepted")
+	}
+	if _, err := sys.Submit(Transfer{From: 0, To: 0, Volume: 0, Deadline: 10, MaxRate: 1}); err == nil {
+		t.Error("zero volume accepted")
+	}
+	// Deadline in the past relative to the clock.
+	if err := sys.AdvanceTo(100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Submit(Transfer{From: 0, To: 0, Volume: 1 * units.GB, Deadline: 50, MaxRate: 1 * units.GBps}); err == nil {
+		t.Error("past deadline accepted")
+	}
+}
+
+func TestSubmitInfeasibleDeadlineRejectedNotError(t *testing.T) {
+	sys := newSys(t, "minbw")
+	// 100 GB in 10 s at 1 GB/s cap: infeasible → validation error (MinRate
+	// above MaxRate), reported as an error by Validate.
+	if _, err := sys.Submit(Transfer{From: 0, To: 0, Volume: 100 * units.GB, Deadline: 10, MaxRate: 1 * units.GBps}); err == nil {
+		t.Error("infeasible request accepted")
+	}
+}
+
+func TestAdvanceToBackwards(t *testing.T) {
+	sys := newSys(t, "minbw")
+	if err := sys.AdvanceTo(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AdvanceTo(5); err == nil {
+		t.Error("clock moved backwards")
+	}
+	if sys.Now() != 10 {
+		t.Errorf("Now = %v", sys.Now())
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, name := range []string{"minbw", "minbw-strict", "f=0", "f=0.8", "f=1"} {
+		if _, err := ParsePolicy(name); err != nil {
+			t.Errorf("ParsePolicy(%q): %v", name, err)
+		}
+	}
+	for _, name := range []string{"", "f=2", "f=-1", "f=x", "maxbw"} {
+		if _, err := ParsePolicy(name); err == nil {
+			t.Errorf("ParsePolicy(%q) succeeded", name)
+		}
+	}
+}
+
+func TestNewScheduler(t *testing.T) {
+	for _, spec := range SchedulerSpecs() {
+		s, err := NewScheduler(spec)
+		if err != nil {
+			t.Errorf("NewScheduler(%q): %v", spec, err)
+			continue
+		}
+		if s.Name() == "" {
+			t.Errorf("scheduler %q has empty name", spec)
+		}
+	}
+	for _, spec := range []string{"", "greedy", "greedy:bogus", "window", "window:400", "window:-5:minbw", "window:x:minbw", "magic"} {
+		if _, err := NewScheduler(spec); err == nil {
+			t.Errorf("NewScheduler(%q) succeeded", spec)
+		}
+	}
+}
+
+func TestBatchSchedulersRunEndToEnd(t *testing.T) {
+	rigidCfg := workload.Default(workload.Rigid)
+	rigidCfg.Horizon = 150
+	rigidSet, err := rigidCfg.Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flexCfg := workload.Default(workload.Flexible)
+	flexCfg.Horizon = 150
+	flexSet, err := flexCfg.Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		spec string
+		set  *request.Set
+		cfg  workload.Config
+	}{
+		{"fcfs", rigidSet, rigidCfg},
+		{"cumulated-slots", rigidSet, rigidCfg},
+		{"minbw-slots", rigidSet, rigidCfg},
+		{"minvol-slots", rigidSet, rigidCfg},
+		{"greedy:minbw", flexSet, flexCfg},
+		{"greedy:f=0.8", flexSet, flexCfg},
+		{"window:100:f=1", flexSet, flexCfg},
+	} {
+		s, err := NewScheduler(tc.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.spec, err)
+		}
+		out, err := s.Schedule(tc.cfg.Network(), tc.set)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.spec, err)
+		}
+		if err := out.Verify(); err != nil {
+			t.Errorf("%s: infeasible outcome: %v", tc.spec, err)
+		}
+	}
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gridbw/internal/rng"
+	"gridbw/internal/units"
+)
+
+func newPlanner(t *testing.T, pol string) *Planner {
+	t.Helper()
+	p, err := NewPlanner(Config{
+		Ingress: []units.Bandwidth{1 * units.GBps, 1 * units.GBps},
+		Egress:  []units.Bandwidth{1 * units.GBps, 1 * units.GBps},
+		Policy:  pol,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPlannerBooksInFuture(t *testing.T) {
+	p := newPlanner(t, "f=1")
+	res, err := p.Reserve(AdvanceTransfer{
+		From: 0, To: 1, Volume: 100 * units.GB,
+		NotBefore: 1 * units.Hour, Deadline: 2 * units.Hour,
+		MaxRate: 1 * units.GBps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted {
+		t.Fatalf("rejected: %s", res.Reason)
+	}
+	if res.Start != 1*units.Hour {
+		t.Errorf("start = %v, want the window opening", res.Start)
+	}
+	if !units.ApproxEq(float64(res.Finish), float64(1*units.Hour+100)) {
+		t.Errorf("finish = %v", res.Finish)
+	}
+	// The present is untouched; the future hour is fully booked.
+	if u := p.UtilizationIn(0, 0, 30*units.Minute); u != 0 {
+		t.Errorf("present utilization = %v", u)
+	}
+	if u := p.UtilizationIn(0, 1*units.Hour, 1*units.Hour+50); !units.ApproxEq(u, 1) {
+		t.Errorf("booked utilization = %v", u)
+	}
+}
+
+func TestPlannerFindsGapAfterExistingBooking(t *testing.T) {
+	p := newPlanner(t, "f=1")
+	// Fill [0, 100) on the (0,0) pair.
+	first, err := p.Reserve(AdvanceTransfer{
+		From: 0, To: 0, Volume: 100 * units.GB, NotBefore: 0, Deadline: 100,
+		MaxRate: 1 * units.GBps,
+	})
+	if err != nil || !first.Accepted {
+		t.Fatalf("first booking failed: %+v, %v", first, err)
+	}
+	// Second full-rate transfer with a wide window: must start at the
+	// release breakpoint t=100, not be rejected.
+	second, err := p.Reserve(AdvanceTransfer{
+		From: 0, To: 0, Volume: 50 * units.GB, NotBefore: 0, Deadline: 500,
+		MaxRate: 1 * units.GBps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Accepted {
+		t.Fatalf("rejected: %s", second.Reason)
+	}
+	if second.Start != 100 {
+		t.Errorf("start = %v, want 100 (the earliest free instant)", second.Start)
+	}
+}
+
+func TestPlannerRespectsLatestStart(t *testing.T) {
+	p := newPlanner(t, "f=1")
+	// Saturate [0, 100).
+	if res, err := p.Reserve(AdvanceTransfer{
+		From: 0, To: 0, Volume: 100 * units.GB, NotBefore: 0, Deadline: 100,
+		MaxRate: 1 * units.GBps,
+	}); err != nil || !res.Accepted {
+		t.Fatal("setup failed")
+	}
+	// This transfer needs 50 s at full rate but must finish by 120: the
+	// only free start is 100, leaving 20 s — infeasible.
+	res, err := p.Reserve(AdvanceTransfer{
+		From: 0, To: 0, Volume: 50 * units.GB, NotBefore: 0, Deadline: 120,
+		MaxRate: 1 * units.GBps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted {
+		t.Errorf("accepted infeasible booking: %+v", res)
+	}
+}
+
+func TestPlannerMinRatePolicyStretchesIntoWindow(t *testing.T) {
+	p := newPlanner(t, "minbw")
+	res, err := p.Reserve(AdvanceTransfer{
+		From: 0, To: 0, Volume: 100 * units.GB, NotBefore: 0, Deadline: 1000,
+		MaxRate: 1 * units.GBps,
+	})
+	if err != nil || !res.Accepted {
+		t.Fatalf("booking failed: %+v, %v", res, err)
+	}
+	if !units.ApproxEq(float64(res.Rate), float64(100*units.MBps)) {
+		t.Errorf("rate = %v, want the 100MB/s floor", res.Rate)
+	}
+	if !units.ApproxEq(float64(res.Finish), 1000) {
+		t.Errorf("finish = %v, want the deadline", res.Finish)
+	}
+}
+
+func TestPlannerCancelFreesWindow(t *testing.T) {
+	p := newPlanner(t, "f=1")
+	res, err := p.Reserve(AdvanceTransfer{
+		From: 0, To: 0, Volume: 100 * units.GB, NotBefore: 0, Deadline: 100,
+		MaxRate: 1 * units.GBps,
+	})
+	if err != nil || !res.Accepted {
+		t.Fatal("setup failed")
+	}
+	if _, ok := p.Lookup(res.ID); !ok {
+		t.Fatal("grant not recorded")
+	}
+	if err := p.Cancel(res.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Lookup(res.ID); ok {
+		t.Error("grant survives cancellation")
+	}
+	if err := p.Cancel(res.ID); err == nil {
+		t.Error("double cancel accepted")
+	}
+	// The window is reusable.
+	again, err := p.Reserve(AdvanceTransfer{
+		From: 0, To: 0, Volume: 100 * units.GB, NotBefore: 0, Deadline: 100,
+		MaxRate: 1 * units.GBps,
+	})
+	if err != nil || !again.Accepted {
+		t.Errorf("rebooking after cancel failed: %+v, %v", again, err)
+	}
+	_, acc, _ := p.Stats()
+	if acc != 1 {
+		t.Errorf("accepted counter = %d after cancel+rebook", acc)
+	}
+}
+
+func TestPlannerClockForbidsPast(t *testing.T) {
+	p := newPlanner(t, "f=1")
+	if err := p.AdvanceTo(500); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AdvanceTo(400); err == nil {
+		t.Error("clock moved backwards")
+	}
+	// A NotBefore in the past is clamped to the clock.
+	res, err := p.Reserve(AdvanceTransfer{
+		From: 0, To: 0, Volume: 10 * units.GB, NotBefore: 0, Deadline: 1000,
+		MaxRate: 1 * units.GBps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted || res.Start < 500 {
+		t.Errorf("reservation started in the past: %+v", res)
+	}
+}
+
+func TestPlannerValidation(t *testing.T) {
+	p := newPlanner(t, "f=1")
+	if _, err := p.Reserve(AdvanceTransfer{From: 9, To: 0, Volume: 1, Deadline: 10, MaxRate: 1}); err == nil {
+		t.Error("bad ingress accepted")
+	}
+	if _, err := p.Reserve(AdvanceTransfer{From: 0, To: 9, Volume: 1, Deadline: 10, MaxRate: 1}); err == nil {
+		t.Error("bad egress accepted")
+	}
+	if _, err := p.Reserve(AdvanceTransfer{From: 0, To: 0, Volume: 0, Deadline: 10, MaxRate: 1}); err == nil {
+		t.Error("zero volume accepted")
+	}
+	if _, err := NewPlanner(Config{}); err == nil {
+		t.Error("empty platform accepted")
+	}
+	if _, err := NewPlanner(Config{
+		Ingress: []units.Bandwidth{1}, Egress: []units.Bandwidth{1}, Policy: "bogus",
+	}); err == nil {
+		t.Error("bogus policy accepted")
+	}
+}
+
+// TestPlannerNeverOverbooks: random advance reservations and
+// cancellations keep every profile within capacity.
+func TestPlannerNeverOverbooks(t *testing.T) {
+	f := func(seed int64) bool {
+		src := rng.New(seed)
+		p, err := NewPlanner(Config{
+			Ingress: []units.Bandwidth{1 * units.GBps, 1 * units.GBps},
+			Egress:  []units.Bandwidth{1 * units.GBps, 1 * units.GBps},
+			Policy:  "f=1",
+		})
+		if err != nil {
+			return false
+		}
+		var live []Reservation
+		for step := 0; step < 100; step++ {
+			if len(live) > 0 && src.Bool(0.2) {
+				k := src.Intn(len(live))
+				if p.Cancel(live[k].ID) != nil {
+					return false
+				}
+				live = append(live[:k], live[k+1:]...)
+				continue
+			}
+			nb := units.Time(src.Intn(500))
+			dur := units.Time(src.Intn(200) + 10)
+			rate := units.Bandwidth(src.Intn(900)+100) * units.MBps
+			res, err := p.Reserve(AdvanceTransfer{
+				From: src.Intn(2), To: src.Intn(2),
+				Volume:    rate.For(dur),
+				NotBefore: nb,
+				Deadline:  nb + dur*units.Time(src.Uniform(1, 3)),
+				MaxRate:   rate,
+			})
+			if err != nil {
+				return false
+			}
+			if res.Accepted {
+				live = append(live, res)
+			}
+		}
+		return p.ledger.CheckInvariant() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlannerRejectReasonPopulated(t *testing.T) {
+	p := newPlanner(t, "f=1")
+	if res, err := p.Reserve(AdvanceTransfer{
+		From: 0, To: 0, Volume: 100 * units.GB, NotBefore: 0, Deadline: 100,
+		MaxRate: 1 * units.GBps,
+	}); err != nil || !res.Accepted {
+		t.Fatal("setup failed")
+	}
+	res, err := p.Reserve(AdvanceTransfer{
+		From: 0, To: 0, Volume: 100 * units.GB, NotBefore: 0, Deadline: 100,
+		MaxRate: 1 * units.GBps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted || !strings.Contains(res.Reason, "capacity") {
+		t.Errorf("res = %+v", res)
+	}
+}

@@ -1,0 +1,213 @@
+// Package des is a minimal discrete-event simulation kernel.
+//
+// The on-line heuristics of the paper (Algorithms 2 and 3), the overlay
+// control plane of §5.4 and the fluid-TCP baseline are all event-driven
+// processes: request arrivals, interval ticks, transfer completions and
+// signalling messages. This kernel gives them a shared clock and a stable
+// priority queue of timed events.
+//
+// Determinism: events scheduled for the same instant fire in scheduling
+// order (FIFO among ties), so simulation runs are reproducible regardless
+// of map iteration or goroutine scheduling — the kernel is strictly
+// single-threaded by design.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+
+	"gridbw/internal/units"
+)
+
+// Event is a callback to run at a simulated instant. The callback receives
+// the simulator so it can schedule further events.
+type Event func(sim *Simulator)
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct {
+	item *item
+}
+
+type item struct {
+	at        units.Time
+	seq       uint64
+	fn        Event
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+type eventHeap []*item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	it := x.(*item)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.index = -1
+	*h = old[:n-1]
+	return it
+}
+
+// Simulator owns the event queue and the simulated clock.
+type Simulator struct {
+	now     units.Time
+	queue   eventHeap
+	seq     uint64
+	running bool
+	stopped bool
+	// Trace, when non-nil, is called before each event fires.
+	Trace func(at units.Time)
+	fired uint64
+}
+
+// New returns a simulator with the clock at 0.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now reports the current simulated time.
+func (s *Simulator) Now() units.Time { return s.now }
+
+// Fired reports how many events have been executed.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending reports how many events are scheduled (including cancelled ones
+// not yet drained).
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at the absolute instant at. Scheduling in the past
+// panics: it would silently reorder causality.
+func (s *Simulator) At(at units.Time, fn Event) Handle {
+	if at < s.now {
+		panic(fmt.Sprintf("des: scheduling event at %v before now %v", at, s.now))
+	}
+	if fn == nil {
+		panic("des: nil event")
+	}
+	it := &item{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, it)
+	return Handle{item: it}
+}
+
+// After schedules fn to run delay after the current instant.
+func (s *Simulator) After(delay units.Time, fn Event) Handle {
+	if delay < 0 {
+		panic(fmt.Sprintf("des: negative delay %v", delay))
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// Cancel prevents a scheduled event from firing. Cancelling an already
+// fired or already cancelled event is a no-op; Cancel reports whether the
+// event was actually descheduled.
+func (s *Simulator) Cancel(h Handle) bool {
+	if h.item == nil || h.item.cancelled || h.item.index == -1 {
+		return false
+	}
+	h.item.cancelled = true
+	return true
+}
+
+// Stop halts the run loop after the current event returns.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Run executes events until the queue drains or Stop is called. It returns
+// the final clock value.
+func (s *Simulator) Run() units.Time {
+	return s.RunUntil(units.Time(-1))
+}
+
+// RunUntil executes events with timestamp <= horizon (any horizon < 0 means
+// no limit) until the queue drains or Stop is called. Events beyond the
+// horizon remain queued; the clock advances to the horizon if it is set and
+// events remain.
+func (s *Simulator) RunUntil(horizon units.Time) units.Time {
+	if s.running {
+		panic("des: re-entrant Run")
+	}
+	s.running = true
+	s.stopped = false
+	defer func() { s.running = false }()
+	for len(s.queue) > 0 && !s.stopped {
+		next := s.queue[0]
+		if horizon >= 0 && next.at > horizon {
+			s.now = horizon
+			return s.now
+		}
+		heap.Pop(&s.queue)
+		if next.cancelled {
+			continue
+		}
+		s.now = next.at
+		if s.Trace != nil {
+			s.Trace(s.now)
+		}
+		s.fired++
+		next.fn(s)
+	}
+	if horizon >= 0 && s.now < horizon && !s.stopped {
+		s.now = horizon
+	}
+	return s.now
+}
+
+// Step executes exactly one non-cancelled event, if any, and reports
+// whether one fired.
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		next := heap.Pop(&s.queue).(*item)
+		if next.cancelled {
+			continue
+		}
+		s.now = next.at
+		if s.Trace != nil {
+			s.Trace(s.now)
+		}
+		s.fired++
+		next.fn(s)
+		return true
+	}
+	return false
+}
+
+// Ticker schedules fn at start, start+period, ... until fn returns false or
+// the horizon (if >= 0) is exceeded. It is the substrate for the
+// interval-based WINDOW heuristic's t_step loop.
+func (s *Simulator) Ticker(start, period, horizon units.Time, fn func(sim *Simulator, tick int) bool) {
+	if period <= 0 {
+		panic(fmt.Sprintf("des: non-positive ticker period %v", period))
+	}
+	var tick int
+	var schedule func(at units.Time)
+	schedule = func(at units.Time) {
+		if horizon >= 0 && at > horizon {
+			return
+		}
+		s.At(at, func(sim *Simulator) {
+			cont := fn(sim, tick)
+			tick++
+			if cont {
+				schedule(at + period)
+			}
+		})
+	}
+	schedule(start)
+}

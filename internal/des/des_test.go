@@ -1,0 +1,286 @@
+package des
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gridbw/internal/rng"
+	"gridbw/internal/units"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := New()
+	var order []int
+	s.At(3, func(*Simulator) { order = append(order, 3) })
+	s.At(1, func(*Simulator) { order = append(order, 1) })
+	s.At(2, func(*Simulator) { order = append(order, 2) })
+	end := s.Run()
+	if end != 3 {
+		t.Errorf("final clock %v, want 3", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTiesFireFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func(*Simulator) { order = append(order, i) })
+	}
+	s.Run()
+	for i := 0; i < 10; i++ {
+		if order[i] != i {
+			t.Fatalf("tie order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestRandomScheduleStillOrdered(t *testing.T) {
+	f := func(seed int64) bool {
+		src := rng.New(seed)
+		s := New()
+		var fired []units.Time
+		n := 50 + src.Intn(100)
+		for i := 0; i < n; i++ {
+			at := units.Time(src.Uniform(0, 1000))
+			s.At(at, func(sim *Simulator) { fired = append(fired, sim.Now()) })
+		}
+		s.Run()
+		if len(fired) != n {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAfterUsesCurrentTime(t *testing.T) {
+	s := New()
+	var at units.Time
+	s.At(10, func(sim *Simulator) {
+		sim.After(5, func(sim *Simulator) { at = sim.Now() })
+	})
+	s.Run()
+	if at != 15 {
+		t.Errorf("After fired at %v, want 15", at)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.At(10, func(sim *Simulator) {
+		defer func() {
+			if recover() == nil {
+				t.Error("past scheduling did not panic")
+			}
+			sim.Stop()
+		}()
+		sim.At(5, func(*Simulator) {})
+	})
+	s.Run()
+}
+
+func TestNilEventPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil event did not panic")
+		}
+	}()
+	New().At(0, nil)
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	New().After(-1, func(*Simulator) {})
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	h := s.At(1, func(*Simulator) { fired = true })
+	if !s.Cancel(h) {
+		t.Error("first Cancel reported false")
+	}
+	if s.Cancel(h) {
+		t.Error("second Cancel reported true")
+	}
+	s.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestCancelAfterFire(t *testing.T) {
+	s := New()
+	var h Handle
+	h = s.At(1, func(*Simulator) {})
+	s.Run()
+	if s.Cancel(h) {
+		t.Error("Cancel after firing reported true")
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(units.Time(i), func(sim *Simulator) {
+			count++
+			if count == 3 {
+				sim.Stop()
+			}
+		})
+	}
+	end := s.Run()
+	if count != 3 {
+		t.Errorf("fired %d events after Stop, want 3", count)
+	}
+	if end != 3 {
+		t.Errorf("clock %v, want 3", end)
+	}
+	// A fresh Run resumes the remaining events.
+	s.Run()
+	if count != 10 {
+		t.Errorf("resume fired %d total, want 10", count)
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	s := New()
+	var fired []units.Time
+	for _, at := range []units.Time{1, 5, 9, 12} {
+		at := at
+		s.At(at, func(*Simulator) { fired = append(fired, at) })
+	}
+	end := s.RunUntil(10)
+	if end != 10 {
+		t.Errorf("clock %v, want 10", end)
+	}
+	if len(fired) != 3 {
+		t.Errorf("fired %v, want events <= 10 only", fired)
+	}
+	s.RunUntil(-1)
+	if len(fired) != 4 {
+		t.Errorf("resume fired %v", fired)
+	}
+}
+
+func TestRunUntilEmptyQueueAdvancesClock(t *testing.T) {
+	s := New()
+	if end := s.RunUntil(42); end != 42 {
+		t.Errorf("clock %v, want 42", end)
+	}
+}
+
+func TestStep(t *testing.T) {
+	s := New()
+	count := 0
+	s.At(1, func(*Simulator) { count++ })
+	s.At(2, func(*Simulator) { count++ })
+	if !s.Step() || count != 1 {
+		t.Fatal("first Step failed")
+	}
+	if !s.Step() || count != 2 {
+		t.Fatal("second Step failed")
+	}
+	if s.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestFiredAndPending(t *testing.T) {
+	s := New()
+	s.At(1, func(*Simulator) {})
+	h := s.At(2, func(*Simulator) {})
+	s.Cancel(h)
+	if s.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", s.Pending())
+	}
+	s.Run()
+	if s.Fired() != 1 {
+		t.Errorf("Fired = %d, want 1 (cancelled not counted)", s.Fired())
+	}
+}
+
+func TestTicker(t *testing.T) {
+	s := New()
+	var ticks []units.Time
+	s.Ticker(0, 100, 450, func(sim *Simulator, tick int) bool {
+		ticks = append(ticks, sim.Now())
+		return true
+	})
+	s.Run()
+	want := []units.Time{0, 100, 200, 300, 400}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestTickerStopsWhenFnReturnsFalse(t *testing.T) {
+	s := New()
+	count := 0
+	s.Ticker(0, 10, -1, func(sim *Simulator, tick int) bool {
+		count++
+		return count < 4
+	})
+	s.Run()
+	if count != 4 {
+		t.Errorf("ticker fired %d, want 4", count)
+	}
+}
+
+func TestTickerBadPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero period did not panic")
+		}
+	}()
+	New().Ticker(0, 0, 10, func(*Simulator, int) bool { return false })
+}
+
+func TestTrace(t *testing.T) {
+	s := New()
+	var traced []units.Time
+	s.Trace = func(at units.Time) { traced = append(traced, at) }
+	s.At(1, func(*Simulator) {})
+	s.At(2, func(*Simulator) {})
+	s.Run()
+	if len(traced) != 2 || traced[0] != 1 || traced[1] != 2 {
+		t.Errorf("traced = %v", traced)
+	}
+}
+
+func TestReentrantRunPanics(t *testing.T) {
+	s := New()
+	s.At(1, func(sim *Simulator) {
+		defer func() {
+			if recover() == nil {
+				t.Error("re-entrant Run did not panic")
+			}
+		}()
+		sim.Run()
+	})
+	s.Run()
+}

@@ -1,0 +1,264 @@
+// Package distributed implements the paper's last future-work item (§7):
+// "fully distributed allocation algorithms to study the scalability of
+// the approach."
+//
+// In the centralized §5 schedulers a single scheduler sees exact
+// occupancy of every access point. Here each ingress router decides
+// *locally*: it knows its own occupancy exactly, but only a periodically
+// synchronized cache of each egress router's occupancy. Admission is
+// two-phase: a locally admitted request tentatively holds its ingress
+// share and sends a RESERVE message to the egress router, which checks
+// its authoritative occupancy and either commits (ACK) or refuses (NACK,
+// the ingress rolls back — a *conflict*). Conflicts are the price of
+// stale state: the experiment of Table T8 sweeps the sync period and
+// measures accept rate and conflict rate against the centralized
+// scheduler on the same workload.
+package distributed
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"gridbw/internal/des"
+	"gridbw/internal/policy"
+	"gridbw/internal/request"
+	"gridbw/internal/sched"
+	"gridbw/internal/topology"
+	"gridbw/internal/units"
+)
+
+// Config tunes the distributed control plane.
+type Config struct {
+	// SyncPeriod is how often every ingress refreshes its cached view of
+	// all egress occupancies. Zero means read-through (always fresh at
+	// decision time) — message races remain the only conflict source.
+	SyncPeriod units.Time
+	// MsgDelay is the one-way ingress↔egress message latency.
+	MsgDelay units.Time
+	// Policy assigns bandwidth to admitted requests; required.
+	Policy policy.Policy
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Policy == nil {
+		return fmt.Errorf("distributed: config needs a policy")
+	}
+	if c.SyncPeriod < 0 || c.MsgDelay < 0 {
+		return fmt.Errorf("distributed: negative periods")
+	}
+	return nil
+}
+
+// Verdict classifies a request's fate.
+type Verdict int
+
+const (
+	// Accepted requests committed on both routers.
+	Accepted Verdict = iota
+	// LocalReject: the ingress refused using its local view.
+	LocalReject
+	// Conflict: locally admitted, but the egress's authoritative check
+	// failed — stale cache or message race.
+	Conflict
+	// PolicyReject: no admissible rate (deadline unreachable by decision
+	// time).
+	PolicyReject
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case Accepted:
+		return "accepted"
+	case LocalReject:
+		return "local-reject"
+	case Conflict:
+		return "conflict"
+	case PolicyReject:
+		return "policy-reject"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Record traces one request through the protocol.
+type Record struct {
+	Request request.ID
+	Verdict Verdict
+	Grant   request.Grant // valid when Accepted
+}
+
+// Report is the outcome of a distributed run.
+type Report struct {
+	Records []Record // request-ID order
+	Outcome *sched.Outcome
+}
+
+// Rate reports the fraction of requests with the given verdict.
+func (r *Report) Rate(v Verdict) float64 {
+	if len(r.Records) == 0 {
+		return 0
+	}
+	n := 0
+	for _, rec := range r.Records {
+		if rec.Verdict == v {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.Records))
+}
+
+type release struct {
+	at units.Time
+	bw units.Bandwidth
+	p  topology.PointID
+}
+
+type releaseHeap []release
+
+func (h releaseHeap) Len() int           { return len(h) }
+func (h releaseHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h releaseHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *releaseHeap) Push(x any)        { *h = append(*h, x.(release)) }
+func (h *releaseHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Run simulates the distributed protocol over the request set.
+func Run(net *topology.Network, reqs *request.Set, cfg Config) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sim := des.New()
+	m, n := net.NumIngress(), net.NumEgress()
+
+	// Authoritative occupancy, with lazily drained release heaps so a
+	// check at time t sees exactly the transfers still active at t.
+	ali := make([]units.Bandwidth, m)
+	ale := make([]units.Bandwidth, n)
+	aliRel := make([]releaseHeap, m)
+	aleRel := make([]releaseHeap, n)
+	drainIn := func(i int, now units.Time) {
+		h := &aliRel[i]
+		for h.Len() > 0 && (*h)[0].at <= now {
+			r := heap.Pop(h).(release)
+			ali[i] -= r.bw
+		}
+	}
+	drainOut := func(e int, now units.Time) {
+		h := &aleRel[e]
+		for h.Len() > 0 && (*h)[0].at <= now {
+			r := heap.Pop(h).(release)
+			ale[e] -= r.bw
+		}
+	}
+
+	// Per-ingress cached egress views.
+	cache := make([][]units.Bandwidth, m)
+	for i := range cache {
+		cache[i] = make([]units.Bandwidth, n)
+	}
+	readCache := func(i, e int, now units.Time) units.Bandwidth {
+		if cfg.SyncPeriod == 0 {
+			drainOut(e, now)
+			return ale[e]
+		}
+		return cache[i][e]
+	}
+
+	out := sched.NewOutcome(fmt.Sprintf("distributed(sync=%v)/%s", cfg.SyncPeriod, cfg.Policy.Name()), net, reqs)
+	records := make([]Record, reqs.Len())
+
+	// Sync ticks refresh every cache from authoritative state.
+	if cfg.SyncPeriod > 0 {
+		_, spanEnd := reqs.Span()
+		sim.Ticker(0, cfg.SyncPeriod, spanEnd+2*cfg.MsgDelay, func(sim *des.Simulator, _ int) bool {
+			now := sim.Now()
+			for e := 0; e < n; e++ {
+				drainOut(e, now)
+			}
+			for i := 0; i < m; i++ {
+				copy(cache[i], ale)
+			}
+			return true
+		})
+	}
+
+	// Arrival events, in deterministic order.
+	order := reqs.All()
+	sort.SliceStable(order, func(a, b int) bool {
+		if order[a].Start != order[b].Start {
+			return order[a].Start < order[b].Start
+		}
+		if am, bm := order[a].MinRate(), order[b].MinRate(); am != bm {
+			return am < bm
+		}
+		return order[a].ID < order[b].ID
+	})
+	for _, r := range order {
+		r := r
+		records[int(r.ID)] = Record{Request: r.ID}
+		sim.At(r.Start, func(sim *des.Simulator) {
+			now := sim.Now()
+			i, e := int(r.Ingress), int(r.Egress)
+			rec := &records[int(r.ID)]
+
+			// The transfer can only start once the two-phase handshake
+			// completes; assign the rate against that start.
+			sigma := now + 2*cfg.MsgDelay
+			bw, err := cfg.Policy.Assign(r, sigma)
+			if err != nil {
+				rec.Verdict = PolicyReject
+				out.Reject(r.ID, "policy: "+err.Error())
+				return
+			}
+			drainIn(i, now)
+			if !units.FitsWithin(ali[i], bw, net.Bin(r.Ingress)) ||
+				!units.FitsWithin(readCache(i, e, now), bw, net.Bout(r.Egress)) {
+				rec.Verdict = LocalReject
+				out.Reject(r.ID, "local view: insufficient capacity")
+				return
+			}
+			// Tentative local hold; RESERVE travels to the egress.
+			ali[i] += bw
+			sim.At(now+cfg.MsgDelay, func(sim *des.Simulator) {
+				at := sim.Now()
+				drainOut(e, at)
+				if units.FitsWithin(ale[e], bw, net.Bout(r.Egress)) {
+					// Commit: the transfer runs [sigma, tau).
+					g, err := request.NewGrant(r, sigma, bw)
+					if err != nil {
+						// Deadline became unreachable between assign and
+						// grant — cannot happen (sigma fixed), but keep
+						// the rollback path total.
+						ali[i] -= bw
+						rec.Verdict = PolicyReject
+						out.Reject(r.ID, "grant: "+err.Error())
+						return
+					}
+					ale[e] += bw
+					heap.Push(&aleRel[e], release{at: g.Tau, bw: bw, p: r.Egress})
+					heap.Push(&aliRel[i], release{at: g.Tau, bw: bw, p: r.Ingress})
+					rec.Verdict = Accepted
+					rec.Grant = g
+					out.Accept(g)
+					return
+				}
+				// NACK: ingress rolls back when the refusal arrives.
+				sim.At(at+cfg.MsgDelay, func(*des.Simulator) {
+					ali[i] -= bw
+				})
+				rec.Verdict = Conflict
+				out.Reject(r.ID, "conflict: egress authoritative check failed")
+			})
+		})
+	}
+	sim.Run()
+	return &Report{Records: records, Outcome: out}, nil
+}

@@ -1,0 +1,251 @@
+package distributed
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gridbw/internal/policy"
+	"gridbw/internal/request"
+	"gridbw/internal/sched/flexible"
+	"gridbw/internal/topology"
+	"gridbw/internal/units"
+	"gridbw/internal/workload"
+)
+
+func flexReq(id int, in, eg topology.PointID, start units.Time, vol units.Volume, maxRate units.Bandwidth, slack float64) request.Request {
+	return request.Request{
+		ID: request.ID(id), Ingress: in, Egress: eg,
+		Start: start, Finish: start + vol.Over(maxRate)*units.Time(slack),
+		Volume: vol, MaxRate: maxRate,
+	}
+}
+
+func testCfg() Config {
+	return Config{SyncPeriod: 50, MsgDelay: 0.01, Policy: policy.FractionMaxRate(1)}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := testCfg().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Config{Policy: nil}).Validate(); err == nil {
+		t.Error("nil policy accepted")
+	}
+	if err := (Config{Policy: policy.MinRate(), SyncPeriod: -1}).Validate(); err == nil {
+		t.Error("negative sync accepted")
+	}
+}
+
+func TestAcceptsWhenAmple(t *testing.T) {
+	net := topology.Uniform(2, 2, 1*units.GBps)
+	reqs := request.MustNewSet([]request.Request{
+		flexReq(0, 0, 0, 0, 30*units.GB, 300*units.MBps, 3),
+		flexReq(1, 1, 1, 5, 30*units.GB, 300*units.MBps, 3),
+	})
+	rep, err := Run(net, reqs, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range rep.Records {
+		if rec.Verdict != Accepted {
+			t.Errorf("request %d verdict = %v", rec.Request, rec.Verdict)
+		}
+	}
+	if err := rep.Outcome.Verify(); err != nil {
+		t.Error(err)
+	}
+	if rep.Rate(Accepted) != 1 {
+		t.Errorf("accept rate = %v", rep.Rate(Accepted))
+	}
+}
+
+func TestLocalRejectOnOwnIngress(t *testing.T) {
+	net := topology.Uniform(1, 2, 1*units.GBps)
+	// Two simultaneous full-rate transfers from the same ingress to
+	// different egresses: the second is refused locally (ingress is the
+	// bottleneck, and the ingress view is always exact).
+	reqs := request.MustNewSet([]request.Request{
+		flexReq(0, 0, 0, 0, 100*units.GB, 700*units.MBps, 3),
+		flexReq(1, 0, 1, 0.001, 100*units.GB, 700*units.MBps, 3),
+	})
+	rep, err := Run(net, reqs, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Records[0].Verdict != Accepted {
+		t.Errorf("first = %v", rep.Records[0].Verdict)
+	}
+	if rep.Records[1].Verdict != LocalReject {
+		t.Errorf("second = %v, want local-reject", rep.Records[1].Verdict)
+	}
+}
+
+func TestConflictOnStaleEgressView(t *testing.T) {
+	net := topology.Uniform(2, 1, 1*units.GBps)
+	// Two ingresses race for the same egress within one sync period: both
+	// local views say the egress is free; the later RESERVE must conflict.
+	cfg := Config{SyncPeriod: 1000, MsgDelay: 0.01, Policy: policy.FractionMaxRate(1)}
+	reqs := request.MustNewSet([]request.Request{
+		flexReq(0, 0, 0, 1, 100*units.GB, 700*units.MBps, 3),
+		flexReq(1, 1, 0, 2, 100*units.GB, 700*units.MBps, 3),
+	})
+	rep, err := Run(net, reqs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Records[0].Verdict != Accepted {
+		t.Errorf("first = %v", rep.Records[0].Verdict)
+	}
+	if rep.Records[1].Verdict != Conflict {
+		t.Errorf("second = %v, want conflict", rep.Records[1].Verdict)
+	}
+	if err := rep.Outcome.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFreshSyncSeesCommittedLoad(t *testing.T) {
+	net := topology.Uniform(2, 1, 1*units.GBps)
+	// Same race, but the second request arrives after a sync refresh that
+	// happens once the first commit landed: it is refused locally instead
+	// of conflicting.
+	cfg := Config{SyncPeriod: 5, MsgDelay: 0.01, Policy: policy.FractionMaxRate(1)}
+	reqs := request.MustNewSet([]request.Request{
+		flexReq(0, 0, 0, 1, 100*units.GB, 700*units.MBps, 3),
+		flexReq(1, 1, 0, 7, 100*units.GB, 700*units.MBps, 3),
+	})
+	rep, err := Run(net, reqs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Records[1].Verdict != LocalReject {
+		t.Errorf("second = %v, want local-reject after sync", rep.Records[1].Verdict)
+	}
+}
+
+func TestRollbackFreesIngress(t *testing.T) {
+	net := topology.Uniform(2, 1, 1*units.GBps)
+	cfg := Config{SyncPeriod: 1000, MsgDelay: 0.01, Policy: policy.FractionMaxRate(1)}
+	reqs := request.MustNewSet([]request.Request{
+		flexReq(0, 0, 0, 1, 100*units.GB, 700*units.MBps, 5),   // wins the egress
+		flexReq(1, 1, 0, 2, 100*units.GB, 700*units.MBps, 5),   // conflicts, rolls back ingress 1
+		flexReq(2, 1, 0, 150, 100*units.GB, 700*units.MBps, 5), // after release: must fit
+	})
+	rep, err := Run(net, reqs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Records[1].Verdict != Conflict {
+		t.Fatalf("second = %v", rep.Records[1].Verdict)
+	}
+	// Request 0 runs ~143 s from ~1.02; request 2 arrives at 150 after the
+	// egress freed — and ingress 1 must have been rolled back.
+	if rep.Records[2].Verdict != Accepted {
+		t.Errorf("third = %v (%s)", rep.Records[2].Verdict,
+			rep.Outcome.Decision(2).Reason)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	for v, want := range map[Verdict]string{
+		Accepted: "accepted", LocalReject: "local-reject",
+		Conflict: "conflict", PolicyReject: "policy-reject",
+	} {
+		if v.String() != want {
+			t.Errorf("%d.String() = %q", v, v.String())
+		}
+	}
+	if !strings.Contains(Verdict(9).String(), "9") {
+		t.Error("unknown verdict string")
+	}
+}
+
+// TestFeasibilityProperty: whatever the sync period, the committed
+// outcome satisfies the paper's constraint system.
+func TestFeasibilityProperty(t *testing.T) {
+	cfg := workload.Default(workload.Flexible)
+	cfg.Horizon = 250
+	periods := []units.Time{0, 10, 100, 1000}
+	f := func(seed int64) bool {
+		reqs, err := cfg.Generate(seed)
+		if err != nil {
+			return false
+		}
+		net := cfg.Network()
+		for _, p := range periods {
+			rep, err := Run(net, reqs, Config{
+				SyncPeriod: p, MsgDelay: 0.01, Policy: policy.FractionMaxRate(1),
+			})
+			if err != nil {
+				return false
+			}
+			if rep.Outcome.Verify() != nil {
+				return false
+			}
+			// Every record has a definite verdict and the rates sum to 1.
+			total := rep.Rate(Accepted) + rep.Rate(LocalReject) + rep.Rate(Conflict) + rep.Rate(PolicyReject)
+			if total < 1-1e-9 || total > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStalenessHurts: with a very stale cache the conflict rate exceeds
+// the read-through configuration's on a contended workload.
+func TestStalenessHurts(t *testing.T) {
+	cfg := workload.Default(workload.Flexible)
+	cfg.Horizon = 1000
+	cfg.MeanInterArrival = 1
+	reqs, err := cfg.Generate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := cfg.Network()
+	run := func(sync units.Time) *Report {
+		rep, err := Run(net, reqs, Config{SyncPeriod: sync, MsgDelay: 0.01, Policy: policy.FractionMaxRate(1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	fresh := run(0)
+	stale := run(500)
+	t.Logf("fresh: accept=%.3f conflict=%.3f; stale: accept=%.3f conflict=%.3f",
+		fresh.Rate(Accepted), fresh.Rate(Conflict), stale.Rate(Accepted), stale.Rate(Conflict))
+	if stale.Rate(Conflict) <= fresh.Rate(Conflict) {
+		t.Errorf("staleness did not raise conflicts: %.3f <= %.3f",
+			stale.Rate(Conflict), fresh.Rate(Conflict))
+	}
+}
+
+// TestFreshDistributedTracksCentralized: with read-through state and zero
+// delay, the distributed protocol accepts the same set as the §5 greedy
+// scheduler.
+func TestFreshDistributedTracksCentralized(t *testing.T) {
+	cfg := workload.Default(workload.Flexible)
+	cfg.Horizon = 400
+	reqs, err := cfg.Generate(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := cfg.Network()
+	p := policy.FractionMaxRate(1)
+	rep, err := Run(net, reqs, Config{SyncPeriod: 0, MsgDelay: 0, Policy: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	central, err := flexible.Greedy{Policy: p}.Schedule(net, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Outcome.AcceptedCount() != central.AcceptedCount() {
+		t.Errorf("distributed(0,0) accepted %d, centralized greedy %d",
+			rep.Outcome.AcceptedCount(), central.AcceptedCount())
+	}
+}

@@ -1,0 +1,392 @@
+package exact
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gridbw/internal/request"
+	"gridbw/internal/rng"
+	"gridbw/internal/sched/rigid"
+	"gridbw/internal/topology"
+	"gridbw/internal/units"
+)
+
+func rigidReq(id int, in, eg topology.PointID, start, finish units.Time, rate units.Bandwidth) request.Request {
+	return request.Request{
+		ID: request.ID(id), Ingress: in, Egress: eg,
+		Start: start, Finish: finish,
+		Volume:  rate.For(finish - start),
+		MaxRate: rate,
+	}
+}
+
+func TestMaxRigidTrivial(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	reqs := request.MustNewSet([]request.Request{
+		rigidReq(0, 0, 0, 0, 100, 400*units.MBps),
+		rigidReq(1, 0, 0, 0, 100, 400*units.MBps),
+	})
+	n, set, err := MaxRigid(net, reqs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || len(set) != 2 {
+		t.Errorf("optimum = %d (%v), want 2", n, set)
+	}
+}
+
+func TestMaxRigidPicksLargerSubset(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	// One 900 MB/s hog vs three 300 MB/s requests in the same window:
+	// FCFS-style orderings might take the hog; the optimum is 3.
+	reqs := request.MustNewSet([]request.Request{
+		rigidReq(0, 0, 0, 0, 100, 900*units.MBps),
+		rigidReq(1, 0, 0, 0, 100, 300*units.MBps),
+		rigidReq(2, 0, 0, 0, 100, 300*units.MBps),
+		rigidReq(3, 0, 0, 0, 100, 300*units.MBps),
+	})
+	n, set, err := MaxRigid(net, reqs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("optimum = %d (%v), want 3", n, set)
+	}
+	for _, id := range set {
+		if id == 0 {
+			t.Error("optimal set contains the hog")
+		}
+	}
+}
+
+func TestMaxRigidRejectsFlexible(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	flex := request.MustNewSet([]request.Request{{
+		ID: 0, Start: 0, Finish: 1000, Volume: 10 * units.GB, MaxRate: 1 * units.GBps,
+	}})
+	if _, _, err := MaxRigid(net, flex, 0); err == nil {
+		t.Error("flexible set accepted")
+	}
+}
+
+func TestMaxRigidNodeLimit(t *testing.T) {
+	net := topology.Uniform(2, 2, 1*units.GBps)
+	var rs []request.Request
+	src := rng.New(1)
+	for i := 0; i < 18; i++ {
+		start := units.Time(src.Intn(50))
+		rs = append(rs, rigidReq(i, topology.PointID(src.Intn(2)), topology.PointID(src.Intn(2)),
+			start, start+units.Time(src.Intn(50)+10), units.Bandwidth(src.Intn(900)+100)*units.MBps))
+	}
+	reqs := request.MustNewSet(rs)
+	if _, _, err := MaxRigid(net, reqs, 5); err == nil {
+		t.Error("node limit 5 not reported")
+	}
+	if _, _, err := MaxRigid(net, reqs, 0); err != nil {
+		t.Errorf("unlimited search failed: %v", err)
+	}
+}
+
+// TestMaxRigidDominatesHeuristics: the exact optimum is >= every
+// heuristic's accepted count, and the heuristics' outcomes are feasible
+// witnesses (so equality certifies the heuristic was optimal).
+func TestMaxRigidDominatesHeuristics(t *testing.T) {
+	f := func(seed int64) bool {
+		src := rng.New(seed)
+		net := topology.Uniform(2, 2, 1*units.GBps)
+		n := src.Intn(10) + 3
+		rs := make([]request.Request, n)
+		for i := range rs {
+			start := units.Time(src.Intn(40))
+			rs[i] = rigidReq(i, topology.PointID(src.Intn(2)), topology.PointID(src.Intn(2)),
+				start, start+units.Time(src.Intn(60)+5), units.Bandwidth(src.Intn(900)+100)*units.MBps)
+		}
+		reqs := request.MustNewSet(rs)
+		opt, _, err := MaxRigid(net, reqs, 0)
+		if err != nil {
+			return false
+		}
+		heuristics := []func() (int, error){
+			func() (int, error) {
+				out, err := rigid.FCFS{}.Schedule(net, reqs)
+				if err != nil {
+					return 0, err
+				}
+				return out.AcceptedCount(), out.Verify()
+			},
+			func() (int, error) {
+				out, err := rigid.CumulatedSlots().Schedule(net, reqs)
+				if err != nil {
+					return 0, err
+				}
+				return out.AcceptedCount(), out.Verify()
+			},
+			func() (int, error) {
+				out, err := rigid.MinBWSlots().Schedule(net, reqs)
+				if err != nil {
+					return 0, err
+				}
+				return out.AcceptedCount(), out.Verify()
+			},
+		}
+		for _, h := range heuristics {
+			got, err := h()
+			if err != nil {
+				return false
+			}
+			if got > opt {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnitInstanceValidate(t *testing.T) {
+	good := UnitInstance{
+		CapIn: []int{1}, CapOut: []int{1},
+		Requests: []UnitRequest{{0, 0, 0, 2}},
+		Steps:    3,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []UnitInstance{
+		{CapIn: nil, CapOut: []int{1}, Steps: 1},
+		{CapIn: []int{1}, CapOut: []int{1}, Steps: 0},
+		{CapIn: []int{-1}, CapOut: []int{1}, Steps: 1},
+		{CapIn: []int{1}, CapOut: []int{1}, Steps: 1, Requests: []UnitRequest{{1, 0, 0, 1}}},
+		{CapIn: []int{1}, CapOut: []int{1}, Steps: 1, Requests: []UnitRequest{{0, 0, 0, 2}}},
+		{CapIn: []int{1}, CapOut: []int{1}, Steps: 1, Requests: []UnitRequest{{0, 0, 1, 1}}},
+	}
+	for i, inst := range bad {
+		if err := inst.Validate(); err == nil {
+			t.Errorf("bad instance %d validated", i)
+		}
+	}
+}
+
+func TestMaxUnitSimple(t *testing.T) {
+	// Two unit requests, one step, capacity 1: only one fits.
+	inst := UnitInstance{
+		CapIn: []int{1}, CapOut: []int{1},
+		Requests: []UnitRequest{{0, 0, 0, 1}, {0, 0, 0, 1}},
+		Steps:    1,
+	}
+	n, a, err := MaxUnit(inst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("optimum = %d, want 1", n)
+	}
+	if got, err := VerifyUnit(inst, a); err != nil || got != 1 {
+		t.Errorf("assignment invalid: %d, %v", got, err)
+	}
+}
+
+func TestMaxUnitUsesFlexibility(t *testing.T) {
+	// Two requests on the same pair, capacity 1, two steps: flexibility
+	// lets both fit.
+	inst := UnitInstance{
+		CapIn: []int{1}, CapOut: []int{1},
+		Requests: []UnitRequest{{0, 0, 0, 2}, {0, 0, 0, 2}},
+		Steps:    2,
+	}
+	n, a, err := MaxUnit(inst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("optimum = %d, want 2", n)
+	}
+	if a[0] == a[1] {
+		t.Error("both requests on the same step")
+	}
+}
+
+func TestMaxUnitRespectsBothSides(t *testing.T) {
+	// Different ingress, same egress with capacity 1: conflict.
+	inst := UnitInstance{
+		CapIn: []int{1, 1}, CapOut: []int{1},
+		Requests: []UnitRequest{{0, 0, 0, 1}, {1, 0, 0, 1}},
+		Steps:    1,
+	}
+	n, _, err := MaxUnit(inst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("optimum = %d, want 1 (egress bottleneck)", n)
+	}
+}
+
+func TestMaxUnitNodeLimit(t *testing.T) {
+	var reqs []UnitRequest
+	for i := 0; i < 12; i++ {
+		reqs = append(reqs, UnitRequest{0, 0, 0, 6})
+	}
+	inst := UnitInstance{CapIn: []int{2}, CapOut: []int{2}, Requests: reqs, Steps: 6}
+	if _, _, err := MaxUnit(inst, 3); err == nil {
+		t.Error("node limit not reported")
+	}
+}
+
+func TestVerifyUnitCatchesViolations(t *testing.T) {
+	inst := UnitInstance{
+		CapIn: []int{1}, CapOut: []int{1},
+		Requests: []UnitRequest{{0, 0, 0, 1}, {0, 0, 0, 1}},
+		Steps:    1,
+	}
+	if _, err := VerifyUnit(inst, UnitAssignment{0: 0, 1: 0}); err == nil {
+		t.Error("over-capacity assignment verified")
+	}
+	if _, err := VerifyUnit(inst, UnitAssignment{0: 5}); err == nil {
+		t.Error("out-of-window assignment verified")
+	}
+	if _, err := VerifyUnit(inst, UnitAssignment{7: 0}); err == nil {
+		t.Error("unknown request verified")
+	}
+}
+
+func TestSinglePairEDFRequiresSinglePair(t *testing.T) {
+	inst := UnitInstance{CapIn: []int{1, 1}, CapOut: []int{1}, Steps: 1}
+	if _, _, err := SinglePairEDF(inst); err == nil {
+		t.Error("multi-point instance accepted")
+	}
+}
+
+func TestSinglePairEDFBasic(t *testing.T) {
+	// Capacity 1, three steps; requests: tight deadline must go first.
+	inst := UnitInstance{
+		CapIn: []int{1}, CapOut: []int{1},
+		Requests: []UnitRequest{
+			{0, 0, 0, 3}, // loose
+			{0, 0, 0, 1}, // tight: only step 0
+			{0, 0, 1, 2}, // only step 1
+		},
+		Steps: 3,
+	}
+	n, a, err := SinglePairEDF(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("EDF accepted %d, want 3", n)
+	}
+	if a[1] != 0 || a[2] != 1 {
+		t.Errorf("assignment = %v", a)
+	}
+	if _, err := VerifyUnit(inst, a); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSinglePairEDFOptimalProperty checks the paper's claim: on a single
+// ingress-egress pair the greedy (EDF) solution matches the exact optimum.
+func TestSinglePairEDFOptimalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		src := rng.New(seed)
+		steps := src.Intn(5) + 2
+		capacity := src.Intn(3) + 1
+		n := src.Intn(10) + 1
+		reqs := make([]UnitRequest, n)
+		for i := range reqs {
+			rel := src.Intn(steps)
+			reqs[i] = UnitRequest{Ingress: 0, Egress: 0, Release: rel, Deadline: rel + 1 + src.Intn(steps-rel)}
+		}
+		inst := UnitInstance{
+			CapIn: []int{capacity}, CapOut: []int{capacity},
+			Requests: reqs, Steps: steps,
+		}
+		opt, _, err := MaxUnit(inst, 0)
+		if err != nil {
+			return false
+		}
+		got, a, err := SinglePairEDF(inst)
+		if err != nil {
+			return false
+		}
+		if _, err := VerifyUnit(inst, a); err != nil {
+			return false
+		}
+		return got == opt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMaxUnitMatchesBruteForceOnTinyInstances cross-checks the
+// branch-and-bound against exhaustive enumeration over all subsets and
+// step choices.
+func TestMaxUnitMatchesBruteForceOnTinyInstances(t *testing.T) {
+	f := func(seed int64) bool {
+		src := rng.New(seed)
+		steps := src.Intn(3) + 1
+		nIn := src.Intn(2) + 1
+		nOut := src.Intn(2) + 1
+		capIn := make([]int, nIn)
+		capOut := make([]int, nOut)
+		for i := range capIn {
+			capIn[i] = src.Intn(2) + 1
+		}
+		for e := range capOut {
+			capOut[e] = src.Intn(2) + 1
+		}
+		n := src.Intn(6) + 1
+		reqs := make([]UnitRequest, n)
+		for i := range reqs {
+			rel := src.Intn(steps)
+			reqs[i] = UnitRequest{
+				Ingress: src.Intn(nIn), Egress: src.Intn(nOut),
+				Release: rel, Deadline: rel + 1 + src.Intn(steps-rel),
+			}
+		}
+		inst := UnitInstance{CapIn: capIn, CapOut: capOut, Requests: reqs, Steps: steps}
+		opt, a, err := MaxUnit(inst, 0)
+		if err != nil {
+			return false
+		}
+		if got, err := VerifyUnit(inst, a); err != nil || got != opt {
+			return false
+		}
+		// Exhaustive reference: every request picks a step or -1 (reject).
+		best := 0
+		choices := make([]int, n)
+		var enum func(i int)
+		enum = func(i int) {
+			if i == n {
+				cnt := 0
+				a := UnitAssignment{}
+				for j, c := range choices {
+					if c >= 0 {
+						a[j] = c
+						cnt++
+					}
+				}
+				if cnt > best {
+					if _, err := VerifyUnit(inst, a); err == nil {
+						best = cnt
+					}
+				}
+				return
+			}
+			choices[i] = -1
+			enum(i + 1)
+			for s := reqs[i].Release; s < reqs[i].Deadline; s++ {
+				choices[i] = s
+				enum(i + 1)
+			}
+			choices[i] = -1
+		}
+		enum(0)
+		return best == opt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,211 @@
+// Package experiment is the harness that regenerates the paper's tables
+// and figures: it runs (workload × scheduler × replications) grids,
+// aggregates the metrics, and hands series to internal/report for
+// rendering. Every experiment in EXPERIMENTS.md is a thin declaration on
+// top of this package; cmd/figures and the repository benches share the
+// same code paths.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"gridbw/internal/metrics"
+	"gridbw/internal/sched"
+	"gridbw/internal/units"
+	"gridbw/internal/workload"
+)
+
+// Scenario is one (workload, scheduler) cell of an experiment grid.
+type Scenario struct {
+	// Label names the cell in tables, e.g. "window(400)/f=1".
+	Label string
+	// Workload generates the request stream.
+	Workload workload.Config
+	// Scheduler decides it.
+	Scheduler sched.Scheduler
+	// GuaranteeF is the tuning factor used for the #guaranteed metric.
+	GuaranteeF float64
+	// Warmup, when positive, excludes requests arriving before this
+	// instant from the metrics (steady-state measurement): the scheduler
+	// still sees and decides them, but the cold-start prefix does not
+	// inflate the reported accept rate.
+	Warmup units.Time
+}
+
+// Result is the aggregated outcome of a scenario across replications.
+type Result struct {
+	Scenario Scenario
+	Agg      metrics.Aggregate
+	// PerRep holds the raw metrics of each replication, in seed order.
+	PerRep []metrics.Metrics
+}
+
+// Run executes the scenario once per seed and aggregates. Outcomes are
+// verified against the paper's constraint system; a heuristic producing
+// an infeasible outcome is a bug worth failing loudly over.
+func Run(s Scenario, seeds []int64) (*Result, error) {
+	if s.Scheduler == nil {
+		return nil, fmt.Errorf("experiment: scenario %q has no scheduler", s.Label)
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("experiment: scenario %q has no seeds", s.Label)
+	}
+	res := &Result{Scenario: s}
+	for _, seed := range seeds {
+		m, err := runOne(s, seed)
+		if err != nil {
+			return nil, err
+		}
+		res.PerRep = append(res.PerRep, m)
+		res.Agg.Add(m)
+	}
+	return res, nil
+}
+
+// Seeds returns n deterministic replication seeds derived from base.
+func Seeds(base int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = base + int64(i)*1000003 // spread seeds to decorrelate streams
+	}
+	return out
+}
+
+// Point is one x-position of a sweep for one scenario label.
+type Point struct {
+	X      float64
+	Result *Result
+}
+
+// Series is a labelled curve: the accept rate (or any metric the caller
+// extracts) of one scheduler across the sweep.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Sweep runs a family of scenarios over a parameter axis. For each x in
+// xs, build constructs the scenarios to run at that x (typically one per
+// heuristic); the result is one Series per scenario label, each with one
+// Point per x.
+func Sweep(xs []float64, seeds []int64, build func(x float64) []Scenario) ([]Series, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("experiment: empty sweep axis")
+	}
+	byLabel := map[string]*Series{}
+	var order []string
+	for _, x := range xs {
+		for _, sc := range build(x) {
+			// Replications are independent deterministic simulations;
+			// RunParallel is bit-identical to Run (tested) and cuts the
+			// wall-clock of full-scale figure regeneration.
+			res, err := RunParallel(sc, seeds, runtime.NumCPU())
+			if err != nil {
+				return nil, err
+			}
+			s, ok := byLabel[sc.Label]
+			if !ok {
+				s = &Series{Label: sc.Label}
+				byLabel[sc.Label] = s
+				order = append(order, sc.Label)
+			}
+			s.Points = append(s.Points, Point{X: x, Result: res})
+		}
+	}
+	out := make([]Series, 0, len(order))
+	for _, label := range order {
+		out = append(out, *byLabel[label])
+	}
+	return out, nil
+}
+
+// Extract pulls one scalar per point from a series, e.g. mean accept rate.
+func Extract(s Series, get func(*Result) float64) ([]float64, []float64) {
+	xs := make([]float64, len(s.Points))
+	ys := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		xs[i] = p.X
+		ys[i] = get(p.Result)
+	}
+	return xs, ys
+}
+
+// AcceptRateOf is the most common extractor.
+func AcceptRateOf(r *Result) float64 { return r.Agg.AcceptRate.Mean() }
+
+// ResourceUtilOf extracts the paper's RESOURCE-UTIL mean.
+func ResourceUtilOf(r *Result) float64 { return r.Agg.ResourceUtil.Mean() }
+
+// ScaledTimeUtilOf extracts the time-extended bounded-[0,1] utilization.
+func ScaledTimeUtilOf(r *Result) float64 { return r.Agg.ScaledTimeUtil.Mean() }
+
+// GuaranteedRateOf extracts the refined (guaranteed) accept rate mean.
+func GuaranteedRateOf(r *Result) float64 { return r.Agg.GuaranteedRate.Mean() }
+
+// RunParallel executes the scenario's replications concurrently across at
+// most workers goroutines and aggregates in seed order, so its Result is
+// bit-identical to Run's (every replication is an isolated, deterministic
+// simulation — the natural parallelism of the harness). workers <= 0
+// means one goroutine per seed.
+func RunParallel(s Scenario, seeds []int64, workers int) (*Result, error) {
+	if s.Scheduler == nil {
+		return nil, fmt.Errorf("experiment: scenario %q has no scheduler", s.Label)
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("experiment: scenario %q has no seeds", s.Label)
+	}
+	if workers <= 0 || workers > len(seeds) {
+		workers = len(seeds)
+	}
+
+	type slot struct {
+		m   metrics.Metrics
+		err error
+	}
+	slots := make([]slot, len(seeds))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, seed := range seeds {
+		wg.Add(1)
+		go func(i int, seed int64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			slots[i].m, slots[i].err = runOne(s, seed)
+		}(i, seed)
+	}
+	wg.Wait()
+
+	res := &Result{Scenario: s}
+	for i := range slots {
+		if slots[i].err != nil {
+			return nil, slots[i].err
+		}
+		res.PerRep = append(res.PerRep, slots[i].m)
+		res.Agg.Add(slots[i].m)
+	}
+	return res, nil
+}
+
+// runOne executes a single replication; shared by Run and RunParallel.
+func runOne(s Scenario, seed int64) (metrics.Metrics, error) {
+	reqs, err := s.Workload.Generate(seed)
+	if err != nil {
+		return metrics.Metrics{}, fmt.Errorf("experiment: scenario %q seed %d: %w", s.Label, seed, err)
+	}
+	net := s.Workload.Network()
+	out, err := s.Scheduler.Schedule(net, reqs)
+	if err != nil {
+		return metrics.Metrics{}, fmt.Errorf("experiment: scenario %q seed %d: %w", s.Label, seed, err)
+	}
+	if err := out.Verify(); err != nil {
+		return metrics.Metrics{}, fmt.Errorf("experiment: scenario %q seed %d produced infeasible outcome: %w",
+			s.Label, seed, err)
+	}
+	if s.Warmup > 0 {
+		return metrics.EvaluateFiltered(out, s.GuaranteeF, metrics.Warmup(s.Warmup)), nil
+	}
+	return metrics.Evaluate(out, s.GuaranteeF), nil
+}

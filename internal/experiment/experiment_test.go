@@ -1,0 +1,228 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"gridbw/internal/policy"
+	"gridbw/internal/sched/flexible"
+	"gridbw/internal/sched/rigid"
+	"gridbw/internal/workload"
+)
+
+func smallRigid() workload.Config {
+	cfg := workload.Default(workload.Rigid)
+	cfg.Horizon = 200
+	return cfg
+}
+
+func TestRunAggregates(t *testing.T) {
+	s := Scenario{
+		Label:     "fcfs",
+		Workload:  smallRigid(),
+		Scheduler: rigid.FCFS{},
+	}
+	res, err := Run(s, Seeds(1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerRep) != 3 {
+		t.Fatalf("reps = %d", len(res.PerRep))
+	}
+	if res.Agg.AcceptRate.N() != 3 {
+		t.Error("aggregate sample size")
+	}
+	mean := res.Agg.AcceptRate.Mean()
+	if mean <= 0 || mean > 1 {
+		t.Errorf("mean accept rate = %v", mean)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(Scenario{Label: "x", Workload: smallRigid()}, Seeds(1, 1)); err == nil {
+		t.Error("missing scheduler accepted")
+	}
+	if _, err := Run(Scenario{Label: "x", Workload: smallRigid(), Scheduler: rigid.FCFS{}}, nil); err == nil {
+		t.Error("missing seeds accepted")
+	}
+	bad := smallRigid()
+	bad.Horizon = 0
+	if _, err := Run(Scenario{Label: "x", Workload: bad, Scheduler: rigid.FCFS{}}, Seeds(1, 1)); err == nil {
+		t.Error("invalid workload accepted")
+	}
+	// Flexible workload through a rigid-only scheduler must surface the
+	// scheduler error.
+	flex := workload.Default(workload.Flexible)
+	flex.Horizon = 100
+	if _, err := Run(Scenario{Label: "x", Workload: flex, Scheduler: rigid.FCFS{}}, Seeds(1, 1)); err == nil {
+		t.Error("scheduler error swallowed")
+	}
+}
+
+func TestSeedsDeterministicAndDistinct(t *testing.T) {
+	a := Seeds(7, 5)
+	b := Seeds(7, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("seeds not deterministic")
+		}
+	}
+	seen := map[int64]bool{}
+	for _, s := range a {
+		if seen[s] {
+			t.Fatal("duplicate seeds")
+		}
+		seen[s] = true
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	seeds := Seeds(3, 2)
+	xs := []float64{1, 2}
+	series, err := Sweep(xs, seeds, func(x float64) []Scenario {
+		cfg := smallRigid().WithLoad(x)
+		return []Scenario{
+			{Label: "fcfs", Workload: cfg, Scheduler: rigid.FCFS{}},
+			{Label: "minbw", Workload: cfg, Scheduler: rigid.MinBWSlots()},
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) != 2 {
+			t.Errorf("series %q has %d points", s.Label, len(s.Points))
+		}
+		for i, p := range s.Points {
+			if p.X != xs[i] {
+				t.Errorf("series %q x = %v", s.Label, p.X)
+			}
+		}
+	}
+	if series[0].Label != "fcfs" || series[1].Label != "minbw" {
+		t.Error("series order not preserved")
+	}
+}
+
+func TestSweepEmptyAxis(t *testing.T) {
+	if _, err := Sweep(nil, Seeds(1, 1), func(float64) []Scenario { return nil }); err == nil {
+		t.Error("empty axis accepted")
+	}
+}
+
+func TestSweepPropagatesErrors(t *testing.T) {
+	_, err := Sweep([]float64{1}, Seeds(1, 1), func(x float64) []Scenario {
+		return []Scenario{{Label: "broken", Workload: smallRigid()}} // no scheduler
+	})
+	if err == nil || !strings.Contains(err.Error(), "broken") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestExtractAndAccessors(t *testing.T) {
+	cfg := workload.Default(workload.Flexible)
+	cfg.Horizon = 150
+	s := Scenario{
+		Label:      "greedy",
+		Workload:   cfg,
+		Scheduler:  flexible.Greedy{Policy: policy.FractionMaxRate(0.8)},
+		GuaranteeF: 0.8,
+	}
+	res, err := Run(s, Seeds(11, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := Series{Label: "greedy", Points: []Point{{X: 1, Result: res}}}
+	xs, ys := Extract(series, AcceptRateOf)
+	if len(xs) != 1 || xs[0] != 1 {
+		t.Error("extract xs")
+	}
+	if ys[0] != res.Agg.AcceptRate.Mean() {
+		t.Error("extract ys")
+	}
+	if GuaranteedRateOf(res) != res.Agg.GuaranteedRate.Mean() {
+		t.Error("GuaranteedRateOf")
+	}
+	if ResourceUtilOf(res) != res.Agg.ResourceUtil.Mean() {
+		t.Error("ResourceUtilOf")
+	}
+	// With an f=0.8 policy every accepted request is guaranteed at f=0.8.
+	if GuaranteedRateOf(res) != AcceptRateOf(res) {
+		t.Errorf("guaranteed %v != accept %v under f policy",
+			GuaranteedRateOf(res), AcceptRateOf(res))
+	}
+}
+
+func TestRunWithWarmup(t *testing.T) {
+	cfg := smallRigid()
+	base := Scenario{Label: "fcfs", Workload: cfg, Scheduler: rigid.FCFS{}}
+	warm := base
+	warm.Warmup = cfg.Horizon / 2
+
+	full, err := Run(base, Seeds(5, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	steady, err := Run(warm, Seeds(5, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The warm-up run measures fewer requests and (for FCFS on a filling
+	// network) no higher an accept rate.
+	if steady.PerRep[0].Requests >= full.PerRep[0].Requests {
+		t.Errorf("warmup did not exclude requests: %d vs %d",
+			steady.PerRep[0].Requests, full.PerRep[0].Requests)
+	}
+	if steady.Agg.AcceptRate.Mean() > full.Agg.AcceptRate.Mean()+0.05 {
+		t.Errorf("steady-state accept rate above cold-start: %.3f vs %.3f",
+			steady.Agg.AcceptRate.Mean(), full.Agg.AcceptRate.Mean())
+	}
+}
+
+func TestRunParallelMatchesSerial(t *testing.T) {
+	s := Scenario{
+		Label:     "cumulated",
+		Workload:  smallRigid(),
+		Scheduler: rigid.CumulatedSlots(),
+	}
+	seeds := Seeds(21, 6)
+	serial, err := Run(s, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 3, 16} {
+		par, err := RunParallel(s, seeds, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(par.PerRep) != len(serial.PerRep) {
+			t.Fatalf("workers=%d: rep count differs", workers)
+		}
+		for i := range serial.PerRep {
+			if par.PerRep[i] != serial.PerRep[i] {
+				t.Fatalf("workers=%d: replication %d differs:\n%+v\n%+v",
+					workers, i, par.PerRep[i], serial.PerRep[i])
+			}
+		}
+		if par.Agg.AcceptRate.Mean() != serial.Agg.AcceptRate.Mean() {
+			t.Fatalf("workers=%d: aggregate differs", workers)
+		}
+	}
+}
+
+func TestRunParallelErrors(t *testing.T) {
+	if _, err := RunParallel(Scenario{Label: "x", Workload: smallRigid()}, Seeds(1, 2), 2); err == nil {
+		t.Error("missing scheduler accepted")
+	}
+	if _, err := RunParallel(Scenario{Label: "x", Workload: smallRigid(), Scheduler: rigid.FCFS{}}, nil, 2); err == nil {
+		t.Error("missing seeds accepted")
+	}
+	bad := smallRigid()
+	bad.Horizon = 0
+	if _, err := RunParallel(Scenario{Label: "x", Workload: bad, Scheduler: rigid.FCFS{}}, Seeds(1, 3), 2); err == nil {
+		t.Error("invalid workload accepted")
+	}
+}

@@ -1,0 +1,175 @@
+package figures
+
+import (
+	"fmt"
+
+	"gridbw/internal/hotspot"
+	"gridbw/internal/policy"
+	"gridbw/internal/report"
+	"gridbw/internal/request"
+	"gridbw/internal/rng"
+	"gridbw/internal/sched/flexible"
+	"gridbw/internal/sched/longlived"
+	"gridbw/internal/topology"
+	"gridbw/internal/units"
+)
+
+// HotspotResult is the Table T6 outcome: the §7 future-work hot-spot
+// relief evaluated on a replica-skewed workload.
+type HotspotResult struct {
+	BeforeAccept, AfterAccept       float64
+	BeforeImbalance, AfterImbalance float64
+	HottestBefore, HottestAfter     float64 // pressure of the hottest point
+}
+
+// TabHotspot reproduces the future-work experiment (Table T6): a workload
+// whose datasets are all sourced from a few popular sites is scheduled
+// as-is and after replica-aware re-homing; the table reports accept rate
+// and imbalance before and after.
+func TabHotspot(scale Scale) (*HotspotResult, *report.Table, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, nil, err
+	}
+	src := rng.New(scale.Seeds[0])
+	net := topology.Uniform(10, 10, 1*units.GBps)
+
+	// Skewed demand: 80% of transfers source from sites 0-1 (the "popular
+	// dataset" holders); each dataset is replicated on three sites.
+	n := int(float64(scale.Horizon) / 2) // one arrival every ~2 s
+	reqs := make([]request.Request, n)
+	alts := hotspot.Alternatives{}
+	arr := rng.NewPoisson(src.Split("arrivals"), 2, 0)
+	vols := src.Split("volumes")
+	place := src.Split("placement")
+	for i := range reqs {
+		at := units.Time(arr.Next())
+		var ingress topology.PointID
+		if place.Bool(0.8) {
+			ingress = topology.PointID(place.Intn(2))
+		} else {
+			ingress = topology.PointID(place.Intn(10))
+		}
+		rate := units.Bandwidth(vols.Uniform(100, 800)) * units.MBps
+		vol := units.Volume(vols.Uniform(20, 200)) * units.GB
+		reqs[i] = request.Request{
+			ID:      request.ID(i),
+			Ingress: ingress,
+			Egress:  topology.PointID(place.Intn(10)),
+			Start:   at,
+			Finish:  at + vol.Over(rate)*3,
+			Volume:  vol,
+			MaxRate: rate,
+		}
+		// Replicas: the original site plus two deterministic alternates.
+		alts[request.ID(i)] = []topology.PointID{
+			ingress,
+			topology.PointID((int(ingress) + 3 + place.Intn(4)) % 10),
+			topology.PointID((int(ingress) + 7) % 10),
+		}
+	}
+	set, err := request.NewSet(reqs)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	sched := flexible.Window{Policy: policy.FractionMaxRate(0.8), Step: 100}
+	before, err := sched.Schedule(net, set)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := before.Verify(); err != nil {
+		return nil, nil, err
+	}
+	rehomed, err := hotspot.RehomeBalanced(net, set, alts)
+	if err != nil {
+		return nil, nil, err
+	}
+	after, err := sched.Schedule(net, rehomed)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := after.Verify(); err != nil {
+		return nil, nil, err
+	}
+
+	rb, ra := hotspot.Analyze(before), hotspot.Analyze(after)
+	res := &HotspotResult{
+		BeforeAccept:    before.AcceptRate(),
+		AfterAccept:     after.AcceptRate(),
+		BeforeImbalance: rb.Imbalance,
+		AfterImbalance:  ra.Imbalance,
+		HottestBefore:   rb.Hottest(1)[0].Pressure(),
+		HottestAfter:    ra.Hottest(1)[0].Pressure(),
+	}
+	t := &report.Table{
+		Title:   "Table T6: hot-spot relief via replica-aware re-homing (§7 future work)",
+		Headers: []string{"variant", "accept rate", "demand imbalance (Gini)", "hottest-point pressure"},
+	}
+	t.AddRow("original placement", fmt.Sprintf("%.3f", res.BeforeAccept),
+		fmt.Sprintf("%.3f", res.BeforeImbalance), fmt.Sprintf("%.2f", res.HottestBefore))
+	t.AddRow("rehomed to replicas", fmt.Sprintf("%.3f", res.AfterAccept),
+		fmt.Sprintf("%.3f", res.AfterImbalance), fmt.Sprintf("%.2f", res.HottestAfter))
+	return res, t, nil
+}
+
+// LongLivedRow is one Table T7 case: greedy vs flow-optimal on uniform
+// long-lived requests.
+type LongLivedRow struct {
+	Requests        int
+	Greedy, Optimal int
+}
+
+// TabLongLived verifies the companion polynomial-case result the paper
+// cites in §3 (Table T7): on uniform long-lived requests the max-flow
+// formulation is optimal, and the table reports how much the greedy
+// heuristic leaves on the table across random placements.
+func TabLongLived(cases int, seed int64) ([]LongLivedRow, *report.Table, error) {
+	if cases <= 0 {
+		return nil, nil, fmt.Errorf("figures: non-positive case count %d", cases)
+	}
+	src := rng.New(seed)
+	var rows []LongLivedRow
+	var sumG, sumO int
+	for c := 0; c < cases; c++ {
+		m := src.Intn(6) + 3
+		n := src.Intn(6) + 3
+		b := 250 * units.MBps
+		net := topology.Uniform(m, n, 1*units.GBps) // 4 slots per point
+		k := src.Intn(4*m) + m
+		reqs := make([]longlived.Request, k)
+		for i := range reqs {
+			reqs[i] = longlived.Request{
+				ID:      i,
+				Ingress: topology.PointID(src.Intn(m)),
+				Egress:  topology.PointID(src.Intn(n)),
+				BW:      b,
+			}
+		}
+		g, err := longlived.Greedy(net, reqs)
+		if err != nil {
+			return nil, nil, err
+		}
+		o, err := longlived.OptimalUniform(net, reqs, b)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := longlived.Verify(net, reqs, o.Accepted); err != nil {
+			return nil, nil, err
+		}
+		rows = append(rows, LongLivedRow{Requests: k, Greedy: len(g.Accepted), Optimal: len(o.Accepted)})
+		sumG += len(g.Accepted)
+		sumO += len(o.Accepted)
+	}
+	t := &report.Table{
+		Title:   "Table T7: uniform long-lived requests — greedy vs polynomial optimum (max-flow)",
+		Headers: []string{"case", "requests", "greedy", "optimal", "gap"},
+	}
+	for i, r := range rows {
+		t.AddRow(fmt.Sprintf("%d", i), fmt.Sprintf("%d", r.Requests),
+			fmt.Sprintf("%d", r.Greedy), fmt.Sprintf("%d", r.Optimal),
+			fmt.Sprintf("%d", r.Optimal-r.Greedy))
+	}
+	t.AddRow("total", "", fmt.Sprintf("%d", sumG), fmt.Sprintf("%d", sumO),
+		fmt.Sprintf("%d", sumO-sumG))
+	return rows, t, nil
+}

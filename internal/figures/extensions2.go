@@ -1,0 +1,248 @@
+package figures
+
+import (
+	"fmt"
+	"sort"
+
+	"gridbw/internal/core"
+	"gridbw/internal/distributed"
+	"gridbw/internal/policy"
+	"gridbw/internal/report"
+	"gridbw/internal/rng"
+	"gridbw/internal/sched/flexible"
+	"gridbw/internal/units"
+	"gridbw/internal/workload"
+)
+
+// DistributedSyncPeriods is the staleness axis of Table T8 (seconds;
+// 0 = read-through).
+func DistributedSyncPeriods() []units.Time { return []units.Time{0, 10, 50, 200, 1000} }
+
+// DistributedRow is one Table T8 measurement.
+type DistributedRow struct {
+	SyncPeriod   units.Time
+	AcceptRate   float64
+	ConflictRate float64
+	LocalReject  float64
+}
+
+// TabDistributed reproduces the §7 distributed-allocation study (Table
+// T8): accept and conflict rates versus the egress-state sync period,
+// with the centralized greedy scheduler as the reference row.
+func TabDistributed(scale Scale) ([]DistributedRow, *report.Table, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, nil, err
+	}
+	cfg := scale.flexibleAt(1)
+	net := cfg.Network()
+	p := policy.FractionMaxRate(1)
+
+	t := &report.Table{
+		Title:   "Table T8: distributed allocation — accept/conflict vs egress-state sync period",
+		Headers: []string{"sync period", "accept rate", "conflict rate", "local-reject rate"},
+	}
+
+	var centralAcc float64
+	for _, seed := range scale.Seeds {
+		reqs, err := cfg.Generate(seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		out, err := flexible.Greedy{Policy: p}.Schedule(net, reqs)
+		if err != nil {
+			return nil, nil, err
+		}
+		centralAcc += out.AcceptRate()
+	}
+	centralAcc /= float64(len(scale.Seeds))
+	t.AddRow("centralized (§5 greedy)", fmt.Sprintf("%.3f", centralAcc), "0.000", "-")
+
+	var rows []DistributedRow
+	for _, sync := range DistributedSyncPeriods() {
+		var acc, conf, local float64
+		for _, seed := range scale.Seeds {
+			reqs, err := cfg.Generate(seed)
+			if err != nil {
+				return nil, nil, err
+			}
+			rep, err := distributed.Run(net, reqs, distributed.Config{
+				SyncPeriod: sync, MsgDelay: 0.01, Policy: p,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			if err := rep.Outcome.Verify(); err != nil {
+				return nil, nil, err
+			}
+			acc += rep.Rate(distributed.Accepted)
+			conf += rep.Rate(distributed.Conflict)
+			local += rep.Rate(distributed.LocalReject)
+		}
+		k := float64(len(scale.Seeds))
+		row := DistributedRow{
+			SyncPeriod: sync, AcceptRate: acc / k,
+			ConflictRate: conf / k, LocalReject: local / k,
+		}
+		rows = append(rows, row)
+		label := row.SyncPeriod.String()
+		if sync == 0 {
+			label = "read-through"
+		}
+		t.AddRow(label, fmt.Sprintf("%.3f", row.AcceptRate),
+			fmt.Sprintf("%.3f", row.ConflictRate), fmt.Sprintf("%.3f", row.LocalReject))
+	}
+	return rows, t, nil
+}
+
+// BookAheadFractions is the Table T9 axis: the fraction of requests that
+// reserve in advance.
+func BookAheadFractions() []float64 { return []float64{0, 0.25, 0.5, 0.75, 1} }
+
+// BookAheadRow is one Table T9 measurement.
+type BookAheadRow struct {
+	Fraction   float64
+	AcceptRate float64
+}
+
+// TabBookAhead studies book-ahead periods (Table T9, after the related
+// work the paper positions against in §6). A book-ahead request is
+// *submitted* a full mean-window before its transmission window opens, so
+// the planner decides it before competing just-in-time traffic; and the
+// profile-based Planner can defer any request's start into a future gap,
+// which the instantaneous on-line System cannot. The table sweeps the
+// book-ahead fraction and adds the on-line System as the no-deferral
+// reference row.
+func TabBookAhead(scale Scale) ([]BookAheadRow, *report.Table, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, nil, err
+	}
+	base := workload.Default(workload.Flexible)
+	base.Horizon = scale.Horizon
+	base.MeanInterArrival = 3
+	platform := core.Config{
+		Ingress: capacities(base.NumIngress, base.PointCapacity),
+		Egress:  capacities(base.NumEgress, base.PointCapacity),
+		Policy:  "f=0.8",
+	}
+
+	t := &report.Table{
+		Title:   "Table T9: book-ahead reservations — accept rate vs advance fraction (f=0.8)",
+		Headers: []string{"variant", "accept rate"},
+	}
+
+	// Reference: the on-line System decides at arrival with no deferral.
+	var onlineAcc float64
+	for _, seed := range scale.Seeds {
+		reqs, err := base.Generate(seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		sys, err := core.NewSystem(platform)
+		if err != nil {
+			return nil, nil, err
+		}
+		accepted := 0
+		for _, r := range reqs.All() {
+			if err := sys.AdvanceTo(r.Start); err != nil {
+				return nil, nil, err
+			}
+			d, err := sys.Submit(core.Transfer{
+				From: int(r.Ingress), To: int(r.Egress),
+				Volume: r.Volume, Deadline: r.Finish, MaxRate: r.MaxRate,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			if d.Accepted {
+				accepted++
+			}
+		}
+		onlineAcc += float64(accepted) / float64(reqs.Len())
+	}
+	onlineAcc /= float64(len(scale.Seeds))
+	t.AddRow("on-line System (no deferral)", fmt.Sprintf("%.3f", onlineAcc))
+
+	var rows []BookAheadRow
+	for _, frac := range BookAheadFractions() {
+		var acc float64
+		for _, seed := range scale.Seeds {
+			reqs, err := base.Generate(seed)
+			if err != nil {
+				return nil, nil, err
+			}
+			pl, err := core.NewPlanner(platform)
+			if err != nil {
+				return nil, nil, err
+			}
+			pick := rng.New(seed).Split("bookahead")
+			// Submission time: book-ahead requests arrive one mean window
+			// early (clamped at 0); just-in-time requests at their window
+			// opening. Decisions happen in submission order.
+			all := reqs.All()
+			subs := make([]submission, len(all))
+			var meanWindow units.Time
+			for _, r := range all {
+				meanWindow += r.WindowLength()
+			}
+			meanWindow /= units.Time(len(all))
+			for i, r := range all {
+				at := r.Start
+				if pick.Bool(frac) {
+					at -= meanWindow
+					if at < 0 {
+						at = 0
+					}
+				}
+				subs[i] = submission{at: at, idx: i}
+			}
+			sortSubmissions(subs)
+			accepted := 0
+			for _, s := range subs {
+				r := all[s.idx]
+				if err := pl.AdvanceTo(s.at); err != nil {
+					return nil, nil, err
+				}
+				res, err := pl.Reserve(core.AdvanceTransfer{
+					From: int(r.Ingress), To: int(r.Egress),
+					Volume: r.Volume, NotBefore: r.Start, Deadline: r.Finish,
+					MaxRate: r.MaxRate,
+				})
+				if err != nil {
+					return nil, nil, err
+				}
+				if res.Accepted {
+					accepted++
+				}
+			}
+			acc += float64(accepted) / float64(len(all))
+		}
+		row := BookAheadRow{Fraction: frac, AcceptRate: acc / float64(len(scale.Seeds))}
+		rows = append(rows, row)
+		t.AddRow(fmt.Sprintf("planner, book-ahead %.2f", frac), fmt.Sprintf("%.3f", row.AcceptRate))
+	}
+	return rows, t, nil
+}
+
+// submission pairs a request index with its submission instant.
+type submission struct {
+	at  units.Time
+	idx int
+}
+
+// sortSubmissions orders by submission time, breaking ties by index.
+func sortSubmissions(subs []submission) {
+	sort.Slice(subs, func(i, j int) bool {
+		if subs[i].at != subs[j].at {
+			return subs[i].at < subs[j].at
+		}
+		return subs[i].idx < subs[j].idx
+	})
+}
+
+func capacities(n int, c units.Bandwidth) []units.Bandwidth {
+	out := make([]units.Bandwidth, n)
+	for i := range out {
+		out[i] = c
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package figures
+
+import (
+	"fmt"
+
+	"gridbw/internal/metrics"
+	"gridbw/internal/policy"
+	"gridbw/internal/report"
+	"gridbw/internal/sched/flexible"
+	"gridbw/internal/teletraffic"
+	"gridbw/internal/units"
+	"gridbw/internal/workload"
+)
+
+// TheoryRow is one Table T15 comparison point.
+type TheoryRow struct {
+	MeanInterArrival float64
+	Simulated        float64
+	Analytic         float64
+}
+
+// theoryArrivals is the Table T15 axis (seconds).
+func theoryArrivals() []float64 { return []float64{3, 5, 10, 20} }
+
+// TabTheoryCheck (Table T15) validates the simulator against classical
+// teletraffic theory. Under the f=1 policy the greedy scheduler is
+// exactly a two-sided multirate Erlang loss system: requests demand their
+// host rate for vol/rate holding time and are blocked when either access
+// point lacks capacity. The analytic side is Kaufman-Roberts blocking per
+// link with the reduced-load fixed point across the ingress/egress pair;
+// the simulated side is the greedy scheduler in steady state (long
+// horizon, warm-up excluded). Erlang loss systems are insensitive to the
+// holding-time distribution, so only the Poisson arrivals matter — the
+// residual gap measures the reduced-load independence approximation and
+// the rate discretization, not simulator bugs.
+func TabTheoryCheck(scale Scale) ([]TheoryRow, *report.Table, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, nil, err
+	}
+	base := workload.Default(workload.Flexible)
+
+	// Analytic model: discretize the uniform [RateMin, RateMax] host-rate
+	// draw into bins of RateMin width; volume is independent with mean
+	// E[vol]; per-class holding time = E[vol]/rate.
+	const bins = 10
+	unit := float64(base.RateMin) // 10 MB/s per capacity unit
+	capUnits := int(float64(base.PointCapacity)/unit + 0.5)
+	meanVol := float64(workload.MeanVolume(base.Volumes))
+
+	t := &report.Table{
+		Title:   "Table T15: simulated greedy (steady state) vs Kaufman-Roberts reduced-load theory (f=1)",
+		Headers: []string{"inter-arrival (s)", "simulated accept", "analytic accept", "abs gap"},
+	}
+	var rows []TheoryRow
+	for _, mia := range theoryArrivals() {
+		// --- analytic side ---
+		lambda := 1 / mia
+		classes := make([]teletraffic.Class, bins)
+		weights := make([]float64, bins)
+		binWidth := (float64(base.RateMax) - float64(base.RateMin)) / bins
+		for k := 0; k < bins; k++ {
+			rate := float64(base.RateMin) + (float64(k)+0.5)*binWidth
+			classUnits := int(rate/unit + 0.5)
+			if classUnits < 1 {
+				classUnits = 1
+			}
+			hold := meanVol / rate
+			classes[k] = teletraffic.Class{
+				Units:   classUnits,
+				Erlangs: lambda * (1.0 / bins) * hold,
+			}
+			weights[k] = 1.0 / bins
+		}
+		sys := teletraffic.PairSystem{
+			CapacityUnits: capUnits,
+			In:            base.NumIngress,
+			Out:           base.NumEgress,
+			Classes:       classes,
+		}
+		res, err := sys.Solve()
+		if err != nil {
+			return nil, nil, err
+		}
+		analytic, err := teletraffic.WeightedAccept(res.PerClassAccept, weights)
+		if err != nil {
+			return nil, nil, err
+		}
+
+		// --- simulated side: steady state with warm-up ---
+		cfg := base
+		cfg.MeanInterArrival = units.Time(mia)
+		// The longest holding time is 1 TB at 10 MB/s = 1e5 s; the horizon
+		// must dwarf it and the warm-up must cover the fill transient.
+		cfg.Horizon = scale.Horizon * 150
+		warmup := cfg.Horizon / 2
+		var sim float64
+		for _, seed := range scale.Seeds {
+			reqs, err := cfg.Generate(seed)
+			if err != nil {
+				return nil, nil, err
+			}
+			out, err := (flexible.Greedy{Policy: policy.FractionMaxRate(1)}).Schedule(cfg.Network(), reqs)
+			if err != nil {
+				return nil, nil, err
+			}
+			m := metrics.EvaluateFiltered(out, 0, metrics.Warmup(warmup))
+			sim += m.AcceptRate
+		}
+		sim /= float64(len(scale.Seeds))
+
+		row := TheoryRow{MeanInterArrival: mia, Simulated: sim, Analytic: analytic}
+		rows = append(rows, row)
+		t.AddRow(fmt.Sprintf("%g", mia),
+			fmt.Sprintf("%.3f", sim),
+			fmt.Sprintf("%.3f", analytic),
+			fmt.Sprintf("%.3f", abs(sim-analytic)))
+	}
+	return rows, t, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,51 @@
+package figures
+
+import (
+	"gridbw/internal/experiment"
+	"gridbw/internal/report"
+	"gridbw/internal/sched"
+	"gridbw/internal/sched/rigid"
+)
+
+// Fig4Loads is the offered-load axis of Figure 4.
+func Fig4Loads() []float64 { return []float64{0.5, 1, 1.5, 2, 3, 4, 5} }
+
+// Fig4 reproduces Figure 4: the four rigid heuristics (FIFO,
+// MINVOL-SLOTS, MINBW-SLOTS, CUMULATED-SLOTS) compared on accept rate
+// (left panel) and RESOURCE-UTIL (right panel) across system load.
+// It returns the raw series plus the two rendered panels.
+func Fig4(scale Scale) ([]experiment.Series, []*report.Table, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, nil, err
+	}
+	schedulers := func() []sched.Scheduler {
+		return []sched.Scheduler{
+			rigid.FCFS{},
+			rigid.MinVolSlots(),
+			rigid.MinBWSlots(),
+			rigid.CumulatedSlots(),
+		}
+	}
+	series, err := experiment.Sweep(Fig4Loads(), scale.Seeds, func(load float64) []experiment.Scenario {
+		cfg := scale.rigidAt(load)
+		var out []experiment.Scenario
+		for _, s := range schedulers() {
+			out = append(out, experiment.Scenario{
+				Label:     s.Name(),
+				Workload:  cfg,
+				Scheduler: s,
+			})
+		}
+		return out
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	tables := []*report.Table{
+		report.SeriesTable("Figure 4 (left): accept rate vs load, rigid heuristics",
+			"load", series, experiment.AcceptRateOf),
+		report.SeriesTable("Figure 4 (right): utilization ratio vs load, rigid heuristics (time-extended B^scaled)",
+			"load", series, experiment.ScaledTimeUtilOf),
+	}
+	return series, tables, nil
+}

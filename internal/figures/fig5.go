@@ -1,0 +1,51 @@
+package figures
+
+import (
+	"fmt"
+
+	"gridbw/internal/experiment"
+	"gridbw/internal/policy"
+	"gridbw/internal/report"
+	"gridbw/internal/sched/flexible"
+	"gridbw/internal/units"
+)
+
+// Fig5Arrivals is the heavy-load mean-inter-arrival axis (seconds) of
+// Figure 5.
+func Fig5Arrivals() []float64 { return []float64{0.1, 0.2, 0.5, 1, 2, 5} }
+
+// Fig5Steps are the WINDOW interval lengths compared in Figure 5.
+func Fig5Steps() []units.Time { return []units.Time{50, 100, 200, 400, 800} }
+
+// Fig5 reproduces Figure 5: FCFS (greedy) versus the interval-based
+// heuristic with several window lengths, under heavy load with the f=1
+// bandwidth policy.
+func Fig5(scale Scale) ([]experiment.Series, *report.Table, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, nil, err
+	}
+	series, err := experiment.Sweep(Fig5Arrivals(), scale.Seeds, func(mia float64) []experiment.Scenario {
+		cfg := scale.flexibleAt(mia)
+		p := policy.FractionMaxRate(1)
+		out := []experiment.Scenario{{
+			Label:     "fcfs",
+			Workload:  cfg,
+			Scheduler: flexible.Greedy{Policy: p},
+		}}
+		for _, step := range Fig5Steps() {
+			out = append(out, experiment.Scenario{
+				Label:     fmt.Sprintf("window(%g)", float64(step)),
+				Workload:  cfg,
+				Scheduler: flexible.Window{Policy: p, Step: step},
+			})
+		}
+		return out
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	table := report.SeriesTable(
+		"Figure 5: accept rate vs mean inter-arrival (s), heavy load, f=1",
+		"inter-arrival", series, experiment.AcceptRateOf)
+	return series, table, nil
+}

@@ -1,0 +1,97 @@
+package figures
+
+import (
+	"fmt"
+
+	"gridbw/internal/experiment"
+	"gridbw/internal/policy"
+	"gridbw/internal/report"
+	"gridbw/internal/sched"
+	"gridbw/internal/sched/flexible"
+	"gridbw/internal/units"
+)
+
+// HeavyArrivals and LightArrivals are the two load regimes of Figures 6
+// and 7: mean inter-arrival 0.1–5 s (heavy) and 3–20 s (underloaded).
+func HeavyArrivals() []float64 { return []float64{0.1, 0.2, 0.5, 1, 2, 5} }
+
+// LightArrivals is the underloaded axis of Figures 6 and 7.
+func LightArrivals() []float64 { return []float64{3, 5, 10, 15, 20} }
+
+// PolicyFactors are the f values compared in Figures 6 and 7, alongside
+// the MIN BW policy.
+func PolicyFactors() []float64 { return []float64{0.2, 0.5, 0.8, 1.0} }
+
+// policyPanel sweeps one heuristic family over one arrival axis with the
+// MIN BW policy plus each f policy.
+func policyPanel(scale Scale, axis []float64, build func(p policy.Policy) sched.Scheduler) ([]experiment.Series, error) {
+	return experiment.Sweep(axis, scale.Seeds, func(mia float64) []experiment.Scenario {
+		cfg := scale.flexibleAt(mia)
+		policies := []policy.Policy{policy.MinRate()}
+		for _, f := range PolicyFactors() {
+			policies = append(policies, policy.FractionMaxRate(f))
+		}
+		var out []experiment.Scenario
+		for _, p := range policies {
+			out = append(out, experiment.Scenario{
+				Label:     p.Name(),
+				Workload:  cfg,
+				Scheduler: build(p),
+			})
+		}
+		return out
+	})
+}
+
+// Fig6 reproduces Figure 6: the FCFS (greedy) heuristic with different
+// bandwidth policies under heavy (left) and underloaded (right)
+// conditions.
+func Fig6(scale Scale) (heavy, light []experiment.Series, tables []*report.Table, err error) {
+	if err := scale.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	mk := func(p policy.Policy) sched.Scheduler { return flexible.Greedy{Policy: p} }
+	heavy, err = policyPanel(scale, HeavyArrivals(), mk)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	light, err = policyPanel(scale, LightArrivals(), mk)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	tables = []*report.Table{
+		report.SeriesTable("Figure 6 (left): FCFS accept rate vs inter-arrival (s), heavy load",
+			"inter-arrival", heavy, experiment.AcceptRateOf),
+		report.SeriesTable("Figure 6 (right): FCFS accept rate vs inter-arrival (s), underloaded",
+			"inter-arrival", light, experiment.AcceptRateOf),
+	}
+	return heavy, light, tables, nil
+}
+
+// Fig7Step is the WINDOW length used in Figure 7.
+const Fig7Step = 400 * units.Second
+
+// Fig7 reproduces Figure 7: the WINDOW(400) heuristic with different
+// bandwidth policies under heavy (left) and underloaded (right)
+// conditions.
+func Fig7(scale Scale) (heavy, light []experiment.Series, tables []*report.Table, err error) {
+	if err := scale.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	mk := func(p policy.Policy) sched.Scheduler { return flexible.Window{Policy: p, Step: Fig7Step} }
+	heavy, err = policyPanel(scale, HeavyArrivals(), mk)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	light, err = policyPanel(scale, LightArrivals(), mk)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	tables = []*report.Table{
+		report.SeriesTable(fmt.Sprintf("Figure 7 (left): WINDOW(%g) accept rate vs inter-arrival (s), heavy load", float64(Fig7Step)),
+			"inter-arrival", heavy, experiment.AcceptRateOf),
+		report.SeriesTable(fmt.Sprintf("Figure 7 (right): WINDOW(%g) accept rate vs inter-arrival (s), underloaded", float64(Fig7Step)),
+			"inter-arrival", light, experiment.AcceptRateOf),
+	}
+	return heavy, light, tables, nil
+}

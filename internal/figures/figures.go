@@ -1,0 +1,61 @@
+// Package figures declares every reproduction experiment of DESIGN.md §4
+// — one constructor per table or figure of the paper plus the added
+// verification tables — on top of the experiment harness. cmd/figures
+// renders them to results/, bench_test.go times them, and the package's
+// tests assert the qualitative shapes the paper reports.
+package figures
+
+import (
+	"fmt"
+
+	"gridbw/internal/experiment"
+	"gridbw/internal/units"
+	"gridbw/internal/workload"
+)
+
+// Scale sets how heavy an experiment run is. Quick keeps unit tests and
+// benches snappy; Full is what cmd/figures uses for EXPERIMENTS.md.
+type Scale struct {
+	// Seeds are the replication seeds.
+	Seeds []int64
+	// Horizon is the workload arrival horizon.
+	Horizon units.Time
+}
+
+// Quick is the test/bench scale: one replication, short horizon.
+func Quick() Scale {
+	return Scale{Seeds: experiment.Seeds(42, 1), Horizon: 400 * units.Second}
+}
+
+// Full is the EXPERIMENTS.md scale: 5 replications, the paper-sized
+// 2000-second horizon.
+func Full() Scale {
+	return Scale{Seeds: experiment.Seeds(42, 5), Horizon: 2000 * units.Second}
+}
+
+// Validate rejects unusable scales early.
+func (s Scale) Validate() error {
+	if len(s.Seeds) == 0 {
+		return fmt.Errorf("figures: scale has no seeds")
+	}
+	if s.Horizon <= 0 {
+		return fmt.Errorf("figures: non-positive horizon %v", s.Horizon)
+	}
+	return nil
+}
+
+// rigidAt returns the §4.3 rigid workload at the given offered load.
+func (s Scale) rigidAt(load float64) workload.Config {
+	cfg := workload.Default(workload.Rigid)
+	cfg.Horizon = s.Horizon
+	return cfg.WithLoad(load)
+}
+
+// flexibleAt returns the §5.3 flexible workload at the given mean
+// inter-arrival time.
+func (s Scale) flexibleAt(meanInterArrival float64) workload.Config {
+	cfg := workload.Default(workload.Flexible)
+	cfg.Horizon = s.Horizon
+	cfg.MeanInterArrival = units.Time(meanInterArrival)
+	return cfg
+}

@@ -1,0 +1,606 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+
+	"gridbw/internal/experiment"
+	"gridbw/internal/units"
+	"gridbw/internal/workload"
+)
+
+func TestScaleValidate(t *testing.T) {
+	if err := Quick().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Full().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Scale{}).Validate(); err == nil {
+		t.Error("empty scale validated")
+	}
+	if err := (Scale{Seeds: []int64{1}}).Validate(); err == nil {
+		t.Error("zero horizon validated")
+	}
+}
+
+func TestScaleRejectedEverywhere(t *testing.T) {
+	bad := Scale{}
+	if _, _, err := Fig4(bad); err == nil {
+		t.Error("Fig4 accepted bad scale")
+	}
+	if _, _, err := Fig5(bad); err == nil {
+		t.Error("Fig5 accepted bad scale")
+	}
+	if _, _, _, err := Fig6(bad); err == nil {
+		t.Error("Fig6 accepted bad scale")
+	}
+	if _, _, _, err := Fig7(bad); err == nil {
+		t.Error("Fig7 accepted bad scale")
+	}
+	if _, _, err := TabTuning(bad); err == nil {
+		t.Error("TabTuning accepted bad scale")
+	}
+	if _, _, err := TabTCPBaseline(bad); err == nil {
+		t.Error("TabTCPBaseline accepted bad scale")
+	}
+	if _, _, err := TabOverlayEnforce(bad); err == nil {
+		t.Error("TabOverlayEnforce accepted bad scale")
+	}
+	if _, _, err := TabReduction(0, 1); err == nil {
+		t.Error("TabReduction accepted zero cases")
+	}
+	if _, _, err := TabOptimalityGap(0, 1); err == nil {
+		t.Error("TabOptimalityGap accepted zero cases")
+	}
+}
+
+// seriesByLabel indexes sweep output.
+func seriesByLabel(ss []experiment.Series) map[string]experiment.Series {
+	out := map[string]experiment.Series{}
+	for _, s := range ss {
+		out[s.Label] = s
+	}
+	return out
+}
+
+func lastPoint(s experiment.Series) *experiment.Result {
+	return s.Points[len(s.Points)-1].Result
+}
+
+func firstPoint(s experiment.Series) *experiment.Result {
+	return s.Points[0].Result
+}
+
+func TestFig4Shape(t *testing.T) {
+	series, tables, err := Fig4(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	by := seriesByLabel(series)
+	for _, name := range []string{"fcfs", "minvol-slots", "minbw-slots", "cumulated-slots"} {
+		s, ok := by[name]
+		if !ok {
+			t.Fatalf("series %q missing", name)
+		}
+		if len(s.Points) != len(Fig4Loads()) {
+			t.Fatalf("series %q has %d points", name, len(s.Points))
+		}
+	}
+	// Paper shape: under the heaviest load the slot heuristics beat FCFS
+	// on accept rate.
+	heavyIdx := len(Fig4Loads()) - 1
+	fcfs := experiment.AcceptRateOf(by["fcfs"].Points[heavyIdx].Result)
+	cumulated := experiment.AcceptRateOf(by["cumulated-slots"].Points[heavyIdx].Result)
+	minbw := experiment.AcceptRateOf(by["minbw-slots"].Points[heavyIdx].Result)
+	if cumulated <= fcfs || minbw <= fcfs {
+		t.Errorf("at load %g: fcfs=%.3f cumulated=%.3f minbw=%.3f — slot family should win",
+			Fig4Loads()[heavyIdx], fcfs, cumulated, minbw)
+	}
+	// Accept rate decreases with load for every heuristic (weak check:
+	// last <= first).
+	for name, s := range by {
+		lo := experiment.AcceptRateOf(firstPoint(s))
+		hi := experiment.AcceptRateOf(lastPoint(s))
+		if hi > lo+0.05 {
+			t.Errorf("%s accept rate grew with load: %.3f -> %.3f", name, lo, hi)
+		}
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	series, table, err := Fig5(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != len(Fig5Arrivals()) {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	by := seriesByLabel(series)
+	// Heaviest point (inter-arrival 0.1): long windows beat FCFS.
+	fcfs := experiment.AcceptRateOf(firstPoint(by["fcfs"]))
+	w800 := experiment.AcceptRateOf(firstPoint(by["window(800)"]))
+	if w800 <= fcfs {
+		t.Errorf("window(800)=%.3f not above fcfs=%.3f under heavy load", w800, fcfs)
+	}
+	// Longer windows do no worse than the shortest.
+	w50 := experiment.AcceptRateOf(firstPoint(by["window(50)"]))
+	if w800 < w50-0.02 {
+		t.Errorf("window(800)=%.3f below window(50)=%.3f", w800, w50)
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	heavy, light, tables, err := Fig6(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	byLight := seriesByLabel(light)
+	// Underloaded: smaller bandwidth policy accepts at least as much as
+	// f=1 (the paper: "a smaller bandwidth to each request results in
+	// more accepted requests, especially when the network is not too much
+	// loaded").
+	minbw := experiment.AcceptRateOf(lastPoint(byLight["minbw"]))
+	f1 := experiment.AcceptRateOf(lastPoint(byLight["f=1"]))
+	if minbw < f1-0.02 {
+		t.Errorf("underloaded: minbw=%.3f below f=1=%.3f", minbw, f1)
+	}
+	byHeavy := seriesByLabel(heavy)
+	for label, s := range byHeavy {
+		for _, p := range s.Points {
+			r := experiment.AcceptRateOf(p.Result)
+			if r < 0 || r > 1 {
+				t.Errorf("heavy %s accept rate %v out of range", label, r)
+			}
+		}
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	heavy, light, tables, err := Fig7(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 || len(heavy) != 5 || len(light) != 5 {
+		t.Fatalf("shape: %d tables, %d heavy, %d light", len(tables), len(heavy), len(light))
+	}
+	if !strings.Contains(tables[0].Title, "WINDOW(400)") {
+		t.Errorf("title = %q", tables[0].Title)
+	}
+}
+
+func TestTabTuningShape(t *testing.T) {
+	series, table, err := TabTuning(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != len(TuningFactors()) {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	for _, s := range series {
+		// f=0 accepts at least as much as f=1 when underloaded (weak form
+		// of the paper's linear-in-(1−f) trade-off).
+		lo := experiment.AcceptRateOf(firstPoint(s))
+		hi := experiment.AcceptRateOf(lastPoint(s))
+		if hi > lo+0.02 {
+			t.Errorf("%s: accept rate rose with f (%.3f -> %.3f)", s.Label, lo, hi)
+		}
+		// Guaranteed never exceeds accepted.
+		for _, p := range s.Points {
+			if g, a := experiment.GuaranteedRateOf(p.Result), experiment.AcceptRateOf(p.Result); g > a+1e-9 {
+				t.Errorf("%s at f=%g: guaranteed %.3f > accept %.3f", s.Label, p.X, g, a)
+			}
+		}
+	}
+}
+
+func TestTabReductionAllAgree(t *testing.T) {
+	rows, table, err := TabReduction(12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 || len(table.Rows) != 12 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	sawMatching, sawNone := false, false
+	for _, r := range rows {
+		if !r.Agree {
+			t.Errorf("disagreement on n=%d |T|=%d planted=%v", r.N, r.Triples, r.Planted)
+		}
+		if r.HasMatching {
+			sawMatching = true
+		} else {
+			sawNone = true
+		}
+	}
+	if !sawMatching || !sawNone {
+		t.Log("warning: reduction cases covered only one side of the equivalence")
+	}
+}
+
+func TestTabTCPBaselineShape(t *testing.T) {
+	cmp, table, err := TabTCPBaseline(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	if cmp.TCPFailureRate <= 0 {
+		t.Error("fluid baseline shows no failures under heavy tight load")
+	}
+	if cmp.SchedAcceptRate <= 0 {
+		t.Error("scheduler accepted nothing")
+	}
+	if cmp.SchedCompletionRate != 1 {
+		t.Error("admitted reservations must always complete")
+	}
+}
+
+func TestTabOptimalityGapShape(t *testing.T) {
+	rows, table, err := TabOptimalityGap(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 || len(table.Rows) != 4 {
+		t.Fatalf("shape: %d rows, %d table rows", len(rows), len(table.Rows))
+	}
+	for _, r := range rows {
+		for name, got := range r.ByName {
+			if got > r.Optimum {
+				t.Errorf("%s accepted %d > optimum %d", name, got, r.Optimum)
+			}
+		}
+	}
+}
+
+func TestTabOverlayEnforceShape(t *testing.T) {
+	res, table, err := TabOverlayEnforce(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 6 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	if res.ConformingRatio != 1 {
+		t.Errorf("conforming delivery = %v, want 1", res.ConformingRatio)
+	}
+	if res.CheatingRatio > 0.6 || res.CheatingDropEvents == 0 {
+		t.Errorf("cheating delivery = %v with %d drops — enforcement missing",
+			res.CheatingRatio, res.CheatingDropEvents)
+	}
+	if res.MeanRTT <= 0 {
+		t.Error("RTT not measured")
+	}
+	if res.MeanOverheadRatio <= 0 || res.MeanOverheadRatio > 0.01 {
+		t.Errorf("overhead ratio = %v, want small positive", res.MeanOverheadRatio)
+	}
+}
+
+func TestTabHotspotShape(t *testing.T) {
+	res, table, err := TabHotspot(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	if res.AfterAccept <= res.BeforeAccept {
+		t.Errorf("rehoming did not improve accepts: %.3f -> %.3f",
+			res.BeforeAccept, res.AfterAccept)
+	}
+	if res.AfterImbalance >= res.BeforeImbalance {
+		t.Errorf("rehoming did not flatten demand: %.3f -> %.3f",
+			res.BeforeImbalance, res.AfterImbalance)
+	}
+	if res.HottestAfter >= res.HottestBefore {
+		t.Errorf("hottest point pressure did not drop: %.2f -> %.2f",
+			res.HottestBefore, res.HottestAfter)
+	}
+}
+
+func TestTabLongLivedShape(t *testing.T) {
+	rows, table, err := TabLongLived(8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 || len(table.Rows) != 9 { // 8 cases + total
+		t.Fatalf("shape: %d rows, %d table rows", len(rows), len(table.Rows))
+	}
+	for i, r := range rows {
+		if r.Greedy > r.Optimal {
+			t.Errorf("case %d: greedy %d beat optimum %d", i, r.Greedy, r.Optimal)
+		}
+		if r.Optimal > r.Requests {
+			t.Errorf("case %d: optimum %d exceeds request count %d", i, r.Optimal, r.Requests)
+		}
+	}
+	if _, _, err := TabLongLived(0, 1); err == nil {
+		t.Error("zero cases accepted")
+	}
+	if _, _, err := TabHotspot(Scale{}); err == nil {
+		t.Error("bad scale accepted")
+	}
+}
+
+func TestWorkloadSanityPinned(t *testing.T) {
+	r, f := workloadSanity()
+	if r.NumIngress != 10 || r.NumEgress != 10 || r.PointCapacity != 1*units.GBps {
+		t.Error("rigid platform drifted from §4.3")
+	}
+	if f.RateMin != 10*units.MBps || f.RateMax != 1*units.GBps {
+		t.Error("flexible rate range drifted from §5.3")
+	}
+	if len(r.Volumes) != 19 {
+		t.Error("volume ladder drifted")
+	}
+}
+
+func TestTabDistributedShape(t *testing.T) {
+	rows, table, err := TabDistributed(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(DistributedSyncPeriods()) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if len(table.Rows) != len(rows)+1 { // + centralized reference
+		t.Fatalf("table rows = %d", len(table.Rows))
+	}
+	// Staleness monotonicity (weak): the stalest sync has at least the
+	// conflicts of the read-through configuration.
+	if rows[len(rows)-1].ConflictRate < rows[0].ConflictRate {
+		t.Errorf("conflicts fell with staleness: %.3f -> %.3f",
+			rows[0].ConflictRate, rows[len(rows)-1].ConflictRate)
+	}
+	for _, r := range rows {
+		total := r.AcceptRate + r.ConflictRate + r.LocalReject
+		if total > 1+1e-9 {
+			t.Errorf("rates exceed 1 at sync %v", r.SyncPeriod)
+		}
+	}
+}
+
+func TestTabBookAheadShape(t *testing.T) {
+	rows, table, err := TabBookAhead(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(BookAheadFractions()) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if len(table.Rows) != len(rows)+1 { // + on-line reference
+		t.Fatalf("table rows = %d", len(table.Rows))
+	}
+	for _, r := range rows {
+		if r.AcceptRate < 0 || r.AcceptRate > 1 {
+			t.Errorf("accept rate %v out of range", r.AcceptRate)
+		}
+	}
+	if _, _, err := TabDistributed(Scale{}); err == nil {
+		t.Error("bad scale accepted")
+	}
+	if _, _, err := TabBookAhead(Scale{}); err == nil {
+		t.Error("bad scale accepted")
+	}
+}
+
+func TestTabOrderingShape(t *testing.T) {
+	rows, table, err := TabOrdering(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 || len(table.Rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]OrderingRow{}
+	for _, r := range rows {
+		byName[r.Variant] = r
+		if r.HeavyAccept < 0 || r.HeavyAccept > 1 || r.LightAccept < 0 || r.LightAccept > 1 {
+			t.Errorf("%s rates out of range", r.Variant)
+		}
+		if r.LightAccept < r.HeavyAccept-0.02 {
+			t.Errorf("%s: lighter load accepted less (%.3f < %.3f)",
+				r.Variant, r.LightAccept, r.HeavyAccept)
+		}
+	}
+	// Skip-on-miss dominates the stop rule; retry dominates plain window.
+	var plain, skip, retry OrderingRow
+	for name, r := range byName {
+		switch {
+		case strings.HasPrefix(name, "window-cost-skip"):
+			skip = r
+		case strings.HasPrefix(name, "window-retry"):
+			retry = r
+		case strings.HasPrefix(name, "window("):
+			plain = r
+		}
+	}
+	if skip.HeavyAccept < plain.HeavyAccept-1e-9 {
+		t.Errorf("skip (%.3f) below stop-rule window (%.3f)", skip.HeavyAccept, plain.HeavyAccept)
+	}
+	if retry.HeavyAccept < plain.HeavyAccept-1e-9 {
+		t.Errorf("retry (%.3f) below plain window (%.3f)", retry.HeavyAccept, plain.HeavyAccept)
+	}
+	if _, _, err := TabOrdering(Scale{}); err == nil {
+		t.Error("bad scale accepted")
+	}
+}
+
+func TestTabHeterogeneityShape(t *testing.T) {
+	rows, table, err := TabHeterogeneity(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 || len(table.Rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Aggregate capacity identical across platforms.
+	for _, level := range HeterogeneityLevels() {
+		if got := level.Make().TotalCapacity(); !units.ApproxEq(float64(got), float64(20*units.GBps)) {
+			t.Errorf("%s total capacity = %v", level.Label, got)
+		}
+	}
+	// Skew hurts: extreme platform accepts less than uniform.
+	if rows[3].WindowAccept >= rows[0].WindowAccept {
+		t.Errorf("extreme skew (%.3f) not below uniform (%.3f)",
+			rows[3].WindowAccept, rows[0].WindowAccept)
+	}
+	if _, _, err := TabHeterogeneity(Scale{}); err == nil {
+		t.Error("bad scale accepted")
+	}
+}
+
+func TestTabGenerationSensitivityShape(t *testing.T) {
+	rows, table, err := TabGenerationSensitivity(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 || len(table.Rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		for _, v := range []float64{r.RateAccept, r.RateUtil, r.DurationAccept, r.DurationUtil} {
+			if v < 0 || v > 1+1e-9 {
+				t.Errorf("%s: value %v out of range", r.Heuristic, v)
+			}
+		}
+	}
+	// The headline ordering (slot family >= FCFS on accepts) must hold
+	// under BOTH generations.
+	byName := map[string]SensitivityRow{}
+	for _, r := range rows {
+		byName[r.Heuristic] = r
+	}
+	for _, metric := range []func(SensitivityRow) float64{
+		func(r SensitivityRow) float64 { return r.RateAccept },
+		func(r SensitivityRow) float64 { return r.DurationAccept },
+	} {
+		if metric(byName["minbw-slots"]) < metric(byName["fcfs"])-0.02 {
+			t.Error("minbw-slots below fcfs")
+		}
+	}
+	// MINVOL's utilization deficit holds under both generations.
+	if byName["minvol-slots"].RateUtil >= byName["minbw-slots"].RateUtil {
+		t.Error("minvol util not below minbw (rate-derived)")
+	}
+	if _, _, err := TabGenerationSensitivity(Scale{}); err == nil {
+		t.Error("bad scale accepted")
+	}
+}
+
+func TestRigidDurationWorkloadProperties(t *testing.T) {
+	cfg := workload.Default(workload.RigidDuration)
+	cfg.Horizon = 300
+	reqs, err := cfg.Generate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reqs.All() {
+		if !r.Rigid() {
+			t.Fatalf("request %d not rigid", r.ID)
+		}
+		if r.MaxRate < cfg.RateMin-1 || r.MaxRate > cfg.RateMax+1 {
+			t.Fatalf("request %d implied rate %v outside range", r.ID, r.MaxRate)
+		}
+	}
+}
+
+func TestTabBurstinessShape(t *testing.T) {
+	rows, table, err := TabBurstiness(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(BurstFactors()) || len(table.Rows) != len(rows) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		for _, v := range []float64{r.GreedyAccept, r.WindowAccept, r.RetryAccept} {
+			if v < 0 || v > 1 {
+				t.Errorf("factor %g: rate %v out of range", r.Factor, v)
+			}
+		}
+		// Retry dominates plain window at every burst level.
+		if r.RetryAccept < r.WindowAccept-1e-9 {
+			t.Errorf("factor %g: retry %.3f below window %.3f", r.Factor, r.RetryAccept, r.WindowAccept)
+		}
+	}
+	// Burstiness hurts greedy admission: factor 4 accepts less than
+	// factor 1.
+	if rows[len(rows)-1].GreedyAccept > rows[0].GreedyAccept+0.02 {
+		t.Errorf("greedy unharmed by bursts: %.3f -> %.3f",
+			rows[0].GreedyAccept, rows[len(rows)-1].GreedyAccept)
+	}
+	if _, _, err := TabBurstiness(Scale{}); err == nil {
+		t.Error("bad scale accepted")
+	}
+}
+
+func TestTabResponseTimeShape(t *testing.T) {
+	rows, table, err := TabResponseTime(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 || len(table.Rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]ResponseRow{}
+	for _, r := range rows {
+		byName[r.Scheduler] = r
+	}
+	greedy := byName["greedy/f=1"]
+	if greedy.MeanResponse != 0 {
+		t.Errorf("greedy response = %v, want 0 (decides at arrival)", greedy.MeanResponse)
+	}
+	// Response time grows with window length.
+	var w50, w800 ResponseRow
+	for name, r := range byName {
+		if strings.HasPrefix(name, "window(50s)") {
+			w50 = r
+		}
+		if strings.HasPrefix(name, "window(13m20s)") {
+			w800 = r
+		}
+	}
+	if w800.MeanResponse <= w50.MeanResponse {
+		t.Errorf("response not growing with window: %v vs %v", w50.MeanResponse, w800.MeanResponse)
+	}
+	if _, _, err := TabResponseTime(Scale{}); err == nil {
+		t.Error("bad scale accepted")
+	}
+}
+
+func TestTabTheoryCheckShape(t *testing.T) {
+	rows, table, err := TabTheoryCheck(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 || len(table.Rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Simulated < 0 || r.Simulated > 1 || r.Analytic < 0 || r.Analytic > 1 {
+			t.Errorf("mia %g: rates out of range (%v, %v)", r.MeanInterArrival, r.Simulated, r.Analytic)
+		}
+		// The headline: simulation and theory agree within a few points.
+		if gap := abs(r.Simulated - r.Analytic); gap > 0.05 {
+			t.Errorf("mia %g: sim %v vs theory %v (gap %.3f)", r.MeanInterArrival, r.Simulated, r.Analytic, gap)
+		}
+	}
+	// Acceptance grows as load lightens on both sides.
+	if rows[0].Simulated >= rows[len(rows)-1].Simulated {
+		t.Error("simulated acceptance not improving with lighter load")
+	}
+	if rows[0].Analytic >= rows[len(rows)-1].Analytic {
+		t.Error("analytic acceptance not improving with lighter load")
+	}
+	if _, _, err := TabTheoryCheck(Scale{}); err == nil {
+		t.Error("bad scale accepted")
+	}
+}

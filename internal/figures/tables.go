@@ -1,0 +1,337 @@
+package figures
+
+import (
+	"fmt"
+
+	"gridbw/internal/exact"
+	"gridbw/internal/experiment"
+	"gridbw/internal/fluidtcp"
+	"gridbw/internal/metrics"
+	"gridbw/internal/overlay"
+	"gridbw/internal/policy"
+	"gridbw/internal/report"
+	"gridbw/internal/request"
+	"gridbw/internal/rng"
+	"gridbw/internal/sched"
+	"gridbw/internal/sched/flexible"
+	"gridbw/internal/sched/rigid"
+	"gridbw/internal/threedm"
+	"gridbw/internal/topology"
+	"gridbw/internal/units"
+	"gridbw/internal/workload"
+)
+
+// TuningFactors is the f axis of Table T1.
+func TuningFactors() []float64 { return []float64{0, 0.2, 0.4, 0.5, 0.6, 0.8, 1.0} }
+
+// TabTuning reproduces the §5.3 tuning-factor study (Table T1): under
+// underloaded conditions, sweep f and report accept rate and guaranteed
+// rate for the greedy and WINDOW(400) heuristics. The paper observes the
+// accept-rate penalty is roughly linear in (1−f).
+func TabTuning(scale Scale) ([]experiment.Series, *report.Table, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, nil, err
+	}
+	const underloadedMIA = 10 // seconds; well inside the light regime
+	series, err := experiment.Sweep(TuningFactors(), scale.Seeds, func(f float64) []experiment.Scenario {
+		cfg := scale.flexibleAt(underloadedMIA)
+		p := policy.FractionMaxRate(f)
+		return []experiment.Scenario{
+			{Label: "greedy", Workload: cfg, Scheduler: flexible.Greedy{Policy: p}, GuaranteeF: f},
+			{Label: "window(400)", Workload: cfg, Scheduler: flexible.Window{Policy: p, Step: 400}, GuaranteeF: f},
+		}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &report.Table{
+		Title:   "Table T1: tuning factor f, underloaded (accept rate / guaranteed rate)",
+		Headers: []string{"f", "greedy accept", "greedy guaranteed", "window(400) accept", "window(400) guaranteed"},
+	}
+	for i := range series[0].Points {
+		row := []string{fmt.Sprintf("%g", series[0].Points[i].X)}
+		for _, s := range series {
+			row = append(row,
+				fmt.Sprintf("%.3f", experiment.AcceptRateOf(s.Points[i].Result)),
+				fmt.Sprintf("%.3f", experiment.GuaranteedRateOf(s.Points[i].Result)))
+		}
+		t.AddRow(row...)
+	}
+	return series, t, nil
+}
+
+// ReductionRow is one Table T2 verification case.
+type ReductionRow struct {
+	N           int
+	Triples     int
+	Planted     bool
+	HasMatching bool
+	Optimum     int
+	K           int
+	Agree       bool
+}
+
+// TabReduction runs the Theorem-1 verification (Table T2): random 3-DM
+// instances are reduced to scheduling instances; the exact solver's
+// "accepts >= K" answer must coincide with brute-force matching
+// existence. Cases covers n=2..3 with planted and unplanted instances.
+func TabReduction(cases int, seed int64) ([]ReductionRow, *report.Table, error) {
+	if cases <= 0 {
+		return nil, nil, fmt.Errorf("figures: non-positive case count %d", cases)
+	}
+	src := rng.New(seed)
+	var rows []ReductionRow
+	for c := 0; c < cases; c++ {
+		n := src.Intn(2) + 2
+		planted := src.Bool(0.5)
+		var inst threedm.Instance
+		if planted {
+			inst = threedm.RandomPlanted(n, src.Intn(2*n), seed+int64(c))
+		} else {
+			inst = threedm.Random(n, src.Intn(3*n)+1, seed+int64(c))
+		}
+		_, has := inst.BruteForce()
+		red, err := threedm.Reduce(inst)
+		if err != nil {
+			return nil, nil, err
+		}
+		opt, _, err := exact.MaxUnit(red.Unit, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		rows = append(rows, ReductionRow{
+			N: n, Triples: len(inst.Triples), Planted: planted,
+			HasMatching: has, Optimum: opt, K: red.K,
+			Agree: (opt >= red.K) == has,
+		})
+	}
+	t := &report.Table{
+		Title:   "Table T2: Theorem-1 reduction verification (matching exists <=> schedule accepts K)",
+		Headers: []string{"n", "|T|", "planted", "matching", "optimum", "K", "agree"},
+	}
+	for _, r := range rows {
+		t.AddRow(
+			fmt.Sprintf("%d", r.N), fmt.Sprintf("%d", r.Triples),
+			fmt.Sprintf("%v", r.Planted), fmt.Sprintf("%v", r.HasMatching),
+			fmt.Sprintf("%d", r.Optimum), fmt.Sprintf("%d", r.K),
+			fmt.Sprintf("%v", r.Agree),
+		)
+	}
+	return rows, t, nil
+}
+
+// BaselineComparison is the Table T3 result: the uncontrolled fluid-TCP
+// baseline versus scheduled admission on the same heavy workload.
+type BaselineComparison struct {
+	Flows               int
+	TCPFailureRate      float64
+	TCPMeanSlowdown     float64
+	TCPSlowdownP95      float64
+	SchedAcceptRate     float64
+	SchedCompletionRate float64 // accepted transfers always complete
+}
+
+// TabTCPBaseline reproduces the motivation contrast (Table T3): under a
+// heavy tight-window workload, max-min shared (TCP-like) transfers fail
+// and stretch unpredictably, while admission-controlled transfers either
+// get a guaranteed reservation or a clean rejection.
+func TabTCPBaseline(scale Scale) (*BaselineComparison, *report.Table, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, nil, err
+	}
+	cfg := scale.flexibleAt(0.5)
+	cfg.SlackMin, cfg.SlackMax = 1.2, 2 // tight windows: deadlines bind
+	net := cfg.Network()
+
+	var cmp BaselineComparison
+	var tcpFail, tcpSlow, tcpP95, schedAcc metrics.Sample
+	for _, seed := range scale.Seeds {
+		reqs, err := cfg.Generate(seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		cmp.Flows += reqs.Len()
+		res, err := fluidtcp.Simulate(net, reqs, fluidtcp.DefaultConfig())
+		if err != nil {
+			return nil, nil, err
+		}
+		tcpFail.Add(res.FailureRate())
+		tcpSlow.Add(res.MeanSlowdown())
+		tcpP95.Add(res.SlowdownP95())
+
+		out, err := (flexible.Window{Policy: policy.FractionMaxRate(1), Step: 400}).Schedule(net, reqs)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := out.Verify(); err != nil {
+			return nil, nil, err
+		}
+		schedAcc.Add(out.AcceptRate())
+	}
+	cmp.TCPFailureRate = tcpFail.Mean()
+	cmp.TCPMeanSlowdown = tcpSlow.Mean()
+	cmp.TCPSlowdownP95 = tcpP95.Mean()
+	cmp.SchedAcceptRate = schedAcc.Mean()
+	cmp.SchedCompletionRate = 1 // reservations are guaranteed by construction
+
+	t := &report.Table{
+		Title:   "Table T3: uncontrolled max-min (fluid TCP) vs scheduled admission, heavy tight-window load",
+		Headers: []string{"system", "transfer failure rate", "mean slowdown", "p95 slowdown", "accept rate", "completion of admitted"},
+	}
+	t.AddRow("fluid-tcp (no admission)",
+		fmt.Sprintf("%.3f", cmp.TCPFailureRate),
+		fmt.Sprintf("%.2f", cmp.TCPMeanSlowdown),
+		fmt.Sprintf("%.2f", cmp.TCPSlowdownP95),
+		"1.000 (all admitted)", fmt.Sprintf("%.3f", 1-cmp.TCPFailureRate))
+	t.AddRow("window(400)/f=1 (this paper)",
+		"0.000", "1.00 (rate fixed)", "1.00",
+		fmt.Sprintf("%.3f", cmp.SchedAcceptRate), "1.000")
+	return &cmp, t, nil
+}
+
+// GapRow is one Table T4 case: heuristics versus the exact optimum.
+type GapRow struct {
+	Requests int
+	Optimum  int
+	ByName   map[string]int
+}
+
+// TabOptimalityGap measures the rigid heuristics against branch-and-bound
+// on small random instances (Table T4). It returns per-instance rows and
+// a summary table with the mean fraction of optimum achieved.
+func TabOptimalityGap(cases int, seed int64) ([]GapRow, *report.Table, error) {
+	if cases <= 0 {
+		return nil, nil, fmt.Errorf("figures: non-positive case count %d", cases)
+	}
+	heuristics := []sched.Scheduler{
+		rigid.FCFS{}, rigid.MinVolSlots(), rigid.MinBWSlots(), rigid.CumulatedSlots(),
+	}
+	src := rng.New(seed)
+	net := topology.Uniform(2, 2, 1*units.GBps)
+	sums := map[string]float64{}
+	var rows []GapRow
+	for c := 0; c < cases; c++ {
+		n := src.Intn(8) + 6
+		rs := make([]request.Request, n)
+		for i := range rs {
+			start := units.Time(src.Intn(60))
+			dur := units.Time(src.Intn(60) + 10)
+			rate := units.Bandwidth(src.Intn(900)+100) * units.MBps
+			rs[i] = request.Request{
+				ID:      request.ID(i),
+				Ingress: topology.PointID(src.Intn(2)),
+				Egress:  topology.PointID(src.Intn(2)),
+				Start:   start, Finish: start + dur,
+				Volume: rate.For(dur), MaxRate: rate,
+			}
+		}
+		reqs := request.MustNewSet(rs)
+		opt, _, err := exact.MaxRigid(net, reqs, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		row := GapRow{Requests: n, Optimum: opt, ByName: map[string]int{}}
+		for _, h := range heuristics {
+			out, err := h.Schedule(net, reqs)
+			if err != nil {
+				return nil, nil, err
+			}
+			row.ByName[h.Name()] = out.AcceptedCount()
+			if opt > 0 {
+				sums[h.Name()] += float64(out.AcceptedCount()) / float64(opt)
+			} else {
+				sums[h.Name()] += 1
+			}
+		}
+		rows = append(rows, row)
+	}
+	t := &report.Table{
+		Title:   "Table T4: mean fraction of exact optimum achieved (small rigid instances)",
+		Headers: []string{"heuristic", "mean accepted/optimum"},
+	}
+	for _, h := range heuristics {
+		t.AddRow(h.Name(), fmt.Sprintf("%.3f", sums[h.Name()]/float64(cases)))
+	}
+	return rows, t, nil
+}
+
+// EnforceResult is the Table T5 outcome.
+type EnforceResult struct {
+	AcceptRate         float64
+	MeanRTT            units.Time
+	MeanOverheadRatio  float64
+	ConformingRatio    float64 // token-bucket delivery for a compliant flow
+	CheatingRatio      float64 // token-bucket delivery for a 2x-rate cheater
+	CheatingDropEvents int
+}
+
+// TabOverlayEnforce exercises the §5.4 control plane end to end (Table
+// T5): reservation round trips over the overlay, overhead relative to
+// transfer durations, and token-bucket enforcement for a conforming and
+// a cheating flow.
+func TabOverlayEnforce(scale Scale) (*EnforceResult, *report.Table, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, nil, err
+	}
+	cfg := scale.flexibleAt(2)
+	net := cfg.Network()
+	reqs, err := cfg.Generate(scale.Seeds[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	rep, err := overlay.Run(net, reqs, overlay.Config{
+		ClientRouterDelay: 0.005,
+		RouterRouterDelay: 0.010,
+		Policy:            policy.FractionMaxRate(1),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := rep.Outcome.Verify(); err != nil {
+		return nil, nil, err
+	}
+
+	res := &EnforceResult{
+		AcceptRate:        rep.AcceptRate(),
+		MeanRTT:           rep.MeanRTT(),
+		MeanOverheadRatio: rep.MeanOverheadRatio(),
+	}
+
+	// Data plane: every accepted reservation transmits through its token
+	// bucket; every third sender cheats at double its grant.
+	cheaters := map[request.ID]float64{}
+	n := 0
+	for _, r := range rep.Reservations {
+		if r.Accepted {
+			if n%3 == 0 {
+				cheaters[r.Request] = 1.0
+			}
+			n++
+		}
+	}
+	enf, err := overlay.Enforce(rep, cheaters, 10*units.MB)
+	if err != nil {
+		return nil, nil, err
+	}
+	res.ConformingRatio = enf.CompliantDelivery
+	res.CheatingRatio = enf.CheaterDelivery
+	res.CheatingDropEvents = enf.TotalDropEvents
+
+	t := &report.Table{
+		Title:   "Table T5: control-plane overhead and token-bucket enforcement",
+		Headers: []string{"metric", "value"},
+	}
+	t.AddRow("reservation accept rate", fmt.Sprintf("%.3f", res.AcceptRate))
+	t.AddRow("mean reservation RTT", res.MeanRTT.String())
+	t.AddRow("mean RTT / transfer duration", fmt.Sprintf("%.2e", res.MeanOverheadRatio))
+	t.AddRow("compliant senders delivery", fmt.Sprintf("%.3f", res.ConformingRatio))
+	t.AddRow("cheating (2x) senders delivery", fmt.Sprintf("%.3f", res.CheatingRatio))
+	t.AddRow("total drop events (cheaters)", fmt.Sprintf("%d", res.CheatingDropEvents))
+	return res, t, nil
+}
+
+// workloadSanity is referenced by tests to pin the §4.3/§5.3 settings in
+// one place.
+func workloadSanity() (workload.Config, workload.Config) {
+	return workload.Default(workload.Rigid), workload.Default(workload.Flexible)
+}

@@ -1,0 +1,347 @@
+// Package fluidtcp is the statistical-sharing baseline the paper argues
+// against: bulk transfers ride uncontrolled congestion-controlled flows
+// that share the access bottlenecks max-min fairly, with no admission
+// control.
+//
+// The simulator is a fluid model at the same session-level granularity as
+// the paper's system model: every active flow receives its max-min fair
+// share (re-solved at each arrival and departure), accumulates volume at
+// that rate, and either completes, misses its transfer deadline, or —
+// emulating TCP timeout collapse under deep congestion — aborts after its
+// share stays below a starvation floor for a configurable duration (§1:
+// "it is also not uncommon for the transfers to fail entirely, because
+// the TCP connections time out").
+//
+// Table T3 of DESIGN.md contrasts the failure and predictability figures
+// of this baseline against the paper's admission-controlled schedulers on
+// identical workloads.
+package fluidtcp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gridbw/internal/maxmin"
+	"gridbw/internal/request"
+	"gridbw/internal/topology"
+	"gridbw/internal/units"
+)
+
+// Outcome classifies how a flow ended.
+type Outcome int
+
+const (
+	// Completed flows moved their full volume by their deadline.
+	Completed Outcome = iota
+	// DeadlineMissed flows were still transferring at tf(r); the grid job
+	// that needed the data has lost its reservation, so the transfer is
+	// counted as failed.
+	DeadlineMissed
+	// Starved flows aborted after their fair share stayed below the
+	// starvation floor for the timeout duration (TCP timeout emulation).
+	Starved
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case Completed:
+		return "completed"
+	case DeadlineMissed:
+		return "deadline-missed"
+	case Starved:
+		return "starved"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// FlowResult is the fate of one transfer.
+type FlowResult struct {
+	Request request.ID
+	Outcome Outcome
+	// Finish is the completion or abort instant.
+	Finish units.Time
+	// Moved is the volume actually transferred.
+	Moved units.Volume
+	// MeanRate is Moved over the active duration (0 for instant aborts).
+	MeanRate units.Bandwidth
+	// IdealDuration is vol/MaxRate — the transfer time on an idle network.
+	IdealDuration units.Time
+	// Slowdown is actual duration over IdealDuration (completed flows).
+	Slowdown float64
+}
+
+// Config tunes the baseline's failure model.
+type Config struct {
+	// StarvationRate is the share below which a flow is considered
+	// starving. Zero disables starvation aborts.
+	StarvationRate units.Bandwidth
+	// StarvationTimeout is how long a flow must starve before aborting.
+	StarvationTimeout units.Time
+	// EnforceDeadlines aborts flows at tf(r) when true; when false flows
+	// run to completion and deadline misses are only recorded.
+	EnforceDeadlines bool
+}
+
+// DefaultConfig matches the Table T3 runs: a 1 MB/s floor with a
+// 60-second timeout and enforced windows.
+func DefaultConfig() Config {
+	return Config{
+		StarvationRate:    1 * units.MBps,
+		StarvationTimeout: 60 * units.Second,
+		EnforceDeadlines:  true,
+	}
+}
+
+// Result aggregates a simulation run.
+type Result struct {
+	Flows []FlowResult
+	// Clock is the instant the last flow ended.
+	Clock units.Time
+}
+
+// CompletedCount, FailedCount and FailureRate summarize outcomes.
+func (r *Result) CompletedCount() int {
+	n := 0
+	for _, f := range r.Flows {
+		if f.Outcome == Completed {
+			n++
+		}
+	}
+	return n
+}
+
+// FailedCount reports flows that missed their deadline or starved.
+func (r *Result) FailedCount() int { return len(r.Flows) - r.CompletedCount() }
+
+// FailureRate reports FailedCount over the number of flows (0 if none).
+func (r *Result) FailureRate() float64 {
+	if len(r.Flows) == 0 {
+		return 0
+	}
+	return float64(r.FailedCount()) / float64(len(r.Flows))
+}
+
+// MeanSlowdown reports the mean slowdown of completed flows (1 = ideal).
+func (r *Result) MeanSlowdown() float64 {
+	var sum float64
+	n := 0
+	for _, f := range r.Flows {
+		if f.Outcome == Completed {
+			sum += f.Slowdown
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// SlowdownP95 reports the 95th-percentile slowdown of completed flows —
+// the paper's "predictability" concern is exactly this tail.
+func (r *Result) SlowdownP95() float64 {
+	var xs []float64
+	for _, f := range r.Flows {
+		if f.Outcome == Completed {
+			xs = append(xs, f.Slowdown)
+		}
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	idx := int(math.Ceil(0.95*float64(len(xs)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return xs[idx]
+}
+
+// activeFlow is the simulator's per-flow state.
+type activeFlow struct {
+	req       request.Request
+	remaining units.Volume
+	rate      units.Bandwidth
+	started   units.Time
+	// starvedSince is the instant the current starvation episode began;
+	// negative when not starving.
+	starvedSince units.Time
+}
+
+// Simulate runs the fluid baseline for the request set on the network.
+// Every request becomes a flow at its Start; there is no admission
+// control. The function is deterministic.
+func Simulate(net *topology.Network, reqs *request.Set, cfg Config) (*Result, error) {
+	if cfg.StarvationRate > 0 && cfg.StarvationTimeout <= 0 {
+		return nil, fmt.Errorf("fluidtcp: starvation floor without a positive timeout")
+	}
+	pending := reqs.All()
+	sort.Slice(pending, func(i, j int) bool {
+		if pending[i].Start != pending[j].Start {
+			return pending[i].Start < pending[j].Start
+		}
+		return pending[i].ID < pending[j].ID
+	})
+
+	res := &Result{}
+	active := map[request.ID]*activeFlow{}
+	now := units.Time(0)
+	if len(pending) > 0 {
+		now = pending[0].Start
+	}
+
+	resolve := func() error {
+		flows := make([]maxmin.Flow, 0, len(active))
+		ids := make([]request.ID, 0, len(active))
+		for id := range active {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			f := active[id]
+			flows = append(flows, maxmin.Flow{
+				ID:      int(id),
+				Ingress: f.req.Ingress,
+				Egress:  f.req.Egress,
+				Cap:     f.req.MaxRate,
+			})
+		}
+		alloc, err := maxmin.Share(net, flows)
+		if err != nil {
+			return err
+		}
+		for _, id := range ids {
+			f := active[id]
+			f.rate = alloc[int(id)]
+			if cfg.StarvationRate > 0 {
+				if f.rate < cfg.StarvationRate {
+					if f.starvedSince < 0 {
+						f.starvedSince = now
+					}
+				} else {
+					f.starvedSince = -1
+				}
+			}
+		}
+		return nil
+	}
+
+	finish := func(f *activeFlow, outcome Outcome, at units.Time) {
+		dur := at - f.started
+		var mean units.Bandwidth
+		if dur > 0 {
+			mean = (f.req.Volume - f.remaining).Rate(dur)
+		}
+		fr := FlowResult{
+			Request:       f.req.ID,
+			Outcome:       outcome,
+			Finish:        at,
+			Moved:         f.req.Volume - f.remaining,
+			MeanRate:      mean,
+			IdealDuration: f.req.MinDuration(),
+		}
+		if outcome == Completed && fr.IdealDuration > 0 {
+			fr.Slowdown = float64(dur) / float64(fr.IdealDuration)
+		}
+		res.Flows = append(res.Flows, fr)
+		delete(active, f.req.ID)
+		if at > res.Clock {
+			res.Clock = at
+		}
+	}
+
+	const inf = units.Time(math.MaxFloat64)
+	for len(pending) > 0 || len(active) > 0 {
+		// Admit all arrivals at the current instant.
+		progressed := false
+		for len(pending) > 0 && pending[0].Start <= now {
+			r := pending[0]
+			pending = pending[1:]
+			active[r.ID] = &activeFlow{req: r, remaining: r.Volume, started: now, starvedSince: -1}
+			progressed = true
+		}
+		if progressed {
+			if err := resolve(); err != nil {
+				return nil, err
+			}
+		}
+
+		// Next event: arrival, completion, deadline, or starvation abort.
+		next := inf
+		if len(pending) > 0 {
+			next = pending[0].Start
+		}
+		ids := make([]request.ID, 0, len(active))
+		for id := range active {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			f := active[id]
+			if f.rate > 0 {
+				if t := now + f.remaining.Over(f.rate); t < next {
+					next = t
+				}
+			}
+			if cfg.EnforceDeadlines && f.req.Finish < next {
+				next = f.req.Finish
+			}
+			if cfg.StarvationRate > 0 && f.starvedSince >= 0 {
+				if t := f.starvedSince + cfg.StarvationTimeout; t < next {
+					next = t
+				}
+			}
+		}
+		if next == inf {
+			// All active flows have zero rate forever (dead points) and no
+			// failure model can fire: abort them to terminate.
+			for _, id := range ids {
+				finish(active[id], Starved, now)
+			}
+			continue
+		}
+
+		// Advance fluid volumes to `next`.
+		dt := next - now
+		for _, id := range ids {
+			f := active[id]
+			f.remaining -= f.rate.For(dt)
+			if f.remaining < 0 {
+				f.remaining = 0
+			}
+		}
+		now = next
+
+		// Fire events at `now`. Completion wins over deadline at the same
+		// instant; starvation aborts fire only if still starving.
+		changed := false
+		for _, id := range ids {
+			f, ok := active[id]
+			if !ok {
+				continue
+			}
+			switch {
+			case f.remaining <= units.Volume(units.Eps)*f.req.Volume:
+				finish(f, Completed, now)
+				changed = true
+			case cfg.EnforceDeadlines && now >= f.req.Finish:
+				finish(f, DeadlineMissed, now)
+				changed = true
+			case cfg.StarvationRate > 0 && f.starvedSince >= 0 &&
+				now >= f.starvedSince+cfg.StarvationTimeout:
+				finish(f, Starved, now)
+				changed = true
+			}
+		}
+		if changed {
+			if err := resolve(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sort.Slice(res.Flows, func(i, j int) bool { return res.Flows[i].Request < res.Flows[j].Request })
+	return res, nil
+}

@@ -1,0 +1,267 @@
+package fluidtcp
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gridbw/internal/request"
+	"gridbw/internal/topology"
+	"gridbw/internal/units"
+	"gridbw/internal/workload"
+)
+
+func flow(id int, in, eg topology.PointID, start units.Time, vol units.Volume, maxRate units.Bandwidth, slack float64) request.Request {
+	return request.Request{
+		ID: request.ID(id), Ingress: in, Egress: eg,
+		Start: start, Finish: start + vol.Over(maxRate)*units.Time(slack),
+		Volume: vol, MaxRate: maxRate,
+	}
+}
+
+func TestSingleFlowRunsAtCap(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	reqs := request.MustNewSet([]request.Request{
+		flow(0, 0, 0, 10, 100*units.GB, 500*units.MBps, 3),
+	})
+	res, err := Simulate(net, reqs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Flows) != 1 {
+		t.Fatalf("flows = %d", len(res.Flows))
+	}
+	f := res.Flows[0]
+	if f.Outcome != Completed {
+		t.Fatalf("outcome = %v", f.Outcome)
+	}
+	// 100 GB at the 500 MB/s host cap: 200 s, finishing at t=210.
+	if !units.ApproxEq(float64(f.Finish), 210) {
+		t.Errorf("finish = %v, want 210", f.Finish)
+	}
+	if !units.ApproxEq(f.Slowdown, 1) {
+		t.Errorf("slowdown = %v, want 1", f.Slowdown)
+	}
+	if !units.ApproxEq(float64(f.Moved), float64(100*units.GB)) {
+		t.Errorf("moved = %v", f.Moved)
+	}
+}
+
+func TestTwoFlowsShareThenSpeedUp(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	// Both uncapped-by-host (cap = 1 GB/s): they split the gigabit while
+	// both active; the second finishes faster after the first completes.
+	reqs := request.MustNewSet([]request.Request{
+		flow(0, 0, 0, 0, 50*units.GB, 1*units.GBps, 10),
+		flow(1, 0, 0, 0, 100*units.GB, 1*units.GBps, 10),
+	})
+	res, err := Simulate(net, reqs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f0, f1 := res.Flows[0], res.Flows[1]
+	if f0.Outcome != Completed || f1.Outcome != Completed {
+		t.Fatalf("outcomes = %v, %v", f0.Outcome, f1.Outcome)
+	}
+	// Flow 0: 50 GB at 500 MB/s → t=100. Flow 1: 50 GB at 500 then 50 GB
+	// at 1000 → t=150.
+	if !units.ApproxEq(float64(f0.Finish), 100) {
+		t.Errorf("f0 finish = %v, want 100", f0.Finish)
+	}
+	if !units.ApproxEq(float64(f1.Finish), 150) {
+		t.Errorf("f1 finish = %v, want 150", f1.Finish)
+	}
+}
+
+func TestDeadlineMiss(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	// Two flows with slack 1.5 sharing one point: each gets 500 MB/s but
+	// needs ~667 MB/s on average to make its deadline.
+	reqs := request.MustNewSet([]request.Request{
+		flow(0, 0, 0, 0, 100*units.GB, 1*units.GBps, 1.5),
+		flow(1, 0, 0, 0, 100*units.GB, 1*units.GBps, 1.5),
+	})
+	res, err := Simulate(net, reqs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One of them completes only if the other dies first; with identical
+	// flows both straddle: flow 0 and 1 split until t=150 (deadline), each
+	// having moved 75 GB < 100 GB: both miss.
+	for _, f := range res.Flows {
+		if f.Outcome != DeadlineMissed {
+			t.Errorf("flow %d outcome = %v, want deadline-missed", f.Request, f.Outcome)
+		}
+		if f.Moved >= 100*units.GB {
+			t.Errorf("flow %d moved %v yet missed", f.Request, f.Moved)
+		}
+	}
+	if res.FailureRate() != 1 {
+		t.Errorf("failure rate = %v", res.FailureRate())
+	}
+}
+
+func TestDeadlinesNotEnforced(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	reqs := request.MustNewSet([]request.Request{
+		flow(0, 0, 0, 0, 100*units.GB, 1*units.GBps, 1.5),
+		flow(1, 0, 0, 0, 100*units.GB, 1*units.GBps, 1.5),
+	})
+	cfg := Config{EnforceDeadlines: false}
+	res, err := Simulate(net, reqs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Flows {
+		if f.Outcome != Completed {
+			t.Errorf("flow %d outcome = %v", f.Request, f.Outcome)
+		}
+	}
+	if res.MeanSlowdown() <= 1 {
+		t.Errorf("mean slowdown = %v, want > 1 under contention", res.MeanSlowdown())
+	}
+}
+
+func TestStarvationAbort(t *testing.T) {
+	// A dead ingress point: the flow's share is 0 forever; with a floor
+	// and timeout it aborts at start + timeout.
+	net, err := topology.New(topology.Config{
+		Ingress: []units.Bandwidth{0},
+		Egress:  []units.Bandwidth{1 * units.GBps},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := request.MustNewSet([]request.Request{
+		flow(0, 0, 0, 5, 10*units.GB, 100*units.MBps, 100),
+	})
+	cfg := Config{StarvationRate: 1 * units.MBps, StarvationTimeout: 30, EnforceDeadlines: false}
+	res, err := Simulate(net, reqs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.Flows[0]
+	if f.Outcome != Starved {
+		t.Fatalf("outcome = %v", f.Outcome)
+	}
+	if !units.ApproxEq(float64(f.Finish), 35) {
+		t.Errorf("abort at %v, want 35", f.Finish)
+	}
+	if f.Moved != 0 {
+		t.Errorf("moved = %v", f.Moved)
+	}
+}
+
+func TestStarvationConfigValidation(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	reqs := request.MustNewSet(nil)
+	cfg := Config{StarvationRate: 1 * units.MBps, StarvationTimeout: 0}
+	if _, err := Simulate(net, reqs, cfg); err == nil {
+		t.Error("floor without timeout accepted")
+	}
+}
+
+func TestZeroCapacityWithNoFailureModelTerminates(t *testing.T) {
+	net, err := topology.New(topology.Config{
+		Ingress: []units.Bandwidth{0},
+		Egress:  []units.Bandwidth{1 * units.GBps},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := request.MustNewSet([]request.Request{
+		flow(0, 0, 0, 0, 10*units.GB, 100*units.MBps, 2),
+	})
+	res, err := Simulate(net, reqs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flows[0].Outcome != Starved {
+		t.Errorf("outcome = %v", res.Flows[0].Outcome)
+	}
+}
+
+func TestEmptySet(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	res, err := Simulate(net, request.MustNewSet(nil), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Flows) != 0 || res.FailureRate() != 0 || res.MeanSlowdown() != 0 || res.SlowdownP95() != 0 {
+		t.Error("empty run not empty")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if Completed.String() != "completed" || DeadlineMissed.String() != "deadline-missed" || Starved.String() != "starved" {
+		t.Error("outcome strings")
+	}
+	if !strings.Contains(Outcome(9).String(), "9") {
+		t.Error("unknown outcome string")
+	}
+}
+
+// TestVolumeConservationProperty: on random workloads every flow's moved
+// volume never exceeds its request volume, completed flows move exactly
+// their volume, and all flows terminate.
+func TestVolumeConservationProperty(t *testing.T) {
+	cfg := workload.Default(workload.Flexible)
+	cfg.Horizon = 200
+	cfg.MeanInterArrival = 2
+	f := func(seed int64) bool {
+		reqs, err := cfg.Generate(seed)
+		if err != nil {
+			return false
+		}
+		res, err := Simulate(cfg.Network(), reqs, DefaultConfig())
+		if err != nil {
+			return false
+		}
+		if len(res.Flows) != reqs.Len() {
+			return false
+		}
+		for _, f := range res.Flows {
+			r := reqs.Get(f.Request)
+			if f.Moved > r.Volume*(1+units.Eps) {
+				return false
+			}
+			if f.Outcome == Completed {
+				if !units.ApproxEq(float64(f.Moved), float64(r.Volume)) {
+					return false
+				}
+				if f.Finish > r.Finish*(1+units.Eps)+units.Eps {
+					return false // enforced deadlines: completion within window
+				}
+				if f.Slowdown < 1-1e-9 {
+					return false // cannot beat the host cap
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOverloadCausesFailures pins the motivation claim: under heavy load
+// with tight windows, a substantial share of uncontrolled transfers fail.
+func TestOverloadCausesFailures(t *testing.T) {
+	cfg := workload.Default(workload.Flexible)
+	cfg.MeanInterArrival = 0.5
+	cfg.Horizon = 1000
+	cfg.SlackMin, cfg.SlackMax = 1.2, 2
+	reqs, err := cfg.Generate(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(cfg.Network(), reqs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailureRate() < 0.3 {
+		t.Errorf("failure rate %v under heavy overload, expected substantial failures", res.FailureRate())
+	}
+	t.Logf("overload: %d flows, failure rate %.2f, mean slowdown %.2f, p95 %.2f",
+		len(res.Flows), res.FailureRate(), res.MeanSlowdown(), res.SlowdownP95())
+}

@@ -1,0 +1,182 @@
+// Package hotspot implements the paper's first future-work direction
+// (§7): "relieving tentative hot spots in the network, that is,
+// ingress/egress points that are heavily demanded."
+//
+// Two pieces are provided. Analyze inspects a scheduling outcome and
+// quantifies per-point pressure — demanded versus granted bandwidth,
+// rejections charged to each point, and a Gini-style imbalance index over
+// normalized demand. RehomeBalanced is a relief heuristic for workloads
+// with replicated data: when a dataset is available at several sites
+// (a standard data-grid situation the paper's §1 motivates), the ingress
+// of each transfer can be chosen among the replica holders; re-homing
+// greedily to the least-demanded replica flattens hot spots before
+// scheduling even starts.
+package hotspot
+
+import (
+	"fmt"
+	"sort"
+
+	"gridbw/internal/request"
+	"gridbw/internal/sched"
+	"gridbw/internal/topology"
+	"gridbw/internal/units"
+)
+
+// PointStats is the pressure record of one access point.
+type PointStats struct {
+	Dir      topology.Direction
+	ID       topology.PointID
+	Capacity units.Bandwidth
+	// Demand is the summed MinRate of all requests through the point.
+	Demand units.Bandwidth
+	// Granted is the summed granted bandwidth of accepted requests.
+	Granted units.Bandwidth
+	// Rejections counts rejected requests routed through the point.
+	Rejections int
+}
+
+// Pressure is Demand / Capacity (0 for a zero-capacity point).
+func (p PointStats) Pressure() float64 {
+	if p.Capacity == 0 {
+		return 0
+	}
+	return float64(p.Demand) / float64(p.Capacity)
+}
+
+// Report is the hot-spot analysis of one outcome.
+type Report struct {
+	Ingress, Egress []PointStats
+	// Imbalance is the Gini coefficient of point pressures across both
+	// directions: 0 = perfectly even demand, →1 = all demand on one point.
+	Imbalance float64
+}
+
+// Hottest returns the k highest-pressure points across both directions.
+func (r *Report) Hottest(k int) []PointStats {
+	all := append(append([]PointStats{}, r.Ingress...), r.Egress...)
+	sort.Slice(all, func(i, j int) bool {
+		pi, pj := all[i].Pressure(), all[j].Pressure()
+		if pi != pj {
+			return pi > pj
+		}
+		if all[i].Dir != all[j].Dir {
+			return all[i].Dir < all[j].Dir
+		}
+		return all[i].ID < all[j].ID
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+// Analyze computes per-point pressure from a scheduling outcome.
+func Analyze(out *sched.Outcome) *Report {
+	net := out.Network
+	rep := &Report{}
+	for i := 0; i < net.NumIngress(); i++ {
+		rep.Ingress = append(rep.Ingress, PointStats{
+			Dir: topology.Ingress, ID: topology.PointID(i), Capacity: net.Bin(topology.PointID(i)),
+		})
+	}
+	for e := 0; e < net.NumEgress(); e++ {
+		rep.Egress = append(rep.Egress, PointStats{
+			Dir: topology.Egress, ID: topology.PointID(e), Capacity: net.Bout(topology.PointID(e)),
+		})
+	}
+	for _, d := range out.Decisions() {
+		r := out.Requests.Get(d.Request)
+		in := &rep.Ingress[int(r.Ingress)]
+		eg := &rep.Egress[int(r.Egress)]
+		in.Demand += r.MinRate()
+		eg.Demand += r.MinRate()
+		if d.Accepted {
+			in.Granted += d.Grant.Bandwidth
+			eg.Granted += d.Grant.Bandwidth
+		} else {
+			in.Rejections++
+			eg.Rejections++
+		}
+	}
+	rep.Imbalance = gini(rep)
+	return rep
+}
+
+// gini computes the Gini coefficient over point pressures.
+func gini(rep *Report) float64 {
+	var xs []float64
+	for _, p := range rep.Ingress {
+		xs = append(xs, p.Pressure())
+	}
+	for _, p := range rep.Egress {
+		xs = append(xs, p.Pressure())
+	}
+	sort.Float64s(xs)
+	n := len(xs)
+	var sum, weighted float64
+	for i, x := range xs {
+		sum += x
+		weighted += float64(i+1) * x
+	}
+	if sum == 0 {
+		return 0
+	}
+	return (2*weighted - float64(n+1)*sum) / (float64(n) * sum)
+}
+
+// Alternatives maps a request ID to the ingress points that hold a
+// replica of its dataset (must include at least one point; the original
+// ingress need not be listed).
+type Alternatives map[request.ID][]topology.PointID
+
+// RehomeBalanced rewrites each request's ingress to the least-loaded
+// replica holder, processing requests in decreasing MinRate order so the
+// big flows spread first. Requests without alternatives keep their
+// ingress. It returns the rewritten set; windows, volumes and egress
+// points are untouched.
+func RehomeBalanced(net *topology.Network, reqs *request.Set, alts Alternatives) (*request.Set, error) {
+	load := make([]units.Bandwidth, net.NumIngress())
+	all := reqs.All()
+	order := make([]int, len(all))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ra, rb := all[order[a]], all[order[b]]
+		if am, bm := ra.MinRate(), rb.MinRate(); am != bm {
+			return am > bm
+		}
+		return ra.ID < rb.ID
+	})
+	out := make([]request.Request, len(all))
+	copy(out, all)
+	for _, idx := range order {
+		r := &out[idx]
+		choices, ok := alts[r.ID]
+		if !ok || len(choices) == 0 {
+			load[int(r.Ingress)] += r.MinRate()
+			continue
+		}
+		best := -1
+		var bestRatio float64
+		for _, c := range choices {
+			if int(c) < 0 || int(c) >= net.NumIngress() {
+				return nil, fmt.Errorf("hotspot: request %d alternative ingress %d out of range", r.ID, c)
+			}
+			capc := net.Bin(c)
+			var ratio float64
+			if capc > 0 {
+				ratio = float64(load[int(c)]+r.MinRate()) / float64(capc)
+			} else {
+				ratio = 1e18
+			}
+			if best < 0 || ratio < bestRatio {
+				best, bestRatio = int(c), ratio
+			}
+		}
+		r.Ingress = topology.PointID(best)
+		load[best] += r.MinRate()
+	}
+	return request.NewSet(out)
+}

@@ -1,0 +1,201 @@
+package hotspot
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gridbw/internal/policy"
+	"gridbw/internal/request"
+	"gridbw/internal/rng"
+	"gridbw/internal/sched"
+	"gridbw/internal/sched/flexible"
+	"gridbw/internal/topology"
+	"gridbw/internal/units"
+)
+
+func skewedSet(n int) *request.Set {
+	// Everything enters at ingress 0; egress spreads evenly.
+	reqs := make([]request.Request, n)
+	for i := range reqs {
+		start := units.Time(i)
+		reqs[i] = request.Request{
+			ID:      request.ID(i),
+			Ingress: 0,
+			Egress:  topology.PointID(i % 4),
+			Start:   start, Finish: start + 200,
+			Volume:  40 * units.GB, // 200 MB/s floor
+			MaxRate: 400 * units.MBps,
+		}
+	}
+	return request.MustNewSet(reqs)
+}
+
+func scheduleAll(t *testing.T, net *topology.Network, reqs *request.Set) *sched.Outcome {
+	t.Helper()
+	out, err := flexible.Greedy{Policy: policy.MinRate()}.Schedule(net, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestAnalyzeFindsTheHotIngress(t *testing.T) {
+	net := topology.Uniform(4, 4, 1*units.GBps)
+	out := scheduleAll(t, net, skewedSet(20))
+	rep := Analyze(out)
+
+	hot := rep.Hottest(1)[0]
+	if hot.Dir != topology.Ingress || hot.ID != 0 {
+		t.Errorf("hottest = %+v, want ingress 0", hot)
+	}
+	if hot.Demand != 20*200*units.MBps {
+		t.Errorf("hot demand = %v", hot.Demand)
+	}
+	if rep.Imbalance <= 0.3 {
+		t.Errorf("imbalance = %v, want clearly skewed", rep.Imbalance)
+	}
+	// The idle ingress points carry nothing.
+	if rep.Ingress[1].Demand != 0 || rep.Ingress[1].Rejections != 0 {
+		t.Error("idle point has demand")
+	}
+	// Rejections are charged to the bottleneck.
+	if hot.Rejections == 0 {
+		t.Error("saturated ingress shows no rejections")
+	}
+}
+
+func TestAnalyzeBalancedIsLowImbalance(t *testing.T) {
+	net := topology.Uniform(4, 4, 1*units.GBps)
+	reqs := make([]request.Request, 16)
+	for i := range reqs {
+		start := units.Time(i)
+		reqs[i] = request.Request{
+			ID:      request.ID(i),
+			Ingress: topology.PointID(i % 4),
+			Egress:  topology.PointID((i / 4) % 4),
+			Start:   start, Finish: start + 100,
+			Volume:  10 * units.GB,
+			MaxRate: 200 * units.MBps,
+		}
+	}
+	out := scheduleAll(t, net, request.MustNewSet(reqs))
+	rep := Analyze(out)
+	if rep.Imbalance > 0.15 {
+		t.Errorf("imbalance = %v for a balanced workload", rep.Imbalance)
+	}
+}
+
+func TestHottestOrderingAndClamp(t *testing.T) {
+	net := topology.Uniform(4, 4, 1*units.GBps)
+	out := scheduleAll(t, net, skewedSet(4))
+	rep := Analyze(out)
+	all := rep.Hottest(100)
+	if len(all) != 8 {
+		t.Errorf("Hottest(100) = %d points", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Pressure() > all[i-1].Pressure() {
+			t.Error("Hottest not sorted")
+		}
+	}
+}
+
+func TestRehomeBalancedSpreadsLoad(t *testing.T) {
+	net := topology.Uniform(4, 4, 1*units.GBps)
+	reqs := skewedSet(20)
+	// Every dataset is replicated on all four ingress sites.
+	alts := Alternatives{}
+	for i := 0; i < reqs.Len(); i++ {
+		alts[request.ID(i)] = []topology.PointID{0, 1, 2, 3}
+	}
+	rehomed, err := RehomeBalanced(net, reqs, alts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := scheduleAll(t, net, reqs)
+	after := scheduleAll(t, net, rehomed)
+	if after.AcceptedCount() <= before.AcceptedCount() {
+		t.Errorf("rehoming did not help: %d -> %d accepted",
+			before.AcceptedCount(), after.AcceptedCount())
+	}
+	if rb, ra := Analyze(before).Imbalance, Analyze(after).Imbalance; ra >= rb {
+		t.Errorf("imbalance did not drop: %.3f -> %.3f", rb, ra)
+	}
+	// Only ingress changed.
+	for i := 0; i < reqs.Len(); i++ {
+		orig, got := reqs.Get(request.ID(i)), rehomed.Get(request.ID(i))
+		if orig.Egress != got.Egress || orig.Volume != got.Volume ||
+			orig.Start != got.Start || orig.Finish != got.Finish {
+			t.Fatal("rehoming changed more than the ingress")
+		}
+	}
+}
+
+func TestRehomeWithoutAlternativesIsIdentity(t *testing.T) {
+	net := topology.Uniform(4, 4, 1*units.GBps)
+	reqs := skewedSet(5)
+	rehomed, err := RehomeBalanced(net, reqs, Alternatives{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < reqs.Len(); i++ {
+		if reqs.Get(request.ID(i)) != rehomed.Get(request.ID(i)) {
+			t.Fatal("identity rehoming changed a request")
+		}
+	}
+}
+
+func TestRehomeRejectsBadAlternative(t *testing.T) {
+	net := topology.Uniform(2, 2, 1*units.GBps)
+	reqs := skewedSet(2)
+	_, err := RehomeBalanced(net, reqs, Alternatives{0: []topology.PointID{9}})
+	if err == nil {
+		t.Error("out-of-range alternative accepted")
+	}
+}
+
+func TestImbalanceBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		src := rng.New(seed)
+		net := topology.Uniform(3, 3, 1*units.GBps)
+		n := src.Intn(25) + 1
+		reqs := make([]request.Request, n)
+		for i := range reqs {
+			start := units.Time(src.Intn(100))
+			dur := units.Time(src.Intn(100) + 10)
+			rate := units.Bandwidth(src.Intn(400)+50) * units.MBps
+			reqs[i] = request.Request{
+				ID:      request.ID(i),
+				Ingress: topology.PointID(src.Intn(3)),
+				Egress:  topology.PointID(src.Intn(3)),
+				Start:   start, Finish: start + dur,
+				Volume: rate.For(dur), MaxRate: rate,
+			}
+		}
+		set := request.MustNewSet(reqs)
+		out, err := flexible.Greedy{Policy: policy.MinRate()}.Schedule(net, set)
+		if err != nil {
+			return false
+		}
+		rep := Analyze(out)
+		if rep.Imbalance < -1e-9 || rep.Imbalance > 1 {
+			return false
+		}
+		// Demand accounting is conserved: Σ ingress demand = Σ egress demand.
+		var din, dout units.Bandwidth
+		for _, p := range rep.Ingress {
+			din += p.Demand
+		}
+		for _, p := range rep.Egress {
+			dout += p.Demand
+		}
+		return units.ApproxEq(float64(din), float64(dout))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,105 @@
+// Package intervals implements the time-window decomposition of §4.2
+// (Figure 3 of the paper).
+//
+// Given a request set, the union of all starting and finishing times
+// yields a sorted sequence of reference points t_0 < t_1 < … < t_N. The
+// elementary intervals [t_i, t_{i+1}) have the property that no request
+// starts or finishes strictly inside one, so within an interval the active
+// set is constant and per-interval admission is well defined. The
+// Algorithm-1 slot heuristics iterate these intervals in order:
+//
+//	r1:      |————————————|
+//	r2:            |————————————————|
+//	r3:                  |——————|
+//	         t0    t1    t2     t3  t4
+//	slices:  [t0,t1)[t1,t2)[t2,t3)[t3,t4)
+//
+// (the paper's Figure 3). A request is active in a slice iff its window
+// covers the slice entirely — partial overlap cannot occur by
+// construction.
+package intervals
+
+import (
+	"sort"
+
+	"gridbw/internal/request"
+	"gridbw/internal/units"
+)
+
+// Interval is one elementary slice [Start, End).
+type Interval struct {
+	Start, End units.Time
+}
+
+// Length reports End − Start.
+func (iv Interval) Length() units.Time { return iv.End - iv.Start }
+
+// Contains reports whether t lies in [Start, End).
+func (iv Interval) Contains(t units.Time) bool { return iv.Start <= t && t < iv.End }
+
+// Decompose returns the elementary intervals induced by the requests'
+// window breakpoints, in increasing order. An empty request set yields nil.
+func Decompose(reqs []request.Request) []Interval {
+	if len(reqs) == 0 {
+		return nil
+	}
+	points := make([]units.Time, 0, 2*len(reqs))
+	for _, r := range reqs {
+		points = append(points, r.Start, r.Finish)
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i] < points[j] })
+	// Deduplicate.
+	w := 1
+	for i := 1; i < len(points); i++ {
+		if points[i] != points[w-1] {
+			points[w] = points[i]
+			w++
+		}
+	}
+	points = points[:w]
+	out := make([]Interval, 0, len(points)-1)
+	for i := 0; i+1 < len(points); i++ {
+		out = append(out, Interval{Start: points[i], End: points[i+1]})
+	}
+	return out
+}
+
+// Active reports the requests whose window covers the whole interval:
+// ts(r) <= Start and tf(r) >= End. By construction of Decompose a request
+// either covers an elementary interval entirely or not at all. The result
+// preserves the input order.
+func Active(reqs []request.Request, iv Interval) []request.Request {
+	var out []request.Request
+	for _, r := range reqs {
+		if r.Start <= iv.Start && r.Finish >= iv.End {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Covering reports the indices (into the decomposition) of the intervals a
+// request spans, assuming ivs came from a Decompose call whose input
+// included the request.
+func Covering(ivs []Interval, r request.Request) []int {
+	var out []int
+	for i, iv := range ivs {
+		if r.Start <= iv.Start && r.Finish >= iv.End {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Priority implements the §4.2 priority factor for request r on the
+// elementary interval iv:
+//
+//	priority(r, [t_i, t_{i+1}]) = (t_{i+1} − ts(r)) / (tf(r) − ts(r))
+//
+// It grows from (first interval length)/(window length) toward 1 as the
+// request accumulates scheduled time, so long-running already-admitted
+// requests get cheaper (see Cost in sched/rigid) and are protected from
+// late rejection.
+func Priority(r request.Request, iv Interval) float64 {
+	return float64(iv.End-r.Start) / float64(r.Finish-r.Start)
+}

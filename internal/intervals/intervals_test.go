@@ -1,0 +1,189 @@
+package intervals
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gridbw/internal/request"
+	"gridbw/internal/rng"
+	"gridbw/internal/units"
+)
+
+func mkReq(id int, start, finish units.Time) request.Request {
+	dur := finish - start
+	return request.Request{
+		ID: request.ID(id), Start: start, Finish: finish,
+		Volume:  units.Bandwidth(100 * units.MBps).For(dur),
+		MaxRate: 1 * units.GBps,
+	}
+}
+
+func TestDecomposeBasic(t *testing.T) {
+	reqs := []request.Request{
+		mkReq(0, 0, 10),
+		mkReq(1, 5, 15),
+		mkReq(2, 10, 20),
+	}
+	ivs := Decompose(reqs)
+	want := []Interval{{0, 5}, {5, 10}, {10, 15}, {15, 20}}
+	if len(ivs) != len(want) {
+		t.Fatalf("ivs = %v, want %v", ivs, want)
+	}
+	for i := range want {
+		if ivs[i] != want[i] {
+			t.Fatalf("ivs = %v, want %v", ivs, want)
+		}
+	}
+}
+
+func TestDecomposeDeduplicates(t *testing.T) {
+	reqs := []request.Request{
+		mkReq(0, 0, 10),
+		mkReq(1, 0, 10),
+		mkReq(2, 0, 10),
+	}
+	ivs := Decompose(reqs)
+	if len(ivs) != 1 || ivs[0] != (Interval{0, 10}) {
+		t.Errorf("ivs = %v", ivs)
+	}
+}
+
+func TestDecomposeEmpty(t *testing.T) {
+	if got := Decompose(nil); got != nil {
+		t.Errorf("Decompose(nil) = %v", got)
+	}
+}
+
+func TestIntervalMethods(t *testing.T) {
+	iv := Interval{5, 8}
+	if iv.Length() != 3 {
+		t.Errorf("Length = %v", iv.Length())
+	}
+	if !iv.Contains(5) || !iv.Contains(7.9) || iv.Contains(8) || iv.Contains(4) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestActive(t *testing.T) {
+	reqs := []request.Request{
+		mkReq(0, 0, 10),
+		mkReq(1, 5, 15),
+		mkReq(2, 10, 20),
+	}
+	act := Active(reqs, Interval{5, 10})
+	if len(act) != 2 || act[0].ID != 0 || act[1].ID != 1 {
+		t.Errorf("Active = %v", act)
+	}
+	act = Active(reqs, Interval{0, 5})
+	if len(act) != 1 || act[0].ID != 0 {
+		t.Errorf("Active = %v", act)
+	}
+}
+
+func TestCovering(t *testing.T) {
+	reqs := []request.Request{
+		mkReq(0, 0, 10),
+		mkReq(1, 5, 15),
+	}
+	ivs := Decompose(reqs) // {0,5},{5,10},{10,15}
+	got := Covering(ivs, reqs[1])
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("Covering = %v", got)
+	}
+}
+
+func TestPriority(t *testing.T) {
+	r := mkReq(0, 0, 100)
+	// First interval of length 10: priority = 10/100.
+	if got := Priority(r, Interval{0, 10}); !units.ApproxEq(got, 0.1) {
+		t.Errorf("Priority = %v", got)
+	}
+	// Last interval: priority reaches 1.
+	if got := Priority(r, Interval{90, 100}); !units.ApproxEq(got, 1.0) {
+		t.Errorf("Priority = %v", got)
+	}
+	// Priority is monotone in interval end.
+	if Priority(r, Interval{10, 20}) <= Priority(r, Interval{0, 10}) {
+		t.Error("Priority not monotone")
+	}
+}
+
+// Properties of the decomposition: intervals are sorted, disjoint, cover
+// the union span exactly, and every request's window is exactly the union
+// of the elementary intervals it covers.
+func TestDecomposeProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		src := rng.New(seed)
+		n := src.Intn(40) + 1
+		reqs := make([]request.Request, n)
+		for i := range reqs {
+			start := units.Time(src.Intn(100))
+			reqs[i] = mkReq(i, start, start+units.Time(src.Intn(50)+1))
+		}
+		ivs := Decompose(reqs)
+		for i := range ivs {
+			if ivs[i].End <= ivs[i].Start {
+				return false
+			}
+			if i > 0 && ivs[i].Start != ivs[i-1].End {
+				return false // gap or overlap
+			}
+		}
+		for _, r := range reqs {
+			var covered units.Time
+			for _, idx := range Covering(ivs, r) {
+				covered += ivs[idx].Length()
+			}
+			if !units.ApproxEq(float64(covered), float64(r.WindowLength())) {
+				return false
+			}
+			// No elementary interval partially overlaps the window.
+			for _, iv := range ivs {
+				overlaps := iv.Start < r.Finish && iv.End > r.Start
+				inside := r.Start <= iv.Start && r.Finish >= iv.End
+				if overlaps && !inside {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestActiveMatchesCovering(t *testing.T) {
+	f := func(seed int64) bool {
+		src := rng.New(seed)
+		n := src.Intn(20) + 1
+		reqs := make([]request.Request, n)
+		for i := range reqs {
+			start := units.Time(src.Intn(50))
+			reqs[i] = mkReq(i, start, start+units.Time(src.Intn(30)+1))
+		}
+		ivs := Decompose(reqs)
+		for idx, iv := range ivs {
+			act := Active(reqs, iv)
+			inAct := map[request.ID]bool{}
+			for _, r := range act {
+				inAct[r.ID] = true
+			}
+			for _, r := range reqs {
+				covers := false
+				for _, c := range Covering(ivs, r) {
+					if c == idx {
+						covers = true
+					}
+				}
+				if covers != inAct[r.ID] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,137 @@
+// Package maxflow implements Dinic's maximum-flow algorithm on integer
+// capacities.
+//
+// It is the substrate behind the polynomial special case the paper cites
+// from its companion work ([13, 14] in the references; restated in §3):
+// scheduling *uniform long-lived* requests — indefinite flows that all
+// demand the same bandwidth b — reduces to a bipartite flow problem
+// between ingress and egress points with per-point slot capacities
+// ⌊B/b⌋, solvable exactly in polynomial time. See
+// internal/sched/longlived.
+package maxflow
+
+import "fmt"
+
+// Graph is a flow network under construction. Vertices are dense ints.
+type Graph struct {
+	n     int
+	edges []edge
+	head  [][]int // adjacency: vertex -> edge indices (including reverses)
+}
+
+type edge struct {
+	to   int
+	cap  int64
+	flow int64
+}
+
+// New returns a graph with n vertices and no edges.
+func New(n int) *Graph {
+	if n <= 0 {
+		panic(fmt.Sprintf("maxflow: non-positive vertex count %d", n))
+	}
+	return &Graph{n: n, head: make([][]int, n)}
+}
+
+// N reports the vertex count.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge adds a directed edge u→v with the given capacity and returns
+// its index (usable with Flow after solving). Capacity must be >= 0.
+func (g *Graph) AddEdge(u, v int, capacity int64) int {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("maxflow: edge (%d,%d) out of range [0,%d)", u, v, g.n))
+	}
+	if capacity < 0 {
+		panic(fmt.Sprintf("maxflow: negative capacity %d", capacity))
+	}
+	idx := len(g.edges)
+	g.edges = append(g.edges, edge{to: v, cap: capacity})
+	g.head[u] = append(g.head[u], idx)
+	// Reverse edge with zero capacity.
+	g.edges = append(g.edges, edge{to: u, cap: 0})
+	g.head[v] = append(g.head[v], idx+1)
+	return idx
+}
+
+// Flow reports the flow pushed on the edge returned by AddEdge, after a
+// MaxFlow call.
+func (g *Graph) Flow(edgeIdx int) int64 {
+	return g.edges[edgeIdx].flow
+}
+
+// MaxFlow computes the maximum s→t flow with Dinic's algorithm
+// (O(V²·E) in general, O(E·√V) on unit-capacity bipartite networks).
+func (g *Graph) MaxFlow(s, t int) int64 {
+	if s < 0 || s >= g.n || t < 0 || t >= g.n {
+		panic(fmt.Sprintf("maxflow: terminal out of range"))
+	}
+	if s == t {
+		panic("maxflow: source equals sink")
+	}
+	var total int64
+	level := make([]int, g.n)
+	iter := make([]int, g.n)
+	queue := make([]int, 0, g.n)
+
+	bfs := func() bool {
+		for i := range level {
+			level[i] = -1
+		}
+		level[s] = 0
+		queue = queue[:0]
+		queue = append(queue, s)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, ei := range g.head[u] {
+				e := &g.edges[ei]
+				if e.cap-e.flow > 0 && level[e.to] < 0 {
+					level[e.to] = level[u] + 1
+					queue = append(queue, e.to)
+				}
+			}
+		}
+		return level[t] >= 0
+	}
+
+	var dfs func(u int, limit int64) int64
+	dfs = func(u int, limit int64) int64 {
+		if u == t {
+			return limit
+		}
+		for ; iter[u] < len(g.head[u]); iter[u]++ {
+			ei := g.head[u][iter[u]]
+			e := &g.edges[ei]
+			if e.cap-e.flow <= 0 || level[e.to] != level[u]+1 {
+				continue
+			}
+			avail := e.cap - e.flow
+			if avail > limit {
+				avail = limit
+			}
+			pushed := dfs(e.to, avail)
+			if pushed > 0 {
+				e.flow += pushed
+				g.edges[ei^1].flow -= pushed
+				return pushed
+			}
+		}
+		return 0
+	}
+
+	const inf = int64(1) << 62
+	for bfs() {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			pushed := dfs(s, inf)
+			if pushed == 0 {
+				break
+			}
+			total += pushed
+		}
+	}
+	return total
+}

@@ -1,0 +1,221 @@
+package maxflow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gridbw/internal/rng"
+)
+
+func TestSingleEdge(t *testing.T) {
+	g := New(2)
+	e := g.AddEdge(0, 1, 7)
+	if got := g.MaxFlow(0, 1); got != 7 {
+		t.Errorf("flow = %d, want 7", got)
+	}
+	if g.Flow(e) != 7 {
+		t.Errorf("edge flow = %d", g.Flow(e))
+	}
+}
+
+func TestSeriesBottleneck(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 10)
+	g.AddEdge(1, 2, 3)
+	if got := g.MaxFlow(0, 2); got != 3 {
+		t.Errorf("flow = %d, want 3", got)
+	}
+}
+
+func TestParallelPaths(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 3, 5)
+	g.AddEdge(0, 2, 4)
+	g.AddEdge(2, 3, 4)
+	if got := g.MaxFlow(0, 3); got != 9 {
+		t.Errorf("flow = %d, want 9", got)
+	}
+}
+
+// TestClassicNetwork is the standard CLRS example with answer 23.
+func TestClassicNetwork(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 1, 16)
+	g.AddEdge(0, 2, 13)
+	g.AddEdge(1, 2, 10)
+	g.AddEdge(2, 1, 4)
+	g.AddEdge(1, 3, 12)
+	g.AddEdge(3, 2, 9)
+	g.AddEdge(2, 4, 14)
+	g.AddEdge(4, 3, 7)
+	g.AddEdge(3, 5, 20)
+	g.AddEdge(4, 5, 4)
+	if got := g.MaxFlow(0, 5); got != 23 {
+		t.Errorf("flow = %d, want 23", got)
+	}
+}
+
+func TestNeedsResidualEdges(t *testing.T) {
+	// Flow must reroute through the residual of the middle edge.
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(1, 3, 1)
+	g.AddEdge(2, 3, 1)
+	if got := g.MaxFlow(0, 3); got != 2 {
+		t.Errorf("flow = %d, want 2", got)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(2, 3, 5)
+	if got := g.MaxFlow(0, 3); got != 0 {
+		t.Errorf("flow = %d, want 0", got)
+	}
+}
+
+func TestZeroCapacityEdge(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 0)
+	if got := g.MaxFlow(0, 1); got != 0 {
+		t.Errorf("flow = %d, want 0", got)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0) },
+		func() { New(2).AddEdge(0, 5, 1) },
+		func() { New(2).AddEdge(0, 1, -1) },
+		func() { New(2).MaxFlow(0, 0) },
+		func() { New(2).MaxFlow(0, 9) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad call did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestBipartiteMatchingMatchesGreedyBound: on random bipartite unit
+// graphs, max flow equals the size of a maximum matching, which we verify
+// against a brute-force matcher for small sizes.
+func TestBipartiteMatchingBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		src := rng.New(seed)
+		L := src.Intn(4) + 1
+		R := src.Intn(4) + 1
+		var pairs [][2]int
+		adj := make([][]bool, L)
+		for i := range adj {
+			adj[i] = make([]bool, R)
+		}
+		for i := 0; i < L; i++ {
+			for j := 0; j < R; j++ {
+				if src.Bool(0.4) {
+					adj[i][j] = true
+					pairs = append(pairs, [2]int{i, j})
+				}
+			}
+		}
+		// Flow network: 0 = source, 1..L = left, L+1..L+R = right, last = sink.
+		g := New(L + R + 2)
+		sink := L + R + 1
+		for i := 0; i < L; i++ {
+			g.AddEdge(0, 1+i, 1)
+		}
+		for j := 0; j < R; j++ {
+			g.AddEdge(1+L+j, sink, 1)
+		}
+		for _, p := range pairs {
+			g.AddEdge(1+p[0], 1+L+p[1], 1)
+		}
+		flow := g.MaxFlow(0, sink)
+
+		// Brute force maximum matching over subsets of pairs.
+		best := 0
+		var dfs func(idx int, usedL, usedR int, count int)
+		dfs = func(idx, usedL, usedR, count int) {
+			if count > best {
+				best = count
+			}
+			if idx == len(pairs) {
+				return
+			}
+			dfs(idx+1, usedL, usedR, count)
+			p := pairs[idx]
+			if usedL&(1<<p[0]) == 0 && usedR&(1<<p[1]) == 0 {
+				dfs(idx+1, usedL|1<<p[0], usedR|1<<p[1], count+1)
+			}
+		}
+		dfs(0, 0, 0, 0)
+		return int(flow) == best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFlowConservationProperty: after solving, inflow equals outflow at
+// every interior vertex and edge flows respect capacities.
+func TestFlowConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		src := rng.New(seed)
+		n := src.Intn(8) + 2
+		g := New(n)
+		var idxs []int
+		for k := 0; k < 3*n; k++ {
+			u, v := src.Intn(n), src.Intn(n)
+			if u == v {
+				continue
+			}
+			idxs = append(idxs, g.AddEdge(u, v, int64(src.Intn(10))))
+		}
+		s, t := 0, n-1
+		total := g.MaxFlow(s, t)
+		if total < 0 {
+			return false
+		}
+		net := make([]int64, n)
+		for _, ei := range idxs {
+			fl := g.Flow(ei)
+			e := g.edges[ei]
+			if fl < 0 || fl > e.cap {
+				return false
+			}
+			// Edge ei goes from some u (unknown here) to e.to; recover u
+			// via the reverse edge.
+			u := g.edges[ei^1].to
+			net[u] -= fl
+			net[e.to] += fl
+		}
+		for v := 0; v < n; v++ {
+			switch v {
+			case s:
+				if net[v] != -total {
+					return false
+				}
+			case t:
+				if net[v] != total {
+					return false
+				}
+			default:
+				if net[v] != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,32 @@
+package maxmin_test
+
+import (
+	"fmt"
+	"log"
+
+	"gridbw/internal/maxmin"
+	"gridbw/internal/topology"
+	"gridbw/internal/units"
+)
+
+// ExampleShare computes the max-min fair allocation on a shared ingress:
+// the capped flow keeps its cap, the other two split the rest evenly.
+func ExampleShare() {
+	net := topology.Uniform(1, 3, 900*units.MBps)
+	flows := []maxmin.Flow{
+		{ID: 0, Ingress: 0, Egress: 0, Cap: 100 * units.MBps},
+		{ID: 1, Ingress: 0, Egress: 1},
+		{ID: 2, Ingress: 0, Egress: 2},
+	}
+	alloc, err := maxmin.Share(net, flows)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for id := 0; id <= 2; id++ {
+		fmt.Printf("flow %d: %v\n", id, alloc[id])
+	}
+	// Output:
+	// flow 0: 100MB/s
+	// flow 1: 400MB/s
+	// flow 2: 400MB/s
+}

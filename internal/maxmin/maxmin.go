@@ -1,0 +1,208 @@
+// Package maxmin implements max-min fair bandwidth sharing — the
+// Internet-style allocation objective the paper contrasts its admission
+// control against (§1, §6).
+//
+// Given a set of flows, each crossing one ingress and one egress point and
+// optionally capped by a host rate, the progressive-filling algorithm
+// raises every unfrozen flow's rate uniformly until some point saturates
+// (or a flow hits its cap); flows through a saturated point are frozen at
+// the current level and filling continues. The result is the unique
+// allocation in which no flow's rate can be increased without decreasing
+// the rate of a flow with an already smaller-or-equal rate.
+//
+// The fluid-TCP baseline (internal/fluidtcp) re-solves this allocation on
+// every arrival and departure to emulate the session-level behaviour of
+// congestion-controlled flows sharing the grid's access bottlenecks.
+package maxmin
+
+import (
+	"fmt"
+	"math"
+
+	"gridbw/internal/topology"
+	"gridbw/internal/units"
+)
+
+// Flow is one active transfer for allocation purposes.
+type Flow struct {
+	// ID is an arbitrary caller-chosen identifier (unique per call).
+	ID int
+	// Ingress and Egress are the points the flow crosses.
+	Ingress, Egress topology.PointID
+	// Cap is the host rate limit; 0 or negative means uncapped.
+	Cap units.Bandwidth
+}
+
+// Allocation maps flow IDs to their max-min fair rates.
+type Allocation map[int]units.Bandwidth
+
+// Share computes the max-min fair allocation of the network's access
+// capacities among the flows by progressive filling. It returns an error
+// on duplicate flow IDs or out-of-range points.
+func Share(net *topology.Network, flows []Flow) (Allocation, error) {
+	alloc := make(Allocation, len(flows))
+	seen := make(map[int]bool, len(flows))
+	for _, f := range flows {
+		if seen[f.ID] {
+			return nil, fmt.Errorf("maxmin: duplicate flow ID %d", f.ID)
+		}
+		seen[f.ID] = true
+		if int(f.Ingress) < 0 || int(f.Ingress) >= net.NumIngress() {
+			return nil, fmt.Errorf("maxmin: flow %d ingress %d out of range", f.ID, f.Ingress)
+		}
+		if int(f.Egress) < 0 || int(f.Egress) >= net.NumEgress() {
+			return nil, fmt.Errorf("maxmin: flow %d egress %d out of range", f.ID, f.Egress)
+		}
+		alloc[f.ID] = 0
+	}
+
+	frozen := make(map[int]bool, len(flows))
+	level := units.Bandwidth(0) // current uniform fill level of unfrozen flows
+
+	remIn := make([]units.Bandwidth, net.NumIngress())
+	remOut := make([]units.Bandwidth, net.NumEgress())
+	for i := range remIn {
+		remIn[i] = net.Bin(topology.PointID(i))
+	}
+	for e := range remOut {
+		remOut[e] = net.Bout(topology.PointID(e))
+	}
+
+	for {
+		// Count unfrozen flows per point.
+		cntIn := make([]int, net.NumIngress())
+		cntOut := make([]int, net.NumEgress())
+		unfrozen := 0
+		for _, f := range flows {
+			if frozen[f.ID] {
+				continue
+			}
+			unfrozen++
+			cntIn[int(f.Ingress)]++
+			cntOut[int(f.Egress)]++
+		}
+		if unfrozen == 0 {
+			break
+		}
+		// Largest uniform increment before some point saturates or some
+		// flow hits its cap.
+		inc := units.Bandwidth(math.Inf(1))
+		for i, c := range cntIn {
+			if c > 0 {
+				if d := remIn[i] / units.Bandwidth(c); d < inc {
+					inc = d
+				}
+			}
+		}
+		for e, c := range cntOut {
+			if c > 0 {
+				if d := remOut[e] / units.Bandwidth(c); d < inc {
+					inc = d
+				}
+			}
+		}
+		for _, f := range flows {
+			if frozen[f.ID] || f.Cap <= 0 {
+				continue
+			}
+			if d := f.Cap - level; d < inc {
+				inc = d
+			}
+		}
+		if inc < 0 {
+			inc = 0
+		}
+		// Apply the increment.
+		for _, f := range flows {
+			if frozen[f.ID] {
+				continue
+			}
+			alloc[f.ID] += inc
+			remIn[int(f.Ingress)] -= inc
+			remOut[int(f.Egress)] -= inc
+		}
+		level += inc
+		// Freeze flows on saturated points or at their caps.
+		progress := false
+		for _, f := range flows {
+			if frozen[f.ID] {
+				continue
+			}
+			satIn := remIn[int(f.Ingress)] <= units.Bandwidth(units.Eps)*net.Bin(f.Ingress)+units.Bandwidth(units.Eps)
+			satOut := remOut[int(f.Egress)] <= units.Bandwidth(units.Eps)*net.Bout(f.Egress)+units.Bandwidth(units.Eps)
+			capped := f.Cap > 0 && level >= f.Cap*(1-units.Eps)
+			if satIn || satOut || capped {
+				frozen[f.ID] = true
+				progress = true
+			}
+		}
+		if !progress {
+			// Numerical safety valve: no point saturated and no cap hit
+			// means inc was infinite (no constraint at all) — impossible
+			// with finite capacities, but guard against livelock.
+			return nil, fmt.Errorf("maxmin: progressive filling stalled")
+		}
+	}
+	return alloc, nil
+}
+
+// IsMaxMinFair verifies the defining property of a max-min fair
+// allocation within tolerance: every flow is bottlenecked — it sits at
+// its cap, or it crosses a saturated point on which it has a maximal
+// rate. It is used by property tests.
+func IsMaxMinFair(net *topology.Network, flows []Flow, alloc Allocation) error {
+	usedIn := make([]units.Bandwidth, net.NumIngress())
+	usedOut := make([]units.Bandwidth, net.NumEgress())
+	for _, f := range flows {
+		usedIn[int(f.Ingress)] += alloc[f.ID]
+		usedOut[int(f.Egress)] += alloc[f.ID]
+	}
+	for i, u := range usedIn {
+		if !units.FitsWithin(u, 0, net.Bin(topology.PointID(i))) {
+			return fmt.Errorf("maxmin: ingress %d over capacity (%v)", i, u)
+		}
+	}
+	for e, u := range usedOut {
+		if !units.FitsWithin(u, 0, net.Bout(topology.PointID(e))) {
+			return fmt.Errorf("maxmin: egress %d over capacity (%v)", e, u)
+		}
+	}
+	const tol = 1e-6
+	for _, f := range flows {
+		rate := alloc[f.ID]
+		if f.Cap > 0 && rate >= f.Cap*(1-tol) {
+			continue // bottlenecked by its own cap
+		}
+		// Must cross a saturated point where it is among the largest.
+		bottlenecked := false
+		for _, side := range []struct {
+			used, capacity units.Bandwidth
+			point          topology.PointID
+			ingress        bool
+		}{
+			{usedIn[int(f.Ingress)], net.Bin(f.Ingress), f.Ingress, true},
+			{usedOut[int(f.Egress)], net.Bout(f.Egress), f.Egress, false},
+		} {
+			if float64(side.used) < float64(side.capacity)*(1-tol) {
+				continue // point not saturated
+			}
+			maximal := true
+			for _, g := range flows {
+				onPoint := (side.ingress && g.Ingress == side.point) ||
+					(!side.ingress && g.Egress == side.point)
+				if onPoint && float64(alloc[g.ID]) > float64(rate)*(1+tol) {
+					maximal = false
+					break
+				}
+			}
+			if maximal {
+				bottlenecked = true
+				break
+			}
+		}
+		if !bottlenecked {
+			return fmt.Errorf("maxmin: flow %d (rate %v) has no bottleneck", f.ID, rate)
+		}
+	}
+	return nil
+}

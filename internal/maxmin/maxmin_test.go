@@ -1,0 +1,213 @@
+package maxmin
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gridbw/internal/rng"
+	"gridbw/internal/topology"
+	"gridbw/internal/units"
+)
+
+func TestSingleFlowGetsEverything(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	a, err := Share(net, []Flow{{ID: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEq(float64(a[0]), float64(1*units.GBps)) {
+		t.Errorf("rate = %v, want full capacity", a[0])
+	}
+}
+
+func TestEqualSplitOnSharedBottleneck(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	flows := []Flow{{ID: 0}, {ID: 1}, {ID: 2}, {ID: 3}}
+	a, err := Share(net, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range flows {
+		if !units.ApproxEq(float64(a[f.ID]), float64(250*units.MBps)) {
+			t.Errorf("flow %d rate = %v, want 250MB/s", f.ID, a[f.ID])
+		}
+	}
+	if err := IsMaxMinFair(net, flows, a); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCapFreesBandwidthForOthers(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	flows := []Flow{
+		{ID: 0, Cap: 100 * units.MBps},
+		{ID: 1},
+	}
+	a, err := Share(net, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEq(float64(a[0]), float64(100*units.MBps)) {
+		t.Errorf("capped flow = %v", a[0])
+	}
+	if !units.ApproxEq(float64(a[1]), float64(900*units.MBps)) {
+		t.Errorf("uncapped flow = %v, want the rest", a[1])
+	}
+	if err := IsMaxMinFair(net, flows, a); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassicTwoBottleneckExample(t *testing.T) {
+	// Ingress 0 carries flows A and B; egress 0 carries flows B and C;
+	// ingress 1 (for C) and egress 1 (for A) are otherwise idle, with
+	// egress capacity 2 GB/s so only the 1 GB/s points bind.
+	net, err := topology.New(topology.Config{
+		Ingress: []units.Bandwidth{1 * units.GBps, 2 * units.GBps},
+		Egress:  []units.Bandwidth{1 * units.GBps, 2 * units.GBps},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := []Flow{
+		{ID: 0, Ingress: 0, Egress: 1}, // A
+		{ID: 1, Ingress: 0, Egress: 0}, // B
+		{ID: 2, Ingress: 1, Egress: 0}, // C
+	}
+	a, err := Share(net, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Max-min: A=B=C=500MB/s would leave slack... progressive filling:
+	// all rise to 500 where both 1GB/s points saturate simultaneously.
+	for id := 0; id <= 2; id++ {
+		if !units.ApproxEq(float64(a[id]), float64(500*units.MBps)) {
+			t.Errorf("flow %d = %v, want 500MB/s", id, a[id])
+		}
+	}
+	if err := IsMaxMinFair(net, flows, a); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnevenBottlenecks(t *testing.T) {
+	// Two flows share ingress 0 (1 GB/s); one of them alone uses egress 0,
+	// the other shares egress 1 (500 MB/s) with a third flow from ingress 1.
+	net, err := topology.New(topology.Config{
+		Ingress: []units.Bandwidth{1 * units.GBps, 1 * units.GBps},
+		Egress:  []units.Bandwidth{1 * units.GBps, 500 * units.MBps},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := []Flow{
+		{ID: 0, Ingress: 0, Egress: 0},
+		{ID: 1, Ingress: 0, Egress: 1},
+		{ID: 2, Ingress: 1, Egress: 1},
+	}
+	a, err := Share(net, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Egress 1 saturates first at level 250 freezing flows 1 and 2; flow 0
+	// continues to 750 where ingress 0 saturates.
+	if !units.ApproxEq(float64(a[1]), float64(250*units.MBps)) ||
+		!units.ApproxEq(float64(a[2]), float64(250*units.MBps)) {
+		t.Errorf("flows on narrow egress = %v, %v, want 250MB/s", a[1], a[2])
+	}
+	if !units.ApproxEq(float64(a[0]), float64(750*units.MBps)) {
+		t.Errorf("flow 0 = %v, want 750MB/s", a[0])
+	}
+	if err := IsMaxMinFair(net, flows, a); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShareErrors(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	if _, err := Share(net, []Flow{{ID: 0}, {ID: 0}}); err == nil {
+		t.Error("duplicate IDs accepted")
+	}
+	if _, err := Share(net, []Flow{{ID: 0, Ingress: 5}}); err == nil {
+		t.Error("bad ingress accepted")
+	}
+	if _, err := Share(net, []Flow{{ID: 0, Egress: 5}}); err == nil {
+		t.Error("bad egress accepted")
+	}
+}
+
+func TestEmptyFlows(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	a, err := Share(net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 0 {
+		t.Errorf("allocation = %v", a)
+	}
+}
+
+func TestZeroCapacityPoint(t *testing.T) {
+	net, err := topology.New(topology.Config{
+		Ingress: []units.Bandwidth{0},
+		Egress:  []units.Bandwidth{1 * units.GBps},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := []Flow{{ID: 0}}
+	a, err := Share(net, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != 0 {
+		t.Errorf("flow through dead point got %v", a[0])
+	}
+	if err := IsMaxMinFair(net, flows, a); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMaxMinFairProperty: on random topologies and flow sets the result
+// always satisfies the max-min fairness certificate.
+func TestMaxMinFairProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		src := rng.New(seed)
+		m := src.Intn(4) + 1
+		n := src.Intn(4) + 1
+		cfg := topology.Config{
+			Ingress: make([]units.Bandwidth, m),
+			Egress:  make([]units.Bandwidth, n),
+		}
+		for i := range cfg.Ingress {
+			cfg.Ingress[i] = units.Bandwidth(src.Intn(10)+1) * 100 * units.MBps
+		}
+		for e := range cfg.Egress {
+			cfg.Egress[e] = units.Bandwidth(src.Intn(10)+1) * 100 * units.MBps
+		}
+		net, err := topology.New(cfg)
+		if err != nil {
+			return false
+		}
+		k := src.Intn(12) + 1
+		flows := make([]Flow, k)
+		for i := range flows {
+			flows[i] = Flow{
+				ID:      i,
+				Ingress: topology.PointID(src.Intn(m)),
+				Egress:  topology.PointID(src.Intn(n)),
+			}
+			if src.Bool(0.4) {
+				flows[i].Cap = units.Bandwidth(src.Intn(900)+100) * units.MBps
+			}
+		}
+		a, err := Share(net, flows)
+		if err != nil {
+			return false
+		}
+		return IsMaxMinFair(net, flows, a) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,286 @@
+// Package metrics computes the paper's evaluation objectives from a
+// scheduling outcome: the MAX-REQUESTS accept rate, the RESOURCE-UTIL
+// utilization ratio with the B^scaled correction of §2.2, the
+// #guaranteed refined accept rate of §2.3, plus the replication
+// statistics (mean / standard deviation / 95% confidence interval) used
+// to aggregate repeated simulation runs.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gridbw/internal/policy"
+	"gridbw/internal/request"
+	"gridbw/internal/sched"
+	"gridbw/internal/topology"
+	"gridbw/internal/units"
+)
+
+// Metrics summarizes one scheduling outcome.
+type Metrics struct {
+	// Requests and Accepted count the request set and accepted subset.
+	Requests, Accepted int
+	// AcceptRate is Accepted / Requests (MAX-REQUESTS, normalized).
+	AcceptRate float64
+	// ResourceUtil is the paper's RESOURCE-UTIL: granted bandwidth over
+	// half the scaled platform capacity.
+	ResourceUtil float64
+	// TimeUtil is the time-integrated utilization: allocated volume over
+	// (span × half capacity) — the operational counterpart of
+	// ResourceUtil for time-extended workloads.
+	TimeUtil float64
+	// ScaledTimeUtil is the time-extended analogue of RESOURCE-UTIL with
+	// the B^scaled correction applied instant by instant: moved volume
+	// over ½·Σ_p ∫ min(demand_p(t), capacity_p) dt. It is the bounded
+	// [0,1] metric used for the Figure 4 utilization panel (the literal
+	// §2.2 formula is a static snapshot and exceeds 1 once requests are
+	// spread over time; see DESIGN.md).
+	ScaledTimeUtil float64
+	// GuaranteedRate is #guaranteed(f) / Requests for the f used in
+	// Evaluate.
+	GuaranteedRate float64
+	// MeanGrantedRate is the mean bw(r) over accepted requests.
+	MeanGrantedRate units.Bandwidth
+	// MeanStretch is mean (assigned duration / minimal duration) over
+	// accepted requests; 1 means everyone runs at MaxRate.
+	MeanStretch float64
+}
+
+// Evaluate computes all metrics for an outcome. The tuning factor f sets
+// the #guaranteed threshold (use 0 to count every accepted request as
+// guaranteed).
+func Evaluate(out *sched.Outcome, f float64) Metrics {
+	return EvaluateFiltered(out, f, nil)
+}
+
+// EvaluateFiltered computes metrics over the subset of requests accepted
+// by the filter (nil means all). The standard use is warm-up exclusion:
+// requests arriving while the simulated network is still filling see an
+// unrealistically empty system, so steady-state comparisons should filter
+// to arrivals after a warm-up prefix (see Warmup).
+func EvaluateFiltered(out *sched.Outcome, f float64, filter func(request.Request) bool) Metrics {
+	net := out.Network
+	reqs := out.Requests
+	include := func(r request.Request) bool { return filter == nil || filter(r) }
+	m := Metrics{}
+	for _, r := range reqs.All() {
+		if include(r) {
+			m.Requests++
+		}
+	}
+	if m.Requests == 0 {
+		return m
+	}
+
+	// Demand per point (over all included requests, accepted or not) for
+	// B^scaled.
+	demandIn := make([]units.Bandwidth, net.NumIngress())
+	demandOut := make([]units.Bandwidth, net.NumEgress())
+	for _, r := range reqs.All() {
+		if !include(r) {
+			continue
+		}
+		demandIn[int(r.Ingress)] += r.MinRate()
+		demandOut[int(r.Egress)] += r.MinRate()
+	}
+	var scaledCap units.Bandwidth
+	for i, d := range demandIn {
+		c := net.Bin(topology.PointID(i))
+		if d < c {
+			c = d
+		}
+		scaledCap += c
+	}
+	for e, d := range demandOut {
+		c := net.Bout(topology.PointID(e))
+		if d < c {
+			c = d
+		}
+		scaledCap += c
+	}
+
+	var granted units.Bandwidth
+	var stretchSum float64
+	guaranteed := 0
+	var spanStart, spanEnd units.Time
+	first := true
+	var allocVolume units.Volume
+	for _, d := range out.Decisions() {
+		r := reqs.Get(d.Request)
+		if !include(r) {
+			continue
+		}
+		if first {
+			spanStart, spanEnd = r.Start, r.Finish
+			first = false
+		} else {
+			if r.Start < spanStart {
+				spanStart = r.Start
+			}
+			if r.Finish > spanEnd {
+				spanEnd = r.Finish
+			}
+		}
+		if !d.Accepted {
+			continue
+		}
+		m.Accepted++
+		granted += d.Grant.Bandwidth
+		allocVolume += d.Grant.Bandwidth.For(d.Grant.Duration())
+		if md := r.MinDuration(); md > 0 {
+			stretchSum += float64(d.Grant.Duration()) / float64(md)
+		}
+		if policy.Guaranteed(r, d.Grant.Bandwidth, f) {
+			guaranteed++
+		}
+	}
+
+	m.AcceptRate = float64(m.Accepted) / float64(m.Requests)
+	m.GuaranteedRate = float64(guaranteed) / float64(m.Requests)
+	if scaledCap > 0 {
+		m.ResourceUtil = float64(granted) / (0.5 * float64(scaledCap))
+	}
+	if m.Accepted > 0 {
+		m.MeanGrantedRate = granted / units.Bandwidth(m.Accepted)
+		m.MeanStretch = stretchSum / float64(m.Accepted)
+	}
+	if span := spanEnd - spanStart; span > 0 {
+		m.TimeUtil = float64(allocVolume) / (float64(span) * float64(net.HalfTotalCapacity()))
+	}
+
+	// ScaledTimeUtil denominator: per-point capped demand integral.
+	var cappedDemand float64
+	for i := 0; i < net.NumIngress(); i++ {
+		cappedDemand += demandIntegral(reqs, topology.Ingress, topology.PointID(i), net.Bin(topology.PointID(i)), include)
+	}
+	for e := 0; e < net.NumEgress(); e++ {
+		cappedDemand += demandIntegral(reqs, topology.Egress, topology.PointID(e), net.Bout(topology.PointID(e)), include)
+	}
+	var movedVolume float64
+	for _, d := range out.Decisions() {
+		if d.Accepted && include(reqs.Get(d.Request)) {
+			movedVolume += float64(reqs.Get(d.Request).Volume)
+		}
+	}
+	if cappedDemand > 0 {
+		m.ScaledTimeUtil = movedVolume / (0.5 * cappedDemand)
+	}
+	return m
+}
+
+// demandIntegral computes ∫ min(demand_p(t), capacity) dt for one point,
+// where demand_p is the sum of MinRate over requests whose requested
+// window covers t.
+func demandIntegral(reqs *request.Set, dir topology.Direction, id topology.PointID, capacity units.Bandwidth, include func(request.Request) bool) float64 {
+	type ev struct {
+		at   units.Time
+		rate float64
+	}
+	var evs []ev
+	for _, r := range reqs.All() {
+		if !include(r) {
+			continue
+		}
+		var p topology.PointID
+		if dir == topology.Ingress {
+			p = r.Ingress
+		} else {
+			p = r.Egress
+		}
+		if p != id {
+			continue
+		}
+		rate := float64(r.MinRate())
+		evs = append(evs, ev{at: r.Start, rate: rate}, ev{at: r.Finish, rate: -rate})
+	}
+	if len(evs) == 0 {
+		return 0
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].at < evs[j].at })
+	var integral, level float64
+	prev := evs[0].at
+	for _, e := range evs {
+		dt := float64(e.at - prev)
+		if dt > 0 {
+			integral += math.Min(level, float64(capacity)) * dt
+		}
+		level += e.rate
+		prev = e.at
+	}
+	return integral
+}
+
+// Warmup returns a filter that keeps only requests arriving at or after
+// the cutoff — the standard warm-up exclusion for steady-state
+// measurement.
+func Warmup(cutoff units.Time) func(request.Request) bool {
+	return func(r request.Request) bool { return r.Start >= cutoff }
+}
+
+// Sample aggregates one scalar across replications.
+type Sample struct {
+	xs []float64
+}
+
+// Add appends an observation.
+func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
+
+// N reports the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean reports the sample mean (0 when empty).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Std reports the sample standard deviation (0 for n < 2).
+func (s *Sample) Std() float64 {
+	if len(s.xs) < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, x := range s.xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(s.xs)-1))
+}
+
+// CI95 reports the half-width of the normal-approximation 95% confidence
+// interval around the mean.
+func (s *Sample) CI95() float64 {
+	if len(s.xs) < 2 {
+		return 0
+	}
+	return 1.96 * s.Std() / math.Sqrt(float64(len(s.xs)))
+}
+
+// String formats as "mean ± ci".
+func (s *Sample) String() string {
+	return fmt.Sprintf("%.3f ± %.3f", s.Mean(), s.CI95())
+}
+
+// Aggregate collects every Metrics field across replications.
+type Aggregate struct {
+	AcceptRate, ResourceUtil, TimeUtil, ScaledTimeUtil, GuaranteedRate, MeanStretch Sample
+}
+
+// Add folds one replication's metrics in.
+func (a *Aggregate) Add(m Metrics) {
+	a.AcceptRate.Add(m.AcceptRate)
+	a.ResourceUtil.Add(m.ResourceUtil)
+	a.TimeUtil.Add(m.TimeUtil)
+	a.ScaledTimeUtil.Add(m.ScaledTimeUtil)
+	a.GuaranteedRate.Add(m.GuaranteedRate)
+	a.MeanStretch.Add(m.MeanStretch)
+}

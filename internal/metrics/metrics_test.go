@@ -1,0 +1,290 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gridbw/internal/policy"
+	"gridbw/internal/request"
+	"gridbw/internal/sched"
+	"gridbw/internal/sched/flexible"
+	"gridbw/internal/topology"
+	"gridbw/internal/units"
+	"gridbw/internal/workload"
+)
+
+func outcomeWith(t *testing.T, net *topology.Network, reqs *request.Set, accept map[request.ID]units.Bandwidth) *sched.Outcome {
+	t.Helper()
+	out := sched.NewOutcome("test", net, reqs)
+	for id, bw := range accept {
+		r := reqs.Get(id)
+		g, err := request.NewGrant(r, r.Start, bw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.Accept(g)
+	}
+	return out
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	out := sched.NewOutcome("test", net, request.MustNewSet(nil))
+	m := Evaluate(out, 0)
+	if m != (Metrics{}) {
+		t.Errorf("empty metrics = %+v", m)
+	}
+}
+
+func TestAcceptRateAndGuaranteed(t *testing.T) {
+	net := topology.Uniform(2, 2, 1*units.GBps)
+	reqs := request.MustNewSet([]request.Request{
+		{ID: 0, Ingress: 0, Egress: 0, Start: 0, Finish: 1000, Volume: 100 * units.GB, MaxRate: 1 * units.GBps},
+		{ID: 1, Ingress: 1, Egress: 1, Start: 0, Finish: 1000, Volume: 100 * units.GB, MaxRate: 1 * units.GBps},
+		{ID: 2, Ingress: 0, Egress: 1, Start: 0, Finish: 1000, Volume: 100 * units.GB, MaxRate: 1 * units.GBps},
+	})
+	// Accept 0 at 800 MB/s (guaranteed at f=0.8) and 1 at MinRate 100 MB/s
+	// (not guaranteed at f=0.8); reject 2.
+	out := outcomeWith(t, net, reqs, map[request.ID]units.Bandwidth{
+		0: 800 * units.MBps,
+		1: 100 * units.MBps,
+	})
+	m := Evaluate(out, 0.8)
+	if m.Requests != 3 || m.Accepted != 2 {
+		t.Fatalf("counts = %+v", m)
+	}
+	if !units.ApproxEq(m.AcceptRate, 2.0/3.0) {
+		t.Errorf("accept rate = %v", m.AcceptRate)
+	}
+	if !units.ApproxEq(m.GuaranteedRate, 1.0/3.0) {
+		t.Errorf("guaranteed rate = %v", m.GuaranteedRate)
+	}
+	if !units.ApproxEq(float64(m.MeanGrantedRate), float64(450*units.MBps)) {
+		t.Errorf("mean granted = %v", m.MeanGrantedRate)
+	}
+}
+
+func TestResourceUtilScaling(t *testing.T) {
+	// 2x2 platform at 1 GB/s. Only ingress 0 / egress 0 have any demand,
+	// so B^scaled excludes the idle points entirely.
+	net := topology.Uniform(2, 2, 1*units.GBps)
+	reqs := request.MustNewSet([]request.Request{
+		{ID: 0, Ingress: 0, Egress: 0, Start: 0, Finish: 100, Volume: 40 * units.GB, MaxRate: 400 * units.MBps},
+	})
+	out := outcomeWith(t, net, reqs, map[request.ID]units.Bandwidth{0: 400 * units.MBps})
+	m := Evaluate(out, 0)
+	// Demand at ingress 0 = egress 0 = 400 MB/s; scaled capacity =
+	// min(1G, 400M)·2 = 800 MB/s; util = 400 / (0.5·800) = 1.0.
+	if !units.ApproxEq(m.ResourceUtil, 1.0) {
+		t.Errorf("ResourceUtil = %v, want 1 (idle points excluded)", m.ResourceUtil)
+	}
+	// Against raw capacity it would be 400M / 2G = 0.2 — the scaling is
+	// what makes the metric meaningful (§2.2).
+}
+
+func TestResourceUtilWithoutScalingEffect(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	reqs := request.MustNewSet([]request.Request{
+		{ID: 0, Start: 0, Finish: 100, Volume: 100 * units.GB, MaxRate: 2 * units.GBps},  // MinRate 1 GB/s
+		{ID: 1, Start: 0, Finish: 100, Volume: 50 * units.GB, MaxRate: 500 * units.MBps}, // rejected
+	})
+	// Demand 1.5 GB/s per side > 1 GB/s capacity, so scaled = raw capacity.
+	out := outcomeWith(t, net, reqs, map[request.ID]units.Bandwidth{0: 1 * units.GBps})
+	m := Evaluate(out, 0)
+	if !units.ApproxEq(m.ResourceUtil, 1.0) {
+		t.Errorf("ResourceUtil = %v", m.ResourceUtil)
+	}
+}
+
+func TestTimeUtil(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	reqs := request.MustNewSet([]request.Request{
+		{ID: 0, Start: 0, Finish: 100, Volume: 50 * units.GB, MaxRate: 500 * units.MBps},
+	})
+	out := outcomeWith(t, net, reqs, map[request.ID]units.Bandwidth{0: 500 * units.MBps})
+	m := Evaluate(out, 0)
+	// Span 100 s, half capacity 1 GB/s: 50 GB / 100 GB = 0.5.
+	if !units.ApproxEq(m.TimeUtil, 0.5) {
+		t.Errorf("TimeUtil = %v", m.TimeUtil)
+	}
+}
+
+func TestScaledTimeUtil(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	// Two back-to-back rigid 500 MB/s requests over disjoint 100 s
+	// windows; accept only the first.
+	reqs := request.MustNewSet([]request.Request{
+		{ID: 0, Start: 0, Finish: 100, Volume: 50 * units.GB, MaxRate: 500 * units.MBps},
+		{ID: 1, Start: 100, Finish: 200, Volume: 50 * units.GB, MaxRate: 500 * units.MBps},
+	})
+	out := outcomeWith(t, net, reqs, map[request.ID]units.Bandwidth{0: 500 * units.MBps})
+	m := Evaluate(out, 0)
+	// Demand profile at each point: 500 MB/s over [0,200) -> capped
+	// integral 100 GB per point, 200 GB total, halved = 100 GB.
+	// Moved volume = 50 GB -> 0.5.
+	if !units.ApproxEq(m.ScaledTimeUtil, 0.5) {
+		t.Errorf("ScaledTimeUtil = %v, want 0.5", m.ScaledTimeUtil)
+	}
+
+	// Accepting both gives exactly 1.0 — the metric is bounded for rigid
+	// workloads.
+	out2 := outcomeWith(t, net, reqs, map[request.ID]units.Bandwidth{
+		0: 500 * units.MBps,
+		1: 500 * units.MBps,
+	})
+	if got := Evaluate(out2, 0).ScaledTimeUtil; !units.ApproxEq(got, 1.0) {
+		t.Errorf("full acceptance ScaledTimeUtil = %v, want 1", got)
+	}
+}
+
+func TestScaledTimeUtilCapsOverDemand(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	// Three 500 MB/s requests over the same window: demand 1.5 GB/s is
+	// capped at 1 GB/s in the denominator, so accepting two (the maximum
+	// feasible) yields utilization 1.
+	reqs := request.MustNewSet([]request.Request{
+		{ID: 0, Start: 0, Finish: 100, Volume: 50 * units.GB, MaxRate: 500 * units.MBps},
+		{ID: 1, Start: 0, Finish: 100, Volume: 50 * units.GB, MaxRate: 500 * units.MBps},
+		{ID: 2, Start: 0, Finish: 100, Volume: 50 * units.GB, MaxRate: 500 * units.MBps},
+	})
+	out := outcomeWith(t, net, reqs, map[request.ID]units.Bandwidth{
+		0: 500 * units.MBps,
+		1: 500 * units.MBps,
+	})
+	if got := Evaluate(out, 0).ScaledTimeUtil; !units.ApproxEq(got, 1.0) {
+		t.Errorf("ScaledTimeUtil = %v, want 1 (demand capped at capacity)", got)
+	}
+}
+
+func TestMeanStretch(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	reqs := request.MustNewSet([]request.Request{
+		{ID: 0, Start: 0, Finish: 1000, Volume: 100 * units.GB, MaxRate: 1 * units.GBps},
+	})
+	// Granted at 500 MB/s: duration 200 s vs minimal 100 s → stretch 2.
+	out := outcomeWith(t, net, reqs, map[request.ID]units.Bandwidth{0: 500 * units.MBps})
+	m := Evaluate(out, 0)
+	if !units.ApproxEq(m.MeanStretch, 2.0) {
+		t.Errorf("MeanStretch = %v", m.MeanStretch)
+	}
+}
+
+func TestMetricsBoundsProperty(t *testing.T) {
+	cfg := workload.Default(workload.Flexible)
+	cfg.Horizon = 250
+	f := func(seed int64) bool {
+		reqs, err := cfg.Generate(seed)
+		if err != nil {
+			return false
+		}
+		out, err := flexible.Greedy{Policy: policy.FractionMaxRate(0.8)}.Schedule(cfg.Network(), reqs)
+		if err != nil {
+			return false
+		}
+		m := Evaluate(out, 0.8)
+		inUnit := func(x float64) bool { return x >= 0 && x <= 1+1e-9 }
+		if !inUnit(m.AcceptRate) || !inUnit(m.GuaranteedRate) {
+			return false
+		}
+		if m.GuaranteedRate > m.AcceptRate+1e-9 {
+			return false // guaranteed requests are accepted requests
+		}
+		if m.ResourceUtil < 0 || m.TimeUtil < 0 || m.ScaledTimeUtil < 0 {
+			return false
+		}
+		if m.Accepted > 0 && m.MeanStretch < 1-1e-9 {
+			return false // nobody beats MaxRate
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleStats(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Std() != 0 || s.CI95() != 0 || s.N() != 0 {
+		t.Error("empty sample not zeroed")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 || math.Abs(s.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	if math.Abs(s.Std()-2.13808993529939) > 1e-9 {
+		t.Errorf("std = %v", s.Std())
+	}
+	wantCI := 1.96 * s.Std() / math.Sqrt(8)
+	if math.Abs(s.CI95()-wantCI) > 1e-12 {
+		t.Errorf("ci = %v", s.CI95())
+	}
+	if !strings.Contains(s.String(), "±") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	var a Aggregate
+	a.Add(Metrics{AcceptRate: 0.5, ResourceUtil: 0.6, TimeUtil: 0.3, GuaranteedRate: 0.4, MeanStretch: 1.5})
+	a.Add(Metrics{AcceptRate: 0.7, ResourceUtil: 0.8, TimeUtil: 0.5, GuaranteedRate: 0.6, MeanStretch: 2.5})
+	if !units.ApproxEq(a.AcceptRate.Mean(), 0.6) {
+		t.Errorf("accept mean = %v", a.AcceptRate.Mean())
+	}
+	if !units.ApproxEq(a.MeanStretch.Mean(), 2.0) {
+		t.Errorf("stretch mean = %v", a.MeanStretch.Mean())
+	}
+	if a.AcceptRate.N() != 2 {
+		t.Error("sample size")
+	}
+}
+
+func TestEvaluateFilteredWarmup(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	reqs := request.MustNewSet([]request.Request{
+		{ID: 0, Start: 0, Finish: 100, Volume: 50 * units.GB, MaxRate: 500 * units.MBps},
+		{ID: 1, Start: 200, Finish: 300, Volume: 50 * units.GB, MaxRate: 500 * units.MBps},
+		{ID: 2, Start: 250, Finish: 350, Volume: 50 * units.GB, MaxRate: 500 * units.MBps},
+	})
+	// Accept 0 and 1; reject 2.
+	out := outcomeWith(t, net, reqs, map[request.ID]units.Bandwidth{
+		0: 500 * units.MBps,
+		1: 500 * units.MBps,
+	})
+
+	all := Evaluate(out, 0)
+	if all.Requests != 3 || !units.ApproxEq(all.AcceptRate, 2.0/3.0) {
+		t.Fatalf("unfiltered = %+v", all)
+	}
+
+	// Warm-up cutoff at 150 drops request 0 entirely.
+	warm := EvaluateFiltered(out, 0, Warmup(150))
+	if warm.Requests != 2 || warm.Accepted != 1 {
+		t.Fatalf("filtered = %+v", warm)
+	}
+	if !units.ApproxEq(warm.AcceptRate, 0.5) {
+		t.Errorf("filtered accept rate = %v", warm.AcceptRate)
+	}
+
+	// A filter matching nothing yields the zero value.
+	none := EvaluateFiltered(out, 0, Warmup(1e9))
+	if none != (Metrics{}) {
+		t.Errorf("empty filter metrics = %+v", none)
+	}
+}
+
+func TestEvaluateFilteredConsistentWithNil(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	reqs := request.MustNewSet([]request.Request{
+		{ID: 0, Start: 0, Finish: 100, Volume: 50 * units.GB, MaxRate: 500 * units.MBps},
+	})
+	out := outcomeWith(t, net, reqs, map[request.ID]units.Bandwidth{0: 500 * units.MBps})
+	a := Evaluate(out, 0.5)
+	b := EvaluateFiltered(out, 0.5, func(request.Request) bool { return true })
+	if a != b {
+		t.Errorf("always-true filter differs: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,108 @@
+package overlay
+
+import (
+	"fmt"
+	"sort"
+
+	"gridbw/internal/request"
+	"gridbw/internal/tokenbucket"
+	"gridbw/internal/units"
+)
+
+// FlowConformance is the data-plane outcome of one accepted reservation.
+type FlowConformance struct {
+	Request request.ID
+	// Offered is what the sender tried to push, Delivered what passed the
+	// token bucket.
+	Offered, Delivered units.Volume
+	// DropEvents counts rejected bursts; zero for a compliant sender.
+	DropEvents int
+	// Cheated is the sender's overshoot fraction (0 = compliant).
+	Cheated float64
+}
+
+// EnforcementReport aggregates the data-plane simulation of a control-
+// plane run.
+type EnforcementReport struct {
+	Flows []FlowConformance
+	// CompliantDelivery and CheaterDelivery are volume-weighted delivery
+	// ratios for the two sender populations (1 when the population is
+	// empty and compliant, 0 ratio reported as 1 for no cheaters).
+	CompliantDelivery, CheaterDelivery float64
+	// TotalDropEvents across all flows.
+	TotalDropEvents int
+}
+
+// Enforce runs the §5.4 data plane over every accepted reservation of a
+// control-plane report: each sender transmits for its granted window
+// through a token bucket sized at its granted rate with a one-second
+// burst. cheat maps request IDs to an overshoot fraction (0.5 = sends at
+// 150% of the grant); absent IDs send compliantly. chunk is the
+// transmission burst size (e.g. 10 MB).
+//
+// The invariant this enforces — and the report lets callers check — is
+// the paper's: whatever senders do, the traffic entering the core from a
+// reservation never exceeds its granted rate (plus one burst), so
+// misbehaving flows cannot hurt the other reservations.
+func Enforce(rep *Report, cheat map[request.ID]float64, chunk units.Volume) (*EnforcementReport, error) {
+	if chunk <= 0 {
+		return nil, fmt.Errorf("overlay: non-positive chunk %v", chunk)
+	}
+	for id, over := range cheat {
+		if over < 0 {
+			return nil, fmt.Errorf("overlay: negative cheat fraction for request %d", id)
+		}
+	}
+	out := &EnforcementReport{}
+	var compOffered, compDelivered, cheatOffered, cheatDelivered units.Volume
+
+	// Deterministic order.
+	resvs := append([]Reservation{}, rep.Reservations...)
+	sort.Slice(resvs, func(i, j int) bool { return resvs[i].Request < resvs[j].Request })
+	for _, r := range resvs {
+		if !r.Accepted {
+			continue
+		}
+		over := cheat[r.Request]
+		granted := r.Grant.Bandwidth
+		burst := granted.For(1 * units.Second)
+		dur := r.Grant.Duration()
+		if dur <= 0 {
+			continue
+		}
+		offeredRate := units.Bandwidth(float64(granted) * (1 + over))
+		ch := chunk
+		if ch > burst {
+			ch = burst // a single burst must be sendable
+		}
+		sh, err := tokenbucket.Shape(tokenbucket.NewBucket(granted, burst, r.Grant.Sigma),
+			r.Grant.Sigma, dur, offeredRate, ch)
+		if err != nil {
+			return nil, err
+		}
+		fc := FlowConformance{
+			Request: r.Request,
+			Offered: sh.Offered, Delivered: sh.Delivered,
+			DropEvents: sh.DropEvents, Cheated: over,
+		}
+		out.Flows = append(out.Flows, fc)
+		out.TotalDropEvents += sh.DropEvents
+		if over > 0 {
+			cheatOffered += sh.Offered
+			cheatDelivered += sh.Delivered
+		} else {
+			compOffered += sh.Offered
+			compDelivered += sh.Delivered
+		}
+	}
+	out.CompliantDelivery = ratio(compDelivered, compOffered)
+	out.CheaterDelivery = ratio(cheatDelivered, cheatOffered)
+	return out, nil
+}
+
+func ratio(num, den units.Volume) float64 {
+	if den == 0 {
+		return 1
+	}
+	return float64(num) / float64(den)
+}

@@ -1,0 +1,148 @@
+package overlay
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gridbw/internal/policy"
+	"gridbw/internal/request"
+	"gridbw/internal/units"
+	"gridbw/internal/workload"
+)
+
+func enforcedRun(t *testing.T, seed int64) *Report {
+	t.Helper()
+	cfg := workload.Default(workload.Flexible)
+	cfg.Horizon = 200
+	reqs, err := cfg.Generate(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(cfg.Network(), reqs, Config{
+		ClientRouterDelay: 0.005, RouterRouterDelay: 0.01,
+		Policy: policy.FractionMaxRate(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestEnforceCompliantDeliversEverything(t *testing.T) {
+	rep := enforcedRun(t, 3)
+	enf, err := Enforce(rep, nil, 10*units.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enf.Flows) == 0 {
+		t.Fatal("no accepted flows to enforce")
+	}
+	if enf.CompliantDelivery != 1 {
+		t.Errorf("compliant delivery = %v", enf.CompliantDelivery)
+	}
+	if enf.TotalDropEvents != 0 {
+		t.Errorf("compliant population dropped %d bursts", enf.TotalDropEvents)
+	}
+	for _, f := range enf.Flows {
+		if f.Cheated != 0 || f.Delivered != f.Offered {
+			t.Errorf("flow %d: %+v", f.Request, f)
+		}
+	}
+}
+
+func TestEnforceConfinesCheaters(t *testing.T) {
+	rep := enforcedRun(t, 5)
+	// Make every third accepted flow send at double its grant.
+	cheat := map[request.ID]float64{}
+	n := 0
+	for _, r := range rep.Reservations {
+		if r.Accepted {
+			if n%3 == 0 {
+				cheat[r.Request] = 1.0
+			}
+			n++
+		}
+	}
+	if len(cheat) == 0 {
+		t.Fatal("no cheaters selected")
+	}
+	enf, err := Enforce(rep, cheat, 10*units.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enf.CompliantDelivery != 1 {
+		t.Errorf("compliant delivery = %v", enf.CompliantDelivery)
+	}
+	if enf.CheaterDelivery > 0.6 {
+		t.Errorf("cheater delivery = %v, enforcement too lax", enf.CheaterDelivery)
+	}
+	if enf.TotalDropEvents == 0 {
+		t.Error("no drops recorded for cheating population")
+	}
+	// Per-flow: delivered never exceeds grant + one burst.
+	for _, f := range enf.Flows {
+		r := rep.Reservations[int(f.Request)]
+		bound := r.Grant.Bandwidth.For(r.Grant.Duration()) + r.Grant.Bandwidth.For(1*units.Second)
+		if float64(f.Delivered) > float64(bound)*(1+1e-9) {
+			t.Errorf("flow %d delivered %v above bound %v", f.Request, f.Delivered, bound)
+		}
+	}
+}
+
+func TestEnforceValidation(t *testing.T) {
+	rep := enforcedRun(t, 7)
+	if _, err := Enforce(rep, nil, 0); err == nil {
+		t.Error("zero chunk accepted")
+	}
+	if _, err := Enforce(rep, map[request.ID]float64{0: -1}, 1*units.MB); err == nil {
+		t.Error("negative cheat accepted")
+	}
+}
+
+func TestEnforceEmptyReport(t *testing.T) {
+	enf, err := Enforce(&Report{}, nil, 1*units.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enf.Flows) != 0 || enf.CompliantDelivery != 1 || enf.CheaterDelivery != 1 {
+		t.Errorf("empty enforcement = %+v", enf)
+	}
+}
+
+// TestEnforceRateBoundProperty: for random cheat assignments, delivered
+// volume never exceeds grant-rate × duration + burst, and compliant flows
+// always deliver fully.
+func TestEnforceRateBoundProperty(t *testing.T) {
+	rep := enforcedRun(t, 11)
+	f := func(sel uint32, overRaw uint8) bool {
+		over := float64(overRaw%30)/10 + 0.1 // 0.1 .. 3.0
+		cheat := map[request.ID]float64{}
+		i := 0
+		for _, r := range rep.Reservations {
+			if r.Accepted {
+				if sel&(1<<uint(i%32)) != 0 {
+					cheat[r.Request] = over
+				}
+				i++
+			}
+		}
+		enf, err := Enforce(rep, cheat, 10*units.MB)
+		if err != nil {
+			return false
+		}
+		if enf.CompliantDelivery != 1 {
+			return false
+		}
+		for _, fc := range enf.Flows {
+			r := rep.Reservations[int(fc.Request)]
+			bound := r.Grant.Bandwidth.For(r.Grant.Duration() + 1)
+			if float64(fc.Delivered) > float64(bound)*(1+1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,189 @@
+package overlay
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gridbw/internal/policy"
+	"gridbw/internal/request"
+	"gridbw/internal/sched/flexible"
+	"gridbw/internal/topology"
+	"gridbw/internal/units"
+	"gridbw/internal/workload"
+)
+
+func flexReq(id int, in, eg topology.PointID, start units.Time, vol units.Volume, maxRate units.Bandwidth, slack float64) request.Request {
+	return request.Request{
+		ID: request.ID(id), Ingress: in, Egress: eg,
+		Start: start, Finish: start + vol.Over(maxRate)*units.Time(slack),
+		Volume: vol, MaxRate: maxRate,
+	}
+}
+
+func testCfg() Config {
+	return Config{
+		ClientRouterDelay: 0.005, // 5 ms
+		RouterRouterDelay: 0.010, // 10 ms
+		Policy:            policy.FractionMaxRate(1),
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := testCfg().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := testCfg()
+	bad.Policy = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("nil policy accepted")
+	}
+	bad = testCfg()
+	bad.ClientRouterDelay = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative delay accepted")
+	}
+}
+
+func TestReservationTiming(t *testing.T) {
+	net := topology.Uniform(2, 2, 1*units.GBps)
+	reqs := request.MustNewSet([]request.Request{
+		flexReq(0, 0, 1, 100, 50*units.GB, 500*units.MBps, 3),
+	})
+	rep, err := Run(net, reqs, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rep.Reservations[0]
+	if !r.Accepted {
+		t.Fatalf("rejected: %s", r.Reason)
+	}
+	if !units.ApproxEq(float64(r.DecidedAt), 100.025) {
+		t.Errorf("decided at %v, want 100.025", r.DecidedAt)
+	}
+	if !units.ApproxEq(float64(r.RepliedAt), 100.030) {
+		t.Errorf("replied at %v, want 100.030", r.RepliedAt)
+	}
+	if !units.ApproxEq(float64(r.RTT()), 0.030) {
+		t.Errorf("RTT = %v, want 30 ms", r.RTT())
+	}
+	if r.Grant.Sigma != r.DecidedAt {
+		t.Errorf("sigma = %v, want decision instant", r.Grant.Sigma)
+	}
+	// Overhead: 30 ms over a 100 s transfer.
+	if ratio := rep.MeanOverheadRatio(); ratio <= 0 || ratio > 0.001 {
+		t.Errorf("overhead ratio = %v", ratio)
+	}
+}
+
+func TestCapacityAdmission(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	reqs := request.MustNewSet([]request.Request{
+		flexReq(0, 0, 0, 0, 100*units.GB, 700*units.MBps, 3),
+		flexReq(1, 0, 0, 1, 100*units.GB, 700*units.MBps, 3),
+	})
+	rep, err := Run(net, reqs, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Reservations[0].Accepted {
+		t.Error("first reservation rejected")
+	}
+	if rep.Reservations[1].Accepted {
+		t.Error("conflicting reservation accepted")
+	}
+	if !strings.Contains(rep.Reservations[1].Reason, "capacity") {
+		t.Errorf("reason = %q", rep.Reservations[1].Reason)
+	}
+	if rep.AcceptRate() != 0.5 {
+		t.Errorf("accept rate = %v", rep.AcceptRate())
+	}
+	if err := rep.Outcome.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReleaseFreesCapacity(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	// First transfer at full rate finishes ~t=100; second arrives later.
+	reqs := request.MustNewSet([]request.Request{
+		flexReq(0, 0, 0, 0, 100*units.GB, 1*units.GBps, 3),
+		flexReq(1, 0, 0, 150, 100*units.GB, 1*units.GBps, 3),
+	})
+	rep, err := Run(net, reqs, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Reservations[0].Accepted || !rep.Reservations[1].Accepted {
+		t.Errorf("reservations = %+v", rep.Reservations)
+	}
+}
+
+func TestZeroDelayDegeneratesToGreedy(t *testing.T) {
+	cfg := workload.Default(workload.Flexible)
+	cfg.Horizon = 400
+	reqs, err := cfg.Generate(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := cfg.Network()
+	p := policy.FractionMaxRate(1)
+
+	rep, err := Run(net, reqs, Config{Policy: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := flexible.Greedy{Policy: p}.Schedule(net, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Outcome.AcceptedCount() != greedy.AcceptedCount() {
+		t.Errorf("overlay(0 delay) accepted %d, greedy %d",
+			rep.Outcome.AcceptedCount(), greedy.AcceptedCount())
+	}
+	for _, d := range greedy.Decisions() {
+		od := rep.Outcome.Decision(d.Request)
+		if od.Accepted != d.Accepted {
+			t.Errorf("request %d: overlay %v, greedy %v", d.Request, od.Accepted, d.Accepted)
+		}
+	}
+}
+
+func TestOutcomesFeasibleProperty(t *testing.T) {
+	cfg := workload.Default(workload.Flexible)
+	cfg.Horizon = 250
+	f := func(seed int64) bool {
+		reqs, err := cfg.Generate(seed)
+		if err != nil {
+			return false
+		}
+		rep, err := Run(cfg.Network(), reqs, testCfg())
+		if err != nil {
+			return false
+		}
+		if rep.Outcome.Verify() != nil {
+			return false
+		}
+		// Every reservation got a reply after its decision.
+		for _, r := range rep.Reservations {
+			if r.RepliedAt < r.DecidedAt || r.DecidedAt < r.SubmittedAt {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyReport(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	rep, err := Run(net, request.MustNewSet(nil), testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AcceptRate() != 0 || rep.MeanRTT() != 0 || rep.MeanOverheadRatio() != 0 {
+		t.Error("empty report not zeroed")
+	}
+}

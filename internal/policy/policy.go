@@ -1,0 +1,123 @@
+// Package policy implements the bandwidth-assignment strategies of §5
+// ("BANDWIDTHASSIGNALG" in Algorithms 2 and 3).
+//
+// When a flexible request is accepted, the scheduler must pick its constant
+// transmission rate bw(r) within [MinRate(r), MaxRate(r)]. The paper
+// studies two families:
+//
+//   - MinRate: grant exactly the floor the user asked for — maximizes the
+//     chance of acceptance, slowest transfer.
+//   - FractionMaxRate(f): grant max(f·MaxRate(r), MinRate(r)) — the tuning
+//     factor f ∈ [0,1] trades accept rate for transfer speed and earlier
+//     release of the CPU/storage resources co-scheduled with the transfer.
+//
+// Because the on-line WINDOW heuristic may start a request after its
+// requested ts(r), the floor must be recomputed at the actual start time:
+// vol(r)/(tf(r)−σ). Policies receive that effective start and return an
+// error when no admissible rate exists (deadline no longer reachable even
+// at MaxRate).
+package policy
+
+import (
+	"fmt"
+
+	"gridbw/internal/request"
+	"gridbw/internal/units"
+)
+
+// Policy picks the bandwidth to assign to request r when transmission
+// starts at instant start.
+type Policy interface {
+	// Name identifies the policy in reports, e.g. "minbw" or "f=0.8".
+	Name() string
+	// Assign returns the rate for r when started at start. It returns an
+	// error when the deadline is unreachable (effective floor > MaxRate).
+	Assign(r request.Request, start units.Time) (units.Bandwidth, error)
+}
+
+// effectiveFloor computes the admissible floor at the given start, or an
+// error when the deadline is unreachable.
+func effectiveFloor(r request.Request, start units.Time) (units.Bandwidth, error) {
+	if start >= r.Finish {
+		return 0, fmt.Errorf("policy: request %d started at %v, past deadline %v", r.ID, start, r.Finish)
+	}
+	floor := r.EffectiveMinRate(start)
+	if floor > r.MaxRate*(1+units.Eps) {
+		return 0, fmt.Errorf("policy: request %d needs %v to meet deadline but MaxRate is %v",
+			r.ID, floor, r.MaxRate)
+	}
+	if floor > r.MaxRate {
+		floor = r.MaxRate
+	}
+	return floor, nil
+}
+
+type minRate struct{}
+
+// MinRate returns the MIN BW policy: assign the smallest admissible rate.
+func MinRate() Policy { return minRate{} }
+
+func (minRate) Name() string { return "minbw" }
+
+func (minRate) Assign(r request.Request, start units.Time) (units.Bandwidth, error) {
+	return effectiveFloor(r, start)
+}
+
+type fractionMaxRate struct {
+	f float64
+}
+
+// FractionMaxRate returns the tuning-factor policy: assign
+// max(f·MaxRate(r), floor). FractionMaxRate(1) grants every accepted
+// request its full host rate; FractionMaxRate(0) degenerates to MinRate.
+// It panics if f is outside [0, 1].
+func FractionMaxRate(f float64) Policy {
+	if f < 0 || f > 1 {
+		panic(fmt.Sprintf("policy: tuning factor %v outside [0,1]", f))
+	}
+	return fractionMaxRate{f: f}
+}
+
+func (p fractionMaxRate) Name() string { return fmt.Sprintf("f=%.2g", p.f) }
+
+func (p fractionMaxRate) Assign(r request.Request, start units.Time) (units.Bandwidth, error) {
+	floor, err := effectiveFloor(r, start)
+	if err != nil {
+		return 0, err
+	}
+	bw := units.Bandwidth(p.f) * r.MaxRate
+	if bw < floor {
+		bw = floor
+	}
+	return bw, nil
+}
+
+type strictMinRate struct{}
+
+// StrictRequestedMinRate is the literal reading of the paper's pseudo-code:
+// always assign MinRate(r) computed from the *requested* window, even when
+// the actual start is later. With a late start the resulting grant misses
+// the deadline and is rejected at grant construction — this policy exists
+// as the DESIGN.md §5.2 ablation to quantify how much deadline-aware floor
+// recomputation matters.
+func StrictRequestedMinRate() Policy { return strictMinRate{} }
+
+func (strictMinRate) Name() string { return "minbw-strict" }
+
+func (strictMinRate) Assign(r request.Request, start units.Time) (units.Bandwidth, error) {
+	if start >= r.Finish {
+		return 0, fmt.Errorf("policy: request %d started at %v, past deadline %v", r.ID, start, r.Finish)
+	}
+	return r.MinRate(), nil
+}
+
+// Guaranteed reports whether a granted bandwidth meets the #guaranteed
+// criterion of §2.3 for tuning factor f:
+// bw ≥ max(f·MaxRate(r), MinRate(r)).
+func Guaranteed(r request.Request, bw units.Bandwidth, f float64) bool {
+	threshold := units.Bandwidth(f) * r.MaxRate
+	if m := r.MinRate(); m > threshold {
+		threshold = m
+	}
+	return bw >= threshold*(1-units.Eps)
+}

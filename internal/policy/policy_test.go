@@ -1,0 +1,200 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gridbw/internal/request"
+	"gridbw/internal/rng"
+	"gridbw/internal/units"
+)
+
+func flexReq() request.Request {
+	// 100 GB over a 1000 s window, host cap 1 GB/s: MinRate = 100 MB/s.
+	return request.Request{
+		ID: 0, Start: 0, Finish: 1000,
+		Volume: 100 * units.GB, MaxRate: 1 * units.GBps,
+	}
+}
+
+func TestMinRateAtRequestedStart(t *testing.T) {
+	r := flexReq()
+	bw, err := MinRate().Assign(r, r.Start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEq(float64(bw), float64(100*units.MBps)) {
+		t.Errorf("bw = %v, want 100MB/s", bw)
+	}
+}
+
+func TestMinRateLateStartRaisesFloor(t *testing.T) {
+	r := flexReq()
+	bw, err := MinRate().Assign(r, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEq(float64(bw), float64(200*units.MBps)) {
+		t.Errorf("bw = %v, want 200MB/s", bw)
+	}
+	// The resulting grant always meets the deadline.
+	g, err := request.NewGrant(r, 500, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Tau > r.Finish+units.Eps {
+		t.Errorf("Tau = %v past deadline", g.Tau)
+	}
+}
+
+func TestMinRateUnreachableDeadline(t *testing.T) {
+	r := flexReq()
+	// At t=950 only 50 s remain: need 2 GB/s > MaxRate.
+	if _, err := MinRate().Assign(r, 950); err == nil {
+		t.Error("unreachable deadline accepted")
+	}
+	if _, err := MinRate().Assign(r, 1000); err == nil {
+		t.Error("start at deadline accepted")
+	}
+	if _, err := MinRate().Assign(r, 1500); err == nil {
+		t.Error("start past deadline accepted")
+	}
+}
+
+func TestMinRateExactBoundary(t *testing.T) {
+	r := flexReq()
+	// At t=900 exactly 100 s remain: floor = MaxRate exactly.
+	bw, err := MinRate().Assign(r, 900)
+	if err != nil {
+		t.Fatalf("boundary start rejected: %v", err)
+	}
+	if !units.ApproxEq(float64(bw), float64(r.MaxRate)) {
+		t.Errorf("bw = %v, want MaxRate", bw)
+	}
+}
+
+func TestFractionMaxRate(t *testing.T) {
+	r := flexReq()
+	cases := []struct {
+		f    float64
+		want units.Bandwidth
+	}{
+		{1.0, 1 * units.GBps},
+		{0.8, 800 * units.MBps},
+		{0.5, 500 * units.MBps},
+		{0.05, 100 * units.MBps}, // f·MaxRate = 50MB/s < floor 100MB/s
+		{0, 100 * units.MBps},    // degenerates to MinRate
+	}
+	for _, c := range cases {
+		bw, err := FractionMaxRate(c.f).Assign(r, r.Start)
+		if err != nil {
+			t.Errorf("f=%v: %v", c.f, err)
+			continue
+		}
+		if !units.ApproxEq(float64(bw), float64(c.want)) {
+			t.Errorf("f=%v: bw = %v, want %v", c.f, bw, c.want)
+		}
+	}
+}
+
+func TestFractionMaxRatePanicsOutOfRange(t *testing.T) {
+	for _, f := range []float64{-0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("f=%v did not panic", f)
+				}
+			}()
+			FractionMaxRate(f)
+		}()
+	}
+}
+
+func TestStrictRequestedMinRate(t *testing.T) {
+	r := flexReq()
+	bw, err := StrictRequestedMinRate().Assign(r, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEq(float64(bw), float64(100*units.MBps)) {
+		t.Errorf("bw = %v, want requested MinRate", bw)
+	}
+	// The strict policy's grant misses the deadline when started late —
+	// that is exactly the failure mode the ablation quantifies.
+	if _, err := request.NewGrant(r, 500, bw); err == nil {
+		t.Error("late strict grant unexpectedly met deadline")
+	}
+	if _, err := StrictRequestedMinRate().Assign(r, 1000); err == nil {
+		t.Error("start at deadline accepted")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if MinRate().Name() != "minbw" {
+		t.Error("MinRate name")
+	}
+	if got := FractionMaxRate(0.8).Name(); !strings.Contains(got, "0.8") {
+		t.Errorf("FractionMaxRate name = %q", got)
+	}
+	if StrictRequestedMinRate().Name() != "minbw-strict" {
+		t.Error("strict name")
+	}
+}
+
+func TestGuaranteed(t *testing.T) {
+	r := flexReq()
+	if !Guaranteed(r, 800*units.MBps, 0.8) {
+		t.Error("exact threshold not guaranteed")
+	}
+	if Guaranteed(r, 799*units.MBps, 0.8) {
+		t.Error("below threshold guaranteed")
+	}
+	// MinRate dominates for small f.
+	if Guaranteed(r, 99*units.MBps, 0.01) {
+		t.Error("below MinRate guaranteed")
+	}
+	if !Guaranteed(r, 100*units.MBps, 0.01) {
+		t.Error("at MinRate not guaranteed")
+	}
+}
+
+// Property: every policy's assignment (when it succeeds) is admissible —
+// within [effective floor, MaxRate] — and the grant meets the deadline.
+func TestPolicyAdmissibleProperty(t *testing.T) {
+	policies := []Policy{MinRate(), FractionMaxRate(0.3), FractionMaxRate(0.8), FractionMaxRate(1)}
+	f := func(seed int64) bool {
+		src := rng.New(seed)
+		volGB := src.Intn(900) + 100
+		maxRate := units.Bandwidth(src.Intn(990)+10) * units.MBps
+		vol := units.Volume(volGB) * units.GB
+		minDur := vol.Over(maxRate)
+		window := minDur * units.Time(src.Uniform(1, 5))
+		start := units.Time(src.Intn(1000))
+		r := request.Request{ID: 0, Start: start, Finish: start + window, Volume: vol, MaxRate: maxRate}
+		if r.Validate() != nil {
+			return false
+		}
+		at := start + window*units.Time(src.Uniform(0, 0.95))
+		for _, p := range policies {
+			bw, err := p.Assign(r, at)
+			if err != nil {
+				// Only acceptable when the deadline is truly unreachable.
+				if at < r.Finish && r.EffectiveMinRate(at) <= r.MaxRate*(1-1e-6) {
+					return false
+				}
+				continue
+			}
+			if bw > r.MaxRate*(1+units.Eps) {
+				return false
+			}
+			if _, err := request.NewGrant(r, at, bw); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

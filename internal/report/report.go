@@ -1,0 +1,150 @@
+// Package report renders experiment results as aligned ASCII tables,
+// CSV files and gnuplot-ready data blocks. cmd/figures and the benches
+// print through this package so EXPERIMENTS.md, test logs and saved
+// artifacts all show identical numbers.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"gridbw/internal/experiment"
+)
+
+// Table is a simple header + rows structure.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; it panics when the arity does not match the
+// headers, which catches experiment-declaration typos early.
+func (t *Table) AddRow(cells ...string) {
+	if len(t.Headers) > 0 && len(cells) != len(t.Headers) {
+		panic(fmt.Sprintf("report: row has %d cells, table %q has %d columns",
+			len(cells), t.Title, len(t.Headers)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Fprint writes the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "## %s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := line(t.Headers); err != nil {
+		return err
+	}
+	seps := make([]string, len(t.Headers))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(seps); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// FprintCSV writes the table as RFC-4180-ish CSV (quotes only when
+// needed).
+func (t *Table) FprintCSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			parts[i] = c
+		}
+		_, err := fmt.Fprintln(w, strings.Join(parts, ","))
+		return err
+	}
+	if err := writeRow(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SeriesTable renders a sweep as a table: one row per x value, one column
+// per series, using the given extractor (e.g. experiment.AcceptRateOf).
+func SeriesTable(title, xLabel string, series []experiment.Series, get func(*experiment.Result) float64) *Table {
+	t := &Table{Title: title}
+	t.Headers = append(t.Headers, xLabel)
+	for _, s := range series {
+		t.Headers = append(t.Headers, s.Label)
+	}
+	if len(series) == 0 {
+		return t
+	}
+	for i := range series[0].Points {
+		row := []string{fmt.Sprintf("%g", series[0].Points[i].X)}
+		for _, s := range series {
+			if i < len(s.Points) {
+				row = append(row, fmt.Sprintf("%.3f", get(s.Points[i].Result)))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// GnuplotData writes a sweep as gnuplot-ready blocks (one block per
+// series, separated by blank lines, "# label" headers).
+func GnuplotData(w io.Writer, series []experiment.Series, get func(*experiment.Result) float64) error {
+	for _, s := range series {
+		if _, err := fmt.Fprintf(w, "# %s\n", s.Label); err != nil {
+			return err
+		}
+		for _, p := range s.Points {
+			if _, err := fmt.Fprintf(w, "%g %g\n", p.X, get(p.Result)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"gridbw/internal/experiment"
+	"gridbw/internal/metrics"
+)
+
+func TestTableFprint(t *testing.T) {
+	tbl := &Table{
+		Title:   "Demo",
+		Headers: []string{"x", "value"},
+	}
+	tbl.AddRow("1", "0.5")
+	tbl.AddRow("10", "0.75")
+	var sb strings.Builder
+	if err := tbl.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "## Demo") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	// Columns aligned: "x" padded to width of "10".
+	if !strings.HasPrefix(lines[1], "x ") {
+		t.Errorf("header line %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "--") {
+		t.Errorf("separator line %q", lines[2])
+	}
+}
+
+func TestAddRowArityPanics(t *testing.T) {
+	tbl := &Table{Headers: []string{"a", "b"}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad arity did not panic")
+		}
+	}()
+	tbl.AddRow("only-one")
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tbl := &Table{Headers: []string{"name", "note"}}
+	tbl.AddRow("a,b", `say "hi"`)
+	var sb strings.Builder
+	if err := tbl.FprintCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"a,b"`) {
+		t.Errorf("comma not quoted: %q", out)
+	}
+	if !strings.Contains(out, `"say ""hi"""`) {
+		t.Errorf("quote not escaped: %q", out)
+	}
+}
+
+func fakeSeries() []experiment.Series {
+	mk := func(rate float64) *experiment.Result {
+		r := &experiment.Result{}
+		r.Agg.Add(metrics.Metrics{AcceptRate: rate})
+		return r
+	}
+	return []experiment.Series{
+		{Label: "fcfs", Points: []experiment.Point{{X: 1, Result: mk(0.2)}, {X: 2, Result: mk(0.1)}}},
+		{Label: "window", Points: []experiment.Point{{X: 1, Result: mk(0.6)}, {X: 2, Result: mk(0.5)}}},
+	}
+}
+
+func TestSeriesTable(t *testing.T) {
+	tbl := SeriesTable("Fig", "load", fakeSeries(), experiment.AcceptRateOf)
+	if len(tbl.Headers) != 3 || tbl.Headers[1] != "fcfs" || tbl.Headers[2] != "window" {
+		t.Errorf("headers = %v", tbl.Headers)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %v", tbl.Rows)
+	}
+	if tbl.Rows[0][0] != "1" || tbl.Rows[0][1] != "0.200" || tbl.Rows[0][2] != "0.600" {
+		t.Errorf("row 0 = %v", tbl.Rows[0])
+	}
+}
+
+func TestSeriesTableEmpty(t *testing.T) {
+	tbl := SeriesTable("Empty", "x", nil, experiment.AcceptRateOf)
+	if len(tbl.Rows) != 0 {
+		t.Error("empty series produced rows")
+	}
+	var sb strings.Builder
+	if err := tbl.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGnuplotData(t *testing.T) {
+	var sb strings.Builder
+	if err := GnuplotData(&sb, fakeSeries(), experiment.AcceptRateOf); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# fcfs\n1 0.2\n2 0.1\n") {
+		t.Errorf("gnuplot block malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "# window\n") {
+		t.Error("second block missing")
+	}
+}
+
+// failAfter is an io.Writer that errors after n bytes, for error-path
+// coverage of the renderers.
+type failAfter struct {
+	n int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errFail
+	}
+	if len(p) > f.n {
+		n := f.n
+		f.n = 0
+		return n, errFail
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+var errFail = fmt.Errorf("writer full")
+
+func TestRenderersPropagateWriteErrors(t *testing.T) {
+	tbl := &Table{Title: "T", Headers: []string{"a", "b"}}
+	tbl.AddRow("1", "2")
+	tbl.AddRow("3", "4")
+	// Budgets strictly below each renderer's total output must error.
+	// CSV output is "a,b\n1,2\n3,4\n" = 12 bytes; the aligned table is
+	// longer.
+	for budget := 0; budget < 12; budget++ {
+		if err := tbl.Fprint(&failAfter{n: budget}); err == nil {
+			t.Fatalf("Fprint with %d-byte budget did not fail", budget)
+		}
+		if err := tbl.FprintCSV(&failAfter{n: budget}); err == nil {
+			t.Fatalf("FprintCSV with %d-byte budget did not fail", budget)
+		}
+	}
+	if err := GnuplotData(&failAfter{n: 3}, fakeSeries(), experiment.AcceptRateOf); err == nil {
+		t.Fatal("GnuplotData did not propagate write error")
+	}
+}

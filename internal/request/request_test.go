@@ -1,0 +1,249 @@
+package request
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gridbw/internal/units"
+)
+
+func valid() Request {
+	return Request{
+		ID: 0, Ingress: 1, Egress: 2,
+		Start: 10, Finish: 110,
+		Volume:  100 * units.GB,
+		MaxRate: 2 * units.GBps,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := valid().Validate(); err != nil {
+		t.Fatalf("valid request rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Request)
+	}{
+		{"empty window", func(r *Request) { r.Finish = r.Start }},
+		{"inverted window", func(r *Request) { r.Finish = r.Start - 1 }},
+		{"zero volume", func(r *Request) { r.Volume = 0 }},
+		{"negative volume", func(r *Request) { r.Volume = -1 }},
+		{"zero max rate", func(r *Request) { r.MaxRate = 0 }},
+		{"infeasible floor", func(r *Request) { r.MaxRate = 100 * units.MBps }},
+	}
+	for _, c := range cases {
+		r := valid()
+		c.mut(&r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestMinRate(t *testing.T) {
+	r := valid() // 100GB over 100s
+	if got := r.MinRate(); !units.ApproxEq(float64(got), float64(1*units.GBps)) {
+		t.Errorf("MinRate = %v, want 1GB/s", got)
+	}
+	if got := r.WindowLength(); got != 100 {
+		t.Errorf("WindowLength = %v", got)
+	}
+}
+
+func TestEffectiveMinRate(t *testing.T) {
+	r := valid()
+	// Started halfway through the window: floor doubles.
+	if got := r.EffectiveMinRate(60); !units.ApproxEq(float64(got), float64(2*units.GBps)) {
+		t.Errorf("EffectiveMinRate(60) = %v, want 2GB/s", got)
+	}
+	if got := r.EffectiveMinRate(r.Start); !units.ApproxEq(float64(got), float64(r.MinRate())) {
+		t.Errorf("EffectiveMinRate(ts) = %v, want MinRate %v", got, r.MinRate())
+	}
+}
+
+func TestEffectiveMinRatePanicsPastDeadline(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic at/after deadline")
+		}
+	}()
+	r := valid()
+	r.EffectiveMinRate(r.Finish)
+}
+
+func TestRigidFlexible(t *testing.T) {
+	r := valid()
+	if r.Rigid() || !r.Flexible() {
+		t.Error("request with MinRate < MaxRate classified rigid")
+	}
+	r.MaxRate = r.MinRate()
+	if !r.Rigid() || r.Flexible() {
+		t.Error("request with MinRate = MaxRate classified flexible")
+	}
+}
+
+func TestMinDuration(t *testing.T) {
+	r := valid()
+	if got := r.MinDuration(); !units.ApproxEq(float64(got), 50) {
+		t.Errorf("MinDuration = %v, want 50s", got)
+	}
+}
+
+func TestNewGrant(t *testing.T) {
+	r := valid()
+	g, err := NewGrant(r, r.Start, 1*units.GBps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Tau != 110 || g.Sigma != 10 || g.Duration() != 100 {
+		t.Errorf("grant = %+v", g)
+	}
+
+	// Faster rate finishes earlier.
+	g, err = NewGrant(r, r.Start, 2*units.GBps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEq(float64(g.Tau), 60) {
+		t.Errorf("Tau = %v, want 60", g.Tau)
+	}
+}
+
+func TestNewGrantRejections(t *testing.T) {
+	r := valid()
+	if _, err := NewGrant(r, r.Start, 0); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	if _, err := NewGrant(r, r.Start, 3*units.GBps); err == nil {
+		t.Error("bandwidth above MaxRate accepted")
+	}
+	if _, err := NewGrant(r, r.Start-1, 1*units.GBps); err == nil {
+		t.Error("early start accepted")
+	}
+	// Started late at MinRate: misses the deadline.
+	if _, err := NewGrant(r, 50, 1*units.GBps); err == nil {
+		t.Error("deadline violation accepted")
+	}
+	// Started late at a recomputed effective rate: fits exactly.
+	if _, err := NewGrant(r, 60, r.EffectiveMinRate(60)); err != nil {
+		t.Errorf("exact-deadline grant rejected: %v", err)
+	}
+}
+
+func TestGrantDeadlineProperty(t *testing.T) {
+	f := func(volRaw, rateRaw, startRaw uint16) bool {
+		vol := units.Volume(volRaw%900+100) * units.GB
+		maxRate := units.Bandwidth(rateRaw%990+10) * units.MBps
+		start := units.Time(startRaw % 1000)
+		dur := vol.Over(maxRate) * 2 // window fits MaxRate twice over
+		r := Request{ID: 0, Start: start, Finish: start + dur, Volume: vol, MaxRate: maxRate}
+		if err := r.Validate(); err != nil {
+			return false
+		}
+		bw := r.MinRate() + units.Bandwidth(float64(r.MaxRate-r.MinRate())*0.5)
+		g, err := NewGrant(r, r.Start, bw)
+		if err != nil {
+			return false
+		}
+		return g.Tau <= r.Finish+units.Eps &&
+			units.ApproxEq(float64(g.Bandwidth.For(g.Duration())), float64(vol))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSet(t *testing.T) {
+	rs := []Request{
+		{ID: 0, Start: 5, Finish: 20, Volume: 10 * units.GB, MaxRate: 1 * units.GBps},
+		{ID: 1, Start: 0, Finish: 30, Volume: 20 * units.GB, MaxRate: 1 * units.GBps},
+	}
+	s, err := NewSet(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if s.Get(1).Volume != 20*units.GB {
+		t.Error("Get(1) wrong")
+	}
+	start, finish := s.Span()
+	if start != 0 || finish != 30 {
+		t.Errorf("Span = %v, %v", start, finish)
+	}
+	// All returns a copy.
+	all := s.All()
+	all[0].Volume = 0
+	if s.Get(0).Volume != 10*units.GB {
+		t.Error("All leaked internal slice")
+	}
+}
+
+func TestNewSetRejectsNonDenseIDs(t *testing.T) {
+	_, err := NewSet([]Request{{ID: 1, Start: 0, Finish: 1, Volume: 1, MaxRate: 1}})
+	if err == nil {
+		t.Error("non-dense IDs accepted")
+	}
+}
+
+func TestNewSetRejectsInvalidRequest(t *testing.T) {
+	_, err := NewSet([]Request{{ID: 0, Start: 0, Finish: 0, Volume: 1, MaxRate: 1}})
+	if err == nil {
+		t.Error("invalid request accepted")
+	}
+}
+
+func TestMustNewSetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNewSet did not panic")
+		}
+	}()
+	MustNewSet([]Request{{ID: 5}})
+}
+
+func TestSetGetPanics(t *testing.T) {
+	s := MustNewSet(nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Get out of range did not panic")
+		}
+	}()
+	s.Get(0)
+}
+
+func TestEmptySetSpan(t *testing.T) {
+	s := MustNewSet(nil)
+	if a, b := s.Span(); a != 0 || b != 0 {
+		t.Error("empty span not zero")
+	}
+	if s.TotalMinDemand() != 0 {
+		t.Error("empty demand not zero")
+	}
+}
+
+func TestTotalMinDemand(t *testing.T) {
+	rs := []Request{
+		{ID: 0, Start: 0, Finish: 100, Volume: 100 * units.GB, MaxRate: 2 * units.GBps}, // 1 GB/s
+		{ID: 1, Start: 0, Finish: 50, Volume: 25 * units.GB, MaxRate: 1 * units.GBps},   // 0.5 GB/s
+	}
+	s := MustNewSet(rs)
+	want := 1.5 * float64(units.GBps)
+	if got := s.TotalMinDemand(); math.Abs(float64(got)-want) > 1 {
+		t.Errorf("TotalMinDemand = %v", got)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	r := valid()
+	if s := r.String(); !strings.Contains(s, "req0") || !strings.Contains(s, "100GB") {
+		t.Errorf("Request.String = %q", s)
+	}
+	g, _ := NewGrant(r, r.Start, 1*units.GBps)
+	if s := g.String(); !strings.Contains(s, "grant[req0") {
+		t.Errorf("Grant.String = %q", s)
+	}
+}

@@ -1,0 +1,128 @@
+// Package rng supplies the deterministic randomness used by the workload
+// generators and simulations.
+//
+// Reproducibility is a hard requirement for the experiment harness: every
+// figure in EXPERIMENTS.md must regenerate bit-identically from a seed.
+// The package wraps math/rand with named, splittable streams so that, for
+// example, the arrival-time stream and the volume stream of a workload are
+// decoupled: changing how many volumes are drawn never perturbs arrival
+// times. It also provides the distributions the paper needs — exponential
+// inter-arrivals (Poisson process), uniform ranges, and draws from discrete
+// sets such as the paper's volume ladder.
+package rng
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// Source is a deterministic random stream.
+type Source struct {
+	r *rand.Rand
+}
+
+// New returns a stream seeded with seed.
+func New(seed int64) *Source {
+	return &Source{r: rand.New(rand.NewSource(seed))}
+}
+
+// Split derives an independent child stream from this stream's seed space
+// and a name. Splitting is stable: the same (parent seed, name) pair always
+// yields the same child, and drawing from one child never affects another.
+func (s *Source) Split(name string) *Source {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	// Mix the parent stream deterministically: one draw reserved per split.
+	mix := s.r.Int63()
+	return New(int64(h.Sum64()) ^ mix)
+}
+
+// Float64 returns a uniform draw in [0, 1).
+func (s *Source) Float64() float64 { return s.r.Float64() }
+
+// Intn returns a uniform draw in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int { return s.r.Intn(n) }
+
+// Uniform returns a uniform draw in [lo, hi).
+func (s *Source) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.r.Float64()
+}
+
+// Exp returns an exponential draw with the given mean (i.e. rate 1/mean).
+// It panics if mean <= 0.
+func (s *Source) Exp(mean float64) float64 {
+	if mean <= 0 {
+		panic("rng: non-positive exponential mean")
+	}
+	return s.r.ExpFloat64() * mean
+}
+
+// Choice returns a uniform element of set. It panics on an empty set.
+func Choice[T any](s *Source, set []T) T {
+	if len(set) == 0 {
+		panic("rng: choice from empty set")
+	}
+	return set[s.r.Intn(len(set))]
+}
+
+// Perm returns a random permutation of [0, n).
+func (s *Source) Perm(n int) []int { return s.r.Perm(n) }
+
+// Shuffle permutes xs in place.
+func Shuffle[T any](s *Source, xs []T) {
+	s.r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool { return s.r.Float64() < p }
+
+// Poisson is a homogeneous Poisson arrival process.
+type Poisson struct {
+	src  *Source
+	mean float64 // mean inter-arrival time
+	now  float64
+}
+
+// NewPoisson returns a Poisson process with the given mean inter-arrival
+// time, starting at time start. It panics if meanInterArrival <= 0.
+func NewPoisson(src *Source, meanInterArrival, start float64) *Poisson {
+	if meanInterArrival <= 0 {
+		panic("rng: non-positive mean inter-arrival")
+	}
+	return &Poisson{src: src, mean: meanInterArrival, now: start}
+}
+
+// Next advances the process and returns the next arrival instant.
+func (p *Poisson) Next() float64 {
+	p.now += p.src.Exp(p.mean)
+	return p.now
+}
+
+// Rate reports the arrival rate (1 / mean inter-arrival).
+func (p *Poisson) Rate() float64 { return 1 / p.mean }
+
+// ErfInv-free normal approximation is intentionally absent: the paper's
+// workloads only need exponential and uniform draws. Add distributions here
+// rather than sampling ad hoc in callers.
+
+// MeanStd returns the sample mean and standard deviation of xs. It returns
+// zeros for an empty slice and zero deviation for a single element.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) == 1 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)-1))
+}

@@ -1,0 +1,220 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("streams with equal seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("streams with different seeds coincided %d/100 times", same)
+	}
+}
+
+func TestSplitStability(t *testing.T) {
+	s1 := New(7).Split("volumes")
+	s2 := New(7).Split("volumes")
+	for i := 0; i < 100; i++ {
+		if s1.Float64() != s2.Float64() {
+			t.Fatalf("same-name splits diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	// Drawing from one child must not perturb a sibling created before it.
+	p1 := New(9)
+	arrivals1 := p1.Split("arrivals")
+	vols1 := p1.Split("volumes")
+	a1 := make([]float64, 50)
+	for i := range a1 {
+		a1[i] = arrivals1.Float64()
+	}
+	_ = vols1
+
+	p2 := New(9)
+	arrivals2 := p2.Split("arrivals")
+	vols2 := p2.Split("volumes")
+	for i := 0; i < 500; i++ { // heavy use of the sibling
+		vols2.Float64()
+	}
+	for i := range a1 {
+		if got := arrivals2.Float64(); got != a1[i] {
+			t.Fatalf("sibling draws perturbed stream at %d", i)
+		}
+	}
+}
+
+func TestSplitNamesDiffer(t *testing.T) {
+	p := New(3)
+	a, b := p.Split("a"), p.Split("b")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("differently named splits coincided %d/100 times", same)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(11)
+	f := func(loRaw, spanRaw float64) bool {
+		lo := math.Mod(math.Abs(loRaw), 1e6)
+		span := math.Mod(math.Abs(spanRaw), 1e6) + 1e-6
+		x := s.Uniform(lo, lo+span)
+		return x >= lo && x < lo+span
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(5)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		x := s.Exp(4.0)
+		if x < 0 {
+			t.Fatal("negative exponential draw")
+		}
+		sum += x
+	}
+	mean := sum / n
+	if math.Abs(mean-4.0) > 0.05 {
+		t.Errorf("exponential mean = %v, want ~4.0", mean)
+	}
+}
+
+func TestExpPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(0) did not panic")
+		}
+	}()
+	New(1).Exp(0)
+}
+
+func TestChoice(t *testing.T) {
+	s := New(13)
+	set := []int{10, 20, 30}
+	counts := map[int]int{}
+	for i := 0; i < 3000; i++ {
+		counts[Choice(s, set)]++
+	}
+	for _, v := range set {
+		if counts[v] < 700 {
+			t.Errorf("element %d drawn only %d/3000 times", v, counts[v])
+		}
+	}
+}
+
+func TestChoicePanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Choice(empty) did not panic")
+		}
+	}()
+	Choice(New(1), []int{})
+}
+
+func TestPoissonMonotone(t *testing.T) {
+	p := NewPoisson(New(17), 2.0, 100)
+	prev := 100.0
+	for i := 0; i < 1000; i++ {
+		next := p.Next()
+		if next <= prev {
+			t.Fatalf("arrival %d not strictly increasing: %v <= %v", i, next, prev)
+		}
+		prev = next
+	}
+}
+
+func TestPoissonRate(t *testing.T) {
+	p := NewPoisson(New(19), 0.5, 0)
+	if p.Rate() != 2.0 {
+		t.Errorf("Rate = %v, want 2", p.Rate())
+	}
+	const n = 100000
+	var last float64
+	for i := 0; i < n; i++ {
+		last = p.Next()
+	}
+	gotMean := last / n
+	if math.Abs(gotMean-0.5) > 0.01 {
+		t.Errorf("empirical mean inter-arrival %v, want ~0.5", gotMean)
+	}
+}
+
+func TestPoissonPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPoisson(mean=0) did not panic")
+		}
+	}()
+	NewPoisson(New(1), 0, 0)
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	s := New(23)
+	xs := []int{1, 2, 3, 4, 5, 6}
+	Shuffle(s, xs)
+	seen := map[int]bool{}
+	for _, x := range xs {
+		seen[x] = true
+	}
+	for v := 1; v <= 6; v++ {
+		if !seen[v] {
+			t.Fatalf("element %d lost in shuffle", v)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(29)
+	hits := 0
+	for i := 0; i < 10000; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	if hits < 2700 || hits > 3300 {
+		t.Errorf("Bool(0.3) hit %d/10000", hits)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, sd := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(m-5) > 1e-12 {
+		t.Errorf("mean = %v, want 5", m)
+	}
+	if math.Abs(sd-2.1380899353) > 1e-6 {
+		t.Errorf("std = %v", sd)
+	}
+	if m, sd := MeanStd(nil); m != 0 || sd != 0 {
+		t.Error("empty MeanStd not zero")
+	}
+	if m, sd := MeanStd([]float64{3}); m != 3 || sd != 0 {
+		t.Error("singleton MeanStd wrong")
+	}
+}

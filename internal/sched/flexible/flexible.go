@@ -1,0 +1,228 @@
+// Package flexible implements the §5 on-line heuristics for short-lived
+// flexible requests: GREEDY (Algorithm 2), which decides each request the
+// moment it arrives, and WINDOW (Algorithm 3), which batches the requests
+// arriving within each t_step interval and admits them in min-cost order.
+//
+// Both heuristics track only the instantaneous occupancy ali/ale of each
+// point (alloc.Counters): because an admitted transfer holds a constant
+// rate until it completes and occupancy between admissions only decreases,
+// an instantaneous feasibility check at admission time is sufficient (see
+// DESIGN.md §5.1).
+//
+// The bandwidth granted to an accepted request comes from a policy.Policy
+// — MinRate or the f·MaxRate family — evaluated at the actual start time,
+// so a WINDOW admission late in the request's window automatically raises
+// the floor to keep the deadline reachable (DESIGN.md §5.2).
+package flexible
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"gridbw/internal/alloc"
+	"gridbw/internal/policy"
+	"gridbw/internal/request"
+	"gridbw/internal/sched"
+	"gridbw/internal/topology"
+	"gridbw/internal/units"
+)
+
+// completion is a pending transfer end.
+type completion struct {
+	at request.ID
+	// tau is the completion instant.
+	tau units.Time
+	bw  units.Bandwidth
+	in  topology.PointID
+	eg  topology.PointID
+}
+
+// completionHeap pops the earliest tau first.
+type completionHeap []completion
+
+func (h completionHeap) Len() int           { return len(h) }
+func (h completionHeap) Less(i, j int) bool { return h[i].tau < h[j].tau }
+func (h completionHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x any)        { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+func (h completionHeap) peek() completion { return h[0] }
+func (h completionHeap) empty() bool      { return len(h) == 0 }
+
+// releaseFinished returns capacity of all transfers with tau <= now.
+func releaseFinished(h *completionHeap, counters *alloc.Counters, now units.Time) {
+	for !h.empty() && h.peek().tau <= now {
+		c := heap.Pop(h).(completion)
+		counters.ReleasePair(c.in, c.eg, c.bw)
+	}
+}
+
+// Greedy is Algorithm 2: first-come first-serve admission at arrival time.
+type Greedy struct {
+	// Policy picks the bandwidth for each admitted request; required.
+	Policy policy.Policy
+}
+
+// Name implements sched.Scheduler.
+func (g Greedy) Name() string { return "greedy/" + g.Policy.Name() }
+
+// Schedule implements sched.Scheduler.
+func (g Greedy) Schedule(net *topology.Network, reqs *request.Set) (*sched.Outcome, error) {
+	if g.Policy == nil {
+		return nil, fmt.Errorf("flexible: greedy heuristic needs a policy")
+	}
+	out := sched.NewOutcome(g.Name(), net, reqs)
+	order := reqs.All()
+	// Arrival order; the paper breaks arrival ties by smaller MinRate.
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if am, bm := a.MinRate(), b.MinRate(); am != bm {
+			return am < bm
+		}
+		return a.ID < b.ID
+	})
+
+	counters := alloc.NewCounters(net)
+	var done completionHeap
+	for _, r := range order {
+		now := r.Start
+		// Reclaim bandwidth of transfers finished by now (Algorithm 2
+		// reclaims at t = tau before admitting arrivals at the same t).
+		releaseFinished(&done, counters, now)
+
+		bw, err := g.Policy.Assign(r, now)
+		if err != nil {
+			out.Reject(r.ID, "policy: "+err.Error())
+			continue
+		}
+		grant, err := request.NewGrant(r, now, bw)
+		if err != nil {
+			out.Reject(r.ID, "grant: "+err.Error())
+			continue
+		}
+		if err := counters.Acquire(r.Ingress, r.Egress, bw); err != nil {
+			out.Reject(r.ID, "capacity: "+err.Error())
+			continue
+		}
+		heap.Push(&done, completion{at: r.ID, tau: grant.Tau, bw: bw, in: r.Ingress, eg: r.Egress})
+		out.Accept(grant)
+	}
+	return out, nil
+}
+
+// Window is Algorithm 3: interval-based admission every Step seconds.
+type Window struct {
+	// Policy picks the bandwidth for each admitted request; required.
+	Policy policy.Policy
+	// Step is t_step, the decision interval length; must be positive.
+	Step units.Time
+}
+
+// Name implements sched.Scheduler.
+func (w Window) Name() string {
+	return fmt.Sprintf("window(%v)/%s", w.Step, w.Policy.Name())
+}
+
+// cost implements the §5.2 cost: the larger of the two point utilizations
+// request r would reach if admitted at bandwidth bw.
+func cost(net *topology.Network, counters *alloc.Counters, r request.Request, bw units.Bandwidth) float64 {
+	bin, bout := net.Bin(r.Ingress), net.Bout(r.Egress)
+	// A zero-capacity endpoint makes the request unroutable: infinite cost.
+	if bin == 0 || bout == 0 {
+		return 2 // anything > 1 is never admitted
+	}
+	ci := float64(counters.Ali(r.Ingress)+bw) / float64(bin)
+	ce := float64(counters.Ale(r.Egress)+bw) / float64(bout)
+	if ci > ce {
+		return ci
+	}
+	return ce
+}
+
+// Schedule implements sched.Scheduler.
+func (w Window) Schedule(net *topology.Network, reqs *request.Set) (*sched.Outcome, error) {
+	if w.Policy == nil {
+		return nil, fmt.Errorf("flexible: window heuristic needs a policy")
+	}
+	if w.Step <= 0 {
+		return nil, fmt.Errorf("flexible: non-positive window step %v", w.Step)
+	}
+	out := sched.NewOutcome(w.Name(), net, reqs)
+	all := reqs.All()
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].Start != all[j].Start {
+			return all[i].Start < all[j].Start
+		}
+		return all[i].ID < all[j].ID
+	})
+
+	counters := alloc.NewCounters(net)
+	var done completionHeap
+	next := 0 // index into all of the first request not yet considered
+
+	// Ticks run at the END of each interval: requests arriving in
+	// [T−Step, T) are decided at T.
+	for tick := w.Step; next < len(all); tick += w.Step {
+		releaseFinished(&done, counters, tick)
+
+		// Candidates: arrivals strictly before this tick.
+		type candidate struct {
+			r  request.Request
+			bw units.Bandwidth
+		}
+		var cands []candidate
+		for next < len(all) && all[next].Start < tick {
+			r := all[next]
+			next++
+			bw, err := w.Policy.Assign(r, tick)
+			if err != nil {
+				out.Reject(r.ID, "policy: "+err.Error())
+				continue
+			}
+			cands = append(cands, candidate{r: r, bw: bw})
+		}
+
+		// Admit candidates in min-cost order, recomputing costs as
+		// occupancy grows; stop as soon as even the cheapest exceeds 1.
+		for len(cands) > 0 {
+			best := 0
+			bestCost := cost(net, counters, cands[0].r, cands[0].bw)
+			for i := 1; i < len(cands); i++ {
+				c := cost(net, counters, cands[i].r, cands[i].bw)
+				if c < bestCost ||
+					(c == bestCost && cands[i].r.ID < cands[best].r.ID) {
+					best, bestCost = i, c
+				}
+			}
+			if bestCost > 1+units.Eps {
+				for _, c := range cands {
+					out.Reject(c.r.ID, fmt.Sprintf("cost %.3f > 1 at tick %v", cost(net, counters, c.r, c.bw), tick))
+				}
+				break
+			}
+			c := cands[best]
+			cands = append(cands[:best], cands[best+1:]...)
+			grant, err := request.NewGrant(c.r, tick, c.bw)
+			if err != nil {
+				out.Reject(c.r.ID, "grant: "+err.Error())
+				continue
+			}
+			if err := counters.Acquire(c.r.Ingress, c.r.Egress, c.bw); err != nil {
+				// cost <= 1 guarantees fit; a failure here is a bug.
+				return nil, fmt.Errorf("flexible: admission disagreed with cost: %w", err)
+			}
+			heap.Push(&done, completion{at: c.r.ID, tau: grant.Tau, bw: c.bw, in: c.r.Ingress, eg: c.r.Egress})
+			out.Accept(grant)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,314 @@
+package flexible
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gridbw/internal/policy"
+	"gridbw/internal/request"
+	"gridbw/internal/sched"
+	"gridbw/internal/topology"
+	"gridbw/internal/units"
+	"gridbw/internal/workload"
+)
+
+// flexReq builds a flexible request: volume moved at maxRate in
+// (finish-start)/slack time.
+func flexReq(id int, in, eg topology.PointID, start units.Time, vol units.Volume, maxRate units.Bandwidth, slack float64) request.Request {
+	window := vol.Over(maxRate) * units.Time(slack)
+	return request.Request{
+		ID: request.ID(id), Ingress: in, Egress: eg,
+		Start: start, Finish: start + window,
+		Volume: vol, MaxRate: maxRate,
+	}
+}
+
+func TestNames(t *testing.T) {
+	g := Greedy{Policy: policy.MinRate()}
+	if g.Name() != "greedy/minbw" {
+		t.Errorf("greedy name = %q", g.Name())
+	}
+	w := Window{Policy: policy.FractionMaxRate(1), Step: 400}
+	if !strings.Contains(w.Name(), "window(6m40s)") {
+		t.Errorf("window name = %q", w.Name())
+	}
+}
+
+func TestMissingPolicyErrors(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	reqs := request.MustNewSet(nil)
+	if _, err := (Greedy{}).Schedule(net, reqs); err == nil {
+		t.Error("greedy without policy ran")
+	}
+	if _, err := (Window{Policy: policy.MinRate()}).Schedule(net, reqs); err == nil {
+		t.Error("window without step ran")
+	}
+	if _, err := (Window{Step: 10}).Schedule(net, reqs); err == nil {
+		t.Error("window without policy ran")
+	}
+}
+
+func TestGreedyAcceptsWhenAmple(t *testing.T) {
+	net := topology.Uniform(2, 2, 1*units.GBps)
+	reqs := request.MustNewSet([]request.Request{
+		flexReq(0, 0, 0, 0, 30*units.GB, 300*units.MBps, 2),
+		flexReq(1, 1, 1, 5, 30*units.GB, 300*units.MBps, 2),
+		flexReq(2, 0, 1, 10, 30*units.GB, 300*units.MBps, 2),
+	})
+	for _, p := range []policy.Policy{policy.MinRate(), policy.FractionMaxRate(1)} {
+		out, err := Greedy{Policy: p}.Schedule(net, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.AcceptedCount() != 3 {
+			t.Errorf("policy %s: accepted %d/3", p.Name(), out.AcceptedCount())
+		}
+		if err := out.Verify(); err != nil {
+			t.Errorf("policy %s: %v", p.Name(), err)
+		}
+	}
+}
+
+func TestGreedyMinRateVsMaxRateGrants(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	reqs := request.MustNewSet([]request.Request{
+		flexReq(0, 0, 0, 0, 100*units.GB, 500*units.MBps, 2),
+	})
+	outMin, err := Greedy{Policy: policy.MinRate()}.Schedule(net, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gMin := outMin.Decision(0).Grant
+	if !units.ApproxEq(float64(gMin.Bandwidth), float64(250*units.MBps)) {
+		t.Errorf("minbw grant = %v, want 250MB/s", gMin.Bandwidth)
+	}
+	outMax, err := Greedy{Policy: policy.FractionMaxRate(1)}.Schedule(net, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gMax := outMax.Decision(0).Grant
+	if !units.ApproxEq(float64(gMax.Bandwidth), float64(500*units.MBps)) {
+		t.Errorf("f=1 grant = %v, want 500MB/s", gMax.Bandwidth)
+	}
+	if gMax.Tau >= gMin.Tau {
+		t.Error("faster grant did not finish earlier")
+	}
+}
+
+func TestGreedyReleasesBeforeSameInstantArrival(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	// Request 0 occupies the full gigabit over [0, 100) (f=1, slack 2 on a
+	// 50 s transfer: grant at MaxRate 1 GB/s finishes at t=100 exactly).
+	// Request 1 arrives exactly at t=100 and needs the full point.
+	r0 := flexReq(0, 0, 0, 0, 100*units.GB, 1*units.GBps, 1)
+	r1 := flexReq(1, 0, 0, 100, 100*units.GB, 1*units.GBps, 1)
+	reqs := request.MustNewSet([]request.Request{r0, r1})
+	out, err := Greedy{Policy: policy.FractionMaxRate(1)}.Schedule(net, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Decision(0).Accepted || !out.Decision(1).Accepted {
+		t.Errorf("decisions = %+v; release at t must precede arrival at t", out.Decisions())
+	}
+	if err := out.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyArrivalTieBreaksBySmallerMinRate(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	// Both arrive at t=0 and want the whole point with f=1.
+	big := flexReq(0, 0, 0, 0, 100*units.GB, 900*units.MBps, 3)
+	small := flexReq(1, 0, 0, 0, 50*units.GB, 800*units.MBps, 3)
+	reqs := request.MustNewSet([]request.Request{big, small})
+	out, err := Greedy{Policy: policy.FractionMaxRate(1)}.Schedule(net, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Decision(1).Accepted {
+		t.Error("smaller-MinRate same-arrival request rejected")
+	}
+	if out.Decision(0).Accepted {
+		t.Error("both full-point requests accepted")
+	}
+}
+
+func TestWindowBatchesAndAdmitsByCost(t *testing.T) {
+	net := topology.Uniform(2, 1, 1*units.GBps)
+	// Two candidates in the same interval to the same egress: one cheap
+	// (ingress 0, 300 MB/s), one expensive (ingress 1, 900 MB/s). Both fit
+	// alone, but together exceed egress capacity: the cheap one must win.
+	cheap := flexReq(0, 0, 0, 5, 30*units.GB, 300*units.MBps, 4)
+	dear := flexReq(1, 1, 0, 6, 90*units.GB, 900*units.MBps, 4)
+	reqs := request.MustNewSet([]request.Request{cheap, dear})
+	out, err := Window{Policy: policy.FractionMaxRate(1), Step: 10}.Schedule(net, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Decision(0).Accepted {
+		t.Errorf("cheap candidate rejected: %s", out.Decision(0).Reason)
+	}
+	if out.Decision(1).Accepted {
+		t.Error("expensive candidate accepted alongside")
+	}
+	if err := out.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWindowDecidesAtIntervalEnd(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	r := flexReq(0, 0, 0, 3, 30*units.GB, 300*units.MBps, 4)
+	reqs := request.MustNewSet([]request.Request{r})
+	out, err := Window{Policy: policy.MinRate(), Step: 10}.Schedule(net, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := out.Decision(0)
+	if !d.Accepted {
+		t.Fatalf("rejected: %s", d.Reason)
+	}
+	if d.Grant.Sigma != 10 {
+		t.Errorf("sigma = %v, want decision tick 10", d.Grant.Sigma)
+	}
+	// The floor was recomputed at the late start, so the deadline holds.
+	if d.Grant.Tau > r.Finish+units.Eps {
+		t.Errorf("tau = %v past deadline %v", d.Grant.Tau, r.Finish)
+	}
+}
+
+func TestWindowRejectsWhenDeadlineUnreachable(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	// Tight request: window barely exceeds the MaxRate duration, and with
+	// Step=50 the decision lands after the latest feasible start.
+	r := flexReq(0, 0, 0, 0, 45*units.GB, 900*units.MBps, 1.02)
+	reqs := request.MustNewSet([]request.Request{r})
+	out, err := Window{Policy: policy.MinRate(), Step: 50}.Schedule(net, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := out.Decision(0)
+	if d.Accepted {
+		t.Error("unreachable deadline accepted")
+	}
+	if !strings.Contains(d.Reason, "policy") {
+		t.Errorf("reason = %q", d.Reason)
+	}
+}
+
+func TestWindowStrictPolicyAblation(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	// With the literal pseudo-code policy the late start keeps the
+	// requested MinRate and overshoots the deadline; the deadline-aware
+	// default accepts the same request.
+	r := flexReq(0, 0, 0, 3, 30*units.GB, 300*units.MBps, 1.5)
+	reqs := request.MustNewSet([]request.Request{r})
+
+	strict, err := Window{Policy: policy.StrictRequestedMinRate(), Step: 10}.Schedule(net, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.Decision(0).Accepted {
+		t.Error("strict policy accepted a deadline-missing grant")
+	}
+
+	aware, err := Window{Policy: policy.MinRate(), Step: 10}.Schedule(net, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !aware.Decision(0).Accepted {
+		t.Errorf("deadline-aware policy rejected: %s", aware.Decision(0).Reason)
+	}
+}
+
+func TestWindowStopsAtCostAboveOne(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	reqs := request.MustNewSet([]request.Request{
+		flexReq(0, 0, 0, 0, 60*units.GB, 600*units.MBps, 4),
+		flexReq(1, 0, 0, 1, 60*units.GB, 600*units.MBps, 4),
+		flexReq(2, 0, 0, 2, 60*units.GB, 600*units.MBps, 4),
+	})
+	out, err := Window{Policy: policy.FractionMaxRate(1), Step: 10}.Schedule(net, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.AcceptedCount() != 1 {
+		t.Errorf("accepted %d, want 1 (two 600MB/s flows exceed 1GB/s)", out.AcceptedCount())
+	}
+	for _, d := range out.Decisions() {
+		if !d.Accepted && !strings.Contains(d.Reason, "cost") {
+			t.Errorf("rejection reason %q lacks cost", d.Reason)
+		}
+	}
+}
+
+// TestOutcomesFeasibleProperty: both heuristics with several policies
+// produce feasible outcomes on random paper workloads.
+func TestOutcomesFeasibleProperty(t *testing.T) {
+	cfg := workload.Default(workload.Flexible)
+	cfg.Horizon = 300
+	scheds := []sched.Scheduler{
+		Greedy{Policy: policy.MinRate()},
+		Greedy{Policy: policy.FractionMaxRate(0.8)},
+		Window{Policy: policy.MinRate(), Step: 50},
+		Window{Policy: policy.FractionMaxRate(1), Step: 100},
+		Window{Policy: policy.StrictRequestedMinRate(), Step: 50},
+	}
+	f := func(seed int64) bool {
+		reqs, err := cfg.Generate(seed)
+		if err != nil {
+			return false
+		}
+		net := cfg.Network()
+		for _, s := range scheds {
+			out, err := s.Schedule(net, reqs)
+			if err != nil {
+				return false
+			}
+			if out.Verify() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWindowBeatsGreedyUnderHeavyLoad pins the Figure-5 headline: in a
+// heavily loaded network the interval-based heuristic achieves a better
+// accept rate than FCFS, and longer windows do better.
+func TestWindowBeatsGreedyUnderHeavyLoad(t *testing.T) {
+	cfg := workload.Default(workload.Flexible)
+	cfg.MeanInterArrival = 0.5 // heavy load
+	cfg.Horizon = 2000
+	reqs, err := cfg.Generate(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := cfg.Network()
+	p := policy.FractionMaxRate(1)
+
+	rate := func(s sched.Scheduler) float64 {
+		out, err := s.Schedule(net, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := out.Verify(); err != nil {
+			t.Fatal(err)
+		}
+		return out.AcceptRate()
+	}
+	greedy := rate(Greedy{Policy: p})
+	win100 := rate(Window{Policy: p, Step: 100})
+	win400 := rate(Window{Policy: p, Step: 400})
+	t.Logf("greedy=%.3f window(100)=%.3f window(400)=%.3f", greedy, win100, win400)
+	if win400 <= greedy {
+		t.Errorf("window(400) %.3f not better than greedy %.3f under heavy load", win400, greedy)
+	}
+	if win400 < win100 {
+		t.Errorf("longer window %.3f worse than shorter %.3f", win400, win100)
+	}
+}

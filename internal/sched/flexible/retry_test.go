@@ -1,0 +1,135 @@
+package flexible
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gridbw/internal/policy"
+	"gridbw/internal/request"
+	"gridbw/internal/units"
+	"gridbw/internal/workload"
+)
+
+func TestWindowRetryName(t *testing.T) {
+	w := WindowRetry{Policy: policy.MinRate(), Step: 100}
+	if !strings.Contains(w.Name(), "window-retry") {
+		t.Errorf("name = %q", w.Name())
+	}
+}
+
+func TestWindowRetryValidation(t *testing.T) {
+	reqs := request.MustNewSet(nil)
+	net := workload.Default(workload.Flexible).Network()
+	if _, err := (WindowRetry{Step: 10}).Schedule(net, reqs); err == nil {
+		t.Error("missing policy accepted")
+	}
+	if _, err := (WindowRetry{Policy: policy.MinRate()}).Schedule(net, reqs); err == nil {
+		t.Error("missing step accepted")
+	}
+}
+
+// TestWindowRetryRecoversTransientCongestion: two conflicting transfers
+// with wide windows — Algorithm 3 rejects the loser permanently, the
+// retry variant admits it once the winner finishes.
+func TestWindowRetryRecoversTransientCongestion(t *testing.T) {
+	net := workload.Default(workload.Flexible).Network()
+	mk := func(id int, start units.Time) request.Request {
+		return request.Request{
+			ID: request.ID(id), Ingress: 0, Egress: 0,
+			Start: start, Finish: start + 2500,
+			Volume:  700 * units.GB, // 700 MB/s at f=1, ~1000 s transfer
+			MaxRate: 700 * units.MBps,
+		}
+	}
+	reqs := request.MustNewSet([]request.Request{mk(0, 0), mk(1, 1)})
+	p := policy.FractionMaxRate(1)
+
+	plain, err := Window{Policy: p, Step: 100}.Schedule(net, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.AcceptedCount() != 1 {
+		t.Fatalf("plain window accepted %d, want 1", plain.AcceptedCount())
+	}
+
+	retry, err := WindowRetry{Policy: p, Step: 100}.Schedule(net, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retry.AcceptedCount() != 2 {
+		t.Fatalf("retry window accepted %d, want 2", retry.AcceptedCount())
+	}
+	if err := retry.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// The retried transfer starts only after the first one's capacity
+	// frees (~tick 1100).
+	var second request.Grant
+	for _, d := range retry.Decisions() {
+		if d.Accepted && d.Grant.Sigma > 200 {
+			second = d.Grant
+		}
+	}
+	if second.Bandwidth == 0 {
+		t.Fatal("no delayed grant found")
+	}
+}
+
+func TestWindowRetryRejectsWhenDeadlinePasses(t *testing.T) {
+	net := workload.Default(workload.Flexible).Network()
+	// Conflicting pair with windows too tight for queueing: the loser's
+	// deadline expires while waiting and it is rejected with a deadline
+	// reason.
+	mk := func(id int, start units.Time) request.Request {
+		return request.Request{
+			ID: request.ID(id), Ingress: 0, Egress: 0,
+			Start: start, Finish: start + 1200,
+			Volume:  700 * units.GB,
+			MaxRate: 700 * units.MBps,
+		}
+	}
+	reqs := request.MustNewSet([]request.Request{mk(0, 0), mk(1, 1)})
+	out, err := WindowRetry{Policy: policy.FractionMaxRate(1), Step: 100}.Schedule(net, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.AcceptedCount() != 1 {
+		t.Fatalf("accepted %d, want 1", out.AcceptedCount())
+	}
+	for _, d := range out.Decisions() {
+		if !d.Accepted && !strings.Contains(d.Reason, "deadline") && !strings.Contains(d.Reason, "policy") {
+			t.Errorf("reason = %q", d.Reason)
+		}
+	}
+}
+
+// TestWindowRetryDominatesPlainWindow: on random workloads the retry
+// variant never accepts fewer requests, and its outcomes stay feasible.
+func TestWindowRetryDominatesPlainWindow(t *testing.T) {
+	cfg := workload.Default(workload.Flexible)
+	cfg.Horizon = 400
+	f := func(seed int64) bool {
+		reqs, err := cfg.Generate(seed)
+		if err != nil {
+			return false
+		}
+		net := cfg.Network()
+		p := policy.FractionMaxRate(1)
+		plain, err := (Window{Policy: p, Step: 100}).Schedule(net, reqs)
+		if err != nil {
+			return false
+		}
+		retry, err := (WindowRetry{Policy: p, Step: 100}).Schedule(net, reqs)
+		if err != nil {
+			return false
+		}
+		if retry.Verify() != nil {
+			return false
+		}
+		return retry.AcceptedCount() >= plain.AcceptedCount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,168 @@
+package flexible
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gridbw/internal/policy"
+	"gridbw/internal/request"
+	"gridbw/internal/sched"
+	"gridbw/internal/topology"
+	"gridbw/internal/units"
+	"gridbw/internal/workload"
+)
+
+func scoredVariants(p policy.Policy, step units.Time) []sched.Scheduler {
+	return []sched.Scheduler{
+		WindowCostSkip(p, step),
+		WindowEDF(p, step),
+		WindowMinDemand(p, step),
+	}
+}
+
+func TestScoredValidation(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	reqs := request.MustNewSet(nil)
+	if _, err := (WindowScored{Step: 10, Score: CostScore()}).Schedule(net, reqs); err == nil {
+		t.Error("missing policy accepted")
+	}
+	if _, err := (WindowScored{Policy: policy.MinRate(), Score: CostScore()}).Schedule(net, reqs); err == nil {
+		t.Error("missing step accepted")
+	}
+	if _, err := (WindowScored{Policy: policy.MinRate(), Step: 10}).Schedule(net, reqs); err == nil {
+		t.Error("missing score accepted")
+	}
+}
+
+func TestScoredNames(t *testing.T) {
+	p := policy.FractionMaxRate(1)
+	for _, s := range scoredVariants(p, 100) {
+		name := s.Name()
+		if !strings.Contains(name, "window-") || !strings.Contains(name, "f=1") {
+			t.Errorf("name = %q", name)
+		}
+	}
+	anon := WindowScored{Policy: p, Step: 10, Score: CostScore()}
+	if !strings.Contains(anon.Name(), "window-scored") {
+		t.Errorf("default label name = %q", anon.Name())
+	}
+}
+
+// TestSkipOutperformsStopWhenHeadBlocks: construct an interval where the
+// min-cost candidate does not fit but a different-pair candidate does.
+// Algorithm 3 (stop rule) rejects both; the skip variant admits the
+// second.
+func TestSkipOutperformsStopWhenHeadBlocks(t *testing.T) {
+	net := topology.Uniform(2, 2, 1*units.GBps)
+	p := policy.FractionMaxRate(1)
+	// Pre-load pair (0,0) completely via an early interval.
+	hog := flexReq(0, 0, 0, 0, 900*units.GB, 900*units.MBps, 4)
+	// Next interval: candidate A on the saturated pair with tiny bw
+	// (cheap cost... but cost counts utilization, so its cost is high);
+	// make A the min-cost candidate by loading pair (1,1) even more? The
+	// cost of a candidate on a saturated point exceeds 1, so *every*
+	// ordering puts the feasible candidate first unless scores ignore
+	// occupancy. To pin the stop-rule difference we need the infeasible
+	// candidate to have the smaller cost, which cannot happen with the
+	// utilization cost (infeasible => cost > 1 >= any feasible cost).
+	// The stop rule therefore only bites with occupancy-blind scores:
+	// EDF ordering with an urgent-but-blocked head.
+	urgent := flexReq(1, 0, 0, 20, 500*units.GB, 500*units.MBps, 1.05) // urgent, blocked pair
+	relaxed := flexReq(2, 1, 1, 21, 100*units.GB, 500*units.MBps, 10)  // fits on free pair
+	reqs := request.MustNewSet([]request.Request{hog, urgent, relaxed})
+
+	out, err := WindowEDF(p, 10).Schedule(net, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Decision(0).Accepted {
+		t.Fatalf("hog rejected: %s", out.Decision(0).Reason)
+	}
+	if out.Decision(1).Accepted {
+		t.Error("blocked urgent candidate accepted")
+	}
+	if !out.Decision(2).Accepted {
+		t.Errorf("feasible candidate behind blocked head rejected: %s", out.Decision(2).Reason)
+	}
+	if err := out.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEDFPrefersUrgent(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	p := policy.FractionMaxRate(1)
+	// Two candidates in the same interval on the same pair; only one fits.
+	// The relaxed one arrives first (smaller ID via earlier arrival), but
+	// EDF must admit the urgent one.
+	relaxed := flexReq(0, 0, 0, 1, 600*units.GB, 600*units.MBps, 10)
+	urgent := flexReq(1, 0, 0, 2, 600*units.GB, 600*units.MBps, 1.2)
+	reqs := request.MustNewSet([]request.Request{relaxed, urgent})
+	out, err := WindowEDF(p, 10).Schedule(net, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Decision(1).Accepted {
+		t.Errorf("urgent candidate rejected: %s", out.Decision(1).Reason)
+	}
+	if out.Decision(0).Accepted {
+		t.Error("both 600MB/s flows admitted on a 1GB/s pair")
+	}
+}
+
+func TestMinDemandPrefersThin(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	p := policy.FractionMaxRate(1)
+	fat := flexReq(0, 0, 0, 1, 900*units.GB, 900*units.MBps, 4)
+	thin1 := flexReq(1, 0, 0, 2, 400*units.GB, 400*units.MBps, 4)
+	thin2 := flexReq(2, 0, 0, 3, 500*units.GB, 500*units.MBps, 4)
+	reqs := request.MustNewSet([]request.Request{fat, thin1, thin2})
+	out, err := WindowMinDemand(p, 10).Schedule(net, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Decision(1).Accepted || !out.Decision(2).Accepted {
+		t.Error("thin candidates rejected")
+	}
+	if out.Decision(0).Accepted {
+		t.Error("fat candidate admitted alongside 900MB/s of thin ones")
+	}
+}
+
+// TestScoredOutcomesFeasibleProperty: every variant stays feasible on
+// random workloads, and the cost-skip variant never accepts fewer than
+// the paper's stop-rule Window.
+func TestScoredOutcomesFeasibleProperty(t *testing.T) {
+	cfg := workload.Default(workload.Flexible)
+	cfg.Horizon = 300
+	f := func(seed int64) bool {
+		reqs, err := cfg.Generate(seed)
+		if err != nil {
+			return false
+		}
+		net := cfg.Network()
+		p := policy.FractionMaxRate(1)
+		plain, err := (Window{Policy: p, Step: 100}).Schedule(net, reqs)
+		if err != nil {
+			return false
+		}
+		for _, s := range scoredVariants(p, 100) {
+			out, err := s.Schedule(net, reqs)
+			if err != nil {
+				return false
+			}
+			if out.Verify() != nil {
+				return false
+			}
+			if strings.HasPrefix(out.Scheduler, "window-cost-skip") &&
+				out.AcceptedCount() < plain.AcceptedCount() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}

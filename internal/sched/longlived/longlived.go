@@ -1,0 +1,197 @@
+// Package longlived handles the paper's other request class (§2.1):
+// long-lived requests — indefinite flows between grid users that demand a
+// fixed bandwidth with no time window. The companion results the paper
+// cites ([13, 14], restated in §3) are both implemented here:
+//
+//   - the general problem (arbitrary bandwidths) is NP-hard, so a greedy
+//     smallest-demand-first heuristic is provided;
+//   - the *uniform* case (bw(r) = b for every request) is polynomial: it
+//     reduces to maximum flow on the bipartite ingress/egress graph with
+//     ⌊B/b⌋ slots per point (internal/maxflow), which this package solves
+//     exactly.
+package longlived
+
+import (
+	"fmt"
+	"sort"
+
+	"gridbw/internal/maxflow"
+	"gridbw/internal/topology"
+	"gridbw/internal/units"
+)
+
+// Request is a long-lived flow demand.
+type Request struct {
+	ID      int
+	Ingress topology.PointID
+	Egress  topology.PointID
+	BW      units.Bandwidth
+}
+
+// Validate checks a request against a network.
+func (r Request) Validate(net *topology.Network) error {
+	if int(r.Ingress) < 0 || int(r.Ingress) >= net.NumIngress() {
+		return fmt.Errorf("longlived: request %d ingress %d out of range", r.ID, r.Ingress)
+	}
+	if int(r.Egress) < 0 || int(r.Egress) >= net.NumEgress() {
+		return fmt.Errorf("longlived: request %d egress %d out of range", r.ID, r.Egress)
+	}
+	if r.BW <= 0 {
+		return fmt.Errorf("longlived: request %d non-positive bandwidth %v", r.ID, r.BW)
+	}
+	return nil
+}
+
+// Result lists accepted request IDs (sorted) and the residual capacities.
+type Result struct {
+	Accepted []int
+	// ResidualIn and ResidualOut are per-point leftovers.
+	ResidualIn, ResidualOut []units.Bandwidth
+}
+
+// AcceptRate reports |Accepted| / total.
+func (res *Result) AcceptRate(total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(len(res.Accepted)) / float64(total)
+}
+
+func validateAll(net *topology.Network, reqs []Request) error {
+	seen := map[int]bool{}
+	for _, r := range reqs {
+		if seen[r.ID] {
+			return fmt.Errorf("longlived: duplicate request ID %d", r.ID)
+		}
+		seen[r.ID] = true
+		if err := r.Validate(net); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Greedy admits requests in non-decreasing bandwidth order (ties by ID),
+// accepting whenever both points still have room. It is the natural
+// MAX-REQUESTS heuristic for the NP-hard non-uniform case.
+func Greedy(net *topology.Network, reqs []Request) (*Result, error) {
+	if err := validateAll(net, reqs); err != nil {
+		return nil, err
+	}
+	order := make([]Request, len(reqs))
+	copy(order, reqs)
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].BW != order[j].BW {
+			return order[i].BW < order[j].BW
+		}
+		return order[i].ID < order[j].ID
+	})
+	res := &Result{
+		ResidualIn:  make([]units.Bandwidth, net.NumIngress()),
+		ResidualOut: make([]units.Bandwidth, net.NumEgress()),
+	}
+	for i := range res.ResidualIn {
+		res.ResidualIn[i] = net.Bin(topology.PointID(i))
+	}
+	for e := range res.ResidualOut {
+		res.ResidualOut[e] = net.Bout(topology.PointID(e))
+	}
+	for _, r := range order {
+		if res.ResidualIn[int(r.Ingress)] >= r.BW*(1-units.Eps) &&
+			res.ResidualOut[int(r.Egress)] >= r.BW*(1-units.Eps) {
+			res.ResidualIn[int(r.Ingress)] -= r.BW
+			res.ResidualOut[int(r.Egress)] -= r.BW
+			res.Accepted = append(res.Accepted, r.ID)
+		}
+	}
+	sort.Ints(res.Accepted)
+	return res, nil
+}
+
+// OptimalUniform solves the uniform case (every request demands exactly b)
+// optimally in polynomial time via maximum flow: source → ingress i with
+// capacity ⌊Bin(i)/b⌋ slots, one unit edge per request, egress e → sink
+// with ⌊Bout(e)/b⌋ slots. The max flow is the maximum number of
+// simultaneously satisfiable requests, and the saturated request edges
+// identify one optimal accepted set.
+func OptimalUniform(net *topology.Network, reqs []Request, b units.Bandwidth) (*Result, error) {
+	if b <= 0 {
+		return nil, fmt.Errorf("longlived: non-positive uniform bandwidth %v", b)
+	}
+	if err := validateAll(net, reqs); err != nil {
+		return nil, err
+	}
+	for _, r := range reqs {
+		if !units.ApproxEq(float64(r.BW), float64(b)) {
+			return nil, fmt.Errorf("longlived: request %d demands %v, not the uniform %v", r.ID, r.BW, b)
+		}
+	}
+
+	m, n := net.NumIngress(), net.NumEgress()
+	// Vertices: 0 source; 1..m ingress; m+1..m+n egress; m+n+1 sink.
+	g := maxflow.New(m + n + 2)
+	src, sink := 0, m+n+1
+	slots := func(c units.Bandwidth) int64 {
+		return int64(float64(c) / float64(b) * (1 + units.Eps))
+	}
+	for i := 0; i < m; i++ {
+		g.AddEdge(src, 1+i, slots(net.Bin(topology.PointID(i))))
+	}
+	for e := 0; e < n; e++ {
+		g.AddEdge(1+m+e, sink, slots(net.Bout(topology.PointID(e))))
+	}
+	edgeOf := make(map[int]int, len(reqs)) // request ID -> edge index
+	for _, r := range reqs {
+		edgeOf[r.ID] = g.AddEdge(1+int(r.Ingress), 1+m+int(r.Egress), 1)
+	}
+	g.MaxFlow(src, sink)
+
+	res := &Result{
+		ResidualIn:  make([]units.Bandwidth, m),
+		ResidualOut: make([]units.Bandwidth, n),
+	}
+	for i := range res.ResidualIn {
+		res.ResidualIn[i] = net.Bin(topology.PointID(i))
+	}
+	for e := range res.ResidualOut {
+		res.ResidualOut[e] = net.Bout(topology.PointID(e))
+	}
+	for _, r := range reqs {
+		if g.Flow(edgeOf[r.ID]) > 0 {
+			res.Accepted = append(res.Accepted, r.ID)
+			res.ResidualIn[int(r.Ingress)] -= b
+			res.ResidualOut[int(r.Egress)] -= b
+		}
+	}
+	sort.Ints(res.Accepted)
+	return res, nil
+}
+
+// Verify checks that an accepted set is feasible on the network.
+func Verify(net *topology.Network, reqs []Request, accepted []int) error {
+	byID := map[int]Request{}
+	for _, r := range reqs {
+		byID[r.ID] = r
+	}
+	usedIn := make([]units.Bandwidth, net.NumIngress())
+	usedOut := make([]units.Bandwidth, net.NumEgress())
+	for _, id := range accepted {
+		r, ok := byID[id]
+		if !ok {
+			return fmt.Errorf("longlived: accepted unknown request %d", id)
+		}
+		usedIn[int(r.Ingress)] += r.BW
+		usedOut[int(r.Egress)] += r.BW
+	}
+	for i, u := range usedIn {
+		if !units.FitsWithin(u, 0, net.Bin(topology.PointID(i))) {
+			return fmt.Errorf("longlived: ingress %d over capacity (%v)", i, u)
+		}
+	}
+	for e, u := range usedOut {
+		if !units.FitsWithin(u, 0, net.Bout(topology.PointID(e))) {
+			return fmt.Errorf("longlived: egress %d over capacity (%v)", e, u)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,235 @@
+package longlived
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gridbw/internal/rng"
+	"gridbw/internal/topology"
+	"gridbw/internal/units"
+)
+
+func TestGreedyBasic(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	reqs := []Request{
+		{ID: 0, BW: 700 * units.MBps},
+		{ID: 1, BW: 200 * units.MBps},
+		{ID: 2, BW: 300 * units.MBps},
+	}
+	res, err := Greedy(net, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Smallest first: 200 + 300 fit, then 700 does not.
+	if len(res.Accepted) != 2 || res.Accepted[0] != 1 || res.Accepted[1] != 2 {
+		t.Errorf("accepted = %v", res.Accepted)
+	}
+	if !units.ApproxEq(float64(res.ResidualIn[0]), float64(500*units.MBps)) {
+		t.Errorf("residual = %v", res.ResidualIn[0])
+	}
+	if err := Verify(net, reqs, res.Accepted); err != nil {
+		t.Error(err)
+	}
+	if got := res.AcceptRate(3); !units.ApproxEq(got, 2.0/3.0) {
+		t.Errorf("accept rate = %v", got)
+	}
+}
+
+func TestGreedyValidation(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	if _, err := Greedy(net, []Request{{ID: 0, Ingress: 5, BW: 1}}); err == nil {
+		t.Error("bad ingress accepted")
+	}
+	if _, err := Greedy(net, []Request{{ID: 0, Egress: 5, BW: 1}}); err == nil {
+		t.Error("bad egress accepted")
+	}
+	if _, err := Greedy(net, []Request{{ID: 0, BW: 0}}); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	if _, err := Greedy(net, []Request{{ID: 0, BW: 1}, {ID: 0, BW: 1}}); err == nil {
+		t.Error("duplicate IDs accepted")
+	}
+}
+
+func TestOptimalUniformBeatsGreedyExample(t *testing.T) {
+	// Classic greedy trap needs non-uniform sizes, so here we show a case
+	// where greedy's arbitrary same-size ordering is suboptimal on
+	// *placement*: 2 ingress, 2 egress, capacity 1 slot each.
+	// Requests: (0,0), (0,1), (1,0). Greedy (by ID) takes (0,0) and then
+	// blocks both others at ingress 0/egress 0: accepted 1... actually
+	// (1,0)? (1,0) needs egress 0 which (0,0) holds. Optimal: (0,1) and
+	// (1,0) — 2 requests.
+	net := topology.Uniform(2, 2, 100*units.MBps)
+	b := 100 * units.MBps
+	reqs := []Request{
+		{ID: 0, Ingress: 0, Egress: 0, BW: b},
+		{ID: 1, Ingress: 0, Egress: 1, BW: b},
+		{ID: 2, Ingress: 1, Egress: 0, BW: b},
+	}
+	res, err := OptimalUniform(net, reqs, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Accepted) != 2 {
+		t.Errorf("optimal accepted %v, want 2 requests", res.Accepted)
+	}
+	if err := Verify(net, reqs, res.Accepted); err != nil {
+		t.Error(err)
+	}
+
+	g, err := Greedy(net, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Accepted) > len(res.Accepted) {
+		t.Error("greedy beat the optimum")
+	}
+}
+
+func TestOptimalUniformSlots(t *testing.T) {
+	// 1 GB/s point with b = 300 MB/s: 3 slots per point.
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	b := 300 * units.MBps
+	var reqs []Request
+	for i := 0; i < 5; i++ {
+		reqs = append(reqs, Request{ID: i, BW: b})
+	}
+	res, err := OptimalUniform(net, reqs, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Accepted) != 3 {
+		t.Errorf("accepted %d, want 3 slots", len(res.Accepted))
+	}
+	if err := Verify(net, reqs, res.Accepted); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimalUniformRejectsNonUniform(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	reqs := []Request{{ID: 0, BW: 100 * units.MBps}, {ID: 1, BW: 200 * units.MBps}}
+	if _, err := OptimalUniform(net, reqs, 100*units.MBps); err == nil {
+		t.Error("non-uniform set accepted")
+	}
+	if _, err := OptimalUniform(net, nil, 0); err == nil {
+		t.Error("zero uniform bandwidth accepted")
+	}
+}
+
+func TestVerifyCatchesViolations(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	reqs := []Request{
+		{ID: 0, BW: 700 * units.MBps},
+		{ID: 1, BW: 700 * units.MBps},
+	}
+	if err := Verify(net, reqs, []int{0, 1}); err == nil {
+		t.Error("over-capacity set verified")
+	}
+	if err := Verify(net, reqs, []int{9}); err == nil {
+		t.Error("unknown ID verified")
+	}
+	if err := Verify(net, reqs, []int{0}); err != nil {
+		t.Errorf("feasible set rejected: %v", err)
+	}
+}
+
+// exhaustiveUniformOptimum brute-forces the uniform problem for tests.
+func exhaustiveUniformOptimum(net *topology.Network, reqs []Request) int {
+	best := 0
+	n := len(reqs)
+	for mask := 0; mask < 1<<n; mask++ {
+		var sel []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				sel = append(sel, reqs[i].ID)
+			}
+		}
+		if len(sel) <= best {
+			continue
+		}
+		if Verify(net, reqs, sel) == nil {
+			best = len(sel)
+		}
+	}
+	return best
+}
+
+// TestOptimalUniformMatchesBruteForce is the companion-paper claim run
+// mechanically: the flow formulation is exactly optimal.
+func TestOptimalUniformMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		src := rng.New(seed)
+		m := src.Intn(3) + 1
+		n := src.Intn(3) + 1
+		b := 100 * units.MBps
+		cfg := topology.Config{
+			Ingress: make([]units.Bandwidth, m),
+			Egress:  make([]units.Bandwidth, n),
+		}
+		for i := range cfg.Ingress {
+			cfg.Ingress[i] = units.Bandwidth(src.Intn(3)+1) * b // 1-3 slots
+		}
+		for e := range cfg.Egress {
+			cfg.Egress[e] = units.Bandwidth(src.Intn(3)+1) * b
+		}
+		net, err := topology.New(cfg)
+		if err != nil {
+			return false
+		}
+		k := src.Intn(10) + 1
+		reqs := make([]Request, k)
+		for i := range reqs {
+			reqs[i] = Request{
+				ID:      i,
+				Ingress: topology.PointID(src.Intn(m)),
+				Egress:  topology.PointID(src.Intn(n)),
+				BW:      b,
+			}
+		}
+		res, err := OptimalUniform(net, reqs, b)
+		if err != nil {
+			return false
+		}
+		if Verify(net, reqs, res.Accepted) != nil {
+			return false
+		}
+		if len(res.Accepted) != exhaustiveUniformOptimum(net, reqs) {
+			return false
+		}
+		// Greedy is always feasible and never better.
+		g, err := Greedy(net, reqs)
+		if err != nil || Verify(net, reqs, g.Accepted) != nil {
+			return false
+		}
+		return len(g.Accepted) <= len(res.Accepted)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyFeasibleOnRandomNonUniform(t *testing.T) {
+	f := func(seed int64) bool {
+		src := rng.New(seed)
+		net := topology.Uniform(3, 3, 1*units.GBps)
+		k := src.Intn(30) + 1
+		reqs := make([]Request, k)
+		for i := range reqs {
+			reqs[i] = Request{
+				ID:      i,
+				Ingress: topology.PointID(src.Intn(3)),
+				Egress:  topology.PointID(src.Intn(3)),
+				BW:      units.Bandwidth(src.Intn(900)+100) * units.MBps,
+			}
+		}
+		res, err := Greedy(net, reqs)
+		if err != nil {
+			return false
+		}
+		return Verify(net, reqs, res.Accepted) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

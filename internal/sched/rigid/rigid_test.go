@@ -1,0 +1,368 @@
+package rigid
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gridbw/internal/request"
+	"gridbw/internal/sched"
+	"gridbw/internal/topology"
+	"gridbw/internal/units"
+	"gridbw/internal/workload"
+)
+
+// rigidReq builds a rigid request transferring at exactly rate over
+// [start, finish].
+func rigidReq(id int, in, eg topology.PointID, start, finish units.Time, rate units.Bandwidth) request.Request {
+	return request.Request{
+		ID: request.ID(id), Ingress: in, Egress: eg,
+		Start: start, Finish: finish,
+		Volume:  rate.For(finish - start),
+		MaxRate: rate,
+	}
+}
+
+func allSchedulers() []sched.Scheduler {
+	return []sched.Scheduler{FCFS{}, CumulatedSlots(), MinBWSlots(), MinVolSlots()}
+}
+
+func TestNames(t *testing.T) {
+	want := map[string]bool{"fcfs": true, "cumulated-slots": true, "minbw-slots": true, "minvol-slots": true}
+	for _, s := range allSchedulers() {
+		if !want[s.Name()] {
+			t.Errorf("unexpected name %q", s.Name())
+		}
+	}
+}
+
+func TestRejectsFlexibleRequests(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	flex := request.MustNewSet([]request.Request{{
+		ID: 0, Start: 0, Finish: 1000, Volume: 100 * units.GB, MaxRate: 1 * units.GBps,
+	}})
+	for _, s := range allSchedulers() {
+		if _, err := s.Schedule(net, flex); err == nil {
+			t.Errorf("%s accepted a flexible request set", s.Name())
+		}
+	}
+}
+
+func TestAllFitWhenCapacityAmple(t *testing.T) {
+	net := topology.Uniform(2, 2, 1*units.GBps)
+	reqs := request.MustNewSet([]request.Request{
+		rigidReq(0, 0, 0, 0, 100, 300*units.MBps),
+		rigidReq(1, 0, 1, 0, 100, 300*units.MBps),
+		rigidReq(2, 1, 0, 50, 150, 400*units.MBps),
+	})
+	for _, s := range allSchedulers() {
+		out, err := s.Schedule(net, reqs)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if out.AcceptedCount() != 3 {
+			t.Errorf("%s accepted %d/3 despite ample capacity", s.Name(), out.AcceptedCount())
+			for _, d := range out.Decisions() {
+				if !d.Accepted {
+					t.Logf("  rejected %d: %s", d.Request, d.Reason)
+				}
+			}
+		}
+		if err := out.Verify(); err != nil {
+			t.Errorf("%s: outcome infeasible: %v", s.Name(), err)
+		}
+	}
+}
+
+func TestCapacityConflictRejectsSomeone(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	// Three 500 MB/s requests over the same window: only two fit.
+	reqs := request.MustNewSet([]request.Request{
+		rigidReq(0, 0, 0, 0, 100, 500*units.MBps),
+		rigidReq(1, 0, 0, 0, 100, 500*units.MBps),
+		rigidReq(2, 0, 0, 0, 100, 500*units.MBps),
+	})
+	for _, s := range allSchedulers() {
+		out, err := s.Schedule(net, reqs)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if out.AcceptedCount() != 2 {
+			t.Errorf("%s accepted %d, want 2", s.Name(), out.AcceptedCount())
+		}
+		if err := out.Verify(); err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+	}
+}
+
+func TestFCFSOrderByStartThenBandwidth(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	// Same start: the smaller-bandwidth request is scheduled first, so with
+	// capacity 1 GB/s the 600 MB/s request wins over the 700 MB/s one and
+	// the 500 MB/s one wins first of all.
+	reqs := request.MustNewSet([]request.Request{
+		rigidReq(0, 0, 0, 0, 100, 700*units.MBps),
+		rigidReq(1, 0, 0, 0, 100, 500*units.MBps),
+		rigidReq(2, 0, 0, 0, 100, 400*units.MBps),
+	})
+	out, err := FCFS{}.Schedule(net, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Decision(1).Accepted || !out.Decision(2).Accepted {
+		t.Error("smaller-bandwidth same-start requests not preferred")
+	}
+	if out.Decision(0).Accepted {
+		t.Error("700MB/s request fit alongside 900MB/s of smaller requests")
+	}
+}
+
+func TestFCFSEarlierStartWinsRegardlessOfSize(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	reqs := request.MustNewSet([]request.Request{
+		rigidReq(0, 0, 0, 0, 100, 900*units.MBps),  // arrives first, hogs the point
+		rigidReq(1, 0, 0, 10, 110, 200*units.MBps), // later, blocked until 100
+	})
+	out, err := FCFS{}.Schedule(net, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Decision(0).Accepted {
+		t.Error("earlier request rejected")
+	}
+	if out.Decision(1).Accepted {
+		t.Error("overlapping over-capacity request accepted")
+	}
+}
+
+// TestSlotsProtectsLongRunning reproduces the CUMULATED-SLOTS design
+// intent: a long request that has already been granted several intervals
+// outranks a newly arriving short request with the same bandwidth demand.
+func TestSlotsProtectsLongRunning(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	long := rigidReq(0, 0, 0, 0, 100, 600*units.MBps)
+	late := rigidReq(1, 0, 0, 50, 100, 600*units.MBps)
+	reqs := request.MustNewSet([]request.Request{long, late})
+	out, err := CumulatedSlots().Schedule(net, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Decision(0).Accepted {
+		t.Error("long-running request evicted by newcomer")
+	}
+	if out.Decision(1).Accepted {
+		t.Error("conflicting newcomer accepted")
+	}
+	if err := out.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMinVolPrefersSmallVolume and its MINBW counterpart pin the variant
+// orderings: with same-start conflicting requests, MINVOL-SLOTS admits the
+// smaller volume even at higher bandwidth, MINBW-SLOTS the smaller
+// bandwidth.
+func TestVariantOrderings(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	// Request 0: small volume (30 GB) but high rate 600 MB/s over [0,50).
+	// Request 1: bigger volume (50 GB) but low rate 500 MB/s over [0,100).
+	reqs := request.MustNewSet([]request.Request{
+		rigidReq(0, 0, 0, 0, 50, 600*units.MBps),
+		rigidReq(1, 0, 0, 0, 100, 500*units.MBps),
+	})
+
+	outVol, err := MinVolSlots().Schedule(net, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outVol.Decision(0).Accepted || outVol.Decision(1).Accepted {
+		t.Errorf("minvol decisions = %+v", outVol.Decisions())
+	}
+
+	outBW, err := MinBWSlots().Schedule(net, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outBW.Decision(1).Accepted || outBW.Decision(0).Accepted {
+		t.Errorf("minbw decisions = %+v", outBW.Decisions())
+	}
+}
+
+// TestSlotsRollback: a request that survives its first interval but loses
+// a later one must be fully discarded (no partial allocation in the final
+// outcome) — and the outcome must still verify.
+func TestSlotsRollback(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	// Request 0 spans [0, 100) at 500 MB/s.
+	// Request 1 spans [50, 150) at 400 MB/s (fits alongside 0).
+	// Request 2 spans [50, 150) at 300 MB/s (950+300 > 1000 in [50,100)).
+	reqs := request.MustNewSet([]request.Request{
+		rigidReq(0, 0, 0, 0, 100, 500*units.MBps),
+		rigidReq(1, 0, 0, 50, 150, 400*units.MBps),
+		rigidReq(2, 0, 0, 50, 150, 300*units.MBps),
+	})
+	out, err := MinBWSlots().Schedule(net, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In [50,100): order by bw → r2 (300) then r1 (400) then r0's 500.
+	// 300+400+500 > 1000, so r0 — despite owning [0,50) — is evicted.
+	if out.Decision(0).Accepted {
+		t.Error("request 0 accepted despite losing interval [50,100)")
+	}
+	if !out.Decision(1).Accepted || !out.Decision(2).Accepted {
+		t.Error("cheap requests rejected")
+	}
+	if err := out.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCumulatedProtectsAgainstThatEviction is the contrast case: with the
+// cumulated cost, request 0 has accumulated priority by [50,100) and
+// survives, showing exactly the behaviour §4.4 credits CUMULATED-SLOTS
+// with.
+func TestCumulatedProtectsAgainstThatEviction(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	reqs := request.MustNewSet([]request.Request{
+		rigidReq(0, 0, 0, 0, 100, 500*units.MBps),
+		rigidReq(1, 0, 0, 50, 150, 400*units.MBps),
+		rigidReq(2, 0, 0, 50, 150, 300*units.MBps),
+	})
+	out, err := CumulatedSlots().Schedule(net, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Decision(0).Accepted {
+		t.Error("cumulated-slots evicted the long-running request")
+	}
+	if err := out.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroCapacityPointHandled(t *testing.T) {
+	net, err := topology.New(topology.Config{
+		Ingress: []units.Bandwidth{0, 1 * units.GBps},
+		Egress:  []units.Bandwidth{1 * units.GBps},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := request.MustNewSet([]request.Request{
+		rigidReq(0, 0, 0, 0, 100, 100*units.MBps), // ingress 0 is dead
+		rigidReq(1, 1, 0, 0, 100, 100*units.MBps),
+	})
+	for _, s := range allSchedulers() {
+		out, err := s.Schedule(net, reqs)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if out.Decision(0).Accepted {
+			t.Errorf("%s accepted request through zero-capacity ingress", s.Name())
+		}
+		if !out.Decision(1).Accepted {
+			t.Errorf("%s rejected feasible request", s.Name())
+		}
+	}
+}
+
+func TestEmptyRequestSet(t *testing.T) {
+	net := topology.Uniform(2, 2, 1*units.GBps)
+	empty := request.MustNewSet(nil)
+	for _, s := range allSchedulers() {
+		out, err := s.Schedule(net, empty)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if out.AcceptedCount() != 0 {
+			t.Errorf("%s accepted requests from empty set", s.Name())
+		}
+	}
+}
+
+func TestNewSlotsPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSlots with nil cost did not panic")
+		}
+	}()
+	NewSlots("x", nil)
+}
+
+// TestEveryOutcomeFeasibleProperty: on random paper workloads every rigid
+// heuristic produces a feasible outcome (equation 1 plus request bounds).
+func TestEveryOutcomeFeasibleProperty(t *testing.T) {
+	cfg := workload.Default(workload.Rigid)
+	cfg.Horizon = 300 // keep instances small for the property loop
+	f := func(seed int64) bool {
+		reqs, err := cfg.Generate(seed)
+		if err != nil {
+			return false
+		}
+		net := cfg.Network()
+		for _, s := range allSchedulers() {
+			out, err := s.Schedule(net, reqs)
+			if err != nil {
+				return false
+			}
+			if out.Verify() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSlotsBeatFCFSOnLoadedWorkload pins the headline Figure-4 ordering:
+// under significant load the slot heuristics accept strictly more than
+// FCFS, and FCFS collapses.
+func TestSlotsBeatFCFSOnLoadedWorkload(t *testing.T) {
+	cfg := workload.Default(workload.Rigid).WithLoad(3)
+	cfg.Horizon = 1000
+	reqs, err := cfg.Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := cfg.Network()
+	rates := map[string]float64{}
+	for _, s := range allSchedulers() {
+		out, err := s.Schedule(net, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rates[s.Name()] = out.AcceptRate()
+	}
+	if rates["cumulated-slots"] <= rates["fcfs"] {
+		t.Errorf("cumulated-slots (%.3f) not better than fcfs (%.3f)",
+			rates["cumulated-slots"], rates["fcfs"])
+	}
+	if rates["minbw-slots"] <= rates["fcfs"] {
+		t.Errorf("minbw-slots (%.3f) not better than fcfs (%.3f)",
+			rates["minbw-slots"], rates["fcfs"])
+	}
+	t.Logf("accept rates under load 3: %v", rates)
+}
+
+func TestRejectionReasonsPopulated(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	reqs := request.MustNewSet([]request.Request{
+		rigidReq(0, 0, 0, 0, 100, 800*units.MBps),
+		rigidReq(1, 0, 0, 0, 100, 800*units.MBps),
+	})
+	for _, s := range allSchedulers() {
+		out, err := s.Schedule(net, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range out.Decisions() {
+			if !d.Accepted && !strings.Contains(d.Reason, "capacity") {
+				t.Errorf("%s: rejection reason %q lacks cause", s.Name(), d.Reason)
+			}
+		}
+	}
+}

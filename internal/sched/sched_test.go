@@ -1,0 +1,163 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"gridbw/internal/request"
+	"gridbw/internal/topology"
+	"gridbw/internal/units"
+)
+
+func testSetup() (*topology.Network, *request.Set) {
+	net := topology.Uniform(2, 2, 1*units.GBps)
+	reqs := request.MustNewSet([]request.Request{
+		{ID: 0, Ingress: 0, Egress: 1, Start: 0, Finish: 100, Volume: 50 * units.GB, MaxRate: 1 * units.GBps},
+		{ID: 1, Ingress: 1, Egress: 0, Start: 50, Finish: 150, Volume: 40 * units.GB, MaxRate: 1 * units.GBps},
+		{ID: 2, Ingress: 0, Egress: 0, Start: 0, Finish: 200, Volume: 100 * units.GB, MaxRate: 800 * units.MBps},
+	})
+	return net, reqs
+}
+
+func TestOutcomeLifecycle(t *testing.T) {
+	net, reqs := testSetup()
+	o := NewOutcome("test", net, reqs)
+	for _, d := range o.Decisions() {
+		if d.Accepted || d.Reason != "undecided" {
+			t.Fatalf("fresh outcome decision = %+v", d)
+		}
+	}
+	if o.AcceptedCount() != 0 || o.AcceptRate() != 0 {
+		t.Error("fresh outcome not empty")
+	}
+
+	r0 := reqs.Get(0)
+	g0, err := request.NewGrant(r0, r0.Start, 500*units.MBps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Accept(g0)
+	o.Reject(1, "test rejection")
+
+	if !o.Decision(0).Accepted {
+		t.Error("accept not recorded")
+	}
+	if d := o.Decision(1); d.Accepted || d.Reason != "test rejection" {
+		t.Error("reject not recorded")
+	}
+	if o.AcceptedCount() != 1 {
+		t.Errorf("AcceptedCount = %d", o.AcceptedCount())
+	}
+	if got := o.AcceptRate(); !units.ApproxEq(got, 1.0/3.0) {
+		t.Errorf("AcceptRate = %v", got)
+	}
+	acc := o.Accepted()
+	if len(acc) != 1 || acc[0] != 0 {
+		t.Errorf("Accepted = %v", acc)
+	}
+	if gs := o.Grants(); len(gs) != 1 || gs[0].Request != 0 {
+		t.Errorf("Grants = %v", gs)
+	}
+}
+
+func TestDecisionsCopy(t *testing.T) {
+	net, reqs := testSetup()
+	o := NewOutcome("test", net, reqs)
+	ds := o.Decisions()
+	ds[0].Accepted = true
+	if o.Decision(0).Accepted {
+		t.Error("Decisions leaked internal slice")
+	}
+}
+
+func TestVerifyAcceptsFeasible(t *testing.T) {
+	net, reqs := testSetup()
+	o := NewOutcome("test", net, reqs)
+	for _, id := range []request.ID{0, 1, 2} {
+		r := reqs.Get(id)
+		g, err := request.NewGrant(r, r.Start, r.MinRate())
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.Accept(g)
+	}
+	if err := o.Verify(); err != nil {
+		t.Errorf("feasible outcome rejected: %v", err)
+	}
+}
+
+func TestVerifyCatchesOverCapacity(t *testing.T) {
+	net := topology.Uniform(1, 1, 1*units.GBps)
+	reqs := request.MustNewSet([]request.Request{
+		{ID: 0, Start: 0, Finish: 100, Volume: 70 * units.GB, MaxRate: 1 * units.GBps},
+		{ID: 1, Start: 0, Finish: 100, Volume: 70 * units.GB, MaxRate: 1 * units.GBps},
+	})
+	o := NewOutcome("bad", net, reqs)
+	for _, id := range []request.ID{0, 1} {
+		r := reqs.Get(id)
+		g, err := request.NewGrant(r, r.Start, r.MinRate()) // 700 MB/s each
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.Accept(g)
+	}
+	err := o.Verify()
+	if err == nil {
+		t.Fatal("over-capacity outcome verified")
+	}
+	if !strings.Contains(err.Error(), "capacity") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestVerifyCatchesRateCapViolation(t *testing.T) {
+	net, reqs := testSetup()
+	o := NewOutcome("bad", net, reqs)
+	r := reqs.Get(2) // MaxRate 800 MB/s
+	// Forge a grant above MaxRate, bypassing NewGrant's checks.
+	g := request.Grant{Request: 2, Bandwidth: 900 * units.MBps, Sigma: r.Start,
+		Tau: r.Start + r.Volume.Over(900*units.MBps)}
+	o.Accept(g)
+	if err := o.Verify(); err == nil {
+		t.Fatal("rate-cap violation verified")
+	}
+}
+
+func TestVerifyCatchesWindowViolation(t *testing.T) {
+	net, reqs := testSetup()
+	o := NewOutcome("bad", net, reqs)
+	r := reqs.Get(0)
+	g := request.Grant{Request: 0, Bandwidth: 500 * units.MBps,
+		Sigma: r.Start - 10, Tau: r.Start - 10 + r.Volume.Over(500*units.MBps)}
+	o.Accept(g)
+	if err := o.Verify(); err == nil {
+		t.Fatal("early-start outcome verified")
+	}
+
+	o2 := NewOutcome("bad2", net, reqs)
+	g2 := request.Grant{Request: 0, Bandwidth: 400 * units.MBps,
+		Sigma: r.Start, Tau: r.Start + r.Volume.Over(400*units.MBps)} // 125 s > 100 s window
+	o2.Accept(g2)
+	if err := o2.Verify(); err == nil {
+		t.Fatal("deadline-miss outcome verified")
+	}
+}
+
+func TestVerifyCatchesVolumeMismatch(t *testing.T) {
+	net, reqs := testSetup()
+	o := NewOutcome("bad", net, reqs)
+	r := reqs.Get(0)
+	// Grant that transfers only half the volume.
+	g := request.Grant{Request: 0, Bandwidth: 500 * units.MBps, Sigma: r.Start, Tau: r.Start + 50}
+	o.Accept(g)
+	if err := o.Verify(); err == nil {
+		t.Fatal("volume-mismatch outcome verified")
+	}
+}
+
+func TestVerifyEmptyOutcome(t *testing.T) {
+	net, reqs := testSetup()
+	if err := NewOutcome("empty", net, reqs).Verify(); err != nil {
+		t.Errorf("empty outcome rejected: %v", err)
+	}
+}

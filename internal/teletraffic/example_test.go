@@ -1,0 +1,23 @@
+package teletraffic_test
+
+import (
+	"fmt"
+	"log"
+
+	"gridbw/internal/teletraffic"
+)
+
+// ExampleKaufmanRoberts computes multirate blocking on one 10-unit link
+// shared by thin and wide reservations.
+func ExampleKaufmanRoberts() {
+	blocking, err := teletraffic.KaufmanRoberts(10, []teletraffic.Class{
+		{Units: 1, Erlangs: 4}, // thin flows
+		{Units: 5, Erlangs: 1}, // wide flows
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("thin blocking %.3f, wide blocking %.3f\n", blocking[0], blocking[1])
+	// Output:
+	// thin blocking 0.095, wide blocking 0.552
+}

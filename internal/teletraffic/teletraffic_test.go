@@ -1,0 +1,181 @@
+package teletraffic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gridbw/internal/rng"
+)
+
+// erlangB computes the classic single-rate Erlang-B blocking via the
+// standard recursion, as an independent reference.
+func erlangB(servers int, erlangs float64) float64 {
+	b := 1.0
+	for n := 1; n <= servers; n++ {
+		b = erlangs * b / (float64(n) + erlangs*b)
+	}
+	return b
+}
+
+func TestKaufmanRobertsMatchesErlangB(t *testing.T) {
+	// Single class with unit demand: Kaufman-Roberts must reproduce
+	// Erlang-B exactly.
+	for _, tc := range []struct {
+		capacity int
+		erlangs  float64
+	}{
+		{1, 0.5}, {5, 3}, {10, 8}, {20, 25}, {50, 40},
+	} {
+		got, err := KaufmanRoberts(tc.capacity, []Class{{Units: 1, Erlangs: tc.erlangs}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := erlangB(tc.capacity, tc.erlangs)
+		if math.Abs(got[0]-want) > 1e-12 {
+			t.Errorf("C=%d a=%g: KR=%.12f ErlangB=%.12f", tc.capacity, tc.erlangs, got[0], want)
+		}
+	}
+}
+
+func TestKaufmanRobertsKnownMultirate(t *testing.T) {
+	// C=2, one class with b=2, a=1: only states 0 and 2 are reachable.
+	// q(0)=1, q(1)=0, q(2)=(1/2)(1·2·q(0))=1. Blocking = q(1)+q(2) over
+	// total = 1/2.
+	got, err := KaufmanRoberts(2, []Class{{Units: 2, Erlangs: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-0.5) > 1e-12 {
+		t.Errorf("blocking = %v, want 0.5", got[0])
+	}
+}
+
+func TestKaufmanRobertsWideClassAlwaysBlockedMore(t *testing.T) {
+	classes := []Class{
+		{Units: 1, Erlangs: 4},
+		{Units: 5, Erlangs: 1},
+	}
+	b, err := KaufmanRoberts(10, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[1] <= b[0] {
+		t.Errorf("wide class blocked less: %v vs %v", b[1], b[0])
+	}
+}
+
+func TestKaufmanRobertsValidation(t *testing.T) {
+	if _, err := KaufmanRoberts(0, []Class{{Units: 1, Erlangs: 1}}); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := KaufmanRoberts(5, []Class{{Units: 0, Erlangs: 1}}); err == nil {
+		t.Error("zero demand accepted")
+	}
+	if _, err := KaufmanRoberts(5, []Class{{Units: 1, Erlangs: -1}}); err == nil {
+		t.Error("negative traffic accepted")
+	}
+}
+
+func TestKaufmanRobertsZeroTraffic(t *testing.T) {
+	b, err := KaufmanRoberts(5, []Class{{Units: 2, Erlangs: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 0 {
+		t.Errorf("zero traffic blocked: %v", b[0])
+	}
+}
+
+// TestKaufmanRobertsMonotoneInLoad: blocking grows with offered traffic.
+func TestKaufmanRobertsMonotoneInLoad(t *testing.T) {
+	f := func(seed int64) bool {
+		src := rng.New(seed)
+		capacity := src.Intn(40) + 5
+		units := src.Intn(4) + 1
+		a := src.Uniform(0.5, 20)
+		b1, err := KaufmanRoberts(capacity, []Class{{Units: units, Erlangs: a}})
+		if err != nil {
+			return false
+		}
+		b2, err := KaufmanRoberts(capacity, []Class{{Units: units, Erlangs: a * 1.5}})
+		if err != nil {
+			return false
+		}
+		return b2[0] >= b1[0]-1e-12 && b1[0] >= 0 && b2[0] <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairSystemSolveSymmetric(t *testing.T) {
+	// Symmetric two-sided system: acceptance ≈ (1−B)² for the one-link
+	// blocking B at the thinned load. Sanity: acceptance in (0,1) and
+	// below the single-link acceptance.
+	sys := PairSystem{
+		CapacityUnits: 10,
+		In:            2, Out: 2,
+		Classes: []Class{{Units: 1, Erlangs: 16}}, // 8 Erlangs per link before thinning
+	}
+	res, err := sys.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AcceptRate <= 0 || res.AcceptRate >= 1 {
+		t.Fatalf("accept = %v", res.AcceptRate)
+	}
+	oneSide, err := KaufmanRoberts(10, []Class{{Units: 1, Erlangs: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AcceptRate > (1-oneSide[0])+1e-9 {
+		t.Errorf("two-sided acceptance %v above single-link %v", res.AcceptRate, 1-oneSide[0])
+	}
+	if res.Iterations < 2 {
+		t.Errorf("fixed point converged suspiciously fast: %d", res.Iterations)
+	}
+}
+
+func TestPairSystemLightLoadAcceptsAll(t *testing.T) {
+	sys := PairSystem{
+		CapacityUnits: 100,
+		In:            10, Out: 10,
+		Classes: []Class{{Units: 1, Erlangs: 5}},
+	}
+	res, err := sys.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AcceptRate < 0.999 {
+		t.Errorf("light load acceptance = %v", res.AcceptRate)
+	}
+}
+
+func TestPairSystemValidation(t *testing.T) {
+	if _, err := (PairSystem{CapacityUnits: 10, In: 0, Out: 1, Classes: []Class{{Units: 1, Erlangs: 1}}}).Solve(); err == nil {
+		t.Error("zero links accepted")
+	}
+	if _, err := (PairSystem{CapacityUnits: 10, In: 1, Out: 1}).Solve(); err == nil {
+		t.Error("no classes accepted")
+	}
+}
+
+func TestWeightedAccept(t *testing.T) {
+	got, err := WeightedAccept([]float64{1, 0}, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("weighted = %v", got)
+	}
+	if _, err := WeightedAccept([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := WeightedAccept([]float64{1}, []float64{-1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := WeightedAccept([]float64{1}, []float64{0}); err == nil {
+		t.Error("zero weight total accepted")
+	}
+}

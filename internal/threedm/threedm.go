@@ -1,0 +1,274 @@
+// Package threedm implements 3-Dimensional Matching and the Theorem-1
+// reduction of the paper.
+//
+// 3-DM: given disjoint sets X, Y, Z of cardinality n and triples
+// T ⊆ X×Y×Z, decide whether T contains a matching T' of n triples with no
+// two agreeing in any coordinate. The paper reduces 3-DM to
+// MAX-REQUESTS-DEC — scheduling uniform unit requests on an (n+1)×(n+1)
+// platform — to prove the bandwidth-sharing problem NP-complete. This
+// package provides the instance type, a brute-force matcher (ground
+// truth), random instance generators, the reduction B1 → B2, and the
+// solution mappings in both directions, so the equivalence can be property
+// tested (Table T2 of DESIGN.md).
+package threedm
+
+import (
+	"fmt"
+
+	"gridbw/internal/exact"
+	"gridbw/internal/rng"
+)
+
+// Triple is one element of T, with 0-based coordinates in [0, n).
+type Triple struct {
+	X, Y, Z int
+}
+
+// Instance is a 3-DM instance.
+type Instance struct {
+	N       int
+	Triples []Triple
+}
+
+// Validate checks coordinate ranges.
+func (inst Instance) Validate() error {
+	if inst.N <= 0 {
+		return fmt.Errorf("threedm: non-positive n %d", inst.N)
+	}
+	for i, t := range inst.Triples {
+		if t.X < 0 || t.X >= inst.N || t.Y < 0 || t.Y >= inst.N || t.Z < 0 || t.Z >= inst.N {
+			return fmt.Errorf("threedm: triple %d = %+v out of range [0,%d)", i, t, inst.N)
+		}
+	}
+	return nil
+}
+
+// IsMatching reports whether the triple indices in sel form a perfect
+// matching: exactly n triples, no coordinate repeated.
+func (inst Instance) IsMatching(sel []int) bool {
+	if len(sel) != inst.N {
+		return false
+	}
+	var ux, uy, uz = make([]bool, inst.N), make([]bool, inst.N), make([]bool, inst.N)
+	for _, idx := range sel {
+		if idx < 0 || idx >= len(inst.Triples) {
+			return false
+		}
+		t := inst.Triples[idx]
+		if ux[t.X] || uy[t.Y] || uz[t.Z] {
+			return false
+		}
+		ux[t.X], uy[t.Y], uz[t.Z] = true, true, true
+	}
+	return true
+}
+
+// BruteForce searches for a perfect matching by depth-first search over
+// the Z coordinate; it returns the triple indices of one matching and
+// whether one exists. Intended for small n (the search is exponential —
+// that is the point of the reduction).
+func (inst Instance) BruteForce() ([]int, bool) {
+	if inst.Validate() != nil {
+		return nil, false
+	}
+	// Index triples by Z so each DFS level only scans candidates for one z.
+	byZ := make([][]int, inst.N)
+	for i, t := range inst.Triples {
+		byZ[t.Z] = append(byZ[t.Z], i)
+	}
+	usedX := make([]bool, inst.N)
+	usedY := make([]bool, inst.N)
+	sel := make([]int, 0, inst.N)
+	var dfs func(z int) bool
+	dfs = func(z int) bool {
+		if z == inst.N {
+			return true
+		}
+		for _, idx := range byZ[z] {
+			t := inst.Triples[idx]
+			if usedX[t.X] || usedY[t.Y] {
+				continue
+			}
+			usedX[t.X], usedY[t.Y] = true, true
+			sel = append(sel, idx)
+			if dfs(z + 1) {
+				return true
+			}
+			sel = sel[:len(sel)-1]
+			usedX[t.X], usedY[t.Y] = false, false
+		}
+		return false
+	}
+	if dfs(0) {
+		return sel, true
+	}
+	return nil, false
+}
+
+// RandomPlanted generates an instance that is guaranteed to contain a
+// matching: n triples formed from two random permutations, plus extra
+// random triples as noise.
+func RandomPlanted(n, extra int, seed int64) Instance {
+	src := rng.New(seed)
+	px := src.Perm(n)
+	py := src.Perm(n)
+	inst := Instance{N: n}
+	for k := 0; k < n; k++ {
+		inst.Triples = append(inst.Triples, Triple{X: px[k], Y: py[k], Z: k})
+	}
+	for i := 0; i < extra; i++ {
+		inst.Triples = append(inst.Triples, Triple{X: src.Intn(n), Y: src.Intn(n), Z: src.Intn(n)})
+	}
+	rng.Shuffle(src, inst.Triples)
+	return inst
+}
+
+// Random generates an instance with m uniformly random triples; it may or
+// may not contain a matching.
+func Random(n, m int, seed int64) Instance {
+	src := rng.New(seed)
+	inst := Instance{N: n}
+	for i := 0; i < m; i++ {
+		inst.Triples = append(inst.Triples, Triple{X: src.Intn(n), Y: src.Intn(n), Z: src.Intn(n)})
+	}
+	return inst
+}
+
+// Reduction is the Theorem-1 construction B1 → B2.
+type Reduction struct {
+	Source Instance
+	// Unit is the scheduling instance: n+1 ingress and egress points
+	// (point n is the special one with capacity n−1), n time steps.
+	Unit exact.UnitInstance
+	// K is the acceptance target: the 3-DM instance has a matching iff
+	// at least K requests of Unit can be accepted.
+	K int
+	// RegularOf maps unit-request index → triple index for the first |T|
+	// (regular) requests; special requests map to -1.
+	RegularOf []int
+}
+
+// Reduce builds the Theorem-1 scheduling instance from a 3-DM instance.
+// Using 0-based steps: the regular request of triple (x, y, z) occupies
+// ingress x, egress y at exactly step z; each regular point gets n−1
+// flexible special requests to/from the special point, free to pick any
+// step.
+func Reduce(inst Instance) (*Reduction, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	n := inst.N
+	red := &Reduction{Source: inst}
+	capIn := make([]int, n+1)
+	capOut := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		capIn[i], capOut[i] = 1, 1
+	}
+	capIn[n], capOut[n] = n-1, n-1
+
+	var reqs []exact.UnitRequest
+	var regularOf []int
+	for idx, t := range inst.Triples {
+		reqs = append(reqs, exact.UnitRequest{
+			Ingress: t.X, Egress: t.Y, Release: t.Z, Deadline: t.Z + 1,
+		})
+		regularOf = append(regularOf, idx)
+	}
+	for i := 0; i < n; i++ {
+		for c := 0; c < n-1; c++ {
+			reqs = append(reqs, exact.UnitRequest{Ingress: i, Egress: n, Release: 0, Deadline: n})
+			regularOf = append(regularOf, -1)
+		}
+	}
+	for e := 0; e < n; e++ {
+		for c := 0; c < n-1; c++ {
+			reqs = append(reqs, exact.UnitRequest{Ingress: n, Egress: e, Release: 0, Deadline: n})
+			regularOf = append(regularOf, -1)
+		}
+	}
+	red.Unit = exact.UnitInstance{CapIn: capIn, CapOut: capOut, Requests: reqs, Steps: n}
+	red.K = n + 2*n*(n-1)
+	red.RegularOf = regularOf
+	return red, nil
+}
+
+// ExtractMatching recovers a 3-DM matching from a scheduling assignment
+// that accepts at least K requests, following the converse direction of
+// the Theorem-1 proof: the accepted regular requests form the matching.
+func (red *Reduction) ExtractMatching(a exact.UnitAssignment) ([]int, error) {
+	if len(a) < red.K {
+		return nil, fmt.Errorf("threedm: assignment accepts %d < K = %d", len(a), red.K)
+	}
+	var sel []int
+	for idx := range a {
+		if red.RegularOf[idx] >= 0 {
+			sel = append(sel, red.RegularOf[idx])
+		}
+	}
+	if !red.Source.IsMatching(sel) {
+		return nil, fmt.Errorf("threedm: accepted regular requests do not form a matching (%d of n=%d)",
+			len(sel), red.Source.N)
+	}
+	return sel, nil
+}
+
+// ScheduleFromMatching builds a feasible assignment accepting exactly K
+// requests from a matching, following the forward direction of the proof:
+// at step z schedule the matching triple's regular request plus one
+// special request from every other ingress and to every other egress.
+func (red *Reduction) ScheduleFromMatching(sel []int) (exact.UnitAssignment, error) {
+	if !red.Source.IsMatching(sel) {
+		return nil, fmt.Errorf("threedm: not a matching")
+	}
+	n := red.Source.N
+	a := exact.UnitAssignment{}
+	// Triple chosen for each step z.
+	tripleAt := make([]Triple, n)
+	for _, idx := range sel {
+		t := red.Source.Triples[idx]
+		tripleAt[t.Z] = t
+		// Find the regular request of this triple.
+		for u, src := range red.RegularOf {
+			if src == idx {
+				a[u] = t.Z
+				break
+			}
+		}
+	}
+	// Special requests: ingress i sends its n−1 requests at every step
+	// except the one where i is the matched ingress; similarly for egress.
+	specialIn := make([][]int, n)  // request indices per ingress
+	specialOut := make([][]int, n) // request indices per egress
+	for u, src := range red.RegularOf {
+		if src >= 0 {
+			continue
+		}
+		r := red.Unit.Requests[u]
+		if r.Egress == n {
+			specialIn[r.Ingress] = append(specialIn[r.Ingress], u)
+		} else {
+			specialOut[r.Egress] = append(specialOut[r.Egress], u)
+		}
+	}
+	for i := 0; i < n; i++ {
+		k := 0
+		for z := 0; z < n; z++ {
+			if tripleAt[z].X == i {
+				continue // ingress i carries the regular request at z
+			}
+			a[specialIn[i][k]] = z
+			k++
+		}
+	}
+	for e := 0; e < n; e++ {
+		k := 0
+		for z := 0; z < n; z++ {
+			if tripleAt[z].Y == e {
+				continue
+			}
+			a[specialOut[e][k]] = z
+			k++
+		}
+	}
+	return a, nil
+}

@@ -1,0 +1,221 @@
+package threedm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gridbw/internal/exact"
+	"gridbw/internal/rng"
+)
+
+func TestValidate(t *testing.T) {
+	good := Instance{N: 2, Triples: []Triple{{0, 1, 0}, {1, 0, 1}}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Instance{N: 0}).Validate(); err == nil {
+		t.Error("n=0 validated")
+	}
+	if err := (Instance{N: 2, Triples: []Triple{{2, 0, 0}}}).Validate(); err == nil {
+		t.Error("out-of-range triple validated")
+	}
+}
+
+func TestIsMatching(t *testing.T) {
+	inst := Instance{N: 2, Triples: []Triple{{0, 1, 0}, {1, 0, 1}, {0, 0, 1}}}
+	if !inst.IsMatching([]int{0, 1}) {
+		t.Error("valid matching rejected")
+	}
+	if inst.IsMatching([]int{0, 2}) {
+		t.Error("X-coordinate clash accepted")
+	}
+	if inst.IsMatching([]int{0}) {
+		t.Error("undersized selection accepted")
+	}
+	if inst.IsMatching([]int{0, 7}) {
+		t.Error("bad index accepted")
+	}
+}
+
+func TestBruteForceFindsPlanted(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		for seed := int64(0); seed < 5; seed++ {
+			inst := RandomPlanted(n, n, seed)
+			sel, ok := inst.BruteForce()
+			if !ok {
+				t.Fatalf("n=%d seed=%d: planted matching not found", n, seed)
+			}
+			if !inst.IsMatching(sel) {
+				t.Fatalf("n=%d seed=%d: returned selection is not a matching", n, seed)
+			}
+		}
+	}
+}
+
+func TestBruteForceNoMatching(t *testing.T) {
+	// All triples share x=0: no matching for n >= 2.
+	inst := Instance{N: 2, Triples: []Triple{{0, 0, 0}, {0, 1, 1}, {0, 1, 0}}}
+	if _, ok := inst.BruteForce(); ok {
+		t.Error("matching found where none exists")
+	}
+	// Empty triple set.
+	if _, ok := (Instance{N: 2}).BruteForce(); ok {
+		t.Error("matching found in empty T")
+	}
+}
+
+func TestReduceShape(t *testing.T) {
+	inst := RandomPlanted(3, 4, 1)
+	red, err := Reduce(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := inst.N
+	if got := len(red.Unit.Requests); got != len(inst.Triples)+2*n*(n-1) {
+		t.Errorf("request count = %d, want |T| + 2n(n-1) = %d", got, len(inst.Triples)+2*n*(n-1))
+	}
+	if red.K != n+2*n*(n-1) {
+		t.Errorf("K = %d", red.K)
+	}
+	if len(red.Unit.CapIn) != n+1 || len(red.Unit.CapOut) != n+1 {
+		t.Error("platform size wrong")
+	}
+	for i := 0; i < n; i++ {
+		if red.Unit.CapIn[i] != 1 || red.Unit.CapOut[i] != 1 {
+			t.Error("regular point capacity != 1")
+		}
+	}
+	if red.Unit.CapIn[n] != n-1 || red.Unit.CapOut[n] != n-1 {
+		t.Error("special point capacity != n-1")
+	}
+	if err := red.Unit.Validate(); err != nil {
+		t.Errorf("reduced instance invalid: %v", err)
+	}
+	// Regular requests are rigid (window 1) and map back to their triples.
+	for u, src := range red.RegularOf {
+		r := red.Unit.Requests[u]
+		if src >= 0 {
+			tr := inst.Triples[src]
+			if r.Ingress != tr.X || r.Egress != tr.Y || r.Release != tr.Z || r.Window() != 1 {
+				t.Errorf("regular request %d mismatched with triple %+v", u, tr)
+			}
+		} else if r.Window() != inst.N {
+			t.Errorf("special request %d window %d, want n", u, r.Window())
+		}
+	}
+}
+
+func TestReduceRejectsInvalid(t *testing.T) {
+	if _, err := Reduce(Instance{N: 0}); err == nil {
+		t.Error("invalid instance reduced")
+	}
+}
+
+func TestScheduleFromMatchingForward(t *testing.T) {
+	inst := RandomPlanted(4, 6, 3)
+	red, err := Reduce(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, ok := inst.BruteForce()
+	if !ok {
+		t.Fatal("no matching in planted instance")
+	}
+	a, err := red.ScheduleFromMatching(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := exact.VerifyUnit(red.Unit, a)
+	if err != nil {
+		t.Fatalf("forward schedule infeasible: %v", err)
+	}
+	if got != red.K {
+		t.Errorf("forward schedule accepts %d, want K = %d", got, red.K)
+	}
+}
+
+func TestScheduleFromMatchingRejectsNonMatching(t *testing.T) {
+	inst := Instance{N: 2, Triples: []Triple{{0, 0, 0}, {0, 1, 1}}}
+	red, err := Reduce(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := red.ScheduleFromMatching([]int{0, 1}); err == nil {
+		t.Error("non-matching accepted")
+	}
+}
+
+func TestExtractMatchingConverse(t *testing.T) {
+	inst := RandomPlanted(3, 5, 7)
+	red, err := Reduce(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, a, err := exact.MaxUnit(red.Unit, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt < red.K {
+		t.Fatalf("optimum %d < K %d on an instance with a planted matching", opt, red.K)
+	}
+	sel, err := red.ExtractMatching(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst.IsMatching(sel) {
+		t.Error("extracted selection not a matching")
+	}
+}
+
+func TestExtractMatchingRejectsShortAssignment(t *testing.T) {
+	inst := RandomPlanted(2, 2, 1)
+	red, err := Reduce(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := red.ExtractMatching(exact.UnitAssignment{}); err == nil {
+		t.Error("empty assignment extracted")
+	}
+}
+
+// TestTheoremOneEquivalence is the central property (Table T2): for random
+// instances — planted and not — the 3-DM instance has a matching if and
+// only if the reduced scheduling instance can accept K requests.
+func TestTheoremOneEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		src := rng.New(seed)
+		n := src.Intn(2) + 2 // n in {2,3}; n=4 instances take minutes
+		var inst Instance
+		if src.Bool(0.5) {
+			inst = RandomPlanted(n, src.Intn(2*n), seed)
+		} else {
+			inst = Random(n, src.Intn(3*n)+1, seed)
+		}
+		_, hasMatching := inst.BruteForce()
+		red, err := Reduce(inst)
+		if err != nil {
+			return false
+		}
+		opt, a, err := exact.MaxUnit(red.Unit, 0)
+		if err != nil {
+			return false
+		}
+		if got, err := exact.VerifyUnit(red.Unit, a); err != nil || got != opt {
+			return false
+		}
+		schedulable := opt >= red.K
+		if schedulable != hasMatching {
+			return false
+		}
+		if schedulable {
+			// The converse mapping must recover a real matching.
+			if sel, err := red.ExtractMatching(a); err != nil || !inst.IsMatching(sel) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,30 @@
+package tokenbucket_test
+
+import (
+	"fmt"
+	"log"
+
+	"gridbw/internal/tokenbucket"
+	"gridbw/internal/units"
+)
+
+// ExampleShape enforces a 100 MB/s grant: the compliant sender passes
+// untouched, the 2x cheater loses roughly half its traffic.
+func ExampleShape() {
+	grant := 100 * units.MBps
+	burst := grant.For(1 * units.Second)
+
+	good, err := tokenbucket.Shape(tokenbucket.NewBucket(grant, burst, 0), 0, 100, grant, 10*units.MB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cheat, err := tokenbucket.Shape(tokenbucket.NewBucket(grant, burst, 0), 0, 100, 2*grant, 10*units.MB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compliant: %.0f%% delivered, %d drops\n", 100*good.ConformanceRatio, good.DropEvents)
+	fmt.Printf("cheating:  %.0f%% delivered, %d drops\n", 100*cheat.ConformanceRatio, cheat.DropEvents)
+	// Output:
+	// compliant: 100% delivered, 0 drops
+	// cheating:  50% delivered, 991 drops
+}

@@ -1,0 +1,137 @@
+// Package tokenbucket implements the client-side rate-enforcement
+// substrate of §5.4: "local bandwidth control on the client side (token
+// bucket based) … this control ensures that the bulk data flows are
+// conform to the scheduling, and, if not, that they are automatically
+// dropped so as not to hurt other well behaving TCP flows."
+//
+// A Bucket accumulates tokens (bytes) at the granted rate up to a burst
+// ceiling; each transmission attempt either conforms (consumes tokens) or
+// is dropped and counted. A Shaper drives a bucket over simulated time to
+// compute how much of an offered traffic profile gets through.
+package tokenbucket
+
+import (
+	"fmt"
+
+	"gridbw/internal/units"
+)
+
+// Bucket is a token bucket: Rate tokens (bytes) per second, capped at
+// Burst bytes.
+type Bucket struct {
+	rate   units.Bandwidth
+	burst  units.Volume
+	tokens units.Volume
+	last   units.Time
+
+	conformed units.Volume
+	dropped   units.Volume
+	drops     int
+}
+
+// NewBucket returns a bucket that starts full at time start.
+func NewBucket(rate units.Bandwidth, burst units.Volume, start units.Time) *Bucket {
+	if rate <= 0 {
+		panic(fmt.Sprintf("tokenbucket: non-positive rate %v", rate))
+	}
+	if burst <= 0 {
+		panic(fmt.Sprintf("tokenbucket: non-positive burst %v", burst))
+	}
+	return &Bucket{rate: rate, burst: burst, tokens: burst, last: start}
+}
+
+// Rate reports the refill rate.
+func (b *Bucket) Rate() units.Bandwidth { return b.rate }
+
+// Burst reports the bucket depth.
+func (b *Bucket) Burst() units.Volume { return b.burst }
+
+// refill advances the bucket to time now. Time must not move backwards.
+func (b *Bucket) refill(now units.Time) {
+	if now < b.last {
+		panic(fmt.Sprintf("tokenbucket: time moved backwards (%v < %v)", now, b.last))
+	}
+	b.tokens += b.rate.For(now - b.last)
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+}
+
+// Tokens reports the token level at time now.
+func (b *Bucket) Tokens(now units.Time) units.Volume {
+	b.refill(now)
+	return b.tokens
+}
+
+// Offer presents size bytes at time now. It returns true and consumes
+// tokens when the transmission conforms; otherwise the whole burst is
+// dropped (non-conforming grid flows are dropped, not queued — §5.4).
+func (b *Bucket) Offer(now units.Time, size units.Volume) bool {
+	if size < 0 {
+		panic(fmt.Sprintf("tokenbucket: negative offer %v", size))
+	}
+	b.refill(now)
+	if size <= b.tokens+units.Volume(units.Eps)*b.burst {
+		if size > b.tokens {
+			size = b.tokens
+		}
+		b.tokens -= size
+		b.conformed += size
+		return true
+	}
+	b.dropped += size
+	b.drops++
+	return false
+}
+
+// Conformed reports the total bytes that passed.
+func (b *Bucket) Conformed() units.Volume { return b.conformed }
+
+// Dropped reports the total bytes dropped and the number of drop events.
+func (b *Bucket) Dropped() (units.Volume, int) { return b.dropped, b.drops }
+
+// ShaperReport summarizes a shaping run.
+type ShaperReport struct {
+	// Offered and Delivered are total bytes in and out.
+	Offered, Delivered units.Volume
+	// Dropped is Offered − Delivered.
+	Dropped units.Volume
+	// DropEvents counts rejected transmissions.
+	DropEvents int
+	// ConformanceRatio is Delivered / Offered (1 when nothing offered).
+	ConformanceRatio float64
+}
+
+// Shape runs an offered constant-rate traffic profile through a bucket:
+// a flow that believes it may send at offeredRate emits chunkSize bursts
+// back to back from start for the given duration. It returns the
+// delivery report — for a conforming flow (offeredRate <= bucket rate)
+// everything passes; a cheating flow sees proportional drops.
+func Shape(b *Bucket, start units.Time, duration units.Time, offeredRate units.Bandwidth, chunkSize units.Volume) (ShaperReport, error) {
+	if duration <= 0 || offeredRate <= 0 || chunkSize <= 0 {
+		return ShaperReport{}, fmt.Errorf("tokenbucket: bad shape parameters (dur %v, rate %v, chunk %v)",
+			duration, offeredRate, chunkSize)
+	}
+	interval := chunkSize.Over(offeredRate)
+	// Integer chunk count avoids float accumulation admitting a stray
+	// extra chunk when duration divides the interval exactly.
+	chunks := int(float64(duration)/float64(interval) + units.Eps)
+	var rep ShaperReport
+	for i := 0; i < chunks; i++ {
+		at := start + interval*units.Time(i)
+		rep.Offered += chunkSize
+		if b.Offer(at, chunkSize) {
+			rep.Delivered += chunkSize
+		} else {
+			rep.DropEvents++
+		}
+	}
+	rep.Dropped = rep.Offered - rep.Delivered
+	if rep.Offered > 0 {
+		rep.ConformanceRatio = float64(rep.Delivered) / float64(rep.Offered)
+	} else {
+		rep.ConformanceRatio = 1
+	}
+	return rep, nil
+}

@@ -1,0 +1,172 @@
+package tokenbucket
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gridbw/internal/units"
+)
+
+func TestNewBucketPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewBucket(0, 1, 0) },
+		func() { NewBucket(1, 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad bucket did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestStartsFull(t *testing.T) {
+	b := NewBucket(100*units.MBps, 1*units.GB, 0)
+	if got := b.Tokens(0); got != 1*units.GB {
+		t.Errorf("initial tokens = %v", got)
+	}
+	if b.Rate() != 100*units.MBps || b.Burst() != 1*units.GB {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestRefillCapsAtBurst(t *testing.T) {
+	b := NewBucket(100*units.MBps, 1*units.GB, 0)
+	if !b.Offer(0, 1*units.GB) {
+		t.Fatal("full-burst offer rejected")
+	}
+	// After 5 s only 500 MB refilled.
+	if got := b.Tokens(5); !units.ApproxEq(float64(got), float64(500*units.MB)) {
+		t.Errorf("tokens(5) = %v", got)
+	}
+	// After a long time, capped at burst.
+	if got := b.Tokens(1000); got != 1*units.GB {
+		t.Errorf("tokens(1000) = %v", got)
+	}
+}
+
+func TestOfferConformAndDrop(t *testing.T) {
+	b := NewBucket(100*units.MBps, 100*units.MB, 0)
+	if !b.Offer(0, 100*units.MB) {
+		t.Fatal("conforming offer dropped")
+	}
+	// Bucket empty; immediate second chunk must drop.
+	if b.Offer(0, 100*units.MB) {
+		t.Fatal("non-conforming offer passed")
+	}
+	// One second later 100 MB refilled.
+	if !b.Offer(1, 100*units.MB) {
+		t.Fatal("refilled offer dropped")
+	}
+	if got := b.Conformed(); got != 200*units.MB {
+		t.Errorf("conformed = %v", got)
+	}
+	if vol, n := b.Dropped(); vol != 100*units.MB || n != 1 {
+		t.Errorf("dropped = %v, %d", vol, n)
+	}
+}
+
+func TestTimeBackwardsPanics(t *testing.T) {
+	b := NewBucket(1*units.MBps, 1*units.MB, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards time did not panic")
+		}
+	}()
+	b.Offer(5, 1)
+}
+
+func TestNegativeOfferPanics(t *testing.T) {
+	b := NewBucket(1*units.MBps, 1*units.MB, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative offer did not panic")
+		}
+	}()
+	b.Offer(0, -1)
+}
+
+func TestShapeConformingFlowPassesEverything(t *testing.T) {
+	b := NewBucket(100*units.MBps, 100*units.MB, 0)
+	rep, err := Shape(b, 0, 100, 100*units.MBps, 10*units.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ConformanceRatio != 1 || rep.DropEvents != 0 {
+		t.Errorf("conforming flow: ratio %v, drops %d", rep.ConformanceRatio, rep.DropEvents)
+	}
+	if rep.Offered != 10*units.GB {
+		t.Errorf("offered = %v", rep.Offered)
+	}
+}
+
+func TestShapeCheatingFlowDropsProportionally(t *testing.T) {
+	// Grant 100 MB/s, flow sends at 200 MB/s: about half must drop once
+	// the initial burst is spent.
+	b := NewBucket(100*units.MBps, 50*units.MB, 0)
+	rep, err := Shape(b, 0, 1000, 200*units.MBps, 10*units.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DropEvents == 0 {
+		t.Fatal("cheating flow saw no drops")
+	}
+	if math.Abs(rep.ConformanceRatio-0.5) > 0.05 {
+		t.Errorf("conformance ratio = %v, want ~0.5", rep.ConformanceRatio)
+	}
+}
+
+func TestShapeBadParams(t *testing.T) {
+	b := NewBucket(1*units.MBps, 1*units.MB, 0)
+	if _, err := Shape(b, 0, 0, 1, 1); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := Shape(b, 0, 1, 0, 1); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := Shape(b, 0, 1, 1, 0); err == nil {
+		t.Error("zero chunk accepted")
+	}
+}
+
+// TestNeverExceedsLongTermRate: over any horizon the delivered volume is
+// bounded by burst + rate·time, whatever the offered pattern.
+func TestNeverExceedsLongTermRate(t *testing.T) {
+	f := func(rateMB, burstMB, offeredMB uint8, durS uint16) bool {
+		rate := units.Bandwidth(rateMB%100+1) * units.MBps
+		burst := units.Volume(burstMB%100+1) * units.MB
+		offered := units.Bandwidth(offeredMB%200+1) * units.MBps
+		dur := units.Time(durS%1000 + 1)
+		b := NewBucket(rate, burst, 0)
+		rep, err := Shape(b, 0, dur, offered, 5*units.MB)
+		if err != nil {
+			return false
+		}
+		bound := burst + rate.For(dur)
+		return float64(rep.Delivered) <= float64(bound)*(1+units.Eps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConformingNeverDrops: offered rate at or below the granted rate
+// (with chunk <= burst) never drops.
+func TestConformingNeverDrops(t *testing.T) {
+	f := func(rateMB uint8, durS uint16) bool {
+		rate := units.Bandwidth(rateMB%100+1) * units.MBps
+		b := NewBucket(rate, 10*units.MB, 0)
+		rep, err := Shape(b, 0, units.Time(durS%500+1), rate, 10*units.MB)
+		if err != nil {
+			return false
+		}
+		return rep.DropEvents == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

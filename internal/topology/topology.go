@@ -1,0 +1,239 @@
+// Package topology models the grid overlay network of the paper's §2.
+//
+// The system is a set of grid sites behind edge ("grid overlay") routers
+// that form a fully-meshed overlay over a well-provisioned core. The core
+// is lossless and queue-free with ample capacity, so the only contended
+// resources are the access points: each site has an ingress point with
+// capacity Bin and an egress point with capacity Bout. Transfers are
+// unidirectional and consume capacity at exactly one ingress and one
+// egress point.
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"gridbw/internal/units"
+)
+
+// PointID identifies an access point within its direction class.
+type PointID int
+
+// Direction distinguishes ingress from egress points.
+type Direction int
+
+const (
+	// Ingress points are where traffic enters the overlay.
+	Ingress Direction = iota
+	// Egress points are where traffic leaves the overlay.
+	Egress
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	switch d {
+	case Ingress:
+		return "ingress"
+	case Egress:
+		return "egress"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Point is one access point of the overlay.
+type Point struct {
+	ID       PointID
+	Dir      Direction
+	Capacity units.Bandwidth
+	// Site is the grid site this point belongs to; informational.
+	Site string
+}
+
+// Network is an immutable overlay description: the ingress set I and the
+// egress set E of §2.1 with their capacities.
+type Network struct {
+	ingress []Point
+	egress  []Point
+}
+
+// Config describes a network to build.
+type Config struct {
+	Ingress []units.Bandwidth
+	Egress  []units.Bandwidth
+	// SiteName, if non-nil, labels point i; defaults to "site-<i>".
+	SiteName func(dir Direction, i int) string
+}
+
+// New validates cfg and builds a Network.
+func New(cfg Config) (*Network, error) {
+	if len(cfg.Ingress) == 0 {
+		return nil, fmt.Errorf("topology: no ingress points")
+	}
+	if len(cfg.Egress) == 0 {
+		return nil, fmt.Errorf("topology: no egress points")
+	}
+	name := cfg.SiteName
+	if name == nil {
+		name = func(dir Direction, i int) string { return fmt.Sprintf("site-%d", i) }
+	}
+	n := &Network{}
+	for i, c := range cfg.Ingress {
+		if c < 0 {
+			return nil, fmt.Errorf("topology: ingress %d has negative capacity %v", i, c)
+		}
+		n.ingress = append(n.ingress, Point{ID: PointID(i), Dir: Ingress, Capacity: c, Site: name(Ingress, i)})
+	}
+	for i, c := range cfg.Egress {
+		if c < 0 {
+			return nil, fmt.Errorf("topology: egress %d has negative capacity %v", i, c)
+		}
+		n.egress = append(n.egress, Point{ID: PointID(i), Dir: Egress, Capacity: c, Site: name(Egress, i)})
+	}
+	return n, nil
+}
+
+// Uniform builds the paper's simulation platform (§4.3): m ingress and n
+// egress points, all with capacity c. It panics on invalid arguments; use
+// New for error handling of untrusted configs.
+func Uniform(m, n int, c units.Bandwidth) *Network {
+	cfg := Config{
+		Ingress: make([]units.Bandwidth, m),
+		Egress:  make([]units.Bandwidth, n),
+	}
+	for i := range cfg.Ingress {
+		cfg.Ingress[i] = c
+	}
+	for i := range cfg.Egress {
+		cfg.Egress[i] = c
+	}
+	net, err := New(cfg)
+	if err != nil {
+		panic("topology: " + err.Error())
+	}
+	return net
+}
+
+// NumIngress reports the number of ingress points (M in the paper).
+func (n *Network) NumIngress() int { return len(n.ingress) }
+
+// NumEgress reports the number of egress points (N in the paper).
+func (n *Network) NumEgress() int { return len(n.egress) }
+
+// Bin reports the capacity of ingress point i. It panics on a bad ID.
+func (n *Network) Bin(i PointID) units.Bandwidth {
+	return n.point(Ingress, i).Capacity
+}
+
+// Bout reports the capacity of egress point e. It panics on a bad ID.
+func (n *Network) Bout(e PointID) units.Bandwidth {
+	return n.point(Egress, e).Capacity
+}
+
+// Capacity reports the capacity of the point in the given direction.
+func (n *Network) Capacity(dir Direction, id PointID) units.Bandwidth {
+	return n.point(dir, id).Capacity
+}
+
+// Point returns a copy of the point record.
+func (n *Network) Point(dir Direction, id PointID) Point {
+	return n.point(dir, id)
+}
+
+func (n *Network) point(dir Direction, id PointID) Point {
+	var set []Point
+	switch dir {
+	case Ingress:
+		set = n.ingress
+	case Egress:
+		set = n.egress
+	default:
+		panic(fmt.Sprintf("topology: bad direction %d", dir))
+	}
+	if id < 0 || int(id) >= len(set) {
+		panic(fmt.Sprintf("topology: %v point %d out of range [0,%d)", dir, id, len(set)))
+	}
+	return set[int(id)]
+}
+
+// TotalCapacity reports the sum of all ingress plus all egress capacities —
+// the denominator (before the ½ factor) of the paper's load and
+// RESOURCE-UTIL definitions.
+func (n *Network) TotalCapacity() units.Bandwidth {
+	var sum units.Bandwidth
+	for _, p := range n.ingress {
+		sum += p.Capacity
+	}
+	for _, p := range n.egress {
+		sum += p.Capacity
+	}
+	return sum
+}
+
+// HalfTotalCapacity is ½·TotalCapacity, the paper's scaling denominator.
+func (n *Network) HalfTotalCapacity() units.Bandwidth {
+	return n.TotalCapacity() / 2
+}
+
+// MinPairCapacity reports min(Bin(i), Bout(e)) — the b_min term of the
+// CUMULATED-SLOTS cost factor.
+func (n *Network) MinPairCapacity(i, e PointID) units.Bandwidth {
+	bi, be := n.Bin(i), n.Bout(e)
+	if bi < be {
+		return bi
+	}
+	return be
+}
+
+// Validate re-checks internal invariants; it is cheap and intended for
+// defensive use at API boundaries.
+func (n *Network) Validate() error {
+	if len(n.ingress) == 0 || len(n.egress) == 0 {
+		return fmt.Errorf("topology: empty point set")
+	}
+	for _, p := range n.ingress {
+		if p.Capacity < 0 {
+			return fmt.Errorf("topology: ingress %d negative capacity", p.ID)
+		}
+	}
+	for _, p := range n.egress {
+		if p.Capacity < 0 {
+			return fmt.Errorf("topology: egress %d negative capacity", p.ID)
+		}
+	}
+	return nil
+}
+
+// String summarizes the network, e.g. "overlay[10 in x 10 eg, 20GB/s total]".
+func (n *Network) String() string {
+	return fmt.Sprintf("overlay[%d in x %d eg, %v total]",
+		len(n.ingress), len(n.egress), n.TotalCapacity())
+}
+
+// Pairs enumerates all (ingress, egress) pairs in deterministic order.
+func (n *Network) Pairs() [][2]PointID {
+	out := make([][2]PointID, 0, len(n.ingress)*len(n.egress))
+	for i := range n.ingress {
+		for e := range n.egress {
+			out = append(out, [2]PointID{PointID(i), PointID(e)})
+		}
+	}
+	return out
+}
+
+// Sites reports the distinct site labels, sorted.
+func (n *Network) Sites() []string {
+	seen := map[string]bool{}
+	for _, p := range n.ingress {
+		seen[p.Site] = true
+	}
+	for _, p := range n.egress {
+		seen[p.Site] = true
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

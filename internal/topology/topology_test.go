@@ -1,0 +1,163 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gridbw/internal/units"
+)
+
+func TestUniform(t *testing.T) {
+	n := Uniform(10, 10, 1*units.GBps)
+	if n.NumIngress() != 10 || n.NumEgress() != 10 {
+		t.Fatalf("size = %dx%d", n.NumIngress(), n.NumEgress())
+	}
+	for i := 0; i < 10; i++ {
+		if n.Bin(PointID(i)) != 1*units.GBps {
+			t.Errorf("Bin(%d) = %v", i, n.Bin(PointID(i)))
+		}
+		if n.Bout(PointID(i)) != 1*units.GBps {
+			t.Errorf("Bout(%d) = %v", i, n.Bout(PointID(i)))
+		}
+	}
+	if n.TotalCapacity() != 20*units.GBps {
+		t.Errorf("TotalCapacity = %v", n.TotalCapacity())
+	}
+	if n.HalfTotalCapacity() != 10*units.GBps {
+		t.Errorf("HalfTotalCapacity = %v", n.HalfTotalCapacity())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Egress: []units.Bandwidth{1}}); err == nil {
+		t.Error("empty ingress accepted")
+	}
+	if _, err := New(Config{Ingress: []units.Bandwidth{1}}); err == nil {
+		t.Error("empty egress accepted")
+	}
+	if _, err := New(Config{Ingress: []units.Bandwidth{-1}, Egress: []units.Bandwidth{1}}); err == nil {
+		t.Error("negative ingress capacity accepted")
+	}
+	if _, err := New(Config{Ingress: []units.Bandwidth{1}, Egress: []units.Bandwidth{-1}}); err == nil {
+		t.Error("negative egress capacity accepted")
+	}
+}
+
+func TestHeterogeneous(t *testing.T) {
+	n, err := New(Config{
+		Ingress: []units.Bandwidth{1 * units.GBps, 2 * units.GBps},
+		Egress:  []units.Bandwidth{500 * units.MBps},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Bin(1) != 2*units.GBps {
+		t.Errorf("Bin(1) = %v", n.Bin(1))
+	}
+	if n.Bout(0) != 500*units.MBps {
+		t.Errorf("Bout(0) = %v", n.Bout(0))
+	}
+	if n.MinPairCapacity(1, 0) != 500*units.MBps {
+		t.Errorf("MinPairCapacity = %v", n.MinPairCapacity(1, 0))
+	}
+	if n.MinPairCapacity(0, 0) != 500*units.MBps {
+		t.Errorf("MinPairCapacity = %v", n.MinPairCapacity(0, 0))
+	}
+}
+
+func TestPointAccessors(t *testing.T) {
+	n := Uniform(2, 3, 1*units.GBps)
+	p := n.Point(Egress, 2)
+	if p.Dir != Egress || p.ID != 2 || p.Capacity != 1*units.GBps {
+		t.Errorf("Point = %+v", p)
+	}
+	if n.Capacity(Ingress, 0) != 1*units.GBps {
+		t.Error("Capacity accessor broken")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	n := Uniform(2, 2, 1)
+	for _, f := range []func(){
+		func() { n.Bin(2) },
+		func() { n.Bout(-1) },
+		func() { n.Capacity(Direction(9), 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad access did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPairs(t *testing.T) {
+	n := Uniform(2, 3, 1)
+	pairs := n.Pairs()
+	if len(pairs) != 6 {
+		t.Fatalf("pairs = %d, want 6", len(pairs))
+	}
+	if pairs[0] != [2]PointID{0, 0} || pairs[5] != [2]PointID{1, 2} {
+		t.Errorf("pairs order = %v", pairs)
+	}
+}
+
+func TestSitesAndNames(t *testing.T) {
+	n, err := New(Config{
+		Ingress:  []units.Bandwidth{1, 1},
+		Egress:   []units.Bandwidth{1},
+		SiteName: func(dir Direction, i int) string { return "lyon" },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := n.Sites()
+	if len(sites) != 1 || sites[0] != "lyon" {
+		t.Errorf("Sites = %v", sites)
+	}
+
+	def := Uniform(2, 2, 1)
+	if got := def.Point(Ingress, 1).Site; got != "site-1" {
+		t.Errorf("default site = %q", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := Uniform(10, 10, 1*units.GBps).String()
+	if !strings.Contains(s, "10 in x 10 eg") || !strings.Contains(s, "20GB/s") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Uniform(3, 3, 1).Validate(); err != nil {
+		t.Errorf("valid network rejected: %v", err)
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Ingress.String() != "ingress" || Egress.String() != "egress" {
+		t.Error("direction strings wrong")
+	}
+	if !strings.Contains(Direction(7).String(), "7") {
+		t.Error("unknown direction string")
+	}
+}
+
+func TestTotalCapacityProperty(t *testing.T) {
+	f := func(m8, n8 uint8, capMBRaw uint16) bool {
+		m := int(m8%10) + 1
+		n := int(n8%10) + 1
+		c := units.Bandwidth(capMBRaw%1000+1) * units.MBps
+		net := Uniform(m, n, c)
+		want := units.Bandwidth(float64(m+n)) * c
+		return units.ApproxEq(float64(net.TotalCapacity()), float64(want))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

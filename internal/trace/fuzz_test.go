@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gridbw/internal/workload"
+)
+
+// FuzzLoadWorkload feeds arbitrary bytes to the workload loader: it must
+// either return a valid, fully validated workload or an error — never
+// panic, and never return a set that fails its own invariants.
+func FuzzLoadWorkload(f *testing.F) {
+	// Seed with a genuine artifact plus near-miss corruptions.
+	cfg := workload.Default(workload.Rigid)
+	cfg.Horizon = 30
+	if reqs, err := cfg.Generate(1); err == nil {
+		var buf bytes.Buffer
+		if err := SaveWorkload(&buf, cfg.Network(), reqs, "rigid"); err == nil {
+			valid := buf.String()
+			f.Add(valid)
+			f.Add(strings.Replace(valid, `"version": 1`, `"version": 2`, 1))
+			f.Add(strings.Replace(valid, `"ingress"`, `"ingress!"`, 1))
+			f.Add(valid[:len(valid)/2])
+		}
+	}
+	f.Add(`{}`)
+	f.Add(`{"version":1}`)
+	f.Add(`[]`)
+	f.Add(`{"version":1,"ingress_capacity_bps":[-5],"egress_capacity_bps":[1]}`)
+	f.Add(`{"version":1,"ingress_capacity_bps":[1e9],"egress_capacity_bps":[1e9],
+	       "requests":[{"id":0,"ingress":0,"egress":0,"start_s":1e308,"finish_s":-1e308,
+	                    "volume_bytes":1,"max_rate_bps":1}]}`)
+
+	f.Fuzz(func(t *testing.T, s string) {
+		net, reqs, _, err := LoadWorkload(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		// Anything accepted must satisfy all invariants.
+		if err := net.Validate(); err != nil {
+			t.Fatalf("loader returned invalid network: %v", err)
+		}
+		for _, r := range reqs.All() {
+			if err := r.Validate(); err != nil {
+				t.Fatalf("loader returned invalid request: %v", err)
+			}
+		}
+		// And must round-trip.
+		var buf bytes.Buffer
+		if err := SaveWorkload(&buf, net, reqs, "fuzz"); err != nil {
+			t.Fatalf("accepted workload does not re-save: %v", err)
+		}
+		if _, _, _, err := LoadWorkload(&buf); err != nil {
+			t.Fatalf("re-saved workload does not re-load: %v", err)
+		}
+	})
+}

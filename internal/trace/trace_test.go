@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gridbw/internal/policy"
+	"gridbw/internal/sched/flexible"
+	"gridbw/internal/units"
+	"gridbw/internal/workload"
+)
+
+func TestWorkloadRoundTrip(t *testing.T) {
+	cfg := workload.Default(workload.Flexible)
+	cfg.Horizon = 100
+	reqs, err := cfg.Generate(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := cfg.Network()
+
+	var buf bytes.Buffer
+	if err := SaveWorkload(&buf, net, reqs, "flexible"); err != nil {
+		t.Fatal(err)
+	}
+	net2, reqs2, kind, err := LoadWorkload(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != "flexible" {
+		t.Errorf("kind = %q", kind)
+	}
+	if net2.NumIngress() != net.NumIngress() || net2.NumEgress() != net.NumEgress() {
+		t.Error("platform shape changed")
+	}
+	if net2.TotalCapacity() != net.TotalCapacity() {
+		t.Error("capacities changed")
+	}
+	if reqs2.Len() != reqs.Len() {
+		t.Fatalf("request count %d vs %d", reqs2.Len(), reqs.Len())
+	}
+	for i := 0; i < reqs.Len(); i++ {
+		if reqs.All()[i] != reqs2.All()[i] {
+			t.Fatalf("request %d changed in round trip", i)
+		}
+	}
+}
+
+func TestWorkloadRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := workload.Default(workload.Rigid)
+		cfg.Horizon = 60
+		reqs, err := cfg.Generate(seed)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := SaveWorkload(&buf, cfg.Network(), reqs, "rigid"); err != nil {
+			return false
+		}
+		_, reqs2, _, err := LoadWorkload(&buf)
+		if err != nil {
+			return false
+		}
+		if reqs2.Len() != reqs.Len() {
+			return false
+		}
+		a, b := reqs.All(), reqs2.All()
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoadWorkloadRejectsGarbage(t *testing.T) {
+	if _, _, _, err := LoadWorkload(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, _, _, err := LoadWorkload(strings.NewReader(`{"version": 999}`)); err == nil {
+		t.Error("future version accepted")
+	}
+	// Request routed through a point the platform does not have.
+	bad := `{"version":1,"ingress_capacity_bps":[1e9],"egress_capacity_bps":[1e9],
+	         "requests":[{"id":0,"ingress":5,"egress":0,"start_s":0,"finish_s":10,
+	                      "volume_bytes":1e9,"max_rate_bps":1e9}]}`
+	if _, _, _, err := LoadWorkload(strings.NewReader(bad)); err == nil {
+		t.Error("out-of-range routing accepted")
+	}
+	// Invalid request (empty window).
+	bad2 := `{"version":1,"ingress_capacity_bps":[1e9],"egress_capacity_bps":[1e9],
+	          "requests":[{"id":0,"ingress":0,"egress":0,"start_s":10,"finish_s":10,
+	                       "volume_bytes":1e9,"max_rate_bps":1e9}]}`
+	if _, _, _, err := LoadWorkload(strings.NewReader(bad2)); err == nil {
+		t.Error("invalid request accepted")
+	}
+}
+
+func TestOutcomeRoundTrip(t *testing.T) {
+	cfg := workload.Default(workload.Flexible)
+	cfg.Horizon = 150
+	reqs, err := cfg.Generate(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := cfg.Network()
+	out, err := flexible.Greedy{Policy: policy.FractionMaxRate(0.8)}.Schedule(net, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := SaveOutcome(&buf, out); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadOutcome(&buf, net, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scheduler != out.Scheduler {
+		t.Errorf("scheduler = %q", got.Scheduler)
+	}
+	if got.AcceptedCount() != out.AcceptedCount() {
+		t.Errorf("accepted %d vs %d", got.AcceptedCount(), out.AcceptedCount())
+	}
+	for _, d := range out.Decisions() {
+		gd := got.Decision(d.Request)
+		if gd.Accepted != d.Accepted {
+			t.Fatalf("request %d acceptance changed", d.Request)
+		}
+		if d.Accepted && !units.ApproxEq(float64(gd.Grant.Bandwidth), float64(d.Grant.Bandwidth)) {
+			t.Fatalf("request %d rate changed", d.Request)
+		}
+	}
+}
+
+func TestLoadOutcomeRejectsTampered(t *testing.T) {
+	cfg := workload.Default(workload.Flexible)
+	cfg.Horizon = 100
+	set, err := cfg.Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	network := cfg.Network()
+	out, err := flexible.Greedy{Policy: policy.MinRate()}.Schedule(network, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveOutcome(&buf, out); err != nil {
+		t.Fatal(err)
+	}
+	// Tamper: double every accepted rate — the loaded outcome must fail
+	// verification.
+	tampered := strings.ReplaceAll(buf.String(), `"rate_bps": `, `"rate_bps": 9`)
+	if _, err := LoadOutcome(strings.NewReader(tampered), network, set); err == nil {
+		t.Error("tampered outcome verified")
+	}
+	// Unknown request reference.
+	badReq := `{"version":1,"scheduler":"x","decisions":[{"request":99999,"accepted":false}]}`
+	if _, err := LoadOutcome(strings.NewReader(badReq), network, set); err == nil {
+		t.Error("unknown request accepted")
+	}
+	if _, err := LoadOutcome(strings.NewReader("{"), network, set); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+}

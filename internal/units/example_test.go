@@ -1,0 +1,28 @@
+package units_test
+
+import (
+	"fmt"
+	"log"
+
+	"gridbw/internal/units"
+)
+
+// ExampleVolume_Over derives a transfer time from a volume and a rate.
+func ExampleVolume_Over() {
+	vol := 300 * units.GB
+	rate := 500 * units.MBps
+	fmt.Println(vol.Over(rate))
+	// Output:
+	// 10m
+}
+
+// ExampleParseBandwidth parses operator-facing rate strings.
+func ExampleParseBandwidth() {
+	bw, err := units.ParseBandwidth("10MB/s")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(bw, bw.For(2*units.Minute))
+	// Output:
+	// 10MB/s 1.2GB
+}

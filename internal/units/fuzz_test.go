@@ -1,0 +1,79 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParseVolume checks the parser never panics and that every accepted
+// input round-trips through String within tolerance.
+func FuzzParseVolume(f *testing.F) {
+	for _, seed := range []string{
+		"300GB", "1TB", "1.5TB", "0B", "  10 MB ", "999999999PB",
+		"", "GB", "-5GB", "1.2.3GB", "1e3GB", "10mb", "١٢GB", "1\x00GB",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseVolume(s)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(float64(v)) {
+			t.Fatalf("ParseVolume(%q) = NaN without error", s)
+		}
+		if math.IsInf(float64(v), 0) {
+			return // absurdly large but well-formed inputs may overflow
+		}
+		back, err := ParseVolume(v.String())
+		if err != nil {
+			t.Fatalf("formatted volume %q does not re-parse: %v", v.String(), err)
+		}
+		if !ApproxEq(float64(back), float64(v)) {
+			// String rounds to 3 decimals of the chosen unit; allow that.
+			if rel := math.Abs(float64(back-v)) / math.Max(math.Abs(float64(v)), 1); rel > 1e-3 {
+				t.Fatalf("round trip %q -> %v -> %v drifted", s, v, back)
+			}
+		}
+	})
+}
+
+// FuzzParseTime checks the duration parser never panics and stays
+// consistent with formatting.
+func FuzzParseTime(f *testing.F) {
+	for _, seed := range []string{
+		"90s", "15m", "2h", "1d", "400", "-3s", "1.5h", "", "h", "1w", "1dd",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseTime(s)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(float64(v)) {
+			t.Fatalf("ParseTime(%q) = NaN without error", s)
+		}
+		_ = v.String() // must not panic
+	})
+}
+
+// FuzzParseBandwidth mirrors FuzzParseVolume for rates.
+func FuzzParseBandwidth(f *testing.F) {
+	for _, seed := range []string{"1GB/s", "10MB/s", "500", "/s", "GB/s", "1GB//s"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseBandwidth(s)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			if math.IsNaN(float64(v)) {
+				t.Fatalf("ParseBandwidth(%q) = NaN without error", s)
+			}
+			return
+		}
+		_ = v.String()
+	})
+}

@@ -1,0 +1,238 @@
+// Package units defines the physical quantities used throughout the
+// simulator: data volumes (bytes), bandwidths (bytes per second) and
+// simulated time (seconds).
+//
+// The paper "Optimal Bandwidth Sharing in Grid Environments" (HPDC 2006)
+// works at session level with volumes between tens of gigabytes and a
+// terabyte and access-point capacities of 1 GB/s, so float64 quantities in
+// base SI units (bytes, bytes/second, seconds) have ample precision. The
+// package supplies parsing ("300GB", "1GB/s", "2h"), formatting and the
+// small amount of arithmetic the schedulers need, so the rest of the code
+// never manipulates raw magic constants.
+package units
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Volume is a data volume in bytes.
+type Volume float64
+
+// Bandwidth is a data rate in bytes per second.
+type Bandwidth float64
+
+// Time is a simulated instant or duration in seconds.
+type Time float64
+
+// Decimal (SI) volume units, as used by the paper ("1GB/s", "1TB").
+const (
+	Byte Volume = 1
+	KB          = 1e3 * Byte
+	MB          = 1e6 * Byte
+	GB          = 1e9 * Byte
+	TB          = 1e12 * Byte
+	PB          = 1e15 * Byte
+)
+
+// Bandwidth units.
+const (
+	BytePerSecond Bandwidth = 1
+	KBps                    = 1e3 * BytePerSecond
+	MBps                    = 1e6 * BytePerSecond
+	GBps                    = 1e9 * BytePerSecond
+)
+
+// Time units.
+const (
+	Second Time = 1
+	Minute      = 60 * Second
+	Hour        = 3600 * Second
+	Day         = 24 * Hour
+)
+
+// Eps is the relative tolerance used for floating-point capacity
+// comparisons across the code base. Admission tests accept allocations
+// that exceed capacity by at most Eps*capacity to absorb accumulated
+// rounding from repeated reserve/release cycles.
+const Eps = 1e-9
+
+// Over reports the transfer duration of volume v at bandwidth b.
+// It panics if b <= 0: callers must validate rates first.
+func (v Volume) Over(b Bandwidth) Time {
+	if b <= 0 {
+		panic(fmt.Sprintf("units: volume %v over non-positive bandwidth %v", v, b))
+	}
+	return Time(float64(v) / float64(b))
+}
+
+// For reports the volume moved at bandwidth b during duration d.
+func (b Bandwidth) For(d Time) Volume {
+	return Volume(float64(b) * float64(d))
+}
+
+// Rate reports the bandwidth needed to move volume v within duration d.
+// It panics if d <= 0.
+func (v Volume) Rate(d Time) Bandwidth {
+	if d <= 0 {
+		panic(fmt.Sprintf("units: volume %v within non-positive duration %v", v, d))
+	}
+	return Bandwidth(float64(v) / float64(d))
+}
+
+// ApproxEq reports whether a and b are equal within the package tolerance,
+// relative to their magnitude.
+func ApproxEq(a, b float64) bool {
+	diff := math.Abs(a - b)
+	if diff <= Eps {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= Eps*scale
+}
+
+// FitsWithin reports whether used+add <= capacity, within tolerance.
+func FitsWithin(used, add, capacity Bandwidth) bool {
+	return float64(used)+float64(add) <= float64(capacity)*(1+Eps)+Eps
+}
+
+func formatSI(v float64, base string, steps []struct {
+	mult float64
+	name string
+}) string {
+	if v == 0 {
+		return "0" + base
+	}
+	neg := ""
+	if v < 0 {
+		neg, v = "-", -v
+	}
+	for _, s := range steps {
+		if v >= s.mult {
+			return neg + trimFloat(v/s.mult) + s.name
+		}
+	}
+	return neg + trimFloat(v) + base
+}
+
+func trimFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'f', 3, 64)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	return s
+}
+
+var volSteps = []struct {
+	mult float64
+	name string
+}{
+	{1e15, "PB"}, {1e12, "TB"}, {1e9, "GB"}, {1e6, "MB"}, {1e3, "KB"},
+}
+
+// String formats the volume with the largest SI unit that keeps the
+// mantissa >= 1, e.g. "300GB".
+func (v Volume) String() string {
+	return formatSI(float64(v), "B", volSteps)
+}
+
+// String formats the bandwidth, e.g. "1GB/s".
+func (b Bandwidth) String() string {
+	return formatSI(float64(b), "B", volSteps) + "/s"
+}
+
+// String formats the time as seconds with unit breakdown for large values,
+// e.g. "90s", "2h30m".
+func (t Time) String() string {
+	v := float64(t)
+	if v == 0 {
+		return "0s"
+	}
+	neg := ""
+	if v < 0 {
+		neg, v = "-", -v
+	}
+	if v < 60 {
+		return neg + trimFloat(v) + "s"
+	}
+	var sb strings.Builder
+	sb.WriteString(neg)
+	if d := math.Floor(v / float64(Day)); d >= 1 {
+		fmt.Fprintf(&sb, "%dd", int64(d))
+		v -= d * float64(Day)
+	}
+	if h := math.Floor(v / float64(Hour)); h >= 1 {
+		fmt.Fprintf(&sb, "%dh", int64(h))
+		v -= h * float64(Hour)
+	}
+	if m := math.Floor(v / float64(Minute)); m >= 1 {
+		fmt.Fprintf(&sb, "%dm", int64(m))
+		v -= m * float64(Minute)
+	}
+	if v > 1e-9 {
+		sb.WriteString(trimFloat(v) + "s")
+	}
+	return sb.String()
+}
+
+// ParseVolume parses strings like "300GB", "1.5TB", "1024" (bytes).
+func ParseVolume(s string) (Volume, error) {
+	num, unit, err := splitNumUnit(s)
+	if err != nil {
+		return 0, fmt.Errorf("units: parse volume %q: %w", s, err)
+	}
+	mult, ok := map[string]Volume{
+		"": Byte, "B": Byte, "KB": KB, "MB": MB, "GB": GB, "TB": TB, "PB": PB,
+	}[unit]
+	if !ok {
+		return 0, fmt.Errorf("units: parse volume %q: unknown unit %q", s, unit)
+	}
+	return Volume(num) * mult, nil
+}
+
+// ParseBandwidth parses strings like "1GB/s", "10MB/s", "500" (bytes/s).
+func ParseBandwidth(s string) (Bandwidth, error) {
+	trimmed := strings.TrimSuffix(s, "/s")
+	v, err := ParseVolume(trimmed)
+	if err != nil {
+		return 0, fmt.Errorf("units: parse bandwidth %q: %w", s, err)
+	}
+	return Bandwidth(v), nil
+}
+
+// ParseTime parses strings like "90s", "15m", "2h", "1d", "400" (seconds).
+func ParseTime(s string) (Time, error) {
+	num, unit, err := splitNumUnit(s)
+	if err != nil {
+		return 0, fmt.Errorf("units: parse time %q: %w", s, err)
+	}
+	mult, ok := map[string]Time{
+		"": Second, "s": Second, "m": Minute, "h": Hour, "d": Day,
+	}[unit]
+	if !ok {
+		return 0, fmt.Errorf("units: parse time %q: unknown unit %q", s, unit)
+	}
+	return Time(num) * mult, nil
+}
+
+func splitNumUnit(s string) (float64, string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, "", fmt.Errorf("empty string")
+	}
+	i := len(s)
+	for i > 0 {
+		c := s[i-1]
+		if (c >= '0' && c <= '9') || c == '.' {
+			break
+		}
+		i--
+	}
+	numPart, unitPart := s[:i], strings.TrimSpace(s[i:])
+	num, err := strconv.ParseFloat(numPart, 64)
+	if err != nil {
+		return 0, "", fmt.Errorf("bad number %q", numPart)
+	}
+	return num, unitPart, nil
+}

@@ -1,0 +1,215 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVolumeOver(t *testing.T) {
+	cases := []struct {
+		v    Volume
+		b    Bandwidth
+		want Time
+	}{
+		{100 * GB, 1 * GBps, 100 * Second},
+		{1 * TB, 1 * GBps, 1000 * Second},
+		{1 * TB, 10 * MBps, 100000 * Second},
+		{0, 1 * GBps, 0},
+	}
+	for _, c := range cases {
+		if got := c.v.Over(c.b); !ApproxEq(float64(got), float64(c.want)) {
+			t.Errorf("%v.Over(%v) = %v, want %v", c.v, c.b, got, c.want)
+		}
+	}
+}
+
+func TestVolumeOverPanicsOnZeroRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Over(0) did not panic")
+		}
+	}()
+	_ = (1 * GB).Over(0)
+}
+
+func TestVolumeRatePanicsOnZeroDuration(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Rate(0) did not panic")
+		}
+	}()
+	_ = (1 * GB).Rate(0)
+}
+
+func TestBandwidthFor(t *testing.T) {
+	if got := (10 * MBps).For(100 * Second); got != 1*GB {
+		t.Errorf("For = %v, want 1GB", got)
+	}
+}
+
+func TestRateRoundTrip(t *testing.T) {
+	f := func(volGB, durS float64) bool {
+		vol := Volume(math.Mod(math.Abs(volGB), 1e6)+0.001) * GB
+		dur := Time(math.Mod(math.Abs(durS), 1e6)+0.001) * Second
+		r := vol.Rate(dur)
+		return ApproxEq(float64(vol.Over(r)), float64(dur))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFitsWithin(t *testing.T) {
+	if !FitsWithin(0.5*GBps, 0.5*GBps, 1*GBps) {
+		t.Error("exact fit rejected")
+	}
+	if FitsWithin(0.6*GBps, 0.5*GBps, 1*GBps) {
+		t.Error("overflow accepted")
+	}
+	// Tolerance: tiny floating-point excess must be accepted.
+	third := Bandwidth(float64(GBps) / 3)
+	if !FitsWithin(third+third, third, 1*GBps) {
+		t.Error("rounding-level excess rejected")
+	}
+	if !FitsWithin(0, 0, 0) {
+		t.Error("zero-capacity zero-demand rejected")
+	}
+}
+
+func TestVolumeString(t *testing.T) {
+	cases := []struct {
+		v    Volume
+		want string
+	}{
+		{300 * GB, "300GB"},
+		{1 * TB, "1TB"},
+		{1500 * GB, "1.5TB"},
+		{0, "0B"},
+		{512, "512B"},
+		{-2 * GB, "-2GB"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%g) = %q, want %q", float64(c.v), got, c.want)
+		}
+	}
+}
+
+func TestBandwidthString(t *testing.T) {
+	if got := (1 * GBps).String(); got != "1GB/s" {
+		t.Errorf("got %q", got)
+	}
+	if got := (10 * MBps).String(); got != "10MB/s" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{0, "0s"},
+		{45 * Second, "45s"},
+		{90 * Second, "1m30s"},
+		{2*Hour + 30*Minute, "2h30m"},
+		{1 * Day, "1d"},
+		{-30 * Second, "-30s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("String(%g) = %q, want %q", float64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestParseVolume(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Volume
+	}{
+		{"300GB", 300 * GB},
+		{"1TB", 1 * TB},
+		{"1.5TB", 1500 * GB},
+		{"1024", 1024},
+		{"10 MB", 10 * MB},
+	}
+	for _, c := range cases {
+		got, err := ParseVolume(c.in)
+		if err != nil {
+			t.Errorf("ParseVolume(%q): %v", c.in, err)
+			continue
+		}
+		if !ApproxEq(float64(got), float64(c.want)) {
+			t.Errorf("ParseVolume(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "GB", "12XB", "1.2.3GB"} {
+		if _, err := ParseVolume(bad); err == nil {
+			t.Errorf("ParseVolume(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestParseBandwidth(t *testing.T) {
+	got, err := ParseBandwidth("1GB/s")
+	if err != nil || got != 1*GBps {
+		t.Errorf("ParseBandwidth(1GB/s) = %v, %v", got, err)
+	}
+	got, err = ParseBandwidth("10MB")
+	if err != nil || got != 10*MBps {
+		t.Errorf("ParseBandwidth(10MB) = %v, %v", got, err)
+	}
+	if _, err := ParseBandwidth("fast"); err == nil {
+		t.Error("ParseBandwidth(fast) succeeded")
+	}
+}
+
+func TestParseTime(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Time
+	}{
+		{"90s", 90 * Second},
+		{"15m", 15 * Minute},
+		{"2h", 2 * Hour},
+		{"1d", 1 * Day},
+		{"400", 400 * Second},
+	}
+	for _, c := range cases {
+		got, err := ParseTime(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseTime(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	if _, err := ParseTime("soon"); err == nil {
+		t.Error("ParseTime(soon) succeeded")
+	}
+}
+
+func TestParseFormatRoundTrip(t *testing.T) {
+	f := func(gb uint16) bool {
+		v := Volume(gb) * GB
+		parsed, err := ParseVolume(v.String())
+		return err == nil && ApproxEq(float64(parsed), float64(v))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApproxEq(t *testing.T) {
+	if !ApproxEq(1.0, 1.0+1e-12) {
+		t.Error("near-equal rejected")
+	}
+	if ApproxEq(1.0, 1.001) {
+		t.Error("distinct accepted")
+	}
+	if !ApproxEq(0, 0) {
+		t.Error("zeros rejected")
+	}
+	if !ApproxEq(1e15, 1e15+1) {
+		t.Error("relative tolerance not applied at large scale")
+	}
+}
