@@ -1,0 +1,186 @@
+// Command gridbwd is the online admission-control daemon: the paper's
+// bandwidth-sharing service behind an HTTP/JSON API.
+//
+// It serves five endpoints (POST/GET/DELETE /v1/requests, /v1/status,
+// /v1/metricsz), expires grants against the wall clock, and persists its
+// control-plane state as a JSON snapshot so a restart resumes with the
+// exact ledger occupancy.
+//
+// Examples:
+//
+//	gridbwd -addr :8080 -ingress 1GB/s,1GB/s -egress 1GB/s,1GB/s -policy f=0.8
+//	gridbwd -snapshot gridbwd.snap.json -snapshot-every 30s
+//	gridbwd -decision-log decisions.jsonl
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io/fs"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"gridbw/internal/server"
+	"gridbw/internal/trace"
+	"gridbw/internal/units"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gridbwd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fset := flag.NewFlagSet("gridbwd", flag.ContinueOnError)
+	addr := fset.String("addr", ":8080", "listen address")
+	ingress := fset.String("ingress", "1GB/s,1GB/s", "comma-separated ingress capacities")
+	egress := fset.String("egress", "1GB/s,1GB/s", "comma-separated egress capacities")
+	policy := fset.String("policy", "minbw", "bandwidth-assignment policy: minbw, minbw-strict, or f=<x>")
+	snapshot := fset.String("snapshot", "", "snapshot file: restored at boot if present, written on shutdown")
+	snapshotEvery := fset.Duration("snapshot-every", 0, "also write the snapshot periodically (0 = only on shutdown)")
+	decisionLog := fset.String("decision-log", "", "append admission decisions as JSON lines to this file")
+	drainTimeout := fset.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain window for in-flight requests")
+	if err := fset.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := server.Config{}
+	if *decisionLog != "" {
+		f, err := os.OpenFile(*decisionLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg.Decisions = trace.NewDecisionLog(f)
+	}
+
+	var srv *server.Server
+	if *snapshot != "" {
+		if f, err := os.Open(*snapshot); err == nil {
+			snap, rerr := server.ReadSnapshot(f)
+			f.Close()
+			if rerr != nil {
+				return rerr
+			}
+			srv, err = server.NewFromSnapshot(snap, cfg)
+			if err != nil {
+				return err
+			}
+			log.Printf("restored %s: %d live reservations, clock at %s",
+				*snapshot, len(snap.Live), units.Time(snap.NowS))
+		} else if !errors.Is(err, fs.ErrNotExist) {
+			return err
+		}
+	}
+	if srv == nil {
+		var err error
+		cfg.Ingress, err = parseCaps(*ingress)
+		if err != nil {
+			return fmt.Errorf("-ingress: %w", err)
+		}
+		cfg.Egress, err = parseCaps(*egress)
+		if err != nil {
+			return fmt.Errorf("-egress: %w", err)
+		}
+		cfg.Policy = *policy
+		srv, err = server.New(cfg)
+		if err != nil {
+			return err
+		}
+	}
+	defer srv.Close()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("gridbwd serving on %s (%s, policy %s)", *addr, srv.Network(), srv.PolicyName())
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *snapshot != "" && *snapshotEvery > 0 {
+		go func() {
+			ticker := time.NewTicker(*snapshotEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					if err := writeSnapshotAtomic(srv, *snapshot); err != nil {
+						log.Printf("periodic snapshot: %v", err)
+					}
+				}
+			}
+		}()
+	}
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop the listener and drain in-flight admissions
+	// within the timeout, then stop the expiry loop and persist the final
+	// ledger so a restart resumes without violating capacity constraints.
+	log.Printf("shutting down: draining for up to %s", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("drain: %v", err)
+	}
+	srv.Close()
+	if *snapshot != "" {
+		if err := writeSnapshotAtomic(srv, *snapshot); err != nil {
+			return fmt.Errorf("final snapshot: %w", err)
+		}
+		log.Printf("wrote %s", *snapshot)
+	}
+	return nil
+}
+
+func parseCaps(list string) ([]units.Bandwidth, error) {
+	var out []units.Bandwidth
+	for _, part := range strings.Split(list, ",") {
+		b, err := units.ParseBandwidth(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// writeSnapshotAtomic writes via a temp file + rename so a crash mid-write
+// never truncates the only copy of the ledger.
+func writeSnapshotAtomic(srv *server.Server, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := srv.WriteSnapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

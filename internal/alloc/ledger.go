@@ -5,6 +5,7 @@ import (
 
 	"gridbw/internal/request"
 	"gridbw/internal/topology"
+	"gridbw/internal/units"
 )
 
 // Ledger holds one Profile per access point of a network and reserves
@@ -94,6 +95,21 @@ func (l *Ledger) Grants() map[request.ID]request.Grant {
 		out[id] = g
 	}
 	return out
+}
+
+// UsageAt reports the allocated bandwidth of every ingress and egress
+// point at instant t — the live-occupancy view a control plane exposes on
+// its status endpoint.
+func (l *Ledger) UsageAt(t units.Time) (in, eg []units.Bandwidth) {
+	in = make([]units.Bandwidth, len(l.ingress))
+	for i, p := range l.ingress {
+		in[i] = p.UsedAt(t)
+	}
+	eg = make([]units.Bandwidth, len(l.egress))
+	for e, p := range l.egress {
+		eg[e] = p.UsedAt(t)
+	}
+	return in, eg
 }
 
 // CheckInvariant audits every profile.

@@ -328,3 +328,37 @@ func TestCountersMatchProfileSemantics(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestLedgerUsageAt(t *testing.T) {
+	l := NewLedger(testNet())
+	r0 := req(0, 0, 1)
+	r1 := req(1, 1, 0)
+	if err := l.Reserve(r0, grant(t, r0, 600*units.MBps)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Reserve(r1, grant(t, r1, 500*units.MBps)); err != nil {
+		t.Fatal(err)
+	}
+	in, eg := l.UsageAt(10)
+	if len(in) != 2 || len(eg) != 2 {
+		t.Fatalf("UsageAt sizes = %d, %d; want 2, 2", len(in), len(eg))
+	}
+	if in[0] != 600*units.MBps || in[1] != 500*units.MBps {
+		t.Errorf("ingress usage = %v", in)
+	}
+	if eg[0] != 500*units.MBps || eg[1] != 600*units.MBps {
+		t.Errorf("egress usage = %v", eg)
+	}
+	// Past the grants' windows everything is free again.
+	in, eg = l.UsageAt(200)
+	for i := range in {
+		if in[i] != 0 {
+			t.Errorf("ingress %d usage at 200 = %v, want 0", i, in[i])
+		}
+	}
+	for e := range eg {
+		if eg[e] != 0 {
+			t.Errorf("egress %d usage at 200 = %v, want 0", e, eg[e])
+		}
+	}
+}

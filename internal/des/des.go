@@ -126,6 +126,21 @@ func (s *Simulator) Cancel(h Handle) bool {
 	return true
 }
 
+// Next reports the timestamp of the earliest pending non-cancelled event,
+// if any. Cancelled items at the head of the queue are drained as a side
+// effect. It lets a real-time driver (the gridbwd expiry loop) sleep until
+// the next deadline instead of polling.
+func (s *Simulator) Next() (units.Time, bool) {
+	for len(s.queue) > 0 {
+		if s.queue[0].cancelled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return s.queue[0].at, true
+	}
+	return 0, false
+}
+
 // Stop halts the run loop after the current event returns.
 func (s *Simulator) Stop() { s.stopped = true }
 

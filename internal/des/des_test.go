@@ -284,3 +284,30 @@ func TestReentrantRunPanics(t *testing.T) {
 	})
 	s.Run()
 }
+
+func TestNext(t *testing.T) {
+	s := New()
+	if _, ok := s.Next(); ok {
+		t.Error("Next on empty simulator reported an event")
+	}
+	h1 := s.At(3, func(*Simulator) {})
+	s.At(7, func(*Simulator) {})
+	if at, ok := s.Next(); !ok || at != 3 {
+		t.Errorf("Next = %v, %v; want 3, true", at, ok)
+	}
+	// Cancelling the head makes Next skip (and drain) it.
+	s.Cancel(h1)
+	if at, ok := s.Next(); !ok || at != 7 {
+		t.Errorf("Next after cancel = %v, %v; want 7, true", at, ok)
+	}
+	// Next does not fire events: the clock and queue are intact.
+	if s.Now() != 0 {
+		t.Errorf("Next advanced the clock to %v", s.Now())
+	}
+	if got := s.Run(); got != 7 {
+		t.Errorf("Run ended at %v, want 7", got)
+	}
+	if _, ok := s.Next(); ok {
+		t.Error("Next after drain reported an event")
+	}
+}

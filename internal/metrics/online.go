@@ -1,0 +1,59 @@
+package metrics
+
+import "gridbw/internal/units"
+
+// Online accumulates lifetime admission statistics for a long-running
+// reservation service — the streaming counterpart of Evaluate, which needs
+// a complete batch outcome. It is a plain value: callers (the gridbwd
+// server) hold their own lock, and the exported fields marshal directly
+// into snapshots so a restarted daemon resumes its counters.
+type Online struct {
+	Submitted uint64 `json:"submitted"`
+	Accepted  uint64 `json:"accepted"`
+	Rejected  uint64 `json:"rejected"`
+	Cancelled uint64 `json:"cancelled"`
+	Expired   uint64 `json:"expired"`
+	// GrantedVolume sums vol(r) over accepted requests.
+	GrantedVolume units.Volume `json:"granted_volume_bytes"`
+	// GrantedRateSum sums bw(r) over accepted requests; with Accepted it
+	// yields the mean granted rate without storing per-request records.
+	GrantedRateSum units.Bandwidth `json:"granted_rate_sum_bps"`
+}
+
+// RecordAccept counts an accepted request with its granted rate and volume.
+func (o *Online) RecordAccept(bw units.Bandwidth, vol units.Volume) {
+	o.Submitted++
+	o.Accepted++
+	o.GrantedRateSum += bw
+	o.GrantedVolume += vol
+}
+
+// RecordReject counts a rejected request.
+func (o *Online) RecordReject() {
+	o.Submitted++
+	o.Rejected++
+}
+
+// RecordCancel counts a client-cancelled reservation.
+func (o *Online) RecordCancel() { o.Cancelled++ }
+
+// RecordExpire counts a reservation whose window passed (transfer done).
+func (o *Online) RecordExpire() { o.Expired++ }
+
+// AcceptRate reports Accepted/Submitted, the online MAX-REQUESTS
+// objective; 0 before any submission.
+func (o *Online) AcceptRate() float64 {
+	if o.Submitted == 0 {
+		return 0
+	}
+	return float64(o.Accepted) / float64(o.Submitted)
+}
+
+// MeanGrantedRate reports the mean bw(r) over accepted requests, 0 before
+// any acceptance.
+func (o *Online) MeanGrantedRate() units.Bandwidth {
+	if o.Accepted == 0 {
+		return 0
+	}
+	return o.GrantedRateSum / units.Bandwidth(o.Accepted)
+}

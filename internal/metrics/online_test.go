@@ -1,0 +1,52 @@
+package metrics
+
+import (
+	"encoding/json"
+	"testing"
+
+	"gridbw/internal/units"
+)
+
+func TestOnlineCounters(t *testing.T) {
+	var o Online
+	if o.AcceptRate() != 0 || o.MeanGrantedRate() != 0 {
+		t.Error("zero-value Online reports non-zero rates")
+	}
+	o.RecordAccept(600*units.MBps, 50*units.GB)
+	o.RecordAccept(200*units.MBps, 10*units.GB)
+	o.RecordReject()
+	o.RecordCancel()
+	o.RecordExpire()
+	if o.Submitted != 3 || o.Accepted != 2 || o.Rejected != 1 {
+		t.Errorf("counters = %+v", o)
+	}
+	if o.Cancelled != 1 || o.Expired != 1 {
+		t.Errorf("lifecycle counters = %+v", o)
+	}
+	if got, want := o.AcceptRate(), 2.0/3.0; !units.ApproxEq(got, want) {
+		t.Errorf("AcceptRate = %v, want %v", got, want)
+	}
+	if got := o.MeanGrantedRate(); got != 400*units.MBps {
+		t.Errorf("MeanGrantedRate = %v, want 400MB/s", got)
+	}
+	if o.GrantedVolume != 60*units.GB {
+		t.Errorf("GrantedVolume = %v, want 60GB", o.GrantedVolume)
+	}
+}
+
+func TestOnlineJSONRoundTrip(t *testing.T) {
+	var o Online
+	o.RecordAccept(1*units.GBps, 100*units.GB)
+	o.RecordReject()
+	blob, err := json.Marshal(&o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Online
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != o {
+		t.Errorf("round-trip = %+v, want %+v", back, o)
+	}
+}

@@ -1,0 +1,147 @@
+// Package client is the typed Go client of the gridbwd HTTP API — the
+// counterpart middleware links against instead of hand-rolling JSON.
+// All calls take a context; cancelling it aborts the HTTP round trip.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"gridbw/internal/server"
+)
+
+// Client talks to one gridbwd daemon.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the daemon at base (e.g. "http://127.0.0.1:8080").
+// A nil hc uses http.DefaultClient.
+func New(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// APIError is a non-2xx daemon answer.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("gridbwd: HTTP %d: %s", e.StatusCode, e.Message)
+}
+
+// IsNotFound reports whether err is the daemon's 404 answer.
+func IsNotFound(err error) bool {
+	ae, ok := err.(*APIError)
+	return ok && ae.StatusCode == http.StatusNotFound
+}
+
+// IsConflict reports whether err is the daemon's 409 answer (cancel of an
+// already finished reservation).
+func IsConflict(err error) bool {
+	ae, ok := err.(*APIError)
+	return ok && ae.StatusCode == http.StatusConflict
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		blob, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("gridbwd: encode request: %w", err)
+		}
+		rd = bytes.NewReader(blob)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("gridbwd: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("gridbwd: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var apiErr server.ErrorJSON
+		msg := resp.Status
+		blob, _ := io.ReadAll(io.LimitReader(resp.Body, 64*1024))
+		if json.Unmarshal(blob, &apiErr) == nil && apiErr.Error != "" {
+			msg = apiErr.Error
+		} else if len(blob) > 0 {
+			// A 409 cancel answer carries the reservation, not an error
+			// envelope; surface the raw body.
+			msg = strings.TrimSpace(string(blob))
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("gridbwd: decode response: %w", err)
+	}
+	return nil
+}
+
+// Submit posts a reservation request and returns the daemon's decision.
+// A rejection is a normal answer (Accepted == false), not an error.
+func (c *Client) Submit(ctx context.Context, req server.SubmitRequest) (server.ReservationJSON, error) {
+	var out server.ReservationJSON
+	err := c.do(ctx, http.MethodPost, "/v1/requests", req, &out)
+	return out, err
+}
+
+// Get looks up one reservation.
+func (c *Client) Get(ctx context.Context, id int) (server.ReservationJSON, error) {
+	var out server.ReservationJSON
+	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/requests/%d", id), nil, &out)
+	return out, err
+}
+
+// Cancel revokes a live reservation and returns its final record.
+func (c *Client) Cancel(ctx context.Context, id int) (server.ReservationJSON, error) {
+	var out server.ReservationJSON
+	err := c.do(ctx, http.MethodDelete, fmt.Sprintf("/v1/requests/%d", id), nil, &out)
+	return out, err
+}
+
+// Status fetches the live control-plane view.
+func (c *Client) Status(ctx context.Context) (server.StatusJSON, error) {
+	var out server.StatusJSON
+	err := c.do(ctx, http.MethodGet, "/v1/status", nil, &out)
+	return out, err
+}
+
+// Metricsz fetches the Prometheus-format metrics page verbatim.
+func (c *Client) Metricsz(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/metricsz", nil)
+	if err != nil {
+		return "", fmt.Errorf("gridbwd: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("gridbwd: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", &APIError{StatusCode: resp.StatusCode, Message: resp.Status}
+	}
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("gridbwd: %w", err)
+	}
+	return string(blob), nil
+}

@@ -1,0 +1,305 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"gridbw/internal/request"
+	"gridbw/internal/units"
+)
+
+// The HTTP/JSON surface of gridbwd. Five endpoints:
+//
+//	POST   /v1/requests       submit a reservation request
+//	GET    /v1/requests/{id}  look up one reservation
+//	DELETE /v1/requests/{id}  cancel a live reservation
+//	GET    /v1/status         platform occupancy + lifetime counters
+//	GET    /v1/metricsz       the same counters in Prometheus text format
+//
+// Quantities accept both base-unit numbers (volume_bytes, max_rate_bps,
+// deadline_s) and human-readable strings (volume "500GB", max_rate
+// "1GB/s", deadline_in "1h" relative to the service clock), so the API is
+// usable from curl without arithmetic.
+
+// SubmitRequest is the POST /v1/requests body.
+type SubmitRequest struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+	// VolumeBytes or Volume ("500GB") set the transfer size.
+	VolumeBytes float64 `json:"volume_bytes,omitempty"`
+	Volume      string  `json:"volume,omitempty"`
+	// MaxRateBps or MaxRate ("1GB/s") set the host transmission cap.
+	MaxRateBps float64 `json:"max_rate_bps,omitempty"`
+	MaxRate    string  `json:"max_rate,omitempty"`
+	// NotBeforeS/DeadlineS are absolute service time (seconds since the
+	// daemon epoch); StartIn/DeadlineIn ("90s", "1h") are relative to now.
+	NotBeforeS float64 `json:"not_before_s,omitempty"`
+	StartIn    string  `json:"start_in,omitempty"`
+	DeadlineS  float64 `json:"deadline_s,omitempty"`
+	DeadlineIn string  `json:"deadline_in,omitempty"`
+}
+
+// ReservationJSON is the wire form of a Decision.
+type ReservationJSON struct {
+	ID       int     `json:"id"`
+	Accepted bool    `json:"accepted"`
+	State    string  `json:"state"`
+	RateBps  float64 `json:"rate_bps,omitempty"`
+	Rate     string  `json:"rate,omitempty"`
+	SigmaS   float64 `json:"sigma_s,omitempty"`
+	TauS     float64 `json:"tau_s,omitempty"`
+	Reason   string  `json:"reason,omitempty"`
+}
+
+// PointJSON is the wire form of a PointStatus.
+type PointJSON struct {
+	Dir         string  `json:"dir"`
+	Point       int     `json:"point"`
+	CapacityBps float64 `json:"capacity_bps"`
+	UsedBps     float64 `json:"used_bps"`
+	Utilization float64 `json:"utilization"`
+}
+
+// StatusJSON is the GET /v1/status body.
+type StatusJSON struct {
+	NowS           float64     `json:"now_s"`
+	Policy         string      `json:"policy"`
+	Booked         int         `json:"booked"`
+	Active         int         `json:"active"`
+	Submitted      uint64      `json:"submitted"`
+	Accepted       uint64      `json:"accepted"`
+	Rejected       uint64      `json:"rejected"`
+	Cancelled      uint64      `json:"cancelled"`
+	Expired        uint64      `json:"expired"`
+	AcceptRate     float64     `json:"accept_rate"`
+	MeanGrantedBps float64     `json:"mean_granted_rate_bps"`
+	Points         []PointJSON `json:"points"`
+}
+
+// ErrorJSON is the body of every non-2xx response.
+type ErrorJSON struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the daemon's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/requests", s.handleSubmit)
+	mux.HandleFunc("GET /v1/requests/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/requests/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("GET /v1/metricsz", s.handleMetricsz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, ErrorJSON{Error: err.Error()})
+}
+
+// parseSubmission resolves the dual numeric/string quantity fields
+// against the current service clock.
+func (s *Server) parseSubmission(body SubmitRequest) (Submission, error) {
+	sub := Submission{
+		From:      body.From,
+		To:        body.To,
+		Volume:    units.Volume(body.VolumeBytes),
+		MaxRate:   units.Bandwidth(body.MaxRateBps),
+		NotBefore: units.Time(body.NotBeforeS),
+		Deadline:  units.Time(body.DeadlineS),
+	}
+	if body.Volume != "" {
+		if body.VolumeBytes != 0 {
+			return sub, fmt.Errorf("both volume and volume_bytes set")
+		}
+		v, err := units.ParseVolume(body.Volume)
+		if err != nil {
+			return sub, err
+		}
+		sub.Volume = v
+	}
+	if body.MaxRate != "" {
+		if body.MaxRateBps != 0 {
+			return sub, fmt.Errorf("both max_rate and max_rate_bps set")
+		}
+		b, err := units.ParseBandwidth(body.MaxRate)
+		if err != nil {
+			return sub, err
+		}
+		sub.MaxRate = b
+	}
+	if body.StartIn != "" || body.DeadlineIn != "" {
+		now := s.Now()
+		if body.StartIn != "" {
+			if body.NotBeforeS != 0 {
+				return sub, fmt.Errorf("both start_in and not_before_s set")
+			}
+			d, err := units.ParseTime(body.StartIn)
+			if err != nil {
+				return sub, err
+			}
+			sub.NotBefore = now + d
+		}
+		if body.DeadlineIn != "" {
+			if body.DeadlineS != 0 {
+				return sub, fmt.Errorf("both deadline_in and deadline_s set")
+			}
+			d, err := units.ParseTime(body.DeadlineIn)
+			if err != nil {
+				return sub, err
+			}
+			sub.Deadline = now + d
+		}
+	}
+	return sub, nil
+}
+
+func decisionJSON(d Decision) ReservationJSON {
+	out := ReservationJSON{
+		ID:       int(d.ID),
+		Accepted: d.Accepted,
+		State:    string(d.State),
+		Reason:   d.Reason,
+	}
+	if d.Accepted {
+		out.RateBps = float64(d.Rate)
+		out.Rate = d.Rate.String()
+		out.SigmaS = float64(d.Sigma)
+		out.TauS = float64(d.Tau)
+	}
+	return out
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var body SubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	sub, err := s.parseSubmission(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	d, err := s.Submit(sub)
+	switch {
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	code := http.StatusCreated
+	if !d.Accepted {
+		// An admission rejection is a well-formed domain answer, not an
+		// HTTP failure; 200 keeps it distinct from 4xx client errors.
+		code = http.StatusOK
+	}
+	writeJSON(w, code, decisionJSON(d))
+}
+
+func pathID(r *http.Request) (int, error) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || id < 0 {
+		return 0, fmt.Errorf("bad reservation id %q", r.PathValue("id"))
+	}
+	return id, nil
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	d, err := s.Lookup(request.ID(id))
+	if errors.Is(err, ErrNotFound) {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, decisionJSON(d))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	d, err := s.Cancel(request.ID(id))
+	switch {
+	case errors.Is(err, ErrNotFound):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrFinished):
+		writeJSON(w, http.StatusConflict, decisionJSON(d))
+	default:
+		writeJSON(w, http.StatusOK, decisionJSON(d))
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st := s.Status()
+	body := StatusJSON{
+		NowS:           float64(st.Now),
+		Policy:         st.Policy,
+		Booked:         st.Booked,
+		Active:         st.Active,
+		Submitted:      st.Stats.Submitted,
+		Accepted:       st.Stats.Accepted,
+		Rejected:       st.Stats.Rejected,
+		Cancelled:      st.Stats.Cancelled,
+		Expired:        st.Stats.Expired,
+		AcceptRate:     st.Stats.AcceptRate(),
+		MeanGrantedBps: float64(st.Stats.MeanGrantedRate()),
+	}
+	for _, p := range st.Points {
+		body.Points = append(body.Points, PointJSON{
+			Dir:         p.Dir.String(),
+			Point:       int(p.Point),
+			CapacityBps: float64(p.Capacity),
+			UsedBps:     float64(p.Used),
+			Utilization: p.Utilization,
+		})
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	st := s.Status()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# TYPE gridbwd_requests_submitted_total counter\n")
+	fmt.Fprintf(w, "gridbwd_requests_submitted_total %d\n", st.Stats.Submitted)
+	fmt.Fprintf(w, "# TYPE gridbwd_requests_accepted_total counter\n")
+	fmt.Fprintf(w, "gridbwd_requests_accepted_total %d\n", st.Stats.Accepted)
+	fmt.Fprintf(w, "# TYPE gridbwd_requests_rejected_total counter\n")
+	fmt.Fprintf(w, "gridbwd_requests_rejected_total %d\n", st.Stats.Rejected)
+	fmt.Fprintf(w, "# TYPE gridbwd_reservations_cancelled_total counter\n")
+	fmt.Fprintf(w, "gridbwd_reservations_cancelled_total %d\n", st.Stats.Cancelled)
+	fmt.Fprintf(w, "# TYPE gridbwd_reservations_expired_total counter\n")
+	fmt.Fprintf(w, "gridbwd_reservations_expired_total %d\n", st.Stats.Expired)
+	fmt.Fprintf(w, "# TYPE gridbwd_reservations_booked gauge\n")
+	fmt.Fprintf(w, "gridbwd_reservations_booked %d\n", st.Booked)
+	fmt.Fprintf(w, "# TYPE gridbwd_reservations_active gauge\n")
+	fmt.Fprintf(w, "gridbwd_reservations_active %d\n", st.Active)
+	fmt.Fprintf(w, "# TYPE gridbwd_point_capacity_bps gauge\n")
+	fmt.Fprintf(w, "# TYPE gridbwd_point_used_bps gauge\n")
+	for _, p := range st.Points {
+		fmt.Fprintf(w, "gridbwd_point_capacity_bps{dir=%q,point=\"%d\"} %g\n",
+			p.Dir.String(), int(p.Point), float64(p.Capacity))
+		fmt.Fprintf(w, "gridbwd_point_used_bps{dir=%q,point=\"%d\"} %g\n",
+			p.Dir.String(), int(p.Point), float64(p.Used))
+	}
+	fmt.Fprintf(w, "# TYPE gridbwd_service_clock_seconds gauge\n")
+	fmt.Fprintf(w, "gridbwd_service_clock_seconds %g\n", float64(st.Now))
+}

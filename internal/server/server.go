@@ -1,0 +1,567 @@
+// Package server is the online admission-control plane of gridbwd: the
+// paper's §3–5 admission algorithms behind a concurrent, wall-clock
+// HTTP/JSON service instead of a batch DES driver.
+//
+// The server keeps a live capacity ledger (alloc.Ledger, full time
+// profiles per access point) guarded by one mutex, and maps wall time
+// onto the service clock: seconds since the daemon epoch. Admission is
+// the paper's machinery unchanged — rigid requests (MinRate ≈ MaxRate)
+// get book-ahead admission, searching the earliest feasible start over
+// the profiles' usage breakpoints exactly like core.Planner; flexible
+// requests get immediate-start admission at the configured policy's rate,
+// like the §5.1 GREEDY step. Grants expire as their τ(r) passes: a
+// des.Simulator orders the expiry events and a background goroutine
+// sleeps until the next deadline (des.Next) and fires them against real
+// time, returning capacity to the ledger.
+//
+// The whole control-plane state — capacities, policy, clock, counters and
+// every live reservation — round-trips through a JSON Snapshot, so a
+// restarted daemon resumes without ever violating the capacity constraint
+// of equation (1): restore replays the live grants into a fresh ledger,
+// which re-checks the constraint system.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gridbw/internal/alloc"
+	"gridbw/internal/core"
+	"gridbw/internal/des"
+	"gridbw/internal/metrics"
+	"gridbw/internal/policy"
+	"gridbw/internal/request"
+	"gridbw/internal/topology"
+	"gridbw/internal/trace"
+	"gridbw/internal/units"
+)
+
+// Config describes the platform a Server admits onto.
+type Config struct {
+	// Ingress and Egress list the access-point capacities.
+	Ingress, Egress []units.Bandwidth
+	// Policy names the bandwidth-assignment policy ("minbw", "f=<x>", …);
+	// defaults to "minbw".
+	Policy string
+	// Clock supplies wall time; defaults to time.Now. Tests inject a
+	// manual clock for deterministic expiry.
+	Clock func() time.Time
+	// Decisions, when non-nil, receives every admission event.
+	Decisions *trace.DecisionLog
+	// FinishedRetention bounds how many expired/cancelled reservations
+	// stay queryable via Lookup before the oldest are evicted; <= 0 means
+	// the default of 4096.
+	FinishedRetention int
+}
+
+const defaultFinishedRetention = 4096
+
+// State is a reservation's lifecycle position.
+type State string
+
+const (
+	// StateBooked: accepted, σ(r) still in the future (book-ahead).
+	StateBooked State = "booked"
+	// StateActive: accepted and transmitting (σ ≤ now < τ).
+	StateActive State = "active"
+	// StateExpired: τ(r) passed; capacity returned.
+	StateExpired State = "expired"
+	// StateCancelled: revoked by the client before τ(r).
+	StateCancelled State = "cancelled"
+	// StateRejected: never admitted; only appears in Decisions.
+	StateRejected State = "rejected"
+)
+
+// Submission is an online reservation request. Times are absolute service
+// time (seconds since the daemon epoch); NotBefore values in the past are
+// clamped to now.
+type Submission struct {
+	// From and To are ingress and egress point indices.
+	From, To int
+	Volume   units.Volume
+	// NotBefore is the earliest admissible start; zero means "now".
+	NotBefore units.Time
+	// Deadline is the absolute instant by which the transfer must finish.
+	Deadline units.Time
+	// MaxRate is the host transmission cap.
+	MaxRate units.Bandwidth
+}
+
+// Decision is the server's answer to a Submission or Lookup.
+type Decision struct {
+	ID       request.ID
+	Accepted bool
+	State    State
+	// Rate, Sigma and Tau describe the grant of an accepted reservation.
+	Rate  units.Bandwidth
+	Sigma units.Time
+	Tau   units.Time
+	// Reason explains a rejection.
+	Reason string
+}
+
+// Reservation is the full record of one live grant, exposed for
+// independent verification (tests replay these into a fresh ledger).
+type Reservation struct {
+	Req   request.Request
+	Grant request.Grant
+	State State
+}
+
+// Errors mapped to HTTP statuses by the handler layer.
+var (
+	// ErrClosed reports a submission to a draining/closed server.
+	ErrClosed = errors.New("server: closed")
+	// ErrNotFound reports an unknown (or evicted) reservation ID.
+	ErrNotFound = errors.New("server: no such reservation")
+	// ErrFinished reports a cancel of an already expired or cancelled
+	// reservation.
+	ErrFinished = errors.New("server: reservation already finished")
+)
+
+type entry struct {
+	req    request.Request
+	grant  request.Grant
+	state  State // StateActive while live (Booked derived from clock), else terminal
+	expire des.Handle
+}
+
+// Server is the concurrent admission-control plane.
+type Server struct {
+	net        *topology.Network
+	pol        policy.Policy
+	policyName string
+	clock      func() time.Time
+	decisions  *trace.DecisionLog
+	retention  int
+
+	mu       sync.Mutex
+	ledger   *alloc.Ledger
+	sim      *des.Simulator
+	epoch    time.Time // wall instant of service time 0
+	resv     map[request.ID]*entry
+	finished []request.ID // FIFO eviction queue of terminal IDs
+	nextID   request.ID
+	stats    metrics.Online
+	closed   bool
+
+	kick chan struct{}
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New validates cfg and starts a server with the service clock at 0.
+// Callers must Close it to stop the expiry loop.
+func New(cfg Config) (*Server, error) {
+	net, err := topology.New(topology.Config{Ingress: cfg.Ingress, Egress: cfg.Egress})
+	if err != nil {
+		return nil, err
+	}
+	name := cfg.Policy
+	if name == "" {
+		name = "minbw"
+	}
+	pol, err := core.ParsePolicy(name)
+	if err != nil {
+		return nil, err
+	}
+	s := newServer(cfg, net, pol, name)
+	s.epoch = s.clock()
+	go s.loop()
+	return s, nil
+}
+
+func newServer(cfg Config, net *topology.Network, pol policy.Policy, name string) *Server {
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	retention := cfg.FinishedRetention
+	if retention <= 0 {
+		retention = defaultFinishedRetention
+	}
+	return &Server{
+		net:        net,
+		pol:        pol,
+		policyName: name,
+		clock:      clock,
+		decisions:  cfg.Decisions,
+		retention:  retention,
+		ledger:     alloc.NewLedger(net),
+		sim:        des.New(),
+		resv:       make(map[request.ID]*entry),
+		kick:       make(chan struct{}, 1),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+}
+
+// Network reports the platform.
+func (s *Server) Network() *topology.Network { return s.net }
+
+// PolicyName reports the configured bandwidth-assignment policy.
+func (s *Server) PolicyName() string { return s.policyName }
+
+// Now reports the current service time.
+func (s *Server) Now() units.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advanceLocked()
+	return s.sim.Now()
+}
+
+// wallNow maps the wall clock onto service time.
+func (s *Server) wallNow() units.Time {
+	return units.Time(s.clock().Sub(s.epoch).Seconds())
+}
+
+// advanceLocked moves the service clock to wall time, firing due expiry
+// events. Callers hold s.mu.
+func (s *Server) advanceLocked() {
+	if t := s.wallNow(); t > s.sim.Now() {
+		s.sim.RunUntil(t)
+	}
+}
+
+// loop is the wall-clock expiry driver: it sleeps until the next grant's
+// τ(r) (or until an admission re-arms it) and advances the event clock.
+func (s *Server) loop() {
+	defer close(s.done)
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		s.mu.Lock()
+		s.advanceLocked()
+		next, ok := s.sim.Next()
+		s.mu.Unlock()
+
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		sleep := time.Hour
+		if ok {
+			sleep = s.epoch.Add(time.Duration(float64(next) * float64(time.Second))).Sub(s.clock())
+			if sleep < 0 {
+				sleep = 0
+			}
+		}
+		timer.Reset(sleep)
+
+		select {
+		case <-s.stop:
+			return
+		case <-s.kick:
+		case <-timer.C:
+		}
+	}
+}
+
+// poke re-arms the expiry loop after the event queue changed.
+func (s *Server) poke() {
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Close stops the expiry loop and refuses further submissions. Read
+// operations (Lookup, Status, Snapshot) keep working so a draining daemon
+// can persist its final state.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stop)
+	<-s.done
+	return nil
+}
+
+// Submit decides a reservation request against the live ledger. The
+// returned error is reserved for malformed submissions (bad indices,
+// non-positive volume or rate) and ErrClosed; an infeasible request is a
+// normal rejected Decision, not an error.
+func (s *Server) Submit(sub Submission) (Decision, error) {
+	if sub.From < 0 || sub.From >= s.net.NumIngress() {
+		return Decision{}, fmt.Errorf("server: ingress %d out of range [0,%d)", sub.From, s.net.NumIngress())
+	}
+	if sub.To < 0 || sub.To >= s.net.NumEgress() {
+		return Decision{}, fmt.Errorf("server: egress %d out of range [0,%d)", sub.To, s.net.NumEgress())
+	}
+	if sub.Volume <= 0 {
+		return Decision{}, fmt.Errorf("server: non-positive volume %v", sub.Volume)
+	}
+	if sub.MaxRate <= 0 {
+		return Decision{}, fmt.Errorf("server: non-positive max rate %v", sub.MaxRate)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Decision{}, ErrClosed
+	}
+	s.advanceLocked()
+
+	notBefore := sub.NotBefore
+	if now := s.sim.Now(); notBefore < now {
+		notBefore = now
+	}
+	id := s.nextID
+	s.nextID++
+
+	r := request.Request{
+		ID:      id,
+		Ingress: topology.PointID(sub.From),
+		Egress:  topology.PointID(sub.To),
+		Start:   notBefore,
+		Finish:  sub.Deadline,
+		Volume:  sub.Volume,
+		MaxRate: sub.MaxRate,
+	}
+	// Window and rate infeasibility are domain rejections, not API errors.
+	if r.Finish <= r.Start {
+		return s.rejectLocked(r, fmt.Sprintf("empty window: deadline %v not after start %v", r.Finish, r.Start)), nil
+	}
+	if r.MinRate() > r.MaxRate*(1+units.Eps) {
+		return s.rejectLocked(r, fmt.Sprintf("infeasible: needs %v to move %v in window but MaxRate is %v",
+			r.MinRate(), r.Volume, r.MaxRate)), nil
+	}
+	if err := r.Validate(); err != nil {
+		return Decision{}, fmt.Errorf("server: %w", err)
+	}
+	return s.admitLocked(r), nil
+}
+
+// admitLocked runs the admission search for a validated request.
+// Rigid requests search every candidate start (book-ahead); flexible
+// requests are decided at their earliest admissible instant only.
+func (s *Server) admitLocked(r request.Request) Decision {
+	latest := r.Finish - r.Volume.Over(r.MaxRate)
+	candidates := []units.Time{r.Start}
+	if r.Rigid() && latest > r.Start {
+		in := s.ledger.Ingress(r.Ingress)
+		eg := s.ledger.Egress(r.Egress)
+		candidates = append(candidates, in.BreakpointTimes(r.Start, latest)...)
+		candidates = append(candidates, eg.BreakpointTimes(r.Start, latest)...)
+		sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	}
+
+	lastReason := "no feasible start in window"
+	for i, sigma := range candidates {
+		if i > 0 && sigma == candidates[i-1] {
+			continue
+		}
+		bw, err := s.pol.Assign(r, sigma)
+		if err != nil {
+			lastReason = "policy: " + err.Error()
+			continue
+		}
+		g, err := request.NewGrant(r, sigma, bw)
+		if err != nil {
+			lastReason = "grant: " + err.Error()
+			continue
+		}
+		if err := s.ledger.Reserve(r, g); err != nil {
+			lastReason = "capacity saturated"
+			continue
+		}
+		return s.acceptLocked(r, g)
+	}
+	return s.rejectLocked(r, lastReason)
+}
+
+func (s *Server) acceptLocked(r request.Request, g request.Grant) Decision {
+	e := &entry{req: r, grant: g, state: StateActive}
+	e.expire = s.sim.At(g.Tau, s.expireEvent(r.ID))
+	s.resv[r.ID] = e
+	s.stats.RecordAccept(g.Bandwidth, r.Volume)
+	s.logLocked(trace.EventAccept, r, g, "")
+	s.poke()
+	return Decision{
+		ID: r.ID, Accepted: true, State: s.liveStateLocked(e),
+		Rate: g.Bandwidth, Sigma: g.Sigma, Tau: g.Tau,
+	}
+}
+
+func (s *Server) rejectLocked(r request.Request, reason string) Decision {
+	s.stats.RecordReject()
+	s.logLocked(trace.EventReject, r, request.Grant{}, reason)
+	return Decision{ID: r.ID, State: StateRejected, Reason: reason}
+}
+
+// expireEvent returns the des callback that retires reservation id when
+// its τ(r) passes. It runs with s.mu held: every sim.RunUntil call site
+// is inside advanceLocked.
+func (s *Server) expireEvent(id request.ID) des.Event {
+	return func(*des.Simulator) {
+		e, ok := s.resv[id]
+		if !ok || e.state != StateActive {
+			return
+		}
+		s.ledger.Revoke(e.req)
+		e.state = StateExpired
+		s.stats.RecordExpire()
+		s.logLocked(trace.EventExpire, e.req, e.grant, "")
+		s.retireLocked(id)
+	}
+}
+
+// retireLocked records a terminal reservation for later Lookup and evicts
+// the oldest ones beyond the retention bound.
+func (s *Server) retireLocked(id request.ID) {
+	s.finished = append(s.finished, id)
+	for len(s.finished) > s.retention {
+		evict := s.finished[0]
+		s.finished = s.finished[1:]
+		delete(s.resv, evict)
+	}
+}
+
+// liveStateLocked derives booked vs active from the clock.
+func (s *Server) liveStateLocked(e *entry) State {
+	if e.state != StateActive {
+		return e.state
+	}
+	if s.sim.Now() < e.grant.Sigma {
+		return StateBooked
+	}
+	return StateActive
+}
+
+// Cancel revokes a live reservation, returning its capacity at once. A
+// reservation may be cancelled after its σ(r) — the grid job it fed may
+// have aborted — which frees the remaining window too.
+func (s *Server) Cancel(id request.ID) (Decision, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advanceLocked()
+	e, ok := s.resv[id]
+	if !ok {
+		return Decision{}, ErrNotFound
+	}
+	if e.state != StateActive {
+		return s.decisionLocked(e), ErrFinished
+	}
+	s.sim.Cancel(e.expire)
+	s.ledger.Revoke(e.req)
+	e.state = StateCancelled
+	s.stats.RecordCancel()
+	s.logLocked(trace.EventCancel, e.req, e.grant, "")
+	s.retireLocked(id)
+	return s.decisionLocked(e), nil
+}
+
+// Lookup reports the decision record of a known reservation.
+func (s *Server) Lookup(id request.ID) (Decision, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advanceLocked()
+	e, ok := s.resv[id]
+	if !ok {
+		return Decision{}, ErrNotFound
+	}
+	return s.decisionLocked(e), nil
+}
+
+func (s *Server) decisionLocked(e *entry) Decision {
+	return Decision{
+		ID: e.req.ID, Accepted: true, State: s.liveStateLocked(e),
+		Rate: e.grant.Bandwidth, Sigma: e.grant.Sigma, Tau: e.grant.Tau,
+	}
+}
+
+// PointStatus is the live occupancy of one access point.
+type PointStatus struct {
+	Dir         topology.Direction
+	Point       topology.PointID
+	Capacity    units.Bandwidth
+	Used        units.Bandwidth
+	Utilization float64
+}
+
+// Status is the instantaneous control-plane view.
+type Status struct {
+	Now            units.Time
+	Policy         string
+	Booked, Active int
+	Stats          metrics.Online
+	Points         []PointStatus
+}
+
+// Status reports the live view at the current service time.
+func (s *Server) Status() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advanceLocked()
+	st := Status{Now: s.sim.Now(), Policy: s.policyName, Stats: s.stats}
+	for _, e := range s.resv {
+		switch s.liveStateLocked(e) {
+		case StateBooked:
+			st.Booked++
+		case StateActive:
+			st.Active++
+		}
+	}
+	in, eg := s.ledger.UsageAt(s.sim.Now())
+	for i, used := range in {
+		st.Points = append(st.Points, pointStatus(topology.Ingress, i, s.net.Bin(topology.PointID(i)), used))
+	}
+	for e, used := range eg {
+		st.Points = append(st.Points, pointStatus(topology.Egress, e, s.net.Bout(topology.PointID(e)), used))
+	}
+	return st
+}
+
+func pointStatus(dir topology.Direction, i int, cap, used units.Bandwidth) PointStatus {
+	ps := PointStatus{Dir: dir, Point: topology.PointID(i), Capacity: cap, Used: used}
+	if cap > 0 {
+		ps.Utilization = float64(used) / float64(cap)
+	}
+	return ps
+}
+
+// LiveReservations returns the requests and grants currently holding
+// capacity, in ID order — the input for independent feasibility replay.
+func (s *Server) LiveReservations() []Reservation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advanceLocked()
+	var out []Reservation
+	for _, e := range s.resv {
+		if e.state == StateActive {
+			out = append(out, Reservation{Req: e.req, Grant: e.grant, State: s.liveStateLocked(e)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Req.ID < out[j].Req.ID })
+	return out
+}
+
+// VerifyInvariant audits every ledger profile against equation (1).
+func (s *Server) VerifyInvariant() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ledger.CheckInvariant()
+}
+
+func (s *Server) logLocked(kind string, r request.Request, g request.Grant, reason string) {
+	if s.decisions == nil {
+		return
+	}
+	// Log failures must not fail admission; the daemon surfaces them
+	// through the writer it installed.
+	_ = s.decisions.Append(trace.Event{
+		At: float64(s.sim.Now()), Kind: kind, Request: int(r.ID),
+		Ingress: int(r.Ingress), Egress: int(r.Egress),
+		RateBps: float64(g.Bandwidth), SigmaS: float64(g.Sigma), TauS: float64(g.Tau),
+		Reason: reason,
+	})
+}

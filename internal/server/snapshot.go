@@ -1,0 +1,205 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"gridbw/internal/core"
+	"gridbw/internal/metrics"
+	"gridbw/internal/request"
+	"gridbw/internal/topology"
+	"gridbw/internal/trace"
+	"gridbw/internal/units"
+)
+
+// SnapshotVersion is bumped on incompatible snapshot schema changes.
+const SnapshotVersion = 1
+
+// snapReservation is the wire form of one live reservation: the full
+// request plus its grant, so restore can replay it through the ledger's
+// own constraint checks.
+type snapReservation struct {
+	ID         int     `json:"id"`
+	Ingress    int     `json:"ingress"`
+	Egress     int     `json:"egress"`
+	StartS     float64 `json:"start_s"`
+	FinishS    float64 `json:"finish_s"`
+	VolumeB    float64 `json:"volume_bytes"`
+	MaxRateBps float64 `json:"max_rate_bps"`
+	RateBps    float64 `json:"rate_bps"`
+	SigmaS     float64 `json:"sigma_s"`
+	TauS       float64 `json:"tau_s"`
+}
+
+// Snapshot is the persisted control-plane state. Service time is
+// continuous across restarts: a restored daemon resumes at NowS no matter
+// how long it was down, so booked windows keep their meaning.
+type Snapshot struct {
+	Version    int               `json:"version"`
+	Policy     string            `json:"policy"`
+	NowS       float64           `json:"now_s"`
+	NextID     int               `json:"next_id"`
+	IngressBps []float64         `json:"ingress_capacity_bps"`
+	EgressBps  []float64         `json:"egress_capacity_bps"`
+	Counters   metrics.Online    `json:"counters"`
+	Live       []snapReservation `json:"reservations"`
+}
+
+// Snapshot captures the current state. It works on a closed server, so a
+// draining daemon can persist its final ledger.
+func (s *Server) Snapshot() *Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advanceLocked()
+	snap := &Snapshot{
+		Version:  SnapshotVersion,
+		Policy:   s.policyName,
+		NowS:     float64(s.sim.Now()),
+		NextID:   int(s.nextID),
+		Counters: s.stats,
+	}
+	for i := 0; i < s.net.NumIngress(); i++ {
+		snap.IngressBps = append(snap.IngressBps, float64(s.net.Bin(topology.PointID(i))))
+	}
+	for e := 0; e < s.net.NumEgress(); e++ {
+		snap.EgressBps = append(snap.EgressBps, float64(s.net.Bout(topology.PointID(e))))
+	}
+	for _, id := range s.sortedLiveIDsLocked() {
+		e := s.resv[id]
+		snap.Live = append(snap.Live, snapReservation{
+			ID:      int(e.req.ID),
+			Ingress: int(e.req.Ingress), Egress: int(e.req.Egress),
+			StartS: float64(e.req.Start), FinishS: float64(e.req.Finish),
+			VolumeB: float64(e.req.Volume), MaxRateBps: float64(e.req.MaxRate),
+			RateBps: float64(e.grant.Bandwidth),
+			SigmaS:  float64(e.grant.Sigma), TauS: float64(e.grant.Tau),
+		})
+	}
+	return snap
+}
+
+func (s *Server) sortedLiveIDsLocked() []request.ID {
+	var ids []request.ID
+	for id, e := range s.resv {
+		if e.state == StateActive {
+			ids = append(ids, id)
+		}
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}
+
+// WriteSnapshot serializes the current state as indented JSON.
+func (s *Server) WriteSnapshot(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s.Snapshot()); err != nil {
+		return fmt.Errorf("server: write snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot parses a snapshot.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	var snap Snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("server: decode snapshot: %w", err)
+	}
+	if snap.Version != SnapshotVersion {
+		return nil, fmt.Errorf("server: unsupported snapshot version %d (want %d)", snap.Version, SnapshotVersion)
+	}
+	return &snap, nil
+}
+
+// NewFromSnapshot restores a server from snap. Platform capacities and
+// policy come from the snapshot; cfg supplies the runtime wiring (Clock,
+// Decisions, FinishedRetention — its Ingress/Egress/Policy fields must be
+// empty). Every live reservation is replayed through the ledger, so a
+// tampered or inconsistent snapshot fails restore instead of admitting an
+// infeasible state.
+func NewFromSnapshot(snap *Snapshot, cfg Config) (*Server, error) {
+	if len(cfg.Ingress) != 0 || len(cfg.Egress) != 0 || cfg.Policy != "" {
+		return nil, fmt.Errorf("server: restore takes platform and policy from the snapshot")
+	}
+	tcfg := topology.Config{}
+	for _, c := range snap.IngressBps {
+		tcfg.Ingress = append(tcfg.Ingress, units.Bandwidth(c))
+	}
+	for _, c := range snap.EgressBps {
+		tcfg.Egress = append(tcfg.Egress, units.Bandwidth(c))
+	}
+	net, err := topology.New(tcfg)
+	if err != nil {
+		return nil, fmt.Errorf("server: restore: %w", err)
+	}
+	name := snap.Policy
+	if name == "" {
+		name = "minbw"
+	}
+	pol, err := core.ParsePolicy(name)
+	if err != nil {
+		return nil, fmt.Errorf("server: restore: %w", err)
+	}
+	if snap.NowS < 0 || snap.NextID < 0 {
+		return nil, fmt.Errorf("server: restore: negative clock or ID counter")
+	}
+
+	s := newServer(cfg, net, pol, name)
+	// Anchor the epoch so service time resumes exactly at NowS.
+	s.epoch = s.clock().Add(-time.Duration(snap.NowS * float64(time.Second)))
+	s.nextID = request.ID(snap.NextID)
+	s.stats = snap.Counters
+
+	for _, sr := range snap.Live {
+		r := request.Request{
+			ID:      request.ID(sr.ID),
+			Ingress: topology.PointID(sr.Ingress),
+			Egress:  topology.PointID(sr.Egress),
+			Start:   units.Time(sr.StartS),
+			Finish:  units.Time(sr.FinishS),
+			Volume:  units.Volume(sr.VolumeB),
+			MaxRate: units.Bandwidth(sr.MaxRateBps),
+		}
+		if int(r.Ingress) >= net.NumIngress() || int(r.Egress) >= net.NumEgress() ||
+			r.Ingress < 0 || r.Egress < 0 {
+			return nil, fmt.Errorf("server: restore: reservation %d routed through unknown point", sr.ID)
+		}
+		if err := r.Validate(); err != nil {
+			return nil, fmt.Errorf("server: restore: %w", err)
+		}
+		if int(r.ID) >= snap.NextID {
+			return nil, fmt.Errorf("server: restore: reservation %d not below next_id %d", sr.ID, snap.NextID)
+		}
+		g := request.Grant{
+			Request:   r.ID,
+			Bandwidth: units.Bandwidth(sr.RateBps),
+			Sigma:     units.Time(sr.SigmaS),
+			Tau:       units.Time(sr.TauS),
+		}
+		if g.Tau <= g.Sigma || g.Bandwidth <= 0 {
+			return nil, fmt.Errorf("server: restore: reservation %d has degenerate grant", sr.ID)
+		}
+		// The ledger re-checks equation (1): an infeasible snapshot is
+		// rejected here rather than silently over-committing a point.
+		if err := s.ledger.Reserve(r, g); err != nil {
+			return nil, fmt.Errorf("server: restore: %w", err)
+		}
+		e := &entry{req: r, grant: g, state: StateActive}
+		e.expire = s.sim.At(g.Tau, s.expireEvent(r.ID))
+		s.resv[r.ID] = e
+	}
+	if s.decisions != nil {
+		_ = s.decisions.Append(trace.Event{
+			At: snap.NowS, Kind: trace.EventRestore, Request: -1,
+			Reason: fmt.Sprintf("%d live reservations", len(snap.Live)),
+		})
+	}
+	go s.loop()
+	return s, nil
+}

@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Decision-event kinds emitted by the online admission daemon.
+const (
+	EventAccept  = "accept"
+	EventReject  = "reject"
+	EventCancel  = "cancel"
+	EventExpire  = "expire"
+	EventRestore = "restore"
+)
+
+// Event is one admission-control decision as it happened, in the same
+// flat base-unit style as the workload/outcome envelopes. A stream of
+// events is an audit log: replaying the accepts against a fresh ledger
+// re-derives the daemon's occupancy at any instant.
+type Event struct {
+	// At is the service clock (seconds since daemon epoch) of the event.
+	At      float64 `json:"t_s"`
+	Kind    string  `json:"kind"`
+	Request int     `json:"request"`
+	Ingress int     `json:"ingress"`
+	Egress  int     `json:"egress"`
+	// RateBps, SigmaS and TauS describe the grant; zero for rejections.
+	RateBps float64 `json:"rate_bps,omitempty"`
+	SigmaS  float64 `json:"sigma_s,omitempty"`
+	TauS    float64 `json:"tau_s,omitempty"`
+	Reason  string  `json:"reason,omitempty"`
+}
+
+// DecisionLog appends admission events as JSON Lines (one object per
+// line, no envelope) so a live daemon's log can be tailed and is valid
+// at every prefix. Append is safe for concurrent use.
+type DecisionLog struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewDecisionLog returns a log writing to w.
+func NewDecisionLog(w io.Writer) *DecisionLog {
+	return &DecisionLog{enc: json.NewEncoder(w)}
+}
+
+// Append writes one event.
+func (l *DecisionLog) Append(ev Event) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.enc.Encode(ev); err != nil {
+		return fmt.Errorf("trace: append decision: %w", err)
+	}
+	return nil
+}
+
+// ReadDecisions parses a JSON Lines decision stream, skipping blank lines.
+func ReadDecisions(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("trace: decision line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read decisions: %w", err)
+	}
+	return out, nil
+}
