@@ -26,7 +26,10 @@
 package gridbw
 
 import (
+	"context"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -44,6 +47,7 @@ import (
 	"gridbw/internal/sched/flexible"
 	"gridbw/internal/sched/rigid"
 	"gridbw/internal/server"
+	"gridbw/internal/server/client"
 	"gridbw/internal/topology"
 	"gridbw/internal/units"
 	"gridbw/internal/workload"
@@ -428,6 +432,59 @@ func BenchmarkServerAdmit(b *testing.B) {
 			From: i % 2, To: (i / 2) % 2,
 			Volume: 1 * units.GB, MaxRate: 200 * units.MBps,
 			NotBefore: now, Deadline: now + 100,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !d.Accepted {
+			b.Fatalf("request %d rejected: %s", i, d.Reason)
+		}
+		ns.Add(int64(2 * time.Second))
+	}
+}
+
+// BenchmarkClientSubmitRetry measures the client's retry path end to
+// end: every submission is shed once with 429 before succeeding, so each
+// iteration pays two HTTP round trips plus the backoff machinery (with
+// sleeps stubbed out — the cost measured is the protocol, not the wait).
+func BenchmarkClientSubmitRetry(b *testing.B) {
+	var ns atomic.Int64
+	srv, err := server.New(server.Config{
+		Ingress: []units.Bandwidth{10 * units.GBps, 10 * units.GBps},
+		Egress:  []units.Bandwidth{10 * units.GBps, 10 * units.GBps},
+		Policy:  "f=0.5",
+		Clock:   func() time.Time { return time.Unix(0, ns.Load()) },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	var calls atomic.Int64
+	inner := srv.Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && calls.Add(1)%2 == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"overloaded"}`, http.StatusTooManyRequests)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	c := client.NewWithOptions(ts.URL, ts.Client(), client.Options{
+		Jitter: func() float64 { return 0 },
+		Sleep:  func(ctx context.Context, _ time.Duration) error { return ctx.Err() },
+	})
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := srv.Now()
+		d, err := c.Submit(ctx, server.SubmitRequest{
+			From: i % 2, To: (i / 2) % 2,
+			VolumeBytes: 1e9, MaxRateBps: 2e8,
+			NotBeforeS: float64(now), DeadlineS: float64(now + 100),
 		})
 		if err != nil {
 			b.Fatal(err)

@@ -1,19 +1,22 @@
 // Command gridbwd is the online admission-control daemon: the paper's
 // bandwidth-sharing service behind an HTTP/JSON API.
 //
-// It serves five endpoints (POST/GET/DELETE /v1/requests, /v1/status,
-// /v1/metricsz), expires grants against the wall clock, and persists its
-// control-plane state as a JSON snapshot so a restart resumes with the
-// exact ledger occupancy.
+// It serves the /v1 endpoints (requests, status, metricsz, healthz),
+// expires grants against the wall clock, sheds submissions beyond its
+// in-flight limit, and persists its control-plane state as a JSON
+// snapshot so a restart resumes with the exact ledger occupancy. When
+// the snapshot is corrupt and a decision log is configured, boot falls
+// back to replaying the audit log instead of refusing to start.
 //
 // Examples:
 //
 //	gridbwd -addr :8080 -ingress 1GB/s,1GB/s -egress 1GB/s,1GB/s -policy f=0.8
 //	gridbwd -snapshot gridbwd.snap.json -snapshot-every 30s
-//	gridbwd -decision-log decisions.jsonl
+//	gridbwd -decision-log decisions.jsonl -max-inflight 128 -retry-after 2s
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -47,56 +50,44 @@ func run(args []string) error {
 	policy := fset.String("policy", "minbw", "bandwidth-assignment policy: minbw, minbw-strict, or f=<x>")
 	snapshot := fset.String("snapshot", "", "snapshot file: restored at boot if present, written on shutdown")
 	snapshotEvery := fset.Duration("snapshot-every", 0, "also write the snapshot periodically (0 = only on shutdown)")
-	decisionLog := fset.String("decision-log", "", "append admission decisions as JSON lines to this file")
+	decisionLog := fset.String("decision-log", "", "append admission decisions as JSON lines to this file; also the boot fallback when the snapshot is corrupt")
 	drainTimeout := fset.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain window for in-flight requests")
+	maxInFlight := fset.Int("max-inflight", 0, "concurrent submissions before shedding with 429 (0 = default 64, negative = unbounded)")
+	retryAfter := fset.Duration("retry-after", 0, "Retry-After hint on shed responses (0 = default 1s)")
 	if err := fset.Parse(args); err != nil {
 		return err
 	}
 
-	cfg := server.Config{}
+	bc := bootConfig{
+		snapshotPath: *snapshot,
+		logPath:      *decisionLog,
+		policy:       *policy,
+		base: server.Config{
+			MaxInFlight: *maxInFlight,
+			RetryAfter:  *retryAfter,
+		},
+	}
+	var err error
+	if bc.ingress, err = parseCaps(*ingress); err != nil {
+		return fmt.Errorf("-ingress: %w", err)
+	}
+	if bc.egress, err = parseCaps(*egress); err != nil {
+		return fmt.Errorf("-egress: %w", err)
+	}
 	if *decisionLog != "" {
 		f, err := os.OpenFile(*decisionLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		cfg.Decisions = trace.NewDecisionLog(f)
+		bc.base.Decisions = trace.NewDecisionLog(f)
 	}
 
-	var srv *server.Server
-	if *snapshot != "" {
-		if f, err := os.Open(*snapshot); err == nil {
-			snap, rerr := server.ReadSnapshot(f)
-			f.Close()
-			if rerr != nil {
-				return rerr
-			}
-			srv, err = server.NewFromSnapshot(snap, cfg)
-			if err != nil {
-				return err
-			}
-			log.Printf("restored %s: %d live reservations, clock at %s",
-				*snapshot, len(snap.Live), units.Time(snap.NowS))
-		} else if !errors.Is(err, fs.ErrNotExist) {
-			return err
-		}
+	srv, how, err := bootServer(bc)
+	if err != nil {
+		return err
 	}
-	if srv == nil {
-		var err error
-		cfg.Ingress, err = parseCaps(*ingress)
-		if err != nil {
-			return fmt.Errorf("-ingress: %w", err)
-		}
-		cfg.Egress, err = parseCaps(*egress)
-		if err != nil {
-			return fmt.Errorf("-egress: %w", err)
-		}
-		cfg.Policy = *policy
-		srv, err = server.New(cfg)
-		if err != nil {
-			return err
-		}
-	}
+	log.Printf("boot: %s", how)
 	defer srv.Close()
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -151,6 +142,86 @@ func run(args []string) error {
 		log.Printf("wrote %s", *snapshot)
 	}
 	return nil
+}
+
+// bootConfig gathers everything bootServer needs to bring a server up.
+// base carries the runtime wiring (Decisions, limits); the platform
+// flags live beside it because snapshot restore forbids platform fields
+// in its Config while fresh boot and log replay require them.
+type bootConfig struct {
+	snapshotPath    string
+	logPath         string
+	ingress, egress []units.Bandwidth
+	policy          string
+	base            server.Config
+}
+
+// platformConfig returns base with the flag platform filled in.
+func (bc bootConfig) platformConfig() server.Config {
+	cfg := bc.base
+	cfg.Ingress, cfg.Egress, cfg.Policy = bc.ingress, bc.egress, bc.policy
+	return cfg
+}
+
+// bootServer brings up the control plane along the first viable recovery
+// path — snapshot restore, then decision-log replay when the snapshot is
+// unusable, then a fresh server — and reports which path was taken.
+func bootServer(bc bootConfig) (*server.Server, string, error) {
+	if bc.snapshotPath != "" {
+		f, err := os.Open(bc.snapshotPath)
+		switch {
+		case err == nil:
+			snap, rerr := server.ReadSnapshot(f)
+			f.Close()
+			if rerr == nil {
+				srv, serr := server.NewFromSnapshot(snap, bc.base)
+				if serr == nil {
+					return srv, fmt.Sprintf("restored snapshot %s: %d live reservations, clock at %s",
+						bc.snapshotPath, len(snap.Live), units.Time(snap.NowS)), nil
+				}
+				rerr = serr
+			}
+			// The snapshot exists but cannot be used. Refusing to start
+			// would keep the whole control plane down over one bad file;
+			// the decision log carries enough to rebuild the ledger.
+			srv, how, ferr := bootFromLog(bc)
+			if ferr != nil {
+				return nil, "", fmt.Errorf("snapshot %s unusable (%v); %w", bc.snapshotPath, rerr, ferr)
+			}
+			log.Printf("snapshot %s unusable (%v); falling back to decision-log replay", bc.snapshotPath, rerr)
+			return srv, how, nil
+		case errors.Is(err, fs.ErrNotExist):
+			// First boot with this snapshot path: start fresh below.
+		default:
+			return nil, "", err
+		}
+	}
+	srv, err := server.New(bc.platformConfig())
+	if err != nil {
+		return nil, "", err
+	}
+	return srv, fmt.Sprintf("fresh server (%s, policy %s)", srv.Network(), srv.PolicyName()), nil
+}
+
+// bootFromLog rebuilds the server by replaying the decision audit log.
+func bootFromLog(bc bootConfig) (*server.Server, string, error) {
+	if bc.logPath == "" {
+		return nil, "", errors.New("no decision log configured to recover from")
+	}
+	blob, err := os.ReadFile(bc.logPath)
+	if err != nil {
+		return nil, "", fmt.Errorf("decision-log recovery: %w", err)
+	}
+	events, err := trace.ReadDecisions(bytes.NewReader(blob))
+	if err != nil {
+		return nil, "", fmt.Errorf("decision-log recovery: %w", err)
+	}
+	srv, err := server.NewFromDecisions(events, bc.platformConfig())
+	if err != nil {
+		return nil, "", fmt.Errorf("decision-log recovery: %w", err)
+	}
+	return srv, fmt.Sprintf("replayed decision log %s: %d events, %d live reservations",
+		bc.logPath, len(events), len(srv.LiveReservations())), nil
 }
 
 func parseCaps(list string) ([]units.Bandwidth, error) {

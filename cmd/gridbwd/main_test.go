@@ -1,0 +1,136 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gridbw/internal/server"
+	"gridbw/internal/trace"
+	"gridbw/internal/units"
+)
+
+func testBootConfig(dir string) bootConfig {
+	return bootConfig{
+		snapshotPath: filepath.Join(dir, "gridbwd.snap.json"),
+		logPath:      filepath.Join(dir, "decisions.jsonl"),
+		ingress:      []units.Bandwidth{1 * units.GBps},
+		egress:       []units.Bandwidth{1 * units.GBps},
+		policy:       "minbw",
+	}
+}
+
+// seedState runs a short daemon lifetime, leaving a snapshot and a
+// decision log on disk with one live reservation.
+func seedState(t *testing.T, bc bootConfig) server.Decision {
+	t.Helper()
+	logF, err := os.Create(bc.logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer logF.Close()
+	cfg := bc.platformConfig()
+	cfg.Decisions = trace.NewDecisionLog(logF)
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	d, err := s.Submit(server.Submission{
+		From: 0, To: 0, Volume: 100 * units.GB, Deadline: 4000, MaxRate: 500 * units.MBps,
+	})
+	if err != nil || !d.Accepted {
+		t.Fatalf("seed submission: %v %+v", err, d)
+	}
+	if err := writeSnapshotAtomic(s, bc.snapshotPath); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestBootFreshWhenNoSnapshot(t *testing.T) {
+	bc := testBootConfig(t.TempDir())
+	srv, how, err := bootServer(bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if !strings.Contains(how, "fresh") {
+		t.Errorf("recovery path = %q, want fresh boot", how)
+	}
+}
+
+func TestBootRestoresSnapshot(t *testing.T) {
+	bc := testBootConfig(t.TempDir())
+	want := seedState(t, bc)
+	srv, how, err := bootServer(bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if !strings.Contains(how, "snapshot") {
+		t.Errorf("recovery path = %q, want snapshot restore", how)
+	}
+	live := srv.LiveReservations()
+	if len(live) != 1 || live[0].Req.ID != want.ID {
+		t.Errorf("live after restore = %+v, want reservation %d", live, want.ID)
+	}
+}
+
+// TestBootFallsBackToDecisionLog: a corrupt snapshot no longer refuses
+// boot — the decision log rebuilds the same ledger.
+func TestBootFallsBackToDecisionLog(t *testing.T) {
+	bc := testBootConfig(t.TempDir())
+	want := seedState(t, bc)
+	if err := os.WriteFile(bc.snapshotPath, []byte("{ not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv, how, err := bootServer(bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if !strings.Contains(how, "decision log") {
+		t.Errorf("recovery path = %q, want decision-log replay", how)
+	}
+	live := srv.LiveReservations()
+	if len(live) != 1 || live[0].Req.ID != want.ID || live[0].Grant.Bandwidth != want.Rate {
+		t.Errorf("live after replay = %+v, want reservation %d at %v", live, want.ID, want.Rate)
+	}
+	if err := srv.VerifyInvariant(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBootFailsWithoutAnyRecoveryPath: corrupt snapshot and no log is a
+// hard error naming both problems.
+func TestBootFailsWithoutAnyRecoveryPath(t *testing.T) {
+	bc := testBootConfig(t.TempDir())
+	bc.logPath = ""
+	if err := os.WriteFile(bc.snapshotPath, []byte("{ not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := bootServer(bc)
+	if err == nil {
+		t.Fatal("boot succeeded with no usable state source")
+	}
+	if !strings.Contains(err.Error(), "unusable") || !strings.Contains(err.Error(), "decision log") {
+		t.Errorf("error %q does not explain both failures", err)
+	}
+}
+
+// TestBootRejectsTamperedSnapshotWithBadLog: when both sources are
+// corrupt, the error surfaces the log failure too.
+func TestBootRejectsTamperedSnapshotWithBadLog(t *testing.T) {
+	bc := testBootConfig(t.TempDir())
+	if err := os.WriteFile(bc.snapshotPath, []byte("{ not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bc.logPath, []byte("also { not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := bootServer(bc); err == nil {
+		t.Fatal("boot succeeded from two corrupt sources")
+	}
+}

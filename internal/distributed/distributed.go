@@ -8,11 +8,32 @@
 // synchronized cache of each egress router's occupancy. Admission is
 // two-phase: a locally admitted request tentatively holds its ingress
 // share and sends a RESERVE message to the egress router, which checks
-// its authoritative occupancy and either commits (ACK) or refuses (NACK,
-// the ingress rolls back — a *conflict*). Conflicts are the price of
-// stale state: the experiment of Table T8 sweeps the sync period and
-// measures accept rate and conflict rate against the centralized
-// scheduler on the same workload.
+// its authoritative occupancy and either holds + acknowledges (ACK) or
+// refuses (NACK, the ingress rolls back — a *conflict*). Conflicts are
+// the price of stale state: the experiment of Table T8 sweeps the sync
+// period and measures accept rate and conflict rate against the
+// centralized scheduler on the same workload.
+//
+// Unlike the first cut, the protocol no longer assumes a perfect
+// network. Messages travel through an optional faults.Injector (drop,
+// jitter, duplication, router crash windows), and the handshake is
+// failure-aware:
+//
+//   - A tentative ingress hold carries a reservation timeout: if neither
+//     ACK nor NACK arrives within Config.ReserveTimeout the hold rolls
+//     back (verdict Timeout) instead of leaking capacity forever, and the
+//     ingress retransmits ABORT until the egress confirms release.
+//   - Unanswered RESERVE/CONFIRM/ABORT messages are retransmitted with a
+//     bounded attempt budget, so every handshake resolves with
+//     probability 1 under any drop rate below total loss.
+//   - Both routers keep a per-request state machine, making every
+//     transition idempotent under duplicated or reordered messages: a
+//     request is held at most once per side no matter how many RESERVE
+//     copies arrive.
+//
+// Report.Faults exposes conflict/timeout/leak counters plus the channel
+// statistics, and Config.Observer lets an invariant harness mirror every
+// occupancy change.
 package distributed
 
 import (
@@ -21,6 +42,8 @@ import (
 	"sort"
 
 	"gridbw/internal/des"
+	"gridbw/internal/faults"
+	"gridbw/internal/metrics"
 	"gridbw/internal/policy"
 	"gridbw/internal/request"
 	"gridbw/internal/sched"
@@ -38,6 +61,23 @@ type Config struct {
 	MsgDelay units.Time
 	// Policy assigns bandwidth to admitted requests; required.
 	Policy policy.Policy
+	// ReserveTimeout bounds the two-phase handshake: a tentative ingress
+	// hold rolls back (verdict Timeout) if no ACK or NACK arrived this
+	// long after the RESERVE was first sent. Zero disables the deadline,
+	// which is only sound on a perfect network; Validate therefore
+	// requires it whenever Faults is set.
+	ReserveTimeout units.Time
+	// RetryInterval spaces retransmissions of unanswered protocol
+	// messages when fault injection is active; zero defaults to
+	// ReserveTimeout/4.
+	RetryInterval units.Time
+	// Faults, when non-nil, perturbs every protocol message with the
+	// injector's drop/jitter/duplication/crash schedule.
+	Faults *faults.Injector
+	// Observer, when non-nil, receives every occupancy change at every
+	// router — the hook the fault-injection invariant harness uses to
+	// audit capacity independently of the protocol's own bookkeeping.
+	Observer func(HoldEvent)
 }
 
 // Validate checks the configuration.
@@ -48,7 +88,39 @@ func (c Config) Validate() error {
 	if c.SyncPeriod < 0 || c.MsgDelay < 0 {
 		return fmt.Errorf("distributed: negative periods")
 	}
+	if c.ReserveTimeout < 0 || c.RetryInterval < 0 {
+		return fmt.Errorf("distributed: negative timeout or retry interval")
+	}
+	if c.Faults != nil && c.ReserveTimeout <= 0 {
+		return fmt.Errorf("distributed: fault injection needs a positive ReserveTimeout (lost messages would leak tentative holds forever)")
+	}
 	return nil
+}
+
+// HoldKind classifies a HoldEvent.
+type HoldKind int
+
+const (
+	// HoldAcquire: a tentative hold took bw at the point.
+	HoldAcquire HoldKind = iota
+	// HoldRelease: a tentative hold was rolled back (NACK, timeout, or
+	// abort); the bw returned at Event.At.
+	HoldRelease
+	// HoldCommit: the hold became a committed grant that will release at
+	// Event.Until.
+	HoldCommit
+)
+
+// HoldEvent is one occupancy change at a router, in simulated-time order.
+type HoldEvent struct {
+	At        units.Time
+	Kind      HoldKind
+	Dir       topology.Direction
+	Point     topology.PointID
+	Request   request.ID
+	Bandwidth units.Bandwidth
+	// Until is the scheduled release instant; valid when Kind == HoldCommit.
+	Until units.Time
 }
 
 // Verdict classifies a request's fate.
@@ -65,6 +137,9 @@ const (
 	// PolicyReject: no admissible rate (deadline unreachable by decision
 	// time).
 	PolicyReject
+	// Timeout: locally admitted, but the handshake did not resolve within
+	// ReserveTimeout; the tentative hold rolled back.
+	Timeout
 )
 
 // String implements fmt.Stringer.
@@ -78,6 +153,8 @@ func (v Verdict) String() string {
 		return "conflict"
 	case PolicyReject:
 		return "policy-reject"
+	case Timeout:
+		return "timeout"
 	default:
 		return fmt.Sprintf("Verdict(%d)", int(v))
 	}
@@ -94,6 +171,10 @@ type Record struct {
 type Report struct {
 	Records []Record // request-ID order
 	Outcome *sched.Outcome
+	// Faults aggregates channel perturbations and protocol-level fault
+	// outcomes (conflicts, timeouts, leaks); zero-valued on a perfect
+	// network except Conflicts.
+	Faults metrics.FaultCounters
 }
 
 // Rate reports the fraction of requests with the given verdict.
@@ -130,61 +211,100 @@ func (h *releaseHeap) Pop() any {
 	return it
 }
 
+// maxAttempts caps per-message retransmission so a fully severed channel
+// (Drop == 1) still quiesces; with any drop rate tests use, the budget is
+// never exhausted.
+const maxAttempts = 64
+
+// ingPending is the ingress-side state machine of one in-flight request.
+type ingPending struct {
+	r     request.Request
+	bw    units.Bandwidth
+	sigma units.Time
+	// done marks a terminal ingress state; committed distinguishes accept
+	// from rollback.
+	done      bool
+	committed bool
+	timeout   des.Handle
+	// attempt budgets for the three retransmission loops.
+	reserveTries, confirmTries, abortTries int
+	confirmAcked, abortAcked               bool
+}
+
+// Egress-side per-request states.
+const (
+	egHeld = iota + 1 // tentative hold, awaiting CONFIRM or ABORT
+	egCommitted
+	egRefused
+	egAborted
+)
+
+type egEntry struct {
+	state int
+	bw    units.Bandwidth
+}
+
+// runner wires the protocol state through one simulation.
+type runner struct {
+	cfg Config
+	net *topology.Network
+	sim *des.Simulator
+	inj *faults.Injector
+	rto units.Time
+
+	// Authoritative occupancy, with lazily drained release heaps so a
+	// check at time t sees exactly the transfers still active at t.
+	ali, ale       []units.Bandwidth
+	aliRel, aleRel []releaseHeap
+	// Per-ingress cached egress views.
+	cache [][]units.Bandwidth
+
+	out      *sched.Outcome
+	records  []Record
+	pend     map[request.ID]*ingPending
+	egSt     map[request.ID]*egEntry
+	counters metrics.FaultCounters
+}
+
 // Run simulates the distributed protocol over the request set.
 func Run(net *topology.Network, reqs *request.Set, cfg Config) (*Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	sim := des.New()
-	m, n := net.NumIngress(), net.NumEgress()
-
-	// Authoritative occupancy, with lazily drained release heaps so a
-	// check at time t sees exactly the transfers still active at t.
-	ali := make([]units.Bandwidth, m)
-	ale := make([]units.Bandwidth, n)
-	aliRel := make([]releaseHeap, m)
-	aleRel := make([]releaseHeap, n)
-	drainIn := func(i int, now units.Time) {
-		h := &aliRel[i]
-		for h.Len() > 0 && (*h)[0].at <= now {
-			r := heap.Pop(h).(release)
-			ali[i] -= r.bw
-		}
+	rto := cfg.RetryInterval
+	if rto <= 0 {
+		rto = cfg.ReserveTimeout / 4
 	}
-	drainOut := func(e int, now units.Time) {
-		h := &aleRel[e]
-		for h.Len() > 0 && (*h)[0].at <= now {
-			r := heap.Pop(h).(release)
-			ale[e] -= r.bw
-		}
+	ru := &runner{
+		cfg:  cfg,
+		net:  net,
+		sim:  des.New(),
+		inj:  cfg.Faults,
+		rto:  rto,
+		ali:  make([]units.Bandwidth, net.NumIngress()),
+		ale:  make([]units.Bandwidth, net.NumEgress()),
+		pend: make(map[request.ID]*ingPending),
+		egSt: make(map[request.ID]*egEntry),
 	}
-
-	// Per-ingress cached egress views.
-	cache := make([][]units.Bandwidth, m)
-	for i := range cache {
-		cache[i] = make([]units.Bandwidth, n)
+	ru.aliRel = make([]releaseHeap, net.NumIngress())
+	ru.aleRel = make([]releaseHeap, net.NumEgress())
+	ru.cache = make([][]units.Bandwidth, net.NumIngress())
+	for i := range ru.cache {
+		ru.cache[i] = make([]units.Bandwidth, net.NumEgress())
 	}
-	readCache := func(i, e int, now units.Time) units.Bandwidth {
-		if cfg.SyncPeriod == 0 {
-			drainOut(e, now)
-			return ale[e]
-		}
-		return cache[i][e]
-	}
-
-	out := sched.NewOutcome(fmt.Sprintf("distributed(sync=%v)/%s", cfg.SyncPeriod, cfg.Policy.Name()), net, reqs)
-	records := make([]Record, reqs.Len())
+	ru.out = sched.NewOutcome(fmt.Sprintf("distributed(sync=%v)/%s", cfg.SyncPeriod, cfg.Policy.Name()), net, reqs)
+	ru.records = make([]Record, reqs.Len())
 
 	// Sync ticks refresh every cache from authoritative state.
 	if cfg.SyncPeriod > 0 {
 		_, spanEnd := reqs.Span()
-		sim.Ticker(0, cfg.SyncPeriod, spanEnd+2*cfg.MsgDelay, func(sim *des.Simulator, _ int) bool {
+		ru.sim.Ticker(0, cfg.SyncPeriod, spanEnd+2*cfg.MsgDelay, func(sim *des.Simulator, _ int) bool {
 			now := sim.Now()
-			for e := 0; e < n; e++ {
-				drainOut(e, now)
+			for e := 0; e < net.NumEgress(); e++ {
+				ru.drainOut(e, now)
 			}
-			for i := 0; i < m; i++ {
-				copy(cache[i], ale)
+			for i := range ru.cache {
+				copy(ru.cache[i], ru.ale)
 			}
 			return true
 		})
@@ -203,62 +323,270 @@ func Run(net *topology.Network, reqs *request.Set, cfg Config) (*Report, error) 
 	})
 	for _, r := range order {
 		r := r
-		records[int(r.ID)] = Record{Request: r.ID}
-		sim.At(r.Start, func(sim *des.Simulator) {
-			now := sim.Now()
-			i, e := int(r.Ingress), int(r.Egress)
-			rec := &records[int(r.ID)]
+		ru.records[int(r.ID)] = Record{Request: r.ID}
+		ru.sim.At(r.Start, func(*des.Simulator) { ru.arrival(r) })
+	}
+	ru.sim.Run()
 
-			// The transfer can only start once the two-phase handshake
-			// completes; assign the rate against that start.
-			sigma := now + 2*cfg.MsgDelay
-			bw, err := cfg.Policy.Assign(r, sigma)
-			if err != nil {
-				rec.Verdict = PolicyReject
-				out.Reject(r.ID, "policy: "+err.Error())
+	// Quiescence audit: every hold must have resolved. A leak here means
+	// a tentative hold escaped both its timeout and the abort protocol.
+	for _, p := range ru.pend {
+		if !p.done {
+			ru.counters.Leaks++
+		}
+	}
+	for _, st := range ru.egSt {
+		if st.state == egHeld {
+			ru.counters.Leaks++
+		}
+	}
+	if ru.inj != nil {
+		ru.counters.Merge(ru.inj.Stats())
+	}
+	return &Report{Records: ru.records, Outcome: ru.out, Faults: ru.counters}, nil
+}
+
+func (ru *runner) drainIn(i int, now units.Time) {
+	h := &ru.aliRel[i]
+	for h.Len() > 0 && (*h)[0].at <= now {
+		r := heap.Pop(h).(release)
+		ru.ali[i] -= r.bw
+	}
+}
+
+func (ru *runner) drainOut(e int, now units.Time) {
+	h := &ru.aleRel[e]
+	for h.Len() > 0 && (*h)[0].at <= now {
+		r := heap.Pop(h).(release)
+		ru.ale[e] -= r.bw
+	}
+}
+
+func (ru *runner) readCache(i, e int, now units.Time) units.Bandwidth {
+	if ru.cfg.SyncPeriod == 0 {
+		ru.drainOut(e, now)
+		return ru.ale[e]
+	}
+	return ru.cache[i][e]
+}
+
+func (ru *runner) observe(kind HoldKind, dir topology.Direction, p topology.PointID, id request.ID, bw units.Bandwidth, until units.Time) {
+	if ru.cfg.Observer == nil {
+		return
+	}
+	ru.cfg.Observer(HoldEvent{
+		At: ru.sim.Now(), Kind: kind, Dir: dir, Point: p,
+		Request: id, Bandwidth: bw, Until: until,
+	})
+}
+
+func inKey(i topology.PointID) string { return fmt.Sprintf("in/%d", int(i)) }
+func egKey(e topology.PointID) string { return fmt.Sprintf("eg/%d", int(e)) }
+
+// deliver sends one protocol message through the (possibly faulty)
+// channel; fn runs once per surviving copy at its arrival instant, unless
+// the destination router is down then.
+func (ru *runner) deliver(to string, fn func(at units.Time)) {
+	now := ru.sim.Now()
+	if ru.inj == nil {
+		ru.sim.At(now+ru.cfg.MsgDelay, func(s *des.Simulator) { fn(s.Now()) })
+		return
+	}
+	for _, d := range ru.inj.Deliveries(ru.cfg.MsgDelay) {
+		ru.sim.At(now+d, func(s *des.Simulator) {
+			if !ru.inj.Arrive(to, s.Now()) {
 				return
 			}
-			drainIn(i, now)
-			if !units.FitsWithin(ali[i], bw, net.Bin(r.Ingress)) ||
-				!units.FitsWithin(readCache(i, e, now), bw, net.Bout(r.Egress)) {
-				rec.Verdict = LocalReject
-				out.Reject(r.ID, "local view: insufficient capacity")
-				return
-			}
-			// Tentative local hold; RESERVE travels to the egress.
-			ali[i] += bw
-			sim.At(now+cfg.MsgDelay, func(sim *des.Simulator) {
-				at := sim.Now()
-				drainOut(e, at)
-				if units.FitsWithin(ale[e], bw, net.Bout(r.Egress)) {
-					// Commit: the transfer runs [sigma, tau).
-					g, err := request.NewGrant(r, sigma, bw)
-					if err != nil {
-						// Deadline became unreachable between assign and
-						// grant — cannot happen (sigma fixed), but keep
-						// the rollback path total.
-						ali[i] -= bw
-						rec.Verdict = PolicyReject
-						out.Reject(r.ID, "grant: "+err.Error())
-						return
-					}
-					ale[e] += bw
-					heap.Push(&aleRel[e], release{at: g.Tau, bw: bw, p: r.Egress})
-					heap.Push(&aliRel[i], release{at: g.Tau, bw: bw, p: r.Ingress})
-					rec.Verdict = Accepted
-					rec.Grant = g
-					out.Accept(g)
-					return
-				}
-				// NACK: ingress rolls back when the refusal arrives.
-				sim.At(at+cfg.MsgDelay, func(*des.Simulator) {
-					ali[i] -= bw
-				})
-				rec.Verdict = Conflict
-				out.Reject(r.ID, "conflict: egress authoritative check failed")
-			})
+			fn(s.Now())
 		})
 	}
-	sim.Run()
-	return &Report{Records: records, Outcome: out}, nil
+}
+
+// arrival runs the local admission check and, on success, opens the
+// two-phase handshake with a tentative ingress hold.
+func (ru *runner) arrival(r request.Request) {
+	now := ru.sim.Now()
+	i, e := int(r.Ingress), int(r.Egress)
+	rec := &ru.records[int(r.ID)]
+
+	// The transfer can only start once the two-phase handshake completes;
+	// assign the rate against that start.
+	sigma := now + 2*ru.cfg.MsgDelay
+	bw, err := ru.cfg.Policy.Assign(r, sigma)
+	if err != nil {
+		rec.Verdict = PolicyReject
+		ru.out.Reject(r.ID, "policy: "+err.Error())
+		return
+	}
+	ru.drainIn(i, now)
+	if !units.FitsWithin(ru.ali[i], bw, ru.net.Bin(r.Ingress)) ||
+		!units.FitsWithin(ru.readCache(i, e, now), bw, ru.net.Bout(r.Egress)) {
+		rec.Verdict = LocalReject
+		ru.out.Reject(r.ID, "local view: insufficient capacity")
+		return
+	}
+	// Tentative local hold; RESERVE travels to the egress.
+	ru.ali[i] += bw
+	ru.observe(HoldAcquire, topology.Ingress, r.Ingress, r.ID, bw, 0)
+	p := &ingPending{r: r, bw: bw, sigma: sigma}
+	ru.pend[r.ID] = p
+	if ru.cfg.ReserveTimeout > 0 {
+		p.timeout = ru.sim.After(ru.cfg.ReserveTimeout, func(*des.Simulator) {
+			ru.reserveTimeout(p)
+		})
+	}
+	ru.sendReserve(p)
+}
+
+func (ru *runner) sendReserve(p *ingPending) {
+	p.reserveTries++
+	ru.deliver(egKey(p.r.Egress), func(at units.Time) { ru.egressOnReserve(p, at) })
+	if ru.inj != nil && ru.rto > 0 && p.reserveTries < maxAttempts {
+		ru.sim.After(ru.rto, func(*des.Simulator) {
+			if p.done {
+				return
+			}
+			ru.counters.Retransmits++
+			ru.sendReserve(p)
+		})
+	}
+}
+
+// egressOnReserve runs the authoritative check exactly once per request;
+// duplicate RESERVE copies re-send the recorded answer without touching
+// occupancy (idempotent commit).
+func (ru *runner) egressOnReserve(p *ingPending, at units.Time) {
+	e := int(p.r.Egress)
+	st := ru.egSt[p.r.ID]
+	if st == nil {
+		ru.drainOut(e, at)
+		if units.FitsWithin(ru.ale[e], p.bw, ru.net.Bout(p.r.Egress)) {
+			st = &egEntry{state: egHeld, bw: p.bw}
+			ru.ale[e] += p.bw
+			ru.observe(HoldAcquire, topology.Egress, p.r.Egress, p.r.ID, p.bw, 0)
+		} else {
+			st = &egEntry{state: egRefused}
+		}
+		ru.egSt[p.r.ID] = st
+	}
+	switch st.state {
+	case egHeld, egCommitted:
+		ru.deliver(inKey(p.r.Ingress), func(at units.Time) { ru.ingressOnAck(p, at) })
+	default: // refused or aborted
+		ru.deliver(inKey(p.r.Ingress), func(at units.Time) { ru.ingressOnNack(p, at) })
+	}
+}
+
+func (ru *runner) ingressOnAck(p *ingPending, at units.Time) {
+	if p.done {
+		// Duplicate ACK, or an ACK racing a timeout that already rolled
+		// back — the abort loop is converging the egress side.
+		return
+	}
+	p.done, p.committed = true, true
+	ru.sim.Cancel(p.timeout)
+	rec := &ru.records[int(p.r.ID)]
+	g, err := request.NewGrant(p.r, p.sigma, p.bw)
+	if err != nil {
+		// Deadline became unreachable between assign and grant — cannot
+		// happen (sigma fixed), but keep the rollback path total.
+		p.committed = false
+		ru.rollbackIngressHold(p)
+		rec.Verdict = PolicyReject
+		ru.out.Reject(p.r.ID, "grant: "+err.Error())
+		ru.sendAbort(p)
+		return
+	}
+	heap.Push(&ru.aliRel[int(p.r.Ingress)], release{at: g.Tau, bw: p.bw, p: p.r.Ingress})
+	ru.observe(HoldCommit, topology.Ingress, p.r.Ingress, p.r.ID, p.bw, g.Tau)
+	rec.Verdict = Accepted
+	rec.Grant = g
+	ru.out.Accept(g)
+	ru.sendConfirm(p, g.Tau)
+}
+
+func (ru *runner) ingressOnNack(p *ingPending, at units.Time) {
+	if p.done {
+		return
+	}
+	p.done = true
+	ru.sim.Cancel(p.timeout)
+	ru.counters.Conflicts++
+	ru.rollbackIngressHold(p)
+	ru.records[int(p.r.ID)].Verdict = Conflict
+	ru.out.Reject(p.r.ID, "conflict: egress authoritative check failed")
+}
+
+// reserveTimeout fires when neither ACK nor NACK resolved the hold in
+// time: the ingress rolls back instead of leaking, then converges the
+// egress with ABORT.
+func (ru *runner) reserveTimeout(p *ingPending) {
+	if p.done {
+		return
+	}
+	p.done = true
+	ru.counters.Timeouts++
+	ru.rollbackIngressHold(p)
+	ru.records[int(p.r.ID)].Verdict = Timeout
+	ru.out.Reject(p.r.ID, "timeout: handshake unresolved within reserve deadline")
+	ru.sendAbort(p)
+}
+
+func (ru *runner) rollbackIngressHold(p *ingPending) {
+	ru.ali[int(p.r.Ingress)] -= p.bw
+	ru.observe(HoldRelease, topology.Ingress, p.r.Ingress, p.r.ID, p.bw, 0)
+}
+
+func (ru *runner) sendConfirm(p *ingPending, tau units.Time) {
+	p.confirmTries++
+	ru.deliver(egKey(p.r.Egress), func(at units.Time) { ru.egressOnConfirm(p, tau, at) })
+	if ru.inj != nil && ru.rto > 0 && p.confirmTries < maxAttempts {
+		ru.sim.After(ru.rto, func(*des.Simulator) {
+			if p.confirmAcked {
+				return
+			}
+			ru.counters.Retransmits++
+			ru.sendConfirm(p, tau)
+		})
+	}
+}
+
+func (ru *runner) egressOnConfirm(p *ingPending, tau units.Time, at units.Time) {
+	st := ru.egSt[p.r.ID]
+	if st != nil && st.state == egHeld {
+		st.state = egCommitted
+		heap.Push(&ru.aleRel[int(p.r.Egress)], release{at: tau, bw: st.bw, p: p.r.Egress})
+		ru.observe(HoldCommit, topology.Egress, p.r.Egress, p.r.ID, st.bw, tau)
+	}
+	ru.deliver(inKey(p.r.Ingress), func(units.Time) { p.confirmAcked = true })
+}
+
+func (ru *runner) sendAbort(p *ingPending) {
+	p.abortTries++
+	ru.deliver(egKey(p.r.Egress), func(at units.Time) { ru.egressOnAbort(p, at) })
+	if ru.inj != nil && ru.rto > 0 && p.abortTries < maxAttempts {
+		ru.sim.After(ru.rto, func(*des.Simulator) {
+			if p.abortAcked {
+				return
+			}
+			ru.counters.Retransmits++
+			ru.sendAbort(p)
+		})
+	}
+}
+
+func (ru *runner) egressOnAbort(p *ingPending, at units.Time) {
+	st := ru.egSt[p.r.ID]
+	if st == nil {
+		// RESERVE never arrived; remember the abort so a late copy NACKs.
+		ru.egSt[p.r.ID] = &egEntry{state: egAborted}
+	} else if st.state == egHeld {
+		ru.ale[int(p.r.Egress)] -= st.bw
+		ru.observe(HoldRelease, topology.Egress, p.r.Egress, p.r.ID, st.bw, 0)
+		st.state = egAborted
+	}
+	// egCommitted is unreachable here (commit needs CONFIRM, and only a
+	// committed ingress confirms — it never aborts); refused/aborted are
+	// no-ops. Always acknowledge so the abort loop stops.
+	ru.deliver(inKey(p.r.Ingress), func(units.Time) { p.abortAcked = true })
 }

@@ -1,0 +1,172 @@
+// Package faults injects deterministic, seeded failures into the
+// distributed reservation protocol: message drop, latency jitter,
+// duplication, and router crash-restart outages.
+//
+// Every fault decision is drawn from named internal/rng streams split off
+// a single seed, so a fault schedule is a pure function of its Config:
+// the invariant harness replays the exact same drops and outages on every
+// run, and a failing seed reproduces bit-identically.
+//
+// Crash-restart follows the gridbwd durability model — a router's
+// reservation state survives an outage (it is snapshotted, like the
+// daemon's ledger), so a crash manifests as the loss of every message
+// that arrives while the router is down. Recovery is the protocol's job:
+// retransmission and reservation timeouts, not injector magic.
+package faults
+
+import (
+	"fmt"
+
+	"gridbw/internal/metrics"
+	"gridbw/internal/rng"
+	"gridbw/internal/units"
+)
+
+// Config is a reproducible fault schedule.
+type Config struct {
+	// Seed determines every fault decision; equal configs replay equal
+	// schedules.
+	Seed int64
+	// Drop is the per-copy probability that a message copy vanishes in
+	// flight. Drop == 1 severs the channel completely (useful in tests);
+	// the protocol must then resolve every hold by timeout.
+	Drop float64
+	// Duplicate is the probability that a send emits two copies instead
+	// of one — the classic at-least-once hazard commits must tolerate.
+	Duplicate float64
+	// Jitter adds a uniform [0, Jitter) latency on top of the base delay,
+	// drawn independently per copy, so duplicates and retransmissions
+	// arrive out of order.
+	Jitter units.Time
+	// MeanUp and MeanDown alternate exponential router uptime and outage
+	// windows. MeanDown == 0 disables crashes; otherwise MeanUp must be
+	// positive.
+	MeanUp, MeanDown units.Time
+}
+
+// Validate checks the schedule's parameters.
+func (c Config) Validate() error {
+	if c.Drop < 0 || c.Drop > 1 {
+		return fmt.Errorf("faults: drop probability %v outside [0,1]", c.Drop)
+	}
+	if c.Duplicate < 0 || c.Duplicate > 1 {
+		return fmt.Errorf("faults: duplicate probability %v outside [0,1]", c.Duplicate)
+	}
+	if c.Jitter < 0 {
+		return fmt.Errorf("faults: negative jitter %v", c.Jitter)
+	}
+	if c.MeanUp < 0 || c.MeanDown < 0 {
+		return fmt.Errorf("faults: negative crash window means")
+	}
+	if c.MeanDown > 0 && c.MeanUp <= 0 {
+		return fmt.Errorf("faults: crash windows need MeanUp > 0")
+	}
+	return nil
+}
+
+// Enabled reports whether the schedule can perturb anything at all.
+func (c Config) Enabled() bool {
+	return c.Drop > 0 || c.Duplicate > 0 || c.Jitter > 0 || c.MeanDown > 0
+}
+
+type window struct{ from, to units.Time }
+
+// outageTrack lazily extends one router's alternating up/down schedule.
+type outageTrack struct {
+	src     *rng.Source
+	upto    units.Time // schedule generated for [0, upto)
+	windows []window   // ascending, disjoint down windows
+}
+
+// Injector draws fault decisions for a protocol run. It is not safe for
+// concurrent use; the DES kernel is single-threaded by design.
+type Injector struct {
+	cfg     Config
+	fate    *rng.Source
+	crash   *rng.Source
+	outages map[string]*outageTrack
+	stats   metrics.FaultCounters
+}
+
+// New returns an injector for the schedule.
+func New(cfg Config) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed)
+	return &Injector{
+		cfg:     cfg,
+		fate:    root.Split("fate"),
+		crash:   root.Split("crash"),
+		outages: make(map[string]*outageTrack),
+	}, nil
+}
+
+// Deliveries returns the latency of every copy of one message that
+// survives the channel, each at least base. An empty slice is a lost
+// message; two entries are a duplicated one.
+func (inj *Injector) Deliveries(base units.Time) []units.Time {
+	inj.stats.Sent++
+	copies := 1
+	if inj.cfg.Duplicate > 0 && inj.fate.Bool(inj.cfg.Duplicate) {
+		copies = 2
+		inj.stats.Duplicated++
+	}
+	var out []units.Time
+	for i := 0; i < copies; i++ {
+		if inj.cfg.Drop > 0 && inj.fate.Bool(inj.cfg.Drop) {
+			inj.stats.Dropped++
+			continue
+		}
+		d := base
+		if inj.cfg.Jitter > 0 {
+			d += units.Time(inj.fate.Uniform(0, float64(inj.cfg.Jitter)))
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// Arrive reports whether router key accepts a message at instant at: a
+// crashed router loses it. Keys name routers (e.g. "in/3", "eg/0"); each
+// key gets an independent, deterministic outage schedule.
+func (inj *Injector) Arrive(key string, at units.Time) bool {
+	if inj.down(key, at) {
+		inj.stats.CrashLost++
+		return false
+	}
+	inj.stats.Delivered++
+	return true
+}
+
+func (inj *Injector) down(key string, at units.Time) bool {
+	if inj.cfg.MeanDown <= 0 {
+		return false
+	}
+	tr := inj.outages[key]
+	if tr == nil {
+		tr = &outageTrack{src: inj.crash.Split(key)}
+		inj.outages[key] = tr
+	}
+	for tr.upto <= at {
+		up := units.Time(tr.src.Exp(float64(inj.cfg.MeanUp)))
+		down := units.Time(tr.src.Exp(float64(inj.cfg.MeanDown)))
+		from := tr.upto + up
+		tr.windows = append(tr.windows, window{from: from, to: from + down})
+		tr.upto = from + down
+	}
+	// Scan newest-first: queries cluster near the schedule frontier.
+	for i := len(tr.windows) - 1; i >= 0; i-- {
+		w := tr.windows[i]
+		if at >= w.to {
+			return false
+		}
+		if at >= w.from {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats reports the channel-level counters accumulated so far.
+func (inj *Injector) Stats() metrics.FaultCounters { return inj.stats }

@@ -1,0 +1,175 @@
+package faults
+
+import (
+	"testing"
+
+	"gridbw/internal/units"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := []Config{
+		{},
+		{Drop: 1},
+		{Duplicate: 1},
+		{Jitter: 5},
+		{MeanUp: 10, MeanDown: 1},
+	}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%+v: %v", c, err)
+		}
+	}
+	bad := []Config{
+		{Drop: -0.1},
+		{Drop: 1.1},
+		{Duplicate: 2},
+		{Jitter: -1},
+		{MeanDown: 5}, // crashes without uptime
+		{MeanUp: -1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%+v accepted", c)
+		}
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Error("zero config enabled")
+	}
+	for _, c := range []Config{{Drop: 0.1}, {Duplicate: 0.1}, {Jitter: 1}, {MeanUp: 1, MeanDown: 1}} {
+		if !c.Enabled() {
+			t.Errorf("%+v not enabled", c)
+		}
+	}
+}
+
+// TestDeterminism: the same config replays the same fate sequence and
+// outage schedule.
+func TestDeterminism(t *testing.T) {
+	run := func() ([]int, []bool) {
+		inj, err := New(Config{Seed: 7, Drop: 0.3, Duplicate: 0.4, Jitter: 2, MeanUp: 10, MeanDown: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var copies []int
+		var downs []bool
+		for i := 0; i < 200; i++ {
+			copies = append(copies, len(inj.Deliveries(1)))
+			downs = append(downs, !inj.Arrive("in/0", units.Time(i)))
+		}
+		return copies, downs
+	}
+	c1, d1 := run()
+	c2, d2 := run()
+	for i := range c1 {
+		if c1[i] != c2[i] || d1[i] != d2[i] {
+			t.Fatalf("diverged at draw %d: copies %d vs %d, down %v vs %v",
+				i, c1[i], c2[i], d1[i], d2[i])
+		}
+	}
+}
+
+func TestDropAndDuplicateRates(t *testing.T) {
+	inj, err := New(Config{Seed: 1, Drop: 0.5, Duplicate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	total := 0
+	for i := 0; i < n; i++ {
+		total += len(inj.Deliveries(1))
+	}
+	// E[copies] = 1.5, E[survivors] = 0.75 per send.
+	mean := float64(total) / n
+	if mean < 0.65 || mean > 0.85 {
+		t.Errorf("mean surviving copies = %.3f, want ≈ 0.75", mean)
+	}
+	st := inj.Stats()
+	if st.Sent != n {
+		t.Errorf("sent = %d", st.Sent)
+	}
+	if st.Dropped == 0 || st.Duplicated == 0 {
+		t.Errorf("no drops (%d) or duplicates (%d) recorded", st.Dropped, st.Duplicated)
+	}
+}
+
+func TestDropOneSeversChannel(t *testing.T) {
+	inj, err := New(Config{Seed: 2, Drop: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if got := inj.Deliveries(1); len(got) != 0 {
+			t.Fatalf("drop=1 delivered %v", got)
+		}
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	inj, err := New(Config{Seed: 3, Jitter: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawJitter := false
+	for i := 0; i < 500; i++ {
+		for _, d := range inj.Deliveries(1) {
+			if d < 1 || d >= 3 {
+				t.Fatalf("delivery latency %v outside [1, 3)", d)
+			}
+			if d > 1 {
+				sawJitter = true
+			}
+		}
+	}
+	if !sawJitter {
+		t.Error("jitter never applied")
+	}
+}
+
+// TestCrashWindows: a router with outages is down for roughly
+// MeanDown/(MeanUp+MeanDown) of the time, schedules are per-router, and
+// state (the schedule) is consistent across repeated queries.
+func TestCrashWindows(t *testing.T) {
+	inj, err := New(Config{Seed: 4, MeanUp: 8, MeanDown: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const horizon = 4000
+	downA := 0
+	for i := 0; i < horizon; i++ {
+		if !inj.Arrive("in/0", units.Time(i)) {
+			downA++
+		}
+	}
+	frac := float64(downA) / horizon
+	if frac < 0.1 || frac > 0.3 {
+		t.Errorf("down fraction = %.3f, want ≈ 0.2", frac)
+	}
+	// Re-querying past instants is consistent with the generated schedule.
+	wasDown := !inj.Arrive("in/0", 100)
+	for i := 0; i < 3; i++ {
+		if got := !inj.Arrive("in/0", 100); got != wasDown {
+			t.Fatal("outage schedule not stable under re-query")
+		}
+	}
+	// A different router has an independent schedule (almost surely
+	// differing somewhere over 4000 probes).
+	same := true
+	for i := 0; i < horizon; i++ {
+		if inj.Arrive("in/0", units.Time(i)) != inj.Arrive("eg/5", units.Time(i)) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("two routers share an outage schedule")
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{Drop: 2}); err == nil {
+		t.Error("bad config accepted")
+	}
+}

@@ -1,0 +1,41 @@
+package metrics
+
+// FaultCounters aggregates what a fault-injected protocol run observed:
+// the channel-level perturbations (drops, duplicates, crash losses) and
+// the protocol-level outcomes they caused (conflicts, timeouts, leaked
+// holds, retransmissions). The distributed control plane fills one per
+// run; the invariant harness asserts Leaks stays zero.
+type FaultCounters struct {
+	// Sent counts protocol message sends (before any fault decision);
+	// Delivered counts copies that actually reached a live router.
+	Sent      uint64 `json:"sent"`
+	Delivered uint64 `json:"delivered"`
+	// Dropped counts copies lost in flight, Duplicated counts sends that
+	// emitted an extra copy, CrashLost counts copies that arrived at a
+	// crashed router.
+	Dropped    uint64 `json:"dropped"`
+	Duplicated uint64 `json:"duplicated"`
+	CrashLost  uint64 `json:"crash_lost"`
+	// Retransmits counts protocol-level resends of unanswered messages.
+	Retransmits uint64 `json:"retransmits"`
+	// Conflicts counts NACKed reservations, Timeouts counts tentative
+	// holds rolled back by the reservation deadline, Leaks counts holds
+	// still unresolved after quiescence (always zero for a sound run).
+	Conflicts uint64 `json:"conflicts"`
+	Timeouts  uint64 `json:"timeouts"`
+	Leaks     uint64 `json:"leaks"`
+}
+
+// Merge adds o into f field-wise, so protocol counters and injector
+// counters combine into one report.
+func (f *FaultCounters) Merge(o FaultCounters) {
+	f.Sent += o.Sent
+	f.Delivered += o.Delivered
+	f.Dropped += o.Dropped
+	f.Duplicated += o.Duplicated
+	f.CrashLost += o.CrashLost
+	f.Retransmits += o.Retransmits
+	f.Conflicts += o.Conflicts
+	f.Timeouts += o.Timeouts
+	f.Leaks += o.Leaks
+}

@@ -18,6 +18,14 @@ type Online struct {
 	// GrantedRateSum sums bw(r) over accepted requests; with Accepted it
 	// yields the mean granted rate without storing per-request records.
 	GrantedRateSum units.Bandwidth `json:"granted_rate_sum_bps"`
+	// Shed counts submissions refused before admission because the daemon
+	// was over its in-flight limit; they are not counted in Submitted.
+	Shed uint64 `json:"shed,omitempty"`
+	// IdempotentHits counts retried submissions answered from the
+	// idempotency cache instead of being admitted a second time.
+	IdempotentHits uint64 `json:"idempotent_hits,omitempty"`
+	// Panics counts handler panics recovered by the HTTP middleware.
+	Panics uint64 `json:"panics,omitempty"`
 }
 
 // RecordAccept counts an accepted request with its granted rate and volume.
@@ -39,6 +47,15 @@ func (o *Online) RecordCancel() { o.Cancelled++ }
 
 // RecordExpire counts a reservation whose window passed (transfer done).
 func (o *Online) RecordExpire() { o.Expired++ }
+
+// RecordShed counts a submission refused by overload protection.
+func (o *Online) RecordShed() { o.Shed++ }
+
+// RecordIdempotentHit counts a retry answered from the idempotency cache.
+func (o *Online) RecordIdempotentHit() { o.IdempotentHits++ }
+
+// RecordPanic counts a recovered handler panic.
+func (o *Online) RecordPanic() { o.Panics++ }
 
 // AcceptRate reports Accepted/Submitted, the online MAX-REQUESTS
 // objective; 0 before any submission.

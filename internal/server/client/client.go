@@ -1,39 +1,134 @@
 // Package client is the typed Go client of the gridbwd HTTP API — the
 // counterpart middleware links against instead of hand-rolling JSON.
 // All calls take a context; cancelling it aborts the HTTP round trip.
+//
+// The client is failure-aware by default: every call gets a per-attempt
+// deadline, transient failures (transport errors, 429, 502/503/504) are
+// retried with exponential backoff and jitter, and Submit attaches an
+// idempotency key so a retried submission can never book twice — the
+// daemon answers the retry from its idempotency cache.
 package client
 
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"gridbw/internal/server"
 )
+
+// Defaults for Options' zero values.
+const (
+	defaultHTTPTimeout = 30 * time.Second
+	defaultCallTimeout = 10 * time.Second
+	defaultMaxRetries  = 3
+	defaultBaseBackoff = 100 * time.Millisecond
+	defaultMaxBackoff  = 2 * time.Second
+)
+
+// Options tunes the client's failure handling. The zero value means
+// "sensible defaults"; explicit negatives disable a mechanism.
+type Options struct {
+	// CallTimeout bounds each attempt (not the whole retry sequence);
+	// 0 means 10s, negative disables the per-attempt deadline.
+	CallTimeout time.Duration
+	// MaxRetries is how many times a transient failure is retried after
+	// the first attempt; 0 means 3, negative disables retries.
+	MaxRetries int
+	// BaseBackoff and MaxBackoff shape the exponential backoff
+	// (base·2^attempt capped at max, with up to 50% random jitter);
+	// zeros mean 100ms and 2s.
+	BaseBackoff, MaxBackoff time.Duration
+	// Jitter returns a uniform [0,1) draw; nil uses a time-seeded
+	// default. Tests inject a constant for determinism.
+	Jitter func() float64
+	// Sleep waits between attempts; nil sleeps on the real clock,
+	// honoring ctx. Tests inject a recorder to run instantly.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (o Options) withDefaults() Options {
+	if o.CallTimeout == 0 {
+		o.CallTimeout = defaultCallTimeout
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = defaultMaxRetries
+	}
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = defaultBaseBackoff
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = defaultMaxBackoff
+	}
+	if o.Jitter == nil {
+		o.Jitter = func() float64 {
+			return float64(time.Now().UnixNano()%1000) / 1000
+		}
+	}
+	if o.Sleep == nil {
+		o.Sleep = func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+				return nil
+			}
+		}
+	}
+	return o
+}
 
 // Client talks to one gridbwd daemon.
 type Client struct {
 	base string
 	hc   *http.Client
+	opts Options
 }
 
-// New returns a client for the daemon at base (e.g. "http://127.0.0.1:8080").
-// A nil hc uses http.DefaultClient.
+// New returns a client for the daemon at base (e.g. "http://127.0.0.1:8080")
+// with default failure handling. A nil hc uses an internal client with a
+// 30s timeout — never http.DefaultClient, whose zero timeout would hang a
+// call forever on a stuck daemon.
 func New(base string, hc *http.Client) *Client {
+	return NewWithOptions(base, hc, Options{})
+}
+
+// NewWithOptions returns a client with explicit failure handling.
+func NewWithOptions(base string, hc *http.Client, opts Options) *Client {
 	if hc == nil {
-		hc = http.DefaultClient
+		hc = &http.Client{Timeout: defaultHTTPTimeout}
 	}
-	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc, opts: opts.withDefaults()}
+}
+
+// NewIdempotencyKey returns a fresh random submission key.
+func NewIdempotencyKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing means the platform is broken; fall back to
+		// a time-derived key rather than sending duplicate-prone calls.
+		return fmt.Sprintf("t-%d", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // APIError is a non-2xx daemon answer.
 type APIError struct {
 	StatusCode int
 	Message    string
+	// RetryAfter is the daemon's backoff hint on 429 answers; zero
+	// otherwise.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -53,20 +148,86 @@ func IsConflict(err error) bool {
 	return ok && ae.StatusCode == http.StatusConflict
 }
 
+// IsOverloaded reports whether err is the daemon's 429 shed answer.
+func IsOverloaded(err error) bool {
+	ae, ok := err.(*APIError)
+	return ok && ae.StatusCode == http.StatusTooManyRequests
+}
+
+// retryable reports whether err is worth another attempt: transport
+// failures and the transient HTTP answers (shed, gateway trouble).
+func retryable(err error) bool {
+	if ae, ok := err.(*APIError); ok {
+		switch ae.StatusCode {
+		case http.StatusTooManyRequests, http.StatusBadGateway,
+			http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return true
+		}
+		return false
+	}
+	// Anything that never produced an HTTP status is a transport-level
+	// failure (dial refused, reset, attempt deadline).
+	return err != nil
+}
+
+// backoff computes the wait before retry attempt (0-based), preferring
+// the daemon's own Retry-After hint over the exponential schedule.
+func (c *Client) backoff(attempt int, err error) time.Duration {
+	if ae, ok := err.(*APIError); ok && ae.RetryAfter > 0 {
+		return ae.RetryAfter
+	}
+	d := c.opts.BaseBackoff << uint(attempt)
+	if d > c.opts.MaxBackoff || d <= 0 {
+		d = c.opts.MaxBackoff
+	}
+	return d + time.Duration(c.opts.Jitter()*float64(d)/2)
+}
+
+// do runs one retrying call. body is re-marshalled per attempt, so every
+// retry sends the complete request (including any idempotency key).
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
+	var blob []byte
 	if body != nil {
-		blob, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if blob, err = json.Marshal(body); err != nil {
 			return fmt.Errorf("gridbwd: encode request: %w", err)
 		}
+	}
+	retries := c.opts.MaxRetries
+	if retries < 0 {
+		retries = 0
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = c.attempt(ctx, method, path, blob, out)
+		if err == nil || !retryable(err) || attempt >= retries {
+			return err
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+		if serr := c.opts.Sleep(ctx, c.backoff(attempt, err)); serr != nil {
+			return err
+		}
+	}
+}
+
+// attempt runs one HTTP round trip under the per-attempt deadline.
+func (c *Client) attempt(ctx context.Context, method, path string, blob []byte, out any) error {
+	if c.opts.CallTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.opts.CallTimeout)
+		defer cancel()
+	}
+	var rd io.Reader
+	if blob != nil {
 		rd = bytes.NewReader(blob)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
 		return fmt.Errorf("gridbwd: %w", err)
 	}
-	if body != nil {
+	if blob != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.hc.Do(req)
@@ -85,7 +246,13 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 			// envelope; surface the raw body.
 			msg = strings.TrimSpace(string(blob))
 		}
-		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+		ae := &APIError{StatusCode: resp.StatusCode, Message: msg}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+				ae.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return ae
 	}
 	if out == nil {
 		return nil
@@ -97,8 +264,14 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 }
 
 // Submit posts a reservation request and returns the daemon's decision.
-// A rejection is a normal answer (Accepted == false), not an error.
+// A rejection is a normal answer (Accepted == false), not an error. If
+// req carries no idempotency key, one is generated, so the retry loop
+// (and any caller-level retry of the returned error) can never book the
+// same submission twice.
 func (c *Client) Submit(ctx context.Context, req server.SubmitRequest) (server.ReservationJSON, error) {
+	if req.IdempotencyKey == "" {
+		req.IdempotencyKey = NewIdempotencyKey()
+	}
 	var out server.ReservationJSON
 	err := c.do(ctx, http.MethodPost, "/v1/requests", req, &out)
 	return out, err
@@ -112,6 +285,9 @@ func (c *Client) Get(ctx context.Context, id int) (server.ReservationJSON, error
 }
 
 // Cancel revokes a live reservation and returns its final record.
+// Cancels are not retried blindly: a cancel is idempotent on the daemon
+// (a second cancel answers 409 with the final record), so retries are
+// safe, and the usual transient classification applies.
 func (c *Client) Cancel(ctx context.Context, id int) (server.ReservationJSON, error) {
 	var out server.ReservationJSON
 	err := c.do(ctx, http.MethodDelete, fmt.Sprintf("/v1/requests/%d", id), nil, &out)
@@ -122,6 +298,15 @@ func (c *Client) Cancel(ctx context.Context, id int) (server.ReservationJSON, er
 func (c *Client) Status(ctx context.Context) (server.StatusJSON, error) {
 	var out server.StatusJSON
 	err := c.do(ctx, http.MethodGet, "/v1/status", nil, &out)
+	return out, err
+}
+
+// Health fetches the readiness probe. A draining daemon answers 503,
+// surfaced as an *APIError. Health is never retried — a probe wants the
+// current truth, not an eventually-friendly answer.
+func (c *Client) Health(ctx context.Context) (server.HealthJSON, error) {
+	var out server.HealthJSON
+	err := c.attempt(ctx, http.MethodGet, "/v1/healthz", nil, &out)
 	return out, err
 }
 

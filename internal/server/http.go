@@ -6,18 +6,25 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"gridbw/internal/request"
 	"gridbw/internal/units"
 )
 
-// The HTTP/JSON surface of gridbwd. Five endpoints:
+// The HTTP/JSON surface of gridbwd. Six endpoints:
 //
 //	POST   /v1/requests       submit a reservation request
 //	GET    /v1/requests/{id}  look up one reservation
 //	DELETE /v1/requests/{id}  cancel a live reservation
 //	GET    /v1/status         platform occupancy + lifetime counters
 //	GET    /v1/metricsz       the same counters in Prometheus text format
+//	GET    /v1/healthz        readiness probe (503 while draining)
+//
+// Submissions may carry an Idempotency-Key header (or the equivalent
+// body field) making retries safe, and POST /v1/requests is bounded by
+// the server's in-flight limit: excess submissions get 429 with a
+// Retry-After hint instead of queueing without bound.
 //
 // Quantities accept both base-unit numbers (volume_bytes, max_rate_bps,
 // deadline_s) and human-readable strings (volume "500GB", max_rate
@@ -40,6 +47,9 @@ type SubmitRequest struct {
 	StartIn    string  `json:"start_in,omitempty"`
 	DeadlineS  float64 `json:"deadline_s,omitempty"`
 	DeadlineIn string  `json:"deadline_in,omitempty"`
+	// IdempotencyKey makes the submission retryable; the Idempotency-Key
+	// request header is an equivalent spelling.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
 // ReservationJSON is the wire form of a Decision.
@@ -74,6 +84,9 @@ type StatusJSON struct {
 	Rejected       uint64      `json:"rejected"`
 	Cancelled      uint64      `json:"cancelled"`
 	Expired        uint64      `json:"expired"`
+	Shed           uint64      `json:"shed"`
+	IdempotentHits uint64      `json:"idempotent_hits"`
+	Panics         uint64      `json:"panics"`
 	AcceptRate     float64     `json:"accept_rate"`
 	MeanGrantedBps float64     `json:"mean_granted_rate_bps"`
 	Points         []PointJSON `json:"points"`
@@ -84,15 +97,77 @@ type ErrorJSON struct {
 	Error string `json:"error"`
 }
 
-// Handler returns the daemon's HTTP API.
+// Handler returns the daemon's HTTP API: the route mux behind the
+// panic-recovery middleware, with submissions behind load shedding.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/requests", s.handleSubmit)
+	mux.Handle("POST /v1/requests", s.shed(http.HandlerFunc(s.handleSubmit)))
 	mux.HandleFunc("GET /v1/requests/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/requests/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/status", s.handleStatus)
 	mux.HandleFunc("GET /v1/metricsz", s.handleMetricsz)
-	return mux
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	return s.Recoverer(mux)
+}
+
+// Recoverer converts handler panics into 500 responses instead of
+// killing the connection (and, under net/http, only that goroutine —
+// leaving the daemon in an untracked half-broken state). Each recovered
+// panic is counted and audited in the decision log.
+func (s *Server) Recoverer(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.recordPanic(r.Method+" "+r.URL.Path, v)
+				writeError(w, http.StatusInternalServerError, fmt.Errorf("internal error"))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// shed bounds concurrent submissions: when every in-flight slot is
+// taken the request is refused immediately with 429 and a Retry-After
+// hint, so overload degrades into fast, explicit backpressure.
+func (s *Server) shed(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !s.acquire() {
+			s.recordShed()
+			w.Header().Set("Retry-After", strconv.Itoa(int((s.retryAfter+time.Second-1)/time.Second)))
+			writeError(w, http.StatusTooManyRequests, errOverloaded)
+			return
+		}
+		defer s.release()
+		next.ServeHTTP(w, r)
+	})
+}
+
+var errOverloaded = errors.New("server: overloaded, retry later")
+
+// HealthJSON is the GET /v1/healthz body.
+type HealthJSON struct {
+	Status      string  `json:"status"` // "ok" or "draining"
+	NowS        float64 `json:"now_s"`
+	InFlight    int     `json:"in_flight"`
+	MaxInFlight int     `json:"max_in_flight"`
+	Shed        uint64  `json:"shed_total"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.Status()
+	body := HealthJSON{
+		Status:      "ok",
+		NowS:        float64(st.Now),
+		InFlight:    s.InFlight(),
+		MaxInFlight: s.InFlightLimit(),
+		Shed:        st.Stats.Shed,
+	}
+	code := http.StatusOK
+	if s.Closed() {
+		body.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -109,12 +184,13 @@ func writeError(w http.ResponseWriter, code int, err error) {
 // against the current service clock.
 func (s *Server) parseSubmission(body SubmitRequest) (Submission, error) {
 	sub := Submission{
-		From:      body.From,
-		To:        body.To,
-		Volume:    units.Volume(body.VolumeBytes),
-		MaxRate:   units.Bandwidth(body.MaxRateBps),
-		NotBefore: units.Time(body.NotBeforeS),
-		Deadline:  units.Time(body.DeadlineS),
+		From:           body.From,
+		To:             body.To,
+		Volume:         units.Volume(body.VolumeBytes),
+		MaxRate:        units.Bandwidth(body.MaxRateBps),
+		NotBefore:      units.Time(body.NotBeforeS),
+		Deadline:       units.Time(body.DeadlineS),
+		IdempotencyKey: body.IdempotencyKey,
 	}
 	if body.Volume != "" {
 		if body.VolumeBytes != 0 {
@@ -191,6 +267,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if hk := r.Header.Get("Idempotency-Key"); hk != "" {
+		if sub.IdempotencyKey != "" && sub.IdempotencyKey != hk {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("idempotency_key body field and Idempotency-Key header disagree"))
+			return
+		}
+		sub.IdempotencyKey = hk
+	}
 	d, err := s.Submit(sub)
 	switch {
 	case errors.Is(err, ErrClosed):
@@ -260,6 +344,9 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Rejected:       st.Stats.Rejected,
 		Cancelled:      st.Stats.Cancelled,
 		Expired:        st.Stats.Expired,
+		Shed:           st.Stats.Shed,
+		IdempotentHits: st.Stats.IdempotentHits,
+		Panics:         st.Stats.Panics,
 		AcceptRate:     st.Stats.AcceptRate(),
 		MeanGrantedBps: float64(st.Stats.MeanGrantedRate()),
 	}
@@ -288,6 +375,12 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "gridbwd_reservations_cancelled_total %d\n", st.Stats.Cancelled)
 	fmt.Fprintf(w, "# TYPE gridbwd_reservations_expired_total counter\n")
 	fmt.Fprintf(w, "gridbwd_reservations_expired_total %d\n", st.Stats.Expired)
+	fmt.Fprintf(w, "# TYPE gridbwd_requests_shed_total counter\n")
+	fmt.Fprintf(w, "gridbwd_requests_shed_total %d\n", st.Stats.Shed)
+	fmt.Fprintf(w, "# TYPE gridbwd_requests_idempotent_hits_total counter\n")
+	fmt.Fprintf(w, "gridbwd_requests_idempotent_hits_total %d\n", st.Stats.IdempotentHits)
+	fmt.Fprintf(w, "# TYPE gridbwd_handler_panics_total counter\n")
+	fmt.Fprintf(w, "gridbwd_handler_panics_total %d\n", st.Stats.Panics)
 	fmt.Fprintf(w, "# TYPE gridbwd_reservations_booked gauge\n")
 	fmt.Fprintf(w, "gridbwd_reservations_booked %d\n", st.Booked)
 	fmt.Fprintf(w, "# TYPE gridbwd_reservations_active gauge\n")

@@ -1,0 +1,142 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"gridbw/internal/core"
+	"gridbw/internal/request"
+	"gridbw/internal/topology"
+	"gridbw/internal/trace"
+	"gridbw/internal/units"
+)
+
+// NewFromDecisions rebuilds a server from its decision audit log — the
+// disaster-recovery path for a corrupt or missing snapshot. Unlike
+// NewFromSnapshot, the log does not carry the platform, so cfg must
+// supply Ingress/Egress/Policy (the normal New configuration).
+//
+// The log is replayed in order: accepts book capacity, cancels and
+// expires release it, and the service clock resumes at the last event's
+// timestamp. Reservations whose τ(r) has passed by then are retired as
+// expired even without an explicit expire event (the daemon may have
+// died before writing one). Survivors go through the ledger's own
+// constraint checks, so a tampered log cannot admit an infeasible state.
+func NewFromDecisions(events []trace.Event, cfg Config) (*Server, error) {
+	net, err := topology.New(topology.Config{Ingress: cfg.Ingress, Egress: cfg.Egress})
+	if err != nil {
+		return nil, fmt.Errorf("server: replay: %w", err)
+	}
+	name := cfg.Policy
+	if name == "" {
+		name = "minbw"
+	}
+	pol, err := core.ParsePolicy(name)
+	if err != nil {
+		return nil, fmt.Errorf("server: replay: %w", err)
+	}
+	s := newServer(cfg, net, pol, name)
+
+	type liveGrant struct {
+		r request.Request
+		g request.Grant
+	}
+	live := make(map[request.ID]liveGrant)
+	var now float64
+	var nextID int
+	for i, ev := range events {
+		if ev.At < now {
+			return nil, fmt.Errorf("server: replay: event %d goes back in time (%g < %g)", i, ev.At, now)
+		}
+		now = ev.At
+		if ev.Request >= nextID {
+			nextID = ev.Request + 1
+		}
+		switch ev.Kind {
+		case trace.EventAccept:
+			id := request.ID(ev.Request)
+			if _, dup := live[id]; dup {
+				return nil, fmt.Errorf("server: replay: reservation %d accepted twice", ev.Request)
+			}
+			g := request.Grant{
+				Request:   id,
+				Bandwidth: units.Bandwidth(ev.RateBps),
+				Sigma:     units.Time(ev.SigmaS),
+				Tau:       units.Time(ev.TauS),
+			}
+			if g.Tau <= g.Sigma || g.Bandwidth <= 0 {
+				return nil, fmt.Errorf("server: replay: reservation %d has degenerate grant", ev.Request)
+			}
+			vol := units.Volume(ev.VolumeB)
+			maxRate := units.Bandwidth(ev.MaxRateBps)
+			if vol <= 0 {
+				// Old logs omit the submission echo; the daemon's grants
+				// always satisfy vol = bw·(τ−σ) exactly, so derive it.
+				vol = g.Bandwidth.For(g.Tau - g.Sigma)
+				maxRate = g.Bandwidth
+			}
+			r := request.Request{
+				ID:      id,
+				Ingress: topology.PointID(ev.Ingress), Egress: topology.PointID(ev.Egress),
+				Start: g.Sigma, Finish: g.Tau,
+				Volume: vol, MaxRate: maxRate,
+			}
+			if int(r.Ingress) >= net.NumIngress() || int(r.Egress) >= net.NumEgress() ||
+				r.Ingress < 0 || r.Egress < 0 {
+				return nil, fmt.Errorf("server: replay: reservation %d routed through unknown point", ev.Request)
+			}
+			live[id] = liveGrant{r: r, g: g}
+			s.stats.RecordAccept(g.Bandwidth, vol)
+		case trace.EventReject:
+			s.stats.RecordReject()
+		case trace.EventCancel:
+			if _, ok := live[request.ID(ev.Request)]; !ok {
+				return nil, fmt.Errorf("server: replay: cancel of unknown reservation %d", ev.Request)
+			}
+			delete(live, request.ID(ev.Request))
+			s.stats.RecordCancel()
+		case trace.EventExpire:
+			if _, ok := live[request.ID(ev.Request)]; !ok {
+				return nil, fmt.Errorf("server: replay: expire of unknown reservation %d", ev.Request)
+			}
+			delete(live, request.ID(ev.Request))
+			s.stats.RecordExpire()
+		case trace.EventRestore, trace.EventPanic:
+			// Markers only; they carry no reservation state.
+		default:
+			return nil, fmt.Errorf("server: replay: unknown event kind %q", ev.Kind)
+		}
+	}
+
+	s.epoch = s.clock().Add(-time.Duration(now * float64(time.Second)))
+	s.nextID = request.ID(nextID)
+	ids := make([]request.ID, 0, len(live))
+	for id := range live {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		lg := live[id]
+		if float64(lg.g.Tau) <= now {
+			// The window passed while the daemon was down; the expire
+			// event just never made it to the log.
+			s.stats.RecordExpire()
+			continue
+		}
+		if err := s.ledger.Reserve(lg.r, lg.g); err != nil {
+			return nil, fmt.Errorf("server: replay: %w", err)
+		}
+		e := &entry{req: lg.r, grant: lg.g, state: StateActive}
+		e.expire = s.sim.At(lg.g.Tau, s.expireEvent(id))
+		s.resv[id] = e
+	}
+	if s.decisions != nil {
+		_ = s.decisions.Append(trace.Event{
+			At: now, Kind: trace.EventRestore, Request: -1,
+			Reason: fmt.Sprintf("replayed %d events, %d reservations live", len(events), len(s.resv)),
+		})
+	}
+	go s.loop()
+	return s, nil
+}

@@ -53,11 +53,23 @@ type Config struct {
 	Decisions *trace.DecisionLog
 	// FinishedRetention bounds how many expired/cancelled reservations
 	// stay queryable via Lookup before the oldest are evicted; <= 0 means
-	// the default of 4096.
+	// the default of 4096. The idempotency cache shares the same bound.
 	FinishedRetention int
+	// MaxInFlight bounds concurrently-served submissions at the HTTP
+	// layer; excess requests are shed with 429 Too Many Requests rather
+	// than queued without bound. 0 means the default of 64; negative
+	// disables shedding.
+	MaxInFlight int
+	// RetryAfter is the backoff hint attached to shed responses;
+	// defaults to 1s.
+	RetryAfter time.Duration
 }
 
-const defaultFinishedRetention = 4096
+const (
+	defaultFinishedRetention = 4096
+	defaultMaxInFlight       = 64
+	defaultRetryAfter        = time.Second
+)
 
 // State is a reservation's lifecycle position.
 type State string
@@ -88,6 +100,10 @@ type Submission struct {
 	Deadline units.Time
 	// MaxRate is the host transmission cap.
 	MaxRate units.Bandwidth
+	// IdempotencyKey, when non-empty, makes the submission safely
+	// retryable: a second Submit with the same key returns the original
+	// decision instead of booking again.
+	IdempotencyKey string
 }
 
 // Decision is the server's answer to a Submission or Lookup.
@@ -138,15 +154,22 @@ type Server struct {
 	decisions  *trace.DecisionLog
 	retention  int
 
-	mu       sync.Mutex
-	ledger   *alloc.Ledger
-	sim      *des.Simulator
-	epoch    time.Time // wall instant of service time 0
-	resv     map[request.ID]*entry
-	finished []request.ID // FIFO eviction queue of terminal IDs
-	nextID   request.ID
-	stats    metrics.Online
-	closed   bool
+	mu        sync.Mutex
+	ledger    *alloc.Ledger
+	sim       *des.Simulator
+	epoch     time.Time // wall instant of service time 0
+	resv      map[request.ID]*entry
+	finished  []request.ID // FIFO eviction queue of terminal IDs
+	nextID    request.ID
+	stats     metrics.Online
+	idem      map[string]Decision
+	idemOrder []string // FIFO eviction queue of idempotency keys
+	closed    bool
+
+	// inflight is the admission semaphore the HTTP layer acquires around
+	// each submission; nil when shedding is disabled.
+	inflight   chan struct{}
+	retryAfter time.Duration
 
 	kick chan struct{}
 	stop chan struct{}
@@ -183,6 +206,18 @@ func newServer(cfg Config, net *topology.Network, pol policy.Policy, name string
 	if retention <= 0 {
 		retention = defaultFinishedRetention
 	}
+	maxInFlight := cfg.MaxInFlight
+	if maxInFlight == 0 {
+		maxInFlight = defaultMaxInFlight
+	}
+	var inflight chan struct{}
+	if maxInFlight > 0 {
+		inflight = make(chan struct{}, maxInFlight)
+	}
+	retryAfter := cfg.RetryAfter
+	if retryAfter <= 0 {
+		retryAfter = defaultRetryAfter
+	}
 	return &Server{
 		net:        net,
 		pol:        pol,
@@ -193,6 +228,9 @@ func newServer(cfg Config, net *topology.Network, pol policy.Policy, name string
 		ledger:     alloc.NewLedger(net),
 		sim:        des.New(),
 		resv:       make(map[request.ID]*entry),
+		idem:       make(map[string]Decision),
+		inflight:   inflight,
+		retryAfter: retryAfter,
 		kick:       make(chan struct{}, 1),
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
@@ -311,6 +349,18 @@ func (s *Server) Submit(sub Submission) (Decision, error) {
 	}
 	s.advanceLocked()
 
+	// A retried submission (same idempotency key) is answered from the
+	// original decision — it never books a second time.
+	if sub.IdempotencyKey != "" {
+		if d, ok := s.idem[sub.IdempotencyKey]; ok {
+			s.stats.RecordIdempotentHit()
+			if e, live := s.resv[d.ID]; live && d.Accepted {
+				return s.decisionLocked(e), nil
+			}
+			return d, nil
+		}
+	}
+
 	notBefore := sub.NotBefore
 	if now := s.sim.Now(); notBefore < now {
 		notBefore = now
@@ -329,16 +379,34 @@ func (s *Server) Submit(sub Submission) (Decision, error) {
 	}
 	// Window and rate infeasibility are domain rejections, not API errors.
 	if r.Finish <= r.Start {
-		return s.rejectLocked(r, fmt.Sprintf("empty window: deadline %v not after start %v", r.Finish, r.Start)), nil
+		return s.rememberLocked(sub.IdempotencyKey,
+			s.rejectLocked(r, fmt.Sprintf("empty window: deadline %v not after start %v", r.Finish, r.Start))), nil
 	}
 	if r.MinRate() > r.MaxRate*(1+units.Eps) {
-		return s.rejectLocked(r, fmt.Sprintf("infeasible: needs %v to move %v in window but MaxRate is %v",
-			r.MinRate(), r.Volume, r.MaxRate)), nil
+		return s.rememberLocked(sub.IdempotencyKey,
+			s.rejectLocked(r, fmt.Sprintf("infeasible: needs %v to move %v in window but MaxRate is %v",
+				r.MinRate(), r.Volume, r.MaxRate))), nil
 	}
 	if err := r.Validate(); err != nil {
 		return Decision{}, fmt.Errorf("server: %w", err)
 	}
-	return s.admitLocked(r), nil
+	return s.rememberLocked(sub.IdempotencyKey, s.admitLocked(r)), nil
+}
+
+// rememberLocked caches a decision under its idempotency key, bounded by
+// the same FIFO retention as finished reservations.
+func (s *Server) rememberLocked(key string, d Decision) Decision {
+	if key == "" {
+		return d
+	}
+	s.idem[key] = d
+	s.idemOrder = append(s.idemOrder, key)
+	for len(s.idemOrder) > s.retention {
+		evict := s.idemOrder[0]
+		s.idemOrder = s.idemOrder[1:]
+		delete(s.idem, evict)
+	}
+	return d
 }
 
 // admitLocked runs the admission search for a validated request.
@@ -552,6 +620,63 @@ func (s *Server) VerifyInvariant() error {
 	return s.ledger.CheckInvariant()
 }
 
+// Closed reports whether the server is draining (readiness probe input).
+func (s *Server) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// InFlightLimit reports the admission semaphore's size; 0 when shedding
+// is disabled.
+func (s *Server) InFlightLimit() int { return cap(s.inflight) }
+
+// InFlight reports how many submissions currently hold a semaphore slot.
+func (s *Server) InFlight() int { return len(s.inflight) }
+
+// acquire takes an admission slot; false means the server is over its
+// in-flight limit and the submission must be shed.
+func (s *Server) acquire() bool {
+	if s.inflight == nil {
+		return true
+	}
+	select {
+	case s.inflight <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Server) release() {
+	if s.inflight != nil {
+		<-s.inflight
+	}
+}
+
+// recordShed counts an overload-shed submission.
+func (s *Server) recordShed() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.RecordShed()
+}
+
+// recordPanic counts a recovered handler panic and audits it in the
+// decision log so operators can see crashes that never reached a client.
+func (s *Server) recordPanic(where string, val any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advanceLocked()
+	s.stats.RecordPanic()
+	if s.decisions != nil {
+		_ = s.decisions.Append(trace.Event{
+			At: float64(s.sim.Now()), Kind: trace.EventPanic,
+			Request: -1, Ingress: -1, Egress: -1,
+			Reason: fmt.Sprintf("%s: %v", where, val),
+		})
+	}
+}
+
 func (s *Server) logLocked(kind string, r request.Request, g request.Grant, reason string) {
 	if s.decisions == nil {
 		return
@@ -562,6 +687,7 @@ func (s *Server) logLocked(kind string, r request.Request, g request.Grant, reas
 		At: float64(s.sim.Now()), Kind: kind, Request: int(r.ID),
 		Ingress: int(r.Ingress), Egress: int(r.Egress),
 		RateBps: float64(g.Bandwidth), SigmaS: float64(g.Sigma), TauS: float64(g.Tau),
+		VolumeB: float64(r.Volume), MaxRateBps: float64(r.MaxRate),
 		Reason: reason,
 	})
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"gridbw/internal/core"
@@ -45,6 +46,10 @@ type Snapshot struct {
 	EgressBps  []float64         `json:"egress_capacity_bps"`
 	Counters   metrics.Online    `json:"counters"`
 	Live       []snapReservation `json:"reservations"`
+	// Idempotency maps submission idempotency keys to the reservation
+	// they booked, for keys whose reservation is still live — so a client
+	// retrying across a daemon restart still cannot double-book.
+	Idempotency map[string]int `json:"idempotency_keys,omitempty"`
 }
 
 // Snapshot captures the current state. It works on a closed server, so a
@@ -76,6 +81,17 @@ func (s *Server) Snapshot() *Snapshot {
 			RateBps: float64(e.grant.Bandwidth),
 			SigmaS:  float64(e.grant.Sigma), TauS: float64(e.grant.Tau),
 		})
+	}
+	for key, d := range s.idem {
+		if !d.Accepted {
+			continue
+		}
+		if e, ok := s.resv[d.ID]; ok && e.state == StateActive {
+			if snap.Idempotency == nil {
+				snap.Idempotency = make(map[string]int)
+			}
+			snap.Idempotency[key] = int(d.ID)
+		}
 	}
 	return snap
 }
@@ -193,6 +209,22 @@ func NewFromSnapshot(snap *Snapshot, cfg Config) (*Server, error) {
 		e := &entry{req: r, grant: g, state: StateActive}
 		e.expire = s.sim.At(g.Tau, s.expireEvent(r.ID))
 		s.resv[r.ID] = e
+	}
+	idemKeys := make([]string, 0, len(snap.Idempotency))
+	for key := range snap.Idempotency {
+		idemKeys = append(idemKeys, key)
+	}
+	sort.Strings(idemKeys)
+	for _, key := range idemKeys {
+		id := snap.Idempotency[key]
+		e, ok := s.resv[request.ID(id)]
+		if !ok {
+			return nil, fmt.Errorf("server: restore: idempotency key for unknown reservation %d", id)
+		}
+		s.rememberLocked(key, Decision{
+			ID: e.req.ID, Accepted: true, State: StateActive,
+			Rate: e.grant.Bandwidth, Sigma: e.grant.Sigma, Tau: e.grant.Tau,
+		})
 	}
 	if s.decisions != nil {
 		_ = s.decisions.Append(trace.Event{

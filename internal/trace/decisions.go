@@ -15,6 +15,7 @@ const (
 	EventCancel  = "cancel"
 	EventExpire  = "expire"
 	EventRestore = "restore"
+	EventPanic   = "panic"
 )
 
 // Event is one admission-control decision as it happened, in the same
@@ -32,7 +33,13 @@ type Event struct {
 	RateBps float64 `json:"rate_bps,omitempty"`
 	SigmaS  float64 `json:"sigma_s,omitempty"`
 	TauS    float64 `json:"tau_s,omitempty"`
-	Reason  string  `json:"reason,omitempty"`
+	// VolumeB and MaxRateBps echo the submission so the log alone can
+	// rebuild server state (disaster recovery when the snapshot is
+	// corrupt). Old logs omit them; replay then derives the volume from
+	// the grant (rate·(tau−sigma) is exact for the daemon's grants).
+	VolumeB    float64 `json:"volume_bytes,omitempty"`
+	MaxRateBps float64 `json:"max_rate_bps,omitempty"`
+	Reason     string  `json:"reason,omitempty"`
 }
 
 // DecisionLog appends admission events as JSON Lines (one object per
