@@ -1,9 +1,9 @@
 // Command gridbwd is the online admission-control daemon: the paper's
 // bandwidth-sharing service behind an HTTP/JSON API.
 //
-// It serves the /v1 endpoints (requests, status, metricsz, healthz),
-// expires grants against the wall clock, sheds submissions beyond its
-// in-flight limit, and persists its control-plane state as a JSON
+// It serves the /v1 endpoints (requests, batch, status, metricsz,
+// healthz), expires grants against the wall clock, sheds submissions
+// beyond its in-flight limit, and persists its control-plane state as a JSON
 // snapshot so a restart resumes with the exact ledger occupancy. When
 // the snapshot is corrupt and a decision log is configured, boot falls
 // back to replaying the audit log instead of refusing to start.
@@ -54,6 +54,7 @@ func run(args []string) error {
 	drainTimeout := fset.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain window for in-flight requests")
 	maxInFlight := fset.Int("max-inflight", 0, "concurrent submissions before shedding with 429 (0 = default 64, negative = unbounded)")
 	retryAfter := fset.Duration("retry-after", 0, "Retry-After hint on shed responses (0 = default 1s)")
+	maxBatch := fset.Int("max-batch", 0, "submissions accepted per POST /v1/batch call (0 = default 1024)")
 	if err := fset.Parse(args); err != nil {
 		return err
 	}
@@ -65,6 +66,7 @@ func run(args []string) error {
 		base: server.Config{
 			MaxInFlight: *maxInFlight,
 			RetryAfter:  *retryAfter,
+			MaxBatch:    *maxBatch,
 		},
 	}
 	var err error

@@ -204,11 +204,12 @@ func (p *Profile) coalesce() {
 }
 
 // Integral reports ∫ usage dt over [t0, t1) — allocated volume, used by
-// the utilization metrics.
+// the utilization metrics. The scan starts at the segment covering t0
+// (binary search), so late windows of long-lived profiles stay cheap.
 func (p *Profile) Integral(t0, t1 units.Time) units.Volume {
 	validSpan(t0, t1)
 	var total units.Volume
-	for i := 0; i < len(p.times); i++ {
+	for i := p.locate(t0); i < len(p.times); i++ {
 		segStart := p.times[i]
 		segEnd := t1
 		if i+1 < len(p.times) && p.times[i+1] < t1 {
@@ -236,12 +237,23 @@ func (p *Profile) Breakpoints() int { return len(p.times) }
 // to [from, to]. Used by the book-ahead planner to enumerate candidate
 // start times: free capacity is piecewise constant, so the earliest
 // feasible start is either `from` or one of these.
+// The scan starts at the first breakpoint after `from` (binary search via
+// locate), so book-ahead candidate enumeration on a long-lived profile
+// costs O(log n + answer) instead of a full sweep from time zero.
 func (p *Profile) BreakpointTimes(from, to units.Time) []units.Time {
+	if to < from {
+		return nil
+	}
+	i := p.locate(from)
+	if p.times[i] <= from {
+		// locate returned the segment covering `from`; its breakpoint is
+		// not strictly after it. (Only when `from` predates every
+		// breakpoint is times[locate(from)] > from already.)
+		i++
+	}
 	var out []units.Time
-	for _, t := range p.times {
-		if t > from && t <= to {
-			out = append(out, t)
-		}
+	for ; i < len(p.times) && p.times[i] <= to; i++ {
+		out = append(out, p.times[i])
 	}
 	return out
 }

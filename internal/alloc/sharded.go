@@ -1,0 +1,278 @@
+package alloc
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"gridbw/internal/request"
+	"gridbw/internal/topology"
+	"gridbw/internal/units"
+)
+
+// Sharded is the concurrent counterpart of Ledger: one lock per access
+// point instead of one lock around the whole network. The paper's
+// equation (1) constrains each ingress and egress point independently, so
+// a reservation only ever needs the two profiles it routes through —
+// submissions through disjoint point pairs admit fully in parallel.
+//
+// Deadlock freedom comes from a global lock order: every ingress shard
+// ranks before every egress shard, and shards of the same direction rank
+// by point index. All multi-shard operations (Pair, Reserve, Revoke,
+// CheckInvariant) acquire in that order.
+//
+// Each shard also counts its lock traffic — total acquisitions and how
+// many of them had to block — so the control plane can expose per-point
+// contention without a profiler.
+type Sharded struct {
+	net *topology.Network
+	in  []*shard
+	eg  []*shard
+}
+
+// shard is one access point's profile behind its own lock. Ingress shards
+// additionally index the grants routed through them (a grant has exactly
+// one ingress, so the index is a partition, not a copy).
+type shard struct {
+	mu        sync.Mutex
+	locks     atomic.Uint64
+	contended atomic.Uint64
+	p         *Profile
+	granted   map[request.ID]grantRecord // ingress shards only
+}
+
+// grantRecord remembers enough of a reservation to release both sides.
+type grantRecord struct {
+	egress topology.PointID
+	grant  request.Grant
+}
+
+// lock acquires the shard, counting whether it had to wait.
+func (sh *shard) lock() {
+	if !sh.mu.TryLock() {
+		sh.contended.Add(1)
+		sh.mu.Lock()
+	}
+	sh.locks.Add(1)
+}
+
+func (sh *shard) unlock() { sh.mu.Unlock() }
+
+// NewSharded returns an empty sharded ledger over net.
+func NewSharded(net *topology.Network) *Sharded {
+	l := &Sharded{net: net}
+	for i := 0; i < net.NumIngress(); i++ {
+		l.in = append(l.in, &shard{
+			p:       NewProfile(net.Bin(topology.PointID(i))),
+			granted: make(map[request.ID]grantRecord),
+		})
+	}
+	for e := 0; e < net.NumEgress(); e++ {
+		l.eg = append(l.eg, &shard{p: NewProfile(net.Bout(topology.PointID(e)))})
+	}
+	return l
+}
+
+// Network reports the network the ledger tracks.
+func (l *Sharded) Network() *topology.Network { return l.net }
+
+// PairTx holds the (ingress, egress) shard pair of one route locked, so a
+// caller can run a whole admission search — candidate enumeration, policy
+// assignment, reserve — against a consistent view of both profiles.
+// Callers must Unlock exactly once, and must not retain the profiles past
+// it.
+type PairTx struct {
+	l        *Sharded
+	ingress  topology.PointID
+	egress   topology.PointID
+	in, eg   *shard
+	unlocked bool
+}
+
+// Pair locks the route's ingress and egress shards in the global order and
+// returns the transaction handle.
+func (l *Sharded) Pair(in, eg topology.PointID) *PairTx {
+	tx := &PairTx{l: l, ingress: in, egress: eg, in: l.in[int(in)], eg: l.eg[int(eg)]}
+	tx.in.lock()
+	tx.eg.lock()
+	return tx
+}
+
+// Ingress returns the locked ingress profile.
+func (tx *PairTx) Ingress() *Profile { return tx.in.p }
+
+// Egress returns the locked egress profile.
+func (tx *PairTx) Egress() *Profile { return tx.eg.p }
+
+// Covers reports whether the transaction holds the route of (in, eg).
+func (tx *PairTx) Covers(in, eg topology.PointID) bool {
+	return tx.ingress == in && tx.egress == eg
+}
+
+// Reserve commits grant g for request r on both locked points, atomically:
+// if the egress side rejects, the ingress side is rolled back. The request
+// must route through the transaction's pair.
+func (tx *PairTx) Reserve(r request.Request, g request.Grant) error {
+	if !tx.Covers(r.Ingress, r.Egress) {
+		return fmt.Errorf("alloc: request %d routes %d->%d outside locked pair %d->%d",
+			r.ID, r.Ingress, r.Egress, tx.ingress, tx.egress)
+	}
+	if g.Request != r.ID {
+		return fmt.Errorf("alloc: grant for request %d applied to request %d", g.Request, r.ID)
+	}
+	if _, dup := tx.in.granted[r.ID]; dup {
+		return fmt.Errorf("alloc: request %d already granted", r.ID)
+	}
+	if err := tx.in.p.Reserve(g.Sigma, g.Tau, g.Bandwidth); err != nil {
+		return fmt.Errorf("alloc: ingress %d: %w", r.Ingress, err)
+	}
+	if err := tx.eg.p.Reserve(g.Sigma, g.Tau, g.Bandwidth); err != nil {
+		tx.in.p.Release(g.Sigma, g.Tau, g.Bandwidth)
+		return fmt.Errorf("alloc: egress %d: %w", r.Egress, err)
+	}
+	tx.in.granted[r.ID] = grantRecord{egress: r.Egress, grant: g}
+	return nil
+}
+
+// Unlock releases the pair. Unlocking twice panics, like sync.Mutex.
+func (tx *PairTx) Unlock() {
+	if tx.unlocked {
+		panic("alloc: PairTx unlocked twice")
+	}
+	tx.unlocked = true
+	tx.eg.unlock()
+	tx.in.unlock()
+}
+
+// Reserve commits grant g for request r, taking the pair locks itself.
+func (l *Sharded) Reserve(r request.Request, g request.Grant) error {
+	tx := l.Pair(r.Ingress, r.Egress)
+	defer tx.Unlock()
+	return tx.Reserve(r, g)
+}
+
+// Revoke undoes a previously reserved grant (both sides). Revoking an
+// unknown request is a scheduler bug and panics, like Ledger.Revoke.
+func (l *Sharded) Revoke(r request.Request) request.Grant {
+	in := l.in[int(r.Ingress)]
+	in.lock()
+	rec, ok := in.granted[r.ID]
+	if !ok {
+		in.unlock()
+		panic(fmt.Sprintf("alloc: revoking ungranted request %d", r.ID))
+	}
+	eg := l.eg[int(rec.egress)]
+	eg.lock()
+	g := rec.grant
+	in.p.Release(g.Sigma, g.Tau, g.Bandwidth)
+	eg.p.Release(g.Sigma, g.Tau, g.Bandwidth)
+	delete(in.granted, r.ID)
+	eg.unlock()
+	in.unlock()
+	return g
+}
+
+// Grant reports the grant recorded for a request routed through ingress
+// point in, if any.
+func (l *Sharded) Grant(in topology.PointID, id request.ID) (request.Grant, bool) {
+	sh := l.in[int(in)]
+	sh.lock()
+	defer sh.unlock()
+	rec, ok := sh.granted[id]
+	return rec.grant, ok
+}
+
+// NumGranted reports the number of committed grants across all shards.
+func (l *Sharded) NumGranted() int {
+	n := 0
+	for _, sh := range l.in {
+		sh.lock()
+		n += len(sh.granted)
+		sh.unlock()
+	}
+	return n
+}
+
+// UsageAt reports the allocated bandwidth of every point at instant t.
+// Shards are sampled one at a time, so the view is per-point exact but not
+// a global cut — fine for occupancy dashboards, not for invariant proofs
+// (those go through CheckInvariant, which locks everything).
+func (l *Sharded) UsageAt(t units.Time) (in, eg []units.Bandwidth) {
+	in = make([]units.Bandwidth, len(l.in))
+	for i, sh := range l.in {
+		sh.lock()
+		in[i] = sh.p.UsedAt(t)
+		sh.unlock()
+	}
+	eg = make([]units.Bandwidth, len(l.eg))
+	for e, sh := range l.eg {
+		sh.lock()
+		eg[e] = sh.p.UsedAt(t)
+		sh.unlock()
+	}
+	return in, eg
+}
+
+// CheckInvariant audits equation (1) for every point under a full stop:
+// all shards are locked in the global order, so the audit sees one
+// consistent cross-shard state. It also cross-checks the grant index —
+// every recorded grant must route through a known egress point.
+func (l *Sharded) CheckInvariant() error {
+	for _, sh := range l.in {
+		sh.lock()
+	}
+	for _, sh := range l.eg {
+		sh.lock()
+	}
+	defer func() {
+		for i := len(l.eg) - 1; i >= 0; i-- {
+			l.eg[i].unlock()
+		}
+		for i := len(l.in) - 1; i >= 0; i-- {
+			l.in[i].unlock()
+		}
+	}()
+	for i, sh := range l.in {
+		if err := sh.p.CheckInvariant(); err != nil {
+			return fmt.Errorf("ingress %d: %w", i, err)
+		}
+		for id, rec := range sh.granted {
+			if int(rec.egress) < 0 || int(rec.egress) >= len(l.eg) {
+				return fmt.Errorf("ingress %d: grant %d routed through unknown egress %d", i, id, rec.egress)
+			}
+		}
+	}
+	for e, sh := range l.eg {
+		if err := sh.p.CheckInvariant(); err != nil {
+			return fmt.Errorf("egress %d: %w", e, err)
+		}
+	}
+	return nil
+}
+
+// ShardStat is one shard's lock-traffic counters.
+type ShardStat struct {
+	Dir       topology.Direction
+	Point     topology.PointID
+	Locks     uint64 // total acquisitions
+	Contended uint64 // acquisitions that had to block
+}
+
+// Stats reports per-shard lock traffic, ingress points first. Counters are
+// read atomically without stopping the shards.
+func (l *Sharded) Stats() []ShardStat {
+	out := make([]ShardStat, 0, len(l.in)+len(l.eg))
+	for i, sh := range l.in {
+		out = append(out, ShardStat{
+			Dir: topology.Ingress, Point: topology.PointID(i),
+			Locks: sh.locks.Load(), Contended: sh.contended.Load(),
+		})
+	}
+	for e, sh := range l.eg {
+		out = append(out, ShardStat{
+			Dir: topology.Egress, Point: topology.PointID(e),
+			Locks: sh.locks.Load(), Contended: sh.contended.Load(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package alloc
+
+import (
+	"sync"
+	"testing"
+
+	"gridbw/internal/request"
+	"gridbw/internal/topology"
+	"gridbw/internal/units"
+)
+
+func TestShardedReserveBothSides(t *testing.T) {
+	l := NewSharded(testNet())
+	r := req(0, 0, 1)
+	g := grant(t, r, 600*units.MBps)
+	if err := l.Reserve(r, g); err != nil {
+		t.Fatal(err)
+	}
+	in, eg := l.UsageAt(10)
+	if in[0] != 600*units.MBps || eg[1] != 600*units.MBps {
+		t.Errorf("usage in=%v eg=%v, want 600MB/s on route 0->1", in, eg)
+	}
+	if in[1] != 0 || eg[0] != 0 {
+		t.Errorf("uninvolved points carry usage: in=%v eg=%v", in, eg)
+	}
+	if l.NumGranted() != 1 {
+		t.Errorf("NumGranted = %d", l.NumGranted())
+	}
+	if _, ok := l.Grant(0, 0); !ok {
+		t.Error("grant not recorded on ingress shard")
+	}
+	if err := l.CheckInvariant(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShardedEgressFailureRollsBackIngress(t *testing.T) {
+	l := NewSharded(testNet())
+	// Saturate egress 1 via ingress 1, then fail a 0->1 reservation.
+	r0 := req(0, 1, 1)
+	if err := l.Reserve(r0, grant(t, r0, 1*units.GBps)); err != nil {
+		t.Fatal(err)
+	}
+	r1 := req(1, 0, 1)
+	if err := l.Reserve(r1, grant(t, r1, 600*units.MBps)); err == nil {
+		t.Fatal("overlapping reservation on saturated egress accepted")
+	}
+	in, _ := l.UsageAt(10)
+	if in[0] != 0 {
+		t.Errorf("failed reservation left %v on ingress 0", in[0])
+	}
+}
+
+func TestShardedRevoke(t *testing.T) {
+	l := NewSharded(testNet())
+	r := req(0, 0, 1)
+	g := grant(t, r, 600*units.MBps)
+	if err := l.Reserve(r, g); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Revoke(r); got != g {
+		t.Errorf("Revoke returned %+v, want %+v", got, g)
+	}
+	in, eg := l.UsageAt(10)
+	if in[0] != 0 || eg[1] != 0 {
+		t.Errorf("usage after revoke: in=%v eg=%v", in, eg)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("double revoke did not panic")
+		}
+	}()
+	l.Revoke(r)
+}
+
+func TestPairTxSemantics(t *testing.T) {
+	l := NewSharded(testNet())
+	tx := l.Pair(0, 1)
+	if !tx.Covers(0, 1) || tx.Covers(1, 1) || tx.Covers(0, 0) {
+		t.Error("Covers misreports the locked route")
+	}
+	if got := tx.Ingress().Capacity(); got != 1*units.GBps {
+		t.Errorf("ingress capacity through tx = %v", got)
+	}
+	r := req(0, 0, 1)
+	if err := tx.Reserve(r, grant(t, r, 600*units.MBps)); err != nil {
+		t.Fatal(err)
+	}
+	// A request routed outside the pair must be refused, not misapplied.
+	other := req(1, 1, 0)
+	if err := tx.Reserve(other, grant(t, other, 600*units.MBps)); err == nil {
+		t.Error("reservation outside the locked pair accepted")
+	}
+	tx.Unlock()
+	defer func() {
+		if recover() == nil {
+			t.Error("double unlock did not panic")
+		}
+	}()
+	tx.Unlock()
+}
+
+// TestShardedParallelDisjointPairs hammers every disjoint route of an 8x8
+// network from its own goroutine — reserve, audit, revoke — and checks the
+// cross-shard invariant audit never observes an inconsistent cut.
+func TestShardedParallelDisjointPairs(t *testing.T) {
+	const points, perRoute = 8, 50
+	net := topology.Uniform(points, points, 1*units.GBps)
+	l := NewSharded(net)
+	var wg sync.WaitGroup
+	for p := 0; p < points; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for k := 0; k < perRoute; k++ {
+				r := request.Request{
+					ID:      request.ID(p*perRoute + k),
+					Ingress: topology.PointID(p), Egress: topology.PointID(p),
+					Start: 0, Finish: 100,
+					Volume: 1 * units.GB, MaxRate: 100 * units.MBps,
+				}
+				g, err := request.NewGrant(r, units.Time(k), 100*units.MBps)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := l.Reserve(r, g); err != nil {
+					t.Error(err)
+					return
+				}
+				if k%2 == 0 {
+					l.Revoke(r)
+				}
+			}
+		}(p)
+	}
+	// Concurrent audits: CheckInvariant locks everything, so it must see
+	// either both sides of each reservation or neither.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			if err := l.CheckInvariant(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if err := l.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	if want := points * perRoute / 2; l.NumGranted() != want {
+		t.Errorf("NumGranted = %d, want %d", l.NumGranted(), want)
+	}
+}
+
+func TestShardedStats(t *testing.T) {
+	l := NewSharded(testNet())
+	r := req(0, 0, 1)
+	if err := l.Reserve(r, grant(t, r, 600*units.MBps)); err != nil {
+		t.Fatal(err)
+	}
+	stats := l.Stats()
+	if len(stats) != 4 {
+		t.Fatalf("Stats returned %d shards, want 4", len(stats))
+	}
+	byPoint := make(map[topology.Direction]map[topology.PointID]ShardStat)
+	for _, st := range stats {
+		if byPoint[st.Dir] == nil {
+			byPoint[st.Dir] = make(map[topology.PointID]ShardStat)
+		}
+		byPoint[st.Dir][st.Point] = st
+	}
+	if byPoint[topology.Ingress][0].Locks == 0 {
+		t.Error("ingress 0 shows no lock acquisitions after a reservation")
+	}
+	if byPoint[topology.Egress][1].Locks == 0 {
+		t.Error("egress 1 shows no lock acquisitions after a reservation")
+	}
+	if byPoint[topology.Ingress][1].Locks != 0 {
+		t.Error("uninvolved ingress 1 shows lock traffic")
+	}
+}

@@ -26,6 +26,11 @@ type Online struct {
 	IdempotentHits uint64 `json:"idempotent_hits,omitempty"`
 	// Panics counts handler panics recovered by the HTTP middleware.
 	Panics uint64 `json:"panics,omitempty"`
+	// Batches counts served SubmitBatch calls; BatchRequests sums the
+	// submissions they carried, so BatchRequests/Batches is the mean batch
+	// size. Submissions inside a batch also count toward Submitted.
+	Batches       uint64 `json:"batches,omitempty"`
+	BatchRequests uint64 `json:"batch_requests,omitempty"`
 }
 
 // RecordAccept counts an accepted request with its granted rate and volume.
@@ -56,6 +61,12 @@ func (o *Online) RecordIdempotentHit() { o.IdempotentHits++ }
 
 // RecordPanic counts a recovered handler panic.
 func (o *Online) RecordPanic() { o.Panics++ }
+
+// RecordBatch counts one served batch call carrying n submissions.
+func (o *Online) RecordBatch(n int) {
+	o.Batches++
+	o.BatchRequests += uint64(n)
+}
 
 // AcceptRate reports Accepted/Submitted, the online MAX-REQUESTS
 // objective; 0 before any submission.

@@ -32,6 +32,11 @@ func TestOnlineCounters(t *testing.T) {
 	if o.GrantedVolume != 60*units.GB {
 		t.Errorf("GrantedVolume = %v, want 60GB", o.GrantedVolume)
 	}
+	o.RecordBatch(3)
+	o.RecordBatch(1)
+	if o.Batches != 2 || o.BatchRequests != 4 {
+		t.Errorf("batch counters = %d/%d, want 2/4", o.Batches, o.BatchRequests)
+	}
 }
 
 func TestOnlineJSONRoundTrip(t *testing.T) {

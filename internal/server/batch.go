@@ -1,0 +1,270 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+
+	"gridbw/internal/alloc"
+	"gridbw/internal/request"
+	"gridbw/internal/topology"
+	"gridbw/internal/units"
+)
+
+// The batched admission pipeline. One SubmitBatch call decides N
+// submissions in three phases:
+//
+//  1. Under s.mu: validate, resolve or seed the idempotency cache, clamp
+//     NotBefore to the advanced clock, allocate IDs and settle the domain
+//     rejections that need no capacity lookup.
+//  2. Without s.mu: sort the survivors by (ingress, egress) pair and run
+//     the admission search — breakpoint enumeration, policy assignment,
+//     the two-sided reserve — holding each pair's shard locks once per
+//     group instead of once per submission. Disjoint pairs from other
+//     calls proceed in parallel throughout this phase.
+//  3. Under s.mu again: publish the accepted entries, schedule expiries,
+//     audit the decision log and fill the idempotency slots.
+//
+// Capacity is claimed in phase 2 in pair order, not input order; two
+// submissions of one batch competing for the same scarce window are
+// decided in (ingress, egress, input) order.
+
+// BatchResult is one submission's outcome within a batch: either a
+// Decision or a per-item error (malformed submission, or ErrClosed when
+// the server drained mid-batch).
+type BatchResult struct {
+	Decision Decision
+	Err      error
+}
+
+// batchItem carries one submission through the pipeline phases.
+type batchItem struct {
+	idx  int
+	sub  Submission
+	r    request.Request
+	ent  *idemEntry // placeholder this call must fill, if keyed
+	wait *idemEntry // existing slot to resolve instead of admitting
+
+	// Admission outcome (phase 2).
+	g        request.Grant
+	accepted bool
+	reason   string
+}
+
+// SubmitBatch decides every submission in one pass and reports one result
+// per input, in input order. The only call-level errors are an empty or
+// oversized batch and ErrClosed; per-submission failures come back in the
+// matching BatchResult.
+func (s *Server) SubmitBatch(subs []Submission) ([]BatchResult, error) {
+	res, err := s.submitMany(subs)
+	if err != nil {
+		return nil, err
+	}
+	s.recordBatch(len(subs))
+	return res, nil
+}
+
+func (s *Server) submitMany(subs []Submission) ([]BatchResult, error) {
+	if len(subs) == 0 {
+		return nil, fmt.Errorf("server: empty batch")
+	}
+	if len(subs) > s.maxBatch {
+		return nil, fmt.Errorf("server: batch of %d exceeds limit %d", len(subs), s.maxBatch)
+	}
+	results := make([]BatchResult, len(subs))
+	var pending, waiting []*batchItem
+
+	// Phase 1: the global section — idempotency, IDs, domain checks.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.advanceLocked()
+	now := s.sim.Now()
+	for i := range subs {
+		sub := subs[i]
+		if err := s.validateSubmission(sub); err != nil {
+			results[i].Err = err
+			continue
+		}
+		it := &batchItem{idx: i, sub: sub}
+		if key := sub.IdempotencyKey; key != "" {
+			if e, ok := s.idem[key]; ok {
+				// A retry (or a concurrent duplicate still in flight):
+				// never book again, answer from the original decision.
+				s.stats.RecordIdempotentHit()
+				it.wait = e
+				waiting = append(waiting, it)
+				continue
+			}
+			it.ent = &idemEntry{done: make(chan struct{})}
+			s.rememberLocked(key, it.ent)
+		}
+		notBefore := sub.NotBefore
+		if notBefore < now {
+			notBefore = now
+		}
+		id := s.nextID
+		s.nextID++
+		it.r = request.Request{
+			ID:      id,
+			Ingress: topology.PointID(sub.From),
+			Egress:  topology.PointID(sub.To),
+			Start:   notBefore,
+			Finish:  sub.Deadline,
+			Volume:  sub.Volume,
+			MaxRate: sub.MaxRate,
+		}
+		// Window and rate infeasibility are domain rejections, not API
+		// errors; they need no capacity lookup, so they settle here.
+		switch {
+		case it.r.Finish <= it.r.Start:
+			d := s.rejectLocked(it.r, fmt.Sprintf("empty window: deadline %v not after start %v", it.r.Finish, it.r.Start))
+			s.settleLocked(it, d, nil)
+			results[i].Decision = d
+		case it.r.MinRate() > it.r.MaxRate*(1+units.Eps):
+			d := s.rejectLocked(it.r, fmt.Sprintf("infeasible: needs %v to move %v in window but MaxRate is %v",
+				it.r.MinRate(), it.r.Volume, it.r.MaxRate))
+			s.settleLocked(it, d, nil)
+			results[i].Decision = d
+		default:
+			if err := it.r.Validate(); err != nil {
+				err = fmt.Errorf("server: %w", err)
+				s.settleLocked(it, Decision{}, err)
+				results[i].Err = err
+				continue
+			}
+			pending = append(pending, it)
+		}
+	}
+	s.mu.Unlock()
+
+	// Phase 2: admission searches under shard pair locks only. Sorting by
+	// point pair lets consecutive items share one lock acquisition and
+	// keeps the ingress-before-egress global order.
+	sort.SliceStable(pending, func(i, j int) bool {
+		a, b := pending[i].r, pending[j].r
+		if a.Ingress != b.Ingress {
+			return a.Ingress < b.Ingress
+		}
+		return a.Egress < b.Egress
+	})
+	var tx *alloc.PairTx
+	for _, it := range pending {
+		if tx != nil && !tx.Covers(it.r.Ingress, it.r.Egress) {
+			tx.Unlock()
+			tx = nil
+		}
+		if tx == nil {
+			tx = s.ledger.Pair(it.r.Ingress, it.r.Egress)
+		}
+		s.admitTx(tx, it)
+	}
+	if tx != nil {
+		tx.Unlock()
+	}
+
+	// Phase 3: publish under the global section, in input order.
+	s.mu.Lock()
+	s.advanceLocked()
+	sort.SliceStable(pending, func(i, j int) bool { return pending[i].idx < pending[j].idx })
+	for _, it := range pending {
+		if s.closed {
+			// The server drained between phases; an accepted grant must
+			// not outlive a stopped expiry loop, so give it back.
+			if it.accepted {
+				s.ledger.Revoke(it.r)
+			}
+			s.settleLocked(it, Decision{}, ErrClosed)
+			results[it.idx].Err = ErrClosed
+			continue
+		}
+		var d Decision
+		if it.accepted {
+			d = s.acceptLocked(it.r, it.g)
+		} else {
+			d = s.rejectLocked(it.r, it.reason)
+		}
+		s.settleLocked(it, d, nil)
+		results[it.idx].Decision = d
+	}
+	s.mu.Unlock()
+
+	// Phase 4: resolve idempotent hits. The owning submission may still be
+	// in flight on another goroutine; wait for it without holding any lock.
+	for _, it := range waiting {
+		results[it.idx] = s.resolveIdem(it.wait)
+	}
+	return results, nil
+}
+
+// admitTx runs the admission search for one validated request against its
+// locked point pair: rigid requests search every candidate start
+// (book-ahead); flexible requests are decided at their earliest admissible
+// instant only. On success the grant is already committed to the ledger.
+func (s *Server) admitTx(tx *alloc.PairTx, it *batchItem) {
+	r := it.r
+	latest := r.Finish - r.Volume.Over(r.MaxRate)
+	candidates := []units.Time{r.Start}
+	if r.Rigid() && latest > r.Start {
+		candidates = append(candidates, tx.Ingress().BreakpointTimes(r.Start, latest)...)
+		candidates = append(candidates, tx.Egress().BreakpointTimes(r.Start, latest)...)
+		sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	}
+
+	it.reason = "no feasible start in window"
+	for i, sigma := range candidates {
+		if i > 0 && sigma == candidates[i-1] {
+			continue
+		}
+		bw, err := s.pol.Assign(r, sigma)
+		if err != nil {
+			it.reason = "policy: " + err.Error()
+			continue
+		}
+		g, err := request.NewGrant(r, sigma, bw)
+		if err != nil {
+			it.reason = "grant: " + err.Error()
+			continue
+		}
+		if err := tx.Reserve(r, g); err != nil {
+			it.reason = "capacity saturated"
+			continue
+		}
+		it.g, it.accepted = g, true
+		return
+	}
+}
+
+// settleLocked fills the item's idempotency slot, waking every retry
+// blocked on it. Decisions stay cached; API errors are dropped from the
+// cache so a corrected retry re-attempts instead of replaying the error.
+func (s *Server) settleLocked(it *batchItem, d Decision, err error) {
+	if it.ent == nil {
+		return
+	}
+	it.ent.d, it.ent.err = d, err
+	close(it.ent.done)
+	if err != nil {
+		if cur, ok := s.idem[it.sub.IdempotencyKey]; ok && cur == it.ent {
+			delete(s.idem, it.sub.IdempotencyKey)
+		}
+	}
+}
+
+// resolveIdem waits for an idempotency slot to settle and re-derives the
+// live state of an accepted reservation, exactly like a fresh Lookup.
+func (s *Server) resolveIdem(e *idemEntry) BatchResult {
+	<-e.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advanceLocked()
+	if e.err != nil {
+		return BatchResult{Err: e.err}
+	}
+	d := e.d
+	if le, live := s.resv[d.ID]; live && d.Accepted {
+		d = s.decisionLocked(le)
+	}
+	return BatchResult{Decision: d}
+}

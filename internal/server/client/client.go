@@ -277,6 +277,30 @@ func (c *Client) Submit(ctx context.Context, req server.SubmitRequest) (server.R
 	return out, err
 }
 
+// SubmitBatch posts many reservation requests decided in one pass and
+// returns one result per input, in input order. Items missing an
+// idempotency key get a generated one (on a copy — the caller's slice is
+// not modified), so the retry loop re-sends the identical batch and the
+// daemon answers already-decided items from its idempotency cache instead
+// of booking them twice.
+func (c *Client) SubmitBatch(ctx context.Context, reqs []server.SubmitRequest) ([]server.BatchItemJSON, error) {
+	keyed := make([]server.SubmitRequest, len(reqs))
+	for i, req := range reqs {
+		if req.IdempotencyKey == "" {
+			req.IdempotencyKey = NewIdempotencyKey()
+		}
+		keyed[i] = req
+	}
+	var out server.BatchResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/batch", server.BatchRequest{Requests: keyed}, &out); err != nil {
+		return nil, err
+	}
+	if len(out.Results) != len(reqs) {
+		return nil, fmt.Errorf("gridbwd: batch answered %d results for %d requests", len(out.Results), len(reqs))
+	}
+	return out.Results, nil
+}
+
 // Get looks up one reservation.
 func (c *Client) Get(ctx context.Context, id int) (server.ReservationJSON, error) {
 	var out server.ReservationJSON

@@ -227,3 +227,56 @@ func TestIdempotencyKeyStable(t *testing.T) {
 		t.Errorf("generated keys collide: %q", k)
 	}
 }
+
+// TestSubmitBatchRetryNeverBooksTwice: a dropped batch response is
+// retried wholesale, and every item answers from the idempotency cache —
+// the daemon books each submission exactly once.
+func TestSubmitBatchRetryNeverBooksTwice(t *testing.T) {
+	srv, err := server.New(server.Config{
+		Ingress: []units.Bandwidth{units.GBps, units.GBps},
+		Egress:  []units.Bandwidth{units.GBps, units.GBps},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var calls atomic.Int64
+	inner := srv.Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && calls.Add(1) == 1 {
+			rec := httptest.NewRecorder()
+			inner.ServeHTTP(rec, r)     // batch decided and logged...
+			panic(http.ErrAbortHandler) // ...but the answer never leaves
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	c := NewWithOptions(ts.URL, nil, instant(nil))
+	results, err := c.SubmitBatch(context.Background(), []server.SubmitRequest{
+		{From: 0, To: 1, VolumeBytes: 1e9, MaxRateBps: 1e8, DeadlineS: 100},
+		{From: 1, To: 0, VolumeBytes: 1e9, MaxRateBps: 1e8, DeadlineS: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d, want 2", len(results))
+	}
+	for i, res := range results {
+		if res.Error != "" || res.Reservation == nil || !res.Reservation.Accepted {
+			t.Fatalf("item %d = %+v", i, res)
+		}
+	}
+	st := srv.Status()
+	if st.Stats.Accepted != 2 {
+		t.Errorf("accepted = %d, want exactly 2 bookings across the retry", st.Stats.Accepted)
+	}
+	if st.Stats.IdempotentHits != 2 {
+		t.Errorf("idempotent hits = %d, want 2 (the retried batch)", st.Stats.IdempotentHits)
+	}
+	if n := len(srv.LiveReservations()); n != 2 {
+		t.Errorf("live reservations = %d, want 2", n)
+	}
+}

@@ -12,9 +12,10 @@ import (
 	"gridbw/internal/units"
 )
 
-// The HTTP/JSON surface of gridbwd. Six endpoints:
+// The HTTP/JSON surface of gridbwd. Seven endpoints:
 //
 //	POST   /v1/requests       submit a reservation request
+//	POST   /v1/batch          submit many requests, decided in one pass
 //	GET    /v1/requests/{id}  look up one reservation
 //	DELETE /v1/requests/{id}  cancel a live reservation
 //	GET    /v1/status         platform occupancy + lifetime counters
@@ -22,9 +23,16 @@ import (
 //	GET    /v1/healthz        readiness probe (503 while draining)
 //
 // Submissions may carry an Idempotency-Key header (or the equivalent
-// body field) making retries safe, and POST /v1/requests is bounded by
-// the server's in-flight limit: excess submissions get 429 with a
+// body field) making retries safe, and both submission endpoints are
+// bounded by the server's in-flight limit: excess calls get 429 with a
 // Retry-After hint instead of queueing without bound.
+//
+// Lookup and cancel answer from bounded caches: a reservation stays
+// queryable after it expires or is cancelled only until FinishedRetention
+// newer terminal reservations push it out, after which GET and DELETE
+// return 404. The idempotency cache is bounded the same way — an evicted
+// key behaves like a fresh one and books again — so clients should not
+// retry across more than FinishedRetention intervening submissions.
 //
 // Quantities accept both base-unit numbers (volume_bytes, max_rate_bps,
 // deadline_s) and human-readable strings (volume "500GB", max_rate
@@ -87,9 +95,31 @@ type StatusJSON struct {
 	Shed           uint64      `json:"shed"`
 	IdempotentHits uint64      `json:"idempotent_hits"`
 	Panics         uint64      `json:"panics"`
+	Batches        uint64      `json:"batches"`
+	BatchRequests  uint64      `json:"batch_requests"`
 	AcceptRate     float64     `json:"accept_rate"`
 	MeanGrantedBps float64     `json:"mean_granted_rate_bps"`
 	Points         []PointJSON `json:"points"`
+}
+
+// BatchRequest is the POST /v1/batch body: up to MaxBatch submissions
+// decided in one pass. Items competing for the same scarce window are
+// decided in (ingress, egress, input) order, not strictly input order.
+type BatchRequest struct {
+	Requests []SubmitRequest `json:"requests"`
+}
+
+// BatchItemJSON is one submission's outcome within a batch response:
+// exactly one of Reservation or Error is set.
+type BatchItemJSON struct {
+	Reservation *ReservationJSON `json:"reservation,omitempty"`
+	Error       string           `json:"error,omitempty"`
+}
+
+// BatchResponse is the POST /v1/batch body: one result per submitted
+// request, in input order.
+type BatchResponse struct {
+	Results []BatchItemJSON `json:"results"`
 }
 
 // ErrorJSON is the body of every non-2xx response.
@@ -102,6 +132,7 @@ type ErrorJSON struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("POST /v1/requests", s.shed(http.HandlerFunc(s.handleSubmit)))
+	mux.Handle("POST /v1/batch", s.shed(http.HandlerFunc(s.handleBatch)))
 	mux.HandleFunc("GET /v1/requests/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/requests/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/status", s.handleStatus)
@@ -293,6 +324,62 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, decisionJSON(d))
 }
 
+// handleBatch decides a whole BatchRequest in one SubmitBatch pass.
+// Malformed items fail individually in their result slot; only an empty
+// or oversized batch, an undecodable body, or a draining server fail the
+// whole call.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var body BatchRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if len(body.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+	if len(body.Requests) > s.maxBatch {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d exceeds limit %d", len(body.Requests), s.maxBatch))
+		return
+	}
+	out := BatchResponse{Results: make([]BatchItemJSON, len(body.Requests))}
+	var subs []Submission
+	var subIdx []int
+	for i, req := range body.Requests {
+		sub, err := s.parseSubmission(req)
+		if err != nil {
+			out.Results[i].Error = err.Error()
+			continue
+		}
+		subs = append(subs, sub)
+		subIdx = append(subIdx, i)
+	}
+	if len(subs) > 0 {
+		results, err := s.SubmitBatch(subs)
+		if errors.Is(err, ErrClosed) {
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		for j, res := range results {
+			i := subIdx[j]
+			if res.Err != nil {
+				out.Results[i].Error = res.Err.Error()
+				continue
+			}
+			d := decisionJSON(res.Decision)
+			out.Results[i].Reservation = &d
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
 func pathID(r *http.Request) (int, error) {
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil || id < 0 {
@@ -323,6 +410,8 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	d, err := s.Cancel(request.ID(id))
 	switch {
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, ErrNotFound):
 		writeError(w, http.StatusNotFound, err)
 	case errors.Is(err, ErrFinished):
@@ -347,6 +436,8 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Shed:           st.Stats.Shed,
 		IdempotentHits: st.Stats.IdempotentHits,
 		Panics:         st.Stats.Panics,
+		Batches:        st.Stats.Batches,
+		BatchRequests:  st.Stats.BatchRequests,
 		AcceptRate:     st.Stats.AcceptRate(),
 		MeanGrantedBps: float64(st.Stats.MeanGrantedRate()),
 	}
@@ -381,6 +472,10 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "gridbwd_requests_idempotent_hits_total %d\n", st.Stats.IdempotentHits)
 	fmt.Fprintf(w, "# TYPE gridbwd_handler_panics_total counter\n")
 	fmt.Fprintf(w, "gridbwd_handler_panics_total %d\n", st.Stats.Panics)
+	fmt.Fprintf(w, "# TYPE gridbwd_batches_total counter\n")
+	fmt.Fprintf(w, "gridbwd_batches_total %d\n", st.Stats.Batches)
+	fmt.Fprintf(w, "# TYPE gridbwd_batch_requests_total counter\n")
+	fmt.Fprintf(w, "gridbwd_batch_requests_total %d\n", st.Stats.BatchRequests)
 	fmt.Fprintf(w, "# TYPE gridbwd_reservations_booked gauge\n")
 	fmt.Fprintf(w, "gridbwd_reservations_booked %d\n", st.Booked)
 	fmt.Fprintf(w, "# TYPE gridbwd_reservations_active gauge\n")
@@ -392,6 +487,14 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 			p.Dir.String(), int(p.Point), float64(p.Capacity))
 		fmt.Fprintf(w, "gridbwd_point_used_bps{dir=%q,point=\"%d\"} %g\n",
 			p.Dir.String(), int(p.Point), float64(p.Used))
+	}
+	fmt.Fprintf(w, "# TYPE gridbwd_shard_lock_acquisitions_total counter\n")
+	fmt.Fprintf(w, "# TYPE gridbwd_shard_lock_contended_total counter\n")
+	for _, sh := range s.ShardStats() {
+		fmt.Fprintf(w, "gridbwd_shard_lock_acquisitions_total{dir=%q,point=\"%d\"} %d\n",
+			sh.Dir.String(), int(sh.Point), sh.Locks)
+		fmt.Fprintf(w, "gridbwd_shard_lock_contended_total{dir=%q,point=\"%d\"} %d\n",
+			sh.Dir.String(), int(sh.Point), sh.Contended)
 	}
 	fmt.Fprintf(w, "# TYPE gridbwd_service_clock_seconds gauge\n")
 	fmt.Fprintf(w, "gridbwd_service_clock_seconds %g\n", float64(st.Now))

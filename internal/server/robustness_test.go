@@ -297,8 +297,11 @@ func TestSnapshotCarriesIdempotencyKeys(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(snap.Idempotency) != 1 || snap.Idempotency["restart-safe"] != int(d1.ID) {
-		t.Fatalf("snapshot idempotency = %v", snap.Idempotency)
+	if len(snap.IdempotencyDecisions) != 1 {
+		t.Fatalf("snapshot idempotency decisions = %v", snap.IdempotencyDecisions)
+	}
+	if sd := snap.IdempotencyDecisions["restart-safe"]; sd.ID != int(d1.ID) || !sd.Accepted {
+		t.Fatalf("snapshot idempotency decision = %+v, want accepted id %d", sd, d1.ID)
 	}
 	s2, err := server.NewFromSnapshot(snap, server.Config{Clock: clk.now})
 	if err != nil {

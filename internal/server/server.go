@@ -2,17 +2,28 @@
 // paper's §3–5 admission algorithms behind a concurrent, wall-clock
 // HTTP/JSON service instead of a batch DES driver.
 //
-// The server keeps a live capacity ledger (alloc.Ledger, full time
-// profiles per access point) guarded by one mutex, and maps wall time
-// onto the service clock: seconds since the daemon epoch. Admission is
-// the paper's machinery unchanged — rigid requests (MinRate ≈ MaxRate)
-// get book-ahead admission, searching the earliest feasible start over
-// the profiles' usage breakpoints exactly like core.Planner; flexible
-// requests get immediate-start admission at the configured policy's rate,
-// like the §5.1 GREEDY step. Grants expire as their τ(r) passes: a
-// des.Simulator orders the expiry events and a background goroutine
-// sleeps until the next deadline (des.Next) and fires them against real
-// time, returning capacity to the ledger.
+// Concurrency is sharded the way equation (1) is: the constraint system
+// is independent per access point, so the capacity ledger (alloc.Sharded)
+// keeps one lock per ingress/egress profile and an admission only holds
+// the two shards its route touches — submissions through disjoint point
+// pairs decide fully in parallel. What remains global — the service
+// clock, the expiry event queue, the reservation registry, ID allocation
+// and the idempotency cache — lives behind one small mutex (s.mu) whose
+// critical sections are map operations, never admission searches.
+//
+// Lock order: s.mu first, shard locks second (the expiry and cancel paths
+// revoke through the sharded ledger while holding s.mu). The admission
+// path holds shard locks without s.mu and must never take it; it re-enters
+// s.mu only after releasing the pair.
+//
+// Admission is the paper's machinery unchanged — rigid requests
+// (MinRate ≈ MaxRate) get book-ahead admission, searching the earliest
+// feasible start over the profiles' usage breakpoints exactly like
+// core.Planner; flexible requests get immediate-start admission at the
+// configured policy's rate, like the §5.1 GREEDY step. Grants expire as
+// their τ(r) passes: a des.Simulator orders the expiry events and a
+// background goroutine sleeps until the next deadline (des.Next) and fires
+// them against real time, returning capacity to the ledger.
 //
 // The whole control-plane state — capacities, policy, clock, counters and
 // every live reservation — round-trips through a JSON Snapshot, so a
@@ -54,6 +65,9 @@ type Config struct {
 	// FinishedRetention bounds how many expired/cancelled reservations
 	// stay queryable via Lookup before the oldest are evicted; <= 0 means
 	// the default of 4096. The idempotency cache shares the same bound.
+	// Both caches are FIFO: once a reservation ID is evicted, Lookup and
+	// Cancel answer ErrNotFound (HTTP 404), and once a key is evicted a
+	// submission reusing it books a fresh reservation.
 	FinishedRetention int
 	// MaxInFlight bounds concurrently-served submissions at the HTTP
 	// layer; excess requests are shed with 429 Too Many Requests rather
@@ -63,12 +77,16 @@ type Config struct {
 	// RetryAfter is the backoff hint attached to shed responses;
 	// defaults to 1s.
 	RetryAfter time.Duration
+	// MaxBatch bounds how many submissions one POST /v1/batch may carry;
+	// 0 means the default of 1024.
+	MaxBatch int
 }
 
 const (
 	defaultFinishedRetention = 4096
 	defaultMaxInFlight       = 64
 	defaultRetryAfter        = time.Second
+	defaultMaxBatch          = 1024
 )
 
 // State is a reservation's lifecycle position.
@@ -129,7 +147,7 @@ type Reservation struct {
 
 // Errors mapped to HTTP statuses by the handler layer.
 var (
-	// ErrClosed reports a submission to a draining/closed server.
+	// ErrClosed reports a submission or cancel on a draining/closed server.
 	ErrClosed = errors.New("server: closed")
 	// ErrNotFound reports an unknown (or evicted) reservation ID.
 	ErrNotFound = errors.New("server: no such reservation")
@@ -145,6 +163,16 @@ type entry struct {
 	expire des.Handle
 }
 
+// idemEntry is one idempotency-cache slot. It is created as a placeholder
+// the moment a keyed submission enters the pipeline — a concurrent retry
+// with the same key waits on done instead of booking a second time — and
+// filled with the decision (or error) when the submission settles.
+type idemEntry struct {
+	done chan struct{} // closed once d/err are valid
+	d    Decision
+	err  error
+}
+
 // Server is the concurrent admission-control plane.
 type Server struct {
 	net        *topology.Network
@@ -153,16 +181,23 @@ type Server struct {
 	clock      func() time.Time
 	decisions  *trace.DecisionLog
 	retention  int
+	maxBatch   int
 
+	// ledger is internally sharded (one lock per access point); it is not
+	// guarded by s.mu. See the package comment for the lock order.
+	ledger *alloc.Sharded
+
+	// mu is the small global section: the service clock and expiry queue,
+	// the reservation registry, ID allocation, counters and the
+	// idempotency cache. Admission searches never run under it.
 	mu        sync.Mutex
-	ledger    *alloc.Ledger
 	sim       *des.Simulator
 	epoch     time.Time // wall instant of service time 0
 	resv      map[request.ID]*entry
 	finished  []request.ID // FIFO eviction queue of terminal IDs
 	nextID    request.ID
 	stats     metrics.Online
-	idem      map[string]Decision
+	idem      map[string]*idemEntry
 	idemOrder []string // FIFO eviction queue of idempotency keys
 	closed    bool
 
@@ -218,6 +253,10 @@ func newServer(cfg Config, net *topology.Network, pol policy.Policy, name string
 	if retryAfter <= 0 {
 		retryAfter = defaultRetryAfter
 	}
+	maxBatch := cfg.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = defaultMaxBatch
+	}
 	return &Server{
 		net:        net,
 		pol:        pol,
@@ -225,10 +264,11 @@ func newServer(cfg Config, net *topology.Network, pol policy.Policy, name string
 		clock:      clock,
 		decisions:  cfg.Decisions,
 		retention:  retention,
-		ledger:     alloc.NewLedger(net),
+		maxBatch:   maxBatch,
+		ledger:     alloc.NewSharded(net),
 		sim:        des.New(),
 		resv:       make(map[request.ID]*entry),
-		idem:       make(map[string]Decision),
+		idem:       make(map[string]*idemEntry),
 		inflight:   inflight,
 		retryAfter: retryAfter,
 		kick:       make(chan struct{}, 1),
@@ -242,6 +282,9 @@ func (s *Server) Network() *topology.Network { return s.net }
 
 // PolicyName reports the configured bandwidth-assignment policy.
 func (s *Server) PolicyName() string { return s.policyName }
+
+// MaxBatch reports the per-call submission bound of SubmitBatch.
+func (s *Server) MaxBatch() int { return s.maxBatch }
 
 // Now reports the current service time.
 func (s *Server) Now() units.Time {
@@ -308,9 +351,9 @@ func (s *Server) poke() {
 	}
 }
 
-// Close stops the expiry loop and refuses further submissions. Read
-// operations (Lookup, Status, Snapshot) keep working so a draining daemon
-// can persist its final state.
+// Close stops the expiry loop and refuses further submissions and
+// cancels. Read operations (Lookup, Status, Snapshot) keep working so a
+// draining daemon can persist its final state.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -324,132 +367,65 @@ func (s *Server) Close() error {
 	return nil
 }
 
+// validateSubmission rejects malformed submissions before they enter the
+// pipeline. It reads only immutable state, so it needs no lock.
+func (s *Server) validateSubmission(sub Submission) error {
+	if sub.From < 0 || sub.From >= s.net.NumIngress() {
+		return fmt.Errorf("server: ingress %d out of range [0,%d)", sub.From, s.net.NumIngress())
+	}
+	if sub.To < 0 || sub.To >= s.net.NumEgress() {
+		return fmt.Errorf("server: egress %d out of range [0,%d)", sub.To, s.net.NumEgress())
+	}
+	if sub.Volume <= 0 {
+		return fmt.Errorf("server: non-positive volume %v", sub.Volume)
+	}
+	if sub.MaxRate <= 0 {
+		return fmt.Errorf("server: non-positive max rate %v", sub.MaxRate)
+	}
+	return nil
+}
+
 // Submit decides a reservation request against the live ledger. The
 // returned error is reserved for malformed submissions (bad indices,
 // non-positive volume or rate) and ErrClosed; an infeasible request is a
-// normal rejected Decision, not an error.
+// normal rejected Decision, not an error. Submit is the one-element case
+// of the batched pipeline, so both paths share every locking and
+// idempotency rule.
 func (s *Server) Submit(sub Submission) (Decision, error) {
-	if sub.From < 0 || sub.From >= s.net.NumIngress() {
-		return Decision{}, fmt.Errorf("server: ingress %d out of range [0,%d)", sub.From, s.net.NumIngress())
+	res, err := s.submitMany([]Submission{sub})
+	if err != nil {
+		return Decision{}, err
 	}
-	if sub.To < 0 || sub.To >= s.net.NumEgress() {
-		return Decision{}, fmt.Errorf("server: egress %d out of range [0,%d)", sub.To, s.net.NumEgress())
+	if res[0].Err != nil {
+		return Decision{}, res[0].Err
 	}
-	if sub.Volume <= 0 {
-		return Decision{}, fmt.Errorf("server: non-positive volume %v", sub.Volume)
-	}
-	if sub.MaxRate <= 0 {
-		return Decision{}, fmt.Errorf("server: non-positive max rate %v", sub.MaxRate)
-	}
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return Decision{}, ErrClosed
-	}
-	s.advanceLocked()
-
-	// A retried submission (same idempotency key) is answered from the
-	// original decision — it never books a second time.
-	if sub.IdempotencyKey != "" {
-		if d, ok := s.idem[sub.IdempotencyKey]; ok {
-			s.stats.RecordIdempotentHit()
-			if e, live := s.resv[d.ID]; live && d.Accepted {
-				return s.decisionLocked(e), nil
-			}
-			return d, nil
-		}
-	}
-
-	notBefore := sub.NotBefore
-	if now := s.sim.Now(); notBefore < now {
-		notBefore = now
-	}
-	id := s.nextID
-	s.nextID++
-
-	r := request.Request{
-		ID:      id,
-		Ingress: topology.PointID(sub.From),
-		Egress:  topology.PointID(sub.To),
-		Start:   notBefore,
-		Finish:  sub.Deadline,
-		Volume:  sub.Volume,
-		MaxRate: sub.MaxRate,
-	}
-	// Window and rate infeasibility are domain rejections, not API errors.
-	if r.Finish <= r.Start {
-		return s.rememberLocked(sub.IdempotencyKey,
-			s.rejectLocked(r, fmt.Sprintf("empty window: deadline %v not after start %v", r.Finish, r.Start))), nil
-	}
-	if r.MinRate() > r.MaxRate*(1+units.Eps) {
-		return s.rememberLocked(sub.IdempotencyKey,
-			s.rejectLocked(r, fmt.Sprintf("infeasible: needs %v to move %v in window but MaxRate is %v",
-				r.MinRate(), r.Volume, r.MaxRate))), nil
-	}
-	if err := r.Validate(); err != nil {
-		return Decision{}, fmt.Errorf("server: %w", err)
-	}
-	return s.rememberLocked(sub.IdempotencyKey, s.admitLocked(r)), nil
+	return res[0].Decision, nil
 }
 
-// rememberLocked caches a decision under its idempotency key, bounded by
-// the same FIFO retention as finished reservations.
-func (s *Server) rememberLocked(key string, d Decision) Decision {
-	if key == "" {
-		return d
-	}
-	s.idem[key] = d
+// rememberLocked caches an idempotency-cache slot under its key, bounded
+// by the same FIFO retention as finished reservations.
+func (s *Server) rememberLocked(key string, e *idemEntry) {
+	s.idem[key] = e
 	s.idemOrder = append(s.idemOrder, key)
 	for len(s.idemOrder) > s.retention {
 		evict := s.idemOrder[0]
 		s.idemOrder = s.idemOrder[1:]
 		delete(s.idem, evict)
 	}
-	return d
 }
 
-// admitLocked runs the admission search for a validated request.
-// Rigid requests search every candidate start (book-ahead); flexible
-// requests are decided at their earliest admissible instant only.
-func (s *Server) admitLocked(r request.Request) Decision {
-	latest := r.Finish - r.Volume.Over(r.MaxRate)
-	candidates := []units.Time{r.Start}
-	if r.Rigid() && latest > r.Start {
-		in := s.ledger.Ingress(r.Ingress)
-		eg := s.ledger.Egress(r.Egress)
-		candidates = append(candidates, in.BreakpointTimes(r.Start, latest)...)
-		candidates = append(candidates, eg.BreakpointTimes(r.Start, latest)...)
-		sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
-	}
-
-	lastReason := "no feasible start in window"
-	for i, sigma := range candidates {
-		if i > 0 && sigma == candidates[i-1] {
-			continue
-		}
-		bw, err := s.pol.Assign(r, sigma)
-		if err != nil {
-			lastReason = "policy: " + err.Error()
-			continue
-		}
-		g, err := request.NewGrant(r, sigma, bw)
-		if err != nil {
-			lastReason = "grant: " + err.Error()
-			continue
-		}
-		if err := s.ledger.Reserve(r, g); err != nil {
-			lastReason = "capacity saturated"
-			continue
-		}
-		return s.acceptLocked(r, g)
-	}
-	return s.rejectLocked(r, lastReason)
-}
-
+// acceptLocked registers an admitted reservation: the grant was already
+// committed to the sharded ledger by the admission phase; here the entry
+// becomes visible, its expiry is scheduled and the accept is audited.
 func (s *Server) acceptLocked(r request.Request, g request.Grant) Decision {
 	e := &entry{req: r, grant: g, state: StateActive}
-	e.expire = s.sim.At(g.Tau, s.expireEvent(r.ID))
+	at := g.Tau
+	if now := s.sim.Now(); at < now {
+		// The clock passed τ(r) while the admission ran outside s.mu;
+		// fire the expiry on the next advance instead of panicking des.
+		at = now
+	}
+	e.expire = s.sim.At(at, s.expireEvent(r.ID))
 	s.resv[r.ID] = e
 	s.stats.RecordAccept(g.Bandwidth, r.Volume)
 	s.logLocked(trace.EventAccept, r, g, "")
@@ -468,7 +444,8 @@ func (s *Server) rejectLocked(r request.Request, reason string) Decision {
 
 // expireEvent returns the des callback that retires reservation id when
 // its τ(r) passes. It runs with s.mu held: every sim.RunUntil call site
-// is inside advanceLocked.
+// is inside advanceLocked. Revoking takes the route's shard locks while
+// holding s.mu — the one permitted nesting direction.
 func (s *Server) expireEvent(id request.ID) des.Event {
 	return func(*des.Simulator) {
 		e, ok := s.resv[id]
@@ -507,10 +484,15 @@ func (s *Server) liveStateLocked(e *entry) State {
 
 // Cancel revokes a live reservation, returning its capacity at once. A
 // reservation may be cancelled after its σ(r) — the grid job it fed may
-// have aborted — which frees the remaining window too.
+// have aborted — which frees the remaining window too. A draining server
+// refuses cancels with ErrClosed, exactly like Submit: its expiry loop has
+// stopped, so mutating the ledger would leave capacity accounting adrift.
 func (s *Server) Cancel(id request.ID) (Decision, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return Decision{}, ErrClosed
+	}
 	s.advanceLocked()
 	e, ok := s.resv[id]
 	if !ok {
@@ -597,6 +579,9 @@ func pointStatus(dir topology.Direction, i int, cap, used units.Bandwidth) Point
 	return ps
 }
 
+// ShardStats reports the sharded ledger's per-point lock traffic.
+func (s *Server) ShardStats() []alloc.ShardStat { return s.ledger.Stats() }
+
 // LiveReservations returns the requests and grants currently holding
 // capacity, in ID order — the input for independent feasibility replay.
 func (s *Server) LiveReservations() []Reservation {
@@ -613,11 +598,31 @@ func (s *Server) LiveReservations() []Reservation {
 	return out
 }
 
-// VerifyInvariant audits every ledger profile against equation (1).
+// VerifyInvariant audits equation (1) across every shard, twice over:
+// first the sharded profiles themselves (all shards locked in the global
+// order, one consistent cut), then an independent replay of the live
+// registry into a fresh single-threaded ledger — if the recorded grants
+// could not be re-admitted, the shards and the registry have diverged.
 func (s *Server) VerifyInvariant() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.ledger.CheckInvariant()
+	if err := s.ledger.CheckInvariant(); err != nil {
+		return err
+	}
+	var live []*entry
+	for _, e := range s.resv {
+		if e.state == StateActive {
+			live = append(live, e)
+		}
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].req.ID < live[j].req.ID })
+	fresh := alloc.NewLedger(s.net)
+	for _, e := range live {
+		if err := fresh.Reserve(e.req, e.grant); err != nil {
+			return fmt.Errorf("server: live registry fails replay: %w", err)
+		}
+	}
+	return fresh.CheckInvariant()
 }
 
 // Closed reports whether the server is draining (readiness probe input).
@@ -659,6 +664,13 @@ func (s *Server) recordShed() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.RecordShed()
+}
+
+// recordBatch counts one served batch call and the submissions it carried.
+func (s *Server) recordBatch(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.RecordBatch(n)
 }
 
 // recordPanic counts a recovered handler panic and audits it in the

@@ -16,7 +16,10 @@ import (
 )
 
 // SnapshotVersion is bumped on incompatible snapshot schema changes.
-const SnapshotVersion = 1
+// Version 2 replaced the live-only idempotency key map with full cached
+// decisions, so retries of rejected or already-finished submissions stay
+// idempotent across a restart; version-1 snapshots are still readable.
+const SnapshotVersion = 2
 
 // snapReservation is the wire form of one live reservation: the full
 // request plus its grant, so restore can replay it through the ledger's
@@ -34,6 +37,19 @@ type snapReservation struct {
 	TauS       float64 `json:"tau_s"`
 }
 
+// snapDecision is the wire form of one cached idempotency decision —
+// enough to answer a retry without re-admitting, whatever state the
+// original reservation has reached by now.
+type snapDecision struct {
+	ID       int     `json:"id"`
+	Accepted bool    `json:"accepted"`
+	State    string  `json:"state"`
+	RateBps  float64 `json:"rate_bps,omitempty"`
+	SigmaS   float64 `json:"sigma_s,omitempty"`
+	TauS     float64 `json:"tau_s,omitempty"`
+	Reason   string  `json:"reason,omitempty"`
+}
+
 // Snapshot is the persisted control-plane state. Service time is
 // continuous across restarts: a restored daemon resumes at NowS no matter
 // how long it was down, so booked windows keep their meaning.
@@ -46,10 +62,14 @@ type Snapshot struct {
 	EgressBps  []float64         `json:"egress_capacity_bps"`
 	Counters   metrics.Online    `json:"counters"`
 	Live       []snapReservation `json:"reservations"`
-	// Idempotency maps submission idempotency keys to the reservation
-	// they booked, for keys whose reservation is still live — so a client
-	// retrying across a daemon restart still cannot double-book.
+	// Idempotency is the legacy (version 1) key map: submission key to the
+	// live reservation it booked. Read for compatibility, never written.
 	Idempotency map[string]int `json:"idempotency_keys,omitempty"`
+	// IdempotencyDecisions maps submission keys to their full cached
+	// decisions — including rejections and terminal reservations — so a
+	// client retrying with the same key after a daemon restart gets the
+	// original answer instead of booking a duplicate transfer.
+	IdempotencyDecisions map[string]snapDecision `json:"idempotency_decisions,omitempty"`
 }
 
 // Snapshot captures the current state. It works on a closed server, so a
@@ -82,32 +102,49 @@ func (s *Server) Snapshot() *Snapshot {
 			SigmaS:  float64(e.grant.Sigma), TauS: float64(e.grant.Tau),
 		})
 	}
-	for key, d := range s.idem {
-		if !d.Accepted {
+	for key, ie := range s.idem {
+		select {
+		case <-ie.done:
+		default:
+			// Still in flight: the submission will settle after this
+			// snapshot, so it has no decision to persist yet.
 			continue
 		}
-		if e, ok := s.resv[d.ID]; ok && e.state == StateActive {
-			if snap.Idempotency == nil {
-				snap.Idempotency = make(map[string]int)
-			}
-			snap.Idempotency[key] = int(d.ID)
+		if ie.err != nil {
+			continue
 		}
+		d := ie.d
+		sd := snapDecision{
+			ID: int(d.ID), Accepted: d.Accepted, State: string(d.State),
+			RateBps: float64(d.Rate), SigmaS: float64(d.Sigma), TauS: float64(d.Tau),
+			Reason: d.Reason,
+		}
+		if d.Accepted {
+			// The cached decision froze the state at decision time;
+			// persist where the reservation actually is now.
+			if e, ok := s.resv[d.ID]; ok {
+				sd.State = string(s.liveStateLocked(e))
+			} else {
+				// Evicted from the registry: terminal long ago.
+				sd.State = string(StateExpired)
+			}
+		}
+		if snap.IdempotencyDecisions == nil {
+			snap.IdempotencyDecisions = make(map[string]snapDecision)
+		}
+		snap.IdempotencyDecisions[key] = sd
 	}
 	return snap
 }
 
 func (s *Server) sortedLiveIDsLocked() []request.ID {
-	var ids []request.ID
+	ids := make([]request.ID, 0, len(s.resv))
 	for id, e := range s.resv {
 		if e.state == StateActive {
 			ids = append(ids, id)
 		}
 	}
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 
@@ -121,14 +158,15 @@ func (s *Server) WriteSnapshot(w io.Writer) error {
 	return nil
 }
 
-// ReadSnapshot parses a snapshot.
+// ReadSnapshot parses a snapshot. Version 1 (live-only idempotency keys)
+// and version 2 are both accepted.
 func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	var snap Snapshot
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("server: decode snapshot: %w", err)
 	}
-	if snap.Version != SnapshotVersion {
-		return nil, fmt.Errorf("server: unsupported snapshot version %d (want %d)", snap.Version, SnapshotVersion)
+	if snap.Version < 1 || snap.Version > SnapshotVersion {
+		return nil, fmt.Errorf("server: unsupported snapshot version %d (want 1..%d)", snap.Version, SnapshotVersion)
 	}
 	return &snap, nil
 }
@@ -210,21 +248,8 @@ func NewFromSnapshot(snap *Snapshot, cfg Config) (*Server, error) {
 		e.expire = s.sim.At(g.Tau, s.expireEvent(r.ID))
 		s.resv[r.ID] = e
 	}
-	idemKeys := make([]string, 0, len(snap.Idempotency))
-	for key := range snap.Idempotency {
-		idemKeys = append(idemKeys, key)
-	}
-	sort.Strings(idemKeys)
-	for _, key := range idemKeys {
-		id := snap.Idempotency[key]
-		e, ok := s.resv[request.ID(id)]
-		if !ok {
-			return nil, fmt.Errorf("server: restore: idempotency key for unknown reservation %d", id)
-		}
-		s.rememberLocked(key, Decision{
-			ID: e.req.ID, Accepted: true, State: StateActive,
-			Rate: e.grant.Bandwidth, Sigma: e.grant.Sigma, Tau: e.grant.Tau,
-		})
+	if err := s.restoreIdempotency(snap); err != nil {
+		return nil, err
 	}
 	if s.decisions != nil {
 		_ = s.decisions.Append(trace.Event{
@@ -234,4 +259,64 @@ func NewFromSnapshot(snap *Snapshot, cfg Config) (*Server, error) {
 	}
 	go s.loop()
 	return s, nil
+}
+
+// restoreIdempotency rebuilds the idempotency cache. Version-2 snapshots
+// carry full decisions; the legacy version-1 map only knew live keys.
+// Keys are inserted in sorted order so the FIFO eviction queue is
+// deterministic across restores.
+func (s *Server) restoreIdempotency(snap *Snapshot) error {
+	settled := func(d Decision) *idemEntry {
+		e := &idemEntry{done: make(chan struct{}), d: d}
+		close(e.done)
+		return e
+	}
+	keys := make([]string, 0, len(snap.IdempotencyDecisions))
+	for key := range snap.IdempotencyDecisions {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		sd := snap.IdempotencyDecisions[key]
+		d := Decision{
+			ID: request.ID(sd.ID), Accepted: sd.Accepted, State: State(sd.State),
+			Rate: units.Bandwidth(sd.RateBps), Sigma: units.Time(sd.SigmaS), Tau: units.Time(sd.TauS),
+			Reason: sd.Reason,
+		}
+		switch d.State {
+		case StateBooked, StateActive, StateExpired, StateCancelled, StateRejected:
+		default:
+			return fmt.Errorf("server: restore: idempotency key %q has unknown state %q", key, sd.State)
+		}
+		if d.Accepted {
+			if int(d.ID) >= snap.NextID || d.ID < 0 {
+				return fmt.Errorf("server: restore: idempotency key %q for reservation %d not below next_id %d",
+					key, sd.ID, snap.NextID)
+			}
+			if _, live := s.resv[d.ID]; !live && (d.State == StateBooked || d.State == StateActive) {
+				return fmt.Errorf("server: restore: idempotency key %q claims live reservation %d absent from snapshot",
+					key, sd.ID)
+			}
+		}
+		s.rememberLocked(key, settled(d))
+	}
+
+	// Legacy version-1 map: key -> live reservation ID.
+	legacy := make([]string, 0, len(snap.Idempotency))
+	for key := range snap.Idempotency {
+		legacy = append(legacy, key)
+	}
+	sort.Strings(legacy)
+	for _, key := range legacy {
+		id := snap.Idempotency[key]
+		e, ok := s.resv[request.ID(id)]
+		if !ok {
+			return fmt.Errorf("server: restore: idempotency key for unknown reservation %d", id)
+		}
+		s.rememberLocked(key, settled(Decision{
+			ID: e.req.ID, Accepted: true, State: StateActive,
+			Rate: e.grant.Bandwidth, Sigma: e.grant.Sigma, Tau: e.grant.Tau,
+		}))
+	}
+	return nil
 }
