@@ -2,17 +2,24 @@
 // bandwidth-sharing service behind an HTTP/JSON API.
 //
 // It serves the /v1 endpoints (requests, batch, status, metricsz,
-// healthz), expires grants against the wall clock, sheds submissions
-// beyond its in-flight limit, and persists its control-plane state as a JSON
-// snapshot so a restart resumes with the exact ledger occupancy. When
-// the snapshot is corrupt and a decision log is configured, boot falls
-// back to replaying the audit log instead of refusing to start.
+// healthz, replication), expires grants against the wall clock, sheds
+// submissions beyond its in-flight limit, and persists its control-plane
+// state twice over: a JSON snapshot of the ledger, and — with -wal — a
+// segmented, CRC-framed write-ahead log of every admission decision.
+// Boot recovers along the strongest available path: snapshot plus the
+// WAL suffix past it, then full WAL replay, then the legacy JSON-lines
+// decision log, then a fresh server.
+//
+// With -follow the daemon boots as a warm standby instead: it replays
+// its own WAL, then continuously pulls the primary's decision stream,
+// refusing writes (403) until POST /v1/replication/promote turns it into
+// the primary under a higher fencing epoch.
 //
 // Examples:
 //
 //	gridbwd -addr :8080 -ingress 1GB/s,1GB/s -egress 1GB/s,1GB/s -policy f=0.8
-//	gridbwd -snapshot gridbwd.snap.json -snapshot-every 30s
-//	gridbwd -decision-log decisions.jsonl -max-inflight 128 -retry-after 2s
+//	gridbwd -snapshot gridbwd.snap.json -snapshot-every 30s -wal waldir -wal-compact
+//	gridbwd -addr :8081 -wal standby-wal -follow http://primary:8080
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -33,6 +41,7 @@ import (
 	"gridbw/internal/server"
 	"gridbw/internal/trace"
 	"gridbw/internal/units"
+	"gridbw/internal/wal"
 )
 
 func main() {
@@ -50,7 +59,13 @@ func run(args []string) error {
 	policy := fset.String("policy", "minbw", "bandwidth-assignment policy: minbw, minbw-strict, or f=<x>")
 	snapshot := fset.String("snapshot", "", "snapshot file: restored at boot if present, written on shutdown")
 	snapshotEvery := fset.Duration("snapshot-every", 0, "also write the snapshot periodically (0 = only on shutdown)")
-	decisionLog := fset.String("decision-log", "", "append admission decisions as JSON lines to this file; also the boot fallback when the snapshot is corrupt")
+	decisionLog := fset.String("decision-log", "", "append admission decisions as JSON lines to this file; also a boot fallback when snapshot and WAL are unusable")
+	walDir := fset.String("wal", "", "write-ahead log directory: every decision is CRC-framed and segmented here; the primary recovery source and the replication stream")
+	walFsync := fset.String("wal-fsync", "always", "WAL durability: always (fsync every append), interval, or never")
+	walFsyncInterval := fset.Duration("wal-fsync-interval", 0, "fsync period under -wal-fsync=interval (0 = 100ms)")
+	walSegmentBytes := fset.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold (0 = 8 MiB)")
+	walCompact := fset.Bool("wal-compact", false, "after each snapshot write, unlink WAL segments the snapshot wholly covers")
+	follow := fset.String("follow", "", "boot as a read-only warm standby pulling decisions from the primary at this base URL")
 	drainTimeout := fset.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain window for in-flight requests")
 	maxInFlight := fset.Int("max-inflight", 0, "concurrent submissions before shedding with 429 (0 = default 64, negative = unbounded)")
 	retryAfter := fset.Duration("retry-after", 0, "Retry-After hint on shed responses (0 = default 1s)")
@@ -63,6 +78,7 @@ func run(args []string) error {
 		snapshotPath: *snapshot,
 		logPath:      *decisionLog,
 		policy:       *policy,
+		follow:       *follow,
 		base: server.Config{
 			MaxInFlight: *maxInFlight,
 			RetryAfter:  *retryAfter,
@@ -84,6 +100,22 @@ func run(args []string) error {
 		defer f.Close()
 		bc.base.Decisions = trace.NewDecisionLog(f)
 	}
+	if *walDir != "" {
+		pol, err := wal.ParseSyncPolicy(*walFsync)
+		if err != nil {
+			return err
+		}
+		l, rec, err := wal.Open(*walDir, wal.Options{
+			SegmentBytes: *walSegmentBytes, Policy: pol, Interval: *walFsyncInterval,
+		})
+		if err != nil {
+			return err
+		}
+		defer l.Close()
+		log.Printf("wal %s: %s", *walDir, rec)
+		bc.wal = l
+		bc.base.WAL = l
+	}
 
 	srv, how, err := bootServer(bc)
 	if err != nil {
@@ -95,7 +127,7 @@ func run(args []string) error {
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("gridbwd serving on %s (%s, policy %s)", *addr, srv.Network(), srv.PolicyName())
+		log.Printf("gridbwd serving on %s (%s, policy %s, epoch %d)", *addr, srv.Network(), srv.PolicyName(), srv.Epoch())
 		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 		}
@@ -113,7 +145,7 @@ func run(args []string) error {
 				case <-ctx.Done():
 					return
 				case <-ticker.C:
-					if err := writeSnapshotAtomic(srv, *snapshot); err != nil {
+					if err := persistSnapshot(srv, *snapshot, bc.wal, *walCompact); err != nil {
 						log.Printf("periodic snapshot: %v", err)
 					}
 				}
@@ -138,7 +170,7 @@ func run(args []string) error {
 	}
 	srv.Close()
 	if *snapshot != "" {
-		if err := writeSnapshotAtomic(srv, *snapshot); err != nil {
+		if err := persistSnapshot(srv, *snapshot, bc.wal, *walCompact); err != nil {
 			return fmt.Errorf("final snapshot: %w", err)
 		}
 		log.Printf("wrote %s", *snapshot)
@@ -147,7 +179,7 @@ func run(args []string) error {
 }
 
 // bootConfig gathers everything bootServer needs to bring a server up.
-// base carries the runtime wiring (Decisions, limits); the platform
+// base carries the runtime wiring (Decisions, WAL, limits); the platform
 // flags live beside it because snapshot restore forbids platform fields
 // in its Config while fresh boot and log replay require them.
 type bootConfig struct {
@@ -155,6 +187,8 @@ type bootConfig struct {
 	logPath         string
 	ingress, egress []units.Bandwidth
 	policy          string
+	follow          string
+	wal             *wal.Log
 	base            server.Config
 }
 
@@ -166,9 +200,13 @@ func (bc bootConfig) platformConfig() server.Config {
 }
 
 // bootServer brings up the control plane along the first viable recovery
-// path — snapshot restore, then decision-log replay when the snapshot is
-// unusable, then a fresh server — and reports which path was taken.
+// path — snapshot restore plus the WAL suffix past it, then full WAL
+// replay, then decision-log replay, then a fresh server — and reports
+// which path was taken. With -follow it boots a warm standby instead.
 func bootServer(bc bootConfig) (*server.Server, string, error) {
+	if bc.follow != "" {
+		return bootFollower(bc)
+	}
 	if bc.snapshotPath != "" {
 		f, err := os.Open(bc.snapshotPath)
 		switch {
@@ -176,27 +214,36 @@ func bootServer(bc bootConfig) (*server.Server, string, error) {
 			snap, rerr := server.ReadSnapshot(f)
 			f.Close()
 			if rerr == nil {
-				srv, serr := server.NewFromSnapshot(snap, bc.base)
+				srv, how, serr := bootFromSnapshot(bc, snap)
 				if serr == nil {
-					return srv, fmt.Sprintf("restored snapshot %s: %d live reservations, clock at %s",
-						bc.snapshotPath, len(snap.Live), units.Time(snap.NowS)), nil
+					return srv, how, nil
 				}
 				rerr = serr
 			}
 			// The snapshot exists but cannot be used. Refusing to start
 			// would keep the whole control plane down over one bad file;
-			// the decision log carries enough to rebuild the ledger.
-			srv, how, ferr := bootFromLog(bc)
+			// the WAL (or the decision log) carries enough to rebuild.
+			srv, how, ferr := bootFallback(bc)
 			if ferr != nil {
 				return nil, "", fmt.Errorf("snapshot %s unusable (%v); %w", bc.snapshotPath, rerr, ferr)
 			}
-			log.Printf("snapshot %s unusable (%v); falling back to decision-log replay", bc.snapshotPath, rerr)
+			log.Printf("snapshot %s unusable (%v); falling back to %s", bc.snapshotPath, rerr, how)
 			return srv, how, nil
 		case errors.Is(err, fs.ErrNotExist):
-			// First boot with this snapshot path: start fresh below.
+			// First boot with this snapshot path: recover from the WAL
+			// below if it holds history, else start fresh.
 		default:
 			return nil, "", err
 		}
+	}
+	if bc.wal != nil && bc.wal.Records() > 0 {
+		srv, how, err := bootFallback(bc)
+		if err != nil {
+			// A WAL full of decisions must not be silently discarded by a
+			// fresh boot; surface why it cannot be replayed.
+			return nil, "", err
+		}
+		return srv, how, nil
 	}
 	srv, err := server.New(bc.platformConfig())
 	if err != nil {
@@ -205,7 +252,72 @@ func bootServer(bc bootConfig) (*server.Server, string, error) {
 	return srv, fmt.Sprintf("fresh server (%s, policy %s)", srv.Network(), srv.PolicyName()), nil
 }
 
+// bootFromSnapshot restores the snapshot and replays the WAL suffix past
+// the position it recorded — the decisions made after the snapshot was
+// written and before the crash.
+func bootFromSnapshot(bc bootConfig, snap *server.Snapshot) (*server.Server, string, error) {
+	srv, err := server.NewFromSnapshot(snap, bc.base)
+	if err != nil {
+		return nil, "", err
+	}
+	suffix := 0
+	if bc.wal != nil {
+		events, _, err := server.ReadWALEvents(bc.wal, snap.WALPos())
+		if err == nil {
+			suffix, err = srv.ApplyEvents(events)
+		}
+		if err != nil {
+			srv.Close()
+			return nil, "", fmt.Errorf("WAL suffix past snapshot: %w", err)
+		}
+	}
+	how := fmt.Sprintf("restored snapshot %s: %d live reservations, clock at %s",
+		bc.snapshotPath, len(snap.Live), units.Time(snap.NowS))
+	if suffix > 0 {
+		how += fmt.Sprintf(", replayed %d WAL events past it", suffix)
+	}
+	return srv, how, nil
+}
+
+// bootFallback recovers without a usable snapshot: full WAL replay when
+// the WAL holds history, else the legacy JSON-lines decision log.
+func bootFallback(bc bootConfig) (*server.Server, string, error) {
+	var walErr error
+	if bc.wal != nil && bc.wal.Records() > 0 {
+		srv, how, err := bootFromWAL(bc)
+		if err == nil {
+			return srv, how, nil
+		}
+		walErr = err
+		log.Printf("WAL replay failed (%v); trying the decision log", err)
+	}
+	srv, how, err := bootFromLog(bc)
+	if err != nil && walErr != nil {
+		return nil, "", fmt.Errorf("%v; %w", walErr, err)
+	}
+	return srv, how, err
+}
+
+// bootFromWAL rebuilds the server by strictly replaying the whole WAL:
+// the same audit semantics as the decision log, read from CRC-framed
+// segments that a torn tail truncates instead of poisons.
+func bootFromWAL(bc bootConfig) (*server.Server, string, error) {
+	events, _, err := server.ReadWALEvents(bc.wal, wal.Pos{})
+	if err != nil {
+		return nil, "", fmt.Errorf("WAL replay: %w", err)
+	}
+	srv, err := server.NewFromDecisions(events, bc.platformConfig())
+	if err != nil {
+		return nil, "", fmt.Errorf("WAL replay: %w", err)
+	}
+	return srv, fmt.Sprintf("replayed WAL %s: %d events, %d live reservations",
+		bc.wal.Dir(), len(events), len(srv.LiveReservations())), nil
+}
+
 // bootFromLog rebuilds the server by replaying the decision audit log.
+// The read is torn-tail tolerant: a crash mid-line costs the broken tail,
+// counted and logged, not the whole recovery path — but a log with no
+// surviving events at all is corruption, not history, and stays an error.
 func bootFromLog(bc bootConfig) (*server.Server, string, error) {
 	if bc.logPath == "" {
 		return nil, "", errors.New("no decision log configured to recover from")
@@ -214,9 +326,16 @@ func bootFromLog(bc bootConfig) (*server.Server, string, error) {
 	if err != nil {
 		return nil, "", fmt.Errorf("decision-log recovery: %w", err)
 	}
-	events, err := trace.ReadDecisions(bytes.NewReader(blob))
+	events, dropped, err := trace.RecoverDecisions(bytes.NewReader(blob))
 	if err != nil {
 		return nil, "", fmt.Errorf("decision-log recovery: %w", err)
+	}
+	if dropped > 0 && len(events) == 0 {
+		return nil, "", fmt.Errorf("decision-log recovery: %s is wholly corrupt (%d lines dropped)", bc.logPath, dropped)
+	}
+	if dropped > 0 {
+		log.Printf("decision log %s: dropped %d corrupt trailing line(s), replaying the %d surviving events",
+			bc.logPath, dropped, len(events))
 	}
 	srv, err := server.NewFromDecisions(events, bc.platformConfig())
 	if err != nil {
@@ -224,6 +343,35 @@ func bootFromLog(bc bootConfig) (*server.Server, string, error) {
 	}
 	return srv, fmt.Sprintf("replayed decision log %s: %d events, %d live reservations",
 		bc.logPath, len(events), len(srv.LiveReservations())), nil
+}
+
+// bootFollower boots the warm standby: a fresh server in follower mode,
+// its own WAL replayed tolerantly (the history it pulled before the last
+// restart), then the pull loop against the primary.
+func bootFollower(bc bootConfig) (*server.Server, string, error) {
+	cfg := bc.platformConfig()
+	cfg.Follow = bc.follow
+	srv, err := server.New(cfg)
+	if err != nil {
+		return nil, "", err
+	}
+	applied := 0
+	if bc.wal != nil && bc.wal.Records() > 0 {
+		events, _, err := server.ReadWALEvents(bc.wal, wal.Pos{})
+		if err == nil {
+			applied, err = srv.ApplyEvents(events)
+		}
+		if err != nil {
+			srv.Close()
+			return nil, "", fmt.Errorf("follower: replay own WAL: %w", err)
+		}
+	}
+	if err := srv.StartFollowing(); err != nil {
+		srv.Close()
+		return nil, "", err
+	}
+	return srv, fmt.Sprintf("following %s (epoch %d, %d local WAL events replayed)",
+		bc.follow, srv.Epoch(), applied), nil
 }
 
 func parseCaps(list string) ([]units.Bandwidth, error) {
@@ -238,15 +386,43 @@ func parseCaps(list string) ([]units.Bandwidth, error) {
 	return out, nil
 }
 
-// writeSnapshotAtomic writes via a temp file + rename so a crash mid-write
-// never truncates the only copy of the ledger.
+// persistSnapshot writes the snapshot durably and, when asked, compacts
+// the WAL segments the snapshot now wholly covers.
+func persistSnapshot(srv *server.Server, path string, l *wal.Log, compact bool) error {
+	snap := srv.Snapshot()
+	if err := writeSnapFile(snap, path); err != nil {
+		return err
+	}
+	if l != nil && compact {
+		if n, err := l.CompactBefore(snap.WALPos()); err != nil {
+			log.Printf("wal compaction: %v", err)
+		} else if n > 0 {
+			log.Printf("wal: compacted %d segment(s) before %v", n, snap.WALPos())
+		}
+	}
+	return nil
+}
+
+// writeSnapshotAtomic captures the current state and writes it durably.
 func writeSnapshotAtomic(srv *server.Server, path string) error {
+	return writeSnapFile(srv.Snapshot(), path)
+}
+
+// writeSnapFile writes via temp file + fsync + rename + directory fsync,
+// so a crash at any instant leaves either the old snapshot or the new
+// one — complete and durable — never a torn or vanishing file.
+func writeSnapFile(snap *server.Snapshot, path string) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if err := srv.WriteSnapshot(f); err != nil {
+	if err := snap.Write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -255,5 +431,15 @@ func writeSnapshotAtomic(srv *server.Server, path string) error {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// The rename is only durable once the directory entry is.
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer dir.Close()
+	return dir.Sync()
 }

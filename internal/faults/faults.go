@@ -170,3 +170,31 @@ func (inj *Injector) down(key string, at units.Time) bool {
 
 // Stats reports the channel-level counters accumulated so far.
 func (inj *Injector) Stats() metrics.FaultCounters { return inj.stats }
+
+// Crasher draws SIGKILL-equivalent crash points for the durable-log
+// harness: each Offset is a byte position at which the WAL (or decision
+// log) is truncated before a restart, simulating a kernel that got an
+// arbitrary prefix of the final write to disk. Like every fault source
+// here it is a pure function of its seed, so a failing crash schedule
+// replays bit-identically.
+type Crasher struct {
+	src *rng.Source
+}
+
+// NewCrasher returns a seeded crash-point source.
+func NewCrasher(seed int64) *Crasher {
+	return &Crasher{src: rng.New(seed).Split("crash-offsets")}
+}
+
+// Offset draws a truncation offset in [lo, hi). A degenerate range
+// returns lo.
+func (c *Crasher) Offset(lo, hi int64) int64 {
+	if hi <= lo {
+		return lo
+	}
+	off := lo + int64(c.src.Float64()*float64(hi-lo))
+	if off >= hi {
+		off = hi - 1
+	}
+	return off
+}

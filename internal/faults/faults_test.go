@@ -173,3 +173,29 @@ func TestNewRejectsBadConfig(t *testing.T) {
 		t.Error("bad config accepted")
 	}
 }
+
+// TestCrasherDeterministicAndInRange: crash offsets replay identically
+// for one seed, land inside the requested range, and differ across seeds.
+func TestCrasherDeterministicAndInRange(t *testing.T) {
+	a, b := NewCrasher(7), NewCrasher(7)
+	other := NewCrasher(8)
+	var diverged bool
+	for i := 0; i < 200; i++ {
+		x := a.Offset(100, 1000)
+		if x != b.Offset(100, 1000) {
+			t.Fatal("equal seeds diverged")
+		}
+		if x < 100 || x >= 1000 {
+			t.Fatalf("offset %d outside [100,1000)", x)
+		}
+		if x != other.Offset(100, 1000) {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("different seeds produced identical schedules")
+	}
+	if got := NewCrasher(1).Offset(5, 5); got != 5 {
+		t.Errorf("degenerate range = %d, want lo", got)
+	}
+}

@@ -31,6 +31,11 @@ type Online struct {
 	// size. Submissions inside a batch also count toward Submitted.
 	Batches       uint64 `json:"batches,omitempty"`
 	BatchRequests uint64 `json:"batch_requests,omitempty"`
+	// LogAppendFailures counts decision-log or WAL appends that failed.
+	// Any non-zero value flips the daemon into durability-degraded mode:
+	// it keeps serving, but the audit trail has a hole and a crash could
+	// forget decisions made past the failure.
+	LogAppendFailures uint64 `json:"log_append_failures,omitempty"`
 }
 
 // RecordAccept counts an accepted request with its granted rate and volume.
@@ -67,6 +72,13 @@ func (o *Online) RecordBatch(n int) {
 	o.Batches++
 	o.BatchRequests += uint64(n)
 }
+
+// RecordLogAppendFailure counts a decision-log or WAL append that failed.
+func (o *Online) RecordLogAppendFailure() { o.LogAppendFailures++ }
+
+// DurabilityDegraded reports whether any decision failed to reach the
+// audit log — the health signal operators page on.
+func (o *Online) DurabilityDegraded() bool { return o.LogAppendFailures > 0 }
 
 // AcceptRate reports Accepted/Submitted, the online MAX-REQUESTS
 // objective; 0 before any submission.

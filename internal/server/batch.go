@@ -79,6 +79,10 @@ func (s *Server) submitMany(subs []Submission) ([]BatchResult, error) {
 		s.mu.Unlock()
 		return nil, ErrClosed
 	}
+	if s.repl.following {
+		s.mu.Unlock()
+		return nil, ErrReadOnly
+	}
 	s.advanceLocked()
 	now := s.sim.Now()
 	for i := range subs {

@@ -154,6 +154,14 @@ func IsOverloaded(err error) bool {
 	return ok && ae.StatusCode == http.StatusTooManyRequests
 }
 
+// IsReadOnly reports whether err is the daemon's 403 answer — the daemon
+// is a follower and refuses writes until promoted. Not retryable: the
+// caller should redirect the write to the primary (or promote).
+func IsReadOnly(err error) bool {
+	ae, ok := err.(*APIError)
+	return ok && ae.StatusCode == http.StatusForbidden
+}
+
 // retryable reports whether err is worth another attempt: transport
 // failures and the transient HTTP answers (shed, gateway trouble).
 func retryable(err error) bool {
@@ -331,6 +339,23 @@ func (c *Client) Status(ctx context.Context) (server.StatusJSON, error) {
 func (c *Client) Health(ctx context.Context) (server.HealthJSON, error) {
 	var out server.HealthJSON
 	err := c.attempt(ctx, http.MethodGet, "/v1/healthz", nil, &out)
+	return out, err
+}
+
+// Replication fetches the daemon's replication view: role, fencing
+// epoch, cursor, and lag. Works on primaries and followers alike.
+func (c *Client) Replication(ctx context.Context) (server.ReplicationStatus, error) {
+	var out server.ReplicationStatus
+	err := c.do(ctx, http.MethodGet, "/v1/replication/status", nil, &out)
+	return out, err
+}
+
+// Promote turns a following daemon into a primary. Idempotent: promoting
+// a daemon that is already primary answers its current role and epoch.
+// Not retried — failover tooling wants to observe each attempt.
+func (c *Client) Promote(ctx context.Context) (server.PromoteJSON, error) {
+	var out server.PromoteJSON
+	err := c.attempt(ctx, http.MethodPost, "/v1/replication/promote", nil, &out)
 	return out, err
 }
 

@@ -83,23 +83,30 @@ type PointJSON struct {
 
 // StatusJSON is the GET /v1/status body.
 type StatusJSON struct {
-	NowS           float64     `json:"now_s"`
-	Policy         string      `json:"policy"`
-	Booked         int         `json:"booked"`
-	Active         int         `json:"active"`
-	Submitted      uint64      `json:"submitted"`
-	Accepted       uint64      `json:"accepted"`
-	Rejected       uint64      `json:"rejected"`
-	Cancelled      uint64      `json:"cancelled"`
-	Expired        uint64      `json:"expired"`
-	Shed           uint64      `json:"shed"`
-	IdempotentHits uint64      `json:"idempotent_hits"`
-	Panics         uint64      `json:"panics"`
-	Batches        uint64      `json:"batches"`
-	BatchRequests  uint64      `json:"batch_requests"`
-	AcceptRate     float64     `json:"accept_rate"`
-	MeanGrantedBps float64     `json:"mean_granted_rate_bps"`
-	Points         []PointJSON `json:"points"`
+	NowS           float64 `json:"now_s"`
+	Policy         string  `json:"policy"`
+	Role           string  `json:"role"`
+	Epoch          uint64  `json:"epoch"`
+	Booked         int     `json:"booked"`
+	Active         int     `json:"active"`
+	Submitted      uint64  `json:"submitted"`
+	Accepted       uint64  `json:"accepted"`
+	Rejected       uint64  `json:"rejected"`
+	Cancelled      uint64  `json:"cancelled"`
+	Expired        uint64  `json:"expired"`
+	Shed           uint64  `json:"shed"`
+	IdempotentHits uint64  `json:"idempotent_hits"`
+	Panics         uint64  `json:"panics"`
+	Batches        uint64  `json:"batches"`
+	BatchRequests  uint64  `json:"batch_requests"`
+	AcceptRate     float64 `json:"accept_rate"`
+	MeanGrantedBps float64 `json:"mean_granted_rate_bps"`
+	// LogAppendFailures and DurabilityDegraded surface decision-log or
+	// WAL appends that failed: the daemon keeps serving, but its audit
+	// trail has a hole a crash could turn into forgotten decisions.
+	LogAppendFailures  uint64      `json:"log_append_failures"`
+	DurabilityDegraded bool        `json:"durability_degraded"`
+	Points             []PointJSON `json:"points"`
 }
 
 // BatchRequest is the POST /v1/batch body: up to MaxBatch submissions
@@ -138,6 +145,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/status", s.handleStatus)
 	mux.HandleFunc("GET /v1/metricsz", s.handleMetricsz)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/replication/pull", s.handleReplPull)
+	mux.HandleFunc("GET /v1/replication/status", s.handleReplStatus)
+	mux.HandleFunc("POST /v1/replication/promote", s.handlePromote)
 	return s.Recoverer(mux)
 }
 
@@ -177,23 +187,39 @@ var errOverloaded = errors.New("server: overloaded, retry later")
 
 // HealthJSON is the GET /v1/healthz body.
 type HealthJSON struct {
-	Status      string  `json:"status"` // "ok" or "draining"
+	Status      string  `json:"status"` // "ok", "degraded" or "draining"
 	NowS        float64 `json:"now_s"`
+	Role        string  `json:"role"`
+	Epoch       uint64  `json:"epoch"`
 	InFlight    int     `json:"in_flight"`
 	MaxInFlight int     `json:"max_in_flight"`
 	Shed        uint64  `json:"shed_total"`
+	// DurabilityDegraded reports decision-log or WAL append failures; the
+	// daemon still serves (200), but the audit trail has a hole.
+	DurabilityDegraded bool `json:"durability_degraded"`
+	// ReplicationLagBytes is how far a follower runs behind its primary.
+	ReplicationLagBytes int64 `json:"replication_lag_bytes,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.Status()
 	body := HealthJSON{
-		Status:      "ok",
-		NowS:        float64(st.Now),
-		InFlight:    s.InFlight(),
-		MaxInFlight: s.InFlightLimit(),
-		Shed:        st.Stats.Shed,
+		Status:             "ok",
+		NowS:               float64(st.Now),
+		Role:               st.Role,
+		Epoch:              st.Epoch,
+		InFlight:           s.InFlight(),
+		MaxInFlight:        s.InFlightLimit(),
+		Shed:               st.Stats.Shed,
+		DurabilityDegraded: st.Stats.DurabilityDegraded(),
+	}
+	if st.Role == "follower" {
+		body.ReplicationLagBytes = s.ReplicationStatus().LagBytes
 	}
 	code := http.StatusOK
+	if body.DurabilityDegraded {
+		body.Status = "degraded"
+	}
 	if s.Closed() {
 		body.Status = "draining"
 		code = http.StatusServiceUnavailable
@@ -311,6 +337,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
+	case errors.Is(err, ErrReadOnly):
+		writeError(w, http.StatusForbidden, err)
+		return
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -363,6 +392,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusServiceUnavailable, err)
 			return
 		}
+		if errors.Is(err, ErrReadOnly) {
+			writeError(w, http.StatusForbidden, err)
+			return
+		}
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
@@ -412,6 +445,8 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrReadOnly):
+		writeError(w, http.StatusForbidden, err)
 	case errors.Is(err, ErrNotFound):
 		writeError(w, http.StatusNotFound, err)
 	case errors.Is(err, ErrFinished):
@@ -424,22 +459,26 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	st := s.Status()
 	body := StatusJSON{
-		NowS:           float64(st.Now),
-		Policy:         st.Policy,
-		Booked:         st.Booked,
-		Active:         st.Active,
-		Submitted:      st.Stats.Submitted,
-		Accepted:       st.Stats.Accepted,
-		Rejected:       st.Stats.Rejected,
-		Cancelled:      st.Stats.Cancelled,
-		Expired:        st.Stats.Expired,
-		Shed:           st.Stats.Shed,
-		IdempotentHits: st.Stats.IdempotentHits,
-		Panics:         st.Stats.Panics,
-		Batches:        st.Stats.Batches,
-		BatchRequests:  st.Stats.BatchRequests,
-		AcceptRate:     st.Stats.AcceptRate(),
-		MeanGrantedBps: float64(st.Stats.MeanGrantedRate()),
+		NowS:               float64(st.Now),
+		Policy:             st.Policy,
+		Role:               st.Role,
+		Epoch:              st.Epoch,
+		Booked:             st.Booked,
+		Active:             st.Active,
+		Submitted:          st.Stats.Submitted,
+		Accepted:           st.Stats.Accepted,
+		Rejected:           st.Stats.Rejected,
+		Cancelled:          st.Stats.Cancelled,
+		Expired:            st.Stats.Expired,
+		Shed:               st.Stats.Shed,
+		IdempotentHits:     st.Stats.IdempotentHits,
+		Panics:             st.Stats.Panics,
+		Batches:            st.Stats.Batches,
+		BatchRequests:      st.Stats.BatchRequests,
+		AcceptRate:         st.Stats.AcceptRate(),
+		MeanGrantedBps:     float64(st.Stats.MeanGrantedRate()),
+		LogAppendFailures:  st.Stats.LogAppendFailures,
+		DurabilityDegraded: st.Stats.DurabilityDegraded(),
 	}
 	for _, p := range st.Points {
 		body.Points = append(body.Points, PointJSON{
@@ -498,4 +537,32 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	}
 	fmt.Fprintf(w, "# TYPE gridbwd_service_clock_seconds gauge\n")
 	fmt.Fprintf(w, "gridbwd_service_clock_seconds %g\n", float64(st.Now))
+	fmt.Fprintf(w, "# TYPE gridbwd_log_append_failures_total counter\n")
+	fmt.Fprintf(w, "gridbwd_log_append_failures_total %d\n", st.Stats.LogAppendFailures)
+	fmt.Fprintf(w, "# TYPE gridbwd_durability_degraded gauge\n")
+	fmt.Fprintf(w, "gridbwd_durability_degraded %d\n", boolGauge(st.Stats.DurabilityDegraded()))
+	fmt.Fprintf(w, "# TYPE gridbwd_replication_epoch gauge\n")
+	fmt.Fprintf(w, "gridbwd_replication_epoch %d\n", st.Epoch)
+	fmt.Fprintf(w, "# TYPE gridbwd_replication_is_follower gauge\n")
+	fmt.Fprintf(w, "gridbwd_replication_is_follower %d\n", boolGauge(st.Role == "follower"))
+	rs := s.ReplicationStatus()
+	fmt.Fprintf(w, "# TYPE gridbwd_replication_lag_bytes gauge\n")
+	fmt.Fprintf(w, "gridbwd_replication_lag_bytes %d\n", rs.LagBytes)
+	fmt.Fprintf(w, "# TYPE gridbwd_replication_applied_records_total counter\n")
+	fmt.Fprintf(w, "gridbwd_replication_applied_records_total %d\n", rs.Applied)
+	if s.wal != nil {
+		fmt.Fprintf(w, "# TYPE gridbwd_wal_records gauge\n")
+		fmt.Fprintf(w, "gridbwd_wal_records %d\n", rs.WALRecords)
+		fmt.Fprintf(w, "# TYPE gridbwd_wal_segment gauge\n")
+		fmt.Fprintf(w, "gridbwd_wal_segment %d\n", rs.WALEnd.Seg)
+		fmt.Fprintf(w, "# TYPE gridbwd_wal_offset_bytes gauge\n")
+		fmt.Fprintf(w, "gridbwd_wal_offset_bytes %d\n", rs.WALEnd.Off)
+	}
+}
+
+func boolGauge(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }

@@ -59,35 +59,12 @@ func NewFromDecisions(events []trace.Event, cfg Config) (*Server, error) {
 			if _, dup := live[id]; dup {
 				return nil, fmt.Errorf("server: replay: reservation %d accepted twice", ev.Request)
 			}
-			g := request.Grant{
-				Request:   id,
-				Bandwidth: units.Bandwidth(ev.RateBps),
-				Sigma:     units.Time(ev.SigmaS),
-				Tau:       units.Time(ev.TauS),
-			}
-			if g.Tau <= g.Sigma || g.Bandwidth <= 0 {
-				return nil, fmt.Errorf("server: replay: reservation %d has degenerate grant", ev.Request)
-			}
-			vol := units.Volume(ev.VolumeB)
-			maxRate := units.Bandwidth(ev.MaxRateBps)
-			if vol <= 0 {
-				// Old logs omit the submission echo; the daemon's grants
-				// always satisfy vol = bw·(τ−σ) exactly, so derive it.
-				vol = g.Bandwidth.For(g.Tau - g.Sigma)
-				maxRate = g.Bandwidth
-			}
-			r := request.Request{
-				ID:      id,
-				Ingress: topology.PointID(ev.Ingress), Egress: topology.PointID(ev.Egress),
-				Start: g.Sigma, Finish: g.Tau,
-				Volume: vol, MaxRate: maxRate,
-			}
-			if int(r.Ingress) >= net.NumIngress() || int(r.Egress) >= net.NumEgress() ||
-				r.Ingress < 0 || r.Egress < 0 {
-				return nil, fmt.Errorf("server: replay: reservation %d routed through unknown point", ev.Request)
+			r, g, err := grantFromEvent(ev, net)
+			if err != nil {
+				return nil, fmt.Errorf("server: replay: %w", err)
 			}
 			live[id] = liveGrant{r: r, g: g}
-			s.stats.RecordAccept(g.Bandwidth, vol)
+			s.stats.RecordAccept(g.Bandwidth, r.Volume)
 		case trace.EventReject:
 			s.stats.RecordReject()
 		case trace.EventCancel:
@@ -102,7 +79,7 @@ func NewFromDecisions(events []trace.Event, cfg Config) (*Server, error) {
 			}
 			delete(live, request.ID(ev.Request))
 			s.stats.RecordExpire()
-		case trace.EventRestore, trace.EventPanic:
+		case trace.EventRestore, trace.EventPanic, trace.EventPromote:
 			// Markers only; they carry no reservation state.
 		default:
 			return nil, fmt.Errorf("server: replay: unknown event kind %q", ev.Kind)
@@ -131,12 +108,46 @@ func NewFromDecisions(events []trace.Event, cfg Config) (*Server, error) {
 		e.expire = s.sim.At(lg.g.Tau, s.expireEvent(id))
 		s.resv[id] = e
 	}
-	if s.decisions != nil {
-		_ = s.decisions.Append(trace.Event{
-			At: now, Kind: trace.EventRestore, Request: -1,
-			Reason: fmt.Sprintf("replayed %d events, %d reservations live", len(events), len(s.resv)),
-		})
+	if err := s.initRepl(cfg, 0); err != nil {
+		return nil, err
 	}
+	s.appendEventLocked(trace.Event{
+		At: now, Kind: trace.EventRestore, Request: -1,
+		Reason: fmt.Sprintf("replayed %d events, %d reservations live", len(events), len(s.resv)),
+	})
 	go s.loop()
 	return s, nil
+}
+
+// grantFromEvent reconstructs the request and grant an accept event
+// recorded, re-deriving the submission echo older logs omitted (the
+// daemon's grants always satisfy vol = bw·(τ−σ) exactly).
+func grantFromEvent(ev trace.Event, net *topology.Network) (request.Request, request.Grant, error) {
+	id := request.ID(ev.Request)
+	g := request.Grant{
+		Request:   id,
+		Bandwidth: units.Bandwidth(ev.RateBps),
+		Sigma:     units.Time(ev.SigmaS),
+		Tau:       units.Time(ev.TauS),
+	}
+	if g.Tau <= g.Sigma || g.Bandwidth <= 0 {
+		return request.Request{}, g, fmt.Errorf("reservation %d has degenerate grant", ev.Request)
+	}
+	vol := units.Volume(ev.VolumeB)
+	maxRate := units.Bandwidth(ev.MaxRateBps)
+	if vol <= 0 {
+		vol = g.Bandwidth.For(g.Tau - g.Sigma)
+		maxRate = g.Bandwidth
+	}
+	r := request.Request{
+		ID:      id,
+		Ingress: topology.PointID(ev.Ingress), Egress: topology.PointID(ev.Egress),
+		Start: g.Sigma, Finish: g.Tau,
+		Volume: vol, MaxRate: maxRate,
+	}
+	if int(r.Ingress) >= net.NumIngress() || int(r.Egress) >= net.NumEgress() ||
+		r.Ingress < 0 || r.Egress < 0 {
+		return r, g, fmt.Errorf("reservation %d routed through unknown point", ev.Request)
+	}
+	return r, g, nil
 }

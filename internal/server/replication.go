@@ -1,0 +1,625 @@
+package server
+
+// Log-shipping replication. The primary's WAL doubles as the replication
+// stream: a follower long-polls GET /v1/replication/pull with its cursor,
+// the primary answers with the decision records past it, and the follower
+// replays them into its own sharded ledger — and into its own WAL, so a
+// promoted follower owns a complete local history.
+//
+// Safety rests on three properties:
+//
+//   - Fencing: every shipped batch carries the sender's epoch. A receiver
+//     whose epoch is higher refuses the batch outright, so a deposed
+//     primary — still running after its follower was promoted — can never
+//     push its decisions into the new primary's lineage.
+//   - Idempotent apply: the follower's pull cursor is persisted after the
+//     applied records, so a crash can rewind it. Re-delivered accepts that
+//     match the applied grant byte-for-byte are skipped, and cancels or
+//     expires of missing/terminal reservations are tolerated; replay from
+//     any earlier cursor converges on the same state.
+//   - Read-only while following: a follower answers every Submit and
+//     Cancel with ErrReadOnly until promoted, so the only writer of its
+//     ledger is the shipped stream. Promotion schedules the expiry timers
+//     the follower deliberately never armed (shipped expire events played
+//     that role), bumps and persists the fencing epoch, and records a
+//     promote marker in the log.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"gridbw/internal/request"
+	"gridbw/internal/trace"
+	"gridbw/internal/units"
+	"gridbw/internal/wal"
+)
+
+// Pull-loop tuning: the long-poll window the follower asks for, the batch
+// bound, and the backoff band for transport errors.
+const (
+	pullWait        = 2 * time.Second
+	pullMaxRecords  = 512
+	pullMaxBytes    = 1 << 20
+	pullBaseBackoff = 50 * time.Millisecond
+	pullMaxBackoff  = 2 * time.Second
+)
+
+// replState is the replication role of one server, guarded by s.mu.
+type replState struct {
+	following bool
+	source    string  // primary base URL while following
+	epoch     uint64  // fencing epoch; grows on every promotion
+	cursor    wal.Pos // next position to pull from the primary
+	applied   uint64  // records applied since this process started
+	lagBytes  int64   // primary bytes not yet applied, from the last batch
+	lastPull  time.Time
+	lastErr   string
+	stopPull  chan struct{}
+	pullDone  chan struct{}
+}
+
+// ShippedBatch is one pull answer: the records between From and Next,
+// fenced by the sender's epoch. End is the sender's append frontier and
+// LagBytes the exact committed bytes between Next and End, so the
+// follower can report how far behind it runs without guessing at segment
+// sizes it cannot see.
+type ShippedBatch struct {
+	Epoch    uint64        `json:"epoch"`
+	From     wal.Pos       `json:"from"`
+	Next     wal.Pos       `json:"next"`
+	End      wal.Pos       `json:"end"`
+	LagBytes int64         `json:"lag_bytes"`
+	Events   []trace.Event `json:"events"`
+}
+
+// initRepl resolves the fencing epoch — the largest of the explicit
+// config, the snapshot's recorded value and the WAL directory's saved one,
+// defaulting to 1 — and, when following, restores the persisted pull
+// cursor. Called before the server goes concurrent.
+func (s *Server) initRepl(cfg Config, snapEpoch uint64) error {
+	epoch := cfg.Epoch
+	if snapEpoch > epoch {
+		epoch = snapEpoch
+	}
+	if s.wal != nil {
+		saved, err := wal.LoadEpoch(s.wal.Dir())
+		if err != nil {
+			return err
+		}
+		if saved > epoch {
+			epoch = saved
+		}
+	}
+	if epoch == 0 {
+		epoch = 1
+	}
+	s.repl.epoch = epoch
+	if cfg.Follow != "" {
+		s.repl.following = true
+		s.repl.source = strings.TrimRight(cfg.Follow, "/")
+		if s.wal != nil {
+			cur, err := wal.LoadCursor(s.wal.Dir())
+			if err != nil {
+				return err
+			}
+			s.repl.cursor = cur
+		}
+	}
+	return nil
+}
+
+func (s *Server) roleLocked() string {
+	if s.repl.following {
+		return "follower"
+	}
+	return "primary"
+}
+
+// Epoch reports the current fencing epoch.
+func (s *Server) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.repl.epoch
+}
+
+// Following reports whether the server is a read-only follower.
+func (s *Server) Following() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.repl.following
+}
+
+// stopPullLocked signals the pull loop to exit and returns its done
+// channel (nil when no loop was started). Callers wait outside s.mu.
+func (s *Server) stopPullLocked() chan struct{} {
+	if s.repl.stopPull == nil {
+		return nil
+	}
+	select {
+	case <-s.repl.stopPull:
+	default:
+		close(s.repl.stopPull)
+	}
+	return s.repl.pullDone
+}
+
+// ApplyShipped replays one pulled batch into a follower. The batch is
+// fenced (an epoch older than the receiver's is refused — the sender is a
+// deposed primary) and the apply is idempotent, so a cursor that rewound
+// across a crash re-delivers harmlessly.
+func (s *Server) ApplyShipped(b ShippedBatch) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if !s.repl.following {
+		return ErrNotFollower
+	}
+	if b.Epoch < s.repl.epoch {
+		return &FencedError{Batch: b.Epoch, Current: s.repl.epoch}
+	}
+	if b.Epoch > s.repl.epoch {
+		s.repl.epoch = b.Epoch
+		if s.wal != nil {
+			if err := wal.SaveEpoch(s.wal.Dir(), b.Epoch); err != nil {
+				s.stats.RecordLogAppendFailure()
+			}
+		}
+	}
+	if !s.repl.cursor.IsZero() && b.From != s.repl.cursor {
+		return fmt.Errorf("server: replication gap: batch starts at %v, cursor at %v", b.From, s.repl.cursor)
+	}
+	for _, ev := range b.Events {
+		if err := s.applyEventLocked(ev, true); err != nil {
+			return err
+		}
+	}
+	s.repl.cursor = b.Next
+	s.repl.applied += uint64(len(b.Events))
+	s.repl.lagBytes = b.LagBytes
+	s.repl.lastPull = s.clock()
+	if s.wal != nil {
+		// The cursor is persisted after the records it covers, so a crash
+		// between the two re-pulls an already-applied suffix — which the
+		// idempotent apply skips — instead of losing one.
+		if err := wal.SaveCursor(s.wal.Dir(), b.Next); err != nil {
+			s.stats.RecordLogAppendFailure()
+		}
+	}
+	return nil
+}
+
+// ApplyEvents tolerantly replays recovered events — the WAL suffix past a
+// snapshot, or a follower's own WAL at boot — into the server. The events
+// are not re-recorded: they already live in the local WAL.
+func (s *Server) ApplyEvents(events []trace.Event) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	applied := 0
+	for _, ev := range events {
+		if err := s.applyEventLocked(ev, false); err != nil {
+			return applied, err
+		}
+		applied++
+	}
+	return applied, nil
+}
+
+// applyEventLocked replays one shipped (or recovered) event. Duplicates —
+// re-deliveries of already-applied history — are skipped before they can
+// double-book capacity or re-enter the local WAL, so replay converges
+// from any cursor. While following, accepts are booked without expiry
+// timers: the primary's shipped expire events retire them, and Promote
+// arms the timers when the follower takes over.
+func (s *Server) applyEventLocked(ev trace.Event, toWAL bool) error {
+	switch ev.Kind {
+	case trace.EventAccept:
+		r, g, err := grantFromEvent(ev, s.net)
+		if err != nil {
+			return fmt.Errorf("server: apply: %w", err)
+		}
+		if e, ok := s.resv[r.ID]; ok {
+			if e.req == r && e.grant == g {
+				return nil // duplicate delivery of an applied accept
+			}
+			return fmt.Errorf("server: apply: reservation %d already exists with a different grant", r.ID)
+		}
+		if err := s.ledger.Reserve(r, g); err != nil {
+			return fmt.Errorf("server: apply: %w", err)
+		}
+		e := &entry{req: r, grant: g, state: StateActive}
+		if !s.repl.following {
+			at := g.Tau
+			if now := s.sim.Now(); at < now {
+				at = now
+			}
+			e.expire = s.sim.At(at, s.expireEvent(r.ID))
+			s.poke()
+		}
+		s.resv[r.ID] = e
+		s.stats.RecordAccept(g.Bandwidth, r.Volume)
+	case trace.EventReject:
+		s.stats.RecordReject()
+	case trace.EventCancel, trace.EventExpire:
+		e, ok := s.resv[request.ID(ev.Request)]
+		if !ok || e.state != StateActive {
+			return nil // duplicate, or history before this replica's horizon
+		}
+		s.sim.Cancel(e.expire)
+		s.ledger.Revoke(e.req)
+		if ev.Kind == trace.EventCancel {
+			e.state = StateCancelled
+			s.stats.RecordCancel()
+		} else {
+			e.state = StateExpired
+			s.stats.RecordExpire()
+		}
+		s.retireLocked(request.ID(ev.Request))
+	case trace.EventRestore, trace.EventPanic, trace.EventPromote:
+		// Markers carry no reservation state.
+	default:
+		return fmt.Errorf("server: apply: unknown event kind %q", ev.Kind)
+	}
+	if ev.Request >= int(s.nextID) {
+		s.nextID = request.ID(ev.Request + 1)
+	}
+	s.reanchorLocked(ev.At)
+	if toWAL {
+		s.appendEventLocked(ev)
+	}
+	return nil
+}
+
+// reanchorLocked pulls the service clock forward to the primary's event
+// time: a replica that booted later than its primary would otherwise sit
+// hours behind, and promotion would misread every booked window. Only the
+// epoch anchor moves — due expiries fire on the next ordinary advance,
+// never in the middle of an apply.
+func (s *Server) reanchorLocked(at float64) {
+	if units.Time(at) > s.wallNow() {
+		s.epoch = s.clock().Add(-time.Duration(at * float64(time.Second)))
+	}
+}
+
+// Promote turns a follower into the primary: the pull loop stops, the
+// fencing epoch grows and is persisted (so the fence survives a crash),
+// every live reservation gets the expiry timer following had deferred,
+// and a promote marker lands in the log. Promoting a primary is answered
+// with ErrNotFollower and the unchanged epoch, making retries harmless.
+func (s *Server) Promote() (uint64, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if !s.repl.following {
+		epoch := s.repl.epoch
+		s.mu.Unlock()
+		return epoch, ErrNotFollower
+	}
+	s.advanceLocked()
+	s.repl.following = false
+	s.repl.source = ""
+	s.repl.epoch++
+	epoch := s.repl.epoch
+	done := s.stopPullLocked()
+	if s.wal != nil {
+		if err := wal.SaveEpoch(s.wal.Dir(), epoch); err != nil {
+			// The fence is not durable; keep serving, but flag it loudly.
+			s.stats.RecordLogAppendFailure()
+		}
+	}
+	now := s.sim.Now()
+	armed := 0
+	for id, e := range s.resv {
+		if e.state != StateActive {
+			continue
+		}
+		at := e.grant.Tau
+		if at < now {
+			at = now
+		}
+		e.expire = s.sim.At(at, s.expireEvent(id))
+		armed++
+	}
+	s.appendEventLocked(trace.Event{
+		At: float64(now), Kind: trace.EventPromote, Request: -1,
+		Reason: fmt.Sprintf("epoch %d, %d live reservations", epoch, armed),
+	})
+	s.mu.Unlock()
+	s.poke()
+	if done != nil {
+		<-done
+	}
+	return epoch, nil
+}
+
+// StartFollowing launches the background pull loop against the primary
+// configured in Config.Follow. Calling it on a primary is ErrNotFollower;
+// calling it twice is a no-op.
+func (s *Server) StartFollowing() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if !s.repl.following {
+		return ErrNotFollower
+	}
+	if s.repl.stopPull != nil {
+		return nil
+	}
+	s.repl.stopPull = make(chan struct{})
+	s.repl.pullDone = make(chan struct{})
+	go s.pullLoop(s.repl.source, s.repl.stopPull, s.repl.pullDone)
+	return nil
+}
+
+func (s *Server) cursorNow() wal.Pos {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.repl.cursor
+}
+
+func (s *Server) setPullError(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err == nil {
+		s.repl.lastErr = ""
+	} else {
+		s.repl.lastErr = err.Error()
+	}
+}
+
+// pullLoop long-polls the primary for records past the cursor and applies
+// each batch. Transport errors back off and retry; fencing and divergence
+// errors halt the loop — retrying cannot fix them, and continuing would
+// corrupt the replica. The last error is surfaced on /v1/replication/status.
+func (s *Server) pullLoop(source string, stop, done chan struct{}) {
+	defer close(done)
+	hc := &http.Client{Timeout: pullWait + 10*time.Second}
+	backoff := pullBaseBackoff
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		b, err := pullOnce(hc, source, s.cursorNow(), stop)
+		if err == nil {
+			if err = s.ApplyShipped(b); err == nil {
+				s.setPullError(nil)
+				backoff = pullBaseBackoff
+				continue
+			}
+			if errors.Is(err, ErrNotFollower) || errors.Is(err, ErrClosed) {
+				return
+			}
+			s.setPullError(err)
+			return
+		}
+		s.setPullError(err)
+		select {
+		case <-stop:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > pullMaxBackoff {
+			backoff = pullMaxBackoff
+		}
+	}
+}
+
+// pullOnce runs one long-poll round trip, aborted early if stop closes.
+func pullOnce(hc *http.Client, source string, cur wal.Pos, stop <-chan struct{}) (ShippedBatch, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		select {
+		case <-stop:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	u := fmt.Sprintf("%s/v1/replication/pull?seg=%d&off=%d&max=%d&wait_ms=%d",
+		source, cur.Seg, cur.Off, pullMaxRecords, pullWait.Milliseconds())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return ShippedBatch{}, fmt.Errorf("server: pull: %w", err)
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return ShippedBatch{}, fmt.Errorf("server: pull: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var apiErr ErrorJSON
+		msg := resp.Status
+		blob, _ := io.ReadAll(io.LimitReader(resp.Body, 64*1024))
+		if json.Unmarshal(blob, &apiErr) == nil && apiErr.Error != "" {
+			msg = apiErr.Error
+		}
+		return ShippedBatch{}, fmt.Errorf("server: pull: HTTP %d: %s", resp.StatusCode, msg)
+	}
+	var b ShippedBatch
+	if err := json.NewDecoder(resp.Body).Decode(&b); err != nil {
+		return ShippedBatch{}, fmt.Errorf("server: pull: decode: %w", err)
+	}
+	return b, nil
+}
+
+// ReplicationStatus is the GET /v1/replication/status body.
+type ReplicationStatus struct {
+	Role    string  `json:"role"`
+	Epoch   uint64  `json:"epoch"`
+	Source  string  `json:"source,omitempty"`
+	Cursor  wal.Pos `json:"cursor"`
+	Applied uint64  `json:"applied_records"`
+	// LagBytes is the primary's committed bytes this follower has not yet
+	// applied, as reported by the last pulled batch; 0 on a primary.
+	LagBytes   int64   `json:"lag_bytes"`
+	LastPullS  float64 `json:"last_pull_age_s,omitempty"`
+	LastError  string  `json:"last_error,omitempty"`
+	WALRecords uint64  `json:"wal_records"`
+	WALEnd     wal.Pos `json:"wal_end"`
+}
+
+// ReplicationStatus reports the replication role, epoch, cursor and lag.
+func (s *Server) ReplicationStatus() ReplicationStatus {
+	s.mu.Lock()
+	rs := ReplicationStatus{
+		Role: s.roleLocked(), Epoch: s.repl.epoch, Source: s.repl.source,
+		Cursor: s.repl.cursor, Applied: s.repl.applied, LagBytes: s.repl.lagBytes,
+		LastError: s.repl.lastErr,
+	}
+	if !s.repl.lastPull.IsZero() {
+		rs.LastPullS = s.clock().Sub(s.repl.lastPull).Seconds()
+	}
+	s.mu.Unlock()
+	if s.wal != nil {
+		rs.WALRecords = s.wal.Records()
+		rs.WALEnd = s.wal.End()
+	}
+	return rs
+}
+
+// PromoteJSON is the POST /v1/replication/promote body.
+type PromoteJSON struct {
+	Role  string `json:"role"`
+	Epoch uint64 `json:"epoch"`
+}
+
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	epoch, err := s.Promote()
+	switch {
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrNotFollower), err == nil:
+		// Already the primary, or just became it: idempotent success.
+		writeJSON(w, http.StatusOK, PromoteJSON{Role: "primary", Epoch: epoch})
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func (s *Server) handleReplStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.ReplicationStatus())
+}
+
+// handleReplPull serves GET /v1/replication/pull?seg=&off=&max=&wait_ms=:
+// the records past (seg, off), long-polling up to wait_ms when the caller
+// is already at the frontier. A position compacted away answers 410 Gone —
+// the follower must re-seed from a snapshot.
+func (s *Server) handleReplPull(w http.ResponseWriter, r *http.Request) {
+	if s.wal == nil {
+		writeError(w, http.StatusConflict, errors.New("server: replication requires a WAL"))
+		return
+	}
+	q := r.URL.Query()
+	seg, err := queryUint(q.Get("seg"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad seg: %w", err))
+		return
+	}
+	off, err := queryUint(q.Get("off"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad off: %w", err))
+		return
+	}
+	maxRecords, err := queryUint(q.Get("max"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad max: %w", err))
+		return
+	}
+	if maxRecords == 0 || maxRecords > 4096 {
+		maxRecords = pullMaxRecords
+	}
+	waitMs, err := queryUint(q.Get("wait_ms"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad wait_ms: %w", err))
+		return
+	}
+	if waitMs > 60_000 {
+		waitMs = 60_000
+	}
+	pos := wal.Pos{Seg: seg, Off: int64(off)}
+	if waitMs > 0 {
+		s.wal.Wait(r.Context().Done(), pos, time.Duration(waitMs)*time.Millisecond)
+	}
+	payloads, start, next, err := s.wal.ReadFrom(pos, int(maxRecords), pullMaxBytes)
+	switch {
+	case errors.Is(err, wal.ErrCompacted):
+		writeError(w, http.StatusGone, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	events, err := decodeEvents(payloads)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	end := s.wal.End()
+	lag, err := s.wal.SizeBetween(next, end)
+	if err != nil {
+		lag = 0
+	}
+	writeJSON(w, http.StatusOK, ShippedBatch{
+		Epoch: s.Epoch(), From: start, Next: next, End: end,
+		LagBytes: lag, Events: events,
+	})
+}
+
+func queryUint(v string) (uint64, error) {
+	if v == "" {
+		return 0, nil
+	}
+	return strconv.ParseUint(v, 10, 64)
+}
+
+func decodeEvents(payloads [][]byte) ([]trace.Event, error) {
+	events := make([]trace.Event, 0, len(payloads))
+	for _, p := range payloads {
+		var ev trace.Event
+		if err := json.Unmarshal(p, &ev); err != nil {
+			return nil, fmt.Errorf("server: WAL record: %w", err)
+		}
+		events = append(events, ev)
+	}
+	return events, nil
+}
+
+// ReadWALEvents decodes every decision event from `from` to the current
+// end of the WAL — the boot-recovery read. It returns the position after
+// the last event read.
+func ReadWALEvents(l *wal.Log, from wal.Pos) ([]trace.Event, wal.Pos, error) {
+	var out []trace.Event
+	pos := from
+	for {
+		payloads, _, next, err := l.ReadFrom(pos, 4096, 8<<20)
+		if err != nil {
+			return nil, pos, err
+		}
+		events, err := decodeEvents(payloads)
+		if err != nil {
+			return nil, pos, err
+		}
+		out = append(out, events...)
+		if len(payloads) == 0 && next == pos {
+			return out, next, nil
+		}
+		pos = next
+	}
+}

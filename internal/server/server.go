@@ -33,6 +33,7 @@
 package server
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
@@ -48,6 +49,7 @@ import (
 	"gridbw/internal/topology"
 	"gridbw/internal/trace"
 	"gridbw/internal/units"
+	"gridbw/internal/wal"
 )
 
 // Config describes the platform a Server admits onto.
@@ -60,8 +62,21 @@ type Config struct {
 	// Clock supplies wall time; defaults to time.Now. Tests inject a
 	// manual clock for deterministic expiry.
 	Clock func() time.Time
-	// Decisions, when non-nil, receives every admission event.
-	Decisions *trace.DecisionLog
+	// Decisions, when non-nil, receives every admission event. The plain
+	// *trace.DecisionLog writes JSON lines; any sink satisfies it.
+	Decisions trace.DecisionSink
+	// WAL, when non-nil, is the durable framed decision log: every event
+	// is appended to it (under the fsync policy the WAL was opened with)
+	// and it doubles as the replication stream a follower pulls. The
+	// server does not own it — the caller opens and closes it.
+	WAL *wal.Log
+	// Follow, when non-empty, boots the server as a read-only follower of
+	// the primary daemon at this base URL: submissions and cancels answer
+	// ErrReadOnly until Promote. StartFollowing begins the pull loop.
+	Follow string
+	// Epoch seeds the fencing epoch; 0 loads it from the WAL directory
+	// (or starts at 1). Promotion increments and persists it.
+	Epoch uint64
 	// FinishedRetention bounds how many expired/cancelled reservations
 	// stay queryable via Lookup before the oldest are evicted; <= 0 means
 	// the default of 4096. The idempotency cache shares the same bound.
@@ -154,7 +169,23 @@ var (
 	// ErrFinished reports a cancel of an already expired or cancelled
 	// reservation.
 	ErrFinished = errors.New("server: reservation already finished")
+	// ErrReadOnly reports a write on a follower replica: it applies the
+	// primary's shipped decisions and refuses its own until promoted.
+	ErrReadOnly = errors.New("server: read-only replica (promote to accept writes)")
+	// ErrNotFollower reports a shipped-batch apply on a server that is
+	// not following anyone (already the primary, or promoted since).
+	ErrNotFollower = errors.New("server: not a follower")
 )
+
+// FencedError reports a shipped batch refused because its fencing epoch
+// is older than the receiver's — the sender is a deposed primary.
+type FencedError struct {
+	Batch, Current uint64
+}
+
+func (e *FencedError) Error() string {
+	return fmt.Sprintf("server: batch epoch %d fenced off (current epoch %d)", e.Batch, e.Current)
+}
 
 type entry struct {
 	req    request.Request
@@ -179,7 +210,8 @@ type Server struct {
 	pol        policy.Policy
 	policyName string
 	clock      func() time.Time
-	decisions  *trace.DecisionLog
+	decisions  trace.DecisionSink
+	wal        *wal.Log
 	retention  int
 	maxBatch   int
 
@@ -198,7 +230,8 @@ type Server struct {
 	nextID    request.ID
 	stats     metrics.Online
 	idem      map[string]*idemEntry
-	idemOrder []string // FIFO eviction queue of idempotency keys
+	idemOrder []string  // FIFO eviction queue of idempotency keys
+	repl      replState // replication role, fencing epoch, pull cursor
 	closed    bool
 
 	// inflight is the admission semaphore the HTTP layer acquires around
@@ -228,6 +261,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := newServer(cfg, net, pol, name)
 	s.epoch = s.clock()
+	if err := s.initRepl(cfg, 0); err != nil {
+		return nil, err
+	}
 	go s.loop()
 	return s, nil
 }
@@ -263,6 +299,7 @@ func newServer(cfg Config, net *topology.Network, pol policy.Policy, name string
 		policyName: name,
 		clock:      clock,
 		decisions:  cfg.Decisions,
+		wal:        cfg.WAL,
 		retention:  retention,
 		maxBatch:   maxBatch,
 		ledger:     alloc.NewSharded(net),
@@ -361,9 +398,13 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	pullDone := s.stopPullLocked()
 	s.mu.Unlock()
 	close(s.stop)
 	<-s.done
+	if pullDone != nil {
+		<-pullDone
+	}
 	return nil
 }
 
@@ -493,6 +534,9 @@ func (s *Server) Cancel(id request.ID) (Decision, error) {
 	if s.closed {
 		return Decision{}, ErrClosed
 	}
+	if s.repl.following {
+		return Decision{}, ErrReadOnly
+	}
 	s.advanceLocked()
 	e, ok := s.resv[id]
 	if !ok {
@@ -542,6 +586,8 @@ type PointStatus struct {
 type Status struct {
 	Now            units.Time
 	Policy         string
+	Role           string // "primary" or "follower"
+	Epoch          uint64 // fencing epoch
 	Booked, Active int
 	Stats          metrics.Online
 	Points         []PointStatus
@@ -552,7 +598,10 @@ func (s *Server) Status() Status {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.advanceLocked()
-	st := Status{Now: s.sim.Now(), Policy: s.policyName, Stats: s.stats}
+	st := Status{
+		Now: s.sim.Now(), Policy: s.policyName,
+		Role: s.roleLocked(), Epoch: s.repl.epoch, Stats: s.stats,
+	}
 	for _, e := range s.resv {
 		switch s.liveStateLocked(e) {
 		case StateBooked:
@@ -680,26 +729,41 @@ func (s *Server) recordPanic(where string, val any) {
 	defer s.mu.Unlock()
 	s.advanceLocked()
 	s.stats.RecordPanic()
-	if s.decisions != nil {
-		_ = s.decisions.Append(trace.Event{
-			At: float64(s.sim.Now()), Kind: trace.EventPanic,
-			Request: -1, Ingress: -1, Egress: -1,
-			Reason: fmt.Sprintf("%s: %v", where, val),
-		})
-	}
+	s.appendEventLocked(trace.Event{
+		At: float64(s.sim.Now()), Kind: trace.EventPanic,
+		Request: -1, Ingress: -1, Egress: -1,
+		Reason: fmt.Sprintf("%s: %v", where, val),
+	})
 }
 
 func (s *Server) logLocked(kind string, r request.Request, g request.Grant, reason string) {
-	if s.decisions == nil {
-		return
-	}
-	// Log failures must not fail admission; the daemon surfaces them
-	// through the writer it installed.
-	_ = s.decisions.Append(trace.Event{
+	s.appendEventLocked(trace.Event{
 		At: float64(s.sim.Now()), Kind: kind, Request: int(r.ID),
 		Ingress: int(r.Ingress), Egress: int(r.Egress),
 		RateBps: float64(g.Bandwidth), SigmaS: float64(g.Sigma), TauS: float64(g.Tau),
 		VolumeB: float64(r.Volume), MaxRateBps: float64(r.MaxRate),
 		Reason: reason,
 	})
+}
+
+// appendEventLocked records one decision event in the durability chain:
+// first the framed WAL (which doubles as the replication stream), then
+// the plain decisions sink. Append failures must not fail admission; they
+// are counted, flipping the durability-degraded health signal — the
+// daemon keeps serving, but operators are paged about the hole.
+func (s *Server) appendEventLocked(ev trace.Event) {
+	if s.wal != nil {
+		blob, err := json.Marshal(ev)
+		if err == nil {
+			_, err = s.wal.Append(blob)
+		}
+		if err != nil {
+			s.stats.RecordLogAppendFailure()
+		}
+	}
+	if s.decisions != nil {
+		if err := s.decisions.Append(ev); err != nil {
+			s.stats.RecordLogAppendFailure()
+		}
+	}
 }

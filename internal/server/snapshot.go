@@ -13,6 +13,7 @@ import (
 	"gridbw/internal/topology"
 	"gridbw/internal/trace"
 	"gridbw/internal/units"
+	"gridbw/internal/wal"
 )
 
 // SnapshotVersion is bumped on incompatible snapshot schema changes.
@@ -54,14 +55,22 @@ type snapDecision struct {
 // continuous across restarts: a restored daemon resumes at NowS no matter
 // how long it was down, so booked windows keep their meaning.
 type Snapshot struct {
-	Version    int               `json:"version"`
-	Policy     string            `json:"policy"`
-	NowS       float64           `json:"now_s"`
-	NextID     int               `json:"next_id"`
-	IngressBps []float64         `json:"ingress_capacity_bps"`
-	EgressBps  []float64         `json:"egress_capacity_bps"`
-	Counters   metrics.Online    `json:"counters"`
-	Live       []snapReservation `json:"reservations"`
+	Version    int            `json:"version"`
+	Policy     string         `json:"policy"`
+	NowS       float64        `json:"now_s"`
+	NextID     int            `json:"next_id"`
+	IngressBps []float64      `json:"ingress_capacity_bps"`
+	EgressBps  []float64      `json:"egress_capacity_bps"`
+	Counters   metrics.Online `json:"counters"`
+	// Epoch is the fencing epoch at snapshot time; restore resumes at
+	// least here, so a deposed primary's batches stay fenced off.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// WALSeg/WALOff record the WAL append position this snapshot covers:
+	// boot restores the snapshot, then replays only the WAL suffix past
+	// this position, and compaction may drop whole segments before it.
+	WALSeg uint64            `json:"wal_seg,omitempty"`
+	WALOff int64             `json:"wal_off,omitempty"`
+	Live   []snapReservation `json:"reservations"`
 	// Idempotency is the legacy (version 1) key map: submission key to the
 	// live reservation it booked. Read for compatibility, never written.
 	Idempotency map[string]int `json:"idempotency_keys,omitempty"`
@@ -84,6 +93,14 @@ func (s *Server) Snapshot() *Snapshot {
 		NowS:     float64(s.sim.Now()),
 		NextID:   int(s.nextID),
 		Counters: s.stats,
+		Epoch:    s.repl.epoch,
+	}
+	if s.wal != nil {
+		// Appends happen under s.mu, so the frontier read here is exactly
+		// the boundary between history this snapshot covers and the WAL
+		// suffix boot must replay on top of it.
+		end := s.wal.End()
+		snap.WALSeg, snap.WALOff = end.Seg, end.Off
 	}
 	for i := 0; i < s.net.NumIngress(); i++ {
 		snap.IngressBps = append(snap.IngressBps, float64(s.net.Bin(topology.PointID(i))))
@@ -150,12 +167,23 @@ func (s *Server) sortedLiveIDsLocked() []request.ID {
 
 // WriteSnapshot serializes the current state as indented JSON.
 func (s *Server) WriteSnapshot(w io.Writer) error {
+	return s.Snapshot().Write(w)
+}
+
+// Write serializes the snapshot as indented JSON.
+func (snap *Snapshot) Write(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(s.Snapshot()); err != nil {
+	if err := enc.Encode(snap); err != nil {
 		return fmt.Errorf("server: write snapshot: %w", err)
 	}
 	return nil
+}
+
+// WALPos reports the WAL position the snapshot covers (zero when the
+// snapshot predates the WAL or none was configured).
+func (snap *Snapshot) WALPos() wal.Pos {
+	return wal.Pos{Seg: snap.WALSeg, Off: snap.WALOff}
 }
 
 // ReadSnapshot parses a snapshot. Version 1 (live-only idempotency keys)
@@ -251,12 +279,13 @@ func NewFromSnapshot(snap *Snapshot, cfg Config) (*Server, error) {
 	if err := s.restoreIdempotency(snap); err != nil {
 		return nil, err
 	}
-	if s.decisions != nil {
-		_ = s.decisions.Append(trace.Event{
-			At: snap.NowS, Kind: trace.EventRestore, Request: -1,
-			Reason: fmt.Sprintf("%d live reservations", len(snap.Live)),
-		})
+	if err := s.initRepl(cfg, snap.Epoch); err != nil {
+		return nil, err
 	}
+	s.appendEventLocked(trace.Event{
+		At: snap.NowS, Kind: trace.EventRestore, Request: -1,
+		Reason: fmt.Sprintf("%d live reservations", len(snap.Live)),
+	})
 	go s.loop()
 	return s, nil
 }

@@ -3,6 +3,7 @@ package trace
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -16,6 +17,7 @@ const (
 	EventExpire  = "expire"
 	EventRestore = "restore"
 	EventPanic   = "panic"
+	EventPromote = "promote"
 )
 
 // Event is one admission-control decision as it happened, in the same
@@ -40,6 +42,14 @@ type Event struct {
 	VolumeB    float64 `json:"volume_bytes,omitempty"`
 	MaxRateBps float64 `json:"max_rate_bps,omitempty"`
 	Reason     string  `json:"reason,omitempty"`
+}
+
+// DecisionSink receives admission events as they are decided.
+// *DecisionLog is the plain JSON-lines implementation; the daemon's
+// WAL-backed log satisfies it too, and tests inject failing sinks to
+// exercise the durability-degraded path.
+type DecisionSink interface {
+	Append(Event) error
 }
 
 // DecisionLog appends admission events as JSON Lines (one object per
@@ -86,4 +96,41 @@ func ReadDecisions(r io.Reader) ([]Event, error) {
 		return nil, fmt.Errorf("trace: read decisions: %w", err)
 	}
 	return out, nil
+}
+
+// RecoverDecisions parses a JSON Lines decision stream the way crash
+// recovery must: at the first malformed line — a torn tail from a daemon
+// killed mid-append, or corruption further up — parsing stops and the
+// rest of the stream is dropped, so the result is always a valid prefix.
+// It returns the surviving events and how many non-blank lines were
+// dropped; the error is reserved for reader failures, never for content.
+func RecoverDecisions(r io.Reader) ([]Event, int, error) {
+	var out []Event
+	dropped := 0
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		if dropped > 0 {
+			// Already past the tear: count the remainder, keep nothing.
+			dropped++
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			dropped++
+			continue
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			// An over-long line is torn garbage, not a reader failure.
+			return out, dropped + 1, nil
+		}
+		return nil, 0, fmt.Errorf("trace: recover decisions: %w", err)
+	}
+	return out, dropped, nil
 }

@@ -48,6 +48,57 @@ func TestDecisionLogSkipsBlankLinesAndRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestRecoverDecisionsTornTail: a partial final line — the trace of a
+// daemon killed mid-append — truncates the replay there instead of
+// refusing the whole log.
+func TestRecoverDecisionsTornTail(t *testing.T) {
+	full := "{\"t_s\":1,\"kind\":\"accept\",\"request\":0,\"ingress\":0,\"egress\":0}\n" +
+		"{\"t_s\":2,\"kind\":\"accept\",\"request\":1,\"ingress\":0,\"egress\":0}\n"
+	torn := full + `{"t_s":3,"kind":"acc`
+	events, dropped, err := RecoverDecisions(strings.NewReader(torn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || dropped != 1 {
+		t.Fatalf("recovered %d events with %d dropped, want 2 and 1", len(events), dropped)
+	}
+	if events[1].Request != 1 {
+		t.Errorf("last surviving event = %+v", events[1])
+	}
+	// Strict ReadDecisions still refuses the same stream.
+	if _, err := ReadDecisions(strings.NewReader(torn)); err == nil {
+		t.Error("ReadDecisions accepted a torn tail")
+	}
+}
+
+// TestRecoverDecisionsMidStreamCorruption: a bad line in the middle stops
+// the replay there — the survivors are a prefix, and everything after the
+// tear is counted, not silently skipped over.
+func TestRecoverDecisionsMidStreamCorruption(t *testing.T) {
+	in := "{\"t_s\":1,\"kind\":\"accept\",\"request\":0,\"ingress\":0,\"egress\":0}\n" +
+		"garbage\n" +
+		"{\"t_s\":2,\"kind\":\"accept\",\"request\":1,\"ingress\":0,\"egress\":0}\n"
+	events, dropped, err := RecoverDecisions(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || dropped != 2 {
+		t.Fatalf("recovered %d events with %d dropped, want 1 and 2", len(events), dropped)
+	}
+}
+
+func TestRecoverDecisionsCleanStream(t *testing.T) {
+	in := "{\"t_s\":1,\"kind\":\"accept\",\"request\":0,\"ingress\":0,\"egress\":0}\n\n"
+	events, dropped, err := RecoverDecisions(strings.NewReader(in))
+	if err != nil || dropped != 0 || len(events) != 1 {
+		t.Fatalf("clean stream: %d events, %d dropped, err %v", len(events), dropped, err)
+	}
+	events, dropped, err = RecoverDecisions(strings.NewReader(""))
+	if err != nil || dropped != 0 || len(events) != 0 {
+		t.Fatalf("empty stream: %d events, %d dropped, err %v", len(events), dropped, err)
+	}
+}
+
 func TestDecisionLogConcurrentAppend(t *testing.T) {
 	var buf bytes.Buffer
 	l := NewDecisionLog(&buf)

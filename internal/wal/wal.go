@@ -1,0 +1,789 @@
+// Package wal is the durable write-ahead decision log of gridbwd: a
+// segmented, CRC-framed append log whose recovery semantics match a
+// SIGKILL mid-write.
+//
+// Every record is framed as
+//
+//	[4B little-endian payload length][4B CRC32-Castagnoli of payload][payload]
+//
+// so any prefix of the log is self-validating: recovery scans frames
+// until the first short or corrupt one, truncates the file there, and
+// reports how many complete records survived. A torn tail — the normal
+// aftermath of a crash mid-append — costs at most the records past the
+// last fsync point, never the whole log (contrast the JSON-lines
+// trace.DecisionLog, where one torn line used to abort replay).
+//
+// The log rotates into numbered segment files at a size threshold, so
+// compaction after a snapshot is an O(1) unlink of whole segments rather
+// than a rewrite, and replication readers address records by stable
+// (segment, offset) positions that survive compaction of older segments.
+//
+// Durability is a policy, not a constant: SyncAlways fsyncs every append
+// (nothing acknowledged is ever lost), SyncInterval fsyncs on a timer
+// (bounded loss window, much cheaper), SyncNever leaves it to the OS.
+// Rotation always fsyncs the finished segment, whatever the policy.
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+const (
+	headerSize = 8
+	// segPrefix/segSuffix frame the decimal segment index in file names:
+	// wal-00000001.seg, wal-00000002.seg, ...
+	segPrefix = "wal-"
+	segSuffix = ".seg"
+
+	defaultSegmentBytes   = 8 << 20
+	defaultMaxRecordBytes = 1 << 20
+	defaultSyncInterval   = 100 * time.Millisecond
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Errors of the reading and appending paths.
+var (
+	// ErrClosed reports an operation on a closed log.
+	ErrClosed = errors.New("wal: closed")
+	// ErrCompacted reports a read position whose segment was removed by
+	// compaction; the reader must resync from a snapshot instead.
+	ErrCompacted = errors.New("wal: position compacted away")
+	// ErrTooLarge reports an append beyond the record size bound.
+	ErrTooLarge = errors.New("wal: record exceeds size bound")
+)
+
+// SyncPolicy selects when appends reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs on every append: an acknowledged record is
+	// durable, full stop.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on a background timer: a crash loses at most
+	// the records appended since the last tick.
+	SyncInterval
+	// SyncNever never fsyncs explicitly; the OS flushes when it likes.
+	SyncNever
+)
+
+// ParseSyncPolicy maps the -wal-fsync flag values onto a SyncPolicy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "always", "":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval or never)", s)
+}
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// Pos addresses a byte boundary in the log: Off bytes into segment Seg.
+// Positions are totally ordered and stable across restarts; the zero Pos
+// means "the beginning of whatever the log still holds".
+type Pos struct {
+	Seg uint64 `json:"seg"`
+	Off int64  `json:"off"`
+}
+
+// Less orders positions.
+func (p Pos) Less(q Pos) bool {
+	if p.Seg != q.Seg {
+		return p.Seg < q.Seg
+	}
+	return p.Off < q.Off
+}
+
+// IsZero reports the "start of log" sentinel.
+func (p Pos) IsZero() bool { return p.Seg == 0 && p.Off == 0 }
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Seg, p.Off) }
+
+// Options tunes a Log; zero values mean the defaults.
+type Options struct {
+	// SegmentBytes is the rotation threshold; a record never splits
+	// across segments. Default 8 MiB.
+	SegmentBytes int64
+	// Policy is the fsync discipline; default SyncAlways.
+	Policy SyncPolicy
+	// Interval is the SyncInterval tick; default 100ms.
+	Interval time.Duration
+	// MaxRecordBytes bounds one record; default 1 MiB. Recovery treats a
+	// larger length field as corruption, so both sides must agree.
+	MaxRecordBytes int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = defaultSegmentBytes
+	}
+	if o.Interval <= 0 {
+		o.Interval = defaultSyncInterval
+	}
+	if o.MaxRecordBytes <= 0 {
+		o.MaxRecordBytes = defaultMaxRecordBytes
+	}
+	return o
+}
+
+// Recovery reports what Open found and repaired.
+type Recovery struct {
+	// Records is how many complete, CRC-valid records survived.
+	Records uint64
+	// TruncatedBytes is how much of the torn segment was cut away.
+	TruncatedBytes int64
+	// TornSegment is the segment that was truncated; 0 when the log was
+	// clean.
+	TornSegment uint64
+	// DroppedSegments counts whole segments removed because they sat
+	// beyond a torn middle segment (disk corruption, not a crash).
+	DroppedSegments int
+}
+
+// Clean reports whether recovery found nothing to repair.
+func (r Recovery) Clean() bool { return r.TornSegment == 0 && r.DroppedSegments == 0 }
+
+func (r Recovery) String() string {
+	if r.Clean() {
+		return fmt.Sprintf("%d records, clean tail", r.Records)
+	}
+	return fmt.Sprintf("%d records, truncated %d bytes of segment %d (%d later segments dropped)",
+		r.Records, r.TruncatedBytes, r.TornSegment, r.DroppedSegments)
+}
+
+// Log is a segmented append log. Append, Sync and Close serialize behind
+// one mutex; ReadFrom and Wait are safe concurrently with appends.
+type Log struct {
+	dir string
+	opt Options
+
+	mu       sync.Mutex
+	f        *os.File
+	seg      uint64 // segment currently open for append
+	off      int64  // append offset within seg
+	firstSeg uint64 // oldest segment still on disk
+	synced   Pos    // durable up to here
+	records  uint64 // complete records in the log (recovered + appended)
+	notify   chan struct{}
+	closed   bool
+
+	stopSync chan struct{}
+	syncDone chan struct{}
+}
+
+func segName(seg uint64) string { return fmt.Sprintf("%s%08d%s", segPrefix, seg, segSuffix) }
+
+func (l *Log) segPath(seg uint64) string { return filepath.Join(l.dir, segName(seg)) }
+
+// Open creates or recovers the log in dir. Recovery scans every segment
+// in order, truncates the first torn frame and unlinks anything beyond
+// it, so the survivor set is always a prefix of what was appended.
+func Open(dir string, opt Options) (*Log, Recovery, error) {
+	l := &Log{dir: dir, opt: opt.withDefaults(), notify: make(chan struct{})}
+	var rec Recovery
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, rec, fmt.Errorf("wal: %w", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, rec, err
+	}
+	if len(segs) == 0 {
+		l.seg, l.firstSeg = 1, 1
+		if l.f, err = os.OpenFile(l.segPath(1), os.O_CREATE|os.O_WRONLY, 0o644); err != nil {
+			return nil, rec, fmt.Errorf("wal: %w", err)
+		}
+		if err := syncDir(dir); err != nil {
+			l.f.Close()
+			return nil, rec, err
+		}
+	} else {
+		l.firstSeg = segs[0]
+		last := len(segs) - 1
+		for i, seg := range segs {
+			n, valid, clean, err := scanSegment(l.segPath(seg), l.opt.MaxRecordBytes)
+			if err != nil {
+				return nil, rec, err
+			}
+			rec.Records += n
+			if clean {
+				continue
+			}
+			// Torn frame: cut the segment back to its last complete
+			// record and drop every later segment — they are beyond the
+			// tear and cannot be trusted to follow it.
+			size, _ := fileSize(l.segPath(seg))
+			if err := os.Truncate(l.segPath(seg), valid); err != nil {
+				return nil, rec, fmt.Errorf("wal: truncate torn tail: %w", err)
+			}
+			rec.TornSegment = seg
+			rec.TruncatedBytes = size - valid
+			for _, later := range segs[i+1:] {
+				if err := os.Remove(l.segPath(later)); err != nil {
+					return nil, rec, fmt.Errorf("wal: drop segment past tear: %w", err)
+				}
+				rec.DroppedSegments++
+			}
+			last = i
+			break
+		}
+		l.seg = segs[last]
+		if l.off, err = fileSize(l.segPath(l.seg)); err != nil {
+			return nil, rec, err
+		}
+		if l.f, err = os.OpenFile(l.segPath(l.seg), os.O_WRONLY, 0o644); err != nil {
+			return nil, rec, fmt.Errorf("wal: %w", err)
+		}
+		if _, err := l.f.Seek(l.off, io.SeekStart); err != nil {
+			l.f.Close()
+			return nil, rec, fmt.Errorf("wal: %w", err)
+		}
+		// Make the repair itself durable before accepting appends.
+		if err := l.f.Sync(); err != nil {
+			l.f.Close()
+			return nil, rec, fmt.Errorf("wal: %w", err)
+		}
+		if err := syncDir(dir); err != nil {
+			l.f.Close()
+			return nil, rec, err
+		}
+	}
+	l.records = rec.Records
+	l.synced = Pos{l.seg, l.off}
+	if l.opt.Policy == SyncInterval {
+		l.stopSync = make(chan struct{})
+		l.syncDone = make(chan struct{})
+		go l.syncLoop()
+	}
+	return l, rec, nil
+}
+
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var segs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix), 10, 64)
+		if err != nil || n == 0 {
+			continue
+		}
+		segs = append(segs, n)
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	for i := 1; i < len(segs); i++ {
+		if segs[i] != segs[i-1]+1 {
+			return nil, fmt.Errorf("wal: segment gap: %d follows %d", segs[i], segs[i-1])
+		}
+	}
+	return segs, nil
+}
+
+func fileSize(path string) (int64, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	return fi.Size(), nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync %s: %w", dir, err)
+	}
+	return nil
+}
+
+// scanSegment walks the frames of one segment. It returns how many
+// complete records it saw, the byte length of that valid prefix, and
+// whether the segment ended exactly on a frame boundary.
+func scanSegment(path string, maxRecord int) (records uint64, valid int64, clean bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, false, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	var hdr [headerSize]byte
+	buf := make([]byte, 0, 4096)
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			// A clean EOF at a frame boundary is the normal end; a
+			// partial header is a torn append.
+			return records, valid, errors.Is(err, io.EOF), nil
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		if length == 0 || int(length) > maxRecord {
+			return records, valid, false, nil
+		}
+		if cap(buf) < int(length) {
+			buf = make([]byte, length)
+		}
+		payload := buf[:length]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return records, valid, false, nil
+		}
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(hdr[4:8]) {
+			return records, valid, false, nil
+		}
+		records++
+		valid += headerSize + int64(length)
+	}
+}
+
+// Append frames payload into the log and returns the end position after
+// the record — everything strictly before the returned Pos is complete.
+// Under SyncAlways the record is durable when Append returns.
+func (l *Log) Append(payload []byte) (Pos, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return Pos{}, ErrClosed
+	}
+	if len(payload) == 0 || len(payload) > l.opt.MaxRecordBytes {
+		return Pos{}, fmt.Errorf("%w: %d bytes (bound %d, empty records forbidden)",
+			ErrTooLarge, len(payload), l.opt.MaxRecordBytes)
+	}
+	frame := int64(headerSize + len(payload))
+	if l.off > 0 && l.off+frame > l.opt.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return Pos{}, err
+		}
+	}
+	buf := make([]byte, frame)
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
+	copy(buf[headerSize:], payload)
+	if _, err := l.f.Write(buf); err != nil {
+		return Pos{}, fmt.Errorf("wal: append: %w", err)
+	}
+	l.off += frame
+	l.records++
+	if l.opt.Policy == SyncAlways {
+		if err := l.f.Sync(); err != nil {
+			return Pos{}, fmt.Errorf("wal: fsync: %w", err)
+		}
+		l.synced = Pos{l.seg, l.off}
+	}
+	// Wake long-poll readers (replication pull) blocked in Wait.
+	close(l.notify)
+	l.notify = make(chan struct{})
+	return Pos{l.seg, l.off}, nil
+}
+
+// rotateLocked finishes the current segment (always fsynced, whatever the
+// policy — a finished segment must never lose a tail) and opens the next.
+func (l *Log) rotateLocked() error {
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync before rotate: %w", err)
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: rotate: %w", err)
+	}
+	l.synced = Pos{l.seg, l.off}
+	next, err := os.OpenFile(l.segPath(l.seg+1), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: rotate: %w", err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		next.Close()
+		return err
+	}
+	l.f, l.seg, l.off = next, l.seg+1, 0
+	l.synced = Pos{l.seg, 0}
+	return nil
+}
+
+// Sync forces everything appended so far to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.closed {
+		return ErrClosed
+	}
+	if l.synced == (Pos{l.seg, l.off}) {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.synced = Pos{l.seg, l.off}
+	return nil
+}
+
+func (l *Log) syncLoop() {
+	defer close(l.syncDone)
+	t := time.NewTicker(l.opt.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stopSync:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed {
+				_ = l.syncLocked()
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// End reports the append frontier; Synced how far durability reaches;
+// Records how many complete records the log holds; Dir where it lives.
+func (l *Log) End() Pos {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Pos{l.seg, l.off}
+}
+
+func (l *Log) Synced() Pos {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.synced
+}
+
+func (l *Log) Records() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.records
+}
+
+func (l *Log) Dir() string { return l.dir }
+
+// Close syncs and closes the log. Further appends fail with ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	err := l.syncLocked()
+	l.closed = true
+	if cerr := l.f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("wal: %w", cerr)
+	}
+	stop := l.stopSync
+	done := l.syncDone
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	return err
+}
+
+// Wait blocks until the append frontier moves past pos, the timeout
+// lapses, or done is closed; it reports whether records past pos exist.
+// This is the long-poll primitive of the replication pull endpoint.
+func (l *Log) Wait(done <-chan struct{}, pos Pos, timeout time.Duration) bool {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		l.mu.Lock()
+		end := Pos{l.seg, l.off}
+		ch := l.notify
+		closed := l.closed
+		l.mu.Unlock()
+		if pos.Less(end) {
+			return true
+		}
+		if closed {
+			return false
+		}
+		select {
+		case <-ch:
+		case <-deadline.C:
+			return false
+		case <-done:
+			return false
+		}
+	}
+}
+
+// ReadFrom returns up to maxRecords record payloads starting at pos
+// (zero Pos means the oldest data still on disk), the resolved start
+// position, and the position after the last returned record. It reads
+// only committed bytes, so it is safe against a concurrent appender; a
+// bad frame inside the committed range is real corruption and errors.
+func (l *Log) ReadFrom(pos Pos, maxRecords int, maxBytes int64) (payloads [][]byte, start, next Pos, err error) {
+	l.mu.Lock()
+	end := Pos{l.seg, l.off}
+	first := l.firstSeg
+	l.mu.Unlock()
+	if maxRecords <= 0 {
+		maxRecords = 512
+	}
+	if maxBytes <= 0 {
+		maxBytes = 1 << 20
+	}
+	if pos.IsZero() {
+		pos = Pos{first, 0}
+	}
+	start = pos
+	if pos.Seg < first {
+		return nil, start, pos, ErrCompacted
+	}
+	if end.Less(pos) {
+		return nil, start, pos, fmt.Errorf("wal: read position %v beyond end %v", pos, end)
+	}
+	var read int64
+	for pos.Less(end) && len(payloads) < maxRecords && read < maxBytes {
+		limit, err := l.segmentLimit(pos.Seg, end)
+		if err != nil {
+			return nil, start, pos, err
+		}
+		if pos.Off >= limit {
+			pos = Pos{pos.Seg + 1, 0}
+			continue
+		}
+		batch, n, err := readFrames(l.segPath(pos.Seg), pos.Off, limit, maxRecords-len(payloads), maxBytes-read, l.opt.MaxRecordBytes)
+		if err != nil {
+			return nil, start, pos, err
+		}
+		payloads = append(payloads, batch...)
+		pos.Off += n
+		read += n
+	}
+	return payloads, start, pos, nil
+}
+
+// segmentLimit bounds reads of one segment to committed bytes: the whole
+// file for finished segments, the append frontier for the current one.
+func (l *Log) segmentLimit(seg uint64, end Pos) (int64, error) {
+	if seg == end.Seg {
+		return end.Off, nil
+	}
+	size, err := fileSize(l.segPath(seg))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, ErrCompacted
+		}
+		return 0, err
+	}
+	return size, nil
+}
+
+func readFrames(path string, off, limit int64, maxRecords int, maxBytes int64, maxRecord int) ([][]byte, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, 0, ErrCompacted
+		}
+		return nil, 0, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		return nil, 0, fmt.Errorf("wal: %w", err)
+	}
+	var out [][]byte
+	var read int64
+	var hdr [headerSize]byte
+	for off+read < limit && len(out) < maxRecords && read < maxBytes {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			return nil, 0, fmt.Errorf("wal: corrupt committed frame in %s at %d: %w", filepath.Base(path), off+read, err)
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		if length == 0 || int(length) > maxRecord || off+read+headerSize+int64(length) > limit {
+			return nil, 0, fmt.Errorf("wal: corrupt committed frame in %s at %d: bad length %d", filepath.Base(path), off+read, length)
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return nil, 0, fmt.Errorf("wal: corrupt committed frame in %s at %d: %w", filepath.Base(path), off+read, err)
+		}
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(hdr[4:8]) {
+			return nil, 0, fmt.Errorf("wal: corrupt committed frame in %s at %d: CRC mismatch", filepath.Base(path), off+read)
+		}
+		out = append(out, payload)
+		read += headerSize + int64(length)
+	}
+	return out, read, nil
+}
+
+// CompactBefore unlinks every segment wholly before pos — typically the
+// WAL position a just-written snapshot recorded, since the snapshot now
+// carries everything those segments said. The segment containing pos and
+// the active segment always survive. Returns how many were removed.
+func (l *Log) CompactBefore(pos Pos) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	removed := 0
+	for seg := l.firstSeg; seg < pos.Seg && seg < l.seg; seg++ {
+		if err := os.Remove(l.segPath(seg)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return removed, fmt.Errorf("wal: compact: %w", err)
+		}
+		l.firstSeg = seg + 1
+		removed++
+	}
+	if removed > 0 {
+		if err := syncDir(l.dir); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}
+
+// SizeBetween reports the committed bytes between two positions — the
+// exact replication lag a shipped batch leaves behind. Positions outside
+// the log clamp to it; a backwards or compacted range reports 0.
+func (l *Log) SizeBetween(from, to Pos) (int64, error) {
+	l.mu.Lock()
+	end := Pos{l.seg, l.off}
+	first := l.firstSeg
+	l.mu.Unlock()
+	if from.IsZero() {
+		from = Pos{first, 0}
+	}
+	if to.IsZero() || end.Less(to) {
+		to = end
+	}
+	if to.Less(from) || from.Seg < first {
+		return 0, nil
+	}
+	var total int64
+	for seg := from.Seg; seg <= to.Seg; seg++ {
+		limit := to.Off
+		if seg != to.Seg {
+			size, err := fileSize(l.segPath(seg))
+			if err != nil {
+				return 0, err
+			}
+			limit = size
+		}
+		lo := int64(0)
+		if seg == from.Seg {
+			lo = from.Off
+		}
+		if limit > lo {
+			total += limit - lo
+		}
+	}
+	return total, nil
+}
+
+// FirstPos reports the oldest position still readable.
+func (l *Log) FirstPos() Pos {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Pos{l.firstSeg, 0}
+}
+
+// Meta files: tiny durable key facts living beside the segments — the
+// fencing epoch and a follower's replication cursor. Written with the
+// full tmp → fsync → rename → fsync(dir) dance so a crash leaves either
+// the old value or the new one, never a torn file.
+
+func writeMeta(dir, name string, data []byte) error {
+	path := filepath.Join(dir, name)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := f.Write(data); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: write %s: %w", name, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// SaveEpoch durably records the fencing epoch in dir.
+func SaveEpoch(dir string, epoch uint64) error {
+	return writeMeta(dir, "epoch", []byte(strconv.FormatUint(epoch, 10)))
+}
+
+// LoadEpoch reads the fencing epoch saved in dir; 0 when none was saved.
+func LoadEpoch(dir string) (uint64, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, "epoch"))
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	n, err := strconv.ParseUint(strings.TrimSpace(string(blob)), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("wal: epoch file: %w", err)
+	}
+	return n, nil
+}
+
+// SaveCursor durably records a follower's position into its primary's WAL.
+func SaveCursor(dir string, pos Pos) error {
+	blob, err := json.Marshal(pos)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return writeMeta(dir, "cursor", blob)
+}
+
+// LoadCursor reads the replication cursor saved in dir; the zero Pos when
+// none was saved (pull restarts from the beginning — apply is idempotent).
+func LoadCursor(dir string) (Pos, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, "cursor"))
+	if errors.Is(err, os.ErrNotExist) {
+		return Pos{}, nil
+	}
+	if err != nil {
+		return Pos{}, fmt.Errorf("wal: %w", err)
+	}
+	var pos Pos
+	if err := json.Unmarshal(blob, &pos); err != nil {
+		return Pos{}, fmt.Errorf("wal: cursor file: %w", err)
+	}
+	return pos, nil
+}
