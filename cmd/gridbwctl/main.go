@@ -1,0 +1,127 @@
+// Command gridbwctl is the failover operations tool for a gridbwd
+// primary/standby pair. It is the out-of-process counterpart of the
+// daemon's -watch flag: the same cluster.Watchdog, run from an operator
+// box (or a third machine, where it doubles as an external arbiter).
+//
+//	gridbwctl status  http://a:8080 http://b:8081     replication view of each endpoint
+//	gridbwctl promote http://b:8081                   promote a standby by hand
+//	gridbwctl watch -primary http://a:8080 -standby http://b:8081
+//	                                                  probe the primary, auto-promote the standby
+//
+// watch exits 0 once the standby is primary — whether this watchdog
+// promoted it or found it already promoted — so it can anchor a
+// supervise-and-restart loop.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gridbw/internal/cluster"
+	"gridbw/internal/server/client"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gridbwctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return errors.New("usage: gridbwctl <status|promote|watch> ...")
+	}
+	switch args[0] {
+	case "status":
+		return runStatus(ctx, args[1:], out)
+	case "promote":
+		return runPromote(ctx, args[1:], out)
+	case "watch":
+		return runWatch(ctx, args[1:], out)
+	default:
+		return fmt.Errorf("unknown command %q (want status, promote or watch)", args[0])
+	}
+}
+
+// runStatus prints one line per endpoint: role, epoch, cursor and lag.
+// Unreachable endpoints are reported, not fatal — during a failover that
+// is exactly the interesting case.
+func runStatus(ctx context.Context, args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return errors.New("usage: gridbwctl status <url>...")
+	}
+	for _, base := range args {
+		c := client.NewWithOptions(base, nil, client.Options{MaxRetries: -1})
+		rs, err := c.Replication(ctx)
+		if err != nil {
+			fmt.Fprintf(out, "%s\tunreachable\t%v\n", base, err)
+			continue
+		}
+		line := fmt.Sprintf("%s\t%s\tepoch=%d\tcursor=%d/%d\tapplied=%d\tlag=%dB",
+			base, rs.Role, rs.Epoch, rs.Cursor.Seg, rs.Cursor.Off, rs.Applied, rs.LagBytes)
+		if rs.LastError != "" {
+			line += "\terr=" + rs.LastError
+		}
+		fmt.Fprintln(out, line)
+	}
+	return nil
+}
+
+// runPromote promotes one standby and prints the resulting role/epoch.
+// Idempotent by the daemon's contract: promoting a primary answers its
+// current epoch.
+func runPromote(ctx context.Context, args []string, out io.Writer) error {
+	if len(args) != 1 {
+		return errors.New("usage: gridbwctl promote <url>")
+	}
+	c := client.New(args[0], nil)
+	pr, err := c.Promote(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s\t%s\tepoch=%d\n", args[0], pr.Role, pr.Epoch)
+	return nil
+}
+
+// runWatch runs the failover watchdog over HTTP until the standby is
+// primary or ctx is cancelled.
+func runWatch(ctx context.Context, args []string, out io.Writer) error {
+	fset := flag.NewFlagSet("gridbwctl watch", flag.ContinueOnError)
+	primary := fset.String("primary", "", "base URL of the primary to probe")
+	standby := fset.String("standby", "", "base URL of the standby to promote")
+	interval := fset.Duration("interval", 0, "probe period (0 = 2s, jittered ±25%)")
+	misses := fset.Int("misses", 0, "consecutive probe misses before suspecting the primary (0 = 3)")
+	maxLag := fset.Int64("max-lag", 0, "replication lag in bytes beyond which promotion is held (0 = 1 MiB, negative = unbounded)")
+	if err := fset.Parse(args); err != nil {
+		return err
+	}
+	if *primary == "" || *standby == "" {
+		return errors.New("watch needs -primary and -standby")
+	}
+	wd, err := cluster.New(cluster.Config{
+		Primary: *primary, Standby: *standby,
+		Interval: *interval, Misses: *misses, MaxLagBytes: *maxLag,
+		OnTransition: func(from, to cluster.State, in cluster.Input) {
+			fmt.Fprintf(out, "%s\twatchdog %s -> %s on %s\n", time.Now().Format(time.RFC3339), from, to, in)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "watching %s (standby %s)\n", *primary, *standby)
+	if err := wd.Run(ctx); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "standby %s is primary (epoch %d)\n", *standby, wd.Status().Epoch)
+	return nil
+}

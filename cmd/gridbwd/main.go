@@ -11,15 +11,20 @@
 // decision log, then a fresh server.
 //
 // With -follow the daemon boots as a warm standby instead: it replays
-// its own WAL, then continuously pulls the primary's decision stream,
-// refusing writes (403) until POST /v1/replication/promote turns it into
-// the primary under a higher fencing epoch.
+// its own WAL (or the re-seed snapshot a compacted primary once shipped
+// it), then continuously pulls the primary's decision stream, refusing
+// writes (403) until POST /v1/replication/promote turns it into the
+// primary under a higher fencing epoch. Adding -watch runs the failover
+// watchdog in-process: the standby probes the primary's health itself
+// and, after enough consecutive misses and a replication-lag check,
+// promotes itself — no operator in the loop.
 //
 // Examples:
 //
 //	gridbwd -addr :8080 -ingress 1GB/s,1GB/s -egress 1GB/s,1GB/s -policy f=0.8
 //	gridbwd -snapshot gridbwd.snap.json -snapshot-every 30s -wal waldir -wal-compact
 //	gridbwd -addr :8081 -wal standby-wal -follow http://primary:8080
+//	gridbwd -addr :8081 -wal standby-wal -follow http://primary:8080 -watch
 package main
 
 import (
@@ -38,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"gridbw/internal/cluster"
 	"gridbw/internal/server"
 	"gridbw/internal/trace"
 	"gridbw/internal/units"
@@ -66,6 +72,10 @@ func run(args []string) error {
 	walSegmentBytes := fset.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold (0 = 8 MiB)")
 	walCompact := fset.Bool("wal-compact", false, "after each snapshot write, unlink WAL segments the snapshot wholly covers")
 	follow := fset.String("follow", "", "boot as a read-only warm standby pulling decisions from the primary at this base URL")
+	watch := fset.Bool("watch", false, "run the failover watchdog in-process: probe the -follow primary and self-promote when it dies")
+	watchInterval := fset.Duration("watch-interval", 0, "watchdog probe period (0 = 2s, jittered ±25%)")
+	watchMisses := fset.Int("watch-misses", 0, "consecutive probe misses before the primary is suspected (0 = 3)")
+	watchMaxLag := fset.Int64("watch-max-lag", 0, "replication lag in bytes beyond which promotion is held (0 = 1 MiB, negative = unbounded)")
 	drainTimeout := fset.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain window for in-flight requests")
 	maxInFlight := fset.Int("max-inflight", 0, "concurrent submissions before shedding with 429 (0 = default 64, negative = unbounded)")
 	retryAfter := fset.Duration("retry-after", 0, "Retry-After hint on shed responses (0 = default 1s)")
@@ -136,6 +146,23 @@ func run(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *watch {
+		if *follow == "" {
+			return errors.New("-watch requires -follow (only a standby can watch its primary)")
+		}
+		wd, err := newInProcessWatchdog(srv, *follow, cluster.Config{
+			Interval: *watchInterval, Misses: *watchMisses, MaxLagBytes: *watchMaxLag,
+		})
+		if err != nil {
+			return err
+		}
+		go func() {
+			if err := wd.Run(ctx); err == nil {
+				log.Printf("watchdog: standby promoted itself (epoch %d)", wd.Status().Epoch)
+			}
+		}()
+	}
+
 	if *snapshot != "" && *snapshotEvery > 0 {
 		go func() {
 			ticker := time.NewTicker(*snapshotEvery)
@@ -176,6 +203,35 @@ func run(args []string) error {
 		log.Printf("wrote %s", *snapshot)
 	}
 	return nil
+}
+
+// newInProcessWatchdog builds the watchdog a watched standby runs inside
+// its own process: the primary is probed over HTTP, but the standby-side
+// seams call straight into the local server — its own replication status
+// and its own Promote — instead of looping back through the listener. The
+// watchdog's state is surfaced on the daemon's /v1/metricsz.
+func newInProcessWatchdog(srv *server.Server, primary string, cfg cluster.Config) (*cluster.Watchdog, error) {
+	cfg.Primary = primary
+	cfg.StandbyStatus = func(ctx context.Context) (server.ReplicationStatus, error) {
+		return srv.ReplicationStatus(), nil
+	}
+	cfg.Promote = func(ctx context.Context) (uint64, error) {
+		epoch, err := srv.Promote()
+		if errors.Is(err, server.ErrNotFollower) {
+			// Someone else promoted this daemon first; that is success.
+			return epoch, nil
+		}
+		return epoch, err
+	}
+	cfg.OnTransition = func(from, to cluster.State, in cluster.Input) {
+		log.Printf("watchdog: %s -> %s on %s", from, to, in)
+	}
+	wd, err := cluster.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	srv.SetWatchdogState(wd.State)
+	return wd, nil
 }
 
 // bootConfig gathers everything bootServer needs to bring a server up.
@@ -345,10 +401,30 @@ func bootFromLog(bc bootConfig) (*server.Server, string, error) {
 		bc.logPath, len(events), len(srv.LiveReservations())), nil
 }
 
-// bootFollower boots the warm standby: a fresh server in follower mode,
-// its own WAL replayed tolerantly (the history it pulled before the last
-// restart), then the pull loop against the primary.
+// bootFollower boots the warm standby. A follower that once re-seeded
+// from the primary's snapshot left that snapshot in its WAL directory —
+// and its local WAL no longer reaches back past it — so that snapshot
+// (plus the WAL suffix past the position it recorded) is the mandatory
+// restore path when present. Otherwise the follower's own WAL is replayed
+// tolerantly from the start. Either way the pull loop then resumes
+// against the primary from the persisted cursor.
 func bootFollower(bc bootConfig) (*server.Server, string, error) {
+	if bc.wal != nil {
+		reseedPath := filepath.Join(bc.wal.Dir(), server.ReseedSnapshotName)
+		if f, err := os.Open(reseedPath); err == nil {
+			snap, rerr := server.ReadSnapshot(f)
+			f.Close()
+			if rerr != nil {
+				// The local WAL alone cannot rebuild a re-seeded follower
+				// (the pre-reseed history was compacted away); starting
+				// fresh would silently diverge from the persisted cursor.
+				return nil, "", fmt.Errorf("follower: reseed snapshot %s unusable: %w", reseedPath, rerr)
+			}
+			return bootFollowerFromReseed(bc, snap, reseedPath)
+		} else if !errors.Is(err, fs.ErrNotExist) {
+			return nil, "", err
+		}
+	}
 	cfg := bc.platformConfig()
 	cfg.Follow = bc.follow
 	srv, err := server.New(cfg)
@@ -372,6 +448,34 @@ func bootFollower(bc bootConfig) (*server.Server, string, error) {
 	}
 	return srv, fmt.Sprintf("following %s (epoch %d, %d local WAL events replayed)",
 		bc.follow, srv.Epoch(), applied), nil
+}
+
+// bootFollowerFromReseed restores a re-seeded follower: the persisted
+// reseed snapshot carries the state as of the re-seed with the follower's
+// local WAL frontier at that moment, so restore plus the local suffix
+// past it reproduces exactly what the follower had applied.
+func bootFollowerFromReseed(bc bootConfig, snap *server.Snapshot, path string) (*server.Server, string, error) {
+	cfg := bc.base
+	cfg.Follow = bc.follow
+	srv, err := server.NewFromSnapshot(snap, cfg)
+	if err != nil {
+		return nil, "", fmt.Errorf("follower: restore reseed snapshot %s: %w", path, err)
+	}
+	applied := 0
+	events, _, err := server.ReadWALEvents(bc.wal, snap.WALPos())
+	if err == nil {
+		applied, err = srv.ApplyEvents(events)
+	}
+	if err != nil {
+		srv.Close()
+		return nil, "", fmt.Errorf("follower: replay WAL past reseed snapshot: %w", err)
+	}
+	if err := srv.StartFollowing(); err != nil {
+		srv.Close()
+		return nil, "", err
+	}
+	return srv, fmt.Sprintf("following %s from reseed snapshot %s (epoch %d, %d live reservations, %d local WAL events past it)",
+		bc.follow, path, srv.Epoch(), len(srv.LiveReservations()), applied), nil
 }
 
 func parseCaps(list string) ([]units.Bandwidth, error) {
@@ -408,38 +512,8 @@ func writeSnapshotAtomic(srv *server.Server, path string) error {
 	return writeSnapFile(srv.Snapshot(), path)
 }
 
-// writeSnapFile writes via temp file + fsync + rename + directory fsync,
-// so a crash at any instant leaves either the old snapshot or the new
-// one — complete and durable — never a torn or vanishing file.
+// writeSnapFile writes the snapshot durably (temp file + fsync + rename +
+// directory fsync).
 func writeSnapFile(snap *server.Snapshot, path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := snap.Write(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	// The rename is only durable once the directory entry is.
-	dir, err := os.Open(filepath.Dir(path))
-	if err != nil {
-		return err
-	}
-	defer dir.Close()
-	return dir.Sync()
+	return snap.WriteFile(path)
 }

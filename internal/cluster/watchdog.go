@@ -1,0 +1,359 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"gridbw/internal/metrics"
+	"gridbw/internal/server"
+)
+
+// Watchdog defaults for Config zero values.
+const (
+	defaultInterval     = 2 * time.Second
+	defaultMisses       = 3
+	defaultMaxLagBytes  = 1 << 20
+	defaultProbeTimeout = 2 * time.Second
+)
+
+// Config wires a Watchdog to its cluster. Only Primary is mandatory when
+// the probe/status/promote seams are injected; HTTP deployments also set
+// Standby.
+type Config struct {
+	// Primary is the base URL whose /v1/healthz the watchdog probes.
+	Primary string
+	// Standby is the base URL promoted when the primary is declared dead.
+	// Unused when StandbyStatus and Promote are injected (the in-process
+	// watchdog inside gridbwd talks to its own server directly).
+	Standby string
+	// Interval is the base probe period; each tick is jittered by up to
+	// ±25% so a fleet of watchdogs never probes in lockstep. 0 means 2s.
+	Interval time.Duration
+	// Misses is K, the consecutive probe failures required before the
+	// primary is suspected; 0 means 3.
+	Misses int
+	// MaxLagBytes bounds how far behind the primary's frontier the standby
+	// may be and still get promoted — promoting past it would discard
+	// acked decisions. 0 means 1 MiB; negative disables the check.
+	MaxLagBytes int64
+	// HTTP overrides the probe transport; nil uses an internal client with
+	// a 2s timeout.
+	HTTP *http.Client
+
+	// Probe, StandbyStatus and Promote are the I/O seams. Nil values probe
+	// Primary's healthz, read Standby's replication status, and POST
+	// Standby's promote endpoint over HTTP. Tests (and the in-process
+	// watchdog) inject functions instead.
+	Probe         func(ctx context.Context) error
+	StandbyStatus func(ctx context.Context) (server.ReplicationStatus, error)
+	Promote       func(ctx context.Context) (uint64, error)
+
+	// Clock and Sleep are the time seams: Clock stamps observations, Sleep
+	// waits between ticks honoring ctx. Nil means real time. Jitter
+	// returns a uniform [0,1) draw for the tick jitter; nil uses a
+	// time-derived default.
+	Clock  func() time.Time
+	Sleep  func(ctx context.Context, d time.Duration) error
+	Jitter func() float64
+
+	// OnTransition, when non-nil, observes every taken state-machine edge.
+	OnTransition func(from, to State, in Input)
+}
+
+// Status is one consistent read of the watchdog's progress.
+type Status struct {
+	State  string           `json:"state"`
+	Misses int              `json:"consecutive_misses"`
+	Stats  metrics.Watchdog `json:"stats"`
+	// Epoch is the fencing epoch the promotion installed; 0 until then.
+	Epoch     uint64 `json:"epoch,omitempty"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Watchdog probes the primary and promotes the standby when it dies. One
+// watchdog survives one failover: after reaching StatePrimary it is done.
+type Watchdog struct {
+	cfg           Config
+	probe         func(ctx context.Context) error
+	standbyStatus func(ctx context.Context) (server.ReplicationStatus, error)
+	promote       func(ctx context.Context) (uint64, error)
+
+	mu      sync.Mutex
+	m       *Machine
+	stats   metrics.Watchdog
+	epoch   uint64
+	lastErr string
+}
+
+// New validates cfg, fills the seams, and returns an idle watchdog.
+func New(cfg Config) (*Watchdog, error) {
+	if cfg.Interval <= 0 {
+		cfg.Interval = defaultInterval
+	}
+	if cfg.Misses <= 0 {
+		cfg.Misses = defaultMisses
+	}
+	if cfg.MaxLagBytes == 0 {
+		cfg.MaxLagBytes = defaultMaxLagBytes
+	}
+	if cfg.HTTP == nil {
+		cfg.HTTP = &http.Client{Timeout: defaultProbeTimeout}
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+				return nil
+			}
+		}
+	}
+	if cfg.Jitter == nil {
+		cfg.Jitter = func() float64 {
+			return float64(time.Now().UnixNano()%1000) / 1000
+		}
+	}
+	w := &Watchdog{cfg: cfg, m: NewMachine(cfg.Misses)}
+	w.probe = cfg.Probe
+	if w.probe == nil {
+		if cfg.Primary == "" {
+			return nil, errors.New("cluster: watchdog needs a primary URL (or an injected Probe)")
+		}
+		base := strings.TrimRight(cfg.Primary, "/")
+		w.probe = func(ctx context.Context) error {
+			return probeHealthz(ctx, cfg.HTTP, base)
+		}
+	}
+	w.standbyStatus = cfg.StandbyStatus
+	w.promote = cfg.Promote
+	if w.standbyStatus == nil || w.promote == nil {
+		if cfg.Standby == "" {
+			return nil, errors.New("cluster: watchdog needs a standby URL (or injected StandbyStatus and Promote)")
+		}
+		base := strings.TrimRight(cfg.Standby, "/")
+		if w.standbyStatus == nil {
+			w.standbyStatus = func(ctx context.Context) (server.ReplicationStatus, error) {
+				return fetchReplStatus(ctx, cfg.HTTP, base)
+			}
+		}
+		if w.promote == nil {
+			w.promote = func(ctx context.Context) (uint64, error) {
+				return postPromote(ctx, cfg.HTTP, base)
+			}
+		}
+	}
+	return w, nil
+}
+
+// State reports the current state name — the metricsz hook.
+func (w *Watchdog) State() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.m.State().String()
+}
+
+// Status reports one consistent view of the watchdog's progress.
+func (w *Watchdog) Status() Status {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return Status{
+		State:     w.m.State().String(),
+		Misses:    w.m.Misses(),
+		Stats:     w.stats,
+		Epoch:     w.epoch,
+		LastError: w.lastErr,
+	}
+}
+
+// step feeds the machine under the lock, surfacing taken edges.
+func (w *Watchdog) step(in Input) State {
+	w.mu.Lock()
+	from := w.m.State()
+	to := w.m.Step(in)
+	if to != from {
+		w.stats.RecordTransition()
+	}
+	w.mu.Unlock()
+	if to != from && w.cfg.OnTransition != nil {
+		w.cfg.OnTransition(from, to, in)
+	}
+	return to
+}
+
+func (w *Watchdog) setErr(err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err == nil {
+		w.lastErr = ""
+	} else {
+		w.lastErr = err.Error()
+	}
+}
+
+// Tick runs one observation round: probe the primary, and — once the
+// machine suspects it — check the standby's lag and drive the promote.
+// Exported so tests (and gridbwctl's one-shot mode) can run the ladder
+// without real time. The returned state is the machine's after the tick.
+func (w *Watchdog) Tick(ctx context.Context) State {
+	w.mu.Lock()
+	state := w.m.State()
+	w.mu.Unlock()
+	if state == StatePrimary {
+		return state
+	}
+
+	// Probe the primary while there is still a primary to probe.
+	err := w.probe(ctx)
+	miss := err != nil
+	w.mu.Lock()
+	w.stats.RecordProbe(miss)
+	w.mu.Unlock()
+	if miss {
+		w.setErr(fmt.Errorf("probe %s: %w", w.cfg.Primary, err))
+		state = w.step(ProbeMiss)
+	} else {
+		w.setErr(nil)
+		state = w.step(ProbeOK)
+	}
+	if state != StateSuspect {
+		return state
+	}
+
+	// Suspect: promote only if the standby is reachable, still a follower,
+	// and close enough to the frontier that promotion loses nothing acked.
+	rs, err := w.standbyStatus(ctx)
+	if err != nil {
+		// A standby we cannot see must not be promoted blind; hold.
+		w.setErr(fmt.Errorf("standby status: %w", err))
+		return state
+	}
+	if rs.Role == "primary" {
+		w.mu.Lock()
+		if w.epoch == 0 {
+			w.epoch = rs.Epoch
+		}
+		w.mu.Unlock()
+		return w.step(StandbyIsPrimary)
+	}
+	if w.cfg.MaxLagBytes >= 0 && rs.LagBytes > w.cfg.MaxLagBytes {
+		w.mu.Lock()
+		w.stats.RecordLagHold()
+		w.mu.Unlock()
+		w.setErr(fmt.Errorf("standby lag %d bytes exceeds promote bound %d", rs.LagBytes, w.cfg.MaxLagBytes))
+		return w.step(LagTooFar)
+	}
+	state = w.step(LagOK)
+	if state != StatePromoting {
+		return state
+	}
+
+	epoch, err := w.promote(ctx)
+	w.mu.Lock()
+	w.stats.RecordPromoteAttempt(err == nil)
+	if err == nil {
+		w.epoch = epoch
+	}
+	w.mu.Unlock()
+	if err != nil {
+		w.setErr(fmt.Errorf("promote: %w", err))
+		return w.step(PromoteFail)
+	}
+	w.setErr(nil)
+	return w.step(PromoteOK)
+}
+
+// Run ticks on the jittered interval until the standby is primary or ctx
+// is cancelled. Returns nil after a completed failover, ctx.Err()
+// otherwise.
+func (w *Watchdog) Run(ctx context.Context) error {
+	for {
+		if w.Tick(ctx) == StatePrimary {
+			return nil
+		}
+		if err := w.cfg.Sleep(ctx, w.tickDelay()); err != nil {
+			return err
+		}
+	}
+}
+
+// tickDelay jitters the base interval by ±25% so watchdog fleets spread
+// their probes instead of stampeding a recovering primary.
+func (w *Watchdog) tickDelay() time.Duration {
+	d := w.cfg.Interval
+	frac := 0.75 + 0.5*w.cfg.Jitter()
+	return time.Duration(float64(d) * frac)
+}
+
+// probeHealthz counts any transport error or non-200 answer as a miss: a
+// draining daemon (503) is going away and a degraded one still answers
+// 200, so the probe tracks exactly "can this primary serve".
+func probeHealthz(ctx context.Context, hc *http.Client, base string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz answered HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func fetchReplStatus(ctx context.Context, hc *http.Client, base string) (server.ReplicationStatus, error) {
+	var rs server.ReplicationStatus
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/replication/status", nil)
+	if err != nil {
+		return rs, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return rs, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return rs, fmt.Errorf("replication status answered HTTP %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rs); err != nil {
+		return rs, fmt.Errorf("decode replication status: %w", err)
+	}
+	return rs, nil
+}
+
+func postPromote(ctx context.Context, hc *http.Client, base string) (uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/replication/promote", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		blob, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return 0, fmt.Errorf("promote answered HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(blob)))
+	}
+	var pr server.PromoteJSON
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return 0, fmt.Errorf("decode promote answer: %w", err)
+	}
+	return pr.Epoch, nil
+}

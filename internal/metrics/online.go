@@ -36,6 +36,10 @@ type Online struct {
 	// it keeps serving, but the audit trail has a hole and a crash could
 	// forget decisions made past the failure.
 	LogAppendFailures uint64 `json:"log_append_failures,omitempty"`
+	// Reseeds counts the times a follower's pull cursor was compacted away
+	// and it rebuilt itself from a shipped snapshot instead of resyncing by
+	// hand.
+	Reseeds uint64 `json:"reseeds,omitempty"`
 }
 
 // RecordAccept counts an accepted request with its granted rate and volume.
@@ -75,6 +79,10 @@ func (o *Online) RecordBatch(n int) {
 
 // RecordLogAppendFailure counts a decision-log or WAL append that failed.
 func (o *Online) RecordLogAppendFailure() { o.LogAppendFailures++ }
+
+// RecordReseed counts a snapshot re-seed after the pull cursor was
+// compacted away.
+func (o *Online) RecordReseed() { o.Reseeds++ }
 
 // DurabilityDegraded reports whether any decision failed to reach the
 // audit log — the health signal operators page on.

@@ -7,6 +7,15 @@
 // retried with exponential backoff and jitter, and Submit attaches an
 // idempotency key so a retried submission can never book twice — the
 // daemon answers the retry from its idempotency cache.
+//
+// Given more than one endpoint, the client is also failover-aware: when
+// the active endpoint stops answering like a primary (connection failure,
+// 403 read-only, a gateway error, or a fencing refusal), the client asks
+// every endpoint for its replication status, re-targets the one that
+// reports itself primary with the highest fencing epoch, and re-sends the
+// identical request — same body, same idempotency key — so a submission
+// that straddles a failover still books exactly once. Endpoint reports
+// which daemon the client is currently talking to.
 package client
 
 import (
@@ -20,6 +29,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"gridbw/internal/server"
@@ -88,27 +98,65 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Client talks to one gridbwd daemon.
+// Client talks to a gridbwd daemon — or, given fallback endpoints, to
+// whichever member of a primary/standby pair currently is the primary.
 type Client struct {
-	base string
 	hc   *http.Client
 	opts Options
+
+	// mu guards the endpoint list rotation; endpoints is set at
+	// construction and never resized afterwards.
+	mu        sync.Mutex
+	endpoints []string
+	cur       int
 }
 
 // New returns a client for the daemon at base (e.g. "http://127.0.0.1:8080")
 // with default failure handling. A nil hc uses an internal client with a
 // 30s timeout — never http.DefaultClient, whose zero timeout would hang a
-// call forever on a stuck daemon.
-func New(base string, hc *http.Client) *Client {
-	return NewWithOptions(base, hc, Options{})
+// call forever on a stuck daemon. Additional fallback endpoints make the
+// client failover-aware: when base stops acting like a primary, the
+// client re-discovers the primary among all endpoints and retries there.
+func New(base string, hc *http.Client, fallbacks ...string) *Client {
+	return NewWithOptions(base, hc, Options{}, fallbacks...)
 }
 
 // NewWithOptions returns a client with explicit failure handling.
-func NewWithOptions(base string, hc *http.Client, opts Options) *Client {
+func NewWithOptions(base string, hc *http.Client, opts Options, fallbacks ...string) *Client {
 	if hc == nil {
 		hc = &http.Client{Timeout: defaultHTTPTimeout}
 	}
-	return &Client{base: strings.TrimRight(base, "/"), hc: hc, opts: opts.withDefaults()}
+	endpoints := make([]string, 0, 1+len(fallbacks))
+	endpoints = append(endpoints, strings.TrimRight(base, "/"))
+	for _, f := range fallbacks {
+		endpoints = append(endpoints, strings.TrimRight(f, "/"))
+	}
+	return &Client{hc: hc, opts: opts.withDefaults(), endpoints: endpoints}
+}
+
+// Endpoint reports the endpoint the client currently targets — after a
+// successful call, the daemon that answered it.
+func (c *Client) Endpoint() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.endpoints[c.cur]
+}
+
+func (c *Client) multi() bool { return len(c.endpoints) > 1 }
+
+// rotate moves to the next endpoint in order — the blind fallback when
+// discovery cannot find a live primary either.
+func (c *Client) rotate() {
+	c.mu.Lock()
+	c.cur = (c.cur + 1) % len(c.endpoints)
+	c.mu.Unlock()
+}
+
+// setEndpoint re-targets the endpoint at index i.
+func (c *Client) setEndpoint(i int) {
+	c.mu.Lock()
+	c.cur = i
+	c.mu.Unlock()
 }
 
 // NewIdempotencyKey returns a fresh random submission key.
@@ -178,6 +226,28 @@ func retryable(err error) bool {
 	return err != nil
 }
 
+// failoverWorthy reports whether err suggests the targeted endpoint is no
+// longer the primary (or no longer there at all), so a multi-endpoint
+// client should re-discover before retrying: connection failures, the
+// follower's 403 read-only refusal, gateway errors, and any answer shaped
+// like a fencing refusal — a deposed primary talking about an epoch that
+// outran it.
+func failoverWorthy(err error) bool {
+	if err == nil {
+		return false
+	}
+	ae, ok := err.(*APIError)
+	if !ok {
+		return true // transport-level: the endpoint may be gone
+	}
+	switch ae.StatusCode {
+	case http.StatusForbidden, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return strings.Contains(ae.Message, "fenced")
+}
+
 // backoff computes the wait before retry attempt (0-based), preferring
 // the daemon's own Retry-After hint over the exponential schedule.
 func (c *Client) backoff(attempt int, err error) time.Duration {
@@ -191,8 +261,13 @@ func (c *Client) backoff(attempt int, err error) time.Duration {
 	return d + time.Duration(c.opts.Jitter()*float64(d)/2)
 }
 
-// do runs one retrying call. body is re-marshalled per attempt, so every
-// retry sends the complete request (including any idempotency key).
+// do runs one retrying call. The body is marshalled once and the same
+// bytes re-sent per attempt, so every retry carries the complete request
+// (including the same idempotency key). On a failover-worthy error a
+// multi-endpoint client re-discovers the primary before the next attempt,
+// which makes the error itself worth that attempt even when it is not
+// transiently retryable (a 403 from a follower will not heal by waiting,
+// but it will by moving).
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
 	var blob []byte
 	if body != nil {
@@ -207,8 +282,16 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	}
 	var err error
 	for attempt := 0; ; attempt++ {
-		err = c.attempt(ctx, method, path, blob, out)
-		if err == nil || !retryable(err) || attempt >= retries {
+		err = c.attempt(ctx, c.Endpoint(), method, path, blob, out)
+		if err == nil {
+			return nil
+		}
+		moved := false
+		if c.multi() && failoverWorthy(err) {
+			moved = true
+			c.rediscover(ctx)
+		}
+		if (!retryable(err) && !moved) || attempt >= retries {
 			return err
 		}
 		if ctx.Err() != nil {
@@ -220,8 +303,36 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	}
 }
 
-// attempt runs one HTTP round trip under the per-attempt deadline.
-func (c *Client) attempt(ctx context.Context, method, path string, blob []byte, out any) error {
+// rediscover polls every endpoint's replication status and re-targets the
+// one that reports itself primary, preferring the highest fencing epoch —
+// during a partition both sides may claim the role, and the higher epoch
+// is the lineage whose writes are not fenced off. When nothing answers as
+// primary the client just rotates, so repeated retries still sweep the
+// list.
+func (c *Client) rediscover(ctx context.Context) {
+	c.mu.Lock()
+	endpoints := c.endpoints
+	c.mu.Unlock()
+	best, bestEpoch := -1, uint64(0)
+	for i, base := range endpoints {
+		var rs server.ReplicationStatus
+		if err := c.attempt(ctx, base, http.MethodGet, "/v1/replication/status", nil, &rs); err != nil {
+			continue
+		}
+		if rs.Role == "primary" && (best == -1 || rs.Epoch > bestEpoch) {
+			best, bestEpoch = i, rs.Epoch
+		}
+	}
+	if best >= 0 {
+		c.setEndpoint(best)
+		return
+	}
+	c.rotate()
+}
+
+// attempt runs one HTTP round trip against base under the per-attempt
+// deadline.
+func (c *Client) attempt(ctx context.Context, base, method, path string, blob []byte, out any) error {
 	if c.opts.CallTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.opts.CallTimeout)
@@ -231,7 +342,7 @@ func (c *Client) attempt(ctx context.Context, method, path string, blob []byte, 
 	if blob != nil {
 		rd = bytes.NewReader(blob)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, base+path, rd)
 	if err != nil {
 		return fmt.Errorf("gridbwd: %w", err)
 	}
@@ -338,7 +449,7 @@ func (c *Client) Status(ctx context.Context) (server.StatusJSON, error) {
 // current truth, not an eventually-friendly answer.
 func (c *Client) Health(ctx context.Context) (server.HealthJSON, error) {
 	var out server.HealthJSON
-	err := c.attempt(ctx, http.MethodGet, "/v1/healthz", nil, &out)
+	err := c.attempt(ctx, c.Endpoint(), http.MethodGet, "/v1/healthz", nil, &out)
 	return out, err
 }
 
@@ -355,16 +466,25 @@ func (c *Client) Replication(ctx context.Context) (server.ReplicationStatus, err
 // Not retried — failover tooling wants to observe each attempt.
 func (c *Client) Promote(ctx context.Context) (server.PromoteJSON, error) {
 	var out server.PromoteJSON
-	err := c.attempt(ctx, http.MethodPost, "/v1/replication/promote", nil, &out)
+	err := c.attempt(ctx, c.Endpoint(), http.MethodPost, "/v1/replication/promote", nil, &out)
+	return out, err
+}
+
+// Metrics fetches the metrics counters in their JSON form.
+func (c *Client) Metrics(ctx context.Context) (server.MetricsJSON, error) {
+	var out server.MetricsJSON
+	err := c.do(ctx, http.MethodGet, "/v1/metricsz", nil, &out)
 	return out, err
 }
 
 // Metricsz fetches the Prometheus-format metrics page verbatim.
 func (c *Client) Metricsz(ctx context.Context) (string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/metricsz", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Endpoint()+"/v1/metricsz", nil)
 	if err != nil {
 		return "", fmt.Errorf("gridbwd: %w", err)
 	}
+	// The daemon negotiates the metrics encoding; ask for the text form.
+	req.Header.Set("Accept", "text/plain")
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return "", fmt.Errorf("gridbwd: %w", err)

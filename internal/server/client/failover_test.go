@@ -1,0 +1,166 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"gridbw/internal/server"
+)
+
+// fakeDaemon is a scriptable endpoint for failover tests: it answers the
+// replication-status probe with a fixed role/epoch and runs a scripted
+// handler for submissions, recording every idempotency key it sees.
+type fakeDaemon struct {
+	ts     *httptest.Server
+	role   string
+	epoch  uint64
+	submit http.HandlerFunc
+
+	mu   sync.Mutex
+	keys []string
+}
+
+func newFakeDaemon(t *testing.T, role string, epoch uint64, submit http.HandlerFunc) *fakeDaemon {
+	t.Helper()
+	d := &fakeDaemon{role: role, epoch: epoch, submit: submit}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/replication/status", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(server.ReplicationStatus{Role: d.role, Epoch: d.epoch})
+	})
+	mux.HandleFunc("POST /v1/requests", func(w http.ResponseWriter, r *http.Request) {
+		var body server.SubmitRequest
+		json.NewDecoder(r.Body).Decode(&body)
+		d.mu.Lock()
+		d.keys = append(d.keys, body.IdempotencyKey)
+		d.mu.Unlock()
+		d.submit(w, r)
+	})
+	d.ts = httptest.NewServer(mux)
+	t.Cleanup(d.ts.Close)
+	return d
+}
+
+func (d *fakeDaemon) seenKeys() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]string(nil), d.keys...)
+}
+
+func acceptSubmit(w http.ResponseWriter, r *http.Request) {
+	json.NewEncoder(w).Encode(server.ReservationJSON{ID: 7, Accepted: true, State: "active"})
+}
+
+func refuseReadOnly(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusForbidden)
+	json.NewEncoder(w).Encode(server.ErrorJSON{Error: "server: read-only follower"})
+}
+
+// TestFailoverOnTransportError: the configured primary is unreachable; the
+// client re-discovers the real primary among its fallbacks and re-sends
+// the same idempotency key there.
+func TestFailoverOnTransportError(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close() // connection refused from the first byte
+	alive := newFakeDaemon(t, "primary", 2, acceptSubmit)
+
+	c := NewWithOptions(dead.URL, nil, instant(nil), alive.ts.URL)
+	r, err := c.Submit(context.Background(), server.SubmitRequest{
+		From: 0, To: 1, VolumeBytes: 1e9, DeadlineS: 100, MaxRateBps: 1e9,
+		IdempotencyKey: "xfer-42",
+	})
+	if err != nil || !r.Accepted {
+		t.Fatalf("submit across dead primary: %v %+v", err, r)
+	}
+	if c.Endpoint() != alive.ts.URL {
+		t.Fatalf("endpoint after failover = %s, want %s", c.Endpoint(), alive.ts.URL)
+	}
+	if keys := alive.seenKeys(); len(keys) != 1 || keys[0] != "xfer-42" {
+		t.Fatalf("new primary saw keys %v, want exactly the original [xfer-42]", keys)
+	}
+}
+
+// TestFailoverOnReadOnly: a 403 from a demoted-or-never-primary endpoint
+// is not retryable in place, but with fallbacks it triggers re-discovery —
+// and the same key lands on the primary.
+func TestFailoverOnReadOnly(t *testing.T) {
+	follower := newFakeDaemon(t, "follower", 2, refuseReadOnly)
+	primary := newFakeDaemon(t, "primary", 2, acceptSubmit)
+
+	c := NewWithOptions(follower.ts.URL, nil, instant(nil), primary.ts.URL)
+	r, err := c.Submit(context.Background(), server.SubmitRequest{
+		From: 0, To: 1, VolumeBytes: 1e9, DeadlineS: 100, MaxRateBps: 1e9,
+		IdempotencyKey: "xfer-43",
+	})
+	if err != nil || !r.Accepted {
+		t.Fatalf("submit via follower: %v %+v", err, r)
+	}
+	if got := follower.seenKeys(); len(got) != 1 {
+		t.Fatalf("follower saw %d submits, want exactly 1 before failover", len(got))
+	}
+	if keys := primary.seenKeys(); len(keys) != 1 || keys[0] != "xfer-43" {
+		t.Fatalf("primary saw keys %v, want [xfer-43]", keys)
+	}
+}
+
+// TestRediscoverPrefersHighestEpoch: during a partition both sides may
+// claim primary; the client must side with the higher fencing epoch — the
+// lineage whose writes are not fenced off.
+func TestRediscoverPrefersHighestEpoch(t *testing.T) {
+	deposed := newFakeDaemon(t, "primary", 1, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(server.ErrorJSON{Error: "flapping"})
+	})
+	promoted := newFakeDaemon(t, "primary", 2, acceptSubmit)
+
+	c := NewWithOptions(deposed.ts.URL, nil, instant(nil), promoted.ts.URL)
+	r, err := c.Submit(context.Background(), server.SubmitRequest{
+		From: 0, To: 1, VolumeBytes: 1e9, DeadlineS: 100, MaxRateBps: 1e9,
+	})
+	if err != nil || !r.Accepted {
+		t.Fatalf("submit during split-brain: %v %+v", err, r)
+	}
+	if c.Endpoint() != promoted.ts.URL {
+		t.Fatalf("client sided with epoch-1 claimant %s, want the epoch-2 primary", c.Endpoint())
+	}
+}
+
+// TestRotateWhenNoPrimary: nothing answers as primary mid-failover; the
+// retry loop sweeps the endpoint list instead of hammering one address,
+// and the terminal error is the daemon's, not an invented one.
+func TestRotateWhenNoPrimary(t *testing.T) {
+	a := newFakeDaemon(t, "follower", 1, refuseReadOnly)
+	b := newFakeDaemon(t, "follower", 1, refuseReadOnly)
+
+	opts := instant(nil)
+	opts.MaxRetries = 3
+	c := NewWithOptions(a.ts.URL, nil, opts, b.ts.URL)
+	_, err := c.Submit(context.Background(), server.SubmitRequest{
+		From: 0, To: 1, VolumeBytes: 1e9, DeadlineS: 100, MaxRateBps: 1e9,
+	})
+	if !IsReadOnly(err) {
+		t.Fatalf("err = %v, want the read-only refusal surfaced", err)
+	}
+	if len(a.seenKeys()) == 0 || len(b.seenKeys()) == 0 {
+		t.Fatalf("sweep skipped an endpoint: a=%d b=%d submits", len(a.seenKeys()), len(b.seenKeys()))
+	}
+}
+
+// TestSingleEndpointReadOnlyFailsFast: without fallbacks a 403 keeps its
+// old semantics — one attempt, immediate error, no invented retries.
+func TestSingleEndpointReadOnlyFailsFast(t *testing.T) {
+	follower := newFakeDaemon(t, "follower", 1, refuseReadOnly)
+	c := NewWithOptions(follower.ts.URL, nil, instant(nil))
+	_, err := c.Submit(context.Background(), server.SubmitRequest{
+		From: 0, To: 1, VolumeBytes: 1e9, DeadlineS: 100, MaxRateBps: 1e9,
+	})
+	if !IsReadOnly(err) {
+		t.Fatalf("err = %v, want read-only", err)
+	}
+	if n := len(follower.seenKeys()); n != 1 {
+		t.Fatalf("single-endpoint client tried %d times on 403, want 1", n)
+	}
+}

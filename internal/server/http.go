@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"gridbw/internal/request"
@@ -19,7 +20,8 @@ import (
 //	GET    /v1/requests/{id}  look up one reservation
 //	DELETE /v1/requests/{id}  cancel a live reservation
 //	GET    /v1/status         platform occupancy + lifetime counters
-//	GET    /v1/metricsz       the same counters in Prometheus text format
+//	GET    /v1/metricsz       counters as JSON, or Prometheus text under
+//	                          Accept: text/plain
 //	GET    /v1/healthz        readiness probe (503 while draining)
 //
 // Submissions may carry an Idempotency-Key header (or the equivalent
@@ -147,6 +149,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/replication/pull", s.handleReplPull)
 	mux.HandleFunc("GET /v1/replication/status", s.handleReplStatus)
+	mux.HandleFunc("GET /v1/replication/snapshot", s.handleReplSnapshot)
 	mux.HandleFunc("POST /v1/replication/promote", s.handlePromote)
 	return s.Recoverer(mux)
 }
@@ -457,7 +460,10 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	st := s.Status()
+	writeJSON(w, http.StatusOK, statusJSON(s.Status()))
+}
+
+func statusJSON(st Status) StatusJSON {
 	body := StatusJSON{
 		NowS:               float64(st.Now),
 		Policy:             st.Policy,
@@ -489,10 +495,44 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			Utilization: p.Utilization,
 		})
 	}
+	return body
+}
+
+// MetricsJSON is the default GET /v1/metricsz body: the status counters
+// plus the replication and watchdog gauges the Prometheus rendering
+// carries.
+type MetricsJSON struct {
+	StatusJSON
+	Reseeds             uint64 `json:"reseeds"`
+	ReplicationLagBytes int64  `json:"replication_lag_bytes"`
+	AppliedRecords      uint64 `json:"applied_records"`
+	// WatchdogState is the in-process failover watchdog's position in the
+	// follower → suspect → promoting → primary ladder; empty when no
+	// watchdog runs in this daemon.
+	WatchdogState string `json:"watchdog_state,omitempty"`
+}
+
+// handleMetricsz negotiates the metrics encoding: Prometheus text
+// exposition when the caller asks for text/plain (what a scraper sends),
+// JSON otherwise.
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.Header.Get("Accept"), "text/plain") {
+		s.writeMetricsText(w)
+		return
+	}
+	st := s.Status()
+	rs := s.ReplicationStatus()
+	body := MetricsJSON{
+		StatusJSON:          statusJSON(st),
+		Reseeds:             st.Stats.Reseeds,
+		ReplicationLagBytes: rs.LagBytes,
+		AppliedRecords:      rs.Applied,
+		WatchdogState:       s.watchdogStateNow(),
+	}
 	writeJSON(w, http.StatusOK, body)
 }
 
-func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+func (s *Server) writeMetricsText(w http.ResponseWriter) {
 	st := s.Status()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	fmt.Fprintf(w, "# TYPE gridbwd_requests_submitted_total counter\n")
@@ -550,6 +590,14 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "gridbwd_replication_lag_bytes %d\n", rs.LagBytes)
 	fmt.Fprintf(w, "# TYPE gridbwd_replication_applied_records_total counter\n")
 	fmt.Fprintf(w, "gridbwd_replication_applied_records_total %d\n", rs.Applied)
+	fmt.Fprintf(w, "# TYPE gridbwd_reseeds_total counter\n")
+	fmt.Fprintf(w, "gridbwd_reseeds_total %d\n", st.Stats.Reseeds)
+	if ws := s.watchdogStateNow(); ws != "" {
+		fmt.Fprintf(w, "# TYPE gridbwd_watchdog_state gauge\n")
+		for _, state := range []string{"follower", "suspect", "promoting", "primary"} {
+			fmt.Fprintf(w, "gridbwd_watchdog_state{state=%q} %d\n", state, boolGauge(state == ws))
+		}
+	}
 	if s.wal != nil {
 		fmt.Fprintf(w, "# TYPE gridbwd_wal_records gauge\n")
 		fmt.Fprintf(w, "gridbwd_wal_records %d\n", rs.WALRecords)

@@ -383,9 +383,11 @@ func (s *Server) setPullError(err error) {
 }
 
 // pullLoop long-polls the primary for records past the cursor and applies
-// each batch. Transport errors back off and retry; fencing and divergence
-// errors halt the loop — retrying cannot fix them, and continuing would
-// corrupt the replica. The last error is surfaced on /v1/replication/status.
+// each batch. Transport errors back off and retry; a cursor the primary
+// compacted away (410 Gone) triggers an automatic snapshot re-seed;
+// fencing and divergence errors halt the loop — retrying cannot fix them,
+// and continuing would corrupt the replica. The last error is surfaced on
+// /v1/replication/status.
 func (s *Server) pullLoop(source string, stop, done chan struct{}) {
 	defer close(done)
 	hc := &http.Client{Timeout: pullWait + 10*time.Second}
@@ -408,6 +410,28 @@ func (s *Server) pullLoop(source string, stop, done chan struct{}) {
 			}
 			s.setPullError(err)
 			return
+		}
+		if errors.Is(err, errPullGone) {
+			// The primary compacted our cursor away; rebuild from its
+			// snapshot and resume pulling at the snapshot's frontier.
+			err = s.reseedFromSource(hc, source, stop)
+			if err == nil {
+				s.setPullError(nil)
+				backoff = pullBaseBackoff
+				continue
+			}
+			if errors.Is(err, ErrNotFollower) || errors.Is(err, ErrClosed) {
+				return
+			}
+			var fenced *FencedError
+			if errors.As(err, &fenced) {
+				// The snapshot came from a deposed lineage; retrying pulls
+				// the same stale history forever. Halt loudly.
+				s.setPullError(err)
+				return
+			}
+			// Transient download/validation failure: back off and retry the
+			// pull, which will 410 again and re-attempt the re-seed.
 		}
 		s.setPullError(err)
 		select {
@@ -443,6 +467,10 @@ func pullOnce(hc *http.Client, source string, cur wal.Pos, stop <-chan struct{})
 		return ShippedBatch{}, fmt.Errorf("server: pull: %w", err)
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusGone {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 64*1024))
+		return ShippedBatch{}, errPullGone
+	}
 	if resp.StatusCode != http.StatusOK {
 		var apiErr ErrorJSON
 		msg := resp.Status
@@ -554,8 +582,30 @@ func (s *Server) handleReplPull(w http.ResponseWriter, r *http.Request) {
 		waitMs = 60_000
 	}
 	pos := wal.Pos{Seg: seg, Off: int64(off)}
+	// A zero cursor asks for the very beginning of history, not for
+	// whatever is left of it: pin it to segment 1 so a compacted prefix
+	// answers 410 Gone (and the follower re-seeds) instead of silently
+	// serving a truncated stream the follower would diverge on.
+	if pos.IsZero() {
+		pos = wal.Pos{Seg: 1}
+	}
 	if waitMs > 0 {
-		s.wal.Wait(r.Context().Done(), pos, time.Duration(waitMs)*time.Millisecond)
+		// A closing server must not strand a poller for the rest of its
+		// long-poll window: wake on the request's cancellation OR the
+		// server's stop signal. The quit channel bounds the goroutine to
+		// this handler's lifetime.
+		quit := make(chan struct{})
+		defer close(quit)
+		wake := make(chan struct{})
+		go func() {
+			defer close(wake)
+			select {
+			case <-r.Context().Done():
+			case <-s.stop:
+			case <-quit:
+			}
+		}()
+		s.wal.Wait(wake, pos, time.Duration(waitMs)*time.Millisecond)
 	}
 	payloads, start, next, err := s.wal.ReadFrom(pos, int(maxRecords), pullMaxBytes)
 	switch {

@@ -1,0 +1,228 @@
+package server
+
+// Snapshot re-seeding: the recovery path for a follower whose pull cursor
+// was compacted away on the primary (410 Gone). Before this existed, 410
+// meant a manual resync — stop the standby, copy state by hand, restart.
+// Now the pull loop downloads GET /v1/replication/snapshot (a fresh,
+// consistent snapshot carrying the fencing epoch and the exact WAL
+// position it covers), rebuilds the follower's ledger through the same
+// equation-(1) replay the boot ladder uses, persists the new cursor, and
+// resumes pulling from the snapshot's frontier.
+//
+// Crash safety mirrors the boot ladder: the follower's own WAL no longer
+// covers its state after a re-seed (the compacted gap is missing from
+// it), so Reseed first persists the downloaded snapshot — rewritten to
+// record the follower's *local* WAL frontier — as ReseedSnapshotName in
+// the WAL directory, then the cursor, and only then mutates memory. A
+// reboot restores that snapshot plus the local WAL suffix past it; a
+// crash between persist and the in-memory swap just re-seeds from disk.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strconv"
+
+	"gridbw/internal/alloc"
+	"gridbw/internal/request"
+	"gridbw/internal/topology"
+	"gridbw/internal/trace"
+	"gridbw/internal/wal"
+)
+
+// ReseedSnapshotName is the file a re-seeded follower writes into its WAL
+// directory; the boot ladder restores it (plus the local WAL suffix past
+// the position it records) in preference to a full local-WAL replay,
+// which would misread the compacted gap.
+const ReseedSnapshotName = "reseed.snap.json"
+
+// errPullGone marks a pull answered 410 Gone: the cursor's history was
+// compacted away and only a snapshot re-seed can recover.
+var errPullGone = errors.New("server: pull position compacted away")
+
+// handleReplSnapshot serves GET /v1/replication/snapshot: a fresh,
+// consistent snapshot of the whole control plane, carrying the fencing
+// epoch and the exact WAL position it covers — the re-seed source for a
+// follower whose pull cursor was compacted away.
+func (s *Server) handleReplSnapshot(w http.ResponseWriter, r *http.Request) {
+	snap := s.Snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Gridbw-Epoch", strconv.FormatUint(snap.Epoch, 10))
+	w.WriteHeader(http.StatusOK)
+	_ = snap.Write(w)
+}
+
+// Reseed replaces a follower's entire control-plane state with snap —
+// the recovery from a compacted-away pull cursor. The snapshot's live
+// reservations are replayed through a fresh sharded ledger (re-checking
+// equation (1)), the idempotency cache is rebuilt from the snapshot's
+// decisions, the pull cursor jumps to the WAL position the snapshot
+// covers, and the fencing epoch is adopted — a snapshot from an epoch
+// older than the follower's own is refused with FencedError, so a
+// deposed primary cannot re-seed a follower of the new lineage backwards.
+//
+// Persistence happens before the in-memory swap: the snapshot (rewritten
+// to record the follower's local WAL frontier) lands in the WAL directory
+// as ReseedSnapshotName, then the epoch and cursor metadata. A crash at
+// any instant leaves a bootable state; a persistence failure aborts the
+// re-seed with the follower unchanged.
+func (s *Server) Reseed(snap *Snapshot) error {
+	if snap.Version < 1 || snap.Version > SnapshotVersion {
+		return fmt.Errorf("server: reseed: unsupported snapshot version %d", snap.Version)
+	}
+	if snap.NowS < 0 || snap.NextID < 0 {
+		return fmt.Errorf("server: reseed: negative clock or ID counter")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if !s.repl.following {
+		return ErrNotFollower
+	}
+	if snap.Epoch < s.repl.epoch {
+		return &FencedError{Batch: snap.Epoch, Current: s.repl.epoch}
+	}
+	if err := s.checkPlatformLocked(snap); err != nil {
+		return err
+	}
+
+	// Phase 1 — build and validate everything fallibly, touching no
+	// shared state: the fresh ledger replays every live grant through the
+	// capacity checks, and the idempotency decisions are validated against
+	// the snapshot's own registry.
+	fresh := alloc.NewSharded(s.net)
+	entries, err := liveFromSnapshot(snap, s.net, fresh)
+	if err != nil {
+		return fmt.Errorf("server: reseed: %w", err)
+	}
+	oldIdem, oldOrder := s.idem, s.idemOrder
+	s.idem, s.idemOrder = make(map[string]*idemEntry), nil
+	if err := s.restoreIdempotency(snap, entries); err != nil {
+		s.idem, s.idemOrder = oldIdem, oldOrder
+		return fmt.Errorf("server: reseed: %w", err)
+	}
+
+	// Phase 2 — persist. The local boot snapshot records the follower's
+	// own WAL frontier, so a reboot replays exactly the shipped records
+	// appended after this point; the cursor records the primary-side
+	// position pulling resumes from.
+	if s.wal != nil {
+		localEnd := s.wal.End()
+		local := *snap
+		local.WALSeg, local.WALOff = localEnd.Seg, localEnd.Off
+		path := filepath.Join(s.wal.Dir(), ReseedSnapshotName)
+		if err := local.WriteFile(path); err != nil {
+			s.idem, s.idemOrder = oldIdem, oldOrder
+			return fmt.Errorf("server: reseed: persist snapshot: %w", err)
+		}
+		if snap.Epoch > s.repl.epoch {
+			if err := wal.SaveEpoch(s.wal.Dir(), snap.Epoch); err != nil {
+				s.stats.RecordLogAppendFailure()
+			}
+		}
+		if err := wal.SaveCursor(s.wal.Dir(), snap.WALPos()); err != nil {
+			s.stats.RecordLogAppendFailure()
+		}
+		// The pre-reseed local segments are covered by the persisted
+		// snapshot; dropping whole old segments bounds the disk without
+		// touching the suffix a reboot still replays.
+		if _, err := s.wal.CompactBefore(localEnd); err != nil {
+			s.stats.RecordLogAppendFailure()
+		}
+	}
+
+	// Phase 3 — swap, infallibly. Followers never arm expiry timers, but
+	// cancel defensively in case this state was restored by an older boot
+	// path that did.
+	for _, e := range s.resv {
+		if e.state == StateActive {
+			s.sim.Cancel(e.expire)
+		}
+	}
+	s.ledger = fresh
+	s.resv = entries
+	s.finished = nil
+	if request.ID(snap.NextID) > s.nextID {
+		s.nextID = request.ID(snap.NextID)
+	}
+	localFailures, reseeds := s.stats.LogAppendFailures, s.stats.Reseeds
+	s.stats = snap.Counters
+	s.stats.LogAppendFailures += localFailures
+	s.stats.Reseeds = reseeds
+	s.stats.RecordReseed()
+	if snap.Epoch > s.repl.epoch {
+		s.repl.epoch = snap.Epoch
+	}
+	s.repl.cursor = snap.WALPos()
+	s.repl.lagBytes = 0
+	s.repl.lastPull = s.clock()
+	s.reanchorLocked(snap.NowS)
+	s.appendEventLocked(trace.Event{
+		At: snap.NowS, Kind: trace.EventRestore, Request: -1,
+		Reason: fmt.Sprintf("reseed: epoch %d, %d live reservations, cursor %v",
+			s.repl.epoch, len(snap.Live), s.repl.cursor),
+	})
+	return nil
+}
+
+// checkPlatformLocked verifies snap describes the same access points this
+// server was built for — re-seeding across platforms would replay grants
+// against capacities they were never admitted under.
+func (s *Server) checkPlatformLocked(snap *Snapshot) error {
+	if len(snap.IngressBps) != s.net.NumIngress() || len(snap.EgressBps) != s.net.NumEgress() {
+		return fmt.Errorf("server: reseed: snapshot platform %dx%d, server %dx%d",
+			len(snap.IngressBps), len(snap.EgressBps), s.net.NumIngress(), s.net.NumEgress())
+	}
+	for i, c := range snap.IngressBps {
+		if c != float64(s.net.Bin(topology.PointID(i))) {
+			return fmt.Errorf("server: reseed: ingress %d capacity %g differs from server's %g",
+				i, c, float64(s.net.Bin(topology.PointID(i))))
+		}
+	}
+	for e, c := range snap.EgressBps {
+		if c != float64(s.net.Bout(topology.PointID(e))) {
+			return fmt.Errorf("server: reseed: egress %d capacity %g differs from server's %g",
+				e, c, float64(s.net.Bout(topology.PointID(e))))
+		}
+	}
+	if snap.Policy != "" && snap.Policy != s.policyName {
+		return fmt.Errorf("server: reseed: snapshot policy %q differs from server's %q", snap.Policy, s.policyName)
+	}
+	return nil
+}
+
+// reseedFromSource downloads the primary's snapshot and re-seeds this
+// follower from it — the pull loop's answer to 410 Gone. stop aborts the
+// download early.
+func (s *Server) reseedFromSource(hc *http.Client, source string, stop <-chan struct{}) error {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		select {
+		case <-stop:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, source+"/v1/replication/snapshot", nil)
+	if err != nil {
+		return fmt.Errorf("server: reseed: %w", err)
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("server: reseed: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server: reseed: snapshot endpoint answered HTTP %d", resp.StatusCode)
+	}
+	snap, err := ReadSnapshot(resp.Body)
+	if err != nil {
+		return fmt.Errorf("server: reseed: %w", err)
+	}
+	return s.Reseed(snap)
+}

@@ -1,0 +1,297 @@
+package server_test
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gridbw/internal/request"
+	"gridbw/internal/server"
+	"gridbw/internal/units"
+	"gridbw/internal/wal"
+)
+
+// openSmallWAL opens a WAL with tiny segments so a handful of events
+// rotates it and compaction has whole segments to drop.
+func openSmallWAL(t *testing.T) *wal.Log {
+	t.Helper()
+	l, _, err := wal.Open(t.TempDir(), wal.Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+// TestReplPullUnblocksOnClose pins the shutdown deadline on the long-poll:
+// a closing server wakes every parked poller immediately instead of
+// stranding it for the rest of its wait_ms window.
+func TestReplPullUnblocksOnClose(t *testing.T) {
+	cfg := uniformConfig(nil)
+	cfg.WAL = openTestWAL(t)
+	s := newTestServer(t, cfg)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Park a poller at the WAL frontier with a 30s window.
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/v1/replication/pull?wait_ms=30000")
+		if err == nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the poller park
+
+	start := time.Now()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("parked pull failed outright: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close left the long-poller parked")
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Fatalf("poller released %v after Close, want immediate", waited)
+	}
+}
+
+// TestReplPullCompactionRace runs a follower's pull loop against a primary
+// whose WAL is being compacted concurrently with new decisions. Whatever
+// the interleaving — clean continue past the compaction, or 410 and a
+// snapshot re-seed — the follower must converge on the primary's exact
+// state; a torn stream would surface as a divergent ledger or a broken
+// invariant.
+func TestReplPullCompactionRace(t *testing.T) {
+	pcfg := uniformConfig(nil)
+	pwal := openSmallWAL(t)
+	pcfg.WAL = pwal
+	primary := newTestServer(t, pcfg)
+	ts := httptest.NewServer(primary.Handler())
+	defer ts.Close()
+
+	fcfg := uniformConfig(nil)
+	fcfg.WAL = openTestWAL(t)
+	fcfg.Follow = ts.URL
+	follower := newTestServer(t, fcfg)
+	if err := follower.StartFollowing(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Load and compaction interleave: every few decisions the primary
+	// drops all complete segments, racing the follower's in-flight pulls.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 24; i++ {
+			if i%4 == 3 {
+				if _, err := pwal.CompactBefore(pwal.End()); err != nil {
+					t.Errorf("compact %d: %v", i, err)
+					return
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	for i := 0; i < 24; i++ {
+		d, err := primary.Submit(server.Submission{
+			From: i % 2, To: (i + 1) % 2,
+			Volume: 1e9, Deadline: 3600, MaxRate: 20e6,
+		})
+		if err != nil || !d.Accepted {
+			t.Fatalf("submit %d: %v %+v", i, err, d)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	wg.Wait()
+
+	waitFor(t, "follower convergence", func() bool {
+		fs, ps := follower.Status(), primary.Status()
+		return fs.Active == ps.Active && follower.ReplicationStatus().LagBytes == 0
+	})
+	rs := follower.ReplicationStatus()
+	if rs.LastError != "" {
+		t.Fatalf("follower converged but holds error %q", rs.LastError)
+	}
+	if err := follower.VerifyInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("converged: %d applied, %d reseeds", rs.Applied, follower.Status().Stats.Reseeds)
+}
+
+// TestReplPullStaleCursorReseeds is the deterministic 410 path end to end
+// over the real pull loop: the primary compacts its WAL before the
+// follower ever connects, so the follower's zero cursor is unservable and
+// the loop must download the snapshot, re-seed, and catch up.
+func TestReplPullStaleCursorReseeds(t *testing.T) {
+	pcfg := uniformConfig(nil)
+	pwal := openSmallWAL(t)
+	pcfg.WAL = pwal
+	primary := newTestServer(t, pcfg)
+	ts := httptest.NewServer(primary.Handler())
+	defer ts.Close()
+
+	var keptID int
+	for i := 0; i < 8; i++ {
+		d, err := primary.Submit(server.Submission{
+			From: i % 2, To: (i + 1) % 2,
+			Volume: 1e9, Deadline: 3600, MaxRate: 50e6,
+			IdempotencyKey: fmt.Sprintf("seed-%d", i),
+		})
+		if err != nil || !d.Accepted {
+			t.Fatalf("submit %d: %v %+v", i, err, d)
+		}
+		keptID = int(d.ID)
+	}
+	dropped, err := pwal.CompactBefore(pwal.End())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped == 0 {
+		t.Fatal("WAL never rotated; the zero cursor would still be servable")
+	}
+
+	fcfg := uniformConfig(nil)
+	fwal := openTestWAL(t)
+	fcfg.WAL = fwal
+	fcfg.Follow = ts.URL
+	follower := newTestServer(t, fcfg)
+	if err := follower.StartFollowing(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "auto-reseed", func() bool {
+		st := follower.Status()
+		return st.Stats.Reseeds == 1 && st.Active == primary.Status().Active
+	})
+
+	// The re-seeded state is durable: the boot snapshot is on disk and the
+	// persisted cursor matches the snapshot frontier, so a reboot replays
+	// only the shipped suffix — never the compacted gap.
+	if _, err := os.Stat(filepath.Join(fwal.Dir(), server.ReseedSnapshotName)); err != nil {
+		t.Fatalf("reseed snapshot not persisted: %v", err)
+	}
+	cur, err := wal.LoadCursor(fwal.Dir())
+	if err != nil {
+		t.Fatalf("cursor not persisted: %v", err)
+	}
+	if cur.IsZero() {
+		t.Fatal("persisted cursor still zero after reseed")
+	}
+
+	// And pulling continues live past the re-seed.
+	d, err := primary.Submit(server.Submission{From: 0, To: 1, Volume: 1e9, Deadline: 3600, MaxRate: 50e6})
+	if err != nil || !d.Accepted {
+		t.Fatalf("post-reseed submit: %v %+v", err, d)
+	}
+	waitFor(t, "post-reseed catch-up", func() bool {
+		return follower.Status().Active == primary.Status().Active
+	})
+	if got, err := follower.Lookup(request.ID(keptID)); err != nil || !got.Accepted {
+		t.Fatalf("reservation %d lost across reseed: %v %+v", keptID, err, got)
+	}
+}
+
+// TestReseedRefusals pins the guard rails: a snapshot from an older epoch
+// is fenced, a snapshot from a different platform is refused, and a
+// primary cannot be re-seeded at all.
+func TestReseedRefusals(t *testing.T) {
+	donor := newTestServer(t, uniformConfig(nil))
+	if _, err := donor.Submit(server.Submission{From: 0, To: 1, Volume: 1e9, Deadline: 3600, MaxRate: 50e6}); err != nil {
+		t.Fatal(err)
+	}
+	snap := donor.Snapshot()
+
+	// Older epoch: the deposed primary cannot drag a new-lineage follower
+	// backwards.
+	fcfg := uniformConfig(nil)
+	fcfg.Follow = "http://127.0.0.1:0" // driven directly, never dialed
+	fcfg.Epoch = 5
+	f := newTestServer(t, fcfg)
+	err := f.Reseed(snap)
+	var fenced *server.FencedError
+	if !errors.As(err, &fenced) {
+		t.Fatalf("old-epoch reseed: err = %v, want FencedError", err)
+	}
+	if fenced.Batch != snap.Epoch || fenced.Current != 5 {
+		t.Fatalf("fence = %+v, want batch %d vs current 5", fenced, snap.Epoch)
+	}
+
+	// Wrong platform: replaying grants against capacities they were never
+	// admitted under is refused outright.
+	ncfg := server.Config{
+		Ingress: []units.Bandwidth{1 * units.GBps},
+		Egress:  []units.Bandwidth{1 * units.GBps},
+		Follow:  "http://127.0.0.1:0",
+	}
+	narrow := newTestServer(t, ncfg)
+	if err := narrow.Reseed(snap); err == nil || !strings.Contains(err.Error(), "platform") {
+		t.Fatalf("cross-platform reseed: err = %v, want platform mismatch", err)
+	}
+
+	// A primary is nobody's re-seed target.
+	p := newTestServer(t, uniformConfig(nil))
+	if err := p.Reseed(snap); !errors.Is(err, server.ErrNotFollower) {
+		t.Fatalf("primary reseed: err = %v, want ErrNotFollower", err)
+	}
+}
+
+// TestReseedRestoresIdempotency proves a re-seeded follower inherits the
+// donor's idempotency decisions: after promotion, re-sending a key the old
+// primary already answered returns the original reservation instead of
+// booking twice.
+func TestReseedRestoresIdempotency(t *testing.T) {
+	dcfg := uniformConfig(nil)
+	dcfg.WAL = openTestWAL(t)
+	donor := newTestServer(t, dcfg)
+	first, err := donor.Submit(server.Submission{
+		From: 0, To: 1, Volume: 1e9, Deadline: 3600, MaxRate: 50e6,
+		IdempotencyKey: "carried-key",
+	})
+	if err != nil || !first.Accepted {
+		t.Fatalf("donor submit: %v %+v", err, first)
+	}
+	snap := donor.Snapshot()
+
+	fcfg := uniformConfig(nil)
+	fcfg.WAL = openTestWAL(t)
+	fcfg.Follow = "http://127.0.0.1:0"
+	f := newTestServer(t, fcfg)
+	if err := f.Reseed(snap); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Status()
+	if st.Active != 1 {
+		t.Fatalf("active after reseed = %d, want 1", st.Active)
+	}
+	if f.ReplicationStatus().Cursor != snap.WALPos() {
+		t.Fatalf("cursor after reseed = %v, want the snapshot frontier %v",
+			f.ReplicationStatus().Cursor, snap.WALPos())
+	}
+
+	if _, err := f.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	again, err := f.Submit(server.Submission{
+		From: 0, To: 1, Volume: 1e9, Deadline: 3600, MaxRate: 50e6,
+		IdempotencyKey: "carried-key",
+	})
+	if err != nil || again.ID != first.ID {
+		t.Fatalf("re-sent key after failover: id %d err %v, want the donor's id %d", again.ID, err, first.ID)
+	}
+	if got := f.Status().Active; got != 1 {
+		t.Fatalf("active after idempotent re-send = %d, want still 1", got)
+	}
+}

@@ -234,6 +234,11 @@ type Server struct {
 	repl      replState // replication role, fencing epoch, pull cursor
 	closed    bool
 
+	// watchdogState, when set, reports the in-process failover watchdog's
+	// state for the metrics surface. The callback must not call back into
+	// the server (it is invoked outside s.mu, but re-entry would surprise).
+	watchdogState func() string
+
 	// inflight is the admission semaphore the HTTP layer acquires around
 	// each submission; nil when shedding is disabled.
 	inflight   chan struct{}
@@ -312,6 +317,27 @@ func newServer(cfg Config, net *topology.Network, pol policy.Policy, name string
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
 	}
+}
+
+// SetWatchdogState registers a callback reporting the in-process failover
+// watchdog's position in the promotion ladder ("follower", "suspect",
+// "promoting", "primary") so /v1/metricsz can expose it as a gauge.
+func (s *Server) SetWatchdogState(fn func() string) {
+	s.mu.Lock()
+	s.watchdogState = fn
+	s.mu.Unlock()
+}
+
+// watchdogStateNow reports the registered watchdog's state, or "" when no
+// watchdog runs in this process. The callback runs outside s.mu.
+func (s *Server) watchdogStateNow() string {
+	s.mu.Lock()
+	fn := s.watchdogState
+	s.mu.Unlock()
+	if fn == nil {
+		return ""
+	}
+	return fn()
 }
 
 // Network reports the platform.

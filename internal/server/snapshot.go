@@ -4,9 +4,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
+	"gridbw/internal/alloc"
 	"gridbw/internal/core"
 	"gridbw/internal/metrics"
 	"gridbw/internal/request"
@@ -180,6 +183,42 @@ func (snap *Snapshot) Write(w io.Writer) error {
 	return nil
 }
 
+// WriteFile writes the snapshot durably: temp file + fsync + rename +
+// directory fsync, so a crash at any instant leaves either the old file
+// or the new one — complete and durable — never a torn or vanishing one.
+func (snap *Snapshot) WriteFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := snap.Write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// The rename is only durable once the directory entry is.
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer dir.Close()
+	return dir.Sync()
+}
+
 // WALPos reports the WAL position the snapshot covers (zero when the
 // snapshot predates the WAL or none was configured).
 func (snap *Snapshot) WALPos() wal.Pos {
@@ -238,6 +277,40 @@ func NewFromSnapshot(snap *Snapshot, cfg Config) (*Server, error) {
 	s.nextID = request.ID(snap.NextID)
 	s.stats = snap.Counters
 
+	entries, err := liveFromSnapshot(snap, net, s.ledger)
+	if err != nil {
+		return nil, err
+	}
+	for id, e := range entries {
+		if cfg.Follow == "" {
+			// A follower deliberately leaves expiry timers unarmed: the
+			// primary's shipped expire events retire grants, and Promote
+			// arms the timers when the follower takes over.
+			e.expire = s.sim.At(e.grant.Tau, s.expireEvent(id))
+		}
+		s.resv[id] = e
+	}
+	if err := s.restoreIdempotency(snap, s.resv); err != nil {
+		return nil, err
+	}
+	if err := s.initRepl(cfg, snap.Epoch); err != nil {
+		return nil, err
+	}
+	s.appendEventLocked(trace.Event{
+		At: snap.NowS, Kind: trace.EventRestore, Request: -1,
+		Reason: fmt.Sprintf("%d live reservations", len(snap.Live)),
+	})
+	go s.loop()
+	return s, nil
+}
+
+// liveFromSnapshot validates snap's live reservations and reserves each
+// grant in ledger — the ledger re-checks equation (1), so an infeasible
+// or tampered snapshot is rejected rather than silently over-committing a
+// point. The returned entries carry no expiry timers; callers arm them
+// (or deliberately do not, on a follower).
+func liveFromSnapshot(snap *Snapshot, net *topology.Network, ledger *alloc.Sharded) (map[request.ID]*entry, error) {
+	entries := make(map[request.ID]*entry, len(snap.Live))
 	for _, sr := range snap.Live {
 		r := request.Request{
 			ID:      request.ID(sr.ID),
@@ -267,34 +340,20 @@ func NewFromSnapshot(snap *Snapshot, cfg Config) (*Server, error) {
 		if g.Tau <= g.Sigma || g.Bandwidth <= 0 {
 			return nil, fmt.Errorf("server: restore: reservation %d has degenerate grant", sr.ID)
 		}
-		// The ledger re-checks equation (1): an infeasible snapshot is
-		// rejected here rather than silently over-committing a point.
-		if err := s.ledger.Reserve(r, g); err != nil {
+		if err := ledger.Reserve(r, g); err != nil {
 			return nil, fmt.Errorf("server: restore: %w", err)
 		}
-		e := &entry{req: r, grant: g, state: StateActive}
-		e.expire = s.sim.At(g.Tau, s.expireEvent(r.ID))
-		s.resv[r.ID] = e
+		entries[r.ID] = &entry{req: r, grant: g, state: StateActive}
 	}
-	if err := s.restoreIdempotency(snap); err != nil {
-		return nil, err
-	}
-	if err := s.initRepl(cfg, snap.Epoch); err != nil {
-		return nil, err
-	}
-	s.appendEventLocked(trace.Event{
-		At: snap.NowS, Kind: trace.EventRestore, Request: -1,
-		Reason: fmt.Sprintf("%d live reservations", len(snap.Live)),
-	})
-	go s.loop()
-	return s, nil
+	return entries, nil
 }
 
-// restoreIdempotency rebuilds the idempotency cache. Version-2 snapshots
-// carry full decisions; the legacy version-1 map only knew live keys.
-// Keys are inserted in sorted order so the FIFO eviction queue is
+// restoreIdempotency rebuilds the idempotency cache, validating live
+// claims against resv (the registry the snapshot restored). Version-2
+// snapshots carry full decisions; the legacy version-1 map only knew live
+// keys. Keys are inserted in sorted order so the FIFO eviction queue is
 // deterministic across restores.
-func (s *Server) restoreIdempotency(snap *Snapshot) error {
+func (s *Server) restoreIdempotency(snap *Snapshot, resv map[request.ID]*entry) error {
 	settled := func(d Decision) *idemEntry {
 		e := &idemEntry{done: make(chan struct{}), d: d}
 		close(e.done)
@@ -322,7 +381,7 @@ func (s *Server) restoreIdempotency(snap *Snapshot) error {
 				return fmt.Errorf("server: restore: idempotency key %q for reservation %d not below next_id %d",
 					key, sd.ID, snap.NextID)
 			}
-			if _, live := s.resv[d.ID]; !live && (d.State == StateBooked || d.State == StateActive) {
+			if _, live := resv[d.ID]; !live && (d.State == StateBooked || d.State == StateActive) {
 				return fmt.Errorf("server: restore: idempotency key %q claims live reservation %d absent from snapshot",
 					key, sd.ID)
 			}
@@ -338,7 +397,7 @@ func (s *Server) restoreIdempotency(snap *Snapshot) error {
 	sort.Strings(legacy)
 	for _, key := range legacy {
 		id := snap.Idempotency[key]
-		e, ok := s.resv[request.ID(id)]
+		e, ok := resv[request.ID(id)]
 		if !ok {
 			return fmt.Errorf("server: restore: idempotency key for unknown reservation %d", id)
 		}
