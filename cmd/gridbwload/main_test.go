@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gridbw/internal/loadgen"
+	"gridbw/internal/server"
+	"gridbw/internal/units"
+)
+
+func bootDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	s, err := server.New(server.Config{
+		Ingress:     []units.Bandwidth{1 * units.GBps, 1 * units.GBps},
+		Egress:      []units.Bandwidth{1 * units.GBps, 1 * units.GBps},
+		MaxInFlight: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestEndToEnd runs the whole CLI — flag parsing, a short real ramp
+// against an in-process daemon, live Prometheus endpoint, JSON report,
+// passing gate — exactly as CI's smoke job does at larger scale.
+func TestEndToEnd(t *testing.T) {
+	ts := bootDaemon(t)
+	out := filepath.Join(t.TempDir(), "report.json")
+	var sb strings.Builder
+	err := run([]string{
+		"-target", ts.URL,
+		"-vus", "200",
+		"-rate", "300",
+		"-ramp-up", "300ms", "-duration", "1s", "-ramp-down", "300ms",
+		"-timeout", "2s",
+		"-seed", "12",
+		"-prom", "127.0.0.1:0",
+		"-output", out,
+		"-fail-on", "errors<1%,p999<2s,drops<=5%",
+	}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, sb.String())
+	}
+
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.OfferedArrivals == 0 || rep.Total.Finished == 0 {
+		t.Fatalf("report shows no traffic: %+v", rep.Total)
+	}
+	if rep.Total.Outcomes["admitted"] == 0 {
+		t.Fatalf("no admissions against a fresh daemon: %v", rep.Total.Outcomes)
+	}
+	if rep.Total.Latency.Count == 0 || rep.Total.Latency.P99Ms <= 0 {
+		t.Fatalf("report lacks latency percentiles: %+v", rep.Total.Latency)
+	}
+	if len(rep.Phases) != 3 {
+		t.Fatalf("report has %d phases, want ramp-up/steady/ramp-down", len(rep.Phases))
+	}
+	if rep.Gate == nil || !rep.Gate.Pass {
+		t.Fatalf("healthy run failed its gate: %+v", rep.Gate)
+	}
+	if rep.PromAddr == "" {
+		t.Fatal("report did not record the Prometheus address")
+	}
+	if !strings.Contains(sb.String(), "p99=") {
+		t.Fatalf("stdout digest missing: %q", sb.String())
+	}
+}
+
+// TestGateViolationExit pins the CI contract: a violated -fail-on makes
+// run return errGateFailed (exit 2), and the report is still written.
+func TestGateViolationExit(t *testing.T) {
+	ts := bootDaemon(t)
+	out := filepath.Join(t.TempDir(), "report.json")
+	var sb strings.Builder
+	err := run([]string{
+		"-target", ts.URL,
+		"-vus", "50", "-rate", "100",
+		"-ramp-up", "0s", "-duration", "500ms", "-ramp-down", "0s",
+		"-seed", "3",
+		"-output", out,
+		"-fail-on", "p99<1ns", // impossible: any real daemon violates it
+	}, &sb)
+	if !errors.Is(err, errGateFailed) {
+		t.Fatalf("err = %v, want errGateFailed", err)
+	}
+	if _, serr := os.Stat(out); serr != nil {
+		t.Fatalf("violated gate must still write the report: %v", serr)
+	}
+	if !strings.Contains(sb.String(), "gate violation:") {
+		t.Fatalf("stdout missing the violation list: %q", sb.String())
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-arrivals", "warp"},
+		{"-mix", "submit=okay"},
+		{"-mix", "teleport=5"},
+		{"-rate-min", "fast"},
+		{"-volumes", "10XB"},
+		{"-fail-on", "p13<1ms"},
+	} {
+		if err := run(args, &strings.Builder{}); err == nil {
+			t.Errorf("run(%v) accepted bad flags", args)
+		}
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := parseMix("submit=90, cancel=5,batch=5", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Submit != 90 || m.Cancel != 5 || m.Batch != 5 || m.BatchSize != 16 {
+		t.Fatalf("parseMix = %+v", m)
+	}
+	if _, err := parseMix("submit=0,cancel=0", 8); err == nil {
+		t.Error("accepted an all-zero mix")
+	}
+}

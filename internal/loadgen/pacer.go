@@ -1,0 +1,143 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"gridbw/internal/workload"
+)
+
+// Phase is one leg of the ramp profile: the offered arrival rate moves
+// linearly from StartRate to EndRate over Duration. A classic run is
+// three phases — linear ramp-up, steady plateau, ramp-down.
+type Phase struct {
+	Name string `json:"name"`
+	// Duration is the phase's wall-clock length.
+	Duration time.Duration `json:"duration"`
+	// StartRate and EndRate are offered arrivals per second at the
+	// phase's boundaries; the rate between them is linear.
+	StartRate float64 `json:"start_rate"`
+	EndRate   float64 `json:"end_rate"`
+}
+
+// expectedArrivals is the integral of the phase's rate: the mean number
+// of arrivals the phase offers.
+func (p Phase) expectedArrivals() float64 {
+	return (p.StartRate + p.EndRate) / 2 * p.Duration.Seconds()
+}
+
+func (p Phase) validate() error {
+	switch {
+	case p.Duration <= 0:
+		return fmt.Errorf("loadgen: phase %q has non-positive duration %v", p.Name, p.Duration)
+	case p.StartRate < 0 || p.EndRate < 0:
+		return fmt.Errorf("loadgen: phase %q has negative rate", p.Name)
+	}
+	return nil
+}
+
+// Ramp builds the standard three-phase profile: linear ramp-up from zero
+// to rate, a steady plateau, and a linear ramp-down back to zero. Phases
+// with zero duration are omitted.
+func Ramp(up, steady, down time.Duration, rate float64) []Phase {
+	var phases []Phase
+	if up > 0 {
+		phases = append(phases, Phase{Name: "ramp-up", Duration: up, StartRate: 0, EndRate: rate})
+	}
+	if steady > 0 {
+		phases = append(phases, Phase{Name: "steady", Duration: steady, StartRate: rate, EndRate: rate})
+	}
+	if down > 0 {
+		phases = append(phases, Phase{Name: "ramp-down", Duration: down, StartRate: rate, EndRate: 0})
+	}
+	return phases
+}
+
+// pacer turns a unit-mean arrival process into a wall-clock fire
+// schedule shaped by the ramp profile. The arrival stream runs at mean
+// rate 1, so its instants are cumulative expected-arrival counts; the
+// pacer inverts the profile's cumulative-rate integral to map each count
+// to the wall offset where the time-varying process reaches it. The
+// schedule is a pure function of (seed, phases): it never looks at
+// responses, which is what makes the load open-loop — a stalled request
+// cannot push later arrivals back (no coordinated omission).
+type pacer struct {
+	phases   []Phase
+	arr      *workload.Arrivals
+	cumArr   []float64       // expected arrivals before each phase
+	offStart []time.Duration // wall offset at each phase start
+	total    float64         // expected arrivals over the whole profile
+}
+
+func newPacer(phases []Phase, arr *workload.Arrivals) (*pacer, error) {
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("loadgen: no phases")
+	}
+	p := &pacer{phases: phases, arr: arr}
+	var cum float64
+	var off time.Duration
+	for _, ph := range phases {
+		if err := ph.validate(); err != nil {
+			return nil, err
+		}
+		p.cumArr = append(p.cumArr, cum)
+		p.offStart = append(p.offStart, off)
+		cum += ph.expectedArrivals()
+		off += ph.Duration
+	}
+	if cum <= 0 {
+		return nil, fmt.Errorf("loadgen: profile offers no arrivals (all rates zero)")
+	}
+	p.total = cum
+	return p, nil
+}
+
+// Next returns the wall-clock offset and phase index of the next
+// scheduled arrival; ok is false once the profile's arrival budget is
+// spent.
+func (p *pacer) Next() (offset time.Duration, phase int, ok bool) {
+	u := float64(p.arr.Next())
+	if u >= p.total {
+		return 0, 0, false
+	}
+	// Find the phase this cumulative count lands in, skipping phases that
+	// offer nothing.
+	k := len(p.phases) - 1
+	for i := 1; i < len(p.phases); i++ {
+		if u < p.cumArr[i] {
+			k = i - 1
+			break
+		}
+	}
+	t := invertPhase(p.phases[k], u-p.cumArr[k])
+	return p.offStart[k] + t, k, true
+}
+
+// invertPhase solves ∫₀ᵗ r(s) ds = u for t within one phase, where
+// r(s) = r0 + (r1-r0)·s/D is the linear ramp. The integral is
+// r0·t + slope·t²/2, a quadratic whose positive root is the fire time.
+func invertPhase(ph Phase, u float64) time.Duration {
+	d := ph.Duration.Seconds()
+	r0, r1 := ph.StartRate, ph.EndRate
+	slope := (r1 - r0) / d
+	var t float64
+	if slope == 0 {
+		// Constant rate; r0 > 0 here, or the phase offered no arrivals
+		// and Next could not land in it.
+		t = u / r0
+	} else {
+		disc := r0*r0 + 2*slope*u
+		if disc < 0 {
+			disc = 0
+		}
+		t = (math.Sqrt(disc) - r0) / slope
+	}
+	if t < 0 {
+		t = 0
+	}
+	if t > d {
+		t = d
+	}
+	return time.Duration(t * float64(time.Second))
+}

@@ -1,0 +1,149 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"gridbw/internal/workload"
+)
+
+func testPacer(t *testing.T, seed int64, phases []Phase) *pacer {
+	t.Helper()
+	arr, err := workload.NewArrivals(seed, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := newPacer(phases, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func collect(p *pacer) (offsets []time.Duration, phases []int) {
+	for {
+		off, ph, ok := p.Next()
+		if !ok {
+			return offsets, phases
+		}
+		offsets = append(offsets, off)
+		phases = append(phases, ph)
+	}
+}
+
+// TestPacerSchedule pins the core properties of the warped schedule:
+// deterministic in the seed, monotone, bounded by the profile length, and
+// offering approximately the profile's integral worth of arrivals.
+func TestPacerSchedule(t *testing.T) {
+	phases := Ramp(2*time.Second, 5*time.Second, 3*time.Second, 100)
+	offs, phs := collect(testPacer(t, 42, phases))
+
+	// Expected arrivals: 100 (ramp-up) + 500 (steady) + 150 (ramp-down).
+	if len(offs) < 650 || len(offs) > 850 {
+		t.Fatalf("schedule offered %d arrivals, want ≈ 750", len(offs))
+	}
+	end := 10 * time.Second
+	for i, off := range offs {
+		if off < 0 || off > end {
+			t.Fatalf("arrival %d at offset %v outside [0, %v]", i, off, end)
+		}
+		if i > 0 && off < offs[i-1] {
+			t.Fatalf("arrival %d at %v before its predecessor at %v", i, off, offs[i-1])
+		}
+		wantPhase := 2
+		if off <= 2*time.Second {
+			wantPhase = 0
+		} else if off <= 7*time.Second {
+			wantPhase = 1
+		}
+		// Phase boundaries are shared instants; allow the neighbor there.
+		if phs[i] != wantPhase && !(off == 2*time.Second || off == 7*time.Second) {
+			t.Fatalf("arrival %d at %v tagged phase %d, want %d", i, off, phs[i], wantPhase)
+		}
+	}
+
+	// Same seed, same schedule — bit for bit.
+	offs2, _ := collect(testPacer(t, 42, phases))
+	if len(offs) != len(offs2) {
+		t.Fatalf("replay offered %d arrivals, first run %d", len(offs2), len(offs))
+	}
+	for i := range offs {
+		if offs[i] != offs2[i] {
+			t.Fatalf("replay arrival %d at %v, first run %v", i, offs2[i], offs[i])
+		}
+	}
+}
+
+// TestPacerRampDensity checks the warp itself: on a linear 0→rate ramp
+// the cumulative arrivals grow quadratically, so the first half of the
+// ramp holds about a quarter of its arrivals — not half, which is what a
+// naive constant-rate schedule would produce.
+func TestPacerRampDensity(t *testing.T) {
+	phases := []Phase{{Name: "ramp", Duration: 10 * time.Second, StartRate: 0, EndRate: 200}}
+	offs, _ := collect(testPacer(t, 7, phases))
+	if len(offs) < 850 || len(offs) > 1150 {
+		t.Fatalf("ramp offered %d arrivals, want ≈ 1000", len(offs))
+	}
+	var firstHalf int
+	for _, off := range offs {
+		if off < 5*time.Second {
+			firstHalf++
+		}
+	}
+	frac := float64(firstHalf) / float64(len(offs))
+	if math.Abs(frac-0.25) > 0.05 {
+		t.Fatalf("first half of the ramp holds %.1f%% of arrivals, want ≈ 25%%", frac*100)
+	}
+}
+
+// TestInvertPhaseRoundTrip checks the quadratic inversion against the
+// forward integral for both ramp directions and the constant plateau.
+func TestInvertPhaseRoundTrip(t *testing.T) {
+	phases := []Phase{
+		{Name: "up", Duration: 4 * time.Second, StartRate: 10, EndRate: 90},
+		{Name: "flat", Duration: 4 * time.Second, StartRate: 50, EndRate: 50},
+		{Name: "down", Duration: 4 * time.Second, StartRate: 90, EndRate: 10},
+	}
+	integral := func(p Phase, tSec float64) float64 {
+		slope := (p.EndRate - p.StartRate) / p.Duration.Seconds()
+		return p.StartRate*tSec + slope*tSec*tSec/2
+	}
+	for _, ph := range phases {
+		total := ph.expectedArrivals()
+		for _, frac := range []float64{0.01, 0.25, 0.5, 0.75, 0.99} {
+			u := frac * total
+			tt := invertPhase(ph, u)
+			back := integral(ph, tt.Seconds())
+			if math.Abs(back-u) > 1e-6*total {
+				t.Errorf("%s: invert(%.3f) = %v, integral back = %.6f", ph.Name, u, tt, back)
+			}
+		}
+	}
+}
+
+func TestRampOmitsZeroPhases(t *testing.T) {
+	phases := Ramp(0, 5*time.Second, 0, 100)
+	if len(phases) != 1 || phases[0].Name != "steady" {
+		t.Fatalf("Ramp(0, 5s, 0) = %+v, want the lone steady phase", phases)
+	}
+	if got := Ramp(time.Second, time.Second, time.Second, 10); len(got) != 3 {
+		t.Fatalf("full Ramp built %d phases, want 3", len(got))
+	}
+}
+
+func TestNewPacerValidation(t *testing.T) {
+	arr, err := workload.NewArrivals(1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newPacer(nil, arr); err == nil {
+		t.Error("accepted an empty profile")
+	}
+	if _, err := newPacer([]Phase{{Name: "bad", Duration: -time.Second, StartRate: 1, EndRate: 1}}, arr); err == nil {
+		t.Error("accepted a negative duration")
+	}
+	if _, err := newPacer([]Phase{{Name: "idle", Duration: time.Second}}, arr); err == nil {
+		t.Error("accepted an all-zero-rate profile")
+	}
+}

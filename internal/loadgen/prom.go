@@ -1,0 +1,101 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+)
+
+// promLEBounds are the fixed upper bounds of the exported latency
+// histogram, chosen to bracket sub-millisecond LAN admissions up through
+// multi-second stalls.
+var promLEBounds = []time.Duration{
+	time.Millisecond, 2500 * time.Microsecond, 5 * time.Millisecond,
+	10 * time.Millisecond, 25 * time.Millisecond, 50 * time.Millisecond,
+	100 * time.Millisecond, 250 * time.Millisecond, 500 * time.Millisecond,
+	time.Second, 2500 * time.Millisecond, 5 * time.Second, 10 * time.Second,
+}
+
+// WritePrometheus renders the recorder's live state in Prometheus text
+// exposition format.
+func (r *Recorder) WritePrometheus(w io.Writer) {
+	fmt.Fprintf(w, "# HELP gridbwload_arrivals_total Scheduled arrivals fired, by phase.\n")
+	fmt.Fprintf(w, "# TYPE gridbwload_arrivals_total counter\n")
+	for _, ps := range r.phases {
+		fmt.Fprintf(w, "gridbwload_arrivals_total{phase=%q} %d\n", ps.name, ps.fired.Load())
+	}
+
+	fmt.Fprintf(w, "# HELP gridbwload_ops_total Operation outcomes, by phase.\n")
+	fmt.Fprintf(w, "# TYPE gridbwload_ops_total counter\n")
+	for _, ps := range r.phases {
+		for o := Outcome(0); o < numOutcomes; o++ {
+			if n := ps.outcomes[o].Load(); n > 0 {
+				fmt.Fprintf(w, "gridbwload_ops_total{phase=%q,outcome=%q} %d\n", ps.name, o, n)
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP gridbwload_inflight_vus Virtual users with a request in flight.\n")
+	fmt.Fprintf(w, "# TYPE gridbwload_inflight_vus gauge\n")
+	fmt.Fprintf(w, "gridbwload_inflight_vus %d\n", r.inflight.Load())
+	fmt.Fprintf(w, "gridbwload_max_vus %d\n", r.vus)
+
+	fmt.Fprintf(w, "# TYPE gridbwload_latency_seconds summary\n")
+	for _, ps := range append(r.phases, r.total) {
+		s := ps.lat.Summary()
+		for _, q := range []struct {
+			label string
+			ms    float64
+		}{
+			{"0.5", s.P50Ms}, {"0.9", s.P90Ms}, {"0.95", s.P95Ms},
+			{"0.99", s.P99Ms}, {"0.999", s.P999Ms},
+		} {
+			fmt.Fprintf(w, "gridbwload_latency_seconds{phase=%q,quantile=%q} %g\n",
+				ps.name, q.label, q.ms/1e3)
+		}
+		fmt.Fprintf(w, "gridbwload_latency_seconds_sum{phase=%q} %g\n", ps.name, ps.lat.Sum().Seconds())
+		fmt.Fprintf(w, "gridbwload_latency_seconds_count{phase=%q} %d\n", ps.name, ps.lat.Count())
+	}
+
+	// A classic le-bucketed histogram over the whole run for scrapers that
+	// aggregate with histogram_quantile.
+	fmt.Fprintf(w, "# TYPE gridbwload_latency_bucket_seconds histogram\n")
+	for _, le := range promLEBounds {
+		fmt.Fprintf(w, "gridbwload_latency_bucket_seconds_bucket{le=%q} %d\n",
+			formatLE(le), r.total.lat.CumulativeLE(le))
+	}
+	fmt.Fprintf(w, "gridbwload_latency_bucket_seconds_bucket{le=\"+Inf\"} %d\n", r.total.lat.Count())
+	fmt.Fprintf(w, "gridbwload_latency_bucket_seconds_sum %g\n", r.total.lat.Sum().Seconds())
+	fmt.Fprintf(w, "gridbwload_latency_bucket_seconds_count %d\n", r.total.lat.Count())
+}
+
+func formatLE(d time.Duration) string {
+	return fmt.Sprintf("%g", d.Seconds())
+}
+
+// serveProm starts the live observation endpoint on addr: /metrics in
+// Prometheus text form, /report as the in-progress JSON report. It
+// returns the bound address (so ":0" works) and a shutdown func.
+func (r *Recorder) serveProm(addr string, report func() Report) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("loadgen: prometheus listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/report", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(report())
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}

@@ -1,0 +1,158 @@
+package loadgen
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gridbw/internal/metrics"
+	"gridbw/internal/rng"
+)
+
+// Outcome classifies what became of one offered arrival.
+type Outcome int
+
+const (
+	// OutAdmitted: the daemon accepted the reservation on the first
+	// attempt.
+	OutAdmitted Outcome = iota
+	// OutDeduped: the reservation was accepted on a retry that re-sent the
+	// same idempotency key — the daemon may have answered from its
+	// idempotency cache, so the admission is counted here, never a second
+	// time under OutAdmitted. Throughput = admitted + deduped, each logical
+	// submission once.
+	OutDeduped
+	// OutRejected: a well-formed domain rejection (no feasible window).
+	OutRejected
+	// OutShed: the daemon refused with 429 overload backpressure.
+	OutShed
+	// OutTimeout: the per-request deadline expired.
+	OutTimeout
+	// OutTransport: a transport-level failure (dial refused, reset) that
+	// survived the retry budget.
+	OutTransport
+	// OutError: any other unexpected API answer.
+	OutError
+	// OutCancelled: a cancel op found its target (including 409
+	// already-finished answers — the reservation is equally gone).
+	OutCancelled
+	// OutCancelNoop: a cancel op had no admitted reservation to revoke, or
+	// its target was already evicted (404).
+	OutCancelNoop
+	// OutDropped: the arrival fired on schedule but every virtual user was
+	// busy. The schedule is never delayed for a free VU — dropping keeps
+	// the load open-loop and the drop count makes VU starvation visible
+	// instead of silently thinning the offered rate.
+	OutDropped
+
+	numOutcomes
+)
+
+var outcomeNames = [numOutcomes]string{
+	"admitted", "deduped", "rejected", "shed", "timeout",
+	"transport_error", "error", "cancelled", "cancel_noop", "dropped",
+}
+
+func (o Outcome) String() string { return outcomeNames[o] }
+
+// phaseStats accumulates one phase's counters and latency histogram. All
+// fields are atomic: virtual users record concurrently while the
+// Prometheus handler reads.
+type phaseStats struct {
+	name string
+	// fired counts scheduled arrivals that fired in this phase, dropped
+	// or not. Tracked separately from outcomes because one batch arrival
+	// yields several per-submission outcomes.
+	fired    atomic.Uint64
+	outcomes [numOutcomes]atomic.Uint64
+	lat      *metrics.Histogram
+}
+
+func newPhaseStats(name string) *phaseStats {
+	return &phaseStats{name: name, lat: metrics.NewHistogram()}
+}
+
+func (ps *phaseStats) finished() uint64 {
+	var n uint64
+	for o := Outcome(0); o < numOutcomes; o++ {
+		if o != OutDropped {
+			n += ps.outcomes[o].Load()
+		}
+	}
+	return n
+}
+
+// Recorder is the harness's metrics hub: per-phase counters and
+// histograms plus the run-wide aggregate, safe for concurrent recording
+// and scraping.
+type Recorder struct {
+	phases   []*phaseStats
+	total    *phaseStats
+	inflight atomic.Int64
+	vus      int
+}
+
+func newRecorder(phases []Phase, vus int) *Recorder {
+	r := &Recorder{total: newPhaseStats("total"), vus: vus}
+	for _, ph := range phases {
+		r.phases = append(r.phases, newPhaseStats(ph.Name))
+	}
+	return r
+}
+
+// arrival records one scheduled arrival firing in a phase.
+func (r *Recorder) arrival(phase int) {
+	r.phases[phase].fired.Add(1)
+	r.total.fired.Add(1)
+}
+
+// count records an outcome against a phase and the total.
+func (r *Recorder) count(phase int, o Outcome) {
+	r.phases[phase].outcomes[o].Add(1)
+	r.total.outcomes[o].Add(1)
+}
+
+// latency records one completed operation's wall latency.
+func (r *Recorder) latency(phase int, d time.Duration) {
+	r.phases[phase].lat.Record(d)
+	r.total.lat.Record(d)
+}
+
+// idRing remembers recently admitted reservation IDs so cancel ops have
+// live targets. Bounded: old IDs fall off once the ring is full — they
+// are likely expired or evicted on the daemon anyway.
+type idRing struct {
+	mu  sync.Mutex
+	ids []int
+	cap int
+	src *rng.Source
+}
+
+func newIDRing(capacity int, src *rng.Source) *idRing {
+	return &idRing{cap: capacity, src: src}
+}
+
+func (r *idRing) push(id int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.ids) < r.cap {
+		r.ids = append(r.ids, id)
+		return
+	}
+	r.ids[r.src.Intn(len(r.ids))] = id
+}
+
+// pop removes and returns a uniformly drawn remembered ID.
+func (r *idRing) pop() (int, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.ids) == 0 {
+		return 0, false
+	}
+	i := r.src.Intn(len(r.ids))
+	id := r.ids[i]
+	last := len(r.ids) - 1
+	r.ids[i] = r.ids[last]
+	r.ids = r.ids[:last]
+	return id, true
+}

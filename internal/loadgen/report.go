@@ -1,0 +1,237 @@
+package loadgen
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+
+	"gridbw/internal/metrics"
+)
+
+// PhaseReport is one phase's (or the run total's) machine-readable
+// summary.
+type PhaseReport struct {
+	Name string `json:"name"`
+	// Outcomes maps outcome name to count; only non-zero outcomes appear.
+	Outcomes map[string]uint64 `json:"outcomes"`
+	// Offered is the number of scheduled arrivals that fired in the
+	// phase, dropped or not. Finished can exceed Offered - Dropped when
+	// batch operations fan one arrival into several submissions.
+	Offered uint64 `json:"offered"`
+	// Finished is the number of operations that ran to a classified
+	// outcome (everything except drops).
+	Finished uint64 `json:"finished"`
+	// Dropped is the number of scheduled arrivals that fired while every
+	// virtual user was busy.
+	Dropped uint64                 `json:"dropped"`
+	Latency metrics.LatencySummary `json:"latency"`
+}
+
+func (ps *phaseStats) report() PhaseReport {
+	pr := PhaseReport{
+		Name:     ps.name,
+		Outcomes: make(map[string]uint64),
+		Latency:  ps.lat.Summary(),
+	}
+	for o := Outcome(0); o < numOutcomes; o++ {
+		if n := ps.outcomes[o].Load(); n > 0 {
+			pr.Outcomes[o.String()] = n
+		}
+	}
+	pr.Offered = ps.fired.Load()
+	pr.Dropped = ps.outcomes[OutDropped].Load()
+	pr.Finished = ps.finished()
+	return pr
+}
+
+func (pr PhaseReport) outcome(o Outcome) uint64 { return pr.Outcomes[o.String()] }
+
+// GateReport records how the run fared against a --fail-on spec.
+type GateReport struct {
+	Spec       string   `json:"spec"`
+	Violations []string `json:"violations,omitempty"`
+	Pass       bool     `json:"pass"`
+}
+
+// Report is the JSON document gridbwload writes on exit.
+type Report struct {
+	Targets []string `json:"targets"`
+	VUs     int      `json:"vus"`
+	Seed    int64    `json:"seed"`
+	// WallSeconds is the measured wall-clock length of the run, including
+	// the drain.
+	WallSeconds float64 `json:"wall_seconds"`
+	// OfferedArrivals is the number of arrivals the schedule fired
+	// (finished + dropped).
+	OfferedArrivals uint64 `json:"offered_arrivals"`
+	// AchievedRPS is finished operations per wall second.
+	AchievedRPS float64       `json:"achieved_rps"`
+	Phases      []PhaseReport `json:"phases"`
+	Total       PhaseReport   `json:"total"`
+	Gate        *GateReport   `json:"gate,omitempty"`
+	// Interrupted is set when the run was cut short by a signal or a
+	// cancelled context.
+	Interrupted bool `json:"interrupted,omitempty"`
+	// PromAddr is the address the live Prometheus endpoint listened on.
+	PromAddr string `json:"prom_addr,omitempty"`
+}
+
+func (r *Recorder) buildReport(wall time.Duration) Report {
+	rep := Report{Total: r.total.report()}
+	for _, ps := range r.phases {
+		rep.Phases = append(rep.Phases, ps.report())
+	}
+	rep.WallSeconds = wall.Seconds()
+	rep.OfferedArrivals = rep.Total.Offered
+	if rep.WallSeconds > 0 {
+		rep.AchievedRPS = float64(rep.Total.Finished) / rep.WallSeconds
+	}
+	return rep
+}
+
+// Gate is a parsed --fail-on spec: a conjunction of thresholds the run's
+// totals must satisfy.
+type Gate struct {
+	spec  string
+	terms []gateTerm
+}
+
+type gateTerm struct {
+	metric string
+	op     string
+	// threshold is nanoseconds for latency metrics, a fraction for ratio
+	// metrics.
+	threshold float64
+}
+
+var gateTermRE = regexp.MustCompile(`^([a-z0-9_]+)\s*(<=|>=|<|>)\s*(.+)$`)
+
+// latencyMetrics maps gate metric names to histogram quantiles.
+var latencyMetrics = map[string]float64{
+	"p50": 0.50, "p90": 0.90, "p95": 0.95, "p99": 0.99, "p999": 0.999,
+}
+
+// ratioMetrics defines the gate's fraction-valued metrics as functions of
+// the run totals.
+var ratioMetrics = map[string]func(PhaseReport) float64{
+	// errors: hard failures (timeouts, exhausted transport retries,
+	// unexpected answers) over finished operations.
+	"errors": func(t PhaseReport) float64 {
+		return ratio(t.outcome(OutTimeout)+t.outcome(OutTransport)+t.outcome(OutError), t.Finished)
+	},
+	// shed: overload backpressure over finished operations.
+	"shed": func(t PhaseReport) float64 {
+		return ratio(t.outcome(OutShed), t.Finished)
+	},
+	// drops: arrivals lost to VU starvation over offered arrivals.
+	"drops": func(t PhaseReport) float64 {
+		return ratio(t.Dropped, t.Offered)
+	},
+	// admit_rate: accepted submissions over decided submissions.
+	"admit_rate": func(t PhaseReport) float64 {
+		adm := t.outcome(OutAdmitted) + t.outcome(OutDeduped)
+		return ratio(adm, adm+t.outcome(OutRejected))
+	},
+}
+
+func ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// ParseGate parses a --fail-on spec: comma-separated terms like
+// "p99<50ms,errors<0.1%,admit_rate>50%". Latency metrics (p50, p90, p95,
+// p99, p999) compare against a Go duration; ratio metrics (errors, shed,
+// drops, admit_rate) compare against a percentage ("0.1%") or a bare
+// fraction ("0.001").
+func ParseGate(spec string) (*Gate, error) {
+	g := &Gate{spec: spec}
+	for _, raw := range strings.Split(spec, ",") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		m := gateTermRE.FindStringSubmatch(raw)
+		if m == nil {
+			return nil, fmt.Errorf("loadgen: bad gate term %q (want metric<op>value)", raw)
+		}
+		term := gateTerm{metric: m[1], op: m[2]}
+		val := strings.TrimSpace(m[3])
+		switch {
+		case latencyMetrics[term.metric] != 0:
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: gate term %q: %v", raw, err)
+			}
+			term.threshold = float64(d.Nanoseconds())
+		case ratioMetrics[term.metric] != nil:
+			f, err := parseFraction(val)
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: gate term %q: %v", raw, err)
+			}
+			term.threshold = f
+		default:
+			return nil, fmt.Errorf("loadgen: gate term %q: unknown metric %q", raw, term.metric)
+		}
+		g.terms = append(g.terms, term)
+	}
+	if len(g.terms) == 0 {
+		return nil, fmt.Errorf("loadgen: empty gate spec %q", spec)
+	}
+	return g, nil
+}
+
+func parseFraction(s string) (float64, error) {
+	if pct, ok := strings.CutSuffix(s, "%"); ok {
+		f, err := strconv.ParseFloat(strings.TrimSpace(pct), 64)
+		if err != nil {
+			return 0, err
+		}
+		return f / 100, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// Evaluate checks the run totals against every gate term and reports the
+// violations.
+func (g *Gate) Evaluate(total PhaseReport) GateReport {
+	rep := GateReport{Spec: g.spec, Pass: true}
+	for _, t := range g.terms {
+		var got float64
+		var gotStr, wantStr string
+		if _, ok := latencyMetrics[t.metric]; ok {
+			ms, _ := total.Latency.QuantileMs(t.metric)
+			got = ms * 1e6 // ns
+			gotStr = fmt.Sprintf("%v", time.Duration(got).Round(time.Microsecond))
+			wantStr = fmt.Sprintf("%v", time.Duration(t.threshold))
+		} else {
+			got = ratioMetrics[t.metric](total)
+			gotStr = fmt.Sprintf("%.3f%%", got*100)
+			wantStr = fmt.Sprintf("%.3f%%", t.threshold*100)
+		}
+		if !compare(got, t.op, t.threshold) {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("%s = %s, want %s %s", t.metric, gotStr, t.op, wantStr))
+			rep.Pass = false
+		}
+	}
+	return rep
+}
+
+func compare(got float64, op string, want float64) bool {
+	switch op {
+	case "<":
+		return got < want
+	case "<=":
+		return got <= want
+	case ">":
+		return got > want
+	case ">=":
+		return got >= want
+	}
+	return false
+}

@@ -1,0 +1,116 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+
+	"gridbw/internal/metrics"
+)
+
+func TestParseGate(t *testing.T) {
+	g, err := ParseGate("p99<50ms, errors<0.1%,admit_rate>50%,drops<=1%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.terms) != 4 {
+		t.Fatalf("parsed %d terms, want 4", len(g.terms))
+	}
+	if g.terms[0].metric != "p99" || g.terms[0].op != "<" || g.terms[0].threshold != 50e6 {
+		t.Fatalf("p99 term = %+v, want 50ms in ns", g.terms[0])
+	}
+	if g.terms[1].threshold != 0.001 {
+		t.Fatalf("errors threshold = %v, want 0.001", g.terms[1].threshold)
+	}
+
+	for _, bad := range []string{
+		"",
+		"p42<1ms",       // unknown quantile
+		"p99<fast",      // unparsable duration
+		"errors=0.1%",   // bad operator
+		"latency_ms<10", // unknown metric
+		"p99 50ms",      // no operator at all
+	} {
+		if _, err := ParseGate(bad); err == nil {
+			t.Errorf("ParseGate(%q) accepted a bad spec", bad)
+		}
+	}
+}
+
+func gateTotal() PhaseReport {
+	return PhaseReport{
+		Name: "total",
+		Outcomes: map[string]uint64{
+			"admitted": 800, "deduped": 10, "rejected": 150,
+			"timeout": 20, "transport_error": 10, "error": 5, "shed": 5,
+		},
+		Offered:  1010,
+		Finished: 1000,
+		Dropped:  10,
+		Latency:  metrics.LatencySummary{Count: 1000, P50Ms: 2, P99Ms: 40, P999Ms: 120},
+	}
+}
+
+func TestGateEvaluate(t *testing.T) {
+	total := gateTotal()
+
+	pass, err := ParseGate("p99<50ms,errors<5%,admit_rate>80%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := pass.Evaluate(total); !rep.Pass || len(rep.Violations) != 0 {
+		t.Fatalf("healthy run failed its gate: %+v", rep)
+	}
+
+	// errors = 35/1000 = 3.5%; p999 = 120ms; drops = 10/1010 ≈ 0.99%.
+	fail, err := ParseGate("p999<100ms,errors<1%,drops<=0.5%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := fail.Evaluate(total)
+	if rep.Pass || len(rep.Violations) != 3 {
+		t.Fatalf("unhealthy run passed: %+v", rep)
+	}
+	for _, v := range rep.Violations {
+		if !strings.Contains(v, "want") {
+			t.Errorf("violation %q does not state the threshold", v)
+		}
+	}
+
+	// Boundary semantics: <= admits equality, < does not.
+	eq, _ := ParseGate("errors<=3.5%")
+	if rep := eq.Evaluate(total); !rep.Pass {
+		t.Fatalf("errors<=3.5%% should pass at exactly 3.5%%: %+v", rep)
+	}
+	lt, _ := ParseGate("errors<3.5%")
+	if rep := lt.Evaluate(total); rep.Pass {
+		t.Fatal("errors<3.5% should fail at exactly 3.5%")
+	}
+}
+
+func TestBuildReport(t *testing.T) {
+	rec := newRecorder([]Phase{{Name: "a"}, {Name: "b"}}, 4)
+	rec.arrival(0)
+	rec.count(0, OutAdmitted)
+	rec.arrival(0)
+	rec.count(0, OutDropped)
+	rec.arrival(1)
+	rec.count(1, OutRejected)
+	rec.latency(0, 5e6)
+	rec.latency(1, 10e6)
+	rep := rec.buildReport(2e9)
+	if rep.OfferedArrivals != 3 {
+		t.Fatalf("offered = %d, want 3 (2 finished + 1 dropped)", rep.OfferedArrivals)
+	}
+	if rep.Total.Finished != 2 || rep.Total.Dropped != 1 {
+		t.Fatalf("total = %+v", rep.Total)
+	}
+	if rep.AchievedRPS != 1 {
+		t.Fatalf("achieved rps = %v, want 2 finished / 2s = 1", rep.AchievedRPS)
+	}
+	if rep.Phases[0].Outcomes["admitted"] != 1 || rep.Phases[1].Outcomes["rejected"] != 1 {
+		t.Fatalf("phase outcomes = %+v / %+v", rep.Phases[0].Outcomes, rep.Phases[1].Outcomes)
+	}
+	if _, ok := rep.Total.Outcomes["shed"]; ok {
+		t.Fatal("zero outcomes must be omitted from the map")
+	}
+}

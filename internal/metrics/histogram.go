@@ -1,0 +1,202 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is an HDR-style latency histogram shared by the daemon's
+// admission path and the gridbwload harness: power-of-two octaves split
+// into 16 linear sub-buckets, so every recorded duration lands in a
+// bucket whose width is at most 1/16 of its magnitude (≲6% relative
+// error), with no per-record allocation. Values are nanoseconds; the
+// first 16 buckets are exact, the top bucket absorbs everything beyond
+// ~106 days. All operations are atomic — concurrent virtual users record
+// into one histogram while a Prometheus scrape reads it — so a Histogram
+// must be shared by pointer, never copied.
+type Histogram struct {
+	count   atomic.Uint64
+	sumNs   atomic.Int64
+	maxNs   atomic.Int64
+	buckets [histBuckets]atomic.Uint64
+}
+
+const (
+	histSubBits = 4
+	histSub     = 1 << histSubBits // linear sub-buckets per octave
+	// 63 significant bits, 4 of them sub-bucket resolution: blocks 1..59
+	// after the 16 exact unit buckets.
+	histBuckets = (63-histSubBits)*histSub + histSub
+)
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return new(Histogram) }
+
+// bucketIndex maps a nanosecond value to its bucket. Negative values
+// clamp to zero.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < histSub {
+		return int(u)
+	}
+	exp := bits.Len64(u) - 1 // >= histSubBits
+	sub := (u >> uint(exp-histSubBits)) & (histSub - 1)
+	return (exp-histSubBits)*histSub + histSub + int(sub)
+}
+
+// bucketBounds reports the closed value range [lo, hi] of bucket i.
+func bucketBounds(i int) (lo, hi int64) {
+	if i < histSub {
+		return int64(i), int64(i)
+	}
+	block := i>>histSubBits - 1 // 0-based octave past the unit range
+	sub := int64(i & (histSub - 1))
+	width := int64(1) << uint(block)
+	lo = (histSub + sub) << uint(block)
+	return lo, lo + width - 1
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketIndex(ns)].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(ns)
+	for {
+		cur := h.maxNs.Load()
+		if ns <= cur || h.maxNs.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// Count reports how many observations were recorded.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum reports the total of all observations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNs.Load()) }
+
+// Max reports the largest observation, 0 when empty.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.maxNs.Load()) }
+
+// Mean reports the average observation, 0 when empty.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNs.Load() / int64(n))
+}
+
+// Quantile reports the q-quantile (q in [0,1]) with linear interpolation
+// inside the landing bucket, clamped to the recorded maximum. A
+// concurrent reader sees a slightly stale but internally consistent-enough
+// view: buckets only grow.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum >= rank {
+			lo, hi := bucketBounds(i)
+			// Position of the ranked observation within this bucket.
+			frac := float64(rank-(cum-c)) / float64(c)
+			v := int64(float64(lo) + frac*float64(hi-lo))
+			if max := h.maxNs.Load(); v > max {
+				v = max
+			}
+			return time.Duration(v)
+		}
+	}
+	return h.Max()
+}
+
+// CumulativeLE reports how many observations fell in buckets whose upper
+// bound does not exceed d — the cumulative count a Prometheus histogram
+// bucket (le=d) wants. The straddling bucket is excluded, so the answer
+// undercounts by at most one bucket's population.
+func (h *Histogram) CumulativeLE(d time.Duration) uint64 {
+	ns := d.Nanoseconds()
+	var cum uint64
+	for i := range h.buckets {
+		_, hi := bucketBounds(i)
+		if hi > ns {
+			break
+		}
+		cum += h.buckets[i].Load()
+	}
+	return cum
+}
+
+// LatencySummary is the JSON-friendly digest of a Histogram: the
+// percentile ladder the harness and the daemon both report, in
+// milliseconds so dashboards and gates read naturally.
+type LatencySummary struct {
+	Count  uint64  `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// Summary digests the histogram into the percentile ladder.
+func (h *Histogram) Summary() LatencySummary {
+	return LatencySummary{
+		Count:  h.Count(),
+		MeanMs: ms(h.Mean()),
+		P50Ms:  ms(h.Quantile(0.50)),
+		P90Ms:  ms(h.Quantile(0.90)),
+		P95Ms:  ms(h.Quantile(0.95)),
+		P99Ms:  ms(h.Quantile(0.99)),
+		P999Ms: ms(h.Quantile(0.999)),
+		MaxMs:  ms(h.Max()),
+	}
+}
+
+// QuantileMs reports the named summary percentile ("p50" … "p999") in
+// milliseconds; ok is false for an unknown name.
+func (s LatencySummary) QuantileMs(name string) (float64, bool) {
+	switch name {
+	case "p50":
+		return s.P50Ms, true
+	case "p90":
+		return s.P90Ms, true
+	case "p95":
+		return s.P95Ms, true
+	case "p99":
+		return s.P99Ms, true
+	case "p999":
+		return s.P999Ms, true
+	}
+	return 0, false
+}

@@ -1,6 +1,10 @@
 package metrics
 
-import "gridbw/internal/units"
+import (
+	"time"
+
+	"gridbw/internal/units"
+)
 
 // Online accumulates lifetime admission statistics for a long-running
 // reservation service — the streaming counterpart of Evaluate, which needs
@@ -40,6 +44,15 @@ type Online struct {
 	// and it rebuilt itself from a shipped snapshot instead of resyncing by
 	// hand.
 	Reseeds uint64 `json:"reseeds,omitempty"`
+	// AdmitLatency is the wall-clock admission-latency histogram — how long
+	// each submission spent in the server's decide pipeline — so
+	// server-observed latency can sit next to what a load harness measures
+	// from outside. It is deliberately excluded from snapshots: latency is
+	// a property of the running process, not of recovered state, and the
+	// histogram's atomics must never be JSON-copied. RecordAdmitLatency
+	// lazily creates it under the caller's lock, so a restored Online (whose
+	// pointer the snapshot wiped) heals on the next recorded decision.
+	AdmitLatency *Histogram `json:"-"`
 }
 
 // RecordAccept counts an accepted request with its granted rate and volume.
@@ -83,6 +96,26 @@ func (o *Online) RecordLogAppendFailure() { o.LogAppendFailures++ }
 // RecordReseed counts a snapshot re-seed after the pull cursor was
 // compacted away.
 func (o *Online) RecordReseed() { o.Reseeds++ }
+
+// RecordAdmitLatency records how long one submission spent in the decide
+// pipeline. Like every Online mutation it runs under the caller's lock;
+// the histogram itself is atomic, so readers holding only a copied Online
+// may keep querying the shared pointer afterwards.
+func (o *Online) RecordAdmitLatency(d time.Duration) {
+	if o.AdmitLatency == nil {
+		o.AdmitLatency = NewHistogram()
+	}
+	o.AdmitLatency.Record(d)
+}
+
+// AdmitLatencySummary digests the admission-latency histogram; the zero
+// summary before any decision was timed.
+func (o *Online) AdmitLatencySummary() LatencySummary {
+	if o.AdmitLatency == nil {
+		return LatencySummary{}
+	}
+	return o.AdmitLatency.Summary()
+}
 
 // DurabilityDegraded reports whether any decision failed to reach the
 // audit log — the health signal operators page on.

@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"gridbw/internal/alloc"
 	"gridbw/internal/request"
@@ -70,6 +71,11 @@ func (s *Server) submitMany(subs []Submission) ([]BatchResult, error) {
 	if len(subs) > s.maxBatch {
 		return nil, fmt.Errorf("server: batch of %d exceeds limit %d", len(subs), s.maxBatch)
 	}
+	// Admission latency is measured on the real clock, not s.clock: it is
+	// an observation of this process's decide pipeline, comparable with
+	// what a load harness measures from outside, even when tests drive the
+	// service clock manually.
+	started := time.Now()
 	results := make([]BatchResult, len(subs))
 	var pending, waiting []*batchItem
 
@@ -191,6 +197,13 @@ func (s *Server) submitMany(subs []Submission) ([]BatchResult, error) {
 		}
 		s.settleLocked(it, d, nil)
 		results[it.idx].Decision = d
+	}
+	// Every submission this call decided (domain rejections from phase 1
+	// included, idempotent waiters excluded — their decision was timed by
+	// the owning flight) shares the call's pipeline latency.
+	elapsed := time.Since(started)
+	for i := 0; i < len(subs)-len(waiting); i++ {
+		s.stats.RecordAdmitLatency(elapsed)
 	}
 	s.mu.Unlock()
 

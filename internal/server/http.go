@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"gridbw/internal/metrics"
 	"gridbw/internal/request"
 	"gridbw/internal/units"
 )
@@ -506,6 +507,10 @@ type MetricsJSON struct {
 	Reseeds             uint64 `json:"reseeds"`
 	ReplicationLagBytes int64  `json:"replication_lag_bytes"`
 	AppliedRecords      uint64 `json:"applied_records"`
+	// AdmitLatency is the server-side admission-latency percentile ladder —
+	// time spent in the decide pipeline per submission — the counterpart of
+	// what gridbwload observes from the client side of the wire.
+	AdmitLatency metrics.LatencySummary `json:"admit_latency"`
 	// WatchdogState is the in-process failover watchdog's position in the
 	// follower → suspect → promoting → primary ladder; empty when no
 	// watchdog runs in this daemon.
@@ -527,6 +532,7 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 		Reseeds:             st.Stats.Reseeds,
 		ReplicationLagBytes: rs.LagBytes,
 		AppliedRecords:      rs.Applied,
+		AdmitLatency:        st.Stats.AdmitLatencySummary(),
 		WatchdogState:       s.watchdogStateNow(),
 	}
 	writeJSON(w, http.StatusOK, body)
@@ -577,6 +583,18 @@ func (s *Server) writeMetricsText(w http.ResponseWriter) {
 	}
 	fmt.Fprintf(w, "# TYPE gridbwd_service_clock_seconds gauge\n")
 	fmt.Fprintf(w, "gridbwd_service_clock_seconds %g\n", float64(st.Now))
+	if lat := st.Stats.AdmitLatency; lat != nil {
+		fmt.Fprintf(w, "# TYPE gridbwd_admit_latency_seconds summary\n")
+		for _, q := range []struct {
+			label string
+			q     float64
+		}{{"0.5", 0.5}, {"0.9", 0.9}, {"0.95", 0.95}, {"0.99", 0.99}, {"0.999", 0.999}} {
+			fmt.Fprintf(w, "gridbwd_admit_latency_seconds{quantile=%q} %g\n",
+				q.label, lat.Quantile(q.q).Seconds())
+		}
+		fmt.Fprintf(w, "gridbwd_admit_latency_seconds_sum %g\n", lat.Sum().Seconds())
+		fmt.Fprintf(w, "gridbwd_admit_latency_seconds_count %d\n", lat.Count())
+	}
 	fmt.Fprintf(w, "# TYPE gridbwd_log_append_failures_total counter\n")
 	fmt.Fprintf(w, "gridbwd_log_append_failures_total %d\n", st.Stats.LogAppendFailures)
 	fmt.Fprintf(w, "# TYPE gridbwd_durability_degraded gauge\n")

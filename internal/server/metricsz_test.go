@@ -44,6 +44,9 @@ func TestMetricszContentNegotiation(t *testing.T) {
 	if m.WatchdogState != "follower" {
 		t.Fatalf("watchdog_state = %q, want the installed hook's answer", m.WatchdogState)
 	}
+	if m.AdmitLatency.Count != 1 || m.AdmitLatency.MaxMs <= 0 {
+		t.Fatalf("admit_latency = %+v, want one timed admission", m.AdmitLatency)
+	}
 
 	// Accept: text/plain switches to Prometheus exposition.
 	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/metricsz", nil)
@@ -61,6 +64,8 @@ func TestMetricszContentNegotiation(t *testing.T) {
 		"gridbwd_reseeds_total 0",
 		`gridbwd_watchdog_state{state="follower"} 1`,
 		`gridbwd_watchdog_state{state="primary"} 0`,
+		`gridbwd_admit_latency_seconds{quantile="0.99"}`,
+		"gridbwd_admit_latency_seconds_count 1",
 	} {
 		if !strings.Contains(page, want) {
 			t.Errorf("text exposition missing %q:\n%s", want, page)

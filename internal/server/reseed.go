@@ -150,9 +150,11 @@ func (s *Server) Reseed(snap *Snapshot) error {
 		s.nextID = request.ID(snap.NextID)
 	}
 	localFailures, reseeds := s.stats.LogAppendFailures, s.stats.Reseeds
+	admitLat := s.stats.AdmitLatency // process-local, never shipped in snapshots
 	s.stats = snap.Counters
 	s.stats.LogAppendFailures += localFailures
 	s.stats.Reseeds = reseeds
+	s.stats.AdmitLatency = admitLat
 	s.stats.RecordReseed()
 	if snap.Epoch > s.repl.epoch {
 		s.repl.epoch = snap.Epoch

@@ -1,0 +1,50 @@
+package workload
+
+import (
+	"fmt"
+
+	"gridbw/internal/rng"
+	"gridbw/internal/units"
+)
+
+// Arrivals is the streaming form of the package's arrival process: an
+// unbounded iterator over arrival instants, for consumers that pace work
+// against a clock (the gridbwload harness) instead of materializing a
+// finite request set. The process is the same one Generate draws from —
+// homogeneous Poisson, or the two-state modulated process of BurstConfig —
+// and the same (seed, mean, burst) triple always yields the same instants.
+type Arrivals struct {
+	s *arrivalStream
+}
+
+// NewArrivals returns the arrival process with the given mean
+// inter-arrival time. A non-nil burst replaces homogeneous Poisson
+// arrivals with the on/off modulated process of the same mean rate. The
+// stream is derived exactly like Generate's (the seed's "arrivals" split),
+// so a load harness paced by NewArrivals(seed, cfg.MeanInterArrival,
+// cfg.Burst) fires at the instants Generate(seed) would have stamped.
+func NewArrivals(seed int64, meanInterArrival units.Time, burst *BurstConfig) (*Arrivals, error) {
+	if meanInterArrival <= 0 {
+		return nil, fmt.Errorf("workload: non-positive mean inter-arrival %v", meanInterArrival)
+	}
+	if burst != nil {
+		if err := burst.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	src := rng.New(seed).Split("arrivals")
+	return &Arrivals{s: newArrivalStream(src, float64(meanInterArrival), burst)}, nil
+}
+
+// ArrivalStream returns the configuration's arrival process for seed —
+// the exact instants Generate(seed) stamps on its requests, without the
+// horizon bound or the request draws.
+func (c Config) ArrivalStream(seed int64) (*Arrivals, error) {
+	return NewArrivals(seed, c.MeanInterArrival, c.Burst)
+}
+
+// Next returns the next arrival instant. Instants are strictly
+// non-decreasing and unbounded; the caller imposes its own horizon.
+func (a *Arrivals) Next() units.Time {
+	return units.Time(a.s.Next())
+}

@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"gridbw/internal/units"
+)
+
+// TestArrivalStreamMatchesGenerate pins the adapter's contract: the
+// streaming iterator reproduces exactly the arrival instants Generate
+// stamps on its request set.
+func TestArrivalStreamMatchesGenerate(t *testing.T) {
+	cfg := Default(Rigid)
+	cfg.Horizon = 500 * units.Second
+	set, err := cfg.Generate(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := cfg.ArrivalStream(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range set.All() {
+		got := arr.Next()
+		if got != r.Start {
+			t.Fatalf("arrival %d: stream %v, Generate stamped %v", i, got, r.Start)
+		}
+	}
+	// The stream keeps going past the horizon that truncated Generate.
+	if next := arr.Next(); next < cfg.Horizon {
+		t.Fatalf("stream instant %v after the set should pass the horizon %v", next, cfg.Horizon)
+	}
+}
+
+func TestNewArrivalsValidation(t *testing.T) {
+	if _, err := NewArrivals(1, 0, nil); err == nil {
+		t.Error("accepted zero mean inter-arrival")
+	}
+	if _, err := NewArrivals(1, units.Second, &BurstConfig{Cycle: 10, OnFraction: 0.5, Factor: 3}); err == nil {
+		t.Error("accepted burst factor that makes the quiet rate negative")
+	}
+}
+
+// TestArrivalsBurstModulation drives a BurstConfig through the adapter
+// and checks both halves of its contract: the overall mean rate matches
+// the homogeneous target, and the on-phase is Factor times denser than
+// the mean while the off-phase is correspondingly sparse.
+func TestArrivalsBurstModulation(t *testing.T) {
+	burst := &BurstConfig{Cycle: 100 * units.Second, OnFraction: 0.2, Factor: 4}
+	arr, err := NewArrivals(11, units.Second, burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const horizon = 20000.0 // 200 cycles
+	var on, off, n int
+	for {
+		at := float64(arr.Next())
+		if at >= horizon {
+			break
+		}
+		n++
+		if math.Mod(at, 100) < 20 {
+			on++
+		} else {
+			off++
+		}
+	}
+	// Mean rate 1/s over 20000s: expect ≈ 20000 arrivals (sd ≈ 141).
+	if n < 19000 || n > 21000 {
+		t.Fatalf("total arrivals = %d, want ≈ 20000", n)
+	}
+	onRate := float64(on) / (0.2 * horizon)
+	offRate := float64(off) / (0.8 * horizon)
+	if math.Abs(onRate-4) > 0.3 {
+		t.Errorf("on-phase rate = %.2f/s, want ≈ 4", onRate)
+	}
+	wantOff := burst.quietRate(1)
+	if math.Abs(offRate-wantOff) > 0.1 {
+		t.Errorf("off-phase rate = %.2f/s, want ≈ %.2f", offRate, wantOff)
+	}
+}

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# bench.sh — run the server-path benchmarks and normalize the output into
+# a committed perf-trajectory snapshot, BENCH_<name>.json.
+#
+# Usage:
+#   scripts/bench.sh [name] [go-bench-regex]
+#
+#   name    suffix of the output file (default: server → BENCH_server.json)
+#   regex   benchmark selector (default: the server/client admission path)
+#
+# Environment:
+#   BENCHTIME  -benchtime value (default 200x: iteration-pinned, so the
+#              run costs seconds and ns/op is comparable across runs)
+#   COUNT      -count value; the snapshot keeps the minimum ns/op across
+#              repetitions, the standard noise floor for trend lines
+#
+# The JSON shape is stable and diff-friendly:
+#   {"schema":1,"go":"go1.22.x","benchtime":"200x","benchmarks":[
+#     {"name":"ServerAdmit","ns_per_op":...,"b_per_op":...,"allocs_per_op":...}]}
+#
+# Compare snapshots across commits to see the trajectory; CI re-runs this
+# script to make sure it still produces a well-formed snapshot.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+NAME="${1:-server}"
+REGEX="${2:-BenchmarkServerAdmit|BenchmarkServerParallelSubmit|BenchmarkClientSubmitRetry|BenchmarkProfileReserveRelease}"
+BENCHTIME="${BENCHTIME:-200x}"
+COUNT="${COUNT:-3}"
+OUT="BENCH_${NAME}.json"
+
+GOVER="$(go env GOVERSION)"
+
+go test -run='^$' -bench "${REGEX}" -benchmem -benchtime "${BENCHTIME}" -count "${COUNT}" . |
+	tee /dev/stderr |
+	awk -v go="${GOVER}" -v benchtime="${BENCHTIME}" '
+	/^Benchmark/ && NF >= 7 {
+		name = $1
+		sub(/^Benchmark/, "", name)
+		sub(/-[0-9]+$/, "", name)
+		# Walk unit labels instead of fixed columns: benchmarks may emit
+		# custom metrics (e.g. submissions/op) between the standard ones.
+		ns = ""; b = ""; allocs = ""
+		for (i = 2; i < NF; i++) {
+			if ($(i + 1) == "ns/op") ns = $i
+			else if ($(i + 1) == "B/op") b = $i
+			else if ($(i + 1) == "allocs/op") allocs = $i
+		}
+		if (ns == "" || b == "" || allocs == "") next
+		# Keep the minimum ns/op across -count repetitions.
+		if (!(name in best) || ns + 0 < best[name] + 0) {
+			best[name] = ns; bytes[name] = b; alloc[name] = allocs
+			if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+		}
+	}
+	END {
+		printf "{\n  \"schema\": 1,\n  \"go\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [\n", go, benchtime
+		for (i = 1; i <= n; i++) {
+			name = order[i]
+			printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+				name, best[name], bytes[name], alloc[name], (i < n ? "," : "")
+		}
+		printf "  ]\n}\n"
+	}' >"${OUT}"
+
+echo "wrote ${OUT}" >&2
