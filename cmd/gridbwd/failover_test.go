@@ -241,6 +241,119 @@ func TestCrashRestartRandomOffsets(t *testing.T) {
 	}
 }
 
+// TestSyncAckZeroLossAcrossKillPromote is the synchronous-ack durability
+// acceptance run: across 25 seeded kill/promote cycles, every Durable
+// submission whose response the client received must survive on the
+// promoted follower even though the primary's disk is lost whole. The
+// seeded crasher varies how many decisions each cycle books before the
+// kill, and the final submission of every cycle is killed mid-flight —
+// after the follower's ack, before the client reads the response — the
+// exact window the sync-ack parking exists to cover.
+func TestSyncAckZeroLossAcrossKillPromote(t *testing.T) {
+	crasher := faults.NewCrasher(1234)
+	for cycle := 0; cycle < 25; cycle++ {
+		killAfter := int(crasher.Offset(1, 7)) // decisions acked before the kill
+
+		pwal, _, err := wal.Open(t.TempDir(), wal.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pbc := walBootConfig(pwal)
+		pbc.base.ReplID = "p"
+		pbc.base.SyncMode = "quorum"
+		pbc.base.SyncAcks = 1 // one follower: the whole replica set must ack
+		pbc.base.SyncTimeout = 10 * time.Second
+		primary, _, err := bootServer(pbc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(primary.Handler())
+
+		fwal, _, err := wal.Open(t.TempDir(), wal.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fbc := walBootConfig(fwal)
+		fbc.follow = ts.URL
+		fbc.base.ReplID = "f1"
+		follower, _, err := bootServer(fbc)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Every returned response is a durability promise: the call parked
+		// until the follower's pull cursor passed the decision's WAL frame,
+		// and the follower WALs events before advancing that cursor.
+		var acked []request.ID
+		for i := 0; i < killAfter; i++ {
+			d, err := primary.Submit(server.Submission{
+				From: i % 2, To: (i + 1) % 2,
+				Volume: 5 * units.GB, Deadline: 40000, MaxRate: 50 * units.MBps,
+				Durable: true,
+			})
+			if err != nil || !d.Accepted {
+				t.Fatalf("cycle %d submit %d: %v %+v", cycle, i, err, d)
+			}
+			acked = append(acked, d.ID)
+		}
+		if got := primary.Status().Stats.SyncDegraded; got != 0 {
+			t.Fatalf("cycle %d: %d sync waits degraded — an ack above was not replicated", cycle, got)
+		}
+
+		// The mid-flight kill: launch one more Durable submission, wait for
+		// the follower to hold it, then crash the primary before the caller
+		// reads the answer.
+		type outcome struct {
+			d   server.Decision
+			err error
+		}
+		inflight := make(chan outcome, 1)
+		go func() {
+			d, err := primary.Submit(server.Submission{
+				From: 0, To: 1, Volume: 5 * units.GB, Deadline: 40000, MaxRate: 50 * units.MBps,
+				Durable: true,
+			})
+			inflight <- outcome{d, err}
+		}()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if follower.ReplicationStatus().Applied >= uint64(killAfter+1) {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if got := follower.ReplicationStatus().Applied; got < uint64(killAfter+1) {
+			t.Fatalf("cycle %d: follower applied %d of %d before kill", cycle, got, killAfter+1)
+		}
+
+		// The crash: listener gone, process gone, disk gone — the follower's
+		// copy is all that remains of the lineage.
+		ts.Close()
+		primary.Close()
+		pwal.Close()
+		last := <-inflight
+		if last.err == nil && last.d.Accepted {
+			acked = append(acked, last.d.ID)
+		}
+
+		epoch, err := follower.Promote()
+		if err != nil || epoch != 2 {
+			t.Fatalf("cycle %d promote: epoch %d, %v", cycle, epoch, err)
+		}
+		for _, id := range acked {
+			d, err := follower.Lookup(id)
+			if err != nil || !d.Accepted {
+				t.Fatalf("cycle %d: acked Durable reservation %d lost across kill/promote: %+v, %v", cycle, id, d, err)
+			}
+		}
+		if err := follower.VerifyInvariant(); err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		follower.Close()
+		fwal.Close()
+	}
+}
+
 // TestFollowerCrashRestartAndPromotion runs the warm-standby lifecycle at
 // the boot-ladder level: a follower catches up, dies, reboots from its own
 // WAL and persisted cursor, catches up again, and is promoted — ending

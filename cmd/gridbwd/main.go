@@ -16,8 +16,17 @@
 // writes (403) until POST /v1/replication/promote turns it into the
 // primary under a higher fencing epoch. Adding -watch runs the failover
 // watchdog in-process: the standby probes the primary's health itself
-// and, after enough consecutive misses and a replication-lag check,
-// promotes itself — no operator in the loop.
+// and, after enough consecutive misses, a replication-lag check and —
+// with -peers — a majority vote across the group, promotes itself; no
+// operator in the loop, and never against a group majority.
+//
+// -peers lists every other member of an N-node replication group. It
+// sizes the synchronous-ack quorum (-repl-sync=quorum parks each
+// admission until ⌊(N+1)/2⌋ follower cursors pass the decision's WAL
+// frame, degrading to async past -repl-sync-timeout rather than failing)
+// and feeds the in-process watchdog's vote set. -repl-id names this
+// daemon in vote requests and follower-lag tables; it defaults to the
+// listen address.
 //
 // Examples:
 //
@@ -25,6 +34,8 @@
 //	gridbwd -snapshot gridbwd.snap.json -snapshot-every 30s -wal waldir -wal-compact
 //	gridbwd -addr :8081 -wal standby-wal -follow http://primary:8080
 //	gridbwd -addr :8081 -wal standby-wal -follow http://primary:8080 -watch
+//	gridbwd -addr :8080 -wal pwal -peers http://b:8081,http://c:8082 -repl-sync=quorum
+//	gridbwd -addr :8081 -wal bwal -follow http://a:8080 -watch -peers http://a:8080,http://c:8082
 package main
 
 import (
@@ -72,7 +83,11 @@ func run(args []string) error {
 	walSegmentBytes := fset.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold (0 = 8 MiB)")
 	walCompact := fset.Bool("wal-compact", false, "after each snapshot write, unlink WAL segments the snapshot wholly covers")
 	follow := fset.String("follow", "", "boot as a read-only warm standby pulling decisions from the primary at this base URL")
-	watch := fset.Bool("watch", false, "run the failover watchdog in-process: probe the -follow primary and self-promote when it dies")
+	replID := fset.String("repl-id", "", "replication identity presented on pulls and votes (default: the listen address)")
+	replSync := fset.String("repl-sync", "", "synchronous-ack mode: off, one, or quorum — park each admission until that many follower cursors pass its WAL frame (default off)")
+	replSyncTimeout := fset.Duration("repl-sync-timeout", 0, "sync-ack parking deadline before degrading to async (0 = 2s)")
+	peers := fset.String("peers", "", "comma-separated base URLs of every other replication-group member; sizes the sync-ack quorum and the watchdog's vote set")
+	watch := fset.Bool("watch", false, "run the failover watchdog in-process: probe the -follow primary and self-promote when it dies (majority-gated when -peers is set)")
 	watchInterval := fset.Duration("watch-interval", 0, "watchdog probe period (0 = 2s, jittered ±25%)")
 	watchMisses := fset.Int("watch-misses", 0, "consecutive probe misses before the primary is suspected (0 = 3)")
 	watchMaxLag := fset.Int64("watch-max-lag", 0, "replication lag in bytes beyond which promotion is held (0 = 1 MiB, negative = unbounded)")
@@ -84,6 +99,11 @@ func run(args []string) error {
 		return err
 	}
 
+	peerList := splitPeers(*peers)
+	id := *replID
+	if id == "" {
+		id = *addr
+	}
 	bc := bootConfig{
 		snapshotPath: *snapshot,
 		logPath:      *decisionLog,
@@ -93,7 +113,15 @@ func run(args []string) error {
 			MaxInFlight: *maxInFlight,
 			RetryAfter:  *retryAfter,
 			MaxBatch:    *maxBatch,
+			ReplID:      id,
+			SyncMode:    *replSync,
+			SyncTimeout: *replSyncTimeout,
 		},
+	}
+	if len(peerList) > 0 {
+		// In a group of G = peers+1 members, replicated durability means a
+		// majority holds the frame: the primary plus ⌊G/2⌋ follower acks.
+		bc.base.SyncAcks = (len(peerList) + 1) / 2
 	}
 	var err error
 	if bc.ingress, err = parseCaps(*ingress); err != nil {
@@ -152,6 +180,7 @@ func run(args []string) error {
 		}
 		wd, err := newInProcessWatchdog(srv, *follow, cluster.Config{
 			Interval: *watchInterval, Misses: *watchMisses, MaxLagBytes: *watchMaxLag,
+			VotePeers: peerList, Candidate: id,
 		})
 		if err != nil {
 			return err
@@ -476,6 +505,17 @@ func bootFollowerFromReseed(bc bootConfig, snap *server.Snapshot, path string) (
 	}
 	return srv, fmt.Sprintf("following %s from reseed snapshot %s (epoch %d, %d live reservations, %d local WAL events past it)",
 		bc.follow, path, srv.Epoch(), len(srv.LiveReservations()), applied), nil
+}
+
+// splitPeers parses the -peers list into trimmed base URLs.
+func splitPeers(list string) []string {
+	var out []string
+	for _, part := range strings.Split(list, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, strings.TrimRight(p, "/"))
+		}
+	}
+	return out
 }
 
 func parseCaps(list string) ([]units.Bandwidth, error) {

@@ -4,23 +4,27 @@
 //
 // The decision logic is a small deterministic state machine
 //
-//	follower → suspect → promoting → primary
+//	follower → suspect → electing → promoting → primary
 //
 // kept free of clocks and sockets so every transition is unit-testable:
-// the Machine consumes observations (probe hit/miss, standby lag, promote
-// outcome) and the Watchdog around it supplies them from real HTTP probes
-// on a jittered timer. Promotion is deliberately conservative — it takes
-// K consecutive probe misses to even suspect the primary, and a suspect
-// primary is only deposed once the standby's replication lag is within
-// the configured bound (promoting a standby that is far behind the
-// frontier would discard acked decisions).
+// the Machine consumes observations (probe hit/miss, standby lag, quorum
+// verdict, promote outcome) and the Watchdog around it supplies them from
+// real HTTP probes on a jittered timer. Promotion is deliberately
+// conservative — it takes K consecutive probe misses to even suspect the
+// primary, a suspect primary is only deposed once the standby's
+// replication lag is within the configured bound (promoting a standby
+// that is far behind the frontier would discard acked decisions), and
+// with a configured voter set the candidate must then collect promotion
+// votes from a majority of the group before the promote is issued. A
+// watchdog that cannot reach a majority stays suspect forever rather
+// than promoting blind.
 //
-// Split brain is survived, not prevented: a partition can leave the
-// watchdog convinced the primary is dead while clients still reach it.
-// The fencing epoch (internal/server) makes that harmless — the promoted
-// standby refuses every batch from the deposed primary's older epoch, so
-// the deposed primary can keep answering reads but can never write into
-// the new lineage.
+// Minority split brain is prevented by the vote round; a majority-side
+// promotion can still depose a primary that is alive but partitioned
+// away. The fencing epoch (internal/server) makes that harmless — the
+// promoted standby refuses every batch from the deposed primary's older
+// epoch, so the deposed primary can keep answering reads but can never
+// write into the new lineage.
 package cluster
 
 import "fmt"
@@ -34,7 +38,12 @@ const (
 	// StateSuspect: K consecutive probes missed; the primary is presumed
 	// dead pending the standby lag check.
 	StateSuspect
-	// StatePromoting: the lag check passed; a promote call is in flight.
+	// StateElecting: the lag check passed; the candidate is collecting
+	// promotion votes from the peer set. Transient within one tick — a
+	// denied quorum falls back to suspect for the next round.
+	StateElecting
+	// StatePromoting: a majority granted the promotion; a promote call is
+	// in flight.
 	StatePromoting
 	// StatePrimary: the standby was promoted (or found already promoted).
 	// Terminal — a watchdog's lifetime covers at most one failover.
@@ -47,6 +56,8 @@ func (s State) String() string {
 		return "follower"
 	case StateSuspect:
 		return "suspect"
+	case StateElecting:
+		return "electing"
 	case StatePromoting:
 		return "promoting"
 	case StatePrimary:
@@ -74,6 +85,11 @@ const (
 	// StandbyIsPrimary: the standby reports it is already the primary —
 	// someone else (an operator, another watchdog) won the race.
 	StandbyIsPrimary
+	// QuorumGranted: a majority of the voter group endorsed the candidate.
+	QuorumGranted
+	// QuorumDenied: the vote round failed — too few reachable voters, a
+	// deny, or a more caught-up rival. Re-evaluate from suspect.
+	QuorumDenied
 )
 
 func (in Input) String() string {
@@ -92,6 +108,10 @@ func (in Input) String() string {
 		return "promote-fail"
 	case StandbyIsPrimary:
 		return "standby-is-primary"
+	case QuorumGranted:
+		return "quorum-granted"
+	case QuorumDenied:
+		return "quorum-denied"
 	}
 	return fmt.Sprintf("Input(%d)", int(in))
 }
@@ -152,10 +172,25 @@ func (m *Machine) Step(in Input) State {
 		case ProbeMiss:
 			m.misses++
 		case LagOK:
-			next = StatePromoting
+			next = StateElecting
 		case LagTooFar:
 			// Hold: the standby must not be promoted while it is missing
 			// acked history. Stay suspect and re-check next tick.
+		case StandbyIsPrimary:
+			next = StatePrimary
+		}
+	case StateElecting:
+		switch in {
+		case ProbeOK:
+			// The primary answered mid-election: abandon the round.
+			m.misses = 0
+			next = StateFollower
+		case QuorumGranted:
+			next = StatePromoting
+		case QuorumDenied:
+			// No majority (or a better-placed rival): back to suspect and
+			// re-run the whole ladder next tick.
+			next = StateSuspect
 		case StandbyIsPrimary:
 			next = StatePrimary
 		}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -47,13 +48,43 @@ type Config struct {
 	// a 2s timeout.
 	HTTP *http.Client
 
-	// Probe, StandbyStatus and Promote are the I/O seams. Nil values probe
-	// Primary's healthz, read Standby's replication status, and POST
-	// Standby's promote endpoint over HTTP. Tests (and the in-process
-	// watchdog) inject functions instead.
+	// VotePeers lists the base URLs of the group members that vote on the
+	// standby's promotion — every member except the candidate itself (the
+	// primary included: a live primary answers votes with a denial, which
+	// is exactly the "do not depose me needlessly" signal). With N peers
+	// the group size is N+1 and promotion needs ⌊(N+1)/2⌋ peer grants on
+	// top of the candidate's own vote — a strict group majority. An empty
+	// peer set degenerates to the legacy single-arbiter ladder: the
+	// candidate is its own majority. Note a 1-peer group (a bare pair)
+	// can never fail over through the quorum gate — the lone voter is the
+	// primary whose death is being voted on; safe majorities start at
+	// three members.
+	VotePeers []string
+	// Candidate is the standby's replication id presented in vote
+	// requests when the standby's own status does not report one (legacy
+	// daemons without -repl-id).
+	Candidate string
+
+	// Probe, StandbyStatus, Promote and Vote are the I/O seams. Nil
+	// values probe Primary's healthz, read Standby's replication status,
+	// POST Standby's promote endpoint and POST each peer's vote endpoint
+	// over HTTP. Tests (and the in-process watchdog) inject functions
+	// instead.
 	Probe         func(ctx context.Context) error
 	StandbyStatus func(ctx context.Context) (server.ReplicationStatus, error)
 	Promote       func(ctx context.Context) (uint64, error)
+	Vote          func(ctx context.Context, peer string, req server.VoteRequest) (server.VoteResponse, error)
+
+	// Resume re-arms the watchdog after each completed failover instead
+	// of returning from Run: the group's roles are rediscovered over
+	// Endpoints (every member's base URL), the newly promoted primary
+	// becomes the probe target, the most caught-up reachable follower
+	// becomes the next candidate, and the ladder restarts — so one
+	// long-running watchdog survives successive failovers. Requires the
+	// HTTP seams (injected Probe/StandbyStatus/Promote cannot be rebuilt)
+	// and at least two Endpoints.
+	Resume    bool
+	Endpoints []string
 
 	// Clock and Sleep are the time seams: Clock stamps observations, Sleep
 	// waits between ticks honoring ctx. Nil means real time. Jitter
@@ -78,12 +109,14 @@ type Status struct {
 }
 
 // Watchdog probes the primary and promotes the standby when it dies. One
-// watchdog survives one failover: after reaching StatePrimary it is done.
+// watchdog survives one failover — unless Config.Resume re-arms it
+// against the new primary after each one.
 type Watchdog struct {
 	cfg           Config
 	probe         func(ctx context.Context) error
 	standbyStatus func(ctx context.Context) (server.ReplicationStatus, error)
 	promote       func(ctx context.Context) (uint64, error)
+	vote          func(ctx context.Context, peer string, req server.VoteRequest) (server.VoteResponse, error)
 
 	mu      sync.Mutex
 	m       *Machine
@@ -153,6 +186,20 @@ func New(cfg Config) (*Watchdog, error) {
 			w.promote = func(ctx context.Context) (uint64, error) {
 				return postPromote(ctx, cfg.HTTP, base)
 			}
+		}
+	}
+	w.vote = cfg.Vote
+	if w.vote == nil {
+		w.vote = func(ctx context.Context, peer string, req server.VoteRequest) (server.VoteResponse, error) {
+			return postVote(ctx, cfg.HTTP, strings.TrimRight(peer, "/"), req)
+		}
+	}
+	if cfg.Resume {
+		if cfg.Probe != nil || cfg.StandbyStatus != nil || cfg.Promote != nil {
+			return nil, errors.New("cluster: resume mode cannot rebuild injected seams; use HTTP config")
+		}
+		if len(cfg.Endpoints) < 2 {
+			return nil, errors.New("cluster: resume mode needs at least two endpoints to rediscover roles")
 		}
 	}
 	return w, nil
@@ -256,6 +303,18 @@ func (w *Watchdog) Tick(ctx context.Context) State {
 		return w.step(LagTooFar)
 	}
 	state = w.step(LagOK)
+	if state != StateElecting {
+		return state
+	}
+
+	// Election: the candidate needs a group majority before any promote.
+	// The round is transient within this tick — a denied quorum falls
+	// back to suspect and the whole ladder re-runs next tick, so a
+	// watchdog that never reaches a majority holds forever.
+	if !w.collectVotes(ctx, rs) {
+		return w.step(QuorumDenied)
+	}
+	state = w.step(QuorumGranted)
 	if state != StatePromoting {
 		return state
 	}
@@ -275,18 +334,150 @@ func (w *Watchdog) Tick(ctx context.Context) State {
 	return w.step(PromoteOK)
 }
 
+// collectVotes runs one promotion vote round for the standby described
+// by rs: every peer is asked concurrently, and the round succeeds once
+// ⌊G/2⌋ peer grants arrive (G = peers+1; the candidate's self-vote
+// completes the strict majority). Unreachable peers count as denials —
+// a partitioned candidate cannot talk its way past the quorum.
+func (w *Watchdog) collectVotes(ctx context.Context, rs server.ReplicationStatus) bool {
+	peers := w.cfg.VotePeers
+	if len(peers) == 0 {
+		return true // single-member group: the candidate is its own majority
+	}
+	candidate := rs.ID
+	if candidate == "" {
+		candidate = w.cfg.Candidate
+	}
+	req := server.VoteRequest{
+		Candidate: candidate,
+		NewEpoch:  rs.Epoch + 1,
+		Epoch:     rs.Epoch,
+		Cursor:    rs.Cursor,
+	}
+	type answer struct {
+		resp server.VoteResponse
+		err  error
+	}
+	ch := make(chan answer, len(peers))
+	for _, p := range peers {
+		go func(peer string) {
+			resp, err := w.vote(ctx, peer, req)
+			ch <- answer{resp, err}
+		}(p)
+	}
+	need := (len(peers) + 1) / 2
+	granted, denied := 0, 0
+	lastReason := "no peers answered"
+	for i := 0; i < len(peers) && granted < need; i++ {
+		a := <-ch
+		switch {
+		case a.err != nil:
+			denied++
+			lastReason = a.err.Error()
+		case a.resp.Granted:
+			granted++
+		default:
+			denied++
+			lastReason = a.resp.Reason
+		}
+	}
+	quorum := granted >= need
+	w.mu.Lock()
+	w.stats.RecordVoteRound(granted, denied, quorum)
+	w.mu.Unlock()
+	if !quorum {
+		w.setErr(fmt.Errorf("quorum denied: %d/%d peer votes for epoch %d (need %d): %s",
+			granted, len(peers), req.NewEpoch, need, lastReason))
+	}
+	return quorum
+}
+
 // Run ticks on the jittered interval until the standby is primary or ctx
-// is cancelled. Returns nil after a completed failover, ctx.Err()
-// otherwise.
+// is cancelled. Without Resume it returns nil after one completed
+// failover; with Resume it re-arms against the rediscovered group and
+// keeps guarding, so only ctx ends it.
 func (w *Watchdog) Run(ctx context.Context) error {
 	for {
 		if w.Tick(ctx) == StatePrimary {
-			return nil
+			if !w.cfg.Resume {
+				return nil
+			}
+			if err := w.rearm(ctx); err != nil {
+				// The group may still be settling (the promoted primary
+				// not yet serving, no follower re-attached); keep trying
+				// on the tick cadence.
+				w.setErr(fmt.Errorf("rearm: %w", err))
+			}
 		}
 		if err := w.cfg.Sleep(ctx, w.tickDelay()); err != nil {
 			return err
 		}
 	}
+}
+
+// rearm points the watchdog at the group's current roles: the
+// highest-epoch primary becomes the probe target, the most caught-up
+// reachable follower the next candidate, and the ladder restarts from
+// follower. Only meaningful with HTTP seams — New refuses Resume with
+// injected ones.
+func (w *Watchdog) rearm(ctx context.Context) error {
+	var (
+		primary      string
+		primaryEpoch uint64
+		standby      string
+		standbyCur   server.ReplicationStatus
+	)
+	reachable := 0
+	for _, ep := range w.cfg.Endpoints {
+		base := strings.TrimRight(ep, "/")
+		rs, err := fetchReplStatus(ctx, w.cfg.HTTP, base)
+		if err != nil {
+			continue
+		}
+		reachable++
+		switch rs.Role {
+		case "primary":
+			if primary == "" || rs.Epoch > primaryEpoch {
+				primary, primaryEpoch = base, rs.Epoch
+			}
+		case "follower":
+			if standby == "" || standbyCur.Cursor.Less(rs.Cursor) {
+				standby, standbyCur = base, rs
+			}
+		}
+	}
+	if primary == "" {
+		return fmt.Errorf("no primary among %d reachable of %d endpoints", reachable, len(w.cfg.Endpoints))
+	}
+	if standby == "" {
+		return fmt.Errorf("no follower to guard among %d reachable endpoints", reachable)
+	}
+	hc := w.cfg.HTTP
+	w.probe = func(ctx context.Context) error { return probeHealthz(ctx, hc, primary) }
+	w.standbyStatus = func(ctx context.Context) (server.ReplicationStatus, error) {
+		return fetchReplStatus(ctx, hc, standby)
+	}
+	w.promote = func(ctx context.Context) (uint64, error) { return postPromote(ctx, hc, standby) }
+	// Everyone but the new candidate votes — the new primary included.
+	var peers []string
+	for _, ep := range w.cfg.Endpoints {
+		if base := strings.TrimRight(ep, "/"); base != standby {
+			peers = append(peers, base)
+		}
+	}
+	w.mu.Lock()
+	w.cfg.Primary, w.cfg.Standby = primary, standby
+	w.cfg.VotePeers = peers
+	w.cfg.Candidate = standbyCur.ID
+	w.m = NewMachine(w.cfg.Misses)
+	w.lastErr = ""
+	w.mu.Unlock()
+	if w.cfg.OnTransition != nil {
+		// Surface the re-arm as a synthetic edge so operators watching the
+		// transition stream see the new lifetime begin.
+		w.cfg.OnTransition(StatePrimary, StateFollower, ProbeOK)
+	}
+	return nil
 }
 
 // tickDelay jitters the base interval by ±25% so watchdog fleets spread
@@ -335,6 +526,32 @@ func fetchReplStatus(ctx context.Context, hc *http.Client, base string) (server.
 		return rs, fmt.Errorf("decode replication status: %w", err)
 	}
 	return rs, nil
+}
+
+func postVote(ctx context.Context, hc *http.Client, peer string, vr server.VoteRequest) (server.VoteResponse, error) {
+	var out server.VoteResponse
+	blob, err := json.Marshal(vr)
+	if err != nil {
+		return out, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+"/v1/replication/vote", bytes.NewReader(blob))
+	if err != nil {
+		return out, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := hc.Do(req)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return out, fmt.Errorf("vote answered HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, fmt.Errorf("decode vote answer: %w", err)
+	}
+	return out, nil
 }
 
 func postPromote(ctx context.Context, hc *http.Client, base string) (uint64, error) {

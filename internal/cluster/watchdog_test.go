@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
 	"gridbw/internal/faults"
 	"gridbw/internal/server"
 	"gridbw/internal/units"
+	"gridbw/internal/wal"
 )
 
 // scriptedSeams is a deterministic watchdog environment: the probe
@@ -90,8 +92,9 @@ func TestWatchdogPromotesDeadPrimary(t *testing.T) {
 			t.Fatalf("tick %d: state %v, want %v (all: %v)", i, states[i], want[i], states)
 		}
 	}
-	// The third tick rode the whole ladder: suspect, lag check, promote.
-	wantEdges := []string{"follower->suspect", "suspect->promoting", "promoting->primary"}
+	// The third tick rode the whole ladder: suspect, lag check, election
+	// (trivially granted with no vote peers), promote.
+	wantEdges := []string{"follower->suspect", "suspect->electing", "electing->promoting", "promoting->primary"}
 	if len(edges) != len(wantEdges) {
 		t.Fatalf("edges = %v, want %v", edges, wantEdges)
 	}
@@ -107,8 +110,8 @@ func TestWatchdogPromotesDeadPrimary(t *testing.T) {
 	if st.Stats.Probes != 3 || st.Stats.Misses != 3 || st.Stats.Promotions != 1 {
 		t.Fatalf("stats = %+v", st.Stats)
 	}
-	if st.Stats.Transitions != 3 {
-		t.Fatalf("transitions = %d, want 3", st.Stats.Transitions)
+	if st.Stats.Transitions != 4 {
+		t.Fatalf("transitions = %d, want 4", st.Stats.Transitions)
 	}
 }
 
@@ -313,6 +316,274 @@ func TestWatchdogTickDelayJitter(t *testing.T) {
 		if diff := got - tc.want; diff < -time.Millisecond || diff > time.Millisecond {
 			t.Fatalf("draw %v: delay %v, want ~%v", tc.draw, got, tc.want)
 		}
+	}
+}
+
+// TestWatchdogQuorumDeniedHoldsForever: a candidate that cannot collect a
+// peer majority must never promote, no matter how long the primary stays
+// unreachable — the majority gate, not a timeout, is the promotion
+// authority. Unreachable peers count as denials.
+func TestWatchdogQuorumDeniedHoldsForever(t *testing.T) {
+	ss := &scriptedSeams{probeErrs: errs(1000), promoteEpch: 1}
+	cfg := ss.config(2)
+	cfg.VotePeers = []string{"peer-a", "peer-b", "peer-c"} // G=4, need 2 grants
+	var mu sync.Mutex
+	votes := 0
+	cfg.Vote = func(ctx context.Context, peer string, req server.VoteRequest) (server.VoteResponse, error) {
+		mu.Lock()
+		votes++
+		mu.Unlock()
+		switch peer {
+		case "peer-a":
+			return server.VoteResponse{Granted: true, Voter: "a"}, nil // one grant is short of the two needed
+		case "peer-b":
+			return server.VoteResponse{Granted: false, Reason: "already voted"}, nil
+		default:
+			return server.VoteResponse{}, errors.New("dial peer-c: unreachable")
+		}
+	}
+	w, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 50; i++ {
+		if got := w.Tick(ctx); got == StatePromoting || got == StatePrimary {
+			t.Fatalf("tick %d: reached %v without a peer majority", i, got)
+		}
+	}
+	if ss.promotes != 0 {
+		t.Fatalf("promote called %d times without quorum", ss.promotes)
+	}
+	st := w.Status()
+	if st.Stats.VoteRounds == 0 || st.Stats.QuorumHolds != st.Stats.VoteRounds {
+		t.Fatalf("vote rounds %d, quorum holds %d; want every round held", st.Stats.VoteRounds, st.Stats.QuorumHolds)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if votes == 0 {
+		t.Fatal("no peer was ever asked to vote")
+	}
+}
+
+// TestWatchdogQuorumGrantedPromotes: enough peer grants complete the
+// majority and the promote proceeds; the vote request carries the bumped
+// epoch and the configured candidate id when the standby reports none.
+func TestWatchdogQuorumGrantedPromotes(t *testing.T) {
+	ss := &scriptedSeams{probeErrs: errs(10), promoteEpch: 1}
+	cfg := ss.config(2)
+	cfg.VotePeers = []string{"p1", "p2", "p3", "p4"} // G=5, need 2 grants
+	cfg.Candidate = "standby-volume-b"
+	var mu sync.Mutex
+	var reqs []server.VoteRequest
+	cfg.Vote = func(ctx context.Context, peer string, req server.VoteRequest) (server.VoteResponse, error) {
+		mu.Lock()
+		reqs = append(reqs, req)
+		mu.Unlock()
+		if peer == "p1" || peer == "p3" {
+			return server.VoteResponse{Granted: true, Voter: peer}, nil
+		}
+		return server.VoteResponse{Granted: false, Voter: peer, Reason: "candidate behind"}, nil
+	}
+	w, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var state State
+	for i := 0; i < 10 && state != StatePrimary; i++ {
+		state = w.Tick(ctx)
+	}
+	if state != StatePrimary {
+		t.Fatalf("state = %v, want primary after a granted quorum", state)
+	}
+	if ss.promotes != 1 {
+		t.Fatalf("promotes = %d, want 1", ss.promotes)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(reqs) == 0 {
+		t.Fatal("no vote requests issued")
+	}
+	for _, r := range reqs {
+		if r.Candidate != "standby-volume-b" {
+			t.Fatalf("vote candidate = %q, want the configured fallback id", r.Candidate)
+		}
+		if r.NewEpoch != 2 || r.Epoch != 1 {
+			t.Fatalf("vote epochs = new %d over %d, want 2 over 1", r.NewEpoch, r.Epoch)
+		}
+	}
+	st := w.Status()
+	if st.Stats.VotesGranted < 2 {
+		t.Fatalf("votes granted = %d, want >= 2", st.Stats.VotesGranted)
+	}
+}
+
+// TestWatchdogResumeConfigValidation: resume mode is only buildable over
+// HTTP seams with a group to rediscover.
+func TestWatchdogResumeConfigValidation(t *testing.T) {
+	ss := &scriptedSeams{}
+	cfg := ss.config(3)
+	cfg.Resume = true
+	cfg.Endpoints = []string{"http://a", "http://b"}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("resume accepted with injected seams it cannot rebuild")
+	}
+	httpCfg := Config{Primary: "http://a", Standby: "http://b", Resume: true, Endpoints: []string{"http://a"}}
+	if _, err := New(httpCfg); err == nil {
+		t.Fatal("resume accepted with a single endpoint")
+	}
+	httpCfg.Endpoints = []string{"http://a", "http://b"}
+	if _, err := New(httpCfg); err != nil {
+		t.Fatalf("valid resume config rejected: %v", err)
+	}
+}
+
+// TestWatchdogQuorumPartitionSeeds is the acceptance sweep for the
+// majority gate: across 25 seeded outage schedules, a watchdog partitioned
+// from a primary that is alive and still admitting must never promote
+// while its vote peers deny the majority — the live primary votes "no"
+// and the third member is dark. Once the third member becomes reachable
+// and grants (a true majority: candidate + one of three), the failover
+// completes and the deposed lineage is fenced everywhere.
+func TestWatchdogQuorumPartitionSeeds(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			t.Parallel()
+			inj, err := faults.New(faults.Config{Seed: seed, MeanUp: 5, MeanDown: 60})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// The primary on the far side of the partition: alive, serving,
+			// and — as a vote peer — denying every deposition attempt.
+			primary, err := server.New(server.Config{
+				Ingress: []units.Bandwidth{1 * units.GBps},
+				Egress:  []units.Bandwidth{1 * units.GBps},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer primary.Close()
+
+			// The third group member: dark during the partition phase, a
+			// real follower of the primary's lineage once reachable.
+			fwal, _, err := wal.Open(t.TempDir(), wal.Options{SegmentBytes: 1 << 20})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fwal.Close()
+			third, err := server.New(server.Config{
+				Ingress: []units.Bandwidth{1 * units.GBps},
+				Egress:  []units.Bandwidth{1 * units.GBps},
+				WAL:     fwal,
+				Follow:  "http://127.0.0.1:0", // driven directly, never dialed
+				Epoch:   1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer third.Close()
+
+			probeAt := 0
+			probe := func(ctx context.Context) error {
+				at := units.Time(probeAt)
+				probeAt++
+				if !inj.Arrive("watchdog/primary", at) {
+					return errors.New("probe: partitioned")
+				}
+				return nil
+			}
+			var phase sync.Mutex
+			thirdReachable := false
+			promoted := false
+			cfg := Config{
+				Misses: 3, MaxLagBytes: 100,
+				Probe: probe,
+				StandbyStatus: func(ctx context.Context) (server.ReplicationStatus, error) {
+					return server.ReplicationStatus{Role: "follower", Epoch: 1, ID: "candidate"}, nil
+				},
+				Promote: func(ctx context.Context) (uint64, error) {
+					promoted = true
+					return 2, nil
+				},
+				VotePeers: []string{"live-primary", "third-member"}, // G=3, need 1 peer grant
+				Vote: func(ctx context.Context, peer string, req server.VoteRequest) (server.VoteResponse, error) {
+					if peer == "live-primary" {
+						return primary.HandleVote(req), nil
+					}
+					phase.Lock()
+					up := thirdReachable
+					phase.Unlock()
+					if !up {
+						return server.VoteResponse{}, errors.New("dial third-member: partitioned")
+					}
+					return third.HandleVote(req), nil
+				},
+			}
+			w, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := context.Background()
+
+			// Phase A: the watchdog sees only misses, but no majority exists —
+			// the live primary denies and the third member is dark.
+			for i := 0; i < 400; i++ {
+				if got := w.Tick(ctx); got == StatePromoting || got == StatePrimary {
+					t.Fatalf("tick %d: reached %v with the primary alive and no majority", i, got)
+				}
+			}
+			if promoted {
+				t.Fatal("promoted without a majority")
+			}
+			if w.Status().Stats.VoteRounds == 0 {
+				t.Fatalf("seed %d never elected: partition produced no 3-miss window in 400 ticks", seed)
+			}
+			// Clients on the primary's side of the partition are still served.
+			d, err := primary.Submit(server.Submission{
+				From: 0, To: 0, Volume: 1e9, Deadline: 3600, MaxRate: 50e6,
+			})
+			if err != nil || !d.Accepted {
+				t.Fatalf("live partitioned primary stopped serving: %+v, %v", d, err)
+			}
+
+			// Phase B: the third member becomes reachable and grants — now
+			// candidate + third is 2 of 3, a true majority over the lone
+			// primary, and the failover may proceed.
+			phase.Lock()
+			thirdReachable = true
+			phase.Unlock()
+			var state State
+			for i := 0; i < 2000 && state != StatePrimary; i++ {
+				state = w.Tick(ctx)
+			}
+			if state != StatePrimary || !promoted {
+				t.Fatalf("majority available but no promotion (state %v)", state)
+			}
+			if got := w.Status().Epoch; got != 2 {
+				t.Fatalf("installed epoch = %d, want 2", got)
+			}
+
+			// The deposed lineage is fenced at every replica of the new one:
+			// no node admits epoch-1 batches once epoch 2 exists.
+			replica, err := server.New(server.Config{
+				Ingress: []units.Bandwidth{1 * units.GBps},
+				Egress:  []units.Bandwidth{1 * units.GBps},
+				Follow:  "http://127.0.0.1:0",
+				Epoch:   2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer replica.Close()
+			err = replica.ApplyShipped(server.ShippedBatch{Epoch: 1})
+			var fenced *server.FencedError
+			if !errors.As(err, &fenced) {
+				t.Fatalf("deposed primary's batch: err = %v, want FencedError", err)
+			}
+		})
 	}
 }
 

@@ -44,6 +44,11 @@ type Online struct {
 	// and it rebuilt itself from a shipped snapshot instead of resyncing by
 	// hand.
 	Reseeds uint64 `json:"reseeds,omitempty"`
+	// SyncDegraded counts submissions whose synchronous-ack wait hit its
+	// deadline and degraded to async durability: the decision was admitted
+	// and WAL'd locally, but the required follower acks never arrived in
+	// time, so its replication guarantee is the async loss window again.
+	SyncDegraded uint64 `json:"sync_degraded,omitempty"`
 	// AdmitLatency is the wall-clock admission-latency histogram — how long
 	// each submission spent in the server's decide pipeline — so
 	// server-observed latency can sit next to what a load harness measures
@@ -97,6 +102,10 @@ func (o *Online) RecordLogAppendFailure() { o.LogAppendFailures++ }
 // compacted away.
 func (o *Online) RecordReseed() { o.Reseeds++ }
 
+// RecordSyncDegraded counts a submission whose sync-ack wait timed out
+// and fell back to async durability.
+func (o *Online) RecordSyncDegraded() { o.SyncDegraded++ }
+
 // RecordAdmitLatency records how long one submission spent in the decide
 // pipeline. Like every Online mutation it runs under the caller's lock;
 // the histogram itself is atomic, so readers holding only a copied Online
@@ -117,9 +126,12 @@ func (o *Online) AdmitLatencySummary() LatencySummary {
 	return o.AdmitLatency.Summary()
 }
 
-// DurabilityDegraded reports whether any decision failed to reach the
-// audit log — the health signal operators page on.
-func (o *Online) DurabilityDegraded() bool { return o.LogAppendFailures > 0 }
+// DurabilityDegraded reports whether any decision fell short of its
+// durability promise — a failed audit-log append, or a sync-ack wait
+// that timed out — the health signal operators page on.
+func (o *Online) DurabilityDegraded() bool {
+	return o.LogAppendFailures > 0 || o.SyncDegraded > 0
+}
 
 // AcceptRate reports Accepted/Submitted, the online MAX-REQUESTS
 // objective; 0 before any submission.

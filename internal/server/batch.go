@@ -9,6 +9,7 @@ import (
 	"gridbw/internal/request"
 	"gridbw/internal/topology"
 	"gridbw/internal/units"
+	"gridbw/internal/wal"
 )
 
 // The batched admission pipeline. One SubmitBatch call decides N
@@ -175,6 +176,13 @@ func (s *Server) submitMany(subs []Submission) ([]BatchResult, error) {
 	}
 
 	// Phase 3: publish under the global section, in input order.
+	durable := false
+	for i := range subs {
+		if subs[i].Durable {
+			durable = true
+			break
+		}
+	}
 	s.mu.Lock()
 	s.advanceLocked()
 	sort.SliceStable(pending, func(i, j int) bool { return pending[i].idx < pending[j].idx })
@@ -198,11 +206,37 @@ func (s *Server) submitMany(subs []Submission) ([]BatchResult, error) {
 		s.settleLocked(it, d, nil)
 		results[it.idx].Decision = d
 	}
+	// Synchronous-ack durability: the decisions just published were WAL'd
+	// under s.mu, so the append frontier now covers every frame of this
+	// call. If the mode (or a Durable flag) asks for follower acks, park
+	// until enough follower cursors pass that frontier — outside s.mu, so
+	// admissions keep flowing while this response waits on replication.
+	var syncPos wal.Pos
+	need := s.syncNeedFor(durable)
+	decided := len(subs) - len(waiting)
+	if need > 0 && s.wal != nil && decided > 0 {
+		syncPos = s.wal.End()
+	}
+	s.mu.Unlock()
+
+	degraded := false
+	if !syncPos.IsZero() {
+		degraded = !s.acks.Wait(s.stop, syncPos, need, s.syncTimeout)
+	}
+
 	// Every submission this call decided (domain rejections from phase 1
 	// included, idempotent waiters excluded — their decision was timed by
-	// the owning flight) shares the call's pipeline latency.
+	// the owning flight) shares the call's pipeline latency, sync-ack
+	// parking included: admit latency is the client-visible decide time.
 	elapsed := time.Since(started)
-	for i := 0; i < len(subs)-len(waiting); i++ {
+	s.mu.Lock()
+	if degraded {
+		// The acks never came inside the deadline: answer anyway (the
+		// decision is locally durable) but flip the degraded signal — the
+		// caller was promised replicated durability it did not get.
+		s.stats.RecordSyncDegraded()
+	}
+	for i := 0; i < decided; i++ {
 		s.stats.RecordAdmitLatency(elapsed)
 	}
 	s.mu.Unlock()

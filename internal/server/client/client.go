@@ -303,24 +303,41 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	}
 }
 
-// rediscover polls every endpoint's replication status and re-targets the
-// one that reports itself primary, preferring the highest fencing epoch —
-// during a partition both sides may claim the role, and the higher epoch
-// is the lineage whose writes are not fenced off. When nothing answers as
-// primary the client just rotates, so repeated retries still sweep the
-// list.
+// rediscover probes every endpoint's replication status concurrently and
+// re-targets the one that reports itself primary, preferring the highest
+// fencing epoch — during a partition both sides may claim the role, and
+// the higher epoch is the lineage whose writes are not fenced off. The
+// sweep stops as soon as a strict majority of the group has answered with
+// a primary among them: that is the group-consistent view, and waiting
+// for stragglers would bill every failover a full per-attempt timeout per
+// hung endpoint. When nothing answers as primary the client just rotates,
+// so repeated retries still sweep the list.
 func (c *Client) rediscover(ctx context.Context) {
 	c.mu.Lock()
 	endpoints := c.endpoints
 	c.mu.Unlock()
-	best, bestEpoch := -1, uint64(0)
+	type answer struct {
+		idx int
+		rs  server.ReplicationStatus
+		err error
+	}
+	ch := make(chan answer, len(endpoints))
 	for i, base := range endpoints {
-		var rs server.ReplicationStatus
-		if err := c.attempt(ctx, base, http.MethodGet, "/v1/replication/status", nil, &rs); err != nil {
-			continue
+		go func(i int, base string) {
+			var rs server.ReplicationStatus
+			err := c.attempt(ctx, base, http.MethodGet, "/v1/replication/status", nil, &rs)
+			ch <- answer{i, rs, err}
+		}(i, base)
+	}
+	majority := len(endpoints)/2 + 1
+	best, bestEpoch := -1, uint64(0)
+	for n := 1; n <= len(endpoints); n++ {
+		a := <-ch
+		if a.err == nil && a.rs.Role == "primary" && (best == -1 || a.rs.Epoch > bestEpoch) {
+			best, bestEpoch = a.idx, a.rs.Epoch
 		}
-		if rs.Role == "primary" && (best == -1 || rs.Epoch > bestEpoch) {
-			best, bestEpoch = i, rs.Epoch
+		if n >= majority && best >= 0 {
+			break
 		}
 	}
 	if best >= 0 {

@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"gridbw/internal/server"
 )
@@ -146,6 +147,46 @@ func TestRotateWhenNoPrimary(t *testing.T) {
 	}
 	if len(a.seenKeys()) == 0 || len(b.seenKeys()) == 0 {
 		t.Fatalf("sweep skipped an endpoint: a=%d b=%d submits", len(a.seenKeys()), len(b.seenKeys()))
+	}
+}
+
+// TestRediscoverBoundedByHungEndpoint: at N=5, one endpoint that accepts
+// the connection and never answers must not serialize re-discovery — the
+// probes run concurrently and the sweep settles on the primary as soon as
+// a majority of the group has answered, so failover latency is bounded by
+// the fastest majority, not by per-endpoint timeouts stacked in sequence.
+func TestRediscoverBoundedByHungEndpoint(t *testing.T) {
+	follower := newFakeDaemon(t, "follower", 2, refuseReadOnly)
+	primary := newFakeDaemon(t, "primary", 2, acceptSubmit)
+	f2 := newFakeDaemon(t, "follower", 2, refuseReadOnly)
+	f3 := newFakeDaemon(t, "follower", 2, refuseReadOnly)
+	hung := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done() // answer nothing until the caller gives up
+	}))
+	t.Cleanup(hung.Close)
+
+	opts := instant(nil)
+	opts.CallTimeout = 500 * time.Millisecond
+	// The hung endpoint sits ahead of the primary in the list, so the old
+	// sequential sweep would stall a full CallTimeout before reaching it.
+	c := NewWithOptions(follower.ts.URL, nil, opts, hung.URL, f2.ts.URL, f3.ts.URL, primary.ts.URL)
+	started := time.Now()
+	r, err := c.Submit(context.Background(), server.SubmitRequest{
+		From: 0, To: 1, VolumeBytes: 1e9, DeadlineS: 100, MaxRateBps: 1e9,
+		IdempotencyKey: "xfer-44",
+	})
+	elapsed := time.Since(started)
+	if err != nil || !r.Accepted {
+		t.Fatalf("submit with a hung endpoint in the group: %v %+v", err, r)
+	}
+	if c.Endpoint() != primary.ts.URL {
+		t.Fatalf("endpoint after failover = %s, want the primary", c.Endpoint())
+	}
+	if elapsed >= opts.CallTimeout {
+		t.Fatalf("failover took %v, want bounded below the %v per-attempt timeout (hung endpoint serialized the sweep)", elapsed, opts.CallTimeout)
+	}
+	if keys := primary.seenKeys(); len(keys) != 1 || keys[0] != "xfer-44" {
+		t.Fatalf("primary saw keys %v, want [xfer-44]", keys)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -61,6 +62,10 @@ type SubmitRequest struct {
 	// IdempotencyKey makes the submission retryable; the Idempotency-Key
 	// request header is an equivalent spelling.
 	IdempotencyKey string `json:"idempotency_key,omitempty"`
+	// Durable parks the response until the decision is replicated to the
+	// configured follower-ack count, even when the daemon's sync mode is
+	// off (see -repl-sync); the wait degrades to async at the deadline.
+	Durable bool `json:"durable,omitempty"`
 }
 
 // ReservationJSON is the wire form of a Decision.
@@ -152,6 +157,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/replication/status", s.handleReplStatus)
 	mux.HandleFunc("GET /v1/replication/snapshot", s.handleReplSnapshot)
 	mux.HandleFunc("POST /v1/replication/promote", s.handlePromote)
+	mux.HandleFunc("POST /v1/replication/vote", s.handleVote)
 	return s.Recoverer(mux)
 }
 
@@ -252,6 +258,7 @@ func (s *Server) parseSubmission(body SubmitRequest) (Submission, error) {
 		NotBefore:      units.Time(body.NotBeforeS),
 		Deadline:       units.Time(body.DeadlineS),
 		IdempotencyKey: body.IdempotencyKey,
+		Durable:        body.Durable,
 	}
 	if body.Volume != "" {
 		if body.VolumeBytes != 0 {
@@ -507,13 +514,19 @@ type MetricsJSON struct {
 	Reseeds             uint64 `json:"reseeds"`
 	ReplicationLagBytes int64  `json:"replication_lag_bytes"`
 	AppliedRecords      uint64 `json:"applied_records"`
+	// SyncDegraded counts sync-ack waits that hit their deadline and
+	// degraded to async durability.
+	SyncDegraded uint64 `json:"sync_degraded"`
+	// Followers is the primary's per-follower replication progress.
+	Followers map[string]FollowerStatus `json:"followers,omitempty"`
 	// AdmitLatency is the server-side admission-latency percentile ladder —
 	// time spent in the decide pipeline per submission — the counterpart of
-	// what gridbwload observes from the client side of the wire.
+	// what gridbwload observes from the client side of the wire. With a
+	// synchronous-ack mode on, the parked replication wait is part of it.
 	AdmitLatency metrics.LatencySummary `json:"admit_latency"`
 	// WatchdogState is the in-process failover watchdog's position in the
-	// follower → suspect → promoting → primary ladder; empty when no
-	// watchdog runs in this daemon.
+	// follower → suspect → electing → promoting → primary ladder; empty
+	// when no watchdog runs in this daemon.
 	WatchdogState string `json:"watchdog_state,omitempty"`
 }
 
@@ -532,6 +545,8 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 		Reseeds:             st.Stats.Reseeds,
 		ReplicationLagBytes: rs.LagBytes,
 		AppliedRecords:      rs.Applied,
+		SyncDegraded:        st.Stats.SyncDegraded,
+		Followers:           rs.Followers,
 		AdmitLatency:        st.Stats.AdmitLatencySummary(),
 		WatchdogState:       s.watchdogStateNow(),
 	}
@@ -610,9 +625,25 @@ func (s *Server) writeMetricsText(w http.ResponseWriter) {
 	fmt.Fprintf(w, "gridbwd_replication_applied_records_total %d\n", rs.Applied)
 	fmt.Fprintf(w, "# TYPE gridbwd_reseeds_total counter\n")
 	fmt.Fprintf(w, "gridbwd_reseeds_total %d\n", st.Stats.Reseeds)
+	fmt.Fprintf(w, "# TYPE gridbwd_sync_degraded_total counter\n")
+	fmt.Fprintf(w, "gridbwd_sync_degraded_total %d\n", st.Stats.SyncDegraded)
+	if len(rs.Followers) > 0 {
+		fmt.Fprintf(w, "# TYPE gridbwd_follower_lag_bytes gauge\n")
+		fmt.Fprintf(w, "# TYPE gridbwd_follower_ack_age_seconds gauge\n")
+		ids := make([]string, 0, len(rs.Followers))
+		for id := range rs.Followers {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			f := rs.Followers[id]
+			fmt.Fprintf(w, "gridbwd_follower_lag_bytes{follower=%q} %d\n", id, f.LagBytes)
+			fmt.Fprintf(w, "gridbwd_follower_ack_age_seconds{follower=%q} %g\n", id, f.AgeS)
+		}
+	}
 	if ws := s.watchdogStateNow(); ws != "" {
 		fmt.Fprintf(w, "# TYPE gridbwd_watchdog_state gauge\n")
-		for _, state := range []string{"follower", "suspect", "promoting", "primary"} {
+		for _, state := range []string{"follower", "suspect", "electing", "promoting", "primary"} {
 			fmt.Fprintf(w, "gridbwd_watchdog_state{state=%q} %d\n", state, boolGauge(state == ws))
 		}
 	}

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
@@ -63,6 +64,12 @@ type replState struct {
 	lastErr   string
 	stopPull  chan struct{}
 	pullDone  chan struct{}
+	// votedEpoch/votedFor is the durable vote-once record: the highest
+	// epoch this node granted a promotion vote in and the candidate it
+	// endorsed. Persisted (wal.SaveVote) before any grant leaves the
+	// node, so a crash-restart cannot endorse a second candidate.
+	votedEpoch uint64
+	votedFor   string
 }
 
 // ShippedBatch is one pull answer: the records between From and Next,
@@ -101,6 +108,13 @@ func (s *Server) initRepl(cfg Config, snapEpoch uint64) error {
 		epoch = 1
 	}
 	s.repl.epoch = epoch
+	if s.wal != nil {
+		v, err := wal.LoadVote(s.wal.Dir())
+		if err != nil {
+			return err
+		}
+		s.repl.votedEpoch, s.repl.votedFor = v.Epoch, v.Candidate
+	}
 	if cfg.Follow != "" {
 		s.repl.following = true
 		s.repl.source = strings.TrimRight(cfg.Follow, "/")
@@ -398,7 +412,7 @@ func (s *Server) pullLoop(source string, stop, done chan struct{}) {
 			return
 		default:
 		}
-		b, err := pullOnce(hc, source, s.cursorNow(), stop)
+		b, err := pullOnce(hc, source, s.cursorNow(), s.replID, stop)
 		if err == nil {
 			if err = s.ApplyShipped(b); err == nil {
 				s.setPullError(nil)
@@ -446,7 +460,10 @@ func (s *Server) pullLoop(source string, stop, done chan struct{}) {
 }
 
 // pullOnce runs one long-poll round trip, aborted early if stop closes.
-func pullOnce(hc *http.Client, source string, cur wal.Pos, stop <-chan struct{}) (ShippedBatch, error) {
+// The follower's id rides along so the primary can attribute the cursor:
+// a presented cursor acknowledges that everything before it is applied
+// and persisted on this follower.
+func pullOnce(hc *http.Client, source string, cur wal.Pos, id string, stop <-chan struct{}) (ShippedBatch, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	go func() {
@@ -456,8 +473,8 @@ func pullOnce(hc *http.Client, source string, cur wal.Pos, stop <-chan struct{})
 		case <-ctx.Done():
 		}
 	}()
-	u := fmt.Sprintf("%s/v1/replication/pull?seg=%d&off=%d&max=%d&wait_ms=%d",
-		source, cur.Seg, cur.Off, pullMaxRecords, pullWait.Milliseconds())
+	u := fmt.Sprintf("%s/v1/replication/pull?seg=%d&off=%d&max=%d&wait_ms=%d&id=%s",
+		source, cur.Seg, cur.Off, pullMaxRecords, pullWait.Milliseconds(), url.QueryEscape(id))
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return ShippedBatch{}, fmt.Errorf("server: pull: %w", err)
@@ -487,9 +504,19 @@ func pullOnce(hc *http.Client, source string, cur wal.Pos, stop <-chan struct{})
 	return b, nil
 }
 
+// FollowerStatus is one follower's replication progress as seen from its
+// primary: the last cursor it presented on pull, how many committed
+// bytes it still trails the frontier by, and how long ago it reported.
+type FollowerStatus struct {
+	Cursor   wal.Pos `json:"cursor"`
+	LagBytes int64   `json:"lag_bytes"`
+	AgeS     float64 `json:"age_s"`
+}
+
 // ReplicationStatus is the GET /v1/replication/status body.
 type ReplicationStatus struct {
 	Role    string  `json:"role"`
+	ID      string  `json:"id,omitempty"`
 	Epoch   uint64  `json:"epoch"`
 	Source  string  `json:"source,omitempty"`
 	Cursor  wal.Pos `json:"cursor"`
@@ -501,23 +528,52 @@ type ReplicationStatus struct {
 	LastError  string  `json:"last_error,omitempty"`
 	WALRecords uint64  `json:"wal_records"`
 	WALEnd     wal.Pos `json:"wal_end"`
+	// Followers maps each identified follower to its progress — only a
+	// primary that has served identified pulls reports any.
+	Followers map[string]FollowerStatus `json:"followers,omitempty"`
+	// SyncMode/SyncAcks echo the configured synchronous-ack durability.
+	SyncMode string `json:"sync_mode,omitempty"`
+	SyncAcks int    `json:"sync_acks,omitempty"`
+	// VotedEpoch/VotedFor expose the durable vote-once record.
+	VotedEpoch uint64 `json:"voted_epoch,omitempty"`
+	VotedFor   string `json:"voted_for,omitempty"`
 }
 
 // ReplicationStatus reports the replication role, epoch, cursor and lag.
 func (s *Server) ReplicationStatus() ReplicationStatus {
 	s.mu.Lock()
 	rs := ReplicationStatus{
-		Role: s.roleLocked(), Epoch: s.repl.epoch, Source: s.repl.source,
+		Role: s.roleLocked(), ID: s.replID, Epoch: s.repl.epoch, Source: s.repl.source,
 		Cursor: s.repl.cursor, Applied: s.repl.applied, LagBytes: s.repl.lagBytes,
-		LastError: s.repl.lastErr,
+		LastError:  s.repl.lastErr,
+		VotedEpoch: s.repl.votedEpoch, VotedFor: s.repl.votedFor,
 	}
 	if !s.repl.lastPull.IsZero() {
 		rs.LastPullS = s.clock().Sub(s.repl.lastPull).Seconds()
 	}
 	s.mu.Unlock()
+	rs.SyncMode = s.syncMode
+	rs.SyncAcks = s.durableNeed
 	if s.wal != nil {
 		rs.WALRecords = s.wal.Records()
 		rs.WALEnd = s.wal.End()
+	}
+	if rs.Role == "primary" && s.wal != nil {
+		now := s.clock()
+		for id, fa := range s.acks.Snapshot() {
+			lag, err := s.wal.SizeBetween(fa.Pos, rs.WALEnd)
+			if err != nil {
+				lag = 0
+			}
+			if rs.Followers == nil {
+				rs.Followers = make(map[string]FollowerStatus)
+			}
+			rs.Followers[id] = FollowerStatus{
+				Cursor:   fa.Pos,
+				LagBytes: lag,
+				AgeS:     now.Sub(fa.Seen).Seconds(),
+			}
+		}
 	}
 	return rs
 }
@@ -543,6 +599,95 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleReplStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.ReplicationStatus())
+}
+
+// VoteRequest asks this node to endorse Candidate's promotion to
+// NewEpoch. Epoch and Cursor are the candidate's current lineage and
+// applied frontier, so a voter on the same lineage can refuse a
+// candidate that is behind its own history.
+type VoteRequest struct {
+	Candidate string  `json:"candidate"`
+	NewEpoch  uint64  `json:"new_epoch"`
+	Epoch     uint64  `json:"epoch"`
+	Cursor    wal.Pos `json:"cursor"`
+}
+
+// VoteResponse is one voter's answer: granted or not, plus the voter's
+// own identity, epoch and cursor so a denied candidate can see who beat
+// it and by how much.
+type VoteResponse struct {
+	Granted bool    `json:"granted"`
+	Voter   string  `json:"voter,omitempty"`
+	Epoch   uint64  `json:"epoch"`
+	Cursor  wal.Pos `json:"cursor"`
+	Reason  string  `json:"reason,omitempty"`
+}
+
+// HandleVote decides one promotion-vote request. The grant rules make a
+// split-brain promotion impossible from the minority side:
+//
+//   - a node that is itself a live primary refuses — a vote request that
+//     reached it proves it is alive, and a live primary must not endorse
+//     its own deposition (a dead one simply never answers);
+//   - NewEpoch must beat the voter's current epoch, so votes for already
+//     superseded lineages die;
+//   - one vote per epoch, persisted before the grant leaves the node
+//     (re-granting the same candidate is idempotent, so retries work);
+//   - on the same lineage, a candidate whose applied cursor is behind
+//     the voter's own is refused — promotion must go to the
+//     most-caught-up member or acked history would be discarded.
+func (s *Server) HandleVote(req VoteRequest) VoteResponse {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp := VoteResponse{Voter: s.replID, Epoch: s.repl.epoch, Cursor: s.repl.cursor}
+	deny := func(reason string) VoteResponse {
+		resp.Reason = reason
+		return resp
+	}
+	if s.closed {
+		return deny("voter is draining")
+	}
+	if req.Candidate == "" {
+		return deny("anonymous candidate")
+	}
+	if !s.repl.following {
+		return deny("voter is a live primary")
+	}
+	if req.NewEpoch <= s.repl.epoch {
+		return deny(fmt.Sprintf("stale election: proposed epoch %d not past current %d", req.NewEpoch, s.repl.epoch))
+	}
+	if s.repl.votedEpoch >= req.NewEpoch && s.repl.votedFor != req.Candidate {
+		return deny(fmt.Sprintf("already voted for %q in epoch %d", s.repl.votedFor, s.repl.votedEpoch))
+	}
+	if req.Epoch == s.repl.epoch && req.Cursor.Less(s.repl.cursor) {
+		return deny(fmt.Sprintf("candidate cursor %v behind voter cursor %v", req.Cursor, s.repl.cursor))
+	}
+	if s.repl.votedEpoch < req.NewEpoch || s.repl.votedFor != req.Candidate {
+		if s.wal != nil {
+			if err := wal.SaveVote(s.wal.Dir(), wal.Vote{Epoch: req.NewEpoch, Candidate: req.Candidate}); err != nil {
+				// A vote that cannot be made durable must not be cast: a
+				// crash could forget it and endorse a rival next boot.
+				s.stats.RecordLogAppendFailure()
+				return deny("vote persistence failed")
+			}
+		}
+		s.repl.votedEpoch, s.repl.votedFor = req.NewEpoch, req.Candidate
+	}
+	resp.Granted = true
+	return resp
+}
+
+// handleVote serves POST /v1/replication/vote. A denied vote is still a
+// 200 — denial is a protocol answer, not a transport failure.
+func (s *Server) handleVote(w http.ResponseWriter, r *http.Request) {
+	var req VoteRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode vote request: %w", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.HandleVote(req))
 }
 
 // handleReplPull serves GET /v1/replication/pull?seg=&off=&max=&wait_ms=:
@@ -582,6 +727,13 @@ func (s *Server) handleReplPull(w http.ResponseWriter, r *http.Request) {
 		waitMs = 60_000
 	}
 	pos := wal.Pos{Seg: seg, Off: int64(off)}
+	// The presented cursor doubles as a durability ack: the follower only
+	// advances it after the covered records are applied and persisted
+	// locally, so everything before pos is replicated on that follower.
+	// A zero cursor has nothing to acknowledge yet.
+	if id := q.Get("id"); id != "" && !pos.IsZero() {
+		s.acks.Record(id, pos)
+	}
 	// A zero cursor asks for the very beginning of history, not for
 	// whatever is left of it: pin it to segment 1 so a compacted prefix
 	// answers 410 Gone (and the follower re-seeds) instead of silently

@@ -95,6 +95,27 @@ type Config struct {
 	// MaxBatch bounds how many submissions one POST /v1/batch may carry;
 	// 0 means the default of 1024.
 	MaxBatch int
+	// ReplID names this node inside its replication group: followers
+	// present it on every pull (so the primary can track per-follower lag
+	// and count their cursors as durability acks) and it is the candidate
+	// identity in promotion votes. Empty is allowed for single-node or
+	// legacy pair deployments — an anonymous follower still replicates,
+	// but its acks cannot satisfy a sync-ack quorum.
+	ReplID string
+	// SyncMode selects the synchronous-ack durability mode for the decide
+	// pipeline: "off" (or empty) acks the client as soon as the decision
+	// is WAL'd locally, "one" parks the response until one follower's
+	// cursor passes the decision's WAL frame, and "quorum" waits for
+	// SyncAcks followers. A wait that outlives SyncTimeout degrades to
+	// async (the admission still answers) and bumps the sync_degraded
+	// counter rather than failing the submission.
+	SyncMode string
+	// SyncAcks is the follower-ack count "quorum" mode waits for — for a
+	// group of G members, G/2 followers (the majority minus the primary
+	// itself); <= 0 means 1.
+	SyncAcks int
+	// SyncTimeout bounds every synchronous-ack wait; 0 means 2s.
+	SyncTimeout time.Duration
 }
 
 const (
@@ -102,6 +123,7 @@ const (
 	defaultMaxInFlight       = 64
 	defaultRetryAfter        = time.Second
 	defaultMaxBatch          = 1024
+	defaultSyncTimeout       = 2 * time.Second
 )
 
 // State is a reservation's lifecycle position.
@@ -137,6 +159,11 @@ type Submission struct {
 	// retryable: a second Submit with the same key returns the original
 	// decision instead of booking again.
 	IdempotencyKey string
+	// Durable parks the response until the decision's WAL frame is acked
+	// by at least one follower (or SyncAcks of them when configured),
+	// even when the server's SyncMode is "off" — the per-request opt-in
+	// to synchronous replication.
+	Durable bool
 }
 
 // Decision is the server's answer to a Submission or Lookup.
@@ -215,6 +242,18 @@ type Server struct {
 	retention  int
 	maxBatch   int
 
+	// Sync-ack durability: acks tracks each follower's pull cursor (its
+	// durability acknowledgement); syncNeed is the follower count every
+	// submission waits for (0: only Durable-flagged ones wait, for
+	// durableNeed followers) within syncTimeout. replID names this node
+	// in its replication group.
+	acks        *wal.Acks
+	syncMode    string
+	syncNeed    int
+	durableNeed int
+	syncTimeout time.Duration
+	replID      string
+
 	// ledger is internally sharded (one lock per access point); it is not
 	// guarded by s.mu. See the package comment for the lock order.
 	ledger *alloc.Sharded
@@ -264,6 +303,11 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	switch cfg.SyncMode {
+	case "", "off", "one", "quorum":
+	default:
+		return nil, fmt.Errorf("server: unknown sync mode %q (want off, one or quorum)", cfg.SyncMode)
+	}
 	s := newServer(cfg, net, pol, name)
 	s.epoch = s.clock()
 	if err := s.initRepl(cfg, 0); err != nil {
@@ -298,6 +342,25 @@ func newServer(cfg Config, net *topology.Network, pol policy.Policy, name string
 	if maxBatch <= 0 {
 		maxBatch = defaultMaxBatch
 	}
+	syncAcks := cfg.SyncAcks
+	if syncAcks <= 0 {
+		syncAcks = 1
+	}
+	syncMode := cfg.SyncMode
+	if syncMode == "" {
+		syncMode = "off"
+	}
+	syncNeed := 0
+	switch syncMode {
+	case "one":
+		syncNeed = 1
+	case "quorum":
+		syncNeed = syncAcks
+	}
+	syncTimeout := cfg.SyncTimeout
+	if syncTimeout <= 0 {
+		syncTimeout = defaultSyncTimeout
+	}
 	return &Server{
 		net:        net,
 		pol:        pol,
@@ -307,21 +370,31 @@ func newServer(cfg Config, net *topology.Network, pol policy.Policy, name string
 		wal:        cfg.WAL,
 		retention:  retention,
 		maxBatch:   maxBatch,
-		ledger:     alloc.NewSharded(net),
-		sim:        des.New(),
-		resv:       make(map[request.ID]*entry),
-		idem:       make(map[string]*idemEntry),
-		inflight:   inflight,
-		retryAfter: retryAfter,
-		kick:       make(chan struct{}, 1),
-		stop:       make(chan struct{}),
-		done:       make(chan struct{}),
+		acks:       wal.NewAcks(clock),
+		syncMode:   syncMode,
+		syncNeed:   syncNeed,
+		// A Durable submission under mode "off" or "one" still honors the
+		// configured group size, so "any one follower" vs "a majority" is
+		// one knob (SyncAcks) regardless of mode.
+		durableNeed: syncAcks,
+		syncTimeout: syncTimeout,
+		replID:      cfg.ReplID,
+		ledger:      alloc.NewSharded(net),
+		sim:         des.New(),
+		resv:        make(map[request.ID]*entry),
+		idem:        make(map[string]*idemEntry),
+		inflight:    inflight,
+		retryAfter:  retryAfter,
+		kick:        make(chan struct{}, 1),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
 	}
 }
 
 // SetWatchdogState registers a callback reporting the in-process failover
 // watchdog's position in the promotion ladder ("follower", "suspect",
-// "promoting", "primary") so /v1/metricsz can expose it as a gauge.
+// "electing", "promoting", "primary") so /v1/metricsz can expose it as a
+// gauge.
 func (s *Server) SetWatchdogState(fn func() string) {
 	s.mu.Lock()
 	s.watchdogState = fn
@@ -339,6 +412,21 @@ func (s *Server) watchdogStateNow() string {
 	}
 	return fn()
 }
+
+// syncNeedFor reports how many follower acks a submission must wait for:
+// the configured mode's count, raised to the group quorum when the
+// submission opted into Durable. 0 means no wait.
+func (s *Server) syncNeedFor(durable bool) int {
+	need := s.syncNeed
+	if durable && s.durableNeed > need {
+		need = s.durableNeed
+	}
+	return need
+}
+
+// FollowerAcks reports the per-follower acknowledged positions this
+// primary has observed on its pull endpoint.
+func (s *Server) FollowerAcks() map[string]wal.FollowerAck { return s.acks.Snapshot() }
 
 // Network reports the platform.
 func (s *Server) Network() *topology.Network { return s.net }

@@ -1,0 +1,126 @@
+package wal
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// FollowerAck is one follower's durably-applied position as seen by the
+// primary, plus when it last reported. The position is the follower's
+// pull cursor: a follower saves its cursor only after the shipped events
+// are applied and persisted locally, so the cursor it presents on the
+// next pull doubles as an acknowledgement of everything before it.
+type FollowerAck struct {
+	Pos  Pos       `json:"pos"`
+	Seen time.Time `json:"-"`
+}
+
+// Acks tracks per-follower acknowledged positions on a primary and lets
+// the decide pipeline wait until a frame is replicated to K followers.
+// It is its own small monitor (not guarded by the server mutex) because
+// waiters park on it for up to a sync-ack deadline while admissions
+// continue.
+type Acks struct {
+	mu     sync.Mutex
+	acked  map[string]FollowerAck
+	notify chan struct{}
+	now    func() time.Time
+}
+
+// NewAcks returns an empty tracker. now may be nil (wall clock).
+func NewAcks(now func() time.Time) *Acks {
+	if now == nil {
+		now = time.Now
+	}
+	return &Acks{
+		acked:  make(map[string]FollowerAck),
+		notify: make(chan struct{}),
+		now:    now,
+	}
+}
+
+// Record notes that follower id has durably applied everything before
+// pos. Acks only ever move forward: a follower that restarts and re-pulls
+// from an old cursor must not retract durability already granted to
+// waiters. Empty ids are dropped — an anonymous puller cannot take part
+// in a quorum.
+func (a *Acks) Record(id string, pos Pos) {
+	if id == "" {
+		return
+	}
+	a.mu.Lock()
+	prev, ok := a.acked[id]
+	if !ok || prev.Pos.Less(pos) {
+		a.acked[id] = FollowerAck{Pos: pos, Seen: a.now()}
+		// Broadcast: close-and-recreate, same pattern as Log.Append.
+		close(a.notify)
+		a.notify = make(chan struct{})
+	} else {
+		prev.Seen = a.now()
+		a.acked[id] = prev
+	}
+	a.mu.Unlock()
+}
+
+// Quorum reports the highest position acknowledged by at least k
+// followers — the k-th largest acked position — or the zero Pos when
+// fewer than k followers have ever acked (or k <= 0).
+func (a *Acks) Quorum(k int) Pos {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.quorumLocked(k)
+}
+
+func (a *Acks) quorumLocked(k int) Pos {
+	if k <= 0 || len(a.acked) < k {
+		return Pos{}
+	}
+	ps := make([]Pos, 0, len(a.acked))
+	for _, fa := range a.acked {
+		ps = append(ps, fa.Pos)
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[j].Less(ps[i]) }) // descending
+	return ps[k-1]
+}
+
+// Wait blocks until at least k followers have acknowledged pos or
+// beyond, the timeout lapses, or done closes; it reports whether the
+// quorum was reached. Stale entries from followers that rebooted under a
+// new id can only make the wait harder (they hold an old position),
+// never satisfy it falsely.
+func (a *Acks) Wait(done <-chan struct{}, pos Pos, k int, timeout time.Duration) bool {
+	if k <= 0 || pos.IsZero() {
+		return true // nothing to replicate, or no follower required
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		a.mu.Lock()
+		q := a.quorumLocked(k)
+		ch := a.notify
+		a.mu.Unlock()
+		if !q.IsZero() && !q.Less(pos) {
+			return true
+		}
+		select {
+		case <-ch:
+		case <-deadline.C:
+			return false
+		case <-done:
+			return false
+		}
+	}
+}
+
+// Snapshot returns a copy of the per-follower ack table for status and
+// metrics answers.
+func (a *Acks) Snapshot() map[string]FollowerAck {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]FollowerAck, len(a.acked))
+	for id, fa := range a.acked {
+		out[id] = fa
+	}
+	return out
+}

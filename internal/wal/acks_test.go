@@ -1,0 +1,153 @@
+package wal
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAcksQuorumOrdering(t *testing.T) {
+	a := NewAcks(nil)
+	if got := a.Quorum(1); !got.IsZero() {
+		t.Fatalf("empty tracker quorum = %v, want zero", got)
+	}
+	a.Record("f1", Pos{Seg: 1, Off: 100})
+	a.Record("f2", Pos{Seg: 1, Off: 300})
+	a.Record("f3", Pos{Seg: 2, Off: 50})
+	for _, tc := range []struct {
+		k    int
+		want Pos
+	}{
+		{1, Pos{Seg: 2, Off: 50}},  // fastest follower
+		{2, Pos{Seg: 1, Off: 300}}, // majority of 3
+		{3, Pos{Seg: 1, Off: 100}}, // slowest follower
+		{4, Pos{}},                 // more than we have
+		{0, Pos{}},
+	} {
+		if got := a.Quorum(tc.k); got != tc.want {
+			t.Fatalf("Quorum(%d) = %v, want %v", tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestAcksNeverRetreat(t *testing.T) {
+	a := NewAcks(nil)
+	a.Record("f1", Pos{Seg: 3, Off: 10})
+	// A restarted follower re-pulling from an older cursor must not
+	// retract durability already granted.
+	a.Record("f1", Pos{Seg: 1, Off: 0})
+	if got := a.Quorum(1); got != (Pos{Seg: 3, Off: 10}) {
+		t.Fatalf("ack retreated to %v", got)
+	}
+}
+
+func TestAcksAnonymousIgnored(t *testing.T) {
+	a := NewAcks(nil)
+	a.Record("", Pos{Seg: 9, Off: 9})
+	if got := a.Quorum(1); !got.IsZero() {
+		t.Fatalf("anonymous ack counted: %v", got)
+	}
+}
+
+func TestAcksWaitSatisfiedImmediately(t *testing.T) {
+	a := NewAcks(nil)
+	a.Record("f1", Pos{Seg: 1, Off: 64})
+	a.Record("f2", Pos{Seg: 1, Off: 64})
+	if !a.Wait(nil, Pos{Seg: 1, Off: 64}, 2, time.Millisecond) {
+		t.Fatal("already-acked position did not satisfy the wait")
+	}
+	// k<=0 and the zero position are trivially replicated.
+	if !a.Wait(nil, Pos{Seg: 5, Off: 5}, 0, 0) {
+		t.Fatal("k=0 wait blocked")
+	}
+	if !a.Wait(nil, Pos{}, 3, 0) {
+		t.Fatal("zero-pos wait blocked")
+	}
+}
+
+func TestAcksWaitWakesOnRecord(t *testing.T) {
+	a := NewAcks(nil)
+	target := Pos{Seg: 1, Off: 128}
+	done := make(chan bool, 1)
+	var ready sync.WaitGroup
+	ready.Add(1)
+	go func() {
+		ready.Done()
+		done <- a.Wait(nil, target, 2, 5*time.Second)
+	}()
+	ready.Wait()
+	a.Record("f1", target)
+	select {
+	case <-done:
+		t.Fatal("wait satisfied with one ack when two were required")
+	case <-time.After(20 * time.Millisecond):
+	}
+	a.Record("f2", Pos{Seg: 1, Off: 200}) // past the target also counts
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("wait returned false after quorum was reached")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("wait never woke after the second ack")
+	}
+}
+
+func TestAcksWaitTimesOut(t *testing.T) {
+	a := NewAcks(nil)
+	a.Record("f1", Pos{Seg: 1, Off: 10})
+	start := time.Now()
+	if a.Wait(nil, Pos{Seg: 1, Off: 999}, 1, 30*time.Millisecond) {
+		t.Fatal("unreplicated position satisfied the wait")
+	}
+	if time.Since(start) < 25*time.Millisecond {
+		t.Fatal("wait returned before the deadline")
+	}
+}
+
+func TestAcksWaitHonorsDone(t *testing.T) {
+	a := NewAcks(nil)
+	stop := make(chan struct{})
+	close(stop)
+	if a.Wait(stop, Pos{Seg: 1, Off: 1}, 1, time.Minute) {
+		t.Fatal("closed done channel reported quorum")
+	}
+}
+
+func TestAcksSnapshotIsCopy(t *testing.T) {
+	now := time.Unix(42, 0)
+	a := NewAcks(func() time.Time { return now })
+	a.Record("f1", Pos{Seg: 1, Off: 7})
+	snap := a.Snapshot()
+	if fa, ok := snap["f1"]; !ok || fa.Pos != (Pos{Seg: 1, Off: 7}) || !fa.Seen.Equal(now) {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	snap["f2"] = FollowerAck{Pos: Pos{Seg: 9, Off: 9}}
+	if len(a.Snapshot()) != 1 {
+		t.Fatal("mutating the snapshot leaked into the tracker")
+	}
+}
+
+func TestSaveLoadVote(t *testing.T) {
+	dir := t.TempDir()
+	if v, err := LoadVote(dir); err != nil || v != (Vote{}) {
+		t.Fatalf("empty dir: vote %+v err %v", v, err)
+	}
+	want := Vote{Epoch: 4, Candidate: "node-b"}
+	if err := SaveVote(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadVote(dir)
+	if err != nil || got != want {
+		t.Fatalf("round-trip vote %+v err %v, want %+v", got, err, want)
+	}
+	// Overwrite: the latest vote wins (a node votes once per epoch but
+	// across epochs the file advances).
+	want = Vote{Epoch: 5, Candidate: "node-c"}
+	if err := SaveVote(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := LoadVote(dir); got != want {
+		t.Fatalf("overwritten vote = %+v, want %+v", got, want)
+	}
+}

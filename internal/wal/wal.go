@@ -771,6 +771,40 @@ func SaveCursor(dir string, pos Pos) error {
 	return writeMeta(dir, "cursor", blob)
 }
 
+// Vote is the durable record of a promotion vote: which candidate this
+// node endorsed for which epoch. Persisted before the grant is sent so a
+// crash-restarted node cannot endorse two candidates for the same epoch.
+type Vote struct {
+	Epoch     uint64 `json:"epoch"`
+	Candidate string `json:"candidate"`
+}
+
+// SaveVote durably records a promotion vote in dir.
+func SaveVote(dir string, v Vote) error {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return writeMeta(dir, "vote", blob)
+}
+
+// LoadVote reads the last promotion vote saved in dir; the zero Vote
+// when none was saved.
+func LoadVote(dir string) (Vote, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, "vote"))
+	if errors.Is(err, os.ErrNotExist) {
+		return Vote{}, nil
+	}
+	if err != nil {
+		return Vote{}, fmt.Errorf("wal: %w", err)
+	}
+	var v Vote
+	if err := json.Unmarshal(blob, &v); err != nil {
+		return Vote{}, fmt.Errorf("wal: vote file: %w", err)
+	}
+	return v, nil
+}
+
 // LoadCursor reads the replication cursor saved in dir; the zero Pos when
 // none was saved (pull restarts from the beginning — apply is idempotent).
 func LoadCursor(dir string) (Pos, error) {
