@@ -252,6 +252,11 @@ func newInProcessWatchdog(srv *server.Server, primary string, cfg cluster.Config
 		}
 		return epoch, err
 	}
+	cfg.SelfVote = func(ctx context.Context, req server.VoteRequest) (server.VoteResponse, error) {
+		// The candidate's own vote goes through its local vote-once path,
+		// so an endorsement already given to a rival blocks self-promotion.
+		return srv.HandleVote(req), nil
+	}
 	cfg.OnTransition = func(from, to cluster.State, in cluster.Input) {
 		log.Printf("watchdog: %s -> %s on %s", from, to, in)
 	}

@@ -53,12 +53,15 @@ type Config struct {
 	// primary included: a live primary answers votes with a denial, which
 	// is exactly the "do not depose me needlessly" signal). With N peers
 	// the group size is N+1 and promotion needs ⌊(N+1)/2⌋ peer grants on
-	// top of the candidate's own vote — a strict group majority. An empty
-	// peer set degenerates to the legacy single-arbiter ladder: the
-	// candidate is its own majority. Note a 1-peer group (a bare pair)
-	// can never fail over through the quorum gate — the lone voter is the
-	// primary whose death is being voted on; safe majorities start at
-	// three members.
+	// top of the candidate's own vote — a strict group majority. The
+	// candidate's own vote is not assumed: it is cast first, through the
+	// candidate's durable vote-once path (see SelfVote), so a candidate
+	// that already endorsed a rival for the proposed epoch aborts the
+	// round instead of counting itself. An empty peer set degenerates to
+	// the legacy single-arbiter ladder: the candidate is its own
+	// majority. Note a 1-peer group (a bare pair) can never fail over
+	// through the quorum gate — the lone voter is the primary whose death
+	// is being voted on; safe majorities start at three members.
 	VotePeers []string
 	// Candidate is the standby's replication id presented in vote
 	// requests when the standby's own status does not report one (legacy
@@ -74,6 +77,14 @@ type Config struct {
 	StandbyStatus func(ctx context.Context) (server.ReplicationStatus, error)
 	Promote       func(ctx context.Context) (uint64, error)
 	Vote          func(ctx context.Context, peer string, req server.VoteRequest) (server.VoteResponse, error)
+	// SelfVote casts the candidate's vote for its own promotion through
+	// the candidate's vote-once path — the same persisted one-vote-per-
+	// epoch rules every peer applies, so two candidates that each voted
+	// for themselves can never both collect a majority for that epoch.
+	// Nil POSTs the Standby's own vote endpoint; the in-process watchdog
+	// injects the local server's HandleVote. Required (or derivable from
+	// Standby) whenever VotePeers is non-empty.
+	SelfVote func(ctx context.Context, req server.VoteRequest) (server.VoteResponse, error)
 
 	// Resume re-arms the watchdog after each completed failover instead
 	// of returning from Run: the group's roles are rediscovered over
@@ -117,6 +128,7 @@ type Watchdog struct {
 	standbyStatus func(ctx context.Context) (server.ReplicationStatus, error)
 	promote       func(ctx context.Context) (uint64, error)
 	vote          func(ctx context.Context, peer string, req server.VoteRequest) (server.VoteResponse, error)
+	selfVote      func(ctx context.Context, req server.VoteRequest) (server.VoteResponse, error)
 
 	mu      sync.Mutex
 	m       *Machine
@@ -193,6 +205,16 @@ func New(cfg Config) (*Watchdog, error) {
 		w.vote = func(ctx context.Context, peer string, req server.VoteRequest) (server.VoteResponse, error) {
 			return postVote(ctx, cfg.HTTP, strings.TrimRight(peer, "/"), req)
 		}
+	}
+	w.selfVote = cfg.SelfVote
+	if w.selfVote == nil && cfg.Standby != "" {
+		base := strings.TrimRight(cfg.Standby, "/")
+		w.selfVote = func(ctx context.Context, req server.VoteRequest) (server.VoteResponse, error) {
+			return postVote(ctx, cfg.HTTP, base, req)
+		}
+	}
+	if w.selfVote == nil && len(cfg.VotePeers) > 0 {
+		return nil, errors.New("cluster: quorum election needs a standby URL (or an injected SelfVote) to cast the candidate's own vote")
 	}
 	if cfg.Resume {
 		if cfg.Probe != nil || cfg.StandbyStatus != nil || cfg.Promote != nil {
@@ -335,10 +357,22 @@ func (w *Watchdog) Tick(ctx context.Context) State {
 }
 
 // collectVotes runs one promotion vote round for the standby described
-// by rs: every peer is asked concurrently, and the round succeeds once
-// ⌊G/2⌋ peer grants arrive (G = peers+1; the candidate's self-vote
-// completes the strict majority). Unreachable peers count as denials —
-// a partitioned candidate cannot talk its way past the quorum.
+// by rs. The candidate first casts its own vote through its durable
+// vote-once path (SelfVote); only if that grant lands — meaning the
+// candidate has not already endorsed a rival for the proposed epoch —
+// are the peers asked, concurrently, and the round succeeds once
+// ⌊G/2⌋ peer grants arrive (G = peers+1; the recorded self-vote
+// completes the strict majority). Because every vote, including the
+// candidate's own, goes through the same persisted one-vote-per-epoch
+// rules, two candidates can never both assemble a majority for the
+// same epoch. Unreachable peers count as denials — a partitioned
+// candidate cannot talk its way past the quorum.
+//
+// When a prior round split the vote (each candidate endorsed itself),
+// that epoch is burned for good — every voter's one durable vote for
+// it is spent — so the next bid goes one past the highest epoch the
+// candidate has voted in, Raft-style. Tick jitter desynchronises
+// rival bids so one of them eventually reaches a majority first.
 func (w *Watchdog) collectVotes(ctx context.Context, rs server.ReplicationStatus) bool {
 	peers := w.cfg.VotePeers
 	if len(peers) == 0 {
@@ -348,11 +382,34 @@ func (w *Watchdog) collectVotes(ctx context.Context, rs server.ReplicationStatus
 	if candidate == "" {
 		candidate = w.cfg.Candidate
 	}
+	newEpoch := rs.Epoch + 1
+	if rs.VotedEpoch >= newEpoch {
+		// A vote for this (or a later) epoch is already on record — ours
+		// from an earlier failed round, or a rival's. Either way the
+		// number is spent: a fresh round must outbid it, or rounds of
+		// rival candidates that each voted for themselves would deny one
+		// another at the same epoch forever.
+		newEpoch = rs.VotedEpoch + 1
+	}
 	req := server.VoteRequest{
 		Candidate: candidate,
-		NewEpoch:  rs.Epoch + 1,
+		NewEpoch:  newEpoch,
 		Epoch:     rs.Epoch,
 		Cursor:    rs.Cursor,
+	}
+	self, err := w.selfVote(ctx, req)
+	if err != nil || !self.Granted {
+		reason := "self-vote not granted"
+		if err != nil {
+			reason = err.Error()
+		} else if self.Reason != "" {
+			reason = self.Reason
+		}
+		w.mu.Lock()
+		w.stats.RecordVoteRound(0, 1, false)
+		w.mu.Unlock()
+		w.setErr(fmt.Errorf("quorum denied: self-vote for epoch %d: %s", req.NewEpoch, reason))
+		return false
 	}
 	type answer struct {
 		resp server.VoteResponse
@@ -458,6 +515,9 @@ func (w *Watchdog) rearm(ctx context.Context) error {
 		return fetchReplStatus(ctx, hc, standby)
 	}
 	w.promote = func(ctx context.Context) (uint64, error) { return postPromote(ctx, hc, standby) }
+	w.selfVote = func(ctx context.Context, req server.VoteRequest) (server.VoteResponse, error) {
+		return postVote(ctx, hc, standby, req)
+	}
 	// Everyone but the new candidate votes — the new primary included.
 	var peers []string
 	for _, ep := range w.cfg.Endpoints {

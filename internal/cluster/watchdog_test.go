@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -328,7 +329,13 @@ func TestWatchdogQuorumDeniedHoldsForever(t *testing.T) {
 	cfg := ss.config(2)
 	cfg.VotePeers = []string{"peer-a", "peer-b", "peer-c"} // G=4, need 2 grants
 	var mu sync.Mutex
-	votes := 0
+	votes, selfVotes := 0, 0
+	cfg.SelfVote = func(ctx context.Context, req server.VoteRequest) (server.VoteResponse, error) {
+		mu.Lock()
+		selfVotes++
+		mu.Unlock()
+		return server.VoteResponse{Granted: true, Voter: req.Candidate}, nil
+	}
 	cfg.Vote = func(ctx context.Context, peer string, req server.VoteRequest) (server.VoteResponse, error) {
 		mu.Lock()
 		votes++
@@ -364,6 +371,9 @@ func TestWatchdogQuorumDeniedHoldsForever(t *testing.T) {
 	if votes == 0 {
 		t.Fatal("no peer was ever asked to vote")
 	}
+	if selfVotes == 0 {
+		t.Fatal("the candidate never cast its own vote")
+	}
 }
 
 // TestWatchdogQuorumGrantedPromotes: enough peer grants complete the
@@ -376,6 +386,9 @@ func TestWatchdogQuorumGrantedPromotes(t *testing.T) {
 	cfg.Candidate = "standby-volume-b"
 	var mu sync.Mutex
 	var reqs []server.VoteRequest
+	cfg.SelfVote = func(ctx context.Context, req server.VoteRequest) (server.VoteResponse, error) {
+		return server.VoteResponse{Granted: true, Voter: req.Candidate}, nil
+	}
 	cfg.Vote = func(ctx context.Context, peer string, req server.VoteRequest) (server.VoteResponse, error) {
 		mu.Lock()
 		reqs = append(reqs, req)
@@ -486,6 +499,26 @@ func TestWatchdogQuorumPartitionSeeds(t *testing.T) {
 			}
 			defer third.Close()
 
+			// The candidate's own durable vote store: its self-vote goes
+			// through the same persisted vote-once path as every peer's.
+			cwal, _, err := wal.Open(t.TempDir(), wal.Options{SegmentBytes: 1 << 20})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cwal.Close()
+			cand, err := server.New(server.Config{
+				Ingress: []units.Bandwidth{1 * units.GBps},
+				Egress:  []units.Bandwidth{1 * units.GBps},
+				WAL:     cwal,
+				Follow:  "http://127.0.0.1:0",
+				Epoch:   1,
+				ReplID:  "candidate",
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cand.Close()
+
 			probeAt := 0
 			probe := func(ctx context.Context) error {
 				at := units.Time(probeAt)
@@ -509,6 +542,9 @@ func TestWatchdogQuorumPartitionSeeds(t *testing.T) {
 					return 2, nil
 				},
 				VotePeers: []string{"live-primary", "third-member"}, // G=3, need 1 peer grant
+				SelfVote: func(ctx context.Context, req server.VoteRequest) (server.VoteResponse, error) {
+					return cand.HandleVote(req), nil
+				},
 				Vote: func(ctx context.Context, peer string, req server.VoteRequest) (server.VoteResponse, error) {
 					if peer == "live-primary" {
 						return primary.HandleVote(req), nil
@@ -584,6 +620,185 @@ func TestWatchdogQuorumPartitionSeeds(t *testing.T) {
 				t.Fatalf("deposed primary's batch: err = %v, want FencedError", err)
 			}
 		})
+	}
+}
+
+// TestWatchdogSelfVoteVetoAbortsRound: a candidate that already endorsed
+// a rival for the proposed epoch must abort the round before any peer is
+// asked — its own vote is cast through the durable vote-once path, never
+// assumed.
+func TestWatchdogSelfVoteVetoAbortsRound(t *testing.T) {
+	ss := &scriptedSeams{probeErrs: errs(100), promoteEpch: 1}
+	cfg := ss.config(2)
+	cfg.VotePeers = []string{"p1", "p2"}
+	var mu sync.Mutex
+	peerAsked := 0
+	cfg.SelfVote = func(ctx context.Context, req server.VoteRequest) (server.VoteResponse, error) {
+		return server.VoteResponse{Reason: `already voted for "rival" in epoch 2`}, nil
+	}
+	cfg.Vote = func(ctx context.Context, peer string, req server.VoteRequest) (server.VoteResponse, error) {
+		mu.Lock()
+		peerAsked++
+		mu.Unlock()
+		return server.VoteResponse{Granted: true, Voter: peer}, nil
+	}
+	w, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 20; i++ {
+		if got := w.Tick(ctx); got == StatePromoting || got == StatePrimary {
+			t.Fatalf("tick %d: reached %v past a denied self-vote", i, got)
+		}
+	}
+	if ss.promotes != 0 {
+		t.Fatalf("promote called %d times past a denied self-vote", ss.promotes)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if peerAsked != 0 {
+		t.Fatalf("self-vote veto leaked %d peer vote requests", peerAsked)
+	}
+	if st := w.Status(); !strings.Contains(st.LastError, "self-vote") {
+		t.Fatalf("last error = %q, want the self-vote denial surfaced", st.LastError)
+	}
+}
+
+// TestWatchdogRebidsPastBurnedEpoch: after a split round every voter's
+// one durable vote for the epoch is spent, so the next bid must go one
+// past the highest epoch the candidate has voted in — rival candidates
+// pinned at the same number would deny each other forever.
+func TestWatchdogRebidsPastBurnedEpoch(t *testing.T) {
+	ss := &scriptedSeams{probeErrs: errs(10), promoteEpch: 1}
+	cfg := ss.config(2)
+	cfg.StandbyStatus = func(ctx context.Context) (server.ReplicationStatus, error) {
+		return server.ReplicationStatus{
+			Role: "follower", Epoch: 1, ID: "candidate",
+			VotedEpoch: 4, VotedFor: "rival",
+		}, nil
+	}
+	cfg.VotePeers = []string{"p1", "p2"}
+	var mu sync.Mutex
+	var bids []uint64
+	cfg.SelfVote = func(ctx context.Context, req server.VoteRequest) (server.VoteResponse, error) {
+		mu.Lock()
+		bids = append(bids, req.NewEpoch)
+		mu.Unlock()
+		return server.VoteResponse{Granted: true, Voter: req.Candidate}, nil
+	}
+	cfg.Vote = func(ctx context.Context, peer string, req server.VoteRequest) (server.VoteResponse, error) {
+		return server.VoteResponse{Granted: true, Voter: peer}, nil
+	}
+	w, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var state State
+	for i := 0; i < 10 && state != StatePrimary; i++ {
+		state = w.Tick(ctx)
+	}
+	if state != StatePrimary {
+		t.Fatalf("state = %v, want primary after a granted quorum", state)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(bids) == 0 {
+		t.Fatal("no self-vote was cast")
+	}
+	for _, b := range bids {
+		if b != 5 {
+			t.Fatalf("bid epoch %d, want 5 (one past the burned vote at 4)", b)
+		}
+	}
+}
+
+// TestWatchdogRivalCandidatesNeverShareEpoch is the regression for the
+// implicit-self-vote hole: primary A is dead, and followers B and C each
+// run a quorum watchdog over the same 3-member group (peers: A plus the
+// rival), racing to promote. Every vote — each candidate's own included —
+// goes through a real server's durable vote-once path, so whatever the
+// interleaving, two lineages must never come up under the same epoch.
+func TestWatchdogRivalCandidatesNeverShareEpoch(t *testing.T) {
+	mk := func(id string) *server.Server {
+		lw, _, err := wal.Open(t.TempDir(), wal.Options{SegmentBytes: 1 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { lw.Close() })
+		s, err := server.New(server.Config{
+			Ingress: []units.Bandwidth{1 * units.GBps},
+			Egress:  []units.Bandwidth{1 * units.GBps},
+			WAL:     lw,
+			Follow:  "http://127.0.0.1:0", // driven directly, never dialed
+			Epoch:   1,
+			ReplID:  id,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return s
+	}
+	b, c := mk("node-b"), mk("node-c")
+
+	wdFor := func(self, rival *server.Server) *Watchdog {
+		w, err := New(Config{
+			Misses: 1, MaxLagBytes: -1,
+			Probe: func(ctx context.Context) error { return errors.New("probe: primary dead") },
+			StandbyStatus: func(ctx context.Context) (server.ReplicationStatus, error) {
+				return self.ReplicationStatus(), nil
+			},
+			Promote:   func(ctx context.Context) (uint64, error) { return self.Promote() },
+			VotePeers: []string{"dead-primary", "rival"},
+			SelfVote: func(ctx context.Context, req server.VoteRequest) (server.VoteResponse, error) {
+				return self.HandleVote(req), nil
+			},
+			Vote: func(ctx context.Context, peer string, req server.VoteRequest) (server.VoteResponse, error) {
+				if peer == "dead-primary" {
+					return server.VoteResponse{}, errors.New("dial dead-primary: unreachable")
+				}
+				return rival.HandleVote(req), nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	wb, wc := wdFor(b, c), wdFor(c, b)
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	epochs := make([]uint64, 2)
+	for i, w := range []*Watchdog{wb, wc} {
+		wg.Add(1)
+		go func(i int, w *Watchdog) {
+			defer wg.Done()
+			for n := 0; n < 4000; n++ {
+				if w.Tick(ctx) == StatePrimary {
+					epochs[i] = w.Status().Epoch
+					return
+				}
+				// Stagger the rivals unevenly so the race explores many
+				// interleavings instead of locking into one phase.
+				time.Sleep(time.Duration((n*(i+1))%5) * time.Microsecond)
+			}
+		}(i, w)
+	}
+	wg.Wait()
+
+	if epochs[0] == 0 && epochs[1] == 0 {
+		t.Fatal("no candidate ever won with a reachable rival voter")
+	}
+	if epochs[0] != 0 && epochs[1] != 0 && epochs[0] == epochs[1] {
+		t.Fatalf("split brain: both candidates promoted at epoch %d", epochs[0])
+	}
+	// Cross-check the servers themselves, not just the watchdogs' view.
+	rb, rc := b.ReplicationStatus(), c.ReplicationStatus()
+	if rb.Role == "primary" && rc.Role == "primary" && rb.Epoch == rc.Epoch {
+		t.Fatalf("split brain: both servers primary at epoch %d", rb.Epoch)
 	}
 }
 

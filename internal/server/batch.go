@@ -30,12 +30,31 @@ import (
 // submissions of one batch competing for the same scarce window are
 // decided in (ingress, egress, input) order.
 
+// Durability outcomes for decisions that waited on synchronous follower
+// acks. Empty means no sync-ack wait applied to the call (async mode and
+// no Durable flag), or the result was served from the idempotency cache
+// by a flight whose wait already answered the original caller.
+const (
+	// DurabilityReplicated: enough follower cursors passed this call's
+	// WAL frontier before the answer left — the decision survives the
+	// loss of the primary.
+	DurabilityReplicated = "replicated"
+	// DurabilityDegraded: the sync-ack deadline lapsed; the decision is
+	// only locally durable and the caller that asked for replicated
+	// durability should retry or escalate.
+	DurabilityDegraded = "degraded"
+)
+
 // BatchResult is one submission's outcome within a batch: either a
 // Decision or a per-item error (malformed submission, or ErrClosed when
 // the server drained mid-batch).
 type BatchResult struct {
 	Decision Decision
 	Err      error
+	// Durability reports the sync-ack outcome for this decision — see the
+	// Durability* constants. A batch waits on one shared WAL frontier, so
+	// every decision of a call carries the same outcome.
+	Durability string
 }
 
 // batchItem carries one submission through the pipeline phases.
@@ -65,6 +84,21 @@ func (s *Server) SubmitBatch(subs []Submission) ([]BatchResult, error) {
 	return res, nil
 }
 
+// submitOne runs one submission through the batch pipeline and keeps the
+// full BatchResult, durability outcome included — the single-request HTTP
+// handler needs it on the wire, where the Decision-only Submit would
+// discard it.
+func (s *Server) submitOne(sub Submission) (BatchResult, error) {
+	res, err := s.submitMany([]Submission{sub})
+	if err != nil {
+		return BatchResult{}, err
+	}
+	if res[0].Err != nil {
+		return BatchResult{}, res[0].Err
+	}
+	return res[0], nil
+}
+
 func (s *Server) submitMany(subs []Submission) ([]BatchResult, error) {
 	if len(subs) == 0 {
 		return nil, fmt.Errorf("server: empty batch")
@@ -79,6 +113,9 @@ func (s *Server) submitMany(subs []Submission) ([]BatchResult, error) {
 	started := time.Now()
 	results := make([]BatchResult, len(subs))
 	var pending, waiting []*batchItem
+	// Indices whose decision this call published — the results a sync-ack
+	// wait vouches for (or fails to).
+	decidedIdx := make([]int, 0, len(subs))
 
 	// Phase 1: the global section — idempotency, IDs, domain checks.
 	s.mu.Lock()
@@ -133,11 +170,13 @@ func (s *Server) submitMany(subs []Submission) ([]BatchResult, error) {
 			d := s.rejectLocked(it.r, fmt.Sprintf("empty window: deadline %v not after start %v", it.r.Finish, it.r.Start))
 			s.settleLocked(it, d, nil)
 			results[i].Decision = d
+			decidedIdx = append(decidedIdx, i)
 		case it.r.MinRate() > it.r.MaxRate*(1+units.Eps):
 			d := s.rejectLocked(it.r, fmt.Sprintf("infeasible: needs %v to move %v in window but MaxRate is %v",
 				it.r.MinRate(), it.r.Volume, it.r.MaxRate))
 			s.settleLocked(it, d, nil)
 			results[i].Decision = d
+			decidedIdx = append(decidedIdx, i)
 		default:
 			if err := it.r.Validate(); err != nil {
 				err = fmt.Errorf("server: %w", err)
@@ -205,6 +244,7 @@ func (s *Server) submitMany(subs []Submission) ([]BatchResult, error) {
 		}
 		s.settleLocked(it, d, nil)
 		results[it.idx].Decision = d
+		decidedIdx = append(decidedIdx, it.idx)
 	}
 	// Synchronous-ack durability: the decisions just published were WAL'd
 	// under s.mu, so the append frontier now covers every frame of this
@@ -222,6 +262,16 @@ func (s *Server) submitMany(subs []Submission) ([]BatchResult, error) {
 	degraded := false
 	if !syncPos.IsZero() {
 		degraded = !s.acks.Wait(s.stop, syncPos, need, s.syncTimeout)
+		// The wait's outcome is part of each answer, not just a global
+		// counter: a caller that asked for replicated durability must be
+		// able to see when its specific ack was not replicated in time.
+		outcome := DurabilityReplicated
+		if degraded {
+			outcome = DurabilityDegraded
+		}
+		for _, i := range decidedIdx {
+			results[i].Durability = outcome
+		}
 	}
 
 	// Every submission this call decided (domain rejections from phase 1

@@ -307,11 +307,17 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 // re-targets the one that reports itself primary, preferring the highest
 // fencing epoch — during a partition both sides may claim the role, and
 // the higher epoch is the lineage whose writes are not fenced off. The
-// sweep stops as soon as a strict majority of the group has answered with
-// a primary among them: that is the group-consistent view, and waiting
-// for stragglers would bill every failover a full per-attempt timeout per
-// hung endpoint. When nothing answers as primary the client just rotates,
-// so repeated retries still sweep the list.
+// sweep stops early only once a strict majority of the group's members
+// have answered AND the best primary seen is at the answered group's
+// maximum epoch: a majority of live answers none of which out-epochs the
+// chosen primary means no fenced claimant can be hiding a newer lineage
+// among them, while a fast answer from a deposed primary alone proves
+// nothing — the slower, higher-epoch winner must still be waited for.
+// Errors never count toward that majority (a refused dial says nothing
+// about the group), so at worst the sweep drains every endpoint under
+// the per-attempt timeout instead of settling on a stale lineage. When
+// nothing answers as primary the client just rotates, so repeated
+// retries still sweep the list.
 func (c *Client) rediscover(ctx context.Context) {
 	c.mu.Lock()
 	endpoints := c.endpoints
@@ -331,12 +337,20 @@ func (c *Client) rediscover(ctx context.Context) {
 	}
 	majority := len(endpoints)/2 + 1
 	best, bestEpoch := -1, uint64(0)
+	answered, maxEpoch := 0, uint64(0)
 	for n := 1; n <= len(endpoints); n++ {
 		a := <-ch
-		if a.err == nil && a.rs.Role == "primary" && (best == -1 || a.rs.Epoch > bestEpoch) {
+		if a.err != nil {
+			continue
+		}
+		answered++
+		if a.rs.Epoch > maxEpoch {
+			maxEpoch = a.rs.Epoch
+		}
+		if a.rs.Role == "primary" && (best == -1 || a.rs.Epoch > bestEpoch) {
 			best, bestEpoch = a.idx, a.rs.Epoch
 		}
-		if n >= majority && best >= 0 {
+		if answered >= majority && best >= 0 && bestEpoch >= maxEpoch {
 			break
 		}
 	}

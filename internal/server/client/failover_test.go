@@ -19,6 +19,7 @@ type fakeDaemon struct {
 	ts     *httptest.Server
 	role   string
 	epoch  uint64
+	delay  time.Duration // added to every status answer
 	submit http.HandlerFunc
 
 	mu   sync.Mutex
@@ -30,6 +31,9 @@ func newFakeDaemon(t *testing.T, role string, epoch uint64, submit http.HandlerF
 	d := &fakeDaemon{role: role, epoch: epoch, submit: submit}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/replication/status", func(w http.ResponseWriter, r *http.Request) {
+		if d.delay > 0 {
+			time.Sleep(d.delay)
+		}
 		json.NewEncoder(w).Encode(server.ReplicationStatus{Role: d.role, Epoch: d.epoch})
 	})
 	mux.HandleFunc("POST /v1/requests", func(w http.ResponseWriter, r *http.Request) {
@@ -126,6 +130,39 @@ func TestRediscoverPrefersHighestEpoch(t *testing.T) {
 	}
 	if c.Endpoint() != promoted.ts.URL {
 		t.Fatalf("client sided with epoch-1 claimant %s, want the epoch-2 primary", c.Endpoint())
+	}
+}
+
+// TestRediscoverOutwaitsFastStaleClaimant: the deposed epoch-1 primary
+// answers the status probe instantly while the real epoch-2 primary is
+// slow; a follower's fast answer already proves epoch 2 exists. Settling
+// once "a majority answered and some primary was seen" would retarget
+// the fenced claimant — the sweep must keep draining until the best
+// primary seen is at the answered group's maximum epoch.
+func TestRediscoverOutwaitsFastStaleClaimant(t *testing.T) {
+	deposed := newFakeDaemon(t, "primary", 1, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(server.ErrorJSON{Error: "flapping"})
+	})
+	follower := newFakeDaemon(t, "follower", 2, refuseReadOnly)
+	promoted := newFakeDaemon(t, "primary", 2, acceptSubmit)
+	promoted.delay = 150 * time.Millisecond // last to answer, but the real winner
+
+	opts := instant(nil)
+	opts.CallTimeout = 2 * time.Second
+	c := NewWithOptions(deposed.ts.URL, nil, opts, follower.ts.URL, promoted.ts.URL)
+	r, err := c.Submit(context.Background(), server.SubmitRequest{
+		From: 0, To: 1, VolumeBytes: 1e9, DeadlineS: 100, MaxRateBps: 1e9,
+		IdempotencyKey: "xfer-45",
+	})
+	if err != nil || !r.Accepted {
+		t.Fatalf("submit past a fast fenced claimant: %v %+v", err, r)
+	}
+	if c.Endpoint() != promoted.ts.URL {
+		t.Fatalf("client settled on %s, want the slow epoch-2 primary", c.Endpoint())
+	}
+	if keys := promoted.seenKeys(); len(keys) != 1 || keys[0] != "xfer-45" {
+		t.Fatalf("promoted primary saw keys %v, want [xfer-45]", keys)
 	}
 }
 

@@ -78,6 +78,11 @@ type ReservationJSON struct {
 	SigmaS   float64 `json:"sigma_s,omitempty"`
 	TauS     float64 `json:"tau_s,omitempty"`
 	Reason   string  `json:"reason,omitempty"`
+	// Durability is the sync-ack outcome when the decision waited on
+	// follower acks: "replicated" (enough followers persisted it) or
+	// "degraded" (the deadline lapsed; it is only locally durable).
+	// Absent when no synchronous replication applied.
+	Durability string `json:"durability,omitempty"`
 }
 
 // PointJSON is the wire form of a PointStatus.
@@ -343,7 +348,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		sub.IdempotencyKey = hk
 	}
-	d, err := s.Submit(sub)
+	res, err := s.submitOne(sub)
 	switch {
 	case errors.Is(err, ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, err)
@@ -356,12 +361,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	code := http.StatusCreated
-	if !d.Accepted {
+	if !res.Decision.Accepted {
 		// An admission rejection is a well-formed domain answer, not an
 		// HTTP failure; 200 keeps it distinct from 4xx client errors.
 		code = http.StatusOK
 	}
-	writeJSON(w, code, decisionJSON(d))
+	rj := decisionJSON(res.Decision)
+	rj.Durability = res.Durability
+	writeJSON(w, code, rj)
 }
 
 // handleBatch decides a whole BatchRequest in one SubmitBatch pass.
@@ -418,6 +425,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				continue
 			}
 			d := decisionJSON(res.Decision)
+			d.Durability = res.Durability
 			out.Results[i].Reservation = &d
 		}
 	}

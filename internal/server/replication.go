@@ -311,6 +311,12 @@ func (s *Server) reanchorLocked(at float64) {
 // every live reservation gets the expiry timer following had deferred,
 // and a promote marker lands in the log. Promoting a primary is answered
 // with ErrNotFollower and the unchanged epoch, making retries harmless.
+//
+// The installed epoch honours the durable vote record: a node whose own
+// election was bid past old-epoch+1 installs the epoch its quorum
+// actually endorsed, and a node that endorsed a rival at or past the
+// epoch it would install refuses outright — two lineages must never
+// share an epoch number.
 func (s *Server) Promote() (uint64, error) {
 	s.mu.Lock()
 	if s.closed {
@@ -322,10 +328,27 @@ func (s *Server) Promote() (uint64, error) {
 		s.mu.Unlock()
 		return epoch, ErrNotFollower
 	}
+	next := s.repl.epoch + 1
+	if s.repl.votedEpoch >= next {
+		if s.replID == "" || s.repl.votedFor != s.replID {
+			// This node's durable vote endorses a rival at or past the
+			// epoch it would install; promoting would plant a lineage on
+			// a number the rival's election may own. Refuse and stay a
+			// follower — the watchdog's next round bids past the record.
+			err := fmt.Errorf("server: promotion refused: endorsed %q for epoch %d", s.repl.votedFor, s.repl.votedEpoch)
+			epoch := s.repl.epoch
+			s.mu.Unlock()
+			return epoch, err
+		}
+		// An election with epoch bidding endorsed this node at a higher
+		// number than old-epoch+1; install the quorum-endorsed epoch so
+		// no rival can later be elected under the same number.
+		next = s.repl.votedEpoch
+	}
 	s.advanceLocked()
 	s.repl.following = false
 	s.repl.source = ""
-	s.repl.epoch++
+	s.repl.epoch = next
 	epoch := s.repl.epoch
 	done := s.stopPullLocked()
 	if s.wal != nil {
@@ -653,6 +676,12 @@ func (s *Server) HandleVote(req VoteRequest) VoteResponse {
 	if !s.repl.following {
 		return deny("voter is a live primary")
 	}
+	if s.wal == nil {
+		// A memory-only vote record is forgotten by a crash-restart, which
+		// could then endorse a rival for the same epoch — the vote-once
+		// guarantee only holds when the vote outlives the process.
+		return deny("no durable vote store")
+	}
 	if req.NewEpoch <= s.repl.epoch {
 		return deny(fmt.Sprintf("stale election: proposed epoch %d not past current %d", req.NewEpoch, s.repl.epoch))
 	}
@@ -663,13 +692,11 @@ func (s *Server) HandleVote(req VoteRequest) VoteResponse {
 		return deny(fmt.Sprintf("candidate cursor %v behind voter cursor %v", req.Cursor, s.repl.cursor))
 	}
 	if s.repl.votedEpoch < req.NewEpoch || s.repl.votedFor != req.Candidate {
-		if s.wal != nil {
-			if err := wal.SaveVote(s.wal.Dir(), wal.Vote{Epoch: req.NewEpoch, Candidate: req.Candidate}); err != nil {
-				// A vote that cannot be made durable must not be cast: a
-				// crash could forget it and endorse a rival next boot.
-				s.stats.RecordLogAppendFailure()
-				return deny("vote persistence failed")
-			}
+		if err := wal.SaveVote(s.wal.Dir(), wal.Vote{Epoch: req.NewEpoch, Candidate: req.Candidate}); err != nil {
+			// A vote that cannot be made durable must not be cast: a
+			// crash could forget it and endorse a rival next boot.
+			s.stats.RecordLogAppendFailure()
+			return deny("vote persistence failed")
 		}
 		s.repl.votedEpoch, s.repl.votedFor = req.NewEpoch, req.Candidate
 	}
@@ -730,8 +757,12 @@ func (s *Server) handleReplPull(w http.ResponseWriter, r *http.Request) {
 	// The presented cursor doubles as a durability ack: the follower only
 	// advances it after the covered records are applied and persisted
 	// locally, so everything before pos is replicated on that follower.
-	// A zero cursor has nothing to acknowledge yet.
-	if id := q.Get("id"); id != "" && !pos.IsZero() {
+	// A zero cursor has nothing to acknowledge yet. A cursor past the
+	// local frontier cannot be acknowledging local history — it is a
+	// buggy or wrong-lineage caller, and recording it would forward-run
+	// the ack table and falsely satisfy sync-ack quorum waits — so only
+	// positions the WAL has actually written count.
+	if id := q.Get("id"); id != "" && !pos.IsZero() && !s.wal.End().Less(pos) {
 		s.acks.Record(id, pos)
 	}
 	// A zero cursor asks for the very beginning of history, not for

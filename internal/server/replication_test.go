@@ -2,6 +2,7 @@ package server_test
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"net/http/httptest"
 	"strings"
@@ -150,6 +151,118 @@ func TestReplicationFollowerLifecycle(t *testing.T) {
 	}
 	if err := follower.VerifyInvariant(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestVoteRequiresDurableStore: a voter without a WAL would keep its vote
+// only in memory, and a crash-restart could endorse a second candidate
+// for the same epoch — so a WAL-less member must not vote at all.
+func TestVoteRequiresDurableStore(t *testing.T) {
+	cfg := uniformConfig(nil)
+	cfg.Follow = "http://127.0.0.1:0"
+	cfg.Epoch = 1
+	s := newTestServer(t, cfg)
+	resp := s.HandleVote(server.VoteRequest{Candidate: "b", NewEpoch: 2, Epoch: 1})
+	if resp.Granted || !strings.Contains(resp.Reason, "durable") {
+		t.Fatalf("WAL-less vote answer %+v, want denial citing the missing durable store", resp)
+	}
+
+	// The same request against a WAL-backed voter is granted.
+	dcfg := uniformConfig(nil)
+	dcfg.WAL = openTestWAL(t)
+	dcfg.Follow = "http://127.0.0.1:0"
+	dcfg.Epoch = 1
+	durable := newTestServer(t, dcfg)
+	if resp := durable.HandleVote(server.VoteRequest{Candidate: "b", NewEpoch: 2, Epoch: 1}); !resp.Granted {
+		t.Fatalf("durable voter denied: %+v", resp)
+	}
+}
+
+// TestSyncAckDurabilityOnTheWire pins down two sync-ack contracts at the
+// HTTP layer. First, a pull presenting a cursor past the WAL frontier is
+// not a durability ack — recording it would let one rogue (or buggy)
+// caller forward-run the ack table and silently void every sync wait.
+// Second, the sync wait's outcome is part of each answer: a durable
+// submission that degrades at the deadline says "degraded" in its own
+// result, and one whose acks arrived says "replicated" — the caller can
+// tell, per request, whether the promised replication happened.
+func TestSyncAckDurabilityOnTheWire(t *testing.T) {
+	pcfg := uniformConfig(nil)
+	pcfg.WAL = openTestWAL(t)
+	pcfg.SyncMode = "one"
+	pcfg.SyncTimeout = 500 * time.Millisecond
+	primary := newTestServer(t, pcfg)
+	ts := httptest.NewServer(primary.Handler())
+	defer ts.Close()
+
+	// A rogue caller acks a cursor far beyond anything the WAL has
+	// written. If that entered the ack table, the sync wait below would
+	// be satisfied instantly and falsely.
+	if resp, err := ts.Client().Get(ts.URL + "/v1/replication/pull?seg=99&off=1048576&max=1&id=rogue"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+
+	submitDurable := func() server.ReservationJSON {
+		t.Helper()
+		body := `{"from":0,"to":1,"volume_bytes":1e9,"deadline_s":3600,"max_rate_bps":1e9,"durable":true}`
+		resp, err := ts.Client().Post(ts.URL+"/v1/requests", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var rj server.ReservationJSON
+		if err := json.NewDecoder(resp.Body).Decode(&rj); err != nil {
+			t.Fatal(err)
+		}
+		if !rj.Accepted {
+			t.Fatalf("durable submit not accepted: %+v", rj)
+		}
+		return rj
+	}
+
+	// No follower is attached: the wait must lapse, and the degradation
+	// must be visible in this result, not just a global counter.
+	if rj := submitDurable(); rj.Durability != server.DurabilityDegraded {
+		t.Fatalf("durability with no follower = %q, want %q (rogue ack must not count)",
+			rj.Durability, server.DurabilityDegraded)
+	}
+
+	// Attach a real named follower; once its pull cursor covers the next
+	// decision's frame the same call must answer "replicated".
+	fcfg := uniformConfig(nil)
+	fcfg.WAL = openTestWAL(t)
+	fcfg.Follow = ts.URL
+	fcfg.ReplID = "f1"
+	follower := newTestServer(t, fcfg)
+	if err := follower.StartFollowing(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "follower catch-up", func() bool {
+		return follower.ReplicationStatus().LagBytes == 0
+	})
+	if rj := submitDurable(); rj.Durability != server.DurabilityReplicated {
+		t.Fatalf("durability with an acking follower = %q, want %q",
+			rj.Durability, server.DurabilityReplicated)
+	}
+
+	// The batch endpoint carries the same per-result field.
+	batch := `{"requests":[{"from":1,"to":0,"volume_bytes":1e9,"deadline_s":3600,"max_rate_bps":1e9,"durable":true}]}`
+	resp, err := ts.Client().Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var br server.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != 1 || br.Results[0].Reservation == nil {
+		t.Fatalf("batch response: %+v", br)
+	}
+	if got := br.Results[0].Reservation.Durability; got != server.DurabilityReplicated {
+		t.Fatalf("batch durability = %q, want %q", got, server.DurabilityReplicated)
 	}
 }
 

@@ -547,14 +547,8 @@ func (s *Server) validateSubmission(sub Submission) error {
 // of the batched pipeline, so both paths share every locking and
 // idempotency rule.
 func (s *Server) Submit(sub Submission) (Decision, error) {
-	res, err := s.submitMany([]Submission{sub})
-	if err != nil {
-		return Decision{}, err
-	}
-	if res[0].Err != nil {
-		return Decision{}, res[0].Err
-	}
-	return res[0].Decision, nil
+	res, err := s.submitOne(sub)
+	return res.Decision, err
 }
 
 // rememberLocked caches an idempotency-cache slot under its key, bounded
