@@ -116,6 +116,7 @@ func run(args []string) error {
 			ReplID:      id,
 			SyncMode:    *replSync,
 			SyncTimeout: *replSyncTimeout,
+			Peers:       peerList,
 		},
 	}
 	if len(peerList) > 0 {

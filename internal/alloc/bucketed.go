@@ -1,0 +1,258 @@
+package alloc
+
+import (
+	"fmt"
+	"math"
+
+	"gridbw/internal/units"
+)
+
+// Default bucket geometry for bucketed profiles created by NewSharded.
+// One-second buckets over a ~68-minute live window cover every span the
+// admission hot path touches (grants run seconds to minutes, book-ahead
+// slack is a small multiple of that); anything further out falls back to
+// the exact breakpoint scan.
+const (
+	DefaultBucketWidth units.Time = 1
+	DefaultBucketCount            = 4096
+)
+
+// buckets caches, per fixed-width time bucket, the maximum usage of the
+// owning profile over that bucket. The breakpoint list stays authoritative;
+// the cache only accelerates MaxUsedIn (and through it Fits/FreeIn/Reserve)
+// over the live window: interior buckets answer in O(1) instead of a
+// breakpoint scan.
+//
+// Buckets are numbered absolutely: bucket k covers [k·width, (k+1)·width).
+// The cache is a ring holding buckets firstB .. firstB+len(max)-1; it only
+// ever slides forward, and by at most len(max) buckets at a time, so a
+// far-future book-ahead cannot strand the window ahead of the live region.
+//
+// Exactness invariant: max[slot(k)] equals the breakpoint-list maximum over
+// bucket k, bit for bit. It is maintained as follows:
+//   - a reserve/release fully covering a bucket shifts every segment in it
+//     by the same constant, so the cached max shifts by exactly that
+//     constant (float rounding is monotone, so max commutes with the add);
+//   - a release that would drive the shifted max below zero mirrors the
+//     profile's clamp-to-zero, which is again exact because every clamped
+//     segment lands on 0 ≤ max;
+//   - partially covered edge buckets, and buckets newly exposed by a
+//     slide, are recomputed from the breakpoints.
+type buckets struct {
+	width  units.Time
+	firstB int64 // absolute index of the oldest cached bucket
+	max    []units.Bandwidth
+	// mask turns the ring modulo into an AND: len(max) is forced to a
+	// power of two. Every slot() call sites clamps k into the cached
+	// window first, and firstB never goes negative, so k >= 0 holds.
+	mask int64
+	// invWidth trades bucketOf's division for a multiply; the guess it
+	// produces is corrected against exact edges, so the lost precision
+	// never changes an answer.
+	invWidth float64
+	// covered is the right edge of the cached window, start(lastB()+1):
+	// spans ending at or before it need no slide, letting ensureCover
+	// fast-out on one comparison instead of a bucket computation.
+	covered units.Time
+}
+
+// NewBucketedProfile returns an empty profile whose MaxUsedIn queries are
+// served from a sliding window of n buckets of the given width. Answers are
+// identical to NewProfile's — the cache is exact — only faster over the
+// live window.
+func NewBucketedProfile(capacity units.Bandwidth, width units.Time, n int) *Profile {
+	p := NewProfile(capacity)
+	if width <= 0 {
+		panic(fmt.Sprintf("alloc: non-positive bucket width %v", width))
+	}
+	if n <= 0 {
+		panic(fmt.Sprintf("alloc: non-positive bucket count %d", n))
+	}
+	// Round the ring up to a power of two so slot() is a mask, not a
+	// modulo — the admission hot path walks tens of buckets per decision.
+	ring := 1
+	for ring < n {
+		ring <<= 1
+	}
+	p.b = &buckets{
+		width:    width,
+		max:      make([]units.Bandwidth, ring),
+		mask:     int64(ring - 1),
+		invWidth: 1 / float64(width),
+		covered:  units.Time(ring) * width,
+	}
+	return p
+}
+
+// Bucketed reports whether the profile carries a bucket cache.
+func (p *Profile) Bucketed() bool { return p.b != nil }
+
+func (b *buckets) slot(k int64) int { return int(k & b.mask) }
+
+// start is the left edge of bucket k. Computed as a single multiply so the
+// same k always yields the same float, independent of slide history.
+func (b *buckets) start(k int64) units.Time { return units.Time(k) * b.width }
+
+// lastB is the absolute index of the newest cached bucket.
+func (b *buckets) lastB() int64 { return b.firstB + int64(len(b.max)) - 1 }
+
+// bucketOf returns the absolute index of the bucket containing instant t,
+// correcting the float division against the exact bucket edges.
+func (b *buckets) bucketOf(t units.Time) int64 {
+	k := int64(math.Floor(float64(t) * b.invWidth))
+	for b.start(k) > t {
+		k--
+	}
+	for b.start(k+1) <= t {
+		k++
+	}
+	return k
+}
+
+// lastBucketTouched returns the bucket containing the last instant of the
+// half-open span ending at t1 (i.e. the instants just below t1).
+func (b *buckets) lastBucketTouched(t1 units.Time) int64 {
+	k := b.bucketOf(t1)
+	if b.start(k) == t1 {
+		k--
+	}
+	return k
+}
+
+// ensureCover slides the window forward so the span ending at t1 is
+// covered, recomputing newly exposed buckets from the breakpoints. Slides
+// are forward-only and bounded: a span ending more than a full window past
+// the current coverage is a far-future book-ahead and does not move the
+// window (callers fall back to the raw scan for it).
+func (p *Profile) ensureCover(t1 units.Time) {
+	b := p.b
+	if t1 <= b.covered {
+		return
+	}
+	kEnd := b.lastBucketTouched(t1)
+	slide := kEnd - b.lastB()
+	if slide <= 0 || slide > int64(len(b.max)) {
+		return
+	}
+	for i := int64(1); i <= slide; i++ {
+		k := b.lastB() + i
+		b.max[b.slot(k)] = p.maxUsedRaw(b.start(k), b.start(k+1))
+	}
+	b.firstB += slide
+	b.covered = b.start(b.lastB() + 1)
+}
+
+// maxUsedBuckets answers MaxUsedIn from the bucket cache. ok is false when
+// any part of the span lies outside the cached window; the caller then
+// falls back to the exact breakpoint scan.
+func (p *Profile) maxUsedBuckets(t0, t1 units.Time) (units.Bandwidth, bool) {
+	b := p.b
+	p.ensureCover(t1)
+	kLo := b.bucketOf(t0)
+	kEnd := b.lastBucketTouched(t1)
+	if kLo < b.firstB || kEnd > b.lastB() {
+		return 0, false
+	}
+	// Only the two edge buckets can be partially covered — any interior
+	// bucket starts after t0 and ends before t1 by construction — so the
+	// interior walks the ring directly with no edge arithmetic.
+	m := p.edgeMax(kLo, t0, t1)
+	if kEnd > kLo {
+		if u := p.edgeMax(kEnd, t0, t1); u > m {
+			m = u
+		}
+	}
+	s := b.slot(kLo + 1)
+	for k := kLo + 1; k < kEnd; k++ {
+		if u := b.max[s]; u > m {
+			m = u
+		}
+		if s++; s == len(b.max) {
+			s = 0
+		}
+	}
+	return m, true
+}
+
+// edgeMax is the maximum usage of bucket k restricted to [t0, t1): the
+// cached value when the span covers the bucket, an exact scan otherwise.
+func (p *Profile) edgeMax(k int64, t0, t1 units.Time) units.Bandwidth {
+	b := p.b
+	bs, be := b.start(k), b.start(k+1)
+	if t0 <= bs && be <= t1 {
+		return b.max[b.slot(k)]
+	}
+	if t0 > bs {
+		bs = t0
+	}
+	if t1 < be {
+		be = t1
+	}
+	return p.maxUsedRaw(bs, be)
+}
+
+// bucketsAfterAdd repairs the cache after add(t0, t1, bw) mutated the
+// breakpoint list. Fully covered buckets shift by bw (clamped at zero,
+// mirroring add's clamp); edge buckets are recomputed exactly.
+func (p *Profile) bucketsAfterAdd(t0, t1 units.Time, bw units.Bandwidth) {
+	b := p.b
+	kLo := b.bucketOf(t0)
+	kEnd := b.lastBucketTouched(t1)
+	if kEnd < b.firstB || kLo > b.lastB() {
+		return
+	}
+	if kLo < b.firstB {
+		kLo = b.firstB
+	}
+	if kEnd > b.lastB() {
+		kEnd = b.lastB()
+	}
+	// Edge buckets may be partially covered (recomputed exactly); interior
+	// buckets are fully covered, so their cached max shifts by bw with the
+	// same clamp the segment update applied.
+	p.edgeRepair(kLo, t0, t1, bw)
+	if kEnd > kLo {
+		p.edgeRepair(kEnd, t0, t1, bw)
+	}
+	s := b.slot(kLo + 1)
+	for k := kLo + 1; k < kEnd; k++ {
+		m := b.max[s] + bw
+		if m < 0 {
+			m = 0
+		}
+		b.max[s] = m
+		if s++; s == len(b.max) {
+			s = 0
+		}
+	}
+}
+
+// edgeRepair fixes bucket k after add(t0, t1, bw): shift when fully
+// covered, exact recompute when the span only clips it.
+func (p *Profile) edgeRepair(k int64, t0, t1 units.Time, bw units.Bandwidth) {
+	b := p.b
+	bs, be := b.start(k), b.start(k+1)
+	s := b.slot(k)
+	if t0 <= bs && be <= t1 {
+		m := b.max[s] + bw
+		if m < 0 {
+			m = 0
+		}
+		b.max[s] = m
+		return
+	}
+	b.max[s] = p.maxUsedRaw(bs, be)
+}
+
+// checkBuckets audits the exactness invariant: every cached bucket must
+// equal the breakpoint-list maximum over its range.
+func (p *Profile) checkBuckets() error {
+	b := p.b
+	for k := b.firstB; k <= b.lastB(); k++ {
+		want := p.maxUsedRaw(b.start(k), b.start(k+1))
+		if got := b.max[b.slot(k)]; got != want {
+			return fmt.Errorf("alloc: bucket %d cache %v != breakpoint max %v", k, got, want)
+		}
+	}
+	return nil
+}

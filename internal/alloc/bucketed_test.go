@@ -1,0 +1,146 @@
+package alloc
+
+import (
+	"math/rand"
+	"testing"
+
+	"gridbw/internal/units"
+)
+
+// TestBucketedMatchesOracleRandom drives a bucketed profile and a plain
+// breakpoint profile through the same seeded random reserve/release/query
+// schedule and demands bit-identical answers. The bucket window is tiny
+// (16 × 1s) so the schedule constantly slides it, falls back for far-future
+// book-ahead, and releases spans that have already slid out of coverage.
+func TestBucketedMatchesOracleRandom(t *testing.T) {
+	const capBW = units.Bandwidth(1000)
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		bp := NewBucketedProfile(capBW, 1, 16)
+		oracle := NewProfile(capBW)
+
+		type resv struct {
+			t0, t1 units.Time
+			bw     units.Bandwidth
+		}
+		var live []resv
+		now := units.Time(0)
+
+		span := func() (units.Time, units.Time) {
+			t0 := now
+			switch rng.Intn(5) {
+			case 0: // aligned exactly on bucket edges
+				t0 = units.Time(int(now) + rng.Intn(4))
+			case 1: // in the past, often below coverage after slides
+				t0 = now - units.Time(rng.Float64()*20)
+			case 2: // far future, beyond the 16-bucket window
+				t0 = now + units.Time(40+rng.Float64()*200)
+			case 3: // just past the coverage edge, forcing a slide
+				t0 = now + units.Time(10+rng.Float64()*10)
+			default:
+				t0 = now + units.Time(rng.Float64()*8)
+			}
+			dur := units.Time(0.1 + rng.Float64()*12)
+			if rng.Intn(3) == 0 {
+				dur = units.Time(1 + rng.Intn(8)) // integral length, edge-aligned ends
+			}
+			return t0, t0 + dur
+		}
+
+		for step := 0; step < 3000; step++ {
+			now += units.Time(rng.Float64() * 0.7)
+			switch rng.Intn(6) {
+			case 0, 1: // reserve
+				t0, t1 := span()
+				bw := units.Bandwidth(rng.Float64() * 400)
+				errB := bp.Reserve(t0, t1, bw)
+				errO := oracle.Reserve(t0, t1, bw)
+				if (errB == nil) != (errO == nil) {
+					t.Fatalf("seed %d step %d: Reserve(%v,%v,%v) bucketed err=%v oracle err=%v",
+						seed, step, t0, t1, bw, errB, errO)
+				}
+				if errB == nil {
+					live = append(live, resv{t0, t1, bw})
+				}
+			case 2: // release a random live reservation
+				if len(live) == 0 {
+					continue
+				}
+				i := rng.Intn(len(live))
+				r := live[i]
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+				bp.Release(r.t0, r.t1, r.bw)
+				oracle.Release(r.t0, r.t1, r.bw)
+			case 3: // MaxUsedIn / FreeIn
+				t0, t1 := span()
+				if got, want := bp.MaxUsedIn(t0, t1), oracle.MaxUsedIn(t0, t1); got != want {
+					t.Fatalf("seed %d step %d: MaxUsedIn(%v,%v) = %v, oracle %v", seed, step, t0, t1, got, want)
+				}
+				if got, want := bp.FreeIn(t0, t1), oracle.FreeIn(t0, t1); got != want {
+					t.Fatalf("seed %d step %d: FreeIn(%v,%v) = %v, oracle %v", seed, step, t0, t1, got, want)
+				}
+			case 4: // Fits
+				t0, t1 := span()
+				bw := units.Bandwidth(rng.Float64() * 600)
+				if got, want := bp.Fits(t0, t1, bw), oracle.Fits(t0, t1, bw); got != want {
+					t.Fatalf("seed %d step %d: Fits(%v,%v,%v) = %v, oracle %v", seed, step, t0, t1, bw, got, want)
+				}
+			case 5: // UsedAt probe
+				tp := now + units.Time(rng.Float64()*30-10)
+				if got, want := bp.UsedAt(tp), oracle.UsedAt(tp); got != want {
+					t.Fatalf("seed %d step %d: UsedAt(%v) = %v, oracle %v", seed, step, tp, got, want)
+				}
+			}
+			if step%97 == 0 {
+				if err := bp.CheckInvariant(); err != nil {
+					t.Fatalf("seed %d step %d: %v", seed, step, err)
+				}
+			}
+		}
+
+		for _, r := range live {
+			bp.Release(r.t0, r.t1, r.bw)
+			oracle.Release(r.t0, r.t1, r.bw)
+		}
+		if err := bp.CheckInvariant(); err != nil {
+			t.Fatalf("seed %d final: %v", seed, err)
+		}
+		if got, want := bp.MaxUsedIn(-50, now+500), oracle.MaxUsedIn(-50, now+500); got != want {
+			t.Fatalf("seed %d final: MaxUsedIn = %v, oracle %v", seed, got, want)
+		}
+	}
+}
+
+// TestBucketedSlideIsBounded pins the far-future fallback: a book-ahead
+// reserve beyond a full window must not move the window, so live-window
+// queries keep their bucket coverage.
+func TestBucketedSlideIsBounded(t *testing.T) {
+	p := NewBucketedProfile(100, 1, 8)
+	if err := p.Reserve(0, 4, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Far beyond coverage: handled by the raw path, window must stay put.
+	if err := p.Reserve(1000, 1010, 50); err != nil {
+		t.Fatal(err)
+	}
+	if p.b.firstB != 0 {
+		t.Fatalf("far-future reserve slid the window to bucket %d", p.b.firstB)
+	}
+	if got := p.MaxUsedIn(0, 4); got != 10 {
+		t.Fatalf("live window MaxUsedIn = %v, want 10", got)
+	}
+	if got := p.MaxUsedIn(999, 1011); got != 50 {
+		t.Fatalf("far-future MaxUsedIn = %v, want 50", got)
+	}
+	// A nearby span slides forward normally.
+	if err := p.Reserve(10, 12, 5); err != nil {
+		t.Fatal(err)
+	}
+	if p.b.firstB == 0 {
+		t.Fatal("near-future reserve did not slide the window")
+	}
+	if err := p.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}

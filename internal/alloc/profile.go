@@ -32,6 +32,11 @@ type Profile struct {
 	// of zero usage on (-inf, +inf); we materialize it lazily.
 	times []units.Time
 	usage []units.Bandwidth
+	// b, when non-nil, caches per-bucket usage maxima over a sliding live
+	// window so MaxUsedIn answers in O(buckets) instead of scanning
+	// breakpoints. See NewBucketedProfile; nil profiles are pure
+	// breakpoint lists.
+	b *buckets
 }
 
 // NewProfile returns an empty profile for a point with the given capacity.
@@ -100,6 +105,17 @@ func validSpan(t0, t1 units.Time) {
 // MaxUsedIn reports the maximum usage over [t0, t1).
 func (p *Profile) MaxUsedIn(t0, t1 units.Time) units.Bandwidth {
 	validSpan(t0, t1)
+	if p.b != nil {
+		if m, ok := p.maxUsedBuckets(t0, t1); ok {
+			return m
+		}
+	}
+	return p.maxUsedRaw(t0, t1)
+}
+
+// maxUsedRaw is the exact breakpoint-list scan behind MaxUsedIn — the
+// oracle the bucket cache is audited against.
+func (p *Profile) maxUsedRaw(t0, t1 units.Time) units.Bandwidth {
 	var max units.Bandwidth
 	i := p.locate(t0)
 	for ; i < len(p.times); i++ {
@@ -172,6 +188,12 @@ func (p *Profile) Release(t0, t1 units.Time, bw units.Bandwidth) {
 }
 
 func (p *Profile) add(t0, t1 units.Time, bw units.Bandwidth) {
+	if p.b != nil {
+		// Slide before mutating so newly exposed buckets are recomputed
+		// from a consistent pre-add view; bucketsAfterAdd then applies
+		// the delta to every bucket the span touches.
+		p.ensureCover(t1)
+	}
 	i0 := p.split(t0)
 	i1 := p.split(t1)
 	for i := i0; i < i1; i++ {
@@ -184,23 +206,40 @@ func (p *Profile) add(t0, t1 units.Time, bw units.Bandwidth) {
 		}
 		p.usage[i] = u
 	}
-	p.coalesce()
+	// Only segments in [i0-1, i1] can have gained an equal neighbor: the
+	// shifted range moved by one constant (plus the clamp), everything
+	// else is untouched and was already coalesced.
+	p.coalesceRange(i0-1, i1)
+	if p.b != nil {
+		p.bucketsAfterAdd(t0, t1, bw)
+	}
 }
 
-// coalesce merges adjacent segments with equal usage to keep the profile
-// compact under long reserve/release sequences.
-func (p *Profile) coalesce() {
-	w := 0
-	for i := 0; i < len(p.times); i++ {
-		if w > 0 && p.usage[i] == p.usage[w-1] {
+// coalesceRange merges adjacent equal-usage segments whose index lies in
+// [lo, hi], shifting the tail down over any removed entries. Bounding the
+// scan keeps add O(touched segments) instead of rescanning the profile.
+func (p *Profile) coalesceRange(lo, hi int) {
+	if lo < 1 {
+		lo = 1
+	}
+	if hi > len(p.times)-1 {
+		hi = len(p.times) - 1
+	}
+	w := lo
+	for i := lo; i <= hi; i++ {
+		if p.usage[i] == p.usage[w-1] {
 			continue
 		}
 		p.times[w] = p.times[i]
 		p.usage[w] = p.usage[i]
 		w++
 	}
-	p.times = p.times[:w]
-	p.usage = p.usage[:w]
+	if w <= hi {
+		n := copy(p.times[w:], p.times[hi+1:])
+		copy(p.usage[w:], p.usage[hi+1:])
+		p.times = p.times[:w+n]
+		p.usage = p.usage[:w+n]
+	}
 }
 
 // Integral reports ∫ usage dt over [t0, t1) — allocated volume, used by
@@ -241,8 +280,15 @@ func (p *Profile) Breakpoints() int { return len(p.times) }
 // locate), so book-ahead candidate enumeration on a long-lived profile
 // costs O(log n + answer) instead of a full sweep from time zero.
 func (p *Profile) BreakpointTimes(from, to units.Time) []units.Time {
+	return p.AppendBreakpointTimes(nil, from, to)
+}
+
+// AppendBreakpointTimes appends the breakpoints of (from, to] to dst and
+// returns it — the allocation-free form of BreakpointTimes for callers
+// with a reusable scratch slice.
+func (p *Profile) AppendBreakpointTimes(dst []units.Time, from, to units.Time) []units.Time {
 	if to < from {
-		return nil
+		return dst
 	}
 	i := p.locate(from)
 	if p.times[i] <= from {
@@ -251,11 +297,10 @@ func (p *Profile) BreakpointTimes(from, to units.Time) []units.Time {
 		// breakpoint is times[locate(from)] > from already.)
 		i++
 	}
-	var out []units.Time
 	for ; i < len(p.times) && p.times[i] <= to; i++ {
-		out = append(out, p.times[i])
+		dst = append(dst, p.times[i])
 	}
-	return out
+	return dst
 }
 
 // EarliestFit reports the earliest start t in [from, latest] such that an
@@ -293,6 +338,11 @@ func (p *Profile) CheckInvariant() error {
 		}
 		if !units.FitsWithin(u, 0, p.capacity) {
 			return fmt.Errorf("alloc: usage %v exceeds capacity %v at segment %d", u, p.capacity, i)
+		}
+	}
+	if p.b != nil {
+		if err := p.checkBuckets(); err != nil {
+			return err
 		}
 	}
 	return nil

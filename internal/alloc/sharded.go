@@ -58,17 +58,20 @@ func (sh *shard) lock() {
 
 func (sh *shard) unlock() { sh.mu.Unlock() }
 
-// NewSharded returns an empty sharded ledger over net.
+// NewSharded returns an empty sharded ledger over net. Its profiles carry
+// the bucketed live-window cache (see NewBucketedProfile): admission
+// answers are identical to plain profiles, but MaxUsedIn over the live
+// window is O(buckets) instead of a breakpoint scan.
 func NewSharded(net *topology.Network) *Sharded {
 	l := &Sharded{net: net}
 	for i := 0; i < net.NumIngress(); i++ {
 		l.in = append(l.in, &shard{
-			p:       NewProfile(net.Bin(topology.PointID(i))),
+			p:       NewBucketedProfile(net.Bin(topology.PointID(i)), DefaultBucketWidth, DefaultBucketCount),
 			granted: make(map[request.ID]grantRecord),
 		})
 	}
 	for e := 0; e < net.NumEgress(); e++ {
-		l.eg = append(l.eg, &shard{p: NewProfile(net.Bout(topology.PointID(e)))})
+		l.eg = append(l.eg, &shard{p: NewBucketedProfile(net.Bout(topology.PointID(e)), DefaultBucketWidth, DefaultBucketCount)})
 	}
 	return l
 }
@@ -92,10 +95,18 @@ type PairTx struct {
 // Pair locks the route's ingress and egress shards in the global order and
 // returns the transaction handle.
 func (l *Sharded) Pair(in, eg topology.PointID) *PairTx {
-	tx := &PairTx{l: l, ingress: in, egress: eg, in: l.in[int(in)], eg: l.eg[int(eg)]}
+	tx := new(PairTx)
+	l.LockPair(tx, in, eg)
+	return tx
+}
+
+// LockPair re-initializes tx onto the (in, eg) route and locks both shards
+// in the global order. It lets hot paths reuse a caller-owned PairTx
+// instead of allocating one per admission; tx must not be currently locked.
+func (l *Sharded) LockPair(tx *PairTx, in, eg topology.PointID) {
+	*tx = PairTx{l: l, ingress: in, egress: eg, in: l.in[int(in)], eg: l.eg[int(eg)]}
 	tx.in.lock()
 	tx.eg.lock()
-	return tx
 }
 
 // Ingress returns the locked ingress profile.

@@ -23,9 +23,13 @@ import (
 // the simulator so it can schedule further events.
 type Event func(sim *Simulator)
 
-// Handle identifies a scheduled event so it can be cancelled.
+// Handle identifies a scheduled event so it can be cancelled. Items are
+// recycled on an internal free list once fired or drained; the generation
+// stamp makes a stale Handle (to an already recycled item) an exact no-op
+// instead of an aliased cancellation.
 type Handle struct {
 	item *item
+	gen  uint64
 }
 
 type item struct {
@@ -33,7 +37,9 @@ type item struct {
 	seq       uint64
 	fn        Event
 	cancelled bool
-	index     int // heap index, -1 once popped
+	index     int    // heap index, -1 once popped
+	gen       uint64 // bumped on recycle; Handles carry the gen they saw
+	next      *item  // free-list link
 }
 
 type eventHeap []*item
@@ -75,6 +81,16 @@ type Simulator struct {
 	// Trace, when non-nil, is called before each event fires.
 	Trace func(at units.Time)
 	fired uint64
+	free  *item // recycled items; the kernel is single-threaded, no lock
+}
+
+// recycle returns a popped item to the free list. Bumping the generation
+// first invalidates every outstanding Handle to it.
+func (s *Simulator) recycle(it *item) {
+	it.gen++
+	it.fn = nil
+	it.next = s.free
+	s.free = it
 }
 
 // New returns a simulator with the clock at 0.
@@ -101,10 +117,16 @@ func (s *Simulator) At(at units.Time, fn Event) Handle {
 	if fn == nil {
 		panic("des: nil event")
 	}
-	it := &item{at: at, seq: s.seq, fn: fn}
+	it := s.free
+	if it != nil {
+		s.free = it.next
+		*it = item{at: at, seq: s.seq, fn: fn, gen: it.gen}
+	} else {
+		it = &item{at: at, seq: s.seq, fn: fn}
+	}
 	s.seq++
 	heap.Push(&s.queue, it)
-	return Handle{item: it}
+	return Handle{item: it, gen: it.gen}
 }
 
 // After schedules fn to run delay after the current instant.
@@ -119,7 +141,7 @@ func (s *Simulator) After(delay units.Time, fn Event) Handle {
 // fired or already cancelled event is a no-op; Cancel reports whether the
 // event was actually descheduled.
 func (s *Simulator) Cancel(h Handle) bool {
-	if h.item == nil || h.item.cancelled || h.item.index == -1 {
+	if h.item == nil || h.item.gen != h.gen || h.item.cancelled || h.item.index == -1 {
 		return false
 	}
 	h.item.cancelled = true
@@ -133,7 +155,7 @@ func (s *Simulator) Cancel(h Handle) bool {
 func (s *Simulator) Next() (units.Time, bool) {
 	for len(s.queue) > 0 {
 		if s.queue[0].cancelled {
-			heap.Pop(&s.queue)
+			s.recycle(heap.Pop(&s.queue).(*item))
 			continue
 		}
 		return s.queue[0].at, true
@@ -169,6 +191,7 @@ func (s *Simulator) RunUntil(horizon units.Time) units.Time {
 		}
 		heap.Pop(&s.queue)
 		if next.cancelled {
+			s.recycle(next)
 			continue
 		}
 		s.now = next.at
@@ -177,6 +200,7 @@ func (s *Simulator) RunUntil(horizon units.Time) units.Time {
 		}
 		s.fired++
 		next.fn(s)
+		s.recycle(next)
 	}
 	if horizon >= 0 && s.now < horizon && !s.stopped {
 		s.now = horizon
@@ -190,6 +214,7 @@ func (s *Simulator) Step() bool {
 	for len(s.queue) > 0 {
 		next := heap.Pop(&s.queue).(*item)
 		if next.cancelled {
+			s.recycle(next)
 			continue
 		}
 		s.now = next.at
@@ -198,6 +223,7 @@ func (s *Simulator) Step() bool {
 		}
 		s.fired++
 		next.fn(s)
+		s.recycle(next)
 		return true
 	}
 	return false

@@ -1,0 +1,96 @@
+package server_test
+
+import (
+	"testing"
+	"time"
+
+	"gridbw/internal/server"
+	"gridbw/internal/units"
+)
+
+// The steady-state allocation tests below are the regression fence for
+// the zero-alloc admission work: they warm the server past the
+// finished-decision retention ring (4096 — reservation entries recycle
+// through the pool only once retention evicts them) and then assert that
+// the hot path has stopped allocating. Thresholds leave slack for
+// background goroutine noise, not for hot-path regressions.
+
+func steadyServer(t *testing.T) (*server.Server, *fakeClock) {
+	t.Helper()
+	clk := &fakeClock{}
+	return newTestServer(t, uniformConfig(clk)), clk
+}
+
+// 100 MB at a granted 100 MB/s lasts one second; advancing the clock two
+// seconds per submission keeps occupancy at most one grant per route, so
+// admission never starts failing mid-run.
+func steadySubmit(t *testing.T, srv *server.Server, clk *fakeClock, i int) {
+	t.Helper()
+	now := srv.Now()
+	d, err := srv.Submit(server.Submission{
+		From: i % 2, To: (i / 2) % 2,
+		Volume: 100 * units.MB, MaxRate: 200 * units.MBps,
+		NotBefore: now, Deadline: now + 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Accepted {
+		t.Fatalf("submission %d rejected: %s", i, d.Reason)
+	}
+	clk.advance(2 * time.Second)
+}
+
+func TestSubmitSteadyStateAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation defeats sync.Pool reuse")
+	}
+	srv, clk := steadyServer(t)
+	i := 0
+	submit := func() { steadySubmit(t, srv, clk, i); i++ }
+	for n := 0; n < 5000; n++ {
+		submit()
+	}
+	if avg := testing.AllocsPerRun(200, submit); avg > 1 {
+		t.Errorf("steady-state Submit allocates %.2f objects/op, want 0 (≤1 with noise slack)", avg)
+	}
+}
+
+func TestSubmitBatchSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation defeats sync.Pool reuse")
+	}
+	srv, clk := steadyServer(t)
+	const batch = 16
+	subs := make([]server.Submission, batch)
+	submit := func() {
+		now := srv.Now()
+		for k := range subs {
+			subs[k] = server.Submission{
+				From: k % 2, To: (k / 2) % 2,
+				Volume: 100 * units.MB, MaxRate: 200 * units.MBps,
+				NotBefore: now, Deadline: now + 100,
+			}
+		}
+		res, err := srv.SubmitBatch(subs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range res {
+			if r.Err != nil || !r.Decision.Accepted {
+				t.Fatalf("batch item: %+v", r)
+			}
+		}
+		clk.advance(2 * time.Second)
+	}
+	for n := 0; n < 400; n++ { // 6400 decisions: past the retention ring
+		submit()
+	}
+	// The pooled batch pipeline runs a 16-submission batch in a handful of
+	// allocations (the results slice plus pool-miss stragglers); the old
+	// sort.Slice-closure pipeline took ~92. The fence is the gap between
+	// the two, with slack for noise.
+	if avg := testing.AllocsPerRun(100, submit); avg > 16 {
+		t.Errorf("steady-state SubmitBatch(16) allocates %.1f objects/op, want ≲5 (≤16 with slack)", avg)
+	}
+}

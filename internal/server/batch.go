@@ -2,7 +2,8 @@ package server
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 	"time"
 
 	"gridbw/internal/alloc"
@@ -29,6 +30,11 @@ import (
 // Capacity is claimed in phase 2 in pair order, not input order; two
 // submissions of one batch competing for the same scarce window are
 // decided in (ingress, egress, input) order.
+//
+// Every per-call structure — the item table, the pending/waiting lists,
+// the candidate-start scratch, the pair transaction — lives in a pooled
+// batchScratch, so the steady-state pipeline performs no heap allocation
+// of its own: Submit runs allocation-free end to end.
 
 // Durability outcomes for decisions that waited on synchronous follower
 // acks. Empty means no sync-ack wait applied to the call (async mode and
@@ -57,7 +63,9 @@ type BatchResult struct {
 	Durability string
 }
 
-// batchItem carries one submission through the pipeline phases.
+// batchItem carries one submission through the pipeline phases. Items live
+// in the scratch table at their submission's index, so phase 3 publishes in
+// input order by walking the table instead of re-sorting.
 type batchItem struct {
 	idx  int
 	sub  Submission
@@ -65,10 +73,69 @@ type batchItem struct {
 	ent  *idemEntry // placeholder this call must fill, if keyed
 	wait *idemEntry // existing slot to resolve instead of admitting
 
+	// pending marks items that entered the phase-2 admission search.
+	pending bool
+
+	// minRateV caches r.MinRate() — a division the feasibility check and
+	// the rigidity classification would otherwise each redo. Zero means
+	// "not computed yet" (a real MinRate is always positive).
+	minRateV units.Bandwidth
+
 	// Admission outcome (phase 2).
 	g        request.Grant
 	accepted bool
 	reason   string
+}
+
+// minRate computes r.MinRate once per item.
+func (it *batchItem) minRate() units.Bandwidth {
+	if it.minRateV == 0 {
+		it.minRateV = it.r.MinRate()
+	}
+	return it.minRateV
+}
+
+// batchScratch is the pooled working set of one submitMany call.
+type batchScratch struct {
+	subs1   [1]Submission // backing array for the single-submission path
+	items   []batchItem   // one per submission, indexed by input position
+	results []BatchResult // one per submission, indexed by input position
+	pending []*batchItem  // survivors entering the admission search
+	waiting []*batchItem  // idempotent hits resolved in phase 4
+	decided []int         // input indices whose decision this call published
+	cands   []units.Time  // candidate-start scratch for admitTx
+	tx      alloc.PairTx  // reusable pair transaction
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+func getScratch(n int) *batchScratch {
+	sc := scratchPool.Get().(*batchScratch)
+	if cap(sc.items) < n {
+		sc.items = make([]batchItem, n)
+	}
+	sc.items = sc.items[:n]
+	if cap(sc.results) < n {
+		sc.results = make([]BatchResult, n)
+	}
+	sc.results = sc.results[:n]
+	clear(sc.results)
+	sc.pending = sc.pending[:0]
+	sc.waiting = sc.waiting[:0]
+	sc.decided = sc.decided[:0]
+	return sc
+}
+
+// putScratch drops every reference the call planted (idempotency slots,
+// keys, shard pointers) so pooling never extends their lifetime.
+func putScratch(sc *batchScratch) {
+	clear(sc.items)
+	clear(sc.results)
+	clear(sc.pending)
+	clear(sc.waiting)
+	sc.subs1[0] = Submission{}
+	sc.tx = alloc.PairTx{}
+	scratchPool.Put(sc)
 }
 
 // SubmitBatch decides every submission in one pass and reports one result
@@ -76,12 +143,17 @@ type batchItem struct {
 // oversized batch and ErrClosed; per-submission failures come back in the
 // matching BatchResult.
 func (s *Server) SubmitBatch(subs []Submission) ([]BatchResult, error) {
-	res, err := s.submitMany(subs)
+	sc := getScratch(len(subs))
+	err := s.submitMany(subs, sc)
 	if err != nil {
+		putScratch(sc)
 		return nil, err
 	}
+	out := make([]BatchResult, len(subs))
+	copy(out, sc.results)
+	putScratch(sc)
 	s.recordBatch(len(subs))
-	return res, nil
+	return out, nil
 }
 
 // submitOne runs one submission through the batch pipeline and keeps the
@@ -89,60 +161,72 @@ func (s *Server) SubmitBatch(subs []Submission) ([]BatchResult, error) {
 // handler needs it on the wire, where the Decision-only Submit would
 // discard it.
 func (s *Server) submitOne(sub Submission) (BatchResult, error) {
-	res, err := s.submitMany([]Submission{sub})
+	sc := getScratch(1)
+	sc.subs1[0] = sub
+	err := s.submitMany(sc.subs1[:1], sc)
 	if err != nil {
+		putScratch(sc)
 		return BatchResult{}, err
 	}
-	if res[0].Err != nil {
-		return BatchResult{}, res[0].Err
+	res := sc.results[0]
+	putScratch(sc)
+	if res.Err != nil {
+		return BatchResult{}, res.Err
 	}
-	return res[0], nil
+	return res, nil
 }
 
-func (s *Server) submitMany(subs []Submission) ([]BatchResult, error) {
+// byPair orders phase-2 survivors by (ingress, egress) so consecutive
+// items share one shard-pair lock acquisition. Kept a named function so
+// the sort call carries no closure.
+func byPair(a, b *batchItem) int {
+	if a.r.Ingress != b.r.Ingress {
+		return int(a.r.Ingress) - int(b.r.Ingress)
+	}
+	return int(a.r.Egress) - int(b.r.Egress)
+}
+
+func (s *Server) submitMany(subs []Submission, sc *batchScratch) error {
 	if len(subs) == 0 {
-		return nil, fmt.Errorf("server: empty batch")
+		return fmt.Errorf("server: empty batch")
 	}
 	if len(subs) > s.maxBatch {
-		return nil, fmt.Errorf("server: batch of %d exceeds limit %d", len(subs), s.maxBatch)
+		return fmt.Errorf("server: batch of %d exceeds limit %d", len(subs), s.maxBatch)
 	}
 	// Admission latency is measured on the real clock, not s.clock: it is
 	// an observation of this process's decide pipeline, comparable with
 	// what a load harness measures from outside, even when tests drive the
 	// service clock manually.
 	started := time.Now()
-	results := make([]BatchResult, len(subs))
-	var pending, waiting []*batchItem
-	// Indices whose decision this call published — the results a sync-ack
-	// wait vouches for (or fails to).
-	decidedIdx := make([]int, 0, len(subs))
+	results := sc.results
 
 	// Phase 1: the global section — idempotency, IDs, domain checks.
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return nil, ErrClosed
+		return ErrClosed
 	}
 	if s.repl.following {
 		s.mu.Unlock()
-		return nil, ErrReadOnly
+		return ErrReadOnly
 	}
 	s.advanceLocked()
 	now := s.sim.Now()
 	for i := range subs {
 		sub := subs[i]
+		it := &sc.items[i]
+		*it = batchItem{idx: i, sub: sub}
 		if err := s.validateSubmission(sub); err != nil {
 			results[i].Err = err
 			continue
 		}
-		it := &batchItem{idx: i, sub: sub}
 		if key := sub.IdempotencyKey; key != "" {
 			if e, ok := s.idem[key]; ok {
 				// A retry (or a concurrent duplicate still in flight):
 				// never book again, answer from the original decision.
 				s.stats.RecordIdempotentHit()
 				it.wait = e
-				waiting = append(waiting, it)
+				sc.waiting = append(sc.waiting, it)
 				continue
 			}
 			it.ent = &idemEntry{done: make(chan struct{})}
@@ -170,13 +254,13 @@ func (s *Server) submitMany(subs []Submission) ([]BatchResult, error) {
 			d := s.rejectLocked(it.r, fmt.Sprintf("empty window: deadline %v not after start %v", it.r.Finish, it.r.Start))
 			s.settleLocked(it, d, nil)
 			results[i].Decision = d
-			decidedIdx = append(decidedIdx, i)
-		case it.r.MinRate() > it.r.MaxRate*(1+units.Eps):
+			sc.decided = append(sc.decided, i)
+		case it.minRate() > it.r.MaxRate*(1+units.Eps):
 			d := s.rejectLocked(it.r, fmt.Sprintf("infeasible: needs %v to move %v in window but MaxRate is %v",
-				it.r.MinRate(), it.r.Volume, it.r.MaxRate))
+				it.minRate(), it.r.Volume, it.r.MaxRate))
 			s.settleLocked(it, d, nil)
 			results[i].Decision = d
-			decidedIdx = append(decidedIdx, i)
+			sc.decided = append(sc.decided, i)
 		default:
 			if err := it.r.Validate(); err != nil {
 				err = fmt.Errorf("server: %w", err)
@@ -184,7 +268,8 @@ func (s *Server) submitMany(subs []Submission) ([]BatchResult, error) {
 				results[i].Err = err
 				continue
 			}
-			pending = append(pending, it)
+			it.pending = true
+			sc.pending = append(sc.pending, it)
 		}
 	}
 	s.mu.Unlock()
@@ -192,29 +277,28 @@ func (s *Server) submitMany(subs []Submission) ([]BatchResult, error) {
 	// Phase 2: admission searches under shard pair locks only. Sorting by
 	// point pair lets consecutive items share one lock acquisition and
 	// keeps the ingress-before-egress global order.
-	sort.SliceStable(pending, func(i, j int) bool {
-		a, b := pending[i].r, pending[j].r
-		if a.Ingress != b.Ingress {
-			return a.Ingress < b.Ingress
-		}
-		return a.Egress < b.Egress
-	})
-	var tx *alloc.PairTx
-	for _, it := range pending {
-		if tx != nil && !tx.Covers(it.r.Ingress, it.r.Egress) {
-			tx.Unlock()
-			tx = nil
-		}
-		if tx == nil {
-			tx = s.ledger.Pair(it.r.Ingress, it.r.Egress)
-		}
-		s.admitTx(tx, it)
+	if len(sc.pending) > 1 {
+		slices.SortStableFunc(sc.pending, byPair)
 	}
-	if tx != nil {
+	tx, locked := &sc.tx, false
+	for _, it := range sc.pending {
+		if locked && !tx.Covers(it.r.Ingress, it.r.Egress) {
+			tx.Unlock()
+			locked = false
+		}
+		if !locked {
+			s.ledger.LockPair(tx, it.r.Ingress, it.r.Egress)
+			locked = true
+		}
+		s.admitTx(tx, it, sc)
+	}
+	if locked {
 		tx.Unlock()
 	}
 
-	// Phase 3: publish under the global section, in input order.
+	// Phase 3: publish under the global section. Items sit in the scratch
+	// table at their input position, so walking it publishes in input order
+	// with no re-sort.
 	durable := false
 	for i := range subs {
 		if subs[i].Durable {
@@ -224,8 +308,11 @@ func (s *Server) submitMany(subs []Submission) ([]BatchResult, error) {
 	}
 	s.mu.Lock()
 	s.advanceLocked()
-	sort.SliceStable(pending, func(i, j int) bool { return pending[i].idx < pending[j].idx })
-	for _, it := range pending {
+	for i := range sc.items {
+		it := &sc.items[i]
+		if !it.pending {
+			continue
+		}
 		if s.closed {
 			// The server drained between phases; an accepted grant must
 			// not outlive a stopped expiry loop, so give it back.
@@ -244,7 +331,7 @@ func (s *Server) submitMany(subs []Submission) ([]BatchResult, error) {
 		}
 		s.settleLocked(it, d, nil)
 		results[it.idx].Decision = d
-		decidedIdx = append(decidedIdx, it.idx)
+		sc.decided = append(sc.decided, it.idx)
 	}
 	// Synchronous-ack durability: the decisions just published were WAL'd
 	// under s.mu, so the append frontier now covers every frame of this
@@ -253,7 +340,7 @@ func (s *Server) submitMany(subs []Submission) ([]BatchResult, error) {
 	// admissions keep flowing while this response waits on replication.
 	var syncPos wal.Pos
 	need := s.syncNeedFor(durable)
-	decided := len(subs) - len(waiting)
+	decided := len(subs) - len(sc.waiting)
 	if need > 0 && s.wal != nil && decided > 0 {
 		syncPos = s.wal.End()
 	}
@@ -269,7 +356,7 @@ func (s *Server) submitMany(subs []Submission) ([]BatchResult, error) {
 		if degraded {
 			outcome = DurabilityDegraded
 		}
-		for _, i := range decidedIdx {
+		for _, i := range sc.decided {
 			results[i].Durability = outcome
 		}
 	}
@@ -293,25 +380,27 @@ func (s *Server) submitMany(subs []Submission) ([]BatchResult, error) {
 
 	// Phase 4: resolve idempotent hits. The owning submission may still be
 	// in flight on another goroutine; wait for it without holding any lock.
-	for _, it := range waiting {
+	for _, it := range sc.waiting {
 		results[it.idx] = s.resolveIdem(it.wait)
 	}
-	return results, nil
+	return nil
 }
 
 // admitTx runs the admission search for one validated request against its
 // locked point pair: rigid requests search every candidate start
 // (book-ahead); flexible requests are decided at their earliest admissible
 // instant only. On success the grant is already committed to the ledger.
-func (s *Server) admitTx(tx *alloc.PairTx, it *batchItem) {
+func (s *Server) admitTx(tx *alloc.PairTx, it *batchItem, sc *batchScratch) {
 	r := it.r
 	latest := r.Finish - r.Volume.Over(r.MaxRate)
-	candidates := []units.Time{r.Start}
-	if r.Rigid() && latest > r.Start {
-		candidates = append(candidates, tx.Ingress().BreakpointTimes(r.Start, latest)...)
-		candidates = append(candidates, tx.Egress().BreakpointTimes(r.Start, latest)...)
-		sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	candidates := append(sc.cands[:0], r.Start)
+	rigid := units.ApproxEq(float64(it.minRate()), float64(r.MaxRate))
+	if rigid && latest > r.Start {
+		candidates = tx.Ingress().AppendBreakpointTimes(candidates, r.Start, latest)
+		candidates = tx.Egress().AppendBreakpointTimes(candidates, r.Start, latest)
+		slices.Sort(candidates)
 	}
+	sc.cands = candidates
 
 	it.reason = "no feasible start in window"
 	for i, sigma := range candidates {

@@ -1,0 +1,178 @@
+package client
+
+// Binary batch support: SubmitBatchBinary speaks the length-prefixed
+// codec of POST /v1/batch (see server/wire.go) through the same retry,
+// failover and idempotency machinery as the JSON methods. The request is
+// framed once and the identical bytes re-sent per attempt.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"gridbw/internal/server"
+	"gridbw/internal/units"
+)
+
+// wireFromSubmitRequest resolves the dual numeric/string quantity fields
+// of the JSON request shape into a binary record. Relative times stay
+// relative on the wire — the server resolves them against its own clock,
+// exactly like start_in / deadline_in.
+func wireFromSubmitRequest(req server.SubmitRequest) (server.WireSubmission, error) {
+	ws := server.WireSubmission{
+		From:           req.From,
+		To:             req.To,
+		Volume:         units.Volume(req.VolumeBytes),
+		MaxRate:        units.Bandwidth(req.MaxRateBps),
+		NotBefore:      units.Time(req.NotBeforeS),
+		Deadline:       units.Time(req.DeadlineS),
+		Durable:        req.Durable,
+		IdempotencyKey: req.IdempotencyKey,
+	}
+	if req.Volume != "" {
+		if req.VolumeBytes != 0 {
+			return ws, fmt.Errorf("gridbwd: both volume and volume_bytes set")
+		}
+		v, err := units.ParseVolume(req.Volume)
+		if err != nil {
+			return ws, fmt.Errorf("gridbwd: %w", err)
+		}
+		ws.Volume = v
+	}
+	if req.MaxRate != "" {
+		if req.MaxRateBps != 0 {
+			return ws, fmt.Errorf("gridbwd: both max_rate and max_rate_bps set")
+		}
+		b, err := units.ParseBandwidth(req.MaxRate)
+		if err != nil {
+			return ws, fmt.Errorf("gridbwd: %w", err)
+		}
+		ws.MaxRate = b
+	}
+	if req.StartIn != "" {
+		if req.NotBeforeS != 0 {
+			return ws, fmt.Errorf("gridbwd: both start_in and not_before_s set")
+		}
+		d, err := units.ParseTime(req.StartIn)
+		if err != nil {
+			return ws, fmt.Errorf("gridbwd: %w", err)
+		}
+		ws.NotBefore, ws.RelNotBefore = d, true
+	}
+	if req.DeadlineIn != "" {
+		if req.DeadlineS != 0 {
+			return ws, fmt.Errorf("gridbwd: both deadline_in and deadline_s set")
+		}
+		d, err := units.ParseTime(req.DeadlineIn)
+		if err != nil {
+			return ws, fmt.Errorf("gridbwd: %w", err)
+		}
+		ws.Deadline, ws.RelDeadline = d, true
+	}
+	return ws, nil
+}
+
+// SubmitBatchBinary is SubmitBatch over the binary codec: many requests
+// decided in one pass, one result per input in input order, with the
+// same generated-idempotency-key retry safety. Results come back in the
+// JSON item shape so callers classify them identically under either
+// codec; the human-readable Rate string is empty (RateBps is set).
+func (c *Client) SubmitBatchBinary(ctx context.Context, reqs []server.SubmitRequest) ([]server.BatchItemJSON, error) {
+	subs := make([]server.WireSubmission, len(reqs))
+	for i, req := range reqs {
+		ws, err := wireFromSubmitRequest(req)
+		if err != nil {
+			return nil, fmt.Errorf("request %d: %w", i, err)
+		}
+		if ws.IdempotencyKey == "" {
+			ws.IdempotencyKey = NewIdempotencyKey()
+		}
+		subs[i] = ws
+	}
+	blob := server.AppendBinaryBatchRequest(nil, subs)
+	var out []server.BatchItemJSON
+	err := c.doRaw(ctx, "/v1/batch", server.BinaryBatchContentType, blob, func(body []byte) error {
+		var derr error
+		out, derr = server.DecodeBinaryBatchResponse(body)
+		return derr
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(out) != len(reqs) {
+		return nil, fmt.Errorf("gridbwd: batch answered %d results for %d requests", len(out), len(reqs))
+	}
+	return out, nil
+}
+
+// doRaw is do for non-JSON bodies: the same retry/failover loop around
+// attemptRaw, re-sending the identical pre-encoded blob per attempt.
+func (c *Client) doRaw(ctx context.Context, path, contentType string, blob []byte, decode func([]byte) error) error {
+	retries := c.opts.MaxRetries
+	if retries < 0 {
+		retries = 0
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = c.attemptRaw(ctx, c.Endpoint(), path, contentType, blob, decode)
+		if err == nil {
+			return nil
+		}
+		moved := false
+		if c.multi() && failoverWorthy(err) {
+			moved = true
+			c.rediscover(ctx)
+		}
+		if (!retryable(err) && !moved) || attempt >= retries {
+			return err
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+		if serr := c.opts.Sleep(ctx, c.backoff(attempt, err)); serr != nil {
+			return err
+		}
+	}
+}
+
+// attemptRaw runs one POST of a pre-encoded body under the per-attempt
+// deadline. Error responses still carry the JSON envelope and map to the
+// same APIError the JSON methods surface.
+func (c *Client) attemptRaw(ctx context.Context, base, path, contentType string, blob []byte, decode func([]byte) error) error {
+	if c.opts.CallTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.opts.CallTimeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(blob))
+	if err != nil {
+		return fmt.Errorf("gridbwd: %w", err)
+	}
+	req.Header.Set("Content-Type", contentType)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("gridbwd: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		ae := &APIError{StatusCode: resp.StatusCode, Message: apiErrorMessage(resp)}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+				ae.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return ae
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("gridbwd: read response: %w", err)
+	}
+	if err := decode(body); err != nil {
+		return fmt.Errorf("gridbwd: decode response: %w", err)
+	}
+	return nil
+}

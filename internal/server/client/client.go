@@ -363,6 +363,21 @@ func (c *Client) rediscover(ctx context.Context) {
 
 // attempt runs one HTTP round trip against base under the per-attempt
 // deadline.
+// apiErrorMessage extracts the error text of a non-2xx response: the JSON
+// error envelope when present, otherwise the raw body (a 409 cancel
+// answer carries the reservation, not an envelope), otherwise the status.
+func apiErrorMessage(resp *http.Response) string {
+	var apiErr server.ErrorJSON
+	msg := resp.Status
+	blob, _ := io.ReadAll(io.LimitReader(resp.Body, 64*1024))
+	if json.Unmarshal(blob, &apiErr) == nil && apiErr.Error != "" {
+		msg = apiErr.Error
+	} else if len(blob) > 0 {
+		msg = strings.TrimSpace(string(blob))
+	}
+	return msg
+}
+
 func (c *Client) attempt(ctx context.Context, base, method, path string, blob []byte, out any) error {
 	if c.opts.CallTimeout > 0 {
 		var cancel context.CancelFunc
@@ -386,17 +401,7 @@ func (c *Client) attempt(ctx context.Context, base, method, path string, blob []
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {
-		var apiErr server.ErrorJSON
-		msg := resp.Status
-		blob, _ := io.ReadAll(io.LimitReader(resp.Body, 64*1024))
-		if json.Unmarshal(blob, &apiErr) == nil && apiErr.Error != "" {
-			msg = apiErr.Error
-		} else if len(blob) > 0 {
-			// A 409 cancel answer carries the reservation, not an error
-			// envelope; surface the raw body.
-			msg = strings.TrimSpace(string(blob))
-		}
-		ae := &APIError{StatusCode: resp.StatusCode, Message: msg}
+		ae := &APIError{StatusCode: resp.StatusCode, Message: apiErrorMessage(resp)}
 		if ra := resp.Header.Get("Retry-After"); ra != "" {
 			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
 				ae.RetryAfter = time.Duration(secs) * time.Second

@@ -4,8 +4,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 	"time"
@@ -374,8 +375,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // handleBatch decides a whole BatchRequest in one SubmitBatch pass.
 // Malformed items fail individually in their result slot; only an empty
 // or oversized batch, an undecodable body, or a draining server fail the
-// whole call.
+// whole call. A request Content-Type of BinaryBatchContentType selects
+// the length-prefixed binary codec (see wire.go) for both directions.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, BinaryBatchContentType) {
+		s.handleBatchBinary(w, r)
+		return
+	}
 	var body BatchRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -430,6 +436,51 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleBatchBinary is the binary-codec arm of handleBatch. Unlike JSON,
+// a malformed frame fails the whole batch — per-item salvage of a broken
+// binary stream would decide requests the client never meant to send.
+// Errors still answer as JSON envelopes; status codes carry the contract.
+func (s *Server) handleBatchBinary(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(io.LimitReader(r.Body, wireMaxBatchBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("read request: %w", err))
+		return
+	}
+	if len(data) > wireMaxBatchBytes {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("binary batch exceeds %d bytes", wireMaxBatchBytes))
+		return
+	}
+	wire, err := DecodeBinaryBatchRequest(data, s.maxBatch)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// One clock read resolves every relative time in the batch, so items
+	// of one call share a consistent "now" just like the JSON path.
+	now := s.Now()
+	subs := make([]Submission, len(wire))
+	for i := range wire {
+		subs[i] = wire[i].resolve(now)
+	}
+	results, err := s.SubmitBatch(subs)
+	switch {
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, ErrReadOnly):
+		writeError(w, http.StatusForbidden, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	blob := AppendBinaryBatchResponse(nil, results)
+	w.Header().Set("Content-Type", BinaryBatchContentType)
+	w.Header().Set("Content-Length", strconv.Itoa(len(blob)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(blob)
 }
 
 func pathID(r *http.Request) (int, error) {
@@ -642,7 +693,7 @@ func (s *Server) writeMetricsText(w http.ResponseWriter) {
 		for id := range rs.Followers {
 			ids = append(ids, id)
 		}
-		sort.Strings(ids)
+		slices.Sort(ids)
 		for _, id := range ids {
 			f := rs.Followers[id]
 			fmt.Fprintf(w, "gridbwd_follower_lag_bytes{follower=%q} %d\n", id, f.LagBytes)

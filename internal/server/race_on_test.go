@@ -1,0 +1,8 @@
+//go:build race
+
+package server_test
+
+// raceEnabled reports whether the race detector is active: its
+// instrumentation defeats sync.Pool reuse, so the steady-state
+// allocation fences are meaningless under -race and skip themselves.
+const raceEnabled = true

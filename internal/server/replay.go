@@ -2,7 +2,7 @@ package server
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"gridbw/internal/core"
@@ -92,7 +92,7 @@ func NewFromDecisions(events []trace.Event, cfg Config) (*Server, error) {
 	for id := range live {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	for _, id := range ids {
 		lg := live[id]
 		if float64(lg.g.Tau) <= now {

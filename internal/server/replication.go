@@ -50,6 +50,14 @@ const (
 	pullMaxBytes    = 1 << 20
 	pullBaseBackoff = 50 * time.Millisecond
 	pullMaxBackoff  = 2 * time.Second
+	// refollowAfter is how many consecutive transport failures against the
+	// pull source a follower tolerates before probing the peer list for the
+	// epoch-dominant live primary and re-pointing the loop. Three failures
+	// at the doubling backoff is ~350ms — slow enough to ride out a restart
+	// blip, fast enough that an election's losing follower converges onto
+	// the winner promptly.
+	refollowAfter    = 3
+	refollowProbeTTL = 2 * time.Second
 )
 
 // replState is the replication role of one server, guarded by s.mu.
@@ -252,7 +260,8 @@ func (s *Server) applyEventLocked(ev trace.Event, toWAL bool) error {
 		if err := s.ledger.Reserve(r, g); err != nil {
 			return fmt.Errorf("server: apply: %w", err)
 		}
-		e := &entry{req: r, grant: g, state: StateActive}
+		e := s.allocEntry()
+		e.req, e.grant, e.state = r, g, StateActive
 		if !s.repl.following {
 			at := g.Tau
 			if now := s.sim.Now(); at < now {
@@ -420,15 +429,21 @@ func (s *Server) setPullError(err error) {
 }
 
 // pullLoop long-polls the primary for records past the cursor and applies
-// each batch. Transport errors back off and retry; a cursor the primary
+// each batch. Transport errors back off and retry; after refollowAfter of
+// them in a row the loop probes the peer list for the epoch-dominant live
+// primary and re-points itself — the fix for an election's losing
+// follower, whose source is a dead endpoint. A source whose batches are
+// fenced off (it is a deposed primary the follower has already out-epoched)
+// triggers the same rediscovery immediately. A cursor the primary
 // compacted away (410 Gone) triggers an automatic snapshot re-seed;
-// fencing and divergence errors halt the loop — retrying cannot fix them,
-// and continuing would corrupt the replica. The last error is surfaced on
+// divergence errors halt the loop — retrying cannot fix them, and
+// continuing would corrupt the replica. The last error is surfaced on
 // /v1/replication/status.
 func (s *Server) pullLoop(source string, stop, done chan struct{}) {
 	defer close(done)
 	hc := &http.Client{Timeout: pullWait + 10*time.Second}
 	backoff := pullBaseBackoff
+	failures := 0
 	for {
 		select {
 		case <-stop:
@@ -437,6 +452,7 @@ func (s *Server) pullLoop(source string, stop, done chan struct{}) {
 		}
 		b, err := pullOnce(hc, source, s.cursorNow(), s.replID, stop)
 		if err == nil {
+			failures = 0
 			if err = s.ApplyShipped(b); err == nil {
 				s.setPullError(nil)
 				backoff = pullBaseBackoff
@@ -444,6 +460,18 @@ func (s *Server) pullLoop(source string, stop, done chan struct{}) {
 			}
 			if errors.Is(err, ErrNotFollower) || errors.Is(err, ErrClosed) {
 				return
+			}
+			var fenced *FencedError
+			if errors.As(err, &fenced) {
+				// The source is a deposed primary: this follower's epoch
+				// already moved past the stream it serves. Find the lineage
+				// that deposed it instead of halting.
+				if next, ok := s.rediscoverPrimary(hc, stop); ok && next != source {
+					source = next
+					backoff = pullBaseBackoff
+					s.setPullError(nil)
+					continue
+				}
 			}
 			s.setPullError(err)
 			return
@@ -455,6 +483,7 @@ func (s *Server) pullLoop(source string, stop, done chan struct{}) {
 			if err == nil {
 				s.setPullError(nil)
 				backoff = pullBaseBackoff
+				failures = 0
 				continue
 			}
 			if errors.Is(err, ErrNotFollower) || errors.Is(err, ErrClosed) {
@@ -471,6 +500,15 @@ func (s *Server) pullLoop(source string, stop, done chan struct{}) {
 			// pull, which will 410 again and re-attempt the re-seed.
 		}
 		s.setPullError(err)
+		if failures++; failures >= refollowAfter {
+			failures = 0
+			if next, ok := s.rediscoverPrimary(hc, stop); ok && next != source {
+				source = next
+				backoff = pullBaseBackoff
+				s.setPullError(nil)
+				continue
+			}
+		}
 		select {
 		case <-stop:
 			return
@@ -480,6 +518,102 @@ func (s *Server) pullLoop(source string, stop, done chan struct{}) {
 			backoff = pullMaxBackoff
 		}
 	}
+}
+
+// rediscoverPrimary probes every configured peer's replication status
+// concurrently and returns the base URL of the live primary with the
+// highest epoch at or past this follower's own — the epoch-dominant
+// primary. Peers that are down, still followers, or on a superseded
+// lineage are ignored (the probing node itself answers as a follower, so
+// listing yourself among the peers is harmless). On success the
+// follower's source is re-pointed; the pull cursor is kept — every
+// follower re-appends the identical shipped frames to its own WAL, so
+// positions are comparable across group members, and a genuine divergence
+// still halts on the gap check.
+func (s *Server) rediscoverPrimary(hc *http.Client, stop <-chan struct{}) (string, bool) {
+	peers := s.peers
+	if len(peers) == 0 {
+		return "", false
+	}
+	minEpoch := s.Epoch()
+	ctx, cancel := context.WithTimeout(context.Background(), refollowProbeTTL)
+	defer cancel()
+	go func() {
+		select {
+		case <-stop:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	type probe struct {
+		url     string
+		epoch   uint64
+		primary bool
+	}
+	ch := make(chan probe, len(peers))
+	for _, p := range peers {
+		go func(base string) {
+			rs, err := fetchReplStatus(ctx, hc, base)
+			ch <- probe{url: base, epoch: rs.Epoch, primary: err == nil && rs.Role == "primary"}
+		}(p)
+	}
+	var best string
+	var bestEpoch uint64
+	for range peers {
+		p := <-ch
+		if p.primary && p.epoch >= minEpoch && (best == "" || p.epoch > bestEpoch) {
+			best, bestEpoch = p.url, p.epoch
+		}
+	}
+	if best == "" {
+		return "", false
+	}
+	s.retarget(best)
+	return best, true
+}
+
+// retarget re-points the follower's pull source, keeping the status
+// surface in sync with what the pull loop actually polls.
+func (s *Server) retarget(source string) {
+	s.mu.Lock()
+	if s.repl.following {
+		s.repl.source = source
+	}
+	s.mu.Unlock()
+}
+
+// fetchReplStatus GETs one peer's /v1/replication/status.
+func fetchReplStatus(ctx context.Context, hc *http.Client, base string) (ReplicationStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/replication/status", nil)
+	if err != nil {
+		return ReplicationStatus{}, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return ReplicationStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 64*1024))
+		return ReplicationStatus{}, fmt.Errorf("server: status probe: HTTP %d", resp.StatusCode)
+	}
+	var rs ReplicationStatus
+	if err := json.NewDecoder(resp.Body).Decode(&rs); err != nil {
+		return ReplicationStatus{}, err
+	}
+	return rs, nil
+}
+
+// normalizePeers trims trailing slashes and drops empty entries from a
+// configured peer list.
+func normalizePeers(peers []string) []string {
+	out := make([]string, 0, len(peers))
+	for _, p := range peers {
+		if p = strings.TrimRight(p, "/"); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // pullOnce runs one long-poll round trip, aborted early if stop closes.

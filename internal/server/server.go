@@ -36,7 +36,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"sort"
+	"math"
+	"slices"
 	"sync"
 	"time"
 
@@ -74,6 +75,14 @@ type Config struct {
 	// the primary daemon at this base URL: submissions and cancels answer
 	// ErrReadOnly until Promote. StartFollowing begins the pull loop.
 	Follow string
+	// Peers lists the base URLs of every replication-group member (self
+	// included — a node recognizes itself by its follower role). A
+	// follower whose pull source stops answering, or turns out to be a
+	// deposed primary, probes the peers for the epoch-dominant live
+	// primary and re-points its pull loop at it — the losing follower of
+	// an election converges onto the winner instead of pulling a dead
+	// endpoint forever.
+	Peers []string
 	// Epoch seeds the fencing epoch; 0 loads it from the WAL directory
 	// (or starts at 1). Promotion increments and persists it.
 	Epoch uint64
@@ -219,6 +228,12 @@ type entry struct {
 	grant  request.Grant
 	state  State // StateActive while live (Booked derived from clock), else terminal
 	expire des.Handle
+	// fire is this entry's expiry callback, bound once when the entry is
+	// first created by the pool so re-admissions through a recycled entry
+	// schedule no new closure. It checks the registry still maps the ID to
+	// this entry before acting, so a recycled entry can never be expired by
+	// a stale event.
+	fire des.Event
 }
 
 // idemEntry is one idempotency-cache slot. It is created as a placeholder
@@ -253,6 +268,7 @@ type Server struct {
 	durableNeed int
 	syncTimeout time.Duration
 	replID      string
+	peers       []string // replication-group base URLs, immutable
 
 	// ledger is internally sharded (one lock per access point); it is not
 	// guarded by s.mu. See the package comment for the lock order.
@@ -278,10 +294,22 @@ type Server struct {
 	// the server (it is invoked outside s.mu, but re-entry would surprise).
 	watchdogState func() string
 
+	// entryPool recycles reservation entries (and their bound expiry
+	// closures) once they are evicted from the finished FIFO, keeping the
+	// steady-state accept path allocation-free.
+	entryPool sync.Pool
+
 	// inflight is the admission semaphore the HTTP layer acquires around
 	// each submission; nil when shedding is disabled.
 	inflight   chan struct{}
 	retryAfter time.Duration
+
+	// loopNext is the event instant the expiry loop armed its timer for
+	// (+inf when no event is pending), guarded by mu. Accepts only poke
+	// the loop when their expiry precedes it — waking the loop for an
+	// event it would sleep past anyway is pure mutex contention on the
+	// admission hot path.
+	loopNext units.Time
 
 	kick chan struct{}
 	stop chan struct{}
@@ -361,7 +389,7 @@ func newServer(cfg Config, net *topology.Network, pol policy.Policy, name string
 	if syncTimeout <= 0 {
 		syncTimeout = defaultSyncTimeout
 	}
-	return &Server{
+	s := &Server{
 		net:        net,
 		pol:        pol,
 		policyName: name,
@@ -379,16 +407,43 @@ func newServer(cfg Config, net *topology.Network, pol policy.Policy, name string
 		durableNeed: syncAcks,
 		syncTimeout: syncTimeout,
 		replID:      cfg.ReplID,
+		peers:       normalizePeers(cfg.Peers),
 		ledger:      alloc.NewSharded(net),
 		sim:         des.New(),
 		resv:        make(map[request.ID]*entry),
 		idem:        make(map[string]*idemEntry),
 		inflight:    inflight,
 		retryAfter:  retryAfter,
+		loopNext:    units.Time(math.Inf(1)),
 		kick:        make(chan struct{}, 1),
 		stop:        make(chan struct{}),
 		done:        make(chan struct{}),
 	}
+	s.entryPool.New = func() any {
+		e := new(entry)
+		e.fire = func(*des.Simulator) { s.fireExpire(e) }
+		return e
+	}
+	return s
+}
+
+// allocEntry takes a recycled (or fresh) entry from the pool. Entries that
+// entered the pool from a non-pool path may lack the bound expiry
+// callback; bind it here so every pooled entry is schedulable.
+func (s *Server) allocEntry() *entry {
+	e := s.entryPool.Get().(*entry)
+	if e.fire == nil {
+		e.fire = func(*des.Simulator) { s.fireExpire(e) }
+	}
+	return e
+}
+
+// freeEntry clears a retired entry's payload and recycles it. Only call
+// once the entry left s.resv and its expiry event has fired or been
+// cancelled.
+func (s *Server) freeEntry(e *entry) {
+	e.req, e.grant, e.state, e.expire = request.Request{}, request.Grant{}, "", des.Handle{}
+	s.entryPool.Put(e)
 }
 
 // SetWatchdogState registers a callback reporting the in-process failover
@@ -468,6 +523,11 @@ func (s *Server) loop() {
 		s.mu.Lock()
 		s.advanceLocked()
 		next, ok := s.sim.Next()
+		if ok {
+			s.loopNext = next
+		} else {
+			s.loopNext = units.Time(math.Inf(1))
+		}
 		s.mu.Unlock()
 
 		if !timer.Stop() {
@@ -567,18 +627,21 @@ func (s *Server) rememberLocked(key string, e *idemEntry) {
 // committed to the sharded ledger by the admission phase; here the entry
 // becomes visible, its expiry is scheduled and the accept is audited.
 func (s *Server) acceptLocked(r request.Request, g request.Grant) Decision {
-	e := &entry{req: r, grant: g, state: StateActive}
+	e := s.allocEntry()
+	e.req, e.grant, e.state = r, g, StateActive
 	at := g.Tau
 	if now := s.sim.Now(); at < now {
 		// The clock passed τ(r) while the admission ran outside s.mu;
 		// fire the expiry on the next advance instead of panicking des.
 		at = now
 	}
-	e.expire = s.sim.At(at, s.expireEvent(r.ID))
+	e.expire = s.sim.At(at, e.fire)
 	s.resv[r.ID] = e
 	s.stats.RecordAccept(g.Bandwidth, r.Volume)
 	s.logLocked(trace.EventAccept, r, g, "")
-	s.poke()
+	if at < s.loopNext {
+		s.poke()
+	}
 	return Decision{
 		ID: r.ID, Accepted: true, State: s.liveStateLocked(e),
 		Rate: g.Bandwidth, Sigma: g.Sigma, Tau: g.Tau,
@@ -591,21 +654,33 @@ func (s *Server) rejectLocked(r request.Request, reason string) Decision {
 	return Decision{ID: r.ID, State: StateRejected, Reason: reason}
 }
 
-// expireEvent returns the des callback that retires reservation id when
-// its τ(r) passes. It runs with s.mu held: every sim.RunUntil call site
-// is inside advanceLocked. Revoking takes the route's shard locks while
-// holding s.mu — the one permitted nesting direction.
+// fireExpire retires the reservation held by e when its τ(r) passes. It
+// runs with s.mu held: every sim.RunUntil call site is inside
+// advanceLocked. Revoking takes the route's shard locks while holding
+// s.mu — the one permitted nesting direction. The registry identity check
+// guards against stale events on recycled entries.
+func (s *Server) fireExpire(e *entry) {
+	id := e.req.ID
+	if cur, ok := s.resv[id]; !ok || cur != e || e.state != StateActive {
+		return
+	}
+	s.ledger.Revoke(e.req)
+	e.state = StateExpired
+	s.stats.RecordExpire()
+	s.logLocked(trace.EventExpire, e.req, e.grant, "")
+	s.retireLocked(id)
+}
+
+// expireEvent returns a des callback that retires reservation id — the
+// by-ID form used by restore paths whose entries were built outside the
+// pool (snapshot restore, promotion re-arming).
 func (s *Server) expireEvent(id request.ID) des.Event {
 	return func(*des.Simulator) {
 		e, ok := s.resv[id]
 		if !ok || e.state != StateActive {
 			return
 		}
-		s.ledger.Revoke(e.req)
-		e.state = StateExpired
-		s.stats.RecordExpire()
-		s.logLocked(trace.EventExpire, e.req, e.grant, "")
-		s.retireLocked(id)
+		s.fireExpire(e)
 	}
 }
 
@@ -616,7 +691,13 @@ func (s *Server) retireLocked(id request.ID) {
 	for len(s.finished) > s.retention {
 		evict := s.finished[0]
 		s.finished = s.finished[1:]
-		delete(s.resv, evict)
+		if e, ok := s.resv[evict]; ok {
+			delete(s.resv, evict)
+			// Terminal and evicted: its expiry event fired or was
+			// cancelled, and nothing outside s.mu holds entries, so the
+			// record can be recycled.
+			s.freeEntry(e)
+		}
 	}
 }
 
@@ -751,7 +832,7 @@ func (s *Server) LiveReservations() []Reservation {
 			out = append(out, Reservation{Req: e.req, Grant: e.grant, State: s.liveStateLocked(e)})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Req.ID < out[j].Req.ID })
+	slices.SortFunc(out, func(a, b Reservation) int { return int(a.Req.ID) - int(b.Req.ID) })
 	return out
 }
 
@@ -772,7 +853,7 @@ func (s *Server) VerifyInvariant() error {
 			live = append(live, e)
 		}
 	}
-	sort.Slice(live, func(i, j int) bool { return live[i].req.ID < live[j].req.ID })
+	slices.SortFunc(live, func(a, b *entry) int { return int(a.req.ID) - int(b.req.ID) })
 	fresh := alloc.NewLedger(s.net)
 	for _, e := range live {
 		if err := fresh.Reserve(e.req, e.grant); err != nil {

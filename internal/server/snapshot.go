@@ -6,7 +6,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"sort"
+	"slices"
 	"time"
 
 	"gridbw/internal/alloc"
@@ -164,7 +164,7 @@ func (s *Server) sortedLiveIDsLocked() []request.ID {
 			ids = append(ids, id)
 		}
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	return ids
 }
 
@@ -363,7 +363,7 @@ func (s *Server) restoreIdempotency(snap *Snapshot, resv map[request.ID]*entry) 
 	for key := range snap.IdempotencyDecisions {
 		keys = append(keys, key)
 	}
-	sort.Strings(keys)
+	slices.Sort(keys)
 	for _, key := range keys {
 		sd := snap.IdempotencyDecisions[key]
 		d := Decision{
@@ -394,7 +394,7 @@ func (s *Server) restoreIdempotency(snap *Snapshot, resv map[request.ID]*entry) 
 	for key := range snap.Idempotency {
 		legacy = append(legacy, key)
 	}
-	sort.Strings(legacy)
+	slices.Sort(legacy)
 	for _, key := range legacy {
 		id := snap.Idempotency[key]
 		e, ok := resv[request.ID(id)]

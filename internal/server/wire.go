@@ -1,0 +1,402 @@
+package server
+
+// Length-prefixed binary batch codec. POST /v1/batch accepts (and then
+// answers with) this framing when the request Content-Type is
+// BinaryBatchContentType; JSON remains the default. The format exists for
+// the load-generation hot path: a 64-item JSON batch spends more time in
+// encoding/json than the admission pipeline itself, while these frames
+// encode and decode with two small allocations per call.
+//
+// Request frame (all integers little-endian):
+//
+//	magic "GBB1" | u32 bodyLen | u32 count | count × record
+//	record: u8 flags | u32 from | u32 to | f64 volume | f64 maxRate
+//	        | f64 notBefore | f64 deadline | u16 keyLen | key bytes
+//	flags: bit0 durable, bit1 notBefore-relative, bit2 deadline-relative
+//
+// Relative times are resolved against a single service-clock read per
+// batch on the server, mirroring the JSON fields start_in/deadline_in.
+//
+// Response frame:
+//
+//	magic "GBR1" | u32 bodyLen | u32 count | count × item
+//	item: u8 kind; kind 0 (error):    u16 msgLen | msg bytes
+//	               kind 1 (decision): u64 id | u8 accepted | u8 state
+//	                                  | u8 durability | f64 rate
+//	                                  | f64 sigma | f64 tau
+//	                                  | u16 reasonLen | reason bytes
+//
+// bodyLen counts every byte after itself, so a reader can frame the
+// message off a stream before parsing. A malformed frame rejects the
+// whole batch (HTTP 400) — there is no per-item decode salvage, unlike
+// JSON where parse errors fail item slots individually.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"gridbw/internal/units"
+)
+
+// BinaryBatchContentType selects the binary batch codec on POST /v1/batch.
+const BinaryBatchContentType = "application/x-gridbw-batch"
+
+const (
+	wireReqMagic  = "GBB1"
+	wireRespMagic = "GBR1"
+
+	wireFlagDurable     = 1 << 0
+	wireFlagRelNotBefor = 1 << 1
+	wireFlagRelDeadline = 1 << 2
+
+	wireKindError    = 0
+	wireKindDecision = 1
+
+	// wireMaxBatchBytes caps how much of a binary body the handler reads:
+	// generous for any in-limit batch (records are ~40 bytes plus key),
+	// small enough that a garbage length prefix cannot balloon memory.
+	wireMaxBatchBytes = 8 << 20
+)
+
+// WireSubmission is one record of a binary batch request: a Submission
+// plus the relative-time flags the server resolves against its clock.
+type WireSubmission struct {
+	From, To  int
+	Volume    units.Volume
+	MaxRate   units.Bandwidth
+	NotBefore units.Time
+	Deadline  units.Time
+	// RelNotBefore/RelDeadline mark the corresponding field as an offset
+	// from the server's current service time rather than an absolute
+	// instant — the binary spelling of start_in / deadline_in.
+	RelNotBefore   bool
+	RelDeadline    bool
+	Durable        bool
+	IdempotencyKey string
+}
+
+// resolve converts the wire record to a Submission against the given
+// service-clock reading.
+func (ws WireSubmission) resolve(now units.Time) Submission {
+	sub := Submission{
+		From:           ws.From,
+		To:             ws.To,
+		Volume:         ws.Volume,
+		MaxRate:        ws.MaxRate,
+		NotBefore:      ws.NotBefore,
+		Deadline:       ws.Deadline,
+		IdempotencyKey: ws.IdempotencyKey,
+		Durable:        ws.Durable,
+	}
+	if ws.RelNotBefore {
+		sub.NotBefore = now + ws.NotBefore
+	}
+	if ws.RelDeadline {
+		sub.Deadline = now + ws.Deadline
+	}
+	return sub
+}
+
+func appendU16(dst []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(dst, v) }
+func appendU32(dst []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(dst, v) }
+func appendU64(dst []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(dst, v) }
+func appendF64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+// wireReader walks a frame body with bounds checks; after any failure
+// r.err is set and further reads return zero values.
+type wireReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *wireReader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("wire: truncated %s at offset %d", what, r.off)
+	}
+}
+
+func (r *wireReader) u8(what string) byte {
+	if r.err != nil || r.off+1 > len(r.data) {
+		r.fail(what)
+		return 0
+	}
+	v := r.data[r.off]
+	r.off++
+	return v
+}
+
+func (r *wireReader) u16(what string) uint16 {
+	if r.err != nil || r.off+2 > len(r.data) {
+		r.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.data[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *wireReader) u32(what string) uint32 {
+	if r.err != nil || r.off+4 > len(r.data) {
+		r.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *wireReader) u64(what string) uint64 {
+	if r.err != nil || r.off+8 > len(r.data) {
+		r.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *wireReader) f64(what string) float64 { return math.Float64frombits(r.u64(what)) }
+
+func (r *wireReader) bytes(n int, what string) []byte {
+	if r.err != nil || n < 0 || r.off+n > len(r.data) {
+		r.fail(what)
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// frameBody validates a magic + length prefix and returns the framed body.
+func frameBody(data []byte, magic string) ([]byte, error) {
+	if len(data) < len(magic)+4 {
+		return nil, fmt.Errorf("wire: frame shorter than header (%d bytes)", len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("wire: bad magic %q, want %q", data[:len(magic)], magic)
+	}
+	n := binary.LittleEndian.Uint32(data[len(magic):])
+	body := data[len(magic)+4:]
+	if uint32(len(body)) != n {
+		return nil, fmt.Errorf("wire: length prefix %d but %d body bytes", n, len(body))
+	}
+	return body, nil
+}
+
+// AppendBinaryBatchRequest appends the framed request for subs to dst and
+// returns it.
+func AppendBinaryBatchRequest(dst []byte, subs []WireSubmission) []byte {
+	dst = append(dst, wireReqMagic...)
+	lenAt := len(dst)
+	dst = appendU32(dst, 0)
+	dst = appendU32(dst, uint32(len(subs)))
+	for i := range subs {
+		ws := &subs[i]
+		var flags byte
+		if ws.Durable {
+			flags |= wireFlagDurable
+		}
+		if ws.RelNotBefore {
+			flags |= wireFlagRelNotBefor
+		}
+		if ws.RelDeadline {
+			flags |= wireFlagRelDeadline
+		}
+		dst = append(dst, flags)
+		dst = appendU32(dst, uint32(ws.From))
+		dst = appendU32(dst, uint32(ws.To))
+		dst = appendF64(dst, float64(ws.Volume))
+		dst = appendF64(dst, float64(ws.MaxRate))
+		dst = appendF64(dst, float64(ws.NotBefore))
+		dst = appendF64(dst, float64(ws.Deadline))
+		dst = appendU16(dst, uint16(len(ws.IdempotencyKey)))
+		dst = append(dst, ws.IdempotencyKey...)
+	}
+	binary.LittleEndian.PutUint32(dst[lenAt:], uint32(len(dst)-lenAt-4))
+	return dst
+}
+
+// DecodeBinaryBatchRequest parses a framed batch request. maxCount bounds
+// the declared record count before any allocation (the server passes its
+// MaxBatch; pass 0 for no bound).
+func DecodeBinaryBatchRequest(data []byte, maxCount int) ([]WireSubmission, error) {
+	body, err := frameBody(data, wireReqMagic)
+	if err != nil {
+		return nil, err
+	}
+	r := &wireReader{data: body}
+	count := int(r.u32("count"))
+	if r.err != nil {
+		return nil, r.err
+	}
+	if count == 0 {
+		return nil, fmt.Errorf("wire: empty batch")
+	}
+	if maxCount > 0 && count > maxCount {
+		return nil, fmt.Errorf("wire: batch of %d exceeds limit %d", count, maxCount)
+	}
+	// Even a keyless record is 45 bytes; a count the body cannot hold is
+	// rejected before allocating for it.
+	if count > len(body)/45 {
+		return nil, fmt.Errorf("wire: count %d exceeds body capacity", count)
+	}
+	subs := make([]WireSubmission, count)
+	for i := range subs {
+		ws := &subs[i]
+		flags := r.u8("flags")
+		ws.Durable = flags&wireFlagDurable != 0
+		ws.RelNotBefore = flags&wireFlagRelNotBefor != 0
+		ws.RelDeadline = flags&wireFlagRelDeadline != 0
+		ws.From = int(int32(r.u32("from")))
+		ws.To = int(int32(r.u32("to")))
+		ws.Volume = units.Volume(r.f64("volume"))
+		ws.MaxRate = units.Bandwidth(r.f64("max_rate"))
+		ws.NotBefore = units.Time(r.f64("not_before"))
+		ws.Deadline = units.Time(r.f64("deadline"))
+		if n := int(r.u16("key length")); n > 0 {
+			ws.IdempotencyKey = string(r.bytes(n, "key"))
+		}
+		if r.err != nil {
+			return nil, fmt.Errorf("record %d: %w", i, r.err)
+		}
+	}
+	if r.off != len(body) {
+		return nil, fmt.Errorf("wire: %d trailing bytes after %d records", len(body)-r.off, count)
+	}
+	return subs, nil
+}
+
+// Compact state and durability codes. Unknown values round-trip as the
+// rejected / empty fallbacks rather than failing the frame — the codec
+// must not turn a new server-side state into a client decode error.
+var wireStates = [...]State{StateBooked, StateActive, StateExpired, StateCancelled, StateRejected}
+
+func stateCode(s State) byte {
+	for i, v := range wireStates {
+		if v == s {
+			return byte(i)
+		}
+	}
+	return byte(len(wireStates) - 1)
+}
+
+func stateFromCode(c byte) State {
+	if int(c) < len(wireStates) {
+		return wireStates[c]
+	}
+	return StateRejected
+}
+
+func durabilityCode(d string) byte {
+	switch d {
+	case DurabilityReplicated:
+		return 1
+	case DurabilityDegraded:
+		return 2
+	default:
+		return 0
+	}
+}
+
+func durabilityFromCode(c byte) string {
+	switch c {
+	case 1:
+		return DurabilityReplicated
+	case 2:
+		return DurabilityDegraded
+	default:
+		return ""
+	}
+}
+
+// AppendBinaryBatchResponse appends the framed response for results to
+// dst and returns it.
+func AppendBinaryBatchResponse(dst []byte, results []BatchResult) []byte {
+	dst = append(dst, wireRespMagic...)
+	lenAt := len(dst)
+	dst = appendU32(dst, 0)
+	dst = appendU32(dst, uint32(len(results)))
+	for i := range results {
+		res := &results[i]
+		if res.Err != nil {
+			msg := res.Err.Error()
+			dst = append(dst, wireKindError)
+			dst = appendU16(dst, uint16(min(len(msg), math.MaxUint16)))
+			dst = append(dst, msg[:min(len(msg), math.MaxUint16)]...)
+			continue
+		}
+		d := &res.Decision
+		dst = append(dst, wireKindDecision)
+		dst = appendU64(dst, uint64(d.ID))
+		if d.Accepted {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = append(dst, stateCode(d.State), durabilityCode(res.Durability))
+		dst = appendF64(dst, float64(d.Rate))
+		dst = appendF64(dst, float64(d.Sigma))
+		dst = appendF64(dst, float64(d.Tau))
+		dst = appendU16(dst, uint16(min(len(d.Reason), math.MaxUint16)))
+		dst = append(dst, d.Reason[:min(len(d.Reason), math.MaxUint16)]...)
+	}
+	binary.LittleEndian.PutUint32(dst[lenAt:], uint32(len(dst)-lenAt-4))
+	return dst
+}
+
+// DecodeBinaryBatchResponse parses a framed batch response into the same
+// per-item form the JSON endpoint answers with, so callers classify
+// results identically under either codec. (The human-readable Rate string
+// is left empty — binary callers have RateBps.)
+func DecodeBinaryBatchResponse(data []byte) ([]BatchItemJSON, error) {
+	body, err := frameBody(data, wireRespMagic)
+	if err != nil {
+		return nil, err
+	}
+	r := &wireReader{data: body}
+	count := int(r.u32("count"))
+	if r.err != nil {
+		return nil, r.err
+	}
+	// kind + u16 length is the 3-byte minimum item.
+	if count > len(body)/3 {
+		return nil, fmt.Errorf("wire: count %d exceeds body capacity", count)
+	}
+	out := make([]BatchItemJSON, count)
+	for i := range out {
+		switch kind := r.u8("kind"); kind {
+		case wireKindError:
+			n := int(r.u16("error length"))
+			out[i].Error = string(r.bytes(n, "error"))
+		case wireKindDecision:
+			rj := &ReservationJSON{}
+			rj.ID = int(r.u64("id"))
+			rj.Accepted = r.u8("accepted") != 0
+			rj.State = string(stateFromCode(r.u8("state")))
+			rj.Durability = durabilityFromCode(r.u8("durability"))
+			rj.RateBps = r.f64("rate")
+			rj.SigmaS = r.f64("sigma")
+			rj.TauS = r.f64("tau")
+			n := int(r.u16("reason length"))
+			if n > 0 {
+				rj.Reason = string(r.bytes(n, "reason"))
+			}
+			out[i].Reservation = rj
+		default:
+			if r.err == nil {
+				r.err = fmt.Errorf("wire: unknown item kind %d", kind)
+			}
+		}
+		if r.err != nil {
+			return nil, fmt.Errorf("item %d: %w", i, r.err)
+		}
+	}
+	if r.off != len(body) {
+		return nil, fmt.Errorf("wire: %d trailing bytes after %d items", len(body)-r.off, count)
+	}
+	return out, nil
+}

@@ -1,0 +1,216 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"gridbw/internal/server"
+	"gridbw/internal/server/client"
+	"gridbw/internal/units"
+)
+
+func randWireSubmission(rng *rand.Rand) server.WireSubmission {
+	ws := server.WireSubmission{
+		From:         rng.Intn(8) - 2, // includes invalid negatives: codec is shape-agnostic
+		To:           rng.Intn(8) - 2,
+		Volume:       units.Volume(rng.Float64() * 1e12),
+		MaxRate:      units.Bandwidth(rng.Float64() * 1e9),
+		NotBefore:    units.Time(rng.Float64() * 1e4),
+		Deadline:     units.Time(rng.Float64() * 1e5),
+		RelNotBefore: rng.Intn(2) == 0,
+		RelDeadline:  rng.Intn(2) == 0,
+		Durable:      rng.Intn(2) == 0,
+	}
+	if rng.Intn(3) > 0 {
+		ws.IdempotencyKey = fmt.Sprintf("key-%d", rng.Int63())
+	}
+	if rng.Intn(16) == 0 {
+		ws.Volume = units.Volume(math.Inf(1)) // codec must carry any f64 bit pattern
+	}
+	return ws
+}
+
+// TestBinaryBatchRequestRoundTrip: encode→decode is the identity on
+// random submissions, byte-exact on every float.
+func TestBinaryBatchRequestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(70)
+		in := make([]server.WireSubmission, n)
+		for i := range in {
+			in[i] = randWireSubmission(rng)
+		}
+		blob := server.AppendBinaryBatchRequest(nil, in)
+		out, err := server.DecodeBinaryBatchRequest(blob, 0)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if len(out) != len(in) {
+			t.Fatalf("trial %d: %d records round-tripped to %d", trial, len(in), len(out))
+		}
+		for i := range in {
+			if in[i] != out[i] {
+				t.Fatalf("trial %d record %d: %+v != %+v", trial, i, in[i], out[i])
+			}
+		}
+	}
+}
+
+// TestBinaryBatchResponseRoundTrip: server-side results survive the frame
+// into the client-side item shape.
+func TestBinaryBatchResponseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	states := []server.State{server.StateBooked, server.StateActive, server.StateExpired,
+		server.StateCancelled, server.StateRejected}
+	durs := []string{"", server.DurabilityReplicated, server.DurabilityDegraded}
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(70)
+		in := make([]server.BatchResult, n)
+		for i := range in {
+			if rng.Intn(4) == 0 {
+				in[i].Err = fmt.Errorf("boom %d", rng.Int31())
+				continue
+			}
+			in[i].Decision = server.Decision{
+				ID:       42,
+				Accepted: rng.Intn(2) == 0,
+				State:    states[rng.Intn(len(states))],
+				Rate:     units.Bandwidth(rng.Float64() * 1e9),
+				Sigma:    units.Time(rng.Float64() * 100),
+				Tau:      units.Time(rng.Float64() * 1000),
+				Reason:   "because",
+			}
+			in[i].Durability = durs[rng.Intn(len(durs))]
+		}
+		blob := server.AppendBinaryBatchResponse(nil, in)
+		out, err := server.DecodeBinaryBatchResponse(blob)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if len(out) != len(in) {
+			t.Fatalf("trial %d: %d results round-tripped to %d", trial, len(in), len(out))
+		}
+		for i := range in {
+			if in[i].Err != nil {
+				if out[i].Error != in[i].Err.Error() || out[i].Reservation != nil {
+					t.Fatalf("trial %d item %d: error round-trip %+v", trial, i, out[i])
+				}
+				continue
+			}
+			d, r := in[i].Decision, out[i].Reservation
+			if r == nil {
+				t.Fatalf("trial %d item %d: lost reservation", trial, i)
+			}
+			if r.ID != int(d.ID) || r.Accepted != d.Accepted || r.State != string(d.State) ||
+				r.RateBps != float64(d.Rate) || r.SigmaS != float64(d.Sigma) ||
+				r.TauS != float64(d.Tau) || r.Reason != d.Reason ||
+				r.Durability != in[i].Durability {
+				t.Fatalf("trial %d item %d: %+v != %+v (durability %q)", trial, i, r, d, in[i].Durability)
+			}
+		}
+	}
+}
+
+// FuzzDecodeBinaryBatch throws arbitrary bytes at both decoders: they
+// must never panic, and whatever a valid encode produced must decode.
+func FuzzDecodeBinaryBatch(f *testing.F) {
+	f.Add([]byte("GBB1"))
+	f.Add([]byte("GBR1\x00\x00\x00\x00"))
+	f.Add(server.AppendBinaryBatchRequest(nil, []server.WireSubmission{
+		{From: 0, To: 1, Volume: 1e9, MaxRate: 1e8, Deadline: 100, IdempotencyKey: "k"},
+	}))
+	f.Add(server.AppendBinaryBatchResponse(nil, []server.BatchResult{
+		{Decision: server.Decision{ID: 1, Accepted: true, State: server.StateBooked, Rate: 5e7}},
+		{Err: fmt.Errorf("nope")},
+	}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if subs, err := server.DecodeBinaryBatchRequest(data, 1024); err == nil {
+			// A successful decode must re-encode to an equally decodable frame.
+			blob := server.AppendBinaryBatchRequest(nil, subs)
+			if _, err := server.DecodeBinaryBatchRequest(blob, 1024); err != nil {
+				t.Fatalf("re-encode of decoded frame fails: %v", err)
+			}
+		}
+		_, _ = server.DecodeBinaryBatchResponse(data)
+	})
+}
+
+// TestBinaryBatchDecidesLikeJSON drives two identical daemons with the
+// same submission stream — one over the JSON batch endpoint, one over the
+// binary codec — and requires identical decisions, including idempotent
+// replays of repeated keys.
+func TestBinaryBatchDecidesLikeJSON(t *testing.T) {
+	clk := &fakeClock{}
+	mk := func() (*server.Server, *client.Client) {
+		cfg := uniformConfig(clk)
+		cfg.MaxBatch = 128
+		srv := newTestServer(t, cfg)
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		return srv, client.NewWithOptions(ts.URL, ts.Client(), client.Options{MaxRetries: -1})
+	}
+	_, jsonClient := mk()
+	_, binClient := mk()
+
+	rng := rand.New(rand.NewSource(3))
+	ctx := context.Background()
+	var prevKeys []string
+	for round := 0; round < 20; round++ {
+		n := 1 + rng.Intn(32)
+		reqs := make([]server.SubmitRequest, n)
+		for i := range reqs {
+			reqs[i] = server.SubmitRequest{
+				From:        rng.Intn(2),
+				To:          rng.Intn(2),
+				VolumeBytes: 1e9 + rng.Float64()*1e11,
+				MaxRateBps:  1e7 + rng.Float64()*5e8,
+				DeadlineS:   float64(clk.now().Unix()) + 50 + rng.Float64()*500,
+			}
+			switch rng.Intn(4) {
+			case 0:
+				// Human-readable spellings must decide identically too.
+				reqs[i].VolumeBytes, reqs[i].Volume = 0, "10GB"
+				reqs[i].MaxRateBps, reqs[i].MaxRate = 0, "100MB/s"
+				reqs[i].DeadlineS, reqs[i].DeadlineIn = 0, "300s"
+			case 1:
+				if len(prevKeys) > 0 {
+					// Replay an old key: both servers must answer from
+					// their idempotency cache.
+					reqs[i].IdempotencyKey = prevKeys[rng.Intn(len(prevKeys))]
+				}
+			case 2:
+				reqs[i].IdempotencyKey = fmt.Sprintf("round-%d-item-%d", round, i)
+				prevKeys = append(prevKeys, reqs[i].IdempotencyKey)
+			}
+		}
+		jres, err := jsonClient.SubmitBatch(ctx, reqs)
+		if err != nil {
+			t.Fatalf("round %d: json: %v", round, err)
+		}
+		bres, err := binClient.SubmitBatchBinary(ctx, reqs)
+		if err != nil {
+			t.Fatalf("round %d: binary: %v", round, err)
+		}
+		for i := range jres {
+			j, b := jres[i], bres[i]
+			if (j.Reservation == nil) != (b.Reservation == nil) || j.Error != b.Error {
+				t.Fatalf("round %d item %d: json %+v vs binary %+v", round, i, j, b)
+			}
+			if j.Reservation == nil {
+				continue
+			}
+			jr, br := j.Reservation, b.Reservation
+			if jr.ID != br.ID || jr.Accepted != br.Accepted || jr.State != br.State ||
+				jr.RateBps != br.RateBps || jr.SigmaS != br.SigmaS || jr.TauS != br.TauS ||
+				jr.Reason != br.Reason {
+				t.Fatalf("round %d item %d: json %+v vs binary %+v", round, i, jr, br)
+			}
+		}
+		clk.advance(time.Duration(rng.Int63n(int64(5 * time.Second))))
+	}
+}

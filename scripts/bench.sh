@@ -28,7 +28,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 NAME="${1:-server}"
-REGEX="${2:-BenchmarkServerAdmit|BenchmarkServerParallelSubmit|BenchmarkClientSubmitRetry|BenchmarkProfileReserveRelease}"
+REGEX="${2:-BenchmarkServerAdmit|BenchmarkServerParallelSubmit|BenchmarkServerBatchHTTP|BenchmarkClientSubmitRetry|BenchmarkProfileReserveRelease|BenchmarkProfileMaxUsed|BenchmarkBatchCodec}"
 BENCHTIME="${BENCHTIME:-200x}"
 COUNT="${COUNT:-3}"
 OUT="BENCH_${NAME}.json"
