@@ -1,0 +1,94 @@
+// Command gridbwcheck verifies a chaos run after the fact: it reads the
+// client-observed operation history a gridbwload -history run recorded
+// and the surviving daemon's WAL, and checks the invariants that make
+// the admission guarantees trustworthy under failure — no admission the
+// client was told is replicated may be missing, no idempotency key may
+// have admitted twice, fencing epochs never run backwards, and the
+// booked grants never oversubscribe a capacity. Exit 0 means the history
+// is clean; exit 1 prints one line per violation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"gridbw/internal/check"
+	"gridbw/internal/server"
+	"gridbw/internal/units"
+	"gridbw/internal/wal"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gridbwcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("gridbwcheck", flag.ContinueOnError)
+	history := fs.String("history", "", "client-observed operation history (JSON lines, from gridbwload -history)")
+	walDir := fs.String("wal", "", "surviving daemon's WAL directory: the decision history of record")
+	ingress := fs.String("ingress", "1GB/s,1GB/s", "comma-separated ingress capacities the daemon ran with")
+	egress := fs.String("egress", "1GB/s,1GB/s", "comma-separated egress capacities the daemon ran with")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *history == "" || *walDir == "" {
+		return fmt.Errorf("both -history and -wal are required")
+	}
+
+	f, err := os.Open(*history)
+	if err != nil {
+		return err
+	}
+	ops, err := check.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("%s: %w", *history, err)
+	}
+
+	l, _, err := wal.Open(*walDir, wal.Options{})
+	if err != nil {
+		return fmt.Errorf("%s: %w", *walDir, err)
+	}
+	events, _, err := server.ReadWALEvents(l, wal.Pos{})
+	l.Close()
+	if err != nil {
+		return fmt.Errorf("%s: %w", *walDir, err)
+	}
+
+	fin := check.Final{Events: events}
+	if fin.IngressBps, err = parseCaps(*ingress); err != nil {
+		return fmt.Errorf("-ingress: %w", err)
+	}
+	if fin.EgressBps, err = parseCaps(*egress); err != nil {
+		return fmt.Errorf("-egress: %w", err)
+	}
+
+	violations := check.Verify(ops, fin)
+	for _, v := range violations {
+		fmt.Fprintf(stdout, "VIOLATION %s: %s\n", v.Invariant, v.Detail)
+	}
+	if n := len(violations); n > 0 {
+		return fmt.Errorf("%d invariant violation(s) across %d ops and %d events", n, len(ops), len(events))
+	}
+	fmt.Fprintf(stdout, "clean: %d client ops checked against %d logged decisions, 0 violations\n",
+		len(ops), len(events))
+	return nil
+}
+
+func parseCaps(list string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(list, ",") {
+		b, err := units.ParseBandwidth(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, float64(b))
+	}
+	return out, nil
+}

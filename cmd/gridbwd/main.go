@@ -55,6 +55,7 @@ import (
 	"time"
 
 	"gridbw/internal/cluster"
+	"gridbw/internal/faults"
 	"gridbw/internal/server"
 	"gridbw/internal/trace"
 	"gridbw/internal/units"
@@ -82,6 +83,7 @@ func run(args []string) error {
 	walFsyncInterval := fset.Duration("wal-fsync-interval", 0, "fsync period under -wal-fsync=interval (0 = 100ms)")
 	walSegmentBytes := fset.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold (0 = 8 MiB)")
 	walCompact := fset.Bool("wal-compact", false, "after each snapshot write, unlink WAL segments the snapshot wholly covers")
+	chaosDisk := fset.String("chaos-disk", "", "inject seeded disk faults into the WAL (chaos testing only): seed=N,short=P,write=P,fsync=P,enospc=P,rename=P,dirsync=P")
 	follow := fset.String("follow", "", "boot as a read-only warm standby pulling decisions from the primary at this base URL")
 	replID := fset.String("repl-id", "", "replication identity presented on pulls and votes (default: the listen address)")
 	replSync := fset.String("repl-sync", "", "synchronous-ack mode: off, one, or quorum — park each admission until that many follower cursors pass its WAL frame (default off)")
@@ -144,9 +146,18 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		l, rec, err := wal.Open(*walDir, wal.Options{
+		opt := wal.Options{
 			SegmentBytes: *walSegmentBytes, Policy: pol, Interval: *walFsyncInterval,
-		})
+		}
+		if *chaosDisk != "" {
+			dc, err := faults.ParseDiskConfig(*chaosDisk)
+			if err != nil {
+				return err
+			}
+			opt.FS = faults.NewDiskFS(nil, dc)
+			log.Printf("chaos-disk armed on %s: %s", *walDir, *chaosDisk)
+		}
+		l, rec, err := wal.Open(*walDir, opt)
 		if err != nil {
 			return err
 		}

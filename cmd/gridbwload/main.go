@@ -38,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"gridbw/internal/check"
 	"gridbw/internal/loadgen"
 	"gridbw/internal/units"
 	"gridbw/internal/workload"
@@ -81,6 +82,8 @@ func run(args []string, stdout io.Writer) error {
 		seed     = fs.Int64("seed", 1, "seed for the arrival schedule and request draws")
 		prom     = fs.String("prom", "", "serve live Prometheus text on this address during the run (e.g. :9090; empty disables)")
 		output   = fs.String("output", "", "write the JSON report here (empty: stdout)")
+		history  = fs.String("history", "", "record every client-observed operation as JSON lines here, for the offline invariant checker (empty disables)")
+		durable  = fs.Bool("durable", false, "mark every submission durable: acks park until the decision is replicated")
 		failOn   = fs.String("fail-on", "", "regression gate, e.g. 'p99<50ms,errors<0.1%,drops<=1%' (empty disables)")
 		ingress  = fs.Int("ingress-points", 2, "ingress point count of the target daemon (placement draw bound)")
 		egress   = fs.Int("egress-points", 2, "egress point count of the target daemon")
@@ -108,6 +111,7 @@ func run(args []string, stdout io.Writer) error {
 		PromAddr:     *prom,
 		DrainTimeout: *drain,
 		Codec:        *codec,
+		Durable:      *durable,
 	}
 	for i, t := range cfg.Targets {
 		cfg.Targets[i] = strings.TrimSpace(t)
@@ -144,9 +148,28 @@ func run(args []string, stdout io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	if *history != "" {
+		cfg.History = check.NewRecorder()
+	}
+
 	rep, err := loadgen.Run(ctx, cfg)
 	if err != nil {
 		return err
+	}
+	if cfg.History != nil {
+		// The history lands even when the gate below fails — a failing run
+		// is exactly the one whose client observations are worth checking.
+		f, err := os.Create(*history)
+		if err != nil {
+			return fmt.Errorf("-history: %w", err)
+		}
+		if err := cfg.History.WriteJSONL(f); err != nil {
+			f.Close()
+			return fmt.Errorf("-history: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("-history: %w", err)
+		}
 	}
 	if werr := writeReport(rep, *output, stdout); werr != nil {
 		return werr

@@ -1,0 +1,449 @@
+// Package chaosnet is a TCP-level chaos proxy for the replication
+// group's real wire protocol. A Proxy is one directed link: it listens
+// on a local address and forwards byte streams to one target, and its
+// Rules — swappable atomically mid-run — inject the network's failure
+// modes at the transport layer where they actually happen:
+//
+//   - partitions: full (both directions cut), asymmetric (one direction
+//     cut), and partial/bridge topologies built from one Proxy per
+//     (src, dst) pair;
+//   - added latency and seeded jitter per forwarded chunk;
+//   - bandwidth throttling (token-bucket pacing per direction);
+//   - connection resets (accept then RST via SO_LINGER 0);
+//   - slow-loris stalls (forward N bytes, then hold the connection open
+//     forwarding nothing).
+//
+// Unlike internal/faults' in-simulation injector, chaosnet perturbs real
+// sockets carrying real HTTP — the replication pull long-polls, vote
+// RPCs, reseed downloads and client submissions all cross it unmodified,
+// so what survives a chaosnet schedule survives a real switch failure.
+//
+// A cut link deliberately black-holes traffic instead of refusing it:
+// real partitions manifest as silence and timeouts, not clean errors.
+// Use Rules.RefuseNew (connection refused) or Rules.ResetProb (RST) for
+// the noisy failure modes.
+package chaosnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"gridbw/internal/rng"
+)
+
+// Rules is one link's active fault schedule. The zero value forwards
+// transparently.
+type Rules struct {
+	// CutToTarget black-holes bytes flowing from clients to the target;
+	// CutToClient black-holes the reverse direction. Setting both is a
+	// full partition of this link. Bytes are consumed and dropped, so the
+	// sender sees a healthy connection that never answers — exactly what
+	// a partition looks like from inside.
+	CutToTarget bool `json:"cut_to_target,omitempty"`
+	CutToClient bool `json:"cut_to_client,omitempty"`
+	// RefuseNew closes new connections immediately (connection refused
+	// flavor); established flows continue under the other rules.
+	RefuseNew bool `json:"refuse_new,omitempty"`
+	// Latency delays every forwarded chunk; Jitter adds a seeded uniform
+	// [0, Jitter) on top, drawn per chunk so reordering-adjacent effects
+	// (bursts, stragglers) appear.
+	Latency time.Duration `json:"latency,omitempty"`
+	Jitter  time.Duration `json:"jitter,omitempty"`
+	// BandwidthBps paces each direction to this many bytes per second
+	// (0 = unlimited).
+	BandwidthBps int64 `json:"bandwidth_bps,omitempty"`
+	// ResetProb is the seeded probability that a newly accepted
+	// connection is answered with an immediate RST.
+	ResetProb float64 `json:"reset_prob,omitempty"`
+	// StallAfterBytes forwards only this many bytes per direction per
+	// connection and then holds the connection open forwarding nothing —
+	// the slow-loris read hazard (0 = off).
+	StallAfterBytes int64 `json:"stall_after_bytes,omitempty"`
+}
+
+// Partitioned reports whether the link is fully cut.
+func (r Rules) Partitioned() bool { return r.CutToTarget && r.CutToClient }
+
+// Stats counts what the link did to its traffic.
+type Stats struct {
+	ConnsAccepted uint64 `json:"conns_accepted"`
+	ConnsRefused  uint64 `json:"conns_refused"`
+	ConnsReset    uint64 `json:"conns_reset"`
+	BytesToTarget uint64 `json:"bytes_to_target"`
+	BytesToClient uint64 `json:"bytes_to_client"`
+	BytesDropped  uint64 `json:"bytes_dropped"`
+	Stalls        uint64 `json:"stalls"`
+}
+
+// Proxy is one chaos link. Safe for concurrent use; rules changes apply
+// to in-flight connections at their next chunk boundary.
+type Proxy struct {
+	name   string
+	target string
+	ln     net.Listener
+
+	mu     sync.Mutex
+	rules  Rules
+	gen    uint64 // bumped on BreakExisting, outlives rule flips
+	conns  map[net.Conn]struct{}
+	src    *rng.Source
+	stats  Stats
+	closed bool
+}
+
+// New starts a chaos link named name, listening on listen (host:port,
+// ":0" picks a free port) and forwarding to target. The seed fixes every
+// probabilistic decision (jitter draws, reset coin flips) so a chaos
+// schedule replays deterministically.
+func New(name, listen, target string, seed int64) (*Proxy, error) {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("chaosnet: %w", err)
+	}
+	p := &Proxy{
+		name:   name,
+		target: target,
+		ln:     ln,
+		conns:  make(map[net.Conn]struct{}),
+		src:    rng.New(seed).Split("chaosnet/" + name),
+	}
+	go p.serve()
+	return p, nil
+}
+
+// Name reports the link's name; Addr the address clients dial; Target
+// where it forwards.
+func (p *Proxy) Name() string   { return p.name }
+func (p *Proxy) Addr() string   { return p.ln.Addr().String() }
+func (p *Proxy) Target() string { return p.target }
+
+// URL is the link's dialable address as an http base URL.
+func (p *Proxy) URL() string { return "http://" + p.Addr() }
+
+// SetRules swaps the active fault schedule. It does not touch
+// established connections beyond the new rules applying at their next
+// chunk; call BreakExisting to kill them.
+func (p *Proxy) SetRules(r Rules) {
+	p.mu.Lock()
+	p.rules = r
+	p.mu.Unlock()
+}
+
+// Rules reports the active schedule.
+func (p *Proxy) Rules() Rules {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rules
+}
+
+// Stats reports the traffic counters.
+func (p *Proxy) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// BreakExisting RSTs every established connection on the link — the
+// abrupt half of a partition. New connections are still governed by the
+// active rules.
+func (p *Proxy) BreakExisting() {
+	p.mu.Lock()
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.gen++
+	p.mu.Unlock()
+	for _, c := range conns {
+		abort(c)
+	}
+}
+
+// Close stops the listener and kills every connection.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	for _, c := range conns {
+		abort(c)
+	}
+	return err
+}
+
+// abort closes a TCP connection with SO_LINGER 0, so the peer sees RST
+// instead of a graceful FIN — what a yanked cable or killed middlebox
+// produces.
+func abort(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetLinger(0)
+	}
+	_ = c.Close()
+}
+
+func (p *Proxy) serve() {
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			c.Close()
+			return
+		}
+		r := p.rules
+		reset := r.ResetProb > 0 && p.src.Bool(r.ResetProb)
+		switch {
+		case r.RefuseNew:
+			p.stats.ConnsRefused++
+			p.mu.Unlock()
+			abort(c)
+			continue
+		case reset:
+			p.stats.ConnsReset++
+			p.mu.Unlock()
+			abort(c)
+			continue
+		}
+		p.stats.ConnsAccepted++
+		p.conns[c] = struct{}{}
+		gen := p.gen
+		p.mu.Unlock()
+		go p.handle(c, gen)
+	}
+}
+
+// jitterDraw draws this chunk's added latency under the seeded source.
+func (p *Proxy) jitterDraw(r Rules) time.Duration {
+	d := r.Latency
+	if r.Jitter > 0 {
+		p.mu.Lock()
+		d += time.Duration(p.src.Uniform(0, float64(r.Jitter)))
+		p.mu.Unlock()
+	}
+	return d
+}
+
+func (p *Proxy) handle(client net.Conn, gen uint64) {
+	defer func() {
+		p.mu.Lock()
+		delete(p.conns, client)
+		p.mu.Unlock()
+		client.Close()
+	}()
+	upstream, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		abort(client)
+		return
+	}
+	p.mu.Lock()
+	dead := p.closed || gen != p.gen
+	if !dead {
+		p.conns[upstream] = struct{}{}
+	}
+	p.mu.Unlock()
+	if dead {
+		upstream.Close()
+		abort(client)
+		return
+	}
+	defer func() {
+		p.mu.Lock()
+		delete(p.conns, upstream)
+		p.mu.Unlock()
+		upstream.Close()
+	}()
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		p.pump(client, upstream, true)
+		// Request side done (EOF or fault): half-close toward the target
+		// so it sees the end of the request stream.
+		if tc, ok := upstream.(*net.TCPConn); ok {
+			_ = tc.CloseWrite()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		p.pump(upstream, client, false)
+		if tc, ok := client.(*net.TCPConn); ok {
+			_ = tc.CloseWrite()
+		}
+	}()
+	wg.Wait()
+}
+
+// pump forwards one direction chunk by chunk, re-reading the rules at
+// every boundary so mid-run flips (a partition arriving, a stall
+// lifting) take effect on live flows.
+func (p *Proxy) pump(src, dst net.Conn, toTarget bool) {
+	buf := make([]byte, 32<<10)
+	var forwarded int64
+	for {
+		n, rerr := src.Read(buf)
+		if n > 0 {
+			r := p.Rules()
+			cut := r.CutToClient
+			if toTarget {
+				cut = r.CutToTarget
+			}
+			switch {
+			case cut:
+				// Partition: consume and drop. The sender keeps a healthy-
+				// looking socket that never answers.
+				p.mu.Lock()
+				p.stats.BytesDropped += uint64(n)
+				p.mu.Unlock()
+			case r.StallAfterBytes > 0 && forwarded+int64(n) > r.StallAfterBytes:
+				// Slow-loris: forward exactly up to the byte budget, then the
+				// flow stops progressing. Park until the connection dies under
+				// us (peer timeout, BreakExisting or Close) or the stall rule
+				// is lifted, then release the held remainder.
+				head := r.StallAfterBytes - forwarded
+				if head < 0 {
+					head = 0
+				}
+				if head > 0 {
+					if err := p.forward(dst, buf[:head], toTarget, &forwarded); err != nil {
+						return
+					}
+				}
+				p.mu.Lock()
+				p.stats.Stalls++
+				p.mu.Unlock()
+				if !p.parkWhileStalled(src, dst) {
+					return
+				}
+				if err := p.forward(dst, buf[head:n], toTarget, &forwarded); err != nil {
+					return
+				}
+			default:
+				if d := p.jitterDraw(r); d > 0 {
+					time.Sleep(d)
+				}
+				if r.BandwidthBps > 0 {
+					time.Sleep(time.Duration(float64(n) / float64(r.BandwidthBps) * float64(time.Second)))
+				}
+				if err := p.forward(dst, buf[:n], toTarget, &forwarded); err != nil {
+					return
+				}
+			}
+		}
+		if rerr != nil {
+			return
+		}
+	}
+}
+
+// parkWhileStalled blocks while the stall rule holds; it reports whether
+// the flow may resume (rules changed) rather than die (link closed).
+func (p *Proxy) parkWhileStalled(src, dst net.Conn) bool {
+	for {
+		time.Sleep(10 * time.Millisecond)
+		p.mu.Lock()
+		closed := p.closed
+		_, srcLive := p.conns[src]
+		_, dstLive := p.conns[dst]
+		r := p.rules
+		p.mu.Unlock()
+		if closed || !srcLive || !dstLive {
+			return false
+		}
+		if r.StallAfterBytes <= 0 {
+			return true
+		}
+	}
+}
+
+func (p *Proxy) forward(dst net.Conn, b []byte, toTarget bool, forwarded *int64) error {
+	n, err := dst.Write(b)
+	p.mu.Lock()
+	if toTarget {
+		p.stats.BytesToTarget += uint64(n)
+	} else {
+		p.stats.BytesToClient += uint64(n)
+	}
+	p.mu.Unlock()
+	*forwarded += int64(n)
+	return err
+}
+
+// ErrUnknownLink reports an admin operation on a link name the set does
+// not hold.
+var ErrUnknownLink = errors.New("chaosnet: unknown link")
+
+// Set is a named collection of links — the full chaos topology of one
+// experiment (one link per (src, dst) pair expresses partial and bridge
+// partitions).
+type Set struct {
+	mu    sync.Mutex
+	links map[string]*Proxy
+	order []string
+}
+
+// NewSet returns an empty topology.
+func NewSet() *Set { return &Set{links: make(map[string]*Proxy)} }
+
+// Add starts a link and registers it under its name.
+func (s *Set) Add(name, listen, target string, seed int64) (*Proxy, error) {
+	p, err := New(name, listen, target, seed)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if _, dup := s.links[name]; dup {
+		s.mu.Unlock()
+		p.Close()
+		return nil, fmt.Errorf("chaosnet: duplicate link %q", name)
+	}
+	s.links[name] = p
+	s.order = append(s.order, name)
+	s.mu.Unlock()
+	return p, nil
+}
+
+// Get resolves a link by name.
+func (s *Set) Get(name string) (*Proxy, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.links[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownLink, name)
+	}
+	return p, nil
+}
+
+// Names lists the links in registration order.
+func (s *Set) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.order...)
+}
+
+// Close stops every link.
+func (s *Set) Close() {
+	s.mu.Lock()
+	links := make([]*Proxy, 0, len(s.links))
+	for _, p := range s.links {
+		links = append(links, p)
+	}
+	s.mu.Unlock()
+	for _, p := range links {
+		p.Close()
+	}
+}

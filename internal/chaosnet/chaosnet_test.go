@@ -1,0 +1,300 @@
+package chaosnet
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startEcho runs a line-echo TCP server and returns its address.
+func startEcho(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				sc := bufio.NewScanner(c)
+				for sc.Scan() {
+					fmt.Fprintf(c, "%s\n", sc.Text())
+				}
+			}(c)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func dialLine(t *testing.T, addr, line string, timeout time.Duration) (string, error) {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return "", err
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(timeout))
+	if _, err := fmt.Fprintf(c, "%s\n", line); err != nil {
+		return "", err
+	}
+	r := bufio.NewReader(c)
+	s, err := r.ReadString('\n')
+	return strings.TrimSpace(s), err
+}
+
+func TestTransparentForwarding(t *testing.T) {
+	echo := startEcho(t)
+	p, err := New("t", "127.0.0.1:0", echo, 1)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+
+	got, err := dialLine(t, p.Addr(), "hello", 2*time.Second)
+	if err != nil || got != "hello" {
+		t.Fatalf("echo through proxy: got %q, %v", got, err)
+	}
+	st := p.Stats()
+	if st.ConnsAccepted != 1 || st.BytesToTarget == 0 || st.BytesToClient == 0 {
+		t.Fatalf("stats not recorded: %+v", st)
+	}
+}
+
+func TestFullCutBlackholes(t *testing.T) {
+	echo := startEcho(t)
+	p, err := New("cut", "127.0.0.1:0", echo, 1)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+	p.SetRules(Rules{CutToTarget: true, CutToClient: true})
+
+	// The connection opens (partition != refusal) but no byte ever comes
+	// back: the read must time out, like a real partition.
+	start := time.Now()
+	_, err = dialLine(t, p.Addr(), "lost", 300*time.Millisecond)
+	if err == nil {
+		t.Fatal("expected timeout through a cut link")
+	}
+	if time.Since(start) < 250*time.Millisecond {
+		t.Fatalf("failed too fast (%v): cut should black-hole, not error", time.Since(start))
+	}
+	if st := p.Stats(); st.BytesDropped == 0 {
+		t.Fatalf("no bytes dropped: %+v", st)
+	}
+
+	// Lifting the cut heals the link for new traffic.
+	p.SetRules(Rules{})
+	got, err := dialLine(t, p.Addr(), "healed", 2*time.Second)
+	if err != nil || got != "healed" {
+		t.Fatalf("after heal: got %q, %v", got, err)
+	}
+}
+
+func TestAsymmetricCut(t *testing.T) {
+	echo := startEcho(t)
+	p, err := New("asym", "127.0.0.1:0", echo, 1)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+	// Requests reach the target; replies are dropped.
+	p.SetRules(Rules{CutToClient: true})
+
+	_, err = dialLine(t, p.Addr(), "oneway", 300*time.Millisecond)
+	if err == nil {
+		t.Fatal("expected reply to be dropped on asymmetric cut")
+	}
+	if st := p.Stats(); st.BytesToTarget == 0 || st.BytesDropped == 0 {
+		t.Fatalf("asymmetric cut stats: %+v", st)
+	}
+}
+
+func TestLatencyDelays(t *testing.T) {
+	echo := startEcho(t)
+	p, err := New("lat", "127.0.0.1:0", echo, 1)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+	p.SetRules(Rules{Latency: 120 * time.Millisecond})
+
+	start := time.Now()
+	got, err := dialLine(t, p.Addr(), "slow", 3*time.Second)
+	if err != nil || got != "slow" {
+		t.Fatalf("echo with latency: got %q, %v", got, err)
+	}
+	// Two pumps (request + reply) each add >= Latency.
+	if el := time.Since(start); el < 200*time.Millisecond {
+		t.Fatalf("round trip %v, want >= 200ms with 120ms per-direction latency", el)
+	}
+}
+
+func TestRefuseNewAndReset(t *testing.T) {
+	echo := startEcho(t)
+	p, err := New("refuse", "127.0.0.1:0", echo, 1)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+	p.SetRules(Rules{RefuseNew: true})
+
+	if _, err := dialLine(t, p.Addr(), "nope", 500*time.Millisecond); err == nil {
+		t.Fatal("expected refused connection to error")
+	}
+	if st := p.Stats(); st.ConnsRefused == 0 {
+		t.Fatalf("refusal not counted: %+v", st)
+	}
+
+	// ResetProb 1.0: every new connection is answered with RST.
+	p.SetRules(Rules{ResetProb: 1})
+	if _, err := dialLine(t, p.Addr(), "rst", 500*time.Millisecond); err == nil {
+		t.Fatal("expected reset connection to error")
+	}
+	if st := p.Stats(); st.ConnsReset == 0 {
+		t.Fatalf("reset not counted: %+v", st)
+	}
+}
+
+func TestBreakExistingKillsLiveConns(t *testing.T) {
+	echo := startEcho(t)
+	p, err := New("break", "127.0.0.1:0", echo, 1)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+
+	c, err := net.DialTimeout("tcp", p.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	fmt.Fprintf(c, "ping\n")
+	r := bufio.NewReader(c)
+	if s, err := r.ReadString('\n'); err != nil || strings.TrimSpace(s) != "ping" {
+		t.Fatalf("warmup echo: %q, %v", s, err)
+	}
+
+	p.BreakExisting()
+	c.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := r.ReadString('\n'); err == nil {
+		t.Fatal("connection survived BreakExisting")
+	}
+}
+
+func TestStallAfterBytes(t *testing.T) {
+	echo := startEcho(t)
+	p, err := New("stall", "127.0.0.1:0", echo, 1)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+	// Let the request through, stall the reply after its first byte.
+	long := strings.Repeat("x", 64)
+	p.SetRules(Rules{StallAfterBytes: 1})
+
+	c, err := net.DialTimeout("tcp", p.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	if _, err := fmt.Fprintf(c, "%s\n", long); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	c.SetDeadline(time.Now().Add(400 * time.Millisecond))
+	buf := make([]byte, len(long)+1)
+	n := 0
+	var rerr error
+	for n < len(buf) && rerr == nil {
+		var m int
+		m, rerr = c.Read(buf[n:])
+		n += m
+	}
+	if rerr == nil {
+		t.Fatal("expected the stalled reply to never complete")
+	}
+	if n >= len(long) {
+		t.Fatalf("reply completed (%d bytes) despite stall", n)
+	}
+	if st := p.Stats(); st.Stalls == 0 {
+		t.Fatalf("stall not counted: %+v", st)
+	}
+
+	// Lifting the stall lets the parked flow resume.
+	p.SetRules(Rules{})
+	c.SetDeadline(time.Now().Add(2 * time.Second))
+	for n < len(long)+1 {
+		m, err := c.Read(buf[n:])
+		n += m
+		if err != nil {
+			break
+		}
+	}
+	if n < len(long) {
+		t.Fatalf("flow did not resume after stall lifted: got %d/%d bytes", n, len(long))
+	}
+}
+
+func TestDeterministicResets(t *testing.T) {
+	echo := startEcho(t)
+	outcomes := func(seed int64) string {
+		p, err := New("det", "127.0.0.1:0", echo, seed)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		defer p.Close()
+		p.SetRules(Rules{ResetProb: 0.5})
+		var sb strings.Builder
+		for i := 0; i < 16; i++ {
+			if _, err := dialLine(t, p.Addr(), "coin", time.Second); err != nil {
+				sb.WriteByte('R')
+			} else {
+				sb.WriteByte('.')
+			}
+		}
+		return sb.String()
+	}
+	a, b := outcomes(42), outcomes(42)
+	if a != b {
+		t.Fatalf("same seed diverged: %q vs %q", a, b)
+	}
+	if !strings.Contains(a, "R") || !strings.Contains(a, ".") {
+		t.Fatalf("p=0.5 over 16 conns should mix outcomes: %q", a)
+	}
+}
+
+func TestSetTopology(t *testing.T) {
+	echo := startEcho(t)
+	s := NewSet()
+	defer s.Close()
+	a, err := s.Add("a->b", "127.0.0.1:0", echo, 7)
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if _, err := s.Add("a->b", "127.0.0.1:0", echo, 7); err == nil {
+		t.Fatal("duplicate link accepted")
+	}
+	if _, err := s.Add("b->a", "127.0.0.1:0", echo, 7); err != nil {
+		t.Fatalf("Add second: %v", err)
+	}
+	got, err := s.Get("a->b")
+	if err != nil || got != a {
+		t.Fatalf("Get: %v", err)
+	}
+	if _, err := s.Get("nope"); err == nil {
+		t.Fatal("unknown link resolved")
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "a->b" || names[1] != "b->a" {
+		t.Fatalf("Names order: %v", names)
+	}
+}

@@ -1,0 +1,350 @@
+// Package check is the client-history invariant checker for chaos runs.
+// While a fault schedule batters a replication group, every operation a
+// client observes — submissions with their ack and durability outcome,
+// cancels, the epochs servers report — is recorded as an Op. After the
+// dust settles, Verify replays the recorded history against the
+// surviving node's WAL-derived event log and the platform's capacities,
+// and reports every violated guarantee:
+//
+//  1. durable-ack survival: an admission acked "replicated" must appear
+//     as an accept in the survivor's history — a durable ack that a
+//     promotion loses is the one lie the quorum design promises never
+//     to tell;
+//  2. idempotency: all accepted submissions sharing an idempotency key
+//     must resolve to the same reservation ID, and no reservation ID is
+//     accepted twice in the survivor's history;
+//  3. fencing: the epoch a node reports never decreases over the ops
+//     recorded against it, in observation order;
+//  4. capacity: the accepted grants in the survivor's history, clipped
+//     by their cancel/expire events, never oversubscribe any ingress or
+//     egress point beyond its configured capacity.
+//
+// The checker is deliberately a passive observer — it holds no locks in
+// the system under test and sees only what real clients saw, so a pass
+// means the guarantees held at the wire, not merely in some internal
+// accounting.
+package check
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"gridbw/internal/trace"
+)
+
+// Op kinds recorded by clients.
+const (
+	OpSubmit = "submit"
+	OpCancel = "cancel"
+	OpStatus = "status"
+)
+
+// Op is one client-observed operation against one node.
+type Op struct {
+	// Node names the endpoint the client talked to (free-form label).
+	Node string `json:"node"`
+	// Kind is OpSubmit, OpCancel or OpStatus.
+	Kind string `json:"kind"`
+	// Key is the submission's idempotency key, when one was sent.
+	Key string `json:"key,omitempty"`
+	// ID is the reservation ID the server answered with (accepted
+	// submissions, cancels, status probes).
+	ID int `json:"id,omitempty"`
+	// Accepted is the admission verdict the client saw.
+	Accepted bool `json:"accepted,omitempty"`
+	// Durable marks a submission that requested sync-ack durability;
+	// Durability is the outcome the server reported ("replicated",
+	// "degraded" or empty).
+	Durable    bool   `json:"durable,omitempty"`
+	Durability string `json:"durability,omitempty"`
+	// Err is the transport or server error string for failed ops. A
+	// failed op asserts nothing — the request may or may not have
+	// landed — but is kept for the record.
+	Err string `json:"err,omitempty"`
+	// Epoch is the fencing epoch the node reported with this response
+	// (0 = not observed).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Ingress/Egress/VolumeB echo the submission, and RateBps/SigmaS/
+	// TauS the grant, for cross-checking against history.
+	Ingress int     `json:"ingress,omitempty"`
+	Egress  int     `json:"egress,omitempty"`
+	VolumeB float64 `json:"volume_bytes,omitempty"`
+	RateBps float64 `json:"rate_bps,omitempty"`
+	SigmaS  float64 `json:"sigma_s,omitempty"`
+	TauS    float64 `json:"tau_s,omitempty"`
+}
+
+// Recorder accumulates client-observed ops, preserving per-recorder
+// insertion order (the order the client observed responses). Safe for
+// concurrent use.
+type Recorder struct {
+	mu  sync.Mutex
+	ops []Op
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record appends one observed op.
+func (r *Recorder) Record(op Op) {
+	r.mu.Lock()
+	r.ops = append(r.ops, op)
+	r.mu.Unlock()
+}
+
+// Ops returns a copy of the recorded history in observation order.
+func (r *Recorder) Ops() []Op {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Op(nil), r.ops...)
+}
+
+// Len reports how many ops are recorded.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ops)
+}
+
+// WriteJSONL streams the history as JSON Lines, one op per line, so a
+// harness process can hand it to an out-of-process checker.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, op := range r.Ops() {
+		if err := enc.Encode(op); err != nil {
+			return fmt.Errorf("check: write op: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadJSONL parses a JSON Lines op history, skipping blank lines.
+func ReadJSONL(rd io.Reader) ([]Op, error) {
+	var out []Op
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var op Op
+		if err := json.Unmarshal(sc.Bytes(), &op); err != nil {
+			return nil, fmt.Errorf("check: line %d: %w", line, err)
+		}
+		out = append(out, op)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("check: read ops: %w", err)
+	}
+	return out, nil
+}
+
+// Final is the post-chaos ground truth: the surviving node's full event
+// history (WAL replay order) and the platform's capacities in base
+// bytes/s, indexed by point ID.
+type Final struct {
+	Events     []trace.Event
+	IngressBps []float64
+	EgressBps  []float64
+}
+
+// Violation is one broken guarantee.
+type Violation struct {
+	// Invariant names the broken guarantee: "durable-loss",
+	// "idempotency", "fencing" or "capacity".
+	Invariant string `json:"invariant"`
+	Detail    string `json:"detail"`
+}
+
+func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
+
+// CapacityEps is the relative slack allowed on capacity sums, absorbing
+// float accumulation over many grants.
+const CapacityEps = 1e-6
+
+// Verify checks the recorded client history against the survivor's
+// ground truth and returns every violation found (empty = all
+// guarantees held).
+func Verify(ops []Op, fin Final) []Violation {
+	var out []Violation
+	out = append(out, checkDurableLoss(ops, fin)...)
+	out = append(out, checkIdempotency(ops, fin)...)
+	out = append(out, checkFencing(ops)...)
+	out = append(out, checkCapacity(fin)...)
+	return out
+}
+
+// checkDurableLoss: every submission acked replicated must survive as an
+// accept event; its grant must match what the client was told.
+func checkDurableLoss(ops []Op, fin Final) []Violation {
+	accepted := make(map[int]trace.Event)
+	for _, ev := range fin.Events {
+		if ev.Kind == trace.EventAccept {
+			accepted[ev.Request] = ev
+		}
+	}
+	var out []Violation
+	for _, op := range ops {
+		if op.Kind != OpSubmit || !op.Accepted || op.Durability != "replicated" {
+			continue
+		}
+		ev, ok := accepted[op.ID]
+		if !ok {
+			out = append(out, Violation{"durable-loss", fmt.Sprintf(
+				"reservation %d (key %q, node %s) was acked replicated but has no accept event in the survivor's history",
+				op.ID, op.Key, op.Node)})
+			continue
+		}
+		if op.RateBps > 0 && !closeEnough(ev.RateBps, op.RateBps) {
+			out = append(out, Violation{"durable-loss", fmt.Sprintf(
+				"reservation %d survived with rate %g, client was acked %g",
+				op.ID, ev.RateBps, op.RateBps)})
+		}
+	}
+	return out
+}
+
+// checkIdempotency: one key, one reservation — and one reservation, one
+// accept.
+func checkIdempotency(ops []Op, fin Final) []Violation {
+	var out []Violation
+	byKey := make(map[string]int)
+	for _, op := range ops {
+		if op.Kind != OpSubmit || !op.Accepted || op.Key == "" {
+			continue
+		}
+		if prev, seen := byKey[op.Key]; seen {
+			if prev != op.ID {
+				out = append(out, Violation{"idempotency", fmt.Sprintf(
+					"key %q admitted twice: reservations %d and %d", op.Key, prev, op.ID)})
+			}
+			continue
+		}
+		byKey[op.Key] = op.ID
+	}
+	seen := make(map[int]bool)
+	for _, ev := range fin.Events {
+		if ev.Kind != trace.EventAccept {
+			continue
+		}
+		if seen[ev.Request] {
+			out = append(out, Violation{"idempotency", fmt.Sprintf(
+				"reservation %d accepted twice in the survivor's history", ev.Request)})
+		}
+		seen[ev.Request] = true
+	}
+	return out
+}
+
+// checkFencing: per node, in observation order, reported epochs never
+// decrease.
+func checkFencing(ops []Op) []Violation {
+	var out []Violation
+	last := make(map[string]uint64)
+	for _, op := range ops {
+		if op.Epoch == 0 {
+			continue
+		}
+		if prev := last[op.Node]; op.Epoch < prev {
+			out = append(out, Violation{"fencing", fmt.Sprintf(
+				"node %s reported epoch %d after %d", op.Node, op.Epoch, prev)})
+		}
+		if op.Epoch > last[op.Node] {
+			last[op.Node] = op.Epoch
+		}
+	}
+	return out
+}
+
+// checkCapacity replays the survivor's accepts as [sigma, tau) bandwidth
+// intervals — each clipped at the first cancel/expire event for its
+// reservation — and sums them at every interval breakpoint per point.
+// The admission ledger promised equation (1); this re-derives it from
+// nothing but the audit history.
+func checkCapacity(fin Final) []Violation {
+	type interval struct {
+		point int
+		from  float64
+		to    float64
+		rate  float64
+	}
+	ends := make(map[int]float64)
+	for _, ev := range fin.Events {
+		if ev.Kind == trace.EventCancel || ev.Kind == trace.EventExpire {
+			if _, dup := ends[ev.Request]; !dup {
+				ends[ev.Request] = ev.At
+			}
+		}
+	}
+	var in, eg []interval
+	for _, ev := range fin.Events {
+		if ev.Kind != trace.EventAccept || ev.RateBps <= 0 {
+			continue
+		}
+		to := ev.TauS
+		if end, ok := ends[ev.Request]; ok && end < to {
+			to = end
+		}
+		if to <= ev.SigmaS {
+			continue
+		}
+		in = append(in, interval{ev.Ingress, ev.SigmaS, to, ev.RateBps})
+		eg = append(eg, interval{ev.Egress, ev.SigmaS, to, ev.RateBps})
+	}
+
+	var out []Violation
+	sweep := func(dir string, ivs []interval, caps []float64) {
+		byPoint := make(map[int][]interval)
+		for _, iv := range ivs {
+			byPoint[iv.point] = append(byPoint[iv.point], iv)
+		}
+		for point, list := range byPoint {
+			if point >= len(caps) {
+				out = append(out, Violation{"capacity", fmt.Sprintf(
+					"%s point %d out of range (platform has %d)", dir, point, len(caps))})
+				continue
+			}
+			cap := caps[point]
+			var ts []float64
+			for _, iv := range list {
+				ts = append(ts, iv.from)
+			}
+			sort.Float64s(ts)
+			for _, t := range ts {
+				var sum float64
+				for _, iv := range list {
+					if iv.from <= t && t < iv.to {
+						sum += iv.rate
+					}
+				}
+				if sum > cap*(1+CapacityEps) {
+					out = append(out, Violation{"capacity", fmt.Sprintf(
+						"%s point %d oversubscribed at t=%gs: %g bps booked against capacity %g",
+						dir, point, t, sum, cap)})
+					break
+				}
+			}
+		}
+	}
+	sweep("ingress", in, fin.IngressBps)
+	sweep("egress", eg, fin.EgressBps)
+	return out
+}
+
+func closeEnough(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := a
+	if b > m {
+		m = b
+	}
+	return d <= m*1e-9
+}

@@ -1,0 +1,180 @@
+package check
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"gridbw/internal/trace"
+)
+
+func accept(id int, in, eg int, rate, sigma, tau float64) trace.Event {
+	return trace.Event{At: sigma, Kind: trace.EventAccept, Request: id,
+		Ingress: in, Egress: eg, RateBps: rate, SigmaS: sigma, TauS: tau}
+}
+
+func has(t *testing.T, vs []Violation, invariant string) {
+	t.Helper()
+	for _, v := range vs {
+		if v.Invariant == invariant {
+			return
+		}
+	}
+	t.Fatalf("expected a %q violation, got %v", invariant, vs)
+}
+
+func hasNone(t *testing.T, vs []Violation, invariant string) {
+	t.Helper()
+	for _, v := range vs {
+		if v.Invariant == invariant {
+			t.Fatalf("unexpected %q violation: %v", invariant, v)
+		}
+	}
+}
+
+func TestCleanHistoryPasses(t *testing.T) {
+	ops := []Op{
+		{Node: "a", Kind: OpSubmit, Key: "k1", ID: 0, Accepted: true,
+			Durable: true, Durability: "replicated", Epoch: 1, RateBps: 100},
+		{Node: "a", Kind: OpSubmit, Key: "k1", ID: 0, Accepted: true, Epoch: 1},
+		{Node: "a", Kind: OpSubmit, Key: "k2", ID: 1, Accepted: true, Epoch: 1},
+		{Node: "b", Kind: OpStatus, Epoch: 2},
+	}
+	fin := Final{
+		Events: []trace.Event{
+			accept(0, 0, 0, 100, 0, 10),
+			accept(1, 0, 0, 100, 0, 10),
+		},
+		IngressBps: []float64{200},
+		EgressBps:  []float64{200},
+	}
+	if vs := Verify(ops, fin); len(vs) != 0 {
+		t.Fatalf("clean history flagged: %v", vs)
+	}
+}
+
+func TestDurableLossDetected(t *testing.T) {
+	ops := []Op{{Node: "a", Kind: OpSubmit, Key: "k", ID: 7, Accepted: true,
+		Durable: true, Durability: "replicated"}}
+	// Survivor has no accept for 7.
+	vs := Verify(ops, Final{IngressBps: []float64{1}, EgressBps: []float64{1}})
+	has(t, vs, "durable-loss")
+
+	// A degraded ack asserts nothing: losing it is allowed.
+	ops[0].Durability = "degraded"
+	vs = Verify(ops, Final{IngressBps: []float64{1}, EgressBps: []float64{1}})
+	hasNone(t, vs, "durable-loss")
+}
+
+func TestDurableGrantMismatchDetected(t *testing.T) {
+	ops := []Op{{Node: "a", Kind: OpSubmit, ID: 3, Accepted: true,
+		Durability: "replicated", RateBps: 100}}
+	fin := Final{
+		Events:     []trace.Event{accept(3, 0, 0, 50, 0, 10)},
+		IngressBps: []float64{1000}, EgressBps: []float64{1000},
+	}
+	has(t, Verify(ops, fin), "durable-loss")
+}
+
+func TestIdempotencyViolations(t *testing.T) {
+	ops := []Op{
+		{Node: "a", Kind: OpSubmit, Key: "dup", ID: 1, Accepted: true},
+		{Node: "b", Kind: OpSubmit, Key: "dup", ID: 2, Accepted: true},
+	}
+	has(t, Verify(ops, Final{IngressBps: []float64{1}, EgressBps: []float64{1}}), "idempotency")
+
+	// Double accept of one reservation ID in the survivor's history.
+	fin := Final{
+		Events:     []trace.Event{accept(5, 0, 0, 1, 0, 1), accept(5, 0, 0, 1, 2, 3)},
+		IngressBps: []float64{10}, EgressBps: []float64{10},
+	}
+	has(t, Verify(nil, fin), "idempotency")
+}
+
+func TestFencingMonotonic(t *testing.T) {
+	ops := []Op{
+		{Node: "a", Kind: OpStatus, Epoch: 2},
+		{Node: "a", Kind: OpStatus, Epoch: 1},
+	}
+	has(t, Verify(ops, Final{}), "fencing")
+
+	// Different nodes may legitimately report different epochs.
+	ops = []Op{
+		{Node: "a", Kind: OpStatus, Epoch: 2},
+		{Node: "b", Kind: OpStatus, Epoch: 1},
+		{Node: "a", Kind: OpStatus, Epoch: 2},
+	}
+	if vs := Verify(ops, Final{}); len(vs) != 0 {
+		t.Fatalf("cross-node epochs flagged: %v", vs)
+	}
+}
+
+func TestCapacityOversubscription(t *testing.T) {
+	// Two 60-unit grants overlap on a 100-unit point.
+	fin := Final{
+		Events: []trace.Event{
+			accept(0, 0, 0, 60, 0, 10),
+			accept(1, 0, 0, 60, 5, 15),
+		},
+		IngressBps: []float64{100},
+		EgressBps:  []float64{200},
+	}
+	vs := Verify(nil, fin)
+	has(t, vs, "capacity")
+	for _, v := range vs {
+		if v.Invariant == "capacity" && !strings.Contains(v.Detail, "ingress") {
+			t.Fatalf("expected the ingress point flagged: %v", v)
+		}
+	}
+
+	// A cancel at t=5 frees the first grant before the second starts.
+	fin.Events = append(fin.Events[:1],
+		trace.Event{At: 5, Kind: trace.EventCancel, Request: 0},
+		accept(1, 0, 0, 60, 5, 15))
+	if vs := Verify(nil, fin); len(vs) != 0 {
+		t.Fatalf("cancel-clipped history flagged: %v", vs)
+	}
+}
+
+func TestCapacityPointOutOfRange(t *testing.T) {
+	fin := Final{
+		Events:     []trace.Event{accept(0, 3, 0, 1, 0, 1)},
+		IngressBps: []float64{10}, EgressBps: []float64{10},
+	}
+	has(t, Verify(nil, fin), "capacity")
+}
+
+func TestRecorderConcurrentAndJSONLRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				r.Record(Op{Node: "a", Kind: OpSubmit, ID: g*50 + i})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 400 {
+		t.Fatalf("recorded %d ops, want 400", r.Len())
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	ops, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if len(ops) != 400 {
+		t.Fatalf("round trip lost ops: %d", len(ops))
+	}
+
+	if _, err := ReadJSONL(strings.NewReader("{bad json\n")); err == nil {
+		t.Fatal("malformed JSONL accepted")
+	}
+}

@@ -1,0 +1,311 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sync"
+	"syscall"
+
+	"gridbw/internal/rng"
+	"gridbw/internal/wal"
+)
+
+// DiskFS is an errfs-style fault-injecting filesystem for the WAL and
+// snapshot writers: it wraps a wal.FS and makes writes come up short,
+// fsyncs fail, disks fill, renames tear, and directory fsyncs lie —
+// exactly the storage faults a fail-stop design must turn into refusals
+// rather than silent corruption.
+//
+// Faults come in two flavors:
+//
+//   - Scripted one-shots (FailNextFsync, ShortNextWrite, ...) fire on
+//     the next matching operation regardless of arming — the precise
+//     tool for regression tests ("the rename under this snapshot write
+//     fails").
+//   - Probabilistic faults (DiskConfig rates) draw from a seeded
+//     internal/rng stream while the injector is Armed, so a chaos run's
+//     disk-fault schedule is a pure function of its seed.
+//
+// All methods are safe for concurrent use.
+
+// ErrInjected is the root of every injected disk error; injected ENOSPC
+// additionally satisfies errors.Is(err, syscall.ENOSPC).
+var ErrInjected = errors.New("faults: injected disk fault")
+
+// DiskConfig sets the seeded probabilistic fault rates, each the
+// per-operation probability in [0,1].
+type DiskConfig struct {
+	Seed int64
+	// ShortWrite makes a write persist only a random prefix before
+	// erroring — the torn-append case recovery must truncate.
+	ShortWrite float64
+	// WriteErr fails a write outright with nothing persisted.
+	WriteErr float64
+	// FsyncErr fails a file fsync; the data may or may not reach disk
+	// (the fsyncgate hazard), so the caller must fail-stop.
+	FsyncErr float64
+	// ENOSPC fails a write with syscall.ENOSPC.
+	ENOSPC float64
+	// RenameErr fails a rename, leaving the old name in place.
+	RenameErr float64
+	// DirSyncErr fails a directory fsync after create/rename/remove.
+	DirSyncErr float64
+}
+
+// Enabled reports whether any probabilistic rate is set.
+func (c DiskConfig) Enabled() bool {
+	return c.ShortWrite > 0 || c.WriteErr > 0 || c.FsyncErr > 0 ||
+		c.ENOSPC > 0 || c.RenameErr > 0 || c.DirSyncErr > 0
+}
+
+// DiskStats counts the faults actually injected.
+type DiskStats struct {
+	ShortWrites uint64 `json:"short_writes"`
+	WriteErrs   uint64 `json:"write_errs"`
+	FsyncErrs   uint64 `json:"fsync_errs"`
+	ENOSPCs     uint64 `json:"enospcs"`
+	RenameErrs  uint64 `json:"rename_errs"`
+	DirSyncErrs uint64 `json:"dir_sync_errs"`
+}
+
+// Total sums every injected fault.
+func (s DiskStats) Total() uint64 {
+	return s.ShortWrites + s.WriteErrs + s.FsyncErrs + s.ENOSPCs + s.RenameErrs + s.DirSyncErrs
+}
+
+// DiskFS implements wal.FS with injected faults over an inner FS
+// (default the real OS filesystem).
+type DiskFS struct {
+	inner wal.FS
+	cfg   DiskConfig
+
+	mu    sync.Mutex
+	src   *rng.Source
+	armed bool
+	// Scripted one-shots; negative shortKeep means "no short write
+	// scripted".
+	shortKeep   int64
+	failWrites  int
+	failENOSPC  int
+	failFsyncs  int
+	failRenames int
+	failDirSync int
+	st          DiskStats
+}
+
+// NewDiskFS wraps inner (nil means the real filesystem) with the seeded
+// fault schedule; it starts armed iff cfg has any nonzero rate.
+func NewDiskFS(inner wal.FS, cfg DiskConfig) *DiskFS {
+	if inner == nil {
+		inner = wal.OSFS{}
+	}
+	return &DiskFS{
+		inner:     inner,
+		cfg:       cfg,
+		src:       rng.New(cfg.Seed).Split("diskfaults"),
+		armed:     cfg.Enabled(),
+		shortKeep: -1,
+	}
+}
+
+// Arm enables or disables the probabilistic faults; scripted one-shots
+// fire regardless.
+func (d *DiskFS) Arm(on bool) {
+	d.mu.Lock()
+	d.armed = on
+	d.mu.Unlock()
+}
+
+// ShortNextWrite scripts the next write to persist exactly keep bytes
+// (clamped to the write's length) and then fail.
+func (d *DiskFS) ShortNextWrite(keep int64) {
+	d.mu.Lock()
+	d.shortKeep = keep
+	d.mu.Unlock()
+}
+
+// FailNextWrites scripts the next n writes to fail with nothing written.
+func (d *DiskFS) FailNextWrites(n int) { d.mu.Lock(); d.failWrites = n; d.mu.Unlock() }
+
+// FailNextENOSPC scripts the next n writes to fail with ENOSPC.
+func (d *DiskFS) FailNextENOSPC(n int) { d.mu.Lock(); d.failENOSPC = n; d.mu.Unlock() }
+
+// FailNextFsyncs scripts the next n file fsyncs to fail.
+func (d *DiskFS) FailNextFsyncs(n int) { d.mu.Lock(); d.failFsyncs = n; d.mu.Unlock() }
+
+// FailNextRenames scripts the next n renames to fail.
+func (d *DiskFS) FailNextRenames(n int) { d.mu.Lock(); d.failRenames = n; d.mu.Unlock() }
+
+// FailNextDirSyncs scripts the next n directory fsyncs to fail.
+func (d *DiskFS) FailNextDirSyncs(n int) { d.mu.Lock(); d.failDirSync = n; d.mu.Unlock() }
+
+// Stats reports the faults injected so far.
+func (d *DiskFS) Stats() DiskStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.st
+}
+
+// writeFault decides the fate of an n-byte write: keep < 0 means let it
+// through; err != nil with keep >= 0 means persist keep bytes then fail.
+func (d *DiskFS) writeFault(n int) (keep int64, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch {
+	case d.shortKeep >= 0:
+		keep = d.shortKeep
+		if keep > int64(n) {
+			keep = int64(n)
+		}
+		d.shortKeep = -1
+		d.st.ShortWrites++
+		return keep, fmt.Errorf("%w: short write (%d of %d bytes)", ErrInjected, keep, n)
+	case d.failWrites > 0:
+		d.failWrites--
+		d.st.WriteErrs++
+		return 0, fmt.Errorf("%w: write error", ErrInjected)
+	case d.failENOSPC > 0:
+		d.failENOSPC--
+		d.st.ENOSPCs++
+		return 0, fmt.Errorf("%w: %w", ErrInjected, syscall.ENOSPC)
+	}
+	if !d.armed {
+		return -1, nil
+	}
+	switch {
+	case d.cfg.ShortWrite > 0 && d.src.Bool(d.cfg.ShortWrite):
+		keep = int64(d.src.Intn(n + 1))
+		d.st.ShortWrites++
+		return keep, fmt.Errorf("%w: short write (%d of %d bytes)", ErrInjected, keep, n)
+	case d.cfg.WriteErr > 0 && d.src.Bool(d.cfg.WriteErr):
+		d.st.WriteErrs++
+		return 0, fmt.Errorf("%w: write error", ErrInjected)
+	case d.cfg.ENOSPC > 0 && d.src.Bool(d.cfg.ENOSPC):
+		d.st.ENOSPCs++
+		return 0, fmt.Errorf("%w: %w", ErrInjected, syscall.ENOSPC)
+	}
+	return -1, nil
+}
+
+func (d *DiskFS) fsyncFault() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failFsyncs > 0 {
+		d.failFsyncs--
+		d.st.FsyncErrs++
+		return fmt.Errorf("%w: fsync error", ErrInjected)
+	}
+	if d.armed && d.cfg.FsyncErr > 0 && d.src.Bool(d.cfg.FsyncErr) {
+		d.st.FsyncErrs++
+		return fmt.Errorf("%w: fsync error", ErrInjected)
+	}
+	return nil
+}
+
+func (d *DiskFS) renameFault() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failRenames > 0 {
+		d.failRenames--
+		d.st.RenameErrs++
+		return fmt.Errorf("%w: rename error", ErrInjected)
+	}
+	if d.armed && d.cfg.RenameErr > 0 && d.src.Bool(d.cfg.RenameErr) {
+		d.st.RenameErrs++
+		return fmt.Errorf("%w: rename error", ErrInjected)
+	}
+	return nil
+}
+
+func (d *DiskFS) dirSyncFault() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failDirSync > 0 {
+		d.failDirSync--
+		d.st.DirSyncErrs++
+		return fmt.Errorf("%w: dir fsync error", ErrInjected)
+	}
+	if d.armed && d.cfg.DirSyncErr > 0 && d.src.Bool(d.cfg.DirSyncErr) {
+		d.st.DirSyncErrs++
+		return fmt.Errorf("%w: dir fsync error", ErrInjected)
+	}
+	return nil
+}
+
+// faultFile interposes on the write path of one open file; reads and
+// seeks pass through untouched.
+type faultFile struct {
+	wal.File
+	d *DiskFS
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	keep, err := f.d.writeFault(len(p))
+	if err != nil {
+		n := 0
+		if keep > 0 {
+			// The prefix genuinely reaches the inner file — this is what a
+			// torn append looks like on a real disk.
+			n, _ = f.File.Write(p[:keep])
+		}
+		return n, err
+	}
+	return f.File.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if err := f.d.fsyncFault(); err != nil {
+		// Deliberately skip the inner fsync: after a real failed fsync the
+		// page cache state is unknowable, which is the whole hazard.
+		return err
+	}
+	return f.File.Sync()
+}
+
+// wal.FS implementation: write-capable opens get the fault interposer,
+// metadata reads pass straight through.
+
+func (d *DiskFS) OpenFile(name string, flag int, perm os.FileMode) (wal.File, error) {
+	f, err := d.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: f, d: d}, nil
+}
+
+func (d *DiskFS) Open(name string) (wal.File, error) { return d.inner.Open(name) }
+
+func (d *DiskFS) Create(name string) (wal.File, error) {
+	f, err := d.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: f, d: d}, nil
+}
+
+func (d *DiskFS) Rename(oldpath, newpath string) error {
+	if err := d.renameFault(); err != nil {
+		return err
+	}
+	return d.inner.Rename(oldpath, newpath)
+}
+
+func (d *DiskFS) Remove(name string) error               { return d.inner.Remove(name) }
+func (d *DiskFS) Truncate(name string, size int64) error { return d.inner.Truncate(name, size) }
+func (d *DiskFS) Stat(name string) (os.FileInfo, error)  { return d.inner.Stat(name) }
+func (d *DiskFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	return d.inner.ReadDir(name)
+}
+func (d *DiskFS) ReadFile(name string) ([]byte, error) { return d.inner.ReadFile(name) }
+func (d *DiskFS) MkdirAll(path string, perm os.FileMode) error {
+	return d.inner.MkdirAll(path, perm)
+}
+
+func (d *DiskFS) SyncDir(dir string) error {
+	if err := d.dirSyncFault(); err != nil {
+		return err
+	}
+	return d.inner.SyncDir(dir)
+}

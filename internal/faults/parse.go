@@ -1,0 +1,60 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseDiskConfig reads the -chaos-disk flag syntax: comma-separated
+// key=value pairs, e.g. "seed=7,fsync=0.01,short=0.005". Keys are seed
+// (int) plus the per-operation fault probabilities short, write, fsync,
+// enospc, rename, dirsync (floats in [0,1]). Unknown keys, bad numbers
+// and out-of-range probabilities are errors — a chaos schedule with a
+// typo silently injecting nothing would defeat the point.
+func ParseDiskConfig(spec string) (DiskConfig, error) {
+	var cfg DiskConfig
+	for _, pair := range strings.Split(spec, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok {
+			return DiskConfig{}, fmt.Errorf("chaos-disk: %q is not key=value", pair)
+		}
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		if k == "seed" {
+			seed, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return DiskConfig{}, fmt.Errorf("chaos-disk: seed %q: %w", v, err)
+			}
+			cfg.Seed = seed
+			continue
+		}
+		p, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return DiskConfig{}, fmt.Errorf("chaos-disk: %s %q: %w", k, v, err)
+		}
+		if p < 0 || p > 1 {
+			return DiskConfig{}, fmt.Errorf("chaos-disk: %s=%v is not a probability in [0,1]", k, p)
+		}
+		switch k {
+		case "short":
+			cfg.ShortWrite = p
+		case "write":
+			cfg.WriteErr = p
+		case "fsync":
+			cfg.FsyncErr = p
+		case "enospc":
+			cfg.ENOSPC = p
+		case "rename":
+			cfg.RenameErr = p
+		case "dirsync":
+			cfg.DirSyncErr = p
+		default:
+			return DiskConfig{}, fmt.Errorf("chaos-disk: unknown key %q", k)
+		}
+	}
+	return cfg, nil
+}

@@ -1,0 +1,35 @@
+package faults
+
+import "testing"
+
+func TestParseDiskConfig(t *testing.T) {
+	cfg, err := ParseDiskConfig("seed=7, fsync=0.01, short=0.005, write=0.5, enospc=1, rename=0, dirsync=0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DiskConfig{Seed: 7, FsyncErr: 0.01, ShortWrite: 0.005, WriteErr: 0.5, ENOSPC: 1, DirSyncErr: 0.25}
+	if cfg != want {
+		t.Fatalf("parsed %+v, want %+v", cfg, want)
+	}
+	if !cfg.Enabled() {
+		t.Fatal("parsed config with rates not enabled")
+	}
+
+	if cfg, err := ParseDiskConfig(""); err != nil || cfg.Enabled() {
+		t.Fatalf("empty spec: %+v %v", cfg, err)
+	}
+
+	for _, bad := range []string{
+		"seed",           // no value
+		"seed=x",         // bad int
+		"fsync=nope",     // bad float
+		"fsync=1.5",      // out of range
+		"write=-0.1",     // out of range
+		"flaky=0.5",      // unknown key
+		"seed=1 fsync=1", // wrong separator
+	} {
+		if _, err := ParseDiskConfig(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}

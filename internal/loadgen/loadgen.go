@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"gridbw/internal/check"
 	"gridbw/internal/rng"
 	"gridbw/internal/server"
 	"gridbw/internal/server/client"
@@ -115,6 +116,15 @@ type Config struct {
 	// DrainTimeout bounds the wait for in-flight requests after the last
 	// arrival. Default 30s.
 	DrainTimeout time.Duration
+	// History, when non-nil, records every client-observed operation for
+	// offline invariant checking (internal/check): what each submit and
+	// cancel was answered, under which idempotency key. The recorder is
+	// concurrency-safe; the caller persists it after Run returns.
+	History *check.Recorder
+	// Durable marks every generated submission durable: the daemon parks
+	// the ack until the decision's WAL frame is replicated, and the
+	// response's durability field becomes a checkable promise.
+	Durable bool
 
 	// Now and SleepUntil are clock seams; tests install a deterministic
 	// clock. Defaults use the real clock.
@@ -391,7 +401,31 @@ func (d *drawState) submitReq(key string) server.SubmitRequest {
 		MaxRateBps:     float64(rate),
 		DeadlineIn:     fmt.Sprintf("%.3fs", deadline),
 		IdempotencyKey: key,
+		Durable:        d.cfg.Durable,
 	}
+}
+
+// history records a client-observed operation when recording is on.
+func (c Config) history(op check.Op) {
+	if c.History != nil {
+		c.History.Record(op)
+	}
+}
+
+// submitOp translates one submit exchange into the checker's vocabulary.
+func submitOp(req server.SubmitRequest, res server.ReservationJSON, err error) check.Op {
+	op := check.Op{
+		Kind: check.OpSubmit, Key: req.IdempotencyKey,
+		Ingress: req.From, Egress: req.To,
+		VolumeB: req.VolumeBytes, Durable: req.Durable,
+	}
+	if err != nil {
+		op.Err = err.Error()
+		return op
+	}
+	op.ID, op.Accepted, op.Durability = res.ID, res.Accepted, res.Durability
+	op.RateBps, op.SigmaS, op.TauS = res.RateBps, res.SigmaS, res.TauS
+	return op
 }
 
 // execute runs one operation to a classified outcome.
@@ -416,6 +450,7 @@ func executeSubmit(ctx context.Context, cfg Config, backend Backend, rec *Record
 	for attempt := 0; ; attempt++ {
 		res, err := backend.Submit(ctx, req)
 		if err == nil {
+			cfg.history(submitOp(req, res, nil))
 			rec.latency(o.phase, cfg.Now().Sub(o.t0))
 			if !res.Accepted {
 				rec.count(o.phase, OutRejected)
@@ -436,6 +471,7 @@ func executeSubmit(ctx context.Context, cfg Config, backend Backend, rec *Record
 		if retryable && attempt < cfg.Retries {
 			continue // same idempotency key, by construction
 		}
+		cfg.history(submitOp(req, server.ReservationJSON{}, err))
 		rec.latency(o.phase, cfg.Now().Sub(o.t0))
 		rec.count(o.phase, out)
 		return
@@ -450,6 +486,11 @@ func executeCancel(ctx context.Context, cfg Config, backend Backend, rec *Record
 		return
 	}
 	_, err := backend.Cancel(ctx, id)
+	cop := check.Op{Kind: check.OpCancel, ID: id}
+	if err != nil {
+		cop.Err = err.Error()
+	}
+	cfg.history(cop)
 	rec.latency(o.phase, cfg.Now().Sub(o.t0))
 	switch {
 	case err == nil, client.IsConflict(err):
@@ -479,12 +520,21 @@ func executeBatch(ctx context.Context, cfg Config, backend Backend, rec *Recorde
 			}
 			rec.latency(o.phase, cfg.Now().Sub(o.t0))
 			// The call failed as a unit; every submission in it did.
-			for range o.reqs {
+			for _, r := range o.reqs {
+				cfg.history(submitOp(r, server.ReservationJSON{}, err))
 				rec.count(o.phase, out)
 			}
 			return
 		}
 		rec.latency(o.phase, cfg.Now().Sub(o.t0))
+		for i, it := range items {
+			switch {
+			case it.Reservation != nil:
+				cfg.history(submitOp(o.reqs[i], *it.Reservation, nil))
+			case it.Error != "":
+				cfg.history(submitOp(o.reqs[i], server.ReservationJSON{}, errors.New(it.Error)))
+			}
+		}
 		for _, it := range items {
 			switch {
 			case it.Error != "":

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"gridbw/internal/check"
 	"gridbw/internal/server"
 )
 
@@ -319,5 +320,58 @@ func TestPromServesLive(t *testing.T) {
 	}
 	if page := get("/report"); !strings.Contains(page, `"achieved_rps"`) {
 		t.Errorf("/report missing report JSON:\n%s", page)
+	}
+}
+
+// TestHistoryRecordsClientObservations: with a History recorder attached,
+// every submit, batch item and cancel the harness performs shows up as a
+// checkable op — keys for submits, IDs for cancels, errors verbatim.
+func TestHistoryRecordsClientObservations(t *testing.T) {
+	clock := newFakeClock()
+	be := &fakeBackend{}
+	hist := check.NewRecorder()
+	_, err := Run(context.Background(), Config{
+		VUs:          8,
+		Phases:       []Phase{{Name: "steady", Duration: 2 * time.Second, StartRate: 20, EndRate: 20}},
+		Mix:          Mix{Submit: 2, Cancel: 1, Batch: 1, BatchSize: 3},
+		Seed:         11,
+		Timeout:      time.Second,
+		Retries:      -1,
+		DrainTimeout: 2 * time.Second,
+		Backend:      be,
+		Now:          clock.Now,
+		SleepUntil:   clock.SleepUntil,
+		History:      hist,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.Len() == 0 {
+		t.Fatal("history recorded nothing")
+	}
+	var submits, cancels int
+	for _, op := range hist.Ops() {
+		switch op.Kind {
+		case check.OpSubmit:
+			submits++
+			if op.Key == "" {
+				t.Fatalf("submit op without idempotency key: %+v", op)
+			}
+			if op.Err == "" && !op.Accepted {
+				t.Fatalf("fake backend accepts everything, op says otherwise: %+v", op)
+			}
+		case check.OpCancel:
+			cancels++
+			if op.ID == 0 {
+				t.Fatalf("cancel op without an ID: %+v", op)
+			}
+		}
+	}
+	if submits == 0 || cancels == 0 {
+		t.Fatalf("history missing op kinds: %d submits, %d cancels", submits, cancels)
+	}
+	// Every wire submit the backend saw is in the history, one op each.
+	if submits != len(be.keys) {
+		t.Fatalf("history holds %d submits, backend saw %d", submits, len(be.keys))
 	}
 }

@@ -212,12 +212,21 @@ func (s *Server) submitMany(subs []Submission, sc *batchScratch) error {
 	}
 	s.advanceLocked()
 	now := s.sim.Now()
+	// A poisoned WAL cannot persist anything this call decides. Refusing
+	// here — before idempotency slots or IDs are claimed — means a NACKed
+	// durable submission leaves no trace and can be retried verbatim
+	// against a healthy node.
+	walPoisoned := s.wal != nil && s.wal.Poisoned() != nil
 	for i := range subs {
 		sub := subs[i]
 		it := &sc.items[i]
 		*it = batchItem{idx: i, sub: sub}
 		if err := s.validateSubmission(sub); err != nil {
 			results[i].Err = err
+			continue
+		}
+		if walPoisoned && (s.syncNeed > 0 || sub.Durable) {
+			results[i].Err = ErrDurabilityLost
 			continue
 		}
 		if key := sub.IdempotencyKey; key != "" {
@@ -339,14 +348,28 @@ func (s *Server) submitMany(subs []Submission, sc *batchScratch) error {
 	// until enough follower cursors pass that frontier — outside s.mu, so
 	// admissions keep flowing while this response waits on replication.
 	var syncPos wal.Pos
+	poisonedLate := false
 	need := s.syncNeedFor(durable)
 	decided := len(subs) - len(sc.waiting)
 	if need > 0 && s.wal != nil && decided > 0 {
-		syncPos = s.wal.End()
+		if s.wal.Poisoned() != nil {
+			// The WAL died between phase 1 and here: these decisions were
+			// never persisted, so follower acks cannot vouch for them.
+			// Waiting on the stale frontier would report "replicated" for
+			// frames that do not exist — answer degraded instead.
+			poisonedLate = true
+		} else {
+			syncPos = s.wal.End()
+		}
 	}
 	s.mu.Unlock()
 
-	degraded := false
+	degraded := poisonedLate
+	if poisonedLate {
+		for _, i := range sc.decided {
+			results[i].Durability = DurabilityDegraded
+		}
+	}
 	if !syncPos.IsZero() {
 		degraded = !s.acks.Wait(s.stop, syncPos, need, s.syncTimeout)
 		// The wait's outcome is part of each answer, not just a global

@@ -513,8 +513,16 @@ func (c *Client) Metrics(ctx context.Context) (server.MetricsJSON, error) {
 	return out, err
 }
 
-// Metricsz fetches the Prometheus-format metrics page verbatim.
+// Metricsz fetches the Prometheus-format metrics page verbatim. The
+// per-attempt deadline applies to the whole exchange including the body
+// read, so a stalled scrape (slow-loris daemon, wedged proxy) returns
+// an error instead of hanging the poller.
 func (c *Client) Metricsz(ctx context.Context) (string, error) {
+	if c.opts.CallTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.opts.CallTimeout)
+		defer cancel()
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Endpoint()+"/v1/metricsz", nil)
 	if err != nil {
 		return "", fmt.Errorf("gridbwd: %w", err)

@@ -1,0 +1,73 @@
+package client
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gridbw/internal/chaosnet"
+)
+
+// A slow-loris daemon (or a wedged middlebox) answers the scrape, sends
+// part of the body, then stops without closing the connection. Every
+// client call must come back within its per-attempt deadline anyway —
+// including Metricsz, whose body read happens outside do().
+
+func stallingMetricsz(t *testing.T, stallAfter int64) (*chaosnet.Proxy, func()) {
+	t.Helper()
+	page := "# HELP gridbwd_up 1 means serving\ngridbwd_up 1\n" +
+		strings.Repeat("gridbwd_filler_total 12345\n", 200)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		w.Write([]byte(page))
+	}))
+	proxy, err := chaosnet.New("loris", "127.0.0.1:0", strings.TrimPrefix(ts.URL, "http://"), 1)
+	if err != nil {
+		ts.Close()
+		t.Fatal(err)
+	}
+	if stallAfter > 0 {
+		// Big enough for the request line and headers to pass untouched;
+		// the stall lands mid-body on the way back.
+		proxy.SetRules(chaosnet.Rules{StallAfterBytes: stallAfter})
+	}
+	return proxy, func() {
+		proxy.Close()
+		ts.Close()
+	}
+}
+
+func TestMetricszDeadlineSurvivesSlowLoris(t *testing.T) {
+	proxy, cleanup := stallingMetricsz(t, 700)
+	defer cleanup()
+
+	cl := NewWithOptions(proxy.URL(), nil, Options{
+		CallTimeout: 250 * time.Millisecond,
+		MaxRetries:  -1,
+	})
+	start := time.Now()
+	_, err := cl.Metricsz(t.Context())
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Metricsz returned cleanly through a stalled proxy")
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("Metricsz took %v against a slow-loris peer; the per-attempt deadline did not bound the body read", elapsed)
+	}
+}
+
+func TestMetricszHealthyThroughProxy(t *testing.T) {
+	proxy, cleanup := stallingMetricsz(t, 0)
+	defer cleanup()
+
+	cl := NewWithOptions(proxy.URL(), nil, Options{CallTimeout: 5 * time.Second, MaxRetries: -1})
+	page, err := cl.Metricsz(t.Context())
+	if err != nil {
+		t.Fatalf("healthy scrape: %v", err)
+	}
+	if !strings.Contains(page, "gridbwd_up 1") {
+		t.Fatalf("scrape lost content: %q", page[:min(len(page), 80)])
+	}
+}

@@ -213,6 +213,9 @@ type HealthJSON struct {
 	// DurabilityDegraded reports decision-log or WAL append failures; the
 	// daemon still serves (200), but the audit trail has a hole.
 	DurabilityDegraded bool `json:"durability_degraded"`
+	// WALPoisoned reports a fail-stopped WAL: durable admissions are
+	// refused (503 with ErrDurabilityLost) until the daemon restarts.
+	WALPoisoned bool `json:"wal_poisoned,omitempty"`
 	// ReplicationLagBytes is how far a follower runs behind its primary.
 	ReplicationLagBytes int64 `json:"replication_lag_bytes,omitempty"`
 }
@@ -228,12 +231,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		MaxInFlight:        s.InFlightLimit(),
 		Shed:               st.Stats.Shed,
 		DurabilityDegraded: st.Stats.DurabilityDegraded(),
+		WALPoisoned:        s.WALPoisoned(),
 	}
 	if st.Role == "follower" {
 		body.ReplicationLagBytes = s.ReplicationStatus().LagBytes
 	}
 	code := http.StatusOK
-	if body.DurabilityDegraded {
+	if body.DurabilityDegraded || body.WALPoisoned {
 		body.Status = "degraded"
 	}
 	if s.Closed() {
@@ -351,7 +355,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.submitOne(sub)
 	switch {
-	case errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrClosed), errors.Is(err, ErrDurabilityLost):
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	case errors.Is(err, ErrReadOnly):
@@ -673,6 +677,8 @@ func (s *Server) writeMetricsText(w http.ResponseWriter) {
 	fmt.Fprintf(w, "gridbwd_log_append_failures_total %d\n", st.Stats.LogAppendFailures)
 	fmt.Fprintf(w, "# TYPE gridbwd_durability_degraded gauge\n")
 	fmt.Fprintf(w, "gridbwd_durability_degraded %d\n", boolGauge(st.Stats.DurabilityDegraded()))
+	fmt.Fprintf(w, "# TYPE gridbwd_wal_poisoned gauge\n")
+	fmt.Fprintf(w, "gridbwd_wal_poisoned %d\n", boolGauge(s.WALPoisoned()))
 	fmt.Fprintf(w, "# TYPE gridbwd_replication_epoch gauge\n")
 	fmt.Fprintf(w, "gridbwd_replication_epoch %d\n", st.Epoch)
 	fmt.Fprintf(w, "# TYPE gridbwd_replication_is_follower gauge\n")

@@ -191,7 +191,7 @@ func (s *Server) ApplyShipped(b ShippedBatch) error {
 	if b.Epoch > s.repl.epoch {
 		s.repl.epoch = b.Epoch
 		if s.wal != nil {
-			if err := wal.SaveEpoch(s.wal.Dir(), b.Epoch); err != nil {
+			if err := s.wal.SaveEpoch(b.Epoch); err != nil {
 				s.stats.RecordLogAppendFailure()
 			}
 		}
@@ -212,7 +212,7 @@ func (s *Server) ApplyShipped(b ShippedBatch) error {
 		// The cursor is persisted after the records it covers, so a crash
 		// between the two re-pulls an already-applied suffix — which the
 		// idempotent apply skips — instead of losing one.
-		if err := wal.SaveCursor(s.wal.Dir(), b.Next); err != nil {
+		if err := s.wal.SaveCursor(b.Next); err != nil {
 			s.stats.RecordLogAppendFailure()
 		}
 	}
@@ -361,7 +361,7 @@ func (s *Server) Promote() (uint64, error) {
 	epoch := s.repl.epoch
 	done := s.stopPullLocked()
 	if s.wal != nil {
-		if err := wal.SaveEpoch(s.wal.Dir(), epoch); err != nil {
+		if err := s.wal.SaveEpoch(epoch); err != nil {
 			// The fence is not durable; keep serving, but flag it loudly.
 			s.stats.RecordLogAppendFailure()
 		}
@@ -826,7 +826,7 @@ func (s *Server) HandleVote(req VoteRequest) VoteResponse {
 		return deny(fmt.Sprintf("candidate cursor %v behind voter cursor %v", req.Cursor, s.repl.cursor))
 	}
 	if s.repl.votedEpoch < req.NewEpoch || s.repl.votedFor != req.Candidate {
-		if err := wal.SaveVote(s.wal.Dir(), wal.Vote{Epoch: req.NewEpoch, Candidate: req.Candidate}); err != nil {
+		if err := s.wal.SaveVote(wal.Vote{Epoch: req.NewEpoch, Candidate: req.Candidate}); err != nil {
 			// A vote that cannot be made durable must not be cast: a
 			// crash could forget it and endorse a rival next boot.
 			s.stats.RecordLogAppendFailure()

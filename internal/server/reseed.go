@@ -29,7 +29,6 @@ import (
 	"gridbw/internal/request"
 	"gridbw/internal/topology"
 	"gridbw/internal/trace"
-	"gridbw/internal/wal"
 )
 
 // ReseedSnapshotName is the file a re-seeded follower writes into its WAL
@@ -120,11 +119,11 @@ func (s *Server) Reseed(snap *Snapshot) error {
 			return fmt.Errorf("server: reseed: persist snapshot: %w", err)
 		}
 		if snap.Epoch > s.repl.epoch {
-			if err := wal.SaveEpoch(s.wal.Dir(), snap.Epoch); err != nil {
+			if err := s.wal.SaveEpoch(snap.Epoch); err != nil {
 				s.stats.RecordLogAppendFailure()
 			}
 		}
-		if err := wal.SaveCursor(s.wal.Dir(), snap.WALPos()); err != nil {
+		if err := s.wal.SaveCursor(snap.WALPos()); err != nil {
 			s.stats.RecordLogAppendFailure()
 		}
 		// The pre-reseed local segments are covered by the persisted

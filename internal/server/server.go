@@ -211,6 +211,13 @@ var (
 	// ErrNotFollower reports a shipped-batch apply on a server that is
 	// not following anyone (already the primary, or promoted since).
 	ErrNotFollower = errors.New("server: not a follower")
+	// ErrDurabilityLost reports a durable admission refused because the
+	// WAL fail-stopped after a disk fault: nothing this process promises
+	// to persist can be trusted to reach disk again, so callers that
+	// asked for durability get a NACK instead of a lie. Non-durable
+	// admissions keep flowing with durability_degraded flipped; a restart
+	// re-recovers the WAL and clears the condition.
+	ErrDurabilityLost = errors.New("server: WAL poisoned by disk fault, durable admissions refused until restart")
 )
 
 // FencedError reports a shipped batch refused because its fencing epoch
@@ -482,6 +489,14 @@ func (s *Server) syncNeedFor(durable bool) int {
 // FollowerAcks reports the per-follower acknowledged positions this
 // primary has observed on its pull endpoint.
 func (s *Server) FollowerAcks() map[string]wal.FollowerAck { return s.acks.Snapshot() }
+
+// WALPoisoned reports whether the WAL fail-stopped after a disk fault
+// (see wal.ErrPoisoned). While poisoned the server refuses durable
+// admissions with ErrDurabilityLost and never reports replicated
+// durability; only a restart clears it.
+func (s *Server) WALPoisoned() bool {
+	return s.wal != nil && s.wal.Poisoned() != nil
+}
 
 // Network reports the platform.
 func (s *Server) Network() *topology.Network { return s.net }

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 	"slices"
 	"time"
@@ -187,36 +186,41 @@ func (snap *Snapshot) Write(w io.Writer) error {
 // directory fsync, so a crash at any instant leaves either the old file
 // or the new one — complete and durable — never a torn or vanishing one.
 func (snap *Snapshot) WriteFile(path string) error {
+	return snap.WriteFileFS(wal.OSFS{}, path)
+}
+
+// WriteFileFS is WriteFile through an injectable filesystem, so fault
+// harnesses can tear the write at any step. On any failure the temp file
+// is removed and the previous snapshot (if any) is left untouched, so
+// the boot ladder can never read a half-written *.snap.json ahead of the
+// WAL; callers must treat an error as "snapshot not taken" and skip WAL
+// compaction.
+func (snap *Snapshot) WriteFileFS(fsys wal.FS, path string) error {
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return err
 	}
 	if err := snap.Write(f); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
 		return err
 	}
 	// The rename is only durable once the directory entry is.
-	dir, err := os.Open(filepath.Dir(path))
-	if err != nil {
-		return err
-	}
-	defer dir.Close()
-	return dir.Sync()
+	return fsys.SyncDir(filepath.Dir(path))
 }
 
 // WALPos reports the WAL position the snapshot covers (zero when the

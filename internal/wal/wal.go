@@ -63,6 +63,15 @@ var (
 	ErrCompacted = errors.New("wal: position compacted away")
 	// ErrTooLarge reports an append beyond the record size bound.
 	ErrTooLarge = errors.New("wal: record exceeds size bound")
+	// ErrPoisoned reports an append or sync on a log that fail-stopped
+	// after an earlier write or fsync failure. After a failed fsync the
+	// kernel may have silently dropped the dirty pages while clearing the
+	// error (the fsyncgate hazard), so retrying could "succeed" without
+	// the data ever reaching disk; and after a short write the file
+	// offset no longer matches the log's framing. The only sound recovery
+	// is a restart, which re-runs torn-tail recovery against what is
+	// actually on disk.
+	ErrPoisoned = errors.New("wal: poisoned by prior I/O failure, restart to recover")
 )
 
 // SyncPolicy selects when appends reach stable storage.
@@ -137,6 +146,9 @@ type Options struct {
 	// MaxRecordBytes bounds one record; default 1 MiB. Recovery treats a
 	// larger length field as corruption, so both sides must agree.
 	MaxRecordBytes int
+	// FS is the filesystem seam; default the real OS filesystem. Tests
+	// inject faults.DiskFS here.
+	FS FS
 }
 
 func (o Options) withDefaults() Options {
@@ -148,6 +160,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxRecordBytes <= 0 {
 		o.MaxRecordBytes = defaultMaxRecordBytes
+	}
+	if o.FS == nil {
+		o.FS = OSFS{}
 	}
 	return o
 }
@@ -182,9 +197,10 @@ func (r Recovery) String() string {
 type Log struct {
 	dir string
 	opt Options
+	fs  FS
 
 	mu       sync.Mutex
-	f        *os.File
+	f        File
 	seg      uint64 // segment currently open for append
 	off      int64  // append offset within seg
 	firstSeg uint64 // oldest segment still on disk
@@ -192,6 +208,7 @@ type Log struct {
 	records  uint64 // complete records in the log (recovered + appended)
 	notify   chan struct{}
 	closed   bool
+	poisoned error // sticky fail-stop cause; nil while healthy
 
 	stopSync chan struct{}
 	syncDone chan struct{}
@@ -205,21 +222,22 @@ func (l *Log) segPath(seg uint64) string { return filepath.Join(l.dir, segName(s
 // in order, truncates the first torn frame and unlinks anything beyond
 // it, so the survivor set is always a prefix of what was appended.
 func Open(dir string, opt Options) (*Log, Recovery, error) {
-	l := &Log{dir: dir, opt: opt.withDefaults(), notify: make(chan struct{})}
+	opt = opt.withDefaults()
+	l := &Log{dir: dir, opt: opt, fs: opt.FS, notify: make(chan struct{})}
 	var rec Recovery
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := l.fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, rec, fmt.Errorf("wal: %w", err)
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(l.fs, dir)
 	if err != nil {
 		return nil, rec, err
 	}
 	if len(segs) == 0 {
 		l.seg, l.firstSeg = 1, 1
-		if l.f, err = os.OpenFile(l.segPath(1), os.O_CREATE|os.O_WRONLY, 0o644); err != nil {
+		if l.f, err = l.fs.OpenFile(l.segPath(1), os.O_CREATE|os.O_WRONLY, 0o644); err != nil {
 			return nil, rec, fmt.Errorf("wal: %w", err)
 		}
-		if err := syncDir(dir); err != nil {
+		if err := l.fs.SyncDir(dir); err != nil {
 			l.f.Close()
 			return nil, rec, err
 		}
@@ -227,7 +245,7 @@ func Open(dir string, opt Options) (*Log, Recovery, error) {
 		l.firstSeg = segs[0]
 		last := len(segs) - 1
 		for i, seg := range segs {
-			n, valid, clean, err := scanSegment(l.segPath(seg), l.opt.MaxRecordBytes)
+			n, valid, clean, err := scanSegment(l.fs, l.segPath(seg), l.opt.MaxRecordBytes)
 			if err != nil {
 				return nil, rec, err
 			}
@@ -238,14 +256,14 @@ func Open(dir string, opt Options) (*Log, Recovery, error) {
 			// Torn frame: cut the segment back to its last complete
 			// record and drop every later segment — they are beyond the
 			// tear and cannot be trusted to follow it.
-			size, _ := fileSize(l.segPath(seg))
-			if err := os.Truncate(l.segPath(seg), valid); err != nil {
+			size, _ := fileSize(l.fs, l.segPath(seg))
+			if err := l.fs.Truncate(l.segPath(seg), valid); err != nil {
 				return nil, rec, fmt.Errorf("wal: truncate torn tail: %w", err)
 			}
 			rec.TornSegment = seg
 			rec.TruncatedBytes = size - valid
 			for _, later := range segs[i+1:] {
-				if err := os.Remove(l.segPath(later)); err != nil {
+				if err := l.fs.Remove(l.segPath(later)); err != nil {
 					return nil, rec, fmt.Errorf("wal: drop segment past tear: %w", err)
 				}
 				rec.DroppedSegments++
@@ -254,10 +272,10 @@ func Open(dir string, opt Options) (*Log, Recovery, error) {
 			break
 		}
 		l.seg = segs[last]
-		if l.off, err = fileSize(l.segPath(l.seg)); err != nil {
+		if l.off, err = fileSize(l.fs, l.segPath(l.seg)); err != nil {
 			return nil, rec, err
 		}
-		if l.f, err = os.OpenFile(l.segPath(l.seg), os.O_WRONLY, 0o644); err != nil {
+		if l.f, err = l.fs.OpenFile(l.segPath(l.seg), os.O_WRONLY, 0o644); err != nil {
 			return nil, rec, fmt.Errorf("wal: %w", err)
 		}
 		if _, err := l.f.Seek(l.off, io.SeekStart); err != nil {
@@ -269,7 +287,7 @@ func Open(dir string, opt Options) (*Log, Recovery, error) {
 			l.f.Close()
 			return nil, rec, fmt.Errorf("wal: %w", err)
 		}
-		if err := syncDir(dir); err != nil {
+		if err := l.fs.SyncDir(dir); err != nil {
 			l.f.Close()
 			return nil, rec, err
 		}
@@ -284,8 +302,8 @@ func Open(dir string, opt Options) (*Log, Recovery, error) {
 	return l, rec, nil
 }
 
-func listSegments(dir string) ([]uint64, error) {
-	entries, err := os.ReadDir(dir)
+func listSegments(fsys FS, dir string) ([]uint64, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
@@ -310,31 +328,19 @@ func listSegments(dir string) ([]uint64, error) {
 	return segs, nil
 }
 
-func fileSize(path string) (int64, error) {
-	fi, err := os.Stat(path)
+func fileSize(fsys FS, path string) (int64, error) {
+	fi, err := fsys.Stat(path)
 	if err != nil {
 		return 0, fmt.Errorf("wal: %w", err)
 	}
 	return fi.Size(), nil
 }
 
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("wal: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
-		return fmt.Errorf("wal: fsync %s: %w", dir, err)
-	}
-	return nil
-}
-
 // scanSegment walks the frames of one segment. It returns how many
 // complete records it saw, the byte length of that valid prefix, and
 // whether the segment ended exactly on a frame boundary.
-func scanSegment(path string, maxRecord int) (records uint64, valid int64, clean bool, err error) {
-	f, err := os.Open(path)
+func scanSegment(fsys FS, path string, maxRecord int) (records uint64, valid int64, clean bool, err error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return 0, 0, false, fmt.Errorf("wal: %w", err)
 	}
@@ -375,6 +381,9 @@ func (l *Log) Append(payload []byte) (Pos, error) {
 	if l.closed {
 		return Pos{}, ErrClosed
 	}
+	if l.poisoned != nil {
+		return Pos{}, l.poisoned
+	}
 	if len(payload) == 0 || len(payload) > l.opt.MaxRecordBytes {
 		return Pos{}, fmt.Errorf("%w: %d bytes (bound %d, empty records forbidden)",
 			ErrTooLarge, len(payload), l.opt.MaxRecordBytes)
@@ -390,13 +399,16 @@ func (l *Log) Append(payload []byte) (Pos, error) {
 	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
 	copy(buf[headerSize:], payload)
 	if _, err := l.f.Write(buf); err != nil {
-		return Pos{}, fmt.Errorf("wal: append: %w", err)
+		// A short or failed write leaves the file offset somewhere inside
+		// a half-written frame; a further append would interleave garbage
+		// into the framing. Fail-stop.
+		return Pos{}, l.poisonLocked(fmt.Errorf("wal: append: %w", err))
 	}
 	l.off += frame
 	l.records++
 	if l.opt.Policy == SyncAlways {
 		if err := l.f.Sync(); err != nil {
-			return Pos{}, fmt.Errorf("wal: fsync: %w", err)
+			return Pos{}, l.poisonLocked(fmt.Errorf("wal: fsync: %w", err))
 		}
 		l.synced = Pos{l.seg, l.off}
 	}
@@ -406,23 +418,41 @@ func (l *Log) Append(payload []byte) (Pos, error) {
 	return Pos{l.seg, l.off}, nil
 }
 
+// poisonLocked records the first fatal I/O error and fail-stops the
+// append path: every later Append or Sync returns the same ErrPoisoned
+// until the process restarts and Open re-recovers from the real disk
+// state. See ErrPoisoned for why retrying in place would be unsound.
+func (l *Log) poisonLocked(cause error) error {
+	if l.poisoned == nil {
+		l.poisoned = fmt.Errorf("%w: %w", ErrPoisoned, cause)
+	}
+	return l.poisoned
+}
+
+// Poisoned reports the sticky fail-stop cause, nil while healthy.
+func (l *Log) Poisoned() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.poisoned
+}
+
 // rotateLocked finishes the current segment (always fsynced, whatever the
 // policy — a finished segment must never lose a tail) and opens the next.
 func (l *Log) rotateLocked() error {
 	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("wal: fsync before rotate: %w", err)
+		return l.poisonLocked(fmt.Errorf("wal: fsync before rotate: %w", err))
 	}
 	if err := l.f.Close(); err != nil {
-		return fmt.Errorf("wal: rotate: %w", err)
+		return l.poisonLocked(fmt.Errorf("wal: rotate: %w", err))
 	}
 	l.synced = Pos{l.seg, l.off}
-	next, err := os.OpenFile(l.segPath(l.seg+1), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	next, err := l.fs.OpenFile(l.segPath(l.seg+1), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
-		return fmt.Errorf("wal: rotate: %w", err)
+		return l.poisonLocked(fmt.Errorf("wal: rotate: %w", err))
 	}
-	if err := syncDir(l.dir); err != nil {
+	if err := l.fs.SyncDir(l.dir); err != nil {
 		next.Close()
-		return err
+		return l.poisonLocked(err)
 	}
 	l.f, l.seg, l.off = next, l.seg+1, 0
 	l.synced = Pos{l.seg, 0}
@@ -440,11 +470,14 @@ func (l *Log) syncLocked() error {
 	if l.closed {
 		return ErrClosed
 	}
+	if l.poisoned != nil {
+		return l.poisoned
+	}
 	if l.synced == (Pos{l.seg, l.off}) {
 		return nil
 	}
 	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("wal: fsync: %w", err)
+		return l.poisonLocked(fmt.Errorf("wal: fsync: %w", err))
 	}
 	l.synced = Pos{l.seg, l.off}
 	return nil
@@ -576,7 +609,7 @@ func (l *Log) ReadFrom(pos Pos, maxRecords int, maxBytes int64) (payloads [][]by
 			pos = Pos{pos.Seg + 1, 0}
 			continue
 		}
-		batch, n, err := readFrames(l.segPath(pos.Seg), pos.Off, limit, maxRecords-len(payloads), maxBytes-read, l.opt.MaxRecordBytes)
+		batch, n, err := readFrames(l.fs, l.segPath(pos.Seg), pos.Off, limit, maxRecords-len(payloads), maxBytes-read, l.opt.MaxRecordBytes)
 		if err != nil {
 			return nil, start, pos, err
 		}
@@ -593,7 +626,7 @@ func (l *Log) segmentLimit(seg uint64, end Pos) (int64, error) {
 	if seg == end.Seg {
 		return end.Off, nil
 	}
-	size, err := fileSize(l.segPath(seg))
+	size, err := fileSize(l.fs, l.segPath(seg))
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return 0, ErrCompacted
@@ -603,8 +636,8 @@ func (l *Log) segmentLimit(seg uint64, end Pos) (int64, error) {
 	return size, nil
 }
 
-func readFrames(path string, off, limit int64, maxRecords int, maxBytes int64, maxRecord int) ([][]byte, int64, error) {
-	f, err := os.Open(path)
+func readFrames(fsys FS, path string, off, limit int64, maxRecords int, maxBytes int64, maxRecord int) ([][]byte, int64, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return nil, 0, ErrCompacted
@@ -651,14 +684,14 @@ func (l *Log) CompactBefore(pos Pos) (int, error) {
 	}
 	removed := 0
 	for seg := l.firstSeg; seg < pos.Seg && seg < l.seg; seg++ {
-		if err := os.Remove(l.segPath(seg)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		if err := l.fs.Remove(l.segPath(seg)); err != nil && !errors.Is(err, os.ErrNotExist) {
 			return removed, fmt.Errorf("wal: compact: %w", err)
 		}
 		l.firstSeg = seg + 1
 		removed++
 	}
 	if removed > 0 {
-		if err := syncDir(l.dir); err != nil {
+		if err := l.fs.SyncDir(l.dir); err != nil {
 			return removed, err
 		}
 	}
@@ -686,7 +719,7 @@ func (l *Log) SizeBetween(from, to Pos) (int64, error) {
 	for seg := from.Seg; seg <= to.Seg; seg++ {
 		limit := to.Off
 		if seg != to.Seg {
-			size, err := fileSize(l.segPath(seg))
+			size, err := fileSize(l.fs, l.segPath(seg))
 			if err != nil {
 				return 0, err
 			}
@@ -715,10 +748,10 @@ func (l *Log) FirstPos() Pos {
 // full tmp → fsync → rename → fsync(dir) dance so a crash leaves either
 // the old value or the new one, never a torn file.
 
-func writeMeta(dir, name string, data []byte) error {
+func writeMeta(fsys FS, dir, name string, data []byte) error {
 	path := filepath.Join(dir, name)
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fsys.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -727,23 +760,49 @@ func writeMeta(dir, name string, data []byte) error {
 	}
 	if err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("wal: write %s: %w", name, err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("wal: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
 		return fmt.Errorf("wal: %w", err)
 	}
-	return syncDir(dir)
+	return fsys.SyncDir(dir)
+}
+
+// SaveEpoch durably records the fencing epoch in the log's directory
+// through the log's filesystem seam.
+func (l *Log) SaveEpoch(epoch uint64) error {
+	return writeMeta(l.fs, l.dir, "epoch", []byte(strconv.FormatUint(epoch, 10)))
+}
+
+// SaveCursor durably records a follower's replication cursor through the
+// log's filesystem seam.
+func (l *Log) SaveCursor(pos Pos) error {
+	blob, err := json.Marshal(pos)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return writeMeta(l.fs, l.dir, "cursor", blob)
+}
+
+// SaveVote durably records a promotion vote through the log's
+// filesystem seam.
+func (l *Log) SaveVote(v Vote) error {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return writeMeta(l.fs, l.dir, "vote", blob)
 }
 
 // SaveEpoch durably records the fencing epoch in dir.
 func SaveEpoch(dir string, epoch uint64) error {
-	return writeMeta(dir, "epoch", []byte(strconv.FormatUint(epoch, 10)))
+	return writeMeta(OSFS{}, dir, "epoch", []byte(strconv.FormatUint(epoch, 10)))
 }
 
 // LoadEpoch reads the fencing epoch saved in dir; 0 when none was saved.
@@ -768,7 +827,7 @@ func SaveCursor(dir string, pos Pos) error {
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
-	return writeMeta(dir, "cursor", blob)
+	return writeMeta(OSFS{}, dir, "cursor", blob)
 }
 
 // Vote is the durable record of a promotion vote: which candidate this
@@ -785,7 +844,7 @@ func SaveVote(dir string, v Vote) error {
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
-	return writeMeta(dir, "vote", blob)
+	return writeMeta(OSFS{}, dir, "vote", blob)
 }
 
 // LoadVote reads the last promotion vote saved in dir; the zero Vote

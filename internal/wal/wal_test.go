@@ -196,7 +196,7 @@ func TestTornMiddleSegmentDropsLaterSegments(t *testing.T) {
 	l.Close()
 	// Tear segment 2 mid-frame.
 	path := filepath.Join(dir, segName(2))
-	size, err := fileSize(path)
+	size, err := fileSize(OSFS{}, path)
 	if err != nil {
 		t.Fatal(err)
 	}
