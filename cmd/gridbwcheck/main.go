@@ -6,6 +6,15 @@
 // have admitted twice, fencing epochs never run backwards, and the
 // booked grants never oversubscribe a capacity. Exit 0 means the history
 // is clean; exit 1 prints one line per violation.
+//
+// With -wal repeated, the run is checked as a router-tier deployment:
+// each -wal names one shard group's surviving WAL, in the router's ring
+// order (the order of its -shard flags). The per-shard invariants run
+// against each WAL with visible IDs decoded back to shard-local ones,
+// hold-booked bandwidth folds into the capacity sweep, and two
+// router-only guarantees are added — every cross-shard hold committed
+// on both its owners or on neither, and every admission acked
+// routed=cross_shard backed by a committed ingress-side hold.
 package main
 
 import (
@@ -31,13 +40,17 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("gridbwcheck", flag.ContinueOnError)
 	history := fs.String("history", "", "client-observed operation history (JSON lines, from gridbwload -history)")
-	walDir := fs.String("wal", "", "surviving daemon's WAL directory: the decision history of record")
-	ingress := fs.String("ingress", "1GB/s,1GB/s", "comma-separated ingress capacities the daemon ran with")
-	egress := fs.String("egress", "1GB/s,1GB/s", "comma-separated egress capacities the daemon ran with")
+	ingress := fs.String("ingress", "1GB/s,1GB/s", "comma-separated ingress capacities each daemon ran with")
+	egress := fs.String("egress", "1GB/s,1GB/s", "comma-separated egress capacities each daemon ran with")
+	var walDirs []string
+	fs.Func("wal", "surviving daemon's WAL directory: the decision history of record. Repeat once per shard group, in the router's ring order, to check a router-tier run", func(v string) error {
+		walDirs = append(walDirs, v)
+		return nil
+	})
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *history == "" || *walDir == "" {
+	if *history == "" || len(walDirs) == 0 {
 		return fmt.Errorf("both -history and -wal are required")
 	}
 
@@ -51,33 +64,47 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("%s: %w", *history, err)
 	}
 
-	l, _, err := wal.Open(*walDir, wal.Options{})
+	inCaps, err := parseCaps(*ingress)
 	if err != nil {
-		return fmt.Errorf("%s: %w", *walDir, err)
-	}
-	events, _, err := server.ReadWALEvents(l, wal.Pos{})
-	l.Close()
-	if err != nil {
-		return fmt.Errorf("%s: %w", *walDir, err)
-	}
-
-	fin := check.Final{Events: events}
-	if fin.IngressBps, err = parseCaps(*ingress); err != nil {
 		return fmt.Errorf("-ingress: %w", err)
 	}
-	if fin.EgressBps, err = parseCaps(*egress); err != nil {
+	egCaps, err := parseCaps(*egress)
+	if err != nil {
 		return fmt.Errorf("-egress: %w", err)
 	}
 
-	violations := check.Verify(ops, fin)
+	var shards []check.ShardFinal
+	total := 0
+	for _, dir := range walDirs {
+		l, _, err := wal.Open(dir, wal.Options{})
+		if err != nil {
+			return fmt.Errorf("%s: %w", dir, err)
+		}
+		events, _, err := server.ReadWALEvents(l, wal.Pos{})
+		l.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", dir, err)
+		}
+		total += len(events)
+		shards = append(shards, check.ShardFinal{Name: dir, Final: check.Final{
+			Events: events, IngressBps: inCaps, EgressBps: egCaps,
+		}})
+	}
+
+	var violations []check.Violation
+	if len(shards) == 1 {
+		violations = check.Verify(ops, shards[0].Final)
+	} else {
+		violations = check.VerifyShards(ops, shards)
+	}
 	for _, v := range violations {
 		fmt.Fprintf(stdout, "VIOLATION %s: %s\n", v.Invariant, v.Detail)
 	}
 	if n := len(violations); n > 0 {
-		return fmt.Errorf("%d invariant violation(s) across %d ops and %d events", n, len(ops), len(events))
+		return fmt.Errorf("%d invariant violation(s) across %d ops and %d events", n, len(ops), total)
 	}
-	fmt.Fprintf(stdout, "clean: %d client ops checked against %d logged decisions, 0 violations\n",
-		len(ops), len(events))
+	fmt.Fprintf(stdout, "clean: %d client ops checked against %d logged decisions on %d shard(s), 0 violations\n",
+		len(ops), total, len(shards))
 	return nil
 }
 

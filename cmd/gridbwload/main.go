@@ -64,7 +64,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("gridbwload", flag.ContinueOnError)
 	var (
-		target   = fs.String("target", "http://127.0.0.1:8080", "daemon base URL(s), comma separated; the first is primary, the rest failover fallbacks")
+		target   = fs.String("target", "http://127.0.0.1:8080", "daemon or router base URL(s), comma separated; the first is primary, the rest failover fallbacks. Against a gridbwrouter the report gains cross_shard counts")
 		vus      = fs.Int("vus", 1000, "virtual users (concurrency cap; arrivals beyond it are dropped, not queued)")
 		rate     = fs.Float64("rate", 500, "steady-state offered arrivals per second")
 		rampUp   = fs.Duration("ramp-up", 5*time.Second, "linear ramp from zero to -rate")

@@ -155,6 +155,60 @@ func (tx *PairTx) Unlock() {
 	tx.in.unlock()
 }
 
+// PointTx holds a single access point's shard locked, for one-sided
+// operations: the cross-shard hold protocol books capacity on only the
+// half of a route this ledger owns, so it needs one profile, not a pair.
+// Callers must Unlock exactly once and must not retain the profile past
+// it. A PointTx never nests inside a PairTx (single-shard lock, so the
+// global order is trivially respected).
+type PointTx struct {
+	sh       *shard
+	unlocked bool
+}
+
+// LockPoint locks the shard of one point in the given direction.
+func (l *Sharded) LockPoint(dir topology.Direction, p topology.PointID) *PointTx {
+	var sh *shard
+	if dir == topology.Ingress {
+		sh = l.in[int(p)]
+	} else {
+		sh = l.eg[int(p)]
+	}
+	sh.lock()
+	return &PointTx{sh: sh}
+}
+
+// Profile returns the locked point's profile.
+func (tx *PointTx) Profile() *Profile { return tx.sh.p }
+
+// Unlock releases the point. Unlocking twice panics, like sync.Mutex.
+func (tx *PointTx) Unlock() {
+	if tx.unlocked {
+		panic("alloc: PointTx unlocked twice")
+	}
+	tx.unlocked = true
+	tx.sh.unlock()
+}
+
+// HoldReserve books bw over [sigma, tau] on one side's point only — the
+// tentative half of a cross-shard admission. It fails without booking if
+// the span does not fit.
+func (l *Sharded) HoldReserve(dir topology.Direction, p topology.PointID, sigma, tau units.Time, bw units.Bandwidth) error {
+	tx := l.LockPoint(dir, p)
+	defer tx.Unlock()
+	if err := tx.Profile().Reserve(sigma, tau, bw); err != nil {
+		return fmt.Errorf("alloc: %v %d: %w", dir, p, err)
+	}
+	return nil
+}
+
+// HoldRelease returns a one-sided booking made by HoldReserve.
+func (l *Sharded) HoldRelease(dir topology.Direction, p topology.PointID, sigma, tau units.Time, bw units.Bandwidth) {
+	tx := l.LockPoint(dir, p)
+	defer tx.Unlock()
+	tx.Profile().Release(sigma, tau, bw)
+}
+
 // Reserve commits grant g for request r, taking the pair locks itself.
 func (l *Sharded) Reserve(r request.Request, g request.Grant) error {
 	tx := l.Pair(r.Ingress, r.Egress)

@@ -68,6 +68,10 @@ type Op struct {
 	// Epoch is the fencing epoch the node reported with this response
 	// (0 = not observed).
 	Epoch uint64 `json:"epoch,omitempty"`
+	// Routed is the routing marker the server answered with
+	// ("cross_shard" when a router tier committed the admission through
+	// the two-phase hold protocol; empty for direct decisions).
+	Routed string `json:"routed,omitempty"`
 	// Ingress/Egress/VolumeB echo the submission, and RateBps/SigmaS/
 	// TauS the grant, for cross-checking against history.
 	Ingress int     `json:"ingress,omitempty"`
@@ -305,6 +309,11 @@ func checkCapacity(fin Final) []Violation {
 			byPoint[iv.point] = append(byPoint[iv.point], iv)
 		}
 		for point, list := range byPoint {
+			if point < 0 {
+				// Synthetic one-sided events (cross-shard holds) book only
+				// the side this shard owns; the other index is -1.
+				continue
+			}
 			if point >= len(caps) {
 				out = append(out, Violation{"capacity", fmt.Sprintf(
 					"%s point %d out of range (platform has %d)", dir, point, len(caps))})

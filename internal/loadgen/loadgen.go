@@ -425,6 +425,7 @@ func submitOp(req server.SubmitRequest, res server.ReservationJSON, err error) c
 	}
 	op.ID, op.Accepted, op.Durability = res.ID, res.Accepted, res.Durability
 	op.RateBps, op.SigmaS, op.TauS = res.RateBps, res.SigmaS, res.TauS
+	op.Routed = res.Routed
 	return op
 }
 
@@ -451,7 +452,11 @@ func executeSubmit(ctx context.Context, cfg Config, backend Backend, rec *Record
 		res, err := backend.Submit(ctx, req)
 		if err == nil {
 			cfg.history(submitOp(req, res, nil))
-			rec.latency(o.phase, cfg.Now().Sub(o.t0))
+			lat := cfg.Now().Sub(o.t0)
+			rec.latency(o.phase, lat)
+			if res.Routed == server.RoutedCrossShard {
+				rec.crossShard(o.phase, lat)
+			}
 			if !res.Accepted {
 				rec.count(o.phase, OutRejected)
 				return
@@ -526,11 +531,18 @@ func executeBatch(ctx context.Context, cfg Config, backend Backend, rec *Recorde
 			}
 			return
 		}
-		rec.latency(o.phase, cfg.Now().Sub(o.t0))
+		lat := cfg.Now().Sub(o.t0)
+		rec.latency(o.phase, lat)
 		for i, it := range items {
 			switch {
 			case it.Reservation != nil:
 				cfg.history(submitOp(o.reqs[i], *it.Reservation, nil))
+				// Routed markers only survive the JSON codec; the binary
+				// response frame has no slot for them, so binary-batch runs
+				// against a router undercount cross_shard.
+				if it.Reservation.Routed == server.RoutedCrossShard {
+					rec.crossShard(o.phase, lat)
+				}
 			case it.Error != "":
 				cfg.history(submitOp(o.reqs[i], server.ReservationJSON{}, errors.New(it.Error)))
 			}

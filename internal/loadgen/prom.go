@@ -38,6 +38,14 @@ func (r *Recorder) WritePrometheus(w io.Writer) {
 		}
 	}
 
+	fmt.Fprintf(w, "# HELP gridbwload_cross_shard_total Decisions routed through the cross-shard two-phase protocol, by phase.\n")
+	fmt.Fprintf(w, "# TYPE gridbwload_cross_shard_total counter\n")
+	for _, ps := range r.phases {
+		if n := ps.cross.Load(); n > 0 {
+			fmt.Fprintf(w, "gridbwload_cross_shard_total{phase=%q} %d\n", ps.name, n)
+		}
+	}
+
 	fmt.Fprintf(w, "# HELP gridbwload_inflight_vus Virtual users with a request in flight.\n")
 	fmt.Fprintf(w, "# TYPE gridbwload_inflight_vus gauge\n")
 	fmt.Fprintf(w, "gridbwload_inflight_vus %d\n", r.inflight.Load())
@@ -58,6 +66,29 @@ func (r *Recorder) WritePrometheus(w io.Writer) {
 		}
 		fmt.Fprintf(w, "gridbwload_latency_seconds_sum{phase=%q} %g\n", ps.name, ps.lat.Sum().Seconds())
 		fmt.Fprintf(w, "gridbwload_latency_seconds_count{phase=%q} %d\n", ps.name, ps.lat.Count())
+	}
+
+	// Cross-shard decisions carry their own route-tagged summary so the
+	// two-phase protocol's extra round trips stay visible instead of
+	// averaging into the aggregate tail. Series appear only once a phase
+	// has seen a routed decision.
+	for _, ps := range append(r.phases, r.total) {
+		if ps.latCross.Count() == 0 {
+			continue
+		}
+		s := ps.latCross.Summary()
+		for _, q := range []struct {
+			label string
+			ms    float64
+		}{
+			{"0.5", s.P50Ms}, {"0.9", s.P90Ms}, {"0.95", s.P95Ms},
+			{"0.99", s.P99Ms}, {"0.999", s.P999Ms},
+		} {
+			fmt.Fprintf(w, "gridbwload_latency_seconds{phase=%q,route=\"cross_shard\",quantile=%q} %g\n",
+				ps.name, q.label, q.ms/1e3)
+		}
+		fmt.Fprintf(w, "gridbwload_latency_seconds_sum{phase=%q,route=\"cross_shard\"} %g\n", ps.name, ps.latCross.Sum().Seconds())
+		fmt.Fprintf(w, "gridbwload_latency_seconds_count{phase=%q,route=\"cross_shard\"} %d\n", ps.name, ps.latCross.Count())
 	}
 
 	// A classic le-bucketed histogram over the whole run for scrapers that

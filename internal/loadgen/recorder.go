@@ -66,10 +66,17 @@ type phaseStats struct {
 	fired    atomic.Uint64
 	outcomes [numOutcomes]atomic.Uint64
 	lat      *metrics.Histogram
+	// cross counts decisions the router tier marked routed=cross_shard —
+	// admissions (or rejections) that went through the two-phase hold
+	// protocol; latCross is their own latency histogram, kept apart
+	// because the protocol's extra round trips would otherwise hide
+	// inside the aggregate tail. Zero against a bare daemon.
+	cross    atomic.Uint64
+	latCross *metrics.Histogram
 }
 
 func newPhaseStats(name string) *phaseStats {
-	return &phaseStats{name: name, lat: metrics.NewHistogram()}
+	return &phaseStats{name: name, lat: metrics.NewHistogram(), latCross: metrics.NewHistogram()}
 }
 
 func (ps *phaseStats) finished() uint64 {
@@ -116,6 +123,15 @@ func (r *Recorder) count(phase int, o Outcome) {
 func (r *Recorder) latency(phase int, d time.Duration) {
 	r.phases[phase].lat.Record(d)
 	r.total.lat.Record(d)
+}
+
+// crossShard records one decision the router answered through the
+// cross-shard two-phase protocol, with the operation's wall latency.
+func (r *Recorder) crossShard(phase int, d time.Duration) {
+	r.phases[phase].cross.Add(1)
+	r.phases[phase].latCross.Record(d)
+	r.total.cross.Add(1)
+	r.total.latCross.Record(d)
 }
 
 // idRing remembers recently admitted reservation IDs so cancel ops have

@@ -27,6 +27,12 @@ type PhaseReport struct {
 	// virtual user was busy.
 	Dropped uint64                 `json:"dropped"`
 	Latency metrics.LatencySummary `json:"latency"`
+	// CrossShard counts decisions a router tier answered through the
+	// cross-shard two-phase hold protocol; CrossShardLatency summarizes
+	// their wall latency separately from the aggregate. Both are zero
+	// (and omitted) when the target is a bare daemon.
+	CrossShard        uint64                  `json:"cross_shard,omitempty"`
+	CrossShardLatency *metrics.LatencySummary `json:"cross_shard_latency,omitempty"`
 }
 
 func (ps *phaseStats) report() PhaseReport {
@@ -43,6 +49,11 @@ func (ps *phaseStats) report() PhaseReport {
 	pr.Offered = ps.fired.Load()
 	pr.Dropped = ps.outcomes[OutDropped].Load()
 	pr.Finished = ps.finished()
+	if n := ps.cross.Load(); n > 0 {
+		pr.CrossShard = n
+		s := ps.latCross.Summary()
+		pr.CrossShardLatency = &s
+	}
 	return pr
 }
 

@@ -1,0 +1,606 @@
+// Package router is the stateless horizontal scale-out tier of gridbwd:
+// it consistent-hashes (ingress, egress) access-point pairs onto a static
+// ring of shard groups and proxies the client-facing API onto whichever
+// shard owns the pair.
+//
+// A pair whose two points hash to one shard is proxied straight through —
+// single submits, cancels, lookups, and whole batch slices (JSON or the
+// binary codec) — with the shard's local request IDs namespaced into
+// client-visible IDs (visible = local×N + shard). A pair whose points
+// land on different shards cannot be admitted by either one's two-sided
+// pipeline; the router drives the wire form of the two-phase protocol
+// that internal/distributed proved under fault injection: RESERVE on the
+// ingress owner (which runs the one-sided admission search and proposes a
+// grant), RESERVE on the egress owner (authoritative check of the
+// proposal), then CONFIRM on both on dual success or ABORT on any
+// failure. Shard groups keep independent service clocks, so the proposed
+// window crosses shards as offsets from the proposing shard's clock (see
+// server.HoldReserveJSON.RelTimes). Unconfirmed holds roll back on their
+// TTL, so a router crash between the two RESERVEs or CONFIRMs can delay
+// capacity reuse but never leak it.
+//
+// Each shard is addressed through a failover-aware server/client over its
+// group members, so primary rediscovery, fencing-epoch preference, and
+// the probe-cooldown negative cache all apply per shard. The router
+// itself keeps no durable state: any instance with the same static
+// configuration routes identically.
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"gridbw/internal/server"
+	"gridbw/internal/server/client"
+	"gridbw/internal/trace"
+)
+
+const (
+	// defaultHoldTTL mirrors the shard-side default: long enough to cover
+	// two RESERVE round trips plus failover rediscovery, short enough that
+	// a crashed router frees capacity quickly.
+	defaultHoldTTL  = 5 * time.Second
+	defaultMaxBatch = 1024
+)
+
+// ShardConfig names one shard group and its member endpoints (primary
+// first by convention; the client rediscovers the actual primary).
+type ShardConfig struct {
+	Name      string
+	Endpoints []string
+}
+
+// Config describes a router. Zero fields take the documented defaults.
+type Config struct {
+	// Shards is the static ring membership, in a fixed order — the order
+	// defines each shard's index for ID namespacing, so every router
+	// instance (and the offline checker) must list shards identically.
+	Shards []ShardConfig
+	// Seed and Replicas parameterize the consistent-hash ring; all
+	// instances must agree on them.
+	Seed     uint64
+	Replicas int
+	// HoldTTL bounds unconfirmed cross-shard holds. Default 5s.
+	HoldTTL time.Duration
+	// MaxBatch bounds one POST /v1/batch. Default 1024.
+	MaxBatch int
+	// Client tunes the per-shard daemon clients.
+	Client client.Options
+	// HTTPClient overrides the transport shared by the shard clients; nil
+	// uses one tuned for many concurrent proxied connections.
+	HTTPClient *http.Client
+}
+
+// shard is one ring member: its failover-aware client plus metrics.
+type shard struct {
+	name string
+	c    *client.Client
+	met  *shardMetrics
+}
+
+// Router is the HTTP tier. Construct with New, serve Handler.
+type Router struct {
+	ring     *Ring
+	shards   []*shard
+	holdTTL  time.Duration
+	maxBatch int
+	met      *routerMetrics
+}
+
+// New builds a router over the configured shard groups.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("router: no shards configured")
+	}
+	names := make([]string, len(cfg.Shards))
+	for i, sc := range cfg.Shards {
+		if len(sc.Endpoints) == 0 {
+			return nil, fmt.Errorf("router: shard %q has no endpoints", sc.Name)
+		}
+		names[i] = sc.Name
+	}
+	ring, err := NewRing(names, cfg.Seed, cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        1024,
+			MaxIdleConnsPerHost: 256,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	rt := &Router{
+		ring:     ring,
+		holdTTL:  cfg.HoldTTL,
+		maxBatch: cfg.MaxBatch,
+		met:      newRouterMetrics(names),
+	}
+	if rt.holdTTL <= 0 {
+		rt.holdTTL = defaultHoldTTL
+	}
+	if rt.maxBatch <= 0 {
+		rt.maxBatch = defaultMaxBatch
+	}
+	for i, sc := range cfg.Shards {
+		rt.shards = append(rt.shards, &shard{
+			name: sc.Name,
+			c:    client.NewWithOptions(sc.Endpoints[0], hc, cfg.Client, sc.Endpoints[1:]...),
+			met:  rt.met.shards[i],
+		})
+	}
+	return rt, nil
+}
+
+// Ring exposes the routing table (tests and tooling).
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// visibleID namespaces a shard-local request ID into the client-visible
+// space: visible = local×N + shard, so shard = visible mod N.
+func (rt *Router) visibleID(local, shardIdx int) int {
+	return local*rt.ring.NumShards() + shardIdx
+}
+
+func (rt *Router) splitID(visible int) (local, shardIdx int) {
+	n := rt.ring.NumShards()
+	return visible / n, visible % n
+}
+
+// Handler returns the router's HTTP surface: the shard-facing subset of
+// the daemon API plus the router's own Prometheus metrics.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/requests", rt.handleSubmit)
+	mux.HandleFunc("POST /v1/batch", rt.handleBatch)
+	mux.HandleFunc("GET /v1/requests/{id}", rt.handleGet)
+	mux.HandleFunc("DELETE /v1/requests/{id}", rt.handleCancel)
+	mux.HandleFunc("GET /v1/healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, server.ErrorJSON{Error: err.Error()})
+}
+
+// writeUpstreamError relays a shard-side failure: API answers pass
+// through with their status (and Retry-After hint), transport-level
+// failures become 502 — the shard may be mid-failover.
+func writeUpstreamError(w http.ResponseWriter, err error) {
+	var ae *client.APIError
+	if errors.As(err, &ae) {
+		if ae.RetryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(int((ae.RetryAfter+time.Second-1)/time.Second)))
+		}
+		writeJSON(w, ae.StatusCode, server.ErrorJSON{Error: ae.Message})
+		return
+	}
+	writeError(w, http.StatusBadGateway, err)
+}
+
+func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var body server.SubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if hk := r.Header.Get("Idempotency-Key"); hk != "" {
+		if body.IdempotencyKey != "" && body.IdempotencyKey != hk {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("idempotency_key body field and Idempotency-Key header disagree"))
+			return
+		}
+		body.IdempotencyKey = hk
+	}
+	ws, err := body.Wire()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	inIdx, egIdx := rt.ring.OwnerIn(ws.From), rt.ring.OwnerEg(ws.To)
+	if inIdx == egIdx {
+		sh := rt.shards[inIdx]
+		t0 := time.Now()
+		res, err := sh.c.Submit(r.Context(), body)
+		sh.met.observe(time.Since(t0), err)
+		if err != nil {
+			writeUpstreamError(w, err)
+			return
+		}
+		res.ID = rt.visibleID(res.ID, inIdx)
+		code := http.StatusCreated
+		if !res.Accepted {
+			code = http.StatusOK
+		}
+		writeJSON(w, code, res)
+		return
+	}
+	res, code, err := rt.crossShard(r.Context(), ws, inIdx, egIdx)
+	if err != nil {
+		writeUpstreamError(w, err)
+		return
+	}
+	writeJSON(w, code, res)
+}
+
+// crossReject is the domain-refusal answer of a cross-shard submission.
+func crossReject(id int, reason string) server.ReservationJSON {
+	return server.ReservationJSON{
+		ID: id, Accepted: false, State: string(server.StateRejected),
+		Reason: reason, Routed: server.RoutedCrossShard,
+	}
+}
+
+// crossShard drives one submission through the two-phase hold protocol:
+// RESERVE ingress → RESERVE egress → CONFIRM both, aborting both sides on
+// any failure. A nil error with a non-accepted reservation is a domain
+// rejection (HTTP 200); errors are shard-side failures the caller relays.
+func (rt *Router) crossShard(ctx context.Context, ws server.WireSubmission, inIdx, egIdx int) (server.ReservationJSON, int, error) {
+	t0 := time.Now()
+	res, code, err := rt.crossShardOnce(ctx, ws, inIdx, egIdx)
+	rt.met.observeCross(time.Since(t0), err, err == nil && res.Accepted)
+	return res, code, err
+}
+
+func (rt *Router) crossShardOnce(ctx context.Context, ws server.WireSubmission, inIdx, egIdx int) (server.ReservationJSON, int, error) {
+	// Relative and absolute times cannot mix across shards: RelTimes marks
+	// the whole window as offsets from the deciding shard's clock, and an
+	// absolute instant from the client's view of one shard means nothing on
+	// the other.
+	if (ws.RelNotBefore && !ws.RelDeadline && ws.Deadline != 0) ||
+		(!ws.RelNotBefore && ws.RelDeadline && ws.NotBefore != 0) {
+		return server.ReservationJSON{}, 0,
+			&client.APIError{StatusCode: http.StatusBadRequest,
+				Message: "cross-shard submission mixes relative and absolute times"}
+	}
+	if ws.IdempotencyKey == "" {
+		ws.IdempotencyKey = client.NewIdempotencyKey()
+	}
+	// The hold key derives from the idempotency key, so a client retry of
+	// the whole submission converges on the same pair of holds instead of
+	// booking fresh ones.
+	hold := "x-" + ws.IdempotencyKey
+	inSh, egSh := rt.shards[inIdx], rt.shards[egIdx]
+	rel := ws.RelNotBefore || ws.RelDeadline
+
+	rin, err := rt.holdReserve(ctx, inSh, server.HoldReserveJSON{
+		Hold: hold, Side: trace.HoldSideIngress,
+		Point: ws.From, PeerPoint: ws.To,
+		TTLS: rt.holdTTL.Seconds(), RelTimes: rel,
+		VolumeBytes: float64(ws.Volume), MaxRateBps: float64(ws.MaxRate),
+		NotBeforeS: float64(ws.NotBefore), DeadlineS: float64(ws.Deadline),
+	})
+	if err != nil {
+		go rt.abortPair(inSh, inSh, hold)
+		return server.ReservationJSON{}, 0, err
+	}
+	id := rt.visibleID(rin.ID, inIdx)
+	if !rin.Held {
+		return crossReject(id, rin.Reason), http.StatusOK, nil
+	}
+	// The grant window crosses clocks as offsets from the ingress shard's
+	// NowS; the egress shard resolves them against its own clock.
+	reg, err := rt.holdReserve(ctx, egSh, server.HoldReserveJSON{
+		Hold: hold, Side: trace.HoldSideEgress,
+		Point: ws.To, PeerPoint: ws.From,
+		TTLS: rt.holdTTL.Seconds(), RelTimes: true,
+		RateBps: rin.RateBps,
+		SigmaS:  rin.SigmaS - rin.NowS, TauS: rin.TauS - rin.NowS,
+		VolumeBytes: float64(ws.Volume), MaxRateBps: float64(ws.MaxRate),
+	})
+	if err != nil {
+		go rt.abortPair(inSh, egSh, hold)
+		return server.ReservationJSON{}, 0, err
+	}
+	if !reg.Held {
+		go rt.abortPair(inSh, egSh, hold)
+		return crossReject(id, reg.Reason), http.StatusOK, nil
+	}
+	if _, err := rt.confirmHold(ctx, inSh, hold, rin.Epoch); err != nil {
+		go rt.abortPair(inSh, egSh, hold)
+		if client.IsConflict(err) {
+			// The ingress hold rolled back (TTL lapse, or a racing cancel)
+			// before the commit: a clean rejection, not a shard failure.
+			return crossReject(id, "hold expired before confirm"), http.StatusOK, nil
+		}
+		return server.ReservationJSON{}, 0, err
+	}
+	if _, err := rt.confirmHold(ctx, egSh, hold, reg.Epoch); err != nil {
+		// The ingress side already committed: the abort below is the
+		// compensating release, converging both sides to absent.
+		go rt.abortPair(inSh, egSh, hold)
+		if client.IsConflict(err) {
+			return crossReject(id, "hold expired before confirm"), http.StatusOK, nil
+		}
+		return server.ReservationJSON{}, 0, err
+	}
+	state := string(server.StateActive)
+	if rin.SigmaS > rin.NowS {
+		state = string(server.StateBooked)
+	}
+	return server.ReservationJSON{
+		ID: id, Accepted: true, State: state,
+		RateBps: rin.RateBps, SigmaS: rin.SigmaS, TauS: rin.TauS,
+		Routed: server.RoutedCrossShard,
+	}, http.StatusCreated, nil
+}
+
+func (rt *Router) holdReserve(ctx context.Context, sh *shard, req server.HoldReserveJSON) (server.HoldReserveResponseJSON, error) {
+	t0 := time.Now()
+	resp, err := sh.c.HoldReserve(ctx, req)
+	sh.met.observe(time.Since(t0), err)
+	return resp, err
+}
+
+// confirmHold commits one side, riding out a failover mid-hold: a 403
+// after the client's built-in rediscovery means the lineage changed (the
+// reserve-time epoch is fenced) — refresh the epoch from the new primary
+// and present it once. The promoted follower replayed the hold from the
+// WAL, so the confirm lands on real state.
+func (rt *Router) confirmHold(ctx context.Context, sh *shard, hold string, epoch uint64) (server.HoldStateJSON, error) {
+	t0 := time.Now()
+	st, err := sh.c.HoldConfirm(ctx, hold, epoch)
+	if err != nil && client.IsReadOnly(err) {
+		if rs, rerr := sh.c.Replication(ctx); rerr == nil && rs.Role == "primary" && rs.Epoch != epoch {
+			st, err = sh.c.HoldConfirm(ctx, hold, rs.Epoch)
+		}
+	}
+	sh.met.observe(time.Since(t0), err)
+	return st, err
+}
+
+// abortPair converges both sides of a hold to aborted, best-effort and
+// detached from the request context (the client may be gone). Failures
+// are tolerable: the shard-side TTL is the backstop that actually
+// guarantees no capacity leaks.
+func (rt *Router) abortPair(a, b *shard, hold string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	_, _ = a.c.HoldAbort(ctx, hold)
+	if b != a {
+		_, _ = b.c.HoldAbort(ctx, hold)
+	}
+}
+
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	binary := strings.HasPrefix(r.Header.Get("Content-Type"), server.BinaryBatchContentType)
+	var subs []server.WireSubmission
+	var items []server.BatchItemJSON
+	if binary {
+		data, err := io.ReadAll(io.LimitReader(r.Body, int64(server.MaxBinaryBatchBytes)+1))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("read request: %w", err))
+			return
+		}
+		if len(data) > server.MaxBinaryBatchBytes {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("binary batch exceeds %d bytes", server.MaxBinaryBatchBytes))
+			return
+		}
+		subs, err = server.DecodeBinaryBatchRequest(data, rt.maxBatch)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		items = make([]server.BatchItemJSON, len(subs))
+	} else {
+		var body server.BatchRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&body); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+			return
+		}
+		if len(body.Requests) == 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+			return
+		}
+		if len(body.Requests) > rt.maxBatch {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("batch of %d exceeds limit %d", len(body.Requests), rt.maxBatch))
+			return
+		}
+		subs = make([]server.WireSubmission, len(body.Requests))
+		items = make([]server.BatchItemJSON, len(body.Requests))
+		for i, req := range body.Requests {
+			ws, err := req.Wire()
+			if err != nil {
+				// Malformed items fail individually in their slot, like the
+				// daemon's JSON batch handler.
+				items[i].Error = err.Error()
+				continue
+			}
+			subs[i] = ws
+		}
+	}
+	// Missing keys are generated before the scatter so every retry layer
+	// below re-sends the same ones.
+	for i := range subs {
+		if items[i].Error == "" && subs[i].IdempotencyKey == "" {
+			subs[i].IdempotencyKey = client.NewIdempotencyKey()
+		}
+	}
+
+	// Split by owning shard: same-shard slices forward as one wire batch
+	// per shard, cross-shard items each run the two-phase protocol. Every
+	// goroutine writes only its own result slots; gather is by index, so
+	// the response preserves request order no matter the completion order.
+	groups := make(map[int][]int)
+	var cross []int
+	for i := range subs {
+		if items[i].Error != "" {
+			continue
+		}
+		inIdx, egIdx := rt.ring.OwnerIn(subs[i].From), rt.ring.OwnerEg(subs[i].To)
+		if inIdx == egIdx {
+			groups[inIdx] = append(groups[inIdx], i)
+		} else {
+			cross = append(cross, i)
+		}
+	}
+	rt.met.observeBatch(len(groups), len(cross))
+	var wg sync.WaitGroup
+	for shardIdx, idxs := range groups {
+		wg.Add(1)
+		go func(shardIdx int, idxs []int) {
+			defer wg.Done()
+			sh := rt.shards[shardIdx]
+			slice := make([]server.WireSubmission, len(idxs))
+			for j, i := range idxs {
+				slice[j] = subs[i]
+			}
+			t0 := time.Now()
+			res, err := sh.c.SubmitBatchWire(r.Context(), slice)
+			sh.met.observe(time.Since(t0), err)
+			if err != nil {
+				msg := err.Error()
+				for _, i := range idxs {
+					items[i] = server.BatchItemJSON{Error: msg}
+				}
+				return
+			}
+			for j, i := range idxs {
+				it := res[j]
+				if it.Reservation != nil {
+					it.Reservation.ID = rt.visibleID(it.Reservation.ID, shardIdx)
+				}
+				items[i] = it
+			}
+		}(shardIdx, idxs)
+	}
+	for _, i := range cross {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			inIdx, egIdx := rt.ring.OwnerIn(subs[i].From), rt.ring.OwnerEg(subs[i].To)
+			rj, _, err := rt.crossShard(r.Context(), subs[i], inIdx, egIdx)
+			if err != nil {
+				items[i] = server.BatchItemJSON{Error: err.Error()}
+				return
+			}
+			items[i] = server.BatchItemJSON{Reservation: &rj}
+		}(i)
+	}
+	wg.Wait()
+
+	if binary {
+		blob := server.AppendBinaryBatchItems(nil, items)
+		w.Header().Set("Content-Type", server.BinaryBatchContentType)
+		w.Header().Set("Content-Length", strconv.Itoa(len(blob)))
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(blob)
+		return
+	}
+	writeJSON(w, http.StatusOK, server.BatchResponse{Results: items})
+}
+
+func pathID(r *http.Request) (int, error) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || id < 0 {
+		return 0, fmt.Errorf("bad reservation id %q", r.PathValue("id"))
+	}
+	return id, nil
+}
+
+func (rt *Router) handleGet(w http.ResponseWriter, r *http.Request) {
+	visible, err := pathID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	local, shardIdx := rt.splitID(visible)
+	sh := rt.shards[shardIdx]
+	t0 := time.Now()
+	res, err := sh.c.Get(r.Context(), local)
+	sh.met.observe(time.Since(t0), err)
+	if err != nil {
+		writeUpstreamError(w, err)
+		return
+	}
+	res.ID = visible
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleCancel revokes by visible ID. A same-shard reservation cancels
+// straight through; when the owning shard answers 404 the ID may instead
+// back the ingress side of a cross-shard hold — resolved by ID into an
+// abort on both owners.
+func (rt *Router) handleCancel(w http.ResponseWriter, r *http.Request) {
+	visible, err := pathID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	local, shardIdx := rt.splitID(visible)
+	sh := rt.shards[shardIdx]
+	t0 := time.Now()
+	res, err := sh.c.Cancel(r.Context(), local)
+	sh.met.observe(time.Since(t0), err)
+	if err == nil {
+		res.ID = visible
+		writeJSON(w, http.StatusOK, res)
+		return
+	}
+	if !client.IsNotFound(err) {
+		writeUpstreamError(w, err)
+		return
+	}
+	st, aerr := sh.c.HoldAbortByID(r.Context(), local)
+	if aerr != nil {
+		if client.IsNotFound(aerr) {
+			writeUpstreamError(w, err) // the original 404: nothing here at all
+			return
+		}
+		writeUpstreamError(w, aerr)
+		return
+	}
+	// The ID backed an ingress-side hold on shardIdx; the answer names the
+	// egress point, whose owner holds the other half.
+	peer := rt.shards[rt.ring.OwnerEg(st.PeerPoint)]
+	if peer != sh {
+		ctx, cancel := context.WithTimeout(r.Context(), 3*time.Second)
+		defer cancel()
+		_, _ = peer.c.HoldAbort(ctx, st.Hold)
+	}
+	writeJSON(w, http.StatusOK, server.ReservationJSON{
+		ID: visible, Accepted: true, State: string(server.StateCancelled),
+		Routed: server.RoutedCrossShard,
+	})
+}
+
+// RouterHealthJSON is the GET /v1/healthz body: the router is stateless,
+// so health is just "the process is up", plus the ring shape for
+// debugging which instance answered.
+type RouterHealthJSON struct {
+	Status string   `json:"status"`
+	Shards []string `json:"shards"`
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	names := make([]string, rt.ring.NumShards())
+	for i := range names {
+		names[i] = rt.ring.ShardName(i)
+	}
+	writeJSON(w, http.StatusOK, RouterHealthJSON{Status: "ok", Shards: names})
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	rt.met.write(w)
+}

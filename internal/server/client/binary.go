@@ -15,63 +15,17 @@ import (
 	"time"
 
 	"gridbw/internal/server"
-	"gridbw/internal/units"
 )
 
 // wireFromSubmitRequest resolves the dual numeric/string quantity fields
-// of the JSON request shape into a binary record. Relative times stay
-// relative on the wire — the server resolves them against its own clock,
-// exactly like start_in / deadline_in.
+// of the JSON request shape into a binary record (server.SubmitRequest.Wire
+// with this package's error prefix). Relative times stay relative on the
+// wire — the server resolves them against its own clock, exactly like
+// start_in / deadline_in.
 func wireFromSubmitRequest(req server.SubmitRequest) (server.WireSubmission, error) {
-	ws := server.WireSubmission{
-		From:           req.From,
-		To:             req.To,
-		Volume:         units.Volume(req.VolumeBytes),
-		MaxRate:        units.Bandwidth(req.MaxRateBps),
-		NotBefore:      units.Time(req.NotBeforeS),
-		Deadline:       units.Time(req.DeadlineS),
-		Durable:        req.Durable,
-		IdempotencyKey: req.IdempotencyKey,
-	}
-	if req.Volume != "" {
-		if req.VolumeBytes != 0 {
-			return ws, fmt.Errorf("gridbwd: both volume and volume_bytes set")
-		}
-		v, err := units.ParseVolume(req.Volume)
-		if err != nil {
-			return ws, fmt.Errorf("gridbwd: %w", err)
-		}
-		ws.Volume = v
-	}
-	if req.MaxRate != "" {
-		if req.MaxRateBps != 0 {
-			return ws, fmt.Errorf("gridbwd: both max_rate and max_rate_bps set")
-		}
-		b, err := units.ParseBandwidth(req.MaxRate)
-		if err != nil {
-			return ws, fmt.Errorf("gridbwd: %w", err)
-		}
-		ws.MaxRate = b
-	}
-	if req.StartIn != "" {
-		if req.NotBeforeS != 0 {
-			return ws, fmt.Errorf("gridbwd: both start_in and not_before_s set")
-		}
-		d, err := units.ParseTime(req.StartIn)
-		if err != nil {
-			return ws, fmt.Errorf("gridbwd: %w", err)
-		}
-		ws.NotBefore, ws.RelNotBefore = d, true
-	}
-	if req.DeadlineIn != "" {
-		if req.DeadlineS != 0 {
-			return ws, fmt.Errorf("gridbwd: both deadline_in and deadline_s set")
-		}
-		d, err := units.ParseTime(req.DeadlineIn)
-		if err != nil {
-			return ws, fmt.Errorf("gridbwd: %w", err)
-		}
-		ws.Deadline, ws.RelDeadline = d, true
+	ws, err := req.Wire()
+	if err != nil {
+		return ws, fmt.Errorf("gridbwd: %w", err)
 	}
 	return ws, nil
 }
@@ -105,6 +59,33 @@ func (c *Client) SubmitBatchBinary(ctx context.Context, reqs []server.SubmitRequ
 	}
 	if len(out) != len(reqs) {
 		return nil, fmt.Errorf("gridbwd: batch answered %d results for %d requests", len(out), len(reqs))
+	}
+	return out, nil
+}
+
+// SubmitBatchWire is SubmitBatchBinary for callers that already hold
+// decoded wire records — the router re-shards incoming binary batches
+// without a detour through the JSON request shape. Records missing an
+// idempotency key get a generated one (subs is modified in place, so
+// retries at any layer re-send the same keys).
+func (c *Client) SubmitBatchWire(ctx context.Context, subs []server.WireSubmission) ([]server.BatchItemJSON, error) {
+	for i := range subs {
+		if subs[i].IdempotencyKey == "" {
+			subs[i].IdempotencyKey = NewIdempotencyKey()
+		}
+	}
+	blob := server.AppendBinaryBatchRequest(nil, subs)
+	var out []server.BatchItemJSON
+	err := c.doRaw(ctx, "/v1/batch", server.BinaryBatchContentType, blob, func(body []byte) error {
+		var derr error
+		out, derr = server.DecodeBinaryBatchResponse(body)
+		return derr
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(out) != len(subs) {
+		return nil, fmt.Errorf("gridbwd: batch answered %d results for %d requests", len(out), len(subs))
 	}
 	return out, nil
 }

@@ -37,11 +37,12 @@ import (
 
 // Defaults for Options' zero values.
 const (
-	defaultHTTPTimeout = 30 * time.Second
-	defaultCallTimeout = 10 * time.Second
-	defaultMaxRetries  = 3
-	defaultBaseBackoff = 100 * time.Millisecond
-	defaultMaxBackoff  = 2 * time.Second
+	defaultHTTPTimeout   = 30 * time.Second
+	defaultCallTimeout   = 10 * time.Second
+	defaultMaxRetries    = 3
+	defaultBaseBackoff   = 100 * time.Millisecond
+	defaultMaxBackoff    = 2 * time.Second
+	defaultProbeCooldown = 500 * time.Millisecond
 )
 
 // Options tunes the client's failure handling. The zero value means
@@ -63,6 +64,16 @@ type Options struct {
 	// Sleep waits between attempts; nil sleeps on the real clock,
 	// honoring ctx. Tests inject a recorder to run instantly.
 	Sleep func(ctx context.Context, d time.Duration) error
+	// ProbeCooldown is the negative-result cache of primary rediscovery:
+	// after a probe sweep that finds no new primary, further sweeps are
+	// skipped (the client just rotates blindly) until the cooldown lapses,
+	// so one flapping or permanently-fenced endpoint cannot turn every
+	// request into a full group probe. 0 means 500ms, negative disables
+	// the cache.
+	ProbeCooldown time.Duration
+	// Now is the clock the probe cooldown reads; nil uses time.Now.
+	// Tests inject a fake to step time deterministically.
+	Now func() time.Time
 }
 
 func (o Options) withDefaults() Options {
@@ -95,6 +106,12 @@ func (o Options) withDefaults() Options {
 			}
 		}
 	}
+	if o.ProbeCooldown == 0 {
+		o.ProbeCooldown = defaultProbeCooldown
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
 	return o
 }
 
@@ -109,6 +126,10 @@ type Client struct {
 	mu        sync.Mutex
 	endpoints []string
 	cur       int
+	// probeBlockUntil is the negative-result cache of rediscover: until
+	// this instant, failed sweeps are not repeated (see
+	// Options.ProbeCooldown).
+	probeBlockUntil time.Time
 }
 
 // New returns a client for the daemon at base (e.g. "http://127.0.0.1:8080")
@@ -321,7 +342,15 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 func (c *Client) rediscover(ctx context.Context) {
 	c.mu.Lock()
 	endpoints := c.endpoints
+	blocked := c.opts.ProbeCooldown > 0 && c.opts.Now().Before(c.probeBlockUntil)
 	c.mu.Unlock()
+	if blocked {
+		// A sweep just failed to move us anywhere useful; probing the whole
+		// group again this soon would only amplify one flapping endpoint's
+		// errors into group-wide status traffic. Rotate blindly instead.
+		c.rotate()
+		return
+	}
 	type answer struct {
 		idx int
 		rs  server.ReplicationStatus
@@ -354,11 +383,26 @@ func (c *Client) rediscover(ctx context.Context) {
 			break
 		}
 	}
-	if best >= 0 {
-		c.setEndpoint(best)
+	c.mu.Lock()
+	if best >= 0 && best != c.cur {
+		// The sweep actually moved us to a different primary: a useful
+		// answer, so the next failure may probe again immediately (fast
+		// failover convergence is worth the traffic).
+		c.cur = best
+		c.mu.Unlock()
 		return
 	}
-	c.rotate()
+	// Negative result: no primary anywhere, or the sweep re-picked the
+	// endpoint that just failed us (a flapping shard whose status page
+	// still says primary). Cache it so the next failures within the
+	// cooldown skip the group probe.
+	if c.opts.ProbeCooldown > 0 {
+		c.probeBlockUntil = c.opts.Now().Add(c.opts.ProbeCooldown)
+	}
+	if best < 0 {
+		c.cur = (c.cur + 1) % len(c.endpoints)
+	}
+	c.mu.Unlock()
 }
 
 // attempt runs one HTTP round trip against base under the per-attempt
@@ -470,6 +514,43 @@ func (c *Client) Get(ctx context.Context, id int) (server.ReservationJSON, error
 func (c *Client) Cancel(ctx context.Context, id int) (server.ReservationJSON, error) {
 	var out server.ReservationJSON
 	err := c.do(ctx, http.MethodDelete, fmt.Sprintf("/v1/requests/%d", id), nil, &out)
+	return out, err
+}
+
+// HoldReserve places one side of a cross-shard two-phase admission. The
+// call retries and fails over like any write; the hold key makes retries
+// idempotent on the daemon.
+func (c *Client) HoldReserve(ctx context.Context, req server.HoldReserveJSON) (server.HoldReserveResponseJSON, error) {
+	var out server.HoldReserveResponseJSON
+	err := c.do(ctx, http.MethodPost, "/v1/reserve", req, &out)
+	return out, err
+}
+
+// HoldConfirm commits a held reservation. A non-zero epoch must match the
+// shard's current fencing epoch (the one HoldReserve answered); a 403
+// after the built-in failover retries means the shard changed lineage
+// mid-hold — refresh the epoch via Replication and confirm once more, or
+// abort both sides.
+func (c *Client) HoldConfirm(ctx context.Context, hold string, epoch uint64) (server.HoldStateJSON, error) {
+	var out server.HoldStateJSON
+	err := c.do(ctx, http.MethodPost, "/v1/confirm", server.HoldRefJSON{Hold: hold, Epoch: epoch}, &out)
+	return out, err
+}
+
+// HoldAbort rolls a hold back by key. Always safe: aborting an unknown or
+// already-aborted hold is a recorded no-op on the daemon.
+func (c *Client) HoldAbort(ctx context.Context, hold string) (server.HoldStateJSON, error) {
+	var out server.HoldStateJSON
+	err := c.do(ctx, http.MethodPost, "/v1/abort", server.HoldRefJSON{Hold: hold}, &out)
+	return out, err
+}
+
+// HoldAbortByID aborts the hold backing an ingress-side local request ID —
+// the cancel path of a cross-shard reservation. The answer names the hold
+// key and the peer point so the caller can abort the other side too.
+func (c *Client) HoldAbortByID(ctx context.Context, id int) (server.HoldStateJSON, error) {
+	var out server.HoldStateJSON
+	err := c.do(ctx, http.MethodPost, "/v1/abort", server.HoldRefJSON{ID: &id}, &out)
 	return out, err
 }
 

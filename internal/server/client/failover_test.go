@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -240,5 +241,69 @@ func TestSingleEndpointReadOnlyFailsFast(t *testing.T) {
 	}
 	if n := len(follower.seenKeys()); n != 1 {
 		t.Fatalf("single-endpoint client tried %d times on 403, want 1", n)
+	}
+}
+
+// TestProbeCooldownCachesNegativeSweeps is the regression test for the
+// rediscovery storm: a group whose members are all permanently fenced
+// (read-only followers, no primary anywhere) used to trigger a full
+// status-probe sweep on every failed request. The negative-result cache
+// must swallow repeat sweeps until the cooldown lapses, then allow
+// exactly one more.
+func TestProbeCooldownCachesNegativeSweeps(t *testing.T) {
+	var probes atomic.Int64
+	follower := func() *httptest.Server {
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /v1/replication/status", func(w http.ResponseWriter, r *http.Request) {
+			probes.Add(1)
+			json.NewEncoder(w).Encode(server.ReplicationStatus{Role: "follower", Epoch: 3})
+		})
+		mux.HandleFunc("POST /v1/requests", refuseReadOnly)
+		ts := httptest.NewServer(mux)
+		t.Cleanup(ts.Close)
+		return ts
+	}
+	a, b := follower(), follower()
+
+	now := time.Unix(0, 0)
+	var mu sync.Mutex
+	opts := instant(nil)
+	opts.MaxRetries = -1 // one attempt per call: sweeps map 1:1 to Submits
+	opts.Now = func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	c := NewWithOptions(a.URL, nil, opts, b.URL)
+
+	submit := func() {
+		t.Helper()
+		_, err := c.Submit(context.Background(), server.SubmitRequest{
+			From: 0, To: 0, VolumeBytes: 1e9, MaxRateBps: 1e8, DeadlineS: 100,
+		})
+		if err == nil {
+			t.Fatal("submit to an all-follower group succeeded")
+		}
+	}
+
+	submit()
+	after := probes.Load()
+	if after == 0 {
+		t.Fatal("first failure swept no endpoints")
+	}
+	// Within the cooldown: rotate blindly, no new probes.
+	for i := 0; i < 5; i++ {
+		submit()
+	}
+	if got := probes.Load(); got != after {
+		t.Fatalf("probes during cooldown = %d, want frozen at %d", got, after)
+	}
+	// Past the cooldown: exactly one more sweep is allowed.
+	mu.Lock()
+	now = now.Add(defaultProbeCooldown + time.Millisecond)
+	mu.Unlock()
+	submit()
+	if got := probes.Load(); got <= after || got > after+2 {
+		t.Fatalf("probes after cooldown = %d, want one fresh sweep over 2 endpoints (was %d)", got, after)
 	}
 }

@@ -1,0 +1,809 @@
+package server
+
+// Cross-shard two-phase holds. When the access-point space is partitioned
+// across shard groups, a pair whose ingress and egress points live on
+// different shards cannot be admitted by either one's two-sided pipeline.
+// The router drives the wire form of the protocol that
+// internal/distributed proved under fault injection:
+//
+//	RESERVE (ingress owner)  one-sided admission search over the ingress
+//	                         profile only; proposes a concrete grant and
+//	                         books tentative capacity under a TTL
+//	RESERVE (egress owner)   authoritative one-sided check of the proposed
+//	                         grant; books tentative capacity under a TTL
+//	CONFIRM (both)           on dual success: the holds commit and stay
+//	                         booked until τ, releasing on schedule
+//	ABORT   (both)           on any failure: total rollback — unconfirmed
+//	                         holds release at once, confirmed holds get a
+//	                         compensating release, unknown keys leave a
+//	                         refusal tombstone so a late RESERVE retry
+//	                         cannot resurrect an aborted pair
+//
+// A hold that is never confirmed nor aborted (router crash, partition)
+// rolls back when its TTL lapses — the same expiry semantics as
+// distributed.Config.ReserveTimeout, so capacity cannot leak.
+//
+// Every transition is WAL-logged (trace.EventHold*) and replayed by
+// followers and boot recovery, so holds survive failover: a promoted
+// follower re-arms the TTL and release timers its primary had pending.
+// All hold state is guarded by s.mu; the one-sided searches take the
+// single point-shard lock under it, the same nesting direction as the
+// expiry and cancel paths.
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"encoding/json"
+
+	"gridbw/internal/des"
+	"gridbw/internal/request"
+	"gridbw/internal/topology"
+	"gridbw/internal/trace"
+	"gridbw/internal/units"
+)
+
+const (
+	// defaultHoldTTL bounds an unconfirmed hold's life when the caller
+	// does not say; maxHoldTTL caps what a caller may ask for, so a buggy
+	// router cannot park capacity for hours.
+	defaultHoldTTL = 5 * time.Second
+	maxHoldTTL     = 60 * time.Second
+)
+
+// ErrHoldAborted reports a CONFIRM of a hold that already rolled back
+// (TTL lapse or explicit abort) — the router must abort the peer side.
+var ErrHoldAborted = errors.New("server: hold already aborted")
+
+type holdState int
+
+const (
+	holdHeld holdState = iota + 1
+	holdConfirmed
+	holdAborted
+)
+
+func (st holdState) String() string {
+	switch st {
+	case holdHeld:
+		return "held"
+	case holdConfirmed:
+		return "confirmed"
+	case holdAborted:
+		return "aborted"
+	}
+	return fmt.Sprintf("holdState(%d)", int(st))
+}
+
+// holdEntry is one side of a cross-shard admission, keyed by the
+// router-generated hold key both sides share.
+type holdEntry struct {
+	key  string
+	side string // trace.HoldSideIngress or trace.HoldSideEgress
+	// point is the local access point booked; peer is the other side's
+	// point index on its owning shard (audit and cancel routing only).
+	point topology.PointID
+	peer  int
+	// id is the local request ID the ingress side allocated for the pair
+	// (the router namespaces it into the client-visible ID); -1 on the
+	// egress side.
+	id request.ID
+	// The proposed grant and the submission echo behind it.
+	bw       units.Bandwidth
+	sigma    units.Time
+	tau      units.Time
+	volume   units.Volume
+	maxRate  units.Bandwidth
+	expireAt units.Time
+	state    holdState
+	// booked tracks whether the one-sided capacity is currently reserved
+	// in the ledger (false once released, aborted or refused).
+	booked bool
+	reason string // refusal reason for held=false tombstones
+}
+
+func (e *holdEntry) dir() topology.Direction {
+	if e.side == trace.HoldSideIngress {
+		return topology.Ingress
+	}
+	return topology.Egress
+}
+
+// HoldReserveJSON is the POST /v1/reserve body. The ingress side carries
+// the submission (this shard runs the one-sided admission search and
+// proposes the grant); the egress side carries the proposed grant for an
+// authoritative one-sided check.
+type HoldReserveJSON struct {
+	Hold string `json:"hold"`
+	Side string `json:"side"` // "in" or "eg"
+	// Point is the local access point to book; PeerPoint the other
+	// side's index on its owning shard.
+	Point     int     `json:"point"`
+	PeerPoint int     `json:"peer_point"`
+	TTLS      float64 `json:"ttl_s,omitempty"`
+	// RelTimes marks every time field as an offset from this shard's
+	// current service clock instead of an absolute instant. Shard groups
+	// keep independent service clocks, so a router spanning them converts
+	// one shard's absolute window into offsets (via the NowS it answered)
+	// before presenting it to the other.
+	RelTimes bool `json:"rel_times,omitempty"`
+	// Submission fields (ingress side).
+	VolumeBytes float64 `json:"volume_bytes,omitempty"`
+	MaxRateBps  float64 `json:"max_rate_bps,omitempty"`
+	NotBeforeS  float64 `json:"not_before_s,omitempty"`
+	DeadlineS   float64 `json:"deadline_s,omitempty"`
+	// Proposed grant (egress side).
+	RateBps float64 `json:"rate_bps,omitempty"`
+	SigmaS  float64 `json:"sigma_s,omitempty"`
+	TauS    float64 `json:"tau_s,omitempty"`
+}
+
+// HoldReserveResponseJSON is the POST /v1/reserve answer. Held=false is
+// a domain refusal (200), not a transport failure.
+type HoldReserveResponseJSON struct {
+	Hold string `json:"hold"`
+	Held bool   `json:"held"`
+	// ID is the ingress-side local request ID backing the pair; -1 on
+	// the egress side.
+	ID      int     `json:"id"`
+	RateBps float64 `json:"rate_bps,omitempty"`
+	SigmaS  float64 `json:"sigma_s,omitempty"`
+	TauS    float64 `json:"tau_s,omitempty"`
+	// Epoch is this shard's fencing epoch at reserve time; the router
+	// presents it on CONFIRM so a failover mid-hold is detected.
+	Epoch uint64 `json:"epoch"`
+	// NowS is this shard's service clock at answer time, so the caller
+	// can convert the absolute grant window into offsets for the peer
+	// shard (whose service clock is independent).
+	NowS   float64 `json:"now_s"`
+	Reason string  `json:"reason,omitempty"`
+}
+
+// HoldRefJSON addresses a hold on POST /v1/confirm and /v1/abort: by key,
+// or (abort only) by the ingress-side local request ID a cancel resolved.
+type HoldRefJSON struct {
+	Hold string `json:"hold,omitempty"`
+	// ID is a pointer because 0 is a valid request ID: absent and zero
+	// must stay distinguishable on the wire.
+	ID *int `json:"id,omitempty"`
+	// Epoch, when non-zero on confirm, must match the shard's current
+	// fencing epoch — a confirm aimed at a deposed lineage is refused.
+	Epoch uint64 `json:"epoch,omitempty"`
+}
+
+// HoldStateJSON answers confirm and abort.
+type HoldStateJSON struct {
+	Hold  string `json:"hold"`
+	State string `json:"state"`
+	// Released reports whether this call returned booked capacity.
+	Released bool `json:"released"`
+	// Side/PeerPoint let an abort-by-ID caller find the other half of
+	// the pair.
+	Side      string `json:"side,omitempty"`
+	PeerPoint int    `json:"peer_point"`
+	Epoch     uint64 `json:"epoch"`
+}
+
+// HoldReserve places (or idempotently re-answers) a one-sided hold.
+func (s *Server) HoldReserve(req HoldReserveJSON) (HoldReserveResponseJSON, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return HoldReserveResponseJSON{}, ErrClosed
+	}
+	if s.repl.following {
+		return HoldReserveResponseJSON{}, ErrReadOnly
+	}
+	if s.wal != nil && s.wal.Poisoned() != nil {
+		// A hold that cannot be WAL-logged would vanish on failover while
+		// its peer side survives — exactly the half-commit the protocol
+		// exists to prevent. Refuse outright.
+		return HoldReserveResponseJSON{}, ErrDurabilityLost
+	}
+	if req.Hold == "" {
+		return HoldReserveResponseJSON{}, fmt.Errorf("server: reserve without hold key")
+	}
+	s.advanceLocked()
+	if e, ok := s.holds[req.Hold]; ok {
+		// Idempotent re-delivery: answer what the first reserve decided.
+		return s.holdReserveAnswerLocked(e), nil
+	}
+	ttl := time.Duration(req.TTLS * float64(time.Second))
+	if ttl <= 0 {
+		ttl = defaultHoldTTL
+	}
+	if ttl > maxHoldTTL {
+		ttl = maxHoldTTL
+	}
+	now := s.sim.Now()
+	expireAt := now + units.Time(ttl.Seconds())
+
+	var e *holdEntry
+	switch req.Side {
+	case trace.HoldSideIngress:
+		var err error
+		if e, err = s.holdReserveIngressLocked(req, now, expireAt); err != nil {
+			return HoldReserveResponseJSON{}, err
+		}
+	case trace.HoldSideEgress:
+		var err error
+		if e, err = s.holdReserveEgressLocked(req, now, expireAt); err != nil {
+			return HoldReserveResponseJSON{}, err
+		}
+	default:
+		return HoldReserveResponseJSON{}, fmt.Errorf("server: unknown hold side %q (want %q or %q)",
+			req.Side, trace.HoldSideIngress, trace.HoldSideEgress)
+	}
+	s.holds[req.Hold] = e
+	if e.id >= 0 {
+		s.holdsByID[e.id] = req.Hold
+	}
+	if e.state == holdHeld {
+		s.sim.At(e.expireAt, s.holdExpireEvent(req.Hold))
+		s.logHoldLocked(trace.EventHoldReserve, e)
+		if e.expireAt < s.loopNext {
+			s.poke()
+		}
+	} else {
+		// A refusal is remembered (like the egress refused state in
+		// internal/distributed) so duplicate RESERVEs answer identically,
+		// but it holds no capacity and needs no WAL record.
+		s.retireHoldLocked(req.Hold)
+	}
+	return s.holdReserveAnswerLocked(e), nil
+}
+
+func (s *Server) holdReserveAnswerLocked(e *holdEntry) HoldReserveResponseJSON {
+	resp := HoldReserveResponseJSON{
+		Hold: e.key, ID: int(e.id), Epoch: s.repl.epoch,
+		NowS: float64(s.sim.Now()), Reason: e.reason,
+	}
+	if e.state == holdHeld || e.state == holdConfirmed {
+		resp.Held = true
+		resp.RateBps = float64(e.bw)
+		resp.SigmaS = float64(e.sigma)
+		resp.TauS = float64(e.tau)
+	} else if resp.Reason == "" {
+		resp.Reason = "hold aborted"
+	}
+	return resp
+}
+
+// holdReserveIngressLocked runs the one-sided admission search: the same
+// breakpoint-candidate enumeration and policy assignment as admitTx, but
+// against only the ingress profile — the egress owner's authoritative
+// check is the second RESERVE of the protocol.
+func (s *Server) holdReserveIngressLocked(req HoldReserveJSON, now, expireAt units.Time) (*holdEntry, error) {
+	if req.Point < 0 || req.Point >= s.net.NumIngress() {
+		return nil, fmt.Errorf("server: ingress %d out of range [0,%d)", req.Point, s.net.NumIngress())
+	}
+	if req.VolumeBytes <= 0 || req.MaxRateBps <= 0 {
+		return nil, fmt.Errorf("server: non-positive volume or max rate")
+	}
+	start := units.Time(req.NotBeforeS)
+	deadline := units.Time(req.DeadlineS)
+	if req.RelTimes {
+		start += now
+		deadline += now
+	}
+	if start < now {
+		start = now
+	}
+	e := &holdEntry{
+		key: req.Hold, side: trace.HoldSideIngress,
+		point: topology.PointID(req.Point), peer: req.PeerPoint,
+		id:       s.nextID,
+		volume:   units.Volume(req.VolumeBytes),
+		maxRate:  units.Bandwidth(req.MaxRateBps),
+		expireAt: expireAt,
+	}
+	s.nextID++
+	r := request.Request{
+		ID: e.id, Ingress: e.point, Egress: topology.PointID(req.PeerPoint),
+		Start: start, Finish: deadline, Volume: e.volume, MaxRate: e.maxRate,
+	}
+	if deadline <= start {
+		e.state, e.reason = holdAborted, fmt.Sprintf("empty window: deadline %v not after start %v", deadline, start)
+		return e, nil
+	}
+	if r.MinRate() > r.MaxRate*(1+units.Eps) {
+		e.state, e.reason = holdAborted, fmt.Sprintf("infeasible: needs %v to move %v in window but MaxRate is %v",
+			r.MinRate(), r.Volume, r.MaxRate)
+		return e, nil
+	}
+
+	latest := r.Finish - r.Volume.Over(r.MaxRate)
+	tx := s.ledger.LockPoint(topology.Ingress, e.point)
+	defer tx.Unlock()
+	candidates := []units.Time{r.Start}
+	if units.ApproxEq(float64(r.MinRate()), float64(r.MaxRate)) && latest > r.Start {
+		candidates = tx.Profile().AppendBreakpointTimes(candidates, r.Start, latest)
+	}
+	e.state, e.reason = holdAborted, "no feasible start in window"
+	for i, sigma := range candidates {
+		if i > 0 && sigma == candidates[i-1] {
+			continue
+		}
+		bw, err := s.pol.Assign(r, sigma)
+		if err != nil {
+			e.reason = "policy: " + err.Error()
+			continue
+		}
+		g, err := request.NewGrant(r, sigma, bw)
+		if err != nil {
+			e.reason = "grant: " + err.Error()
+			continue
+		}
+		if err := tx.Profile().Reserve(g.Sigma, g.Tau, g.Bandwidth); err != nil {
+			e.reason = "ingress capacity saturated"
+			continue
+		}
+		e.bw, e.sigma, e.tau = g.Bandwidth, g.Sigma, g.Tau
+		e.state, e.reason, e.booked = holdHeld, "", true
+		break
+	}
+	return e, nil
+}
+
+// holdReserveEgressLocked checks the proposed grant against the egress
+// profile and books it tentatively.
+func (s *Server) holdReserveEgressLocked(req HoldReserveJSON, now, expireAt units.Time) (*holdEntry, error) {
+	if req.Point < 0 || req.Point >= s.net.NumEgress() {
+		return nil, fmt.Errorf("server: egress %d out of range [0,%d)", req.Point, s.net.NumEgress())
+	}
+	sigma := units.Time(req.SigmaS)
+	tau := units.Time(req.TauS)
+	if req.RelTimes {
+		sigma += now
+		tau += now
+		if sigma < now {
+			// In-flight delay pushed the proposed start into this shard's
+			// past; book from now so the window stays live.
+			sigma = now
+		}
+	}
+	if req.RateBps <= 0 || tau <= sigma {
+		return nil, fmt.Errorf("server: degenerate proposed grant")
+	}
+	e := &holdEntry{
+		key: req.Hold, side: trace.HoldSideEgress,
+		point: topology.PointID(req.Point), peer: req.PeerPoint,
+		id:       -1,
+		bw:       units.Bandwidth(req.RateBps),
+		sigma:    sigma,
+		tau:      tau,
+		volume:   units.Volume(req.VolumeBytes),
+		maxRate:  units.Bandwidth(req.MaxRateBps),
+		expireAt: expireAt,
+	}
+	tx := s.ledger.LockPoint(topology.Egress, e.point)
+	defer tx.Unlock()
+	if err := tx.Profile().Reserve(e.sigma, e.tau, e.bw); err != nil {
+		e.state, e.reason = holdAborted, "egress capacity saturated"
+		return e, nil
+	}
+	e.state, e.booked = holdHeld, true
+	return e, nil
+}
+
+// HoldConfirm commits a held reservation: the capacity stays booked and
+// releases on schedule at τ. Confirming a confirmed hold is idempotent;
+// confirming an aborted one is ErrHoldAborted (the router must abort the
+// peer); an unknown key is ErrNotFound. A non-zero epoch that does not
+// match the shard's fences the confirm off — the reserve was placed on a
+// deposed lineage.
+func (s *Server) HoldConfirm(key string, epoch uint64) (HoldStateJSON, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return HoldStateJSON{}, ErrClosed
+	}
+	if s.repl.following {
+		return HoldStateJSON{}, ErrReadOnly
+	}
+	if epoch != 0 && epoch != s.repl.epoch {
+		return HoldStateJSON{}, &FencedError{Batch: epoch, Current: s.repl.epoch}
+	}
+	s.advanceLocked()
+	e, ok := s.holds[key]
+	if !ok {
+		return HoldStateJSON{}, ErrNotFound
+	}
+	switch e.state {
+	case holdAborted:
+		return s.holdStateLocked(e, false), ErrHoldAborted
+	case holdConfirmed:
+		return s.holdStateLocked(e, false), nil
+	}
+	e.state = holdConfirmed
+	s.logHoldLocked(trace.EventHoldConfirm, e)
+	s.armHoldReleaseLocked(key, e)
+	return s.holdStateLocked(e, false), nil
+}
+
+// armHoldReleaseLocked schedules a confirmed hold's on-time release at τ.
+func (s *Server) armHoldReleaseLocked(key string, e *holdEntry) {
+	at := e.tau
+	if now := s.sim.Now(); at < now {
+		at = now
+	}
+	s.sim.At(at, s.holdReleaseEvent(key))
+	if at < s.loopNext {
+		s.poke()
+	}
+}
+
+// HoldAbort rolls a hold back, totally: held and confirmed holds release
+// their capacity (the latter is the compensating abort of a router that
+// crashed between CONFIRMs, or a cross-shard cancel), aborted holds are
+// a no-op, and an unknown key leaves a refusal tombstone so a late
+// RESERVE retry of an already-aborted pair cannot book fresh capacity.
+// Abort is never fenced and never fails on state — it must always be able
+// to converge both sides.
+func (s *Server) HoldAbort(key string) (HoldStateJSON, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return HoldStateJSON{}, ErrClosed
+	}
+	if s.repl.following {
+		return HoldStateJSON{}, ErrReadOnly
+	}
+	s.advanceLocked()
+	e, ok := s.holds[key]
+	if !ok {
+		e = &holdEntry{key: key, id: -1, peer: -1, state: holdAborted, reason: "aborted before reserve"}
+		s.holds[key] = e
+		s.retireHoldLocked(key)
+		s.logHoldLocked(trace.EventHoldAbort, e)
+		return s.holdStateLocked(e, false), nil
+	}
+	released := s.holdRollbackLocked(e, trace.EventHoldAbort)
+	return s.holdStateLocked(e, released), nil
+}
+
+// HoldAbortByID aborts the hold backing ingress-side local request id —
+// the cancel path: the router resolves a client cancel of a cross-shard
+// reservation into an abort on both owners.
+func (s *Server) HoldAbortByID(id request.ID) (HoldStateJSON, error) {
+	s.mu.Lock()
+	key, ok := s.holdsByID[id]
+	s.mu.Unlock()
+	if !ok {
+		return HoldStateJSON{}, ErrNotFound
+	}
+	return s.HoldAbort(key)
+}
+
+// holdRollbackLocked releases whatever the hold still books and marks it
+// aborted, logging the transition as kind (abort vs TTL expiry). It
+// reports whether capacity was actually returned.
+func (s *Server) holdRollbackLocked(e *holdEntry, kind string) bool {
+	if e.state == holdAborted {
+		return false
+	}
+	released := false
+	if e.booked {
+		s.ledger.HoldRelease(e.dir(), e.point, e.sigma, e.tau, e.bw)
+		e.booked = false
+		released = true
+	}
+	e.state = holdAborted
+	s.logHoldLocked(kind, e)
+	s.retireHoldLocked(e.key)
+	return released
+}
+
+// holdExpireEvent returns the TTL rollback callback for an unconfirmed
+// hold. It runs under s.mu (all sim.RunUntil call sites hold it) and
+// checks state, so a confirm or abort that won the race makes it a no-op.
+func (s *Server) holdExpireEvent(key string) des.Event {
+	return func(*des.Simulator) {
+		e, ok := s.holds[key]
+		if !ok || e.state != holdHeld {
+			return
+		}
+		s.holdRollbackLocked(e, trace.EventHoldExpire)
+	}
+}
+
+// holdReleaseEvent returns the on-schedule release callback of a
+// confirmed hold at τ.
+func (s *Server) holdReleaseEvent(key string) des.Event {
+	return func(*des.Simulator) {
+		e, ok := s.holds[key]
+		if !ok || e.state != holdConfirmed || !e.booked {
+			return
+		}
+		s.ledger.HoldRelease(e.dir(), e.point, e.sigma, e.tau, e.bw)
+		e.booked = false
+		s.logHoldLocked(trace.EventHoldRelease, e)
+		s.retireHoldLocked(key)
+	}
+}
+
+// retireHoldLocked queues a resolved hold for FIFO eviction under the
+// same retention bound as finished reservations, so tombstones answer
+// duplicate protocol messages for a while without growing forever.
+func (s *Server) retireHoldLocked(key string) {
+	s.holdsDone = append(s.holdsDone, key)
+	for len(s.holdsDone) > s.retention {
+		evict := s.holdsDone[0]
+		s.holdsDone = s.holdsDone[1:]
+		if e, ok := s.holds[evict]; ok && (e.state == holdAborted || !e.booked) {
+			delete(s.holds, evict)
+			if e.id >= 0 {
+				delete(s.holdsByID, e.id)
+			}
+		}
+	}
+}
+
+func (s *Server) holdStateLocked(e *holdEntry, released bool) HoldStateJSON {
+	return HoldStateJSON{
+		Hold: e.key, State: e.state.String(), Released: released,
+		Side: e.side, PeerPoint: e.peer, Epoch: s.repl.epoch,
+	}
+}
+
+// HoldStats reports how many holds currently book capacity, by state —
+// the metrics surface and the leak check of the chaos tests.
+func (s *Server) HoldStats() (held, confirmed int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advanceLocked()
+	for _, e := range s.holds {
+		if !e.booked {
+			continue
+		}
+		switch e.state {
+		case holdHeld:
+			held++
+		case holdConfirmed:
+			confirmed++
+		}
+	}
+	return held, confirmed
+}
+
+// logHoldLocked audits one hold transition. The local point index rides
+// in Ingress or Egress according to the side; the peer side's index (on
+// its own shard) fills the other slot so the log alone names the pair.
+func (s *Server) logHoldLocked(kind string, e *holdEntry) {
+	ev := trace.Event{
+		At: float64(s.sim.Now()), Kind: kind, Request: int(e.id),
+		Ingress: -1, Egress: -1,
+		RateBps: float64(e.bw), SigmaS: float64(e.sigma), TauS: float64(e.tau),
+		VolumeB: float64(e.volume), MaxRateBps: float64(e.maxRate),
+		Hold: e.key, Side: e.side, Reason: e.reason,
+	}
+	if e.side == trace.HoldSideIngress {
+		ev.Ingress, ev.Egress = int(e.point), e.peer
+	} else if e.side == trace.HoldSideEgress {
+		ev.Ingress, ev.Egress = e.peer, int(e.point)
+	}
+	if kind == trace.EventHoldReserve {
+		ev.ExpireS = float64(e.expireAt)
+	}
+	s.appendEventLocked(ev)
+}
+
+// applyHoldEventLocked replays one shipped (or recovered) hold event —
+// the hold half of applyEventLocked. Idempotent like the reservation
+// cases: duplicates and history before this replica's horizon are
+// tolerated. While following, no timers are armed; Promote arms them.
+func (s *Server) applyHoldEventLocked(ev trace.Event) error {
+	switch ev.Kind {
+	case trace.EventHoldReserve:
+		if _, ok := s.holds[ev.Hold]; ok {
+			return nil // duplicate delivery
+		}
+		point, err := holdPointFromEvent(ev, s.net)
+		if err != nil {
+			return err
+		}
+		e := &holdEntry{
+			key: ev.Hold, side: ev.Side, point: point, peer: holdPeerFromEvent(ev),
+			id:    request.ID(ev.Request),
+			bw:    units.Bandwidth(ev.RateBps),
+			sigma: units.Time(ev.SigmaS), tau: units.Time(ev.TauS),
+			volume: units.Volume(ev.VolumeB), maxRate: units.Bandwidth(ev.MaxRateBps),
+			expireAt: units.Time(ev.ExpireS),
+			state:    holdHeld,
+		}
+		if err := s.ledger.HoldReserve(e.dir(), e.point, e.sigma, e.tau, e.bw); err != nil {
+			return fmt.Errorf("server: apply hold: %w", err)
+		}
+		e.booked = true
+		s.holds[ev.Hold] = e
+		if e.id >= 0 {
+			s.holdsByID[e.id] = ev.Hold
+		}
+		if !s.repl.following {
+			s.sim.At(maxTime(e.expireAt, s.sim.Now()), s.holdExpireEvent(ev.Hold))
+			s.poke()
+		}
+	case trace.EventHoldConfirm:
+		e, ok := s.holds[ev.Hold]
+		if !ok || e.state != holdHeld {
+			return nil
+		}
+		e.state = holdConfirmed
+		if !s.repl.following {
+			s.armHoldReleaseLocked(ev.Hold, e)
+		}
+	case trace.EventHoldAbort, trace.EventHoldExpire:
+		e, ok := s.holds[ev.Hold]
+		if !ok {
+			e = &holdEntry{key: ev.Hold, id: -1, peer: -1, state: holdAborted}
+			s.holds[ev.Hold] = e
+			s.retireHoldLocked(ev.Hold)
+			return nil
+		}
+		if e.state == holdAborted {
+			return nil
+		}
+		if e.booked {
+			s.ledger.HoldRelease(e.dir(), e.point, e.sigma, e.tau, e.bw)
+			e.booked = false
+		}
+		e.state = holdAborted
+		s.retireHoldLocked(ev.Hold)
+	case trace.EventHoldRelease:
+		e, ok := s.holds[ev.Hold]
+		if !ok || e.state != holdConfirmed || !e.booked {
+			return nil
+		}
+		s.ledger.HoldRelease(e.dir(), e.point, e.sigma, e.tau, e.bw)
+		e.booked = false
+		s.retireHoldLocked(ev.Hold)
+	default:
+		return fmt.Errorf("server: apply: unknown hold event kind %q", ev.Kind)
+	}
+	return nil
+}
+
+// holdPointFromEvent resolves the local point a hold event books, range
+// checking it against this replica's platform.
+func holdPointFromEvent(ev trace.Event, net *topology.Network) (topology.PointID, error) {
+	switch ev.Side {
+	case trace.HoldSideIngress:
+		if ev.Ingress < 0 || ev.Ingress >= net.NumIngress() {
+			return 0, fmt.Errorf("server: apply hold: ingress %d out of range", ev.Ingress)
+		}
+		return topology.PointID(ev.Ingress), nil
+	case trace.HoldSideEgress:
+		if ev.Egress < 0 || ev.Egress >= net.NumEgress() {
+			return 0, fmt.Errorf("server: apply hold: egress %d out of range", ev.Egress)
+		}
+		return topology.PointID(ev.Egress), nil
+	}
+	return 0, fmt.Errorf("server: apply hold: unknown side %q", ev.Side)
+}
+
+func holdPeerFromEvent(ev trace.Event) int {
+	if ev.Side == trace.HoldSideIngress {
+		return ev.Egress
+	}
+	return ev.Ingress
+}
+
+func maxTime(a, b units.Time) units.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// armHoldTimersLocked re-arms every pending hold timer after a promotion
+// or a restore: held holds get their TTL rollback, confirmed ones their
+// on-time release. Deadlines already in the past fire on the next clock
+// advance.
+func (s *Server) armHoldTimersLocked() int {
+	now := s.sim.Now()
+	armed := 0
+	for key, e := range s.holds {
+		if !e.booked {
+			continue
+		}
+		switch e.state {
+		case holdHeld:
+			s.sim.At(maxTime(e.expireAt, now), s.holdExpireEvent(key))
+			armed++
+		case holdConfirmed:
+			s.sim.At(maxTime(e.tau, now), s.holdReleaseEvent(key))
+			armed++
+		}
+	}
+	return armed
+}
+
+// --- HTTP surface -------------------------------------------------------
+
+func (s *Server) handleHoldReserve(w http.ResponseWriter, r *http.Request) {
+	var body HoldReserveJSON
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode reserve: %w", err))
+		return
+	}
+	resp, err := s.HoldReserve(body)
+	switch {
+	case errors.Is(err, ErrClosed), errors.Is(err, ErrDurabilityLost):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrReadOnly):
+		writeError(w, http.StatusForbidden, err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+	case resp.Held:
+		writeJSON(w, http.StatusCreated, resp)
+	default:
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+func (s *Server) handleHoldConfirm(w http.ResponseWriter, r *http.Request) {
+	var body HoldRefJSON
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode confirm: %w", err))
+		return
+	}
+	if body.Hold == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("confirm without hold key"))
+		return
+	}
+	resp, err := s.HoldConfirm(body.Hold, body.Epoch)
+	var fenced *FencedError
+	switch {
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrReadOnly), errors.As(err, &fenced):
+		writeError(w, http.StatusForbidden, err)
+	case errors.Is(err, ErrNotFound):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrHoldAborted):
+		writeJSON(w, http.StatusConflict, resp)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+func (s *Server) handleHoldAbort(w http.ResponseWriter, r *http.Request) {
+	var body HoldRefJSON
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode abort: %w", err))
+		return
+	}
+	var resp HoldStateJSON
+	var err error
+	switch {
+	case body.Hold != "":
+		resp, err = s.HoldAbort(body.Hold)
+	case body.ID != nil && *body.ID >= 0:
+		resp, err = s.HoldAbortByID(request.ID(*body.ID))
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("abort needs a hold key or id"))
+		return
+	}
+	switch {
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrReadOnly):
+		writeError(w, http.StatusForbidden, err)
+	case errors.Is(err, ErrNotFound):
+		writeError(w, http.StatusNotFound, err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		writeJSON(w, http.StatusOK, resp)
+	}
+}

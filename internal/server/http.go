@@ -84,7 +84,16 @@ type ReservationJSON struct {
 	// "degraded" (the deadline lapsed; it is only locally durable).
 	// Absent when no synchronous replication applied.
 	Durability string `json:"durability,omitempty"`
+	// Routed is set by the router tier: "cross_shard" when the decision
+	// went through the two-phase hold protocol because the pair's ingress
+	// and egress points live on different shards. Absent on direct or
+	// same-shard answers.
+	Routed string `json:"routed,omitempty"`
 }
+
+// RoutedCrossShard is ReservationJSON.Routed's value on decisions the
+// router drove through the cross-shard two-phase protocol.
+const RoutedCrossShard = "cross_shard"
 
 // PointJSON is the wire form of a PointStatus.
 type PointJSON struct {
@@ -154,6 +163,9 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("POST /v1/requests", s.shed(http.HandlerFunc(s.handleSubmit)))
 	mux.Handle("POST /v1/batch", s.shed(http.HandlerFunc(s.handleBatch)))
+	mux.Handle("POST /v1/reserve", s.shed(http.HandlerFunc(s.handleHoldReserve)))
+	mux.HandleFunc("POST /v1/confirm", s.handleHoldConfirm)
+	mux.HandleFunc("POST /v1/abort", s.handleHoldAbort)
 	mux.HandleFunc("GET /v1/requests/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/requests/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/status", s.handleStatus)

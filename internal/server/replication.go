@@ -289,6 +289,11 @@ func (s *Server) applyEventLocked(ev trace.Event, toWAL bool) error {
 			s.stats.RecordExpire()
 		}
 		s.retireLocked(request.ID(ev.Request))
+	case trace.EventHoldReserve, trace.EventHoldConfirm, trace.EventHoldAbort,
+		trace.EventHoldExpire, trace.EventHoldRelease:
+		if err := s.applyHoldEventLocked(ev); err != nil {
+			return err
+		}
 	case trace.EventRestore, trace.EventPanic, trace.EventPromote:
 		// Markers carry no reservation state.
 	default:
@@ -379,6 +384,10 @@ func (s *Server) Promote() (uint64, error) {
 		e.expire = s.sim.At(at, s.expireEvent(id))
 		armed++
 	}
+	// Cross-shard holds the deposed primary left pending get their timers
+	// back too: unconfirmed ones still roll back on TTL, confirmed ones
+	// still release at τ.
+	armed += s.armHoldTimersLocked()
 	s.appendEventLocked(trace.Event{
 		At: float64(now), Kind: trace.EventPromote, Request: -1,
 		Reason: fmt.Sprintf("epoch %d, %d live reservations", epoch, armed),

@@ -296,6 +296,14 @@ type Server struct {
 	repl      replState // replication role, fencing epoch, pull cursor
 	closed    bool
 
+	// Cross-shard two-phase holds (see holds.go): every hold this shard
+	// currently knows about by router key, the ingress-side holds by the
+	// local request ID they allocated (cancel routing), and the FIFO
+	// eviction queue of resolved holds.
+	holds     map[string]*holdEntry
+	holdsByID map[request.ID]string
+	holdsDone []string
+
 	// watchdogState, when set, reports the in-process failover watchdog's
 	// state for the metrics surface. The callback must not call back into
 	// the server (it is invoked outside s.mu, but re-entry would surprise).
@@ -419,6 +427,8 @@ func newServer(cfg Config, net *topology.Network, pol policy.Policy, name string
 		sim:         des.New(),
 		resv:        make(map[request.ID]*entry),
 		idem:        make(map[string]*idemEntry),
+		holds:       make(map[string]*holdEntry),
+		holdsByID:   make(map[request.ID]string),
 		inflight:    inflight,
 		retryAfter:  retryAfter,
 		loopNext:    units.Time(math.Inf(1)),

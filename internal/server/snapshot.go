@@ -21,8 +21,10 @@ import (
 // SnapshotVersion is bumped on incompatible snapshot schema changes.
 // Version 2 replaced the live-only idempotency key map with full cached
 // decisions, so retries of rejected or already-finished submissions stay
-// idempotent across a restart; version-1 snapshots are still readable.
-const SnapshotVersion = 2
+// idempotent across a restart. Version 3 added cross-shard holds, so
+// tentative and confirmed one-sided bookings survive a snapshot-based
+// restore. Older snapshots are still readable.
+const SnapshotVersion = 3
 
 // snapReservation is the wire form of one live reservation: the full
 // request plus its grant, so restore can replay it through the ledger's
@@ -53,6 +55,26 @@ type snapDecision struct {
 	Reason   string  `json:"reason,omitempty"`
 }
 
+// snapHold is the wire form of one live (capacity-booking) cross-shard
+// hold: held ones re-arm their TTL rollback on restore, confirmed ones
+// their on-time release at tau. Aborted tombstones are not persisted —
+// they only answer duplicate protocol messages, and the retry windows
+// they serve are far shorter than a restart.
+type snapHold struct {
+	Key        string  `json:"key"`
+	Side       string  `json:"side"`
+	Point      int     `json:"point"`
+	PeerPoint  int     `json:"peer_point"`
+	ID         int     `json:"id"`
+	RateBps    float64 `json:"rate_bps"`
+	SigmaS     float64 `json:"sigma_s"`
+	TauS       float64 `json:"tau_s"`
+	VolumeB    float64 `json:"volume_bytes,omitempty"`
+	MaxRateBps float64 `json:"max_rate_bps,omitempty"`
+	ExpireS    float64 `json:"expire_s"`
+	Confirmed  bool    `json:"confirmed,omitempty"`
+}
+
 // Snapshot is the persisted control-plane state. Service time is
 // continuous across restarts: a restored daemon resumes at NowS no matter
 // how long it was down, so booked windows keep their meaning.
@@ -81,6 +103,9 @@ type Snapshot struct {
 	// client retrying with the same key after a daemon restart gets the
 	// original answer instead of booking a duplicate transfer.
 	IdempotencyDecisions map[string]snapDecision `json:"idempotency_decisions,omitempty"`
+	// Holds are the cross-shard one-sided bookings alive at snapshot time
+	// (version 3).
+	Holds []snapHold `json:"holds,omitempty"`
 }
 
 // Snapshot captures the current state. It works on a closed server, so a
@@ -152,6 +177,23 @@ func (s *Server) Snapshot() *Snapshot {
 			snap.IdempotencyDecisions = make(map[string]snapDecision)
 		}
 		snap.IdempotencyDecisions[key] = sd
+	}
+	holdKeys := make([]string, 0, len(s.holds))
+	for key, e := range s.holds {
+		if e.booked {
+			holdKeys = append(holdKeys, key)
+		}
+	}
+	slices.Sort(holdKeys)
+	for _, key := range holdKeys {
+		e := s.holds[key]
+		snap.Holds = append(snap.Holds, snapHold{
+			Key: key, Side: e.side, Point: int(e.point), PeerPoint: e.peer,
+			ID:      int(e.id),
+			RateBps: float64(e.bw), SigmaS: float64(e.sigma), TauS: float64(e.tau),
+			VolumeB: float64(e.volume), MaxRateBps: float64(e.maxRate),
+			ExpireS: float64(e.expireAt), Confirmed: e.state == holdConfirmed,
+		})
 	}
 	return snap
 }
@@ -229,8 +271,8 @@ func (snap *Snapshot) WALPos() wal.Pos {
 	return wal.Pos{Seg: snap.WALSeg, Off: snap.WALOff}
 }
 
-// ReadSnapshot parses a snapshot. Version 1 (live-only idempotency keys)
-// and version 2 are both accepted.
+// ReadSnapshot parses a snapshot. All versions from 1 (live-only
+// idempotency keys) through the current one are accepted.
 func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	var snap Snapshot
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {
@@ -297,6 +339,9 @@ func NewFromSnapshot(snap *Snapshot, cfg Config) (*Server, error) {
 	if err := s.restoreIdempotency(snap, s.resv); err != nil {
 		return nil, err
 	}
+	if err := s.restoreHolds(snap, cfg.Follow != ""); err != nil {
+		return nil, err
+	}
 	if err := s.initRepl(cfg, snap.Epoch); err != nil {
 		return nil, err
 	}
@@ -350,6 +395,57 @@ func liveFromSnapshot(snap *Snapshot, net *topology.Network, ledger *alloc.Shard
 		entries[r.ID] = &entry{req: r, grant: g, state: StateActive}
 	}
 	return entries, nil
+}
+
+// restoreHolds rebuilds the cross-shard hold registry: each persisted
+// hold re-books its one-sided capacity through the ledger's own checks,
+// and (unless following) re-arms its TTL rollback or on-time release.
+func (s *Server) restoreHolds(snap *Snapshot, following bool) error {
+	for _, sh := range snap.Holds {
+		if _, dup := s.holds[sh.Key]; dup {
+			return fmt.Errorf("server: restore: duplicate hold %q", sh.Key)
+		}
+		e := &holdEntry{
+			key: sh.Key, side: sh.Side, peer: sh.PeerPoint,
+			id:    request.ID(sh.ID),
+			bw:    units.Bandwidth(sh.RateBps),
+			sigma: units.Time(sh.SigmaS), tau: units.Time(sh.TauS),
+			volume: units.Volume(sh.VolumeB), maxRate: units.Bandwidth(sh.MaxRateBps),
+			expireAt: units.Time(sh.ExpireS),
+			state:    holdHeld,
+		}
+		if sh.Confirmed {
+			e.state = holdConfirmed
+		}
+		switch sh.Side {
+		case trace.HoldSideIngress:
+			if sh.Point < 0 || sh.Point >= s.net.NumIngress() {
+				return fmt.Errorf("server: restore: hold %q on unknown ingress %d", sh.Key, sh.Point)
+			}
+		case trace.HoldSideEgress:
+			if sh.Point < 0 || sh.Point >= s.net.NumEgress() {
+				return fmt.Errorf("server: restore: hold %q on unknown egress %d", sh.Key, sh.Point)
+			}
+		default:
+			return fmt.Errorf("server: restore: hold %q has unknown side %q", sh.Key, sh.Side)
+		}
+		e.point = topology.PointID(sh.Point)
+		if sh.RateBps <= 0 || sh.TauS <= sh.SigmaS {
+			return fmt.Errorf("server: restore: hold %q has degenerate grant", sh.Key)
+		}
+		if err := s.ledger.HoldReserve(e.dir(), e.point, e.sigma, e.tau, e.bw); err != nil {
+			return fmt.Errorf("server: restore: hold %q: %w", sh.Key, err)
+		}
+		e.booked = true
+		s.holds[sh.Key] = e
+		if e.id >= 0 {
+			s.holdsByID[e.id] = sh.Key
+		}
+	}
+	if !following {
+		s.armHoldTimersLocked()
+	}
+	return nil
 }
 
 // restoreIdempotency rebuilds the idempotency cache, validating live

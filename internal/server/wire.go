@@ -42,6 +42,10 @@ import (
 // BinaryBatchContentType selects the binary batch codec on POST /v1/batch.
 const BinaryBatchContentType = "application/x-gridbw-batch"
 
+// MaxBinaryBatchBytes is the body-size cap of a binary batch request —
+// exported so proxying tiers bound their reads identically.
+const MaxBinaryBatchBytes = wireMaxBatchBytes
+
 const (
 	wireReqMagic  = "GBB1"
 	wireRespMagic = "GBR1"
@@ -96,6 +100,65 @@ func (ws WireSubmission) resolve(now units.Time) Submission {
 		sub.Deadline = now + ws.Deadline
 	}
 	return sub
+}
+
+// Wire resolves the dual numeric/string quantity fields of the JSON
+// request shape into a wire record without touching a clock: relative
+// times stay relative (flagged), so whichever daemon finally decides the
+// submission resolves them against its own service clock. The client's
+// binary batch path and the router's re-sharding path share this.
+func (req SubmitRequest) Wire() (WireSubmission, error) {
+	ws := WireSubmission{
+		From:           req.From,
+		To:             req.To,
+		Volume:         units.Volume(req.VolumeBytes),
+		MaxRate:        units.Bandwidth(req.MaxRateBps),
+		NotBefore:      units.Time(req.NotBeforeS),
+		Deadline:       units.Time(req.DeadlineS),
+		Durable:        req.Durable,
+		IdempotencyKey: req.IdempotencyKey,
+	}
+	if req.Volume != "" {
+		if req.VolumeBytes != 0 {
+			return ws, fmt.Errorf("both volume and volume_bytes set")
+		}
+		v, err := units.ParseVolume(req.Volume)
+		if err != nil {
+			return ws, err
+		}
+		ws.Volume = v
+	}
+	if req.MaxRate != "" {
+		if req.MaxRateBps != 0 {
+			return ws, fmt.Errorf("both max_rate and max_rate_bps set")
+		}
+		b, err := units.ParseBandwidth(req.MaxRate)
+		if err != nil {
+			return ws, err
+		}
+		ws.MaxRate = b
+	}
+	if req.StartIn != "" {
+		if req.NotBeforeS != 0 {
+			return ws, fmt.Errorf("both start_in and not_before_s set")
+		}
+		d, err := units.ParseTime(req.StartIn)
+		if err != nil {
+			return ws, err
+		}
+		ws.NotBefore, ws.RelNotBefore = d, true
+	}
+	if req.DeadlineIn != "" {
+		if req.DeadlineS != 0 {
+			return ws, fmt.Errorf("both deadline_in and deadline_s set")
+		}
+		d, err := units.ParseTime(req.DeadlineIn)
+		if err != nil {
+			return ws, err
+		}
+		ws.Deadline, ws.RelDeadline = d, true
+	}
+	return ws, nil
 }
 
 func appendU16(dst []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(dst, v) }
@@ -343,6 +406,47 @@ func AppendBinaryBatchResponse(dst []byte, results []BatchResult) []byte {
 		dst = appendF64(dst, float64(d.Tau))
 		dst = appendU16(dst, uint16(min(len(d.Reason), math.MaxUint16)))
 		dst = append(dst, d.Reason[:min(len(d.Reason), math.MaxUint16)]...)
+	}
+	binary.LittleEndian.PutUint32(dst[lenAt:], uint32(len(dst)-lenAt-4))
+	return dst
+}
+
+// AppendBinaryBatchItems appends the framed response for items already in
+// the JSON item shape — the router's gather format: shard answers arrive
+// as BatchItemJSON and leave in the caller's codec without a detour
+// through the server-internal BatchResult. The Routed marker has no slot
+// in the binary frame and is dropped; JSON callers keep it.
+func AppendBinaryBatchItems(dst []byte, items []BatchItemJSON) []byte {
+	dst = append(dst, wireRespMagic...)
+	lenAt := len(dst)
+	dst = appendU32(dst, 0)
+	dst = appendU32(dst, uint32(len(items)))
+	for i := range items {
+		it := &items[i]
+		if it.Reservation == nil {
+			msg := it.Error
+			if msg == "" {
+				msg = "no result"
+			}
+			dst = append(dst, wireKindError)
+			dst = appendU16(dst, uint16(min(len(msg), math.MaxUint16)))
+			dst = append(dst, msg[:min(len(msg), math.MaxUint16)]...)
+			continue
+		}
+		rj := it.Reservation
+		dst = append(dst, wireKindDecision)
+		dst = appendU64(dst, uint64(rj.ID))
+		if rj.Accepted {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = append(dst, stateCode(State(rj.State)), durabilityCode(rj.Durability))
+		dst = appendF64(dst, rj.RateBps)
+		dst = appendF64(dst, rj.SigmaS)
+		dst = appendF64(dst, rj.TauS)
+		dst = appendU16(dst, uint16(min(len(rj.Reason), math.MaxUint16)))
+		dst = append(dst, rj.Reason[:min(len(rj.Reason), math.MaxUint16)]...)
 	}
 	binary.LittleEndian.PutUint32(dst[lenAt:], uint32(len(dst)-lenAt-4))
 	return dst

@@ -20,6 +20,34 @@ const (
 	EventPromote = "promote"
 )
 
+// Hold-event kinds of the cross-shard two-phase protocol: a hold books
+// capacity on ONE side of a route (this shard owns either the ingress or
+// the egress point; the router drives the peer shard separately). Every
+// transition is WAL-logged so holds survive failover and restart.
+const (
+	// EventHoldReserve: a tentative one-sided hold took [SigmaS, TauS] x
+	// RateBps at the point; it rolls back at ExpireS unless confirmed.
+	EventHoldReserve = "hold_reserve"
+	// EventHoldConfirm: the hold committed; capacity stays booked until
+	// TauS.
+	EventHoldConfirm = "hold_confirm"
+	// EventHoldAbort: the router (or a cancel) rolled the hold back; any
+	// booked capacity returned at At.
+	EventHoldAbort = "hold_abort"
+	// EventHoldExpire: the reserve TTL lapsed unconfirmed; the tentative
+	// capacity returned at At.
+	EventHoldExpire = "hold_expire"
+	// EventHoldRelease: a confirmed hold reached TauS and its capacity
+	// returned on schedule.
+	EventHoldRelease = "hold_release"
+)
+
+// HoldSide values for Event.Side.
+const (
+	HoldSideIngress = "in"
+	HoldSideEgress  = "eg"
+)
+
 // Event is one admission-control decision as it happened, in the same
 // flat base-unit style as the workload/outcome envelopes. A stream of
 // events is an audit log: replaying the accepts against a fresh ledger
@@ -42,6 +70,16 @@ type Event struct {
 	VolumeB    float64 `json:"volume_bytes,omitempty"`
 	MaxRateBps float64 `json:"max_rate_bps,omitempty"`
 	Reason     string  `json:"reason,omitempty"`
+	// Hold and Side identify a cross-shard hold (EventHold* kinds only):
+	// Hold is the router-generated key shared by both sides of the pair,
+	// Side says which half of the route this shard booked (HoldSideIngress
+	// or HoldSideEgress). The point index rides in Ingress or Egress
+	// according to Side; the other index is -1.
+	Hold string `json:"hold,omitempty"`
+	Side string `json:"side,omitempty"`
+	// ExpireS is the service-time deadline of an unconfirmed hold
+	// (EventHoldReserve only): recovery re-arms the rollback timer here.
+	ExpireS float64 `json:"expire_s,omitempty"`
 }
 
 // DecisionSink receives admission events as they are decided.

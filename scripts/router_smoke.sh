@@ -1,0 +1,164 @@
+#!/usr/bin/env bash
+# router_smoke.sh — end-to-end router-tier smoke over two real shard
+# groups: shard s0 is a 3-node quorum group (sync-ack primary, two
+# watchdog followers), shard s1 a single WAL-backed daemon, with a
+# gridbwrouter consistent-hashing 4×4 access-point pairs across them.
+#
+#   1. all daemons and the router run race-enabled as separate processes
+#   2. gridbwload drives the ROUTER with -history armed: same-shard pairs
+#      proxy straight through, cross-shard pairs commit via the HTTP
+#      two-phase hold protocol
+#   3. s0's primary is SIGKILLed mid-plateau: the router's failover
+#      client must re-converge on the majority-promoted follower and the
+#      load gate must stay green
+#   4. gridbwcheck replays the client history against BOTH surviving
+#      WALs (promoted follower's + s1's, in ring order): per-shard
+#      no-oversubscription and idempotency on decoded local IDs, every
+#      cross-shard hold committed on both owners or neither, every
+#      cross_shard-acked admission backed by a committed ingress hold
+#
+# The script exits nonzero on a failed promotion, a tripped load gate,
+# any checker violation, or a run that exercised no cross-shard pair
+# (which would mean the ring or the marker plumbing is broken).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+P_ADDR=127.0.0.1:18190
+F1_ADDR=127.0.0.1:18191
+F2_ADDR=127.0.0.1:18192
+S1_ADDR=127.0.0.1:18193
+RT_ADDR=127.0.0.1:18194
+P="http://${P_ADDR}"
+F1="http://${F1_ADDR}"
+F2="http://${F2_ADDR}"
+S1="http://${S1_ADDR}"
+RT="http://${RT_ADDR}"
+
+CAPS=1GB/s,1GB/s,1GB/s,1GB/s
+
+WORK="$(mktemp -d)"
+PIDS=()
+cleanup() {
+	kill ${PIDS[@]+"${PIDS[@]}"} 2>/dev/null || true
+	wait 2>/dev/null || true
+	rm -rf "${WORK}"
+}
+trap cleanup EXIT
+
+wait_healthz() {
+	for _ in $(seq 1 100); do
+		curl -fsS "$1/v1/healthz" >/dev/null 2>&1 && return 0
+		sleep 0.1
+	done
+	echo "timeout waiting for $1/v1/healthz" >&2
+	return 1
+}
+
+repl_status() {
+	curl -fsS "$1/v1/replication/status" 2>/dev/null || true
+}
+
+echo "== build (daemon and router race-enabled) =="
+go build -race -o "${WORK}/gridbwd" ./cmd/gridbwd
+go build -race -o "${WORK}/gridbwrouter" ./cmd/gridbwrouter
+go build -o "${WORK}/gridbwload" ./cmd/gridbwload
+go build -o "${WORK}/gridbwcheck" ./cmd/gridbwcheck
+
+echo "== start shard s0: 3-node quorum group =="
+"${WORK}/gridbwd" -addr "${P_ADDR}" -wal "${WORK}/pwal" \
+	-ingress "${CAPS}" -egress "${CAPS}" \
+	-repl-id "${P}" -peers "${F1},${F2}" \
+	-repl-sync=quorum -repl-sync-timeout 5s \
+	>"${WORK}/p.log" 2>&1 &
+PRIMARY_PID=$!
+PIDS+=("${PRIMARY_PID}")
+wait_healthz "${P}"
+
+"${WORK}/gridbwd" -addr "${F1_ADDR}" -wal "${WORK}/f1wal" \
+	-ingress "${CAPS}" -egress "${CAPS}" \
+	-follow "${P}" -repl-id "${F1}" \
+	-watch -watch-interval 250ms -watch-misses 2 -peers "${P},${F2}" \
+	>"${WORK}/f1.log" 2>&1 &
+PIDS+=($!)
+
+"${WORK}/gridbwd" -addr "${F2_ADDR}" -wal "${WORK}/f2wal" \
+	-ingress "${CAPS}" -egress "${CAPS}" \
+	-follow "${P}" -repl-id "${F2}" \
+	-watch -watch-interval 250ms -watch-misses 10 -peers "${P},${F1}" \
+	>"${WORK}/f2.log" 2>&1 &
+PIDS+=($!)
+
+echo "== start shard s1: single daemon =="
+"${WORK}/gridbwd" -addr "${S1_ADDR}" -wal "${WORK}/s1wal" \
+	-ingress "${CAPS}" -egress "${CAPS}" \
+	>"${WORK}/s1.log" 2>&1 &
+PIDS+=($!)
+
+wait_healthz "${F1}"
+wait_healthz "${F2}"
+wait_healthz "${S1}"
+
+echo "== start the router over both shard groups =="
+"${WORK}/gridbwrouter" -addr "${RT_ADDR}" \
+	-shard "s0=${P},${F1},${F2}" -shard "s1=${S1}" \
+	-timeout 2s \
+	>"${WORK}/rt.log" 2>&1 &
+PIDS+=($!)
+wait_healthz "${RT}"
+
+echo "== start the armed load run through the router =="
+"${WORK}/gridbwload" -target "${RT}" \
+	-vus 200 -rate 80 -ramp-up 1s -duration 12s -ramp-down 1s \
+	-ingress-points 4 -egress-points 4 \
+	-timeout 2s -retries 8 \
+	-history "${WORK}/history.jsonl" \
+	-output "${WORK}/router_smoke.json" \
+	-fail-on 'errors<30%,p50<1s,drops<=10%' \
+	>"${WORK}/load.log" 2>&1 &
+LOAD_PID=$!
+
+sleep 4
+echo "== SIGKILL shard s0's primary mid-plateau =="
+kill -9 "${PRIMARY_PID}"
+
+NEW=""
+NEW_WAL=""
+for _ in $(seq 1 150); do
+	if repl_status "${F1}" | grep -q '"role":"primary"'; then
+		NEW="${F1}" NEW_WAL="${WORK}/f1wal"
+		break
+	fi
+	if repl_status "${F2}" | grep -q '"role":"primary"'; then
+		NEW="${F2}" NEW_WAL="${WORK}/f2wal"
+		break
+	fi
+	sleep 0.1
+done
+if [ -z "${NEW}" ]; then
+	echo "no s0 follower promoted within 15s of the kill" >&2
+	tail -20 "${WORK}/f1.log" "${WORK}/f2.log" >&2
+	exit 1
+fi
+echo "s0 majority-promoted: ${NEW}"
+
+if ! wait "${LOAD_PID}"; then
+	echo "gridbwload gate violated across the kill/promote cycle:" >&2
+	tail -20 "${WORK}/load.log" >&2
+	exit 1
+fi
+tail -5 "${WORK}/load.log"
+
+if ! grep -q '"routed":"cross_shard"' "${WORK}/history.jsonl"; then
+	echo "no cross-shard admission in the whole run: ring or marker plumbing is broken" >&2
+	exit 1
+fi
+echo "cross-shard admissions observed: $(grep -c '"routed":"cross_shard"' "${WORK}/history.jsonl")"
+
+echo "== replay the client history against both surviving WALs =="
+# Ring order = the router's -shard order: s0 (the promoted follower's
+# replicated WAL is its history of record), then s1.
+"${WORK}/gridbwcheck" -history "${WORK}/history.jsonl" \
+	-wal "${NEW_WAL}" -wal "${WORK}/s1wal" \
+	-ingress "${CAPS}" -egress "${CAPS}"
+
+echo "router smoke OK: failover mid-load, gate green, multi-WAL invariants clean"
